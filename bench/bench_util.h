@@ -1,0 +1,152 @@
+#pragma once
+
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries: the
+ * default machine configuration (Table 1), paired baseline/DTT runs,
+ * and common option handling (--iters, --seed, --workload, --scale).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim::bench {
+
+/** The simulated machine of Table 1. */
+inline sim::SimConfig
+machineConfig(bool enable_dtt)
+{
+    sim::SimConfig cfg;
+    cfg.enableDtt = enable_dtt;
+    return cfg;  // defaults are the Table 1 machine
+}
+
+/** Workload parameters from common command-line options. */
+inline workloads::WorkloadParams
+paramsFromOptions(const Options &opts)
+{
+    workloads::WorkloadParams p;
+    p.seed = static_cast<std::uint64_t>(opts.getInt("seed", 12345));
+    p.iterations = static_cast<int>(opts.getInt("iters", -1));
+    p.scale = static_cast<int>(opts.getInt("scale", 1));
+    p.updateRate = opts.getDouble("update-rate", -1.0);
+    return p;
+}
+
+/** Workload subset from --workload=name (default: all). */
+inline std::vector<const workloads::Workload *>
+workloadsFromOptions(const Options &opts)
+{
+    if (opts.has("workload"))
+        return {&workloads::findWorkload(opts.get("workload"))};
+    return workloads::allWorkloads();
+}
+
+/** Result of one baseline-vs-DTT comparison. */
+struct Pair
+{
+    sim::SimResult base;
+    sim::SimResult dtt;
+
+    double
+    speedup() const
+    {
+        return dtt.cycles == 0
+            ? 0.0
+            : static_cast<double>(base.cycles)
+                / static_cast<double>(dtt.cycles);
+    }
+};
+
+/** Run the baseline machine on the Baseline variant and the DTT
+ *  machine on the DTT variant. */
+inline Pair
+runPair(const workloads::Workload &w,
+        const workloads::WorkloadParams &params,
+        sim::SimConfig dtt_cfg = machineConfig(true))
+{
+    Pair pr;
+    pr.base = sim::runProgram(
+        machineConfig(false),
+        w.build(workloads::Variant::Baseline, params));
+    pr.dtt = sim::runProgram(
+        dtt_cfg, w.build(workloads::Variant::Dtt, params));
+    return pr;
+}
+
+/**
+ * Append an infinite co-running thread to @p prog and return its
+ * entry PC. Used with OooCore::startCoRunner to occupy SMT contexts
+ * with foreign work. The co-runner is a memory-bound pointer walk
+ * over a 4 MiB region (mostly cache misses) — a realistic neighbour
+ * whose in-flight loads keep its ICOUNT high, so it shares fetch the
+ * way real co-scheduled programs do (a cache-resident spin loop
+ * would pathologically hog the ICOUNT fetch slots instead).
+ */
+inline std::uint64_t
+appendCoRunner(isa::Program &prog, int id)
+{
+    constexpr std::int64_t kStride = 4096;
+    constexpr std::int64_t kEntries = 1024;
+    Addr base = prog.allocData(
+        "corunner" + std::to_string(id),
+        static_cast<std::uint64_t>(kStride * kEntries));
+    auto emit = [&](isa::Opcode op, int rd, int rs1, int rs2,
+                    std::int64_t imm) {
+        isa::Inst inst;
+        inst.op = op;
+        inst.rd = static_cast<std::uint8_t>(rd);
+        inst.rs1 = static_cast<std::uint8_t>(rs1);
+        inst.rs2 = static_cast<std::uint8_t>(rs2);
+        inst.imm = imm;
+        return prog.append(inst);
+    };
+    using isa::Opcode;
+    std::uint64_t entry =
+        emit(Opcode::LI, 5, 0, 0, static_cast<std::int64_t>(base));
+    emit(Opcode::LI, 8, 0, 0, 0);
+    std::uint64_t loop =
+        emit(Opcode::LD, 6, 5, 0, 0);
+    emit(Opcode::ADD, 7, 7, 6, 0);
+    emit(Opcode::ADDI, 5, 5, 0, kStride);
+    emit(Opcode::ADDI, 8, 8, 0, 1);
+    emit(Opcode::ANDI, 9, 8, 0, kEntries - 1);
+    emit(Opcode::BNE, 0, 9, 0,
+         static_cast<std::int64_t>(loop));  // rs1=x9 rs2=x0
+    emit(Opcode::LI, 5, 0, 0, static_cast<std::int64_t>(base));
+    emit(Opcode::JAL, 0, 0, 0, static_cast<std::int64_t>(loop));
+    return entry;
+}
+
+/** Geometric mean helper (the paper-style suite average uses the
+ *  arithmetic mean of speedups; both are reported). */
+inline double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double v : vals)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(vals.size()));
+}
+
+inline double
+mean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double s = 0;
+    for (double v : vals)
+        s += v;
+    return s / static_cast<double>(vals.size());
+}
+
+} // namespace dttsim::bench

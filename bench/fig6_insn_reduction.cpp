@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 6 — committed-instruction reduction: how much computation
+ * the DTT transformation removes from the main thread, and how little
+ * of it comes back as data-triggered thread work (the rest was
+ * skipped outright thanks to silent-store suppression).
+ */
+
+#include "bench_util.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+
+    TextTable t("Figure 6: committed instructions, baseline vs DTT");
+    t.header({"bench", "baseline", "dtt main", "dtt threads",
+              "main reduction", "total reduction"});
+    std::vector<double> main_red, total_red;
+    for (const workloads::Workload *w : bench::workloadsFromOptions(
+             opts)) {
+        bench::Pair pr = bench::runPair(*w, params);
+        double mr = pct(pr.base.totalCommitted - pr.dtt.mainCommitted,
+                        pr.base.totalCommitted);
+        double tr = pct(pr.base.totalCommitted - pr.dtt.totalCommitted,
+                        pr.base.totalCommitted);
+        main_red.push_back(mr);
+        total_red.push_back(tr);
+        t.row({w->info().name, TextTable::num(pr.base.totalCommitted),
+               TextTable::num(pr.dtt.mainCommitted),
+               TextTable::num(pr.dtt.dttCommitted),
+               TextTable::pctCell(mr), TextTable::pctCell(tr)});
+    }
+    t.row({"average", "", "", "",
+           TextTable::pctCell(bench::mean(main_red)),
+           TextTable::pctCell(bench::mean(total_red))});
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

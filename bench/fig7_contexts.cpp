@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 7 — sensitivity to the number of hardware contexts available
+ * to data-triggered threads: 1 main context + 1/2/3/7 spare contexts.
+ * Workloads stripe their trigger data across 4 trigger ids, so
+ * speedup saturates once enough contexts cover the concurrent
+ * triggers.
+ */
+
+#include "bench_util.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+
+    const int dtt_ctxs[] = {1, 2, 3, 7};
+
+    TextTable t("Figure 7: speedup vs spare SMT contexts for DTTs");
+    t.header({"bench", "+1 ctx", "+2 ctx", "+3 ctx", "+7 ctx"});
+    for (const workloads::Workload *w : bench::workloadsFromOptions(
+             opts)) {
+        sim::SimResult base = sim::runProgram(
+            bench::machineConfig(false),
+            w->build(workloads::Variant::Baseline, params));
+        isa::Program dtt_prog =
+            w->build(workloads::Variant::Dtt, params);
+        std::vector<std::string> cells{w->info().name};
+        for (int spare : dtt_ctxs) {
+            sim::SimConfig cfg = bench::machineConfig(true);
+            cfg.core.numContexts = 1 + spare;
+            sim::SimResult r = sim::runProgram(cfg, dtt_prog);
+            cells.push_back(TextTable::num(
+                static_cast<double>(base.cycles)
+                    / static_cast<double>(r.cycles), 2) + "x");
+        }
+        t.row(cells);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 9 — ablation: silent-store suppression on vs off. With
+ * suppression off, every triggering store spawns its thread even when
+ * the value did not change, so the redundant computation is merely
+ * *moved* to spare contexts instead of eliminated. The gap between
+ * the two bars is the contribution of redundancy elimination itself.
+ */
+
+#include "bench_util.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+
+    TextTable t("Figure 9: silent-store suppression ablation");
+    t.header({"bench", "speedup (on)", "speedup (off)",
+              "spawns (on)", "spawns (off)"});
+    std::vector<double> on_s, off_s;
+    for (const workloads::Workload *w : bench::workloadsFromOptions(
+             opts)) {
+        sim::SimResult base = sim::runProgram(
+            bench::machineConfig(false),
+            w->build(workloads::Variant::Baseline, params));
+        isa::Program dtt_prog =
+            w->build(workloads::Variant::Dtt, params);
+
+        sim::SimConfig on = bench::machineConfig(true);
+        sim::SimResult r_on = sim::runProgram(on, dtt_prog);
+
+        sim::SimConfig off = bench::machineConfig(true);
+        off.dtt.silentSuppression = false;
+        sim::SimResult r_off = sim::runProgram(off, dtt_prog);
+
+        double s_on = static_cast<double>(base.cycles)
+            / static_cast<double>(r_on.cycles);
+        double s_off = static_cast<double>(base.cycles)
+            / static_cast<double>(r_off.cycles);
+        on_s.push_back(s_on);
+        off_s.push_back(s_off);
+        t.row({w->info().name, TextTable::num(s_on, 2) + "x",
+               TextTable::num(s_off, 2) + "x",
+               TextTable::num(r_on.dttSpawns),
+               TextTable::num(r_off.dttSpawns)});
+    }
+    t.row({"arith-mean", TextTable::num(bench::mean(on_s), 2) + "x",
+           TextTable::num(bench::mean(off_s), 2) + "x", "", ""});
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): simulator
+ * throughput for the functional reference and the cycle-level core,
+ * plus the cost of the DTT controller's hot operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/controller.h"
+#include "cpu/executor.h"
+#include "mem/hierarchy.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+using namespace dttsim;
+
+namespace {
+
+isa::Program
+mcfBaseline()
+{
+    workloads::WorkloadParams p;
+    p.iterations = 2;
+    return workloads::findWorkload("mcf").build(
+        workloads::Variant::Baseline, p);
+}
+
+void
+BM_FunctionalRunner(benchmark::State &state)
+{
+    isa::Program prog = mcfBaseline();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        cpu::FunctionalRunner runner(prog);
+        cpu::FuncRunResult r = runner.run();
+        insts += r.mainInstructions;
+        benchmark::DoNotOptimize(r.halted);
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalRunner)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooCore(benchmark::State &state)
+{
+    isa::Program prog = mcfBaseline();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SimConfig cfg;
+        cfg.enableDtt = false;
+        sim::SimResult r = sim::runProgram(cfg, prog);
+        insts += r.totalCommitted;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OooCore)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooCoreDtt(benchmark::State &state)
+{
+    workloads::WorkloadParams p;
+    p.iterations = 2;
+    isa::Program prog = workloads::findWorkload("mcf").build(
+        workloads::Variant::Dtt, p);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SimResult r = sim::runProgram(sim::SimConfig{}, prog);
+        insts += r.totalCommitted;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OooCoreDtt)->Unit(benchmark::kMillisecond);
+
+void
+BM_ControllerTstore(benchmark::State &state)
+{
+    dtt::DttConfig cfg;
+    dtt::DttController ctrl(cfg, 4);
+    ctrl.onTregCommit(0, 100);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        // Alternate silent and fired-but-coalesced commits.
+        ctrl.onTstoreCommit(0, 0x1000, i, (i & 1) != 0);
+        benchmark::DoNotOptimize(ctrl.chk(0));
+        ++i;
+        if (ctrl.queue().size() > 0)
+            ctrl.takeSpawn();
+    }
+}
+BENCHMARK(BM_ControllerTstore);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Hierarchy h{mem::HierarchyConfig{}};
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.accessData(a, false));
+        a = (a + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The Drop full-queue policy and its software fallback idiom.
+ *
+ * With the Stall policy, a triggering store whose thread queue is
+ * full simply waits at commit. With Drop, the firing is discarded and
+ * a sticky overflow flag is set; software checks the flag after the
+ * TWAIT fence with TCHK (bit 62), runs the inline recomputation path
+ * if needed, and clears it with TCLR. This example runs the same
+ * update storm under both policies on a deliberately tiny (1-entry)
+ * thread queue and shows that results stay correct while the cost
+ * profile shifts from commit stalls to fallback recomputation.
+ *
+ *   build/examples/drop_policy
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+
+using namespace dttsim;
+
+namespace {
+
+/** derived must always end up = 2 * buf[0]; bursts of 3 triggering
+ *  stores per iteration overwhelm a 1-entry queue. */
+const char *kProgram = R"(
+main:
+    treg 0, handler
+    li  a0, buf
+    li  s0, 0
+    li  s1, 32
+loop:
+    addi s0, s0, 1
+    tsd  s0, 0(a0), 0
+    tsd  s0, 8(a0), 0
+    tsd  s0, 16(a0), 0
+    blt  s0, s1, loop
+    twait 0
+    tchk t0, 0             # bit 62 = sticky overflow flag
+    li   t1, 1
+    slli t1, t1, 62
+    and  t1, t0, t1
+    beqz t1, done
+    # ---- software fallback: recompute inline, clear the flag ----
+    ld   t2, 0(a0)
+    slli t2, t2, 1
+    li   t3, derived
+    sd   t2, 0(t3)
+    tclr 0
+done:
+    li   t3, derived
+    ld   s2, 0(t3)
+    li   t3, result
+    sd   s2, 0(t3)
+    halt
+handler:
+    li   t1, buf
+    ld   t0, 0(t1)
+    slli t0, t0, 1
+    li   t1, derived
+    sd   t0, 0(t1)
+    tret
+    .data
+buf:     .space 24
+derived: .space 8
+result:  .space 8
+)";
+
+void
+runPolicy(dtt::FullQueuePolicy policy, const char *name)
+{
+    isa::Program prog = isa::assemble(kProgram);
+    sim::SimConfig cfg;
+    cfg.dtt.threadQueueSize = 1;
+    cfg.dtt.coalesce = false;  // maximize pressure for the demo
+    cfg.dtt.fullPolicy = policy;
+    sim::Simulator s(cfg, prog);
+    sim::SimResult r = s.run();
+    std::printf("%-6s policy: cycles=%6llu  fired=%llu dropped=%llu "
+                "commit-stalls=%llu  result=%llu (expect 64)\n",
+                name, static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.fired),
+                static_cast<unsigned long long>(r.dropped),
+                static_cast<unsigned long long>(r.tstoreCommitStalls),
+                static_cast<unsigned long long>(
+                    s.core().memory().read64(
+                        prog.dataSymbol("result"))));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("Full thread-queue policies on a 1-entry queue "
+              "(96 firings in bursts of 3):\n");
+    runPolicy(dtt::FullQueuePolicy::Stall, "Stall");
+    runPolicy(dtt::FullQueuePolicy::Drop, "Drop");
+    std::puts("\nStall keeps every firing (the store waits at commit"
+              " for queue space);\nDrop sheds load under pressure and"
+              " relies on the TCHK/TCLR fallback path\nto restore"
+              " correctness.");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Machine-exploration tool: run one workload's baseline/DTT pair
+ * across user-chosen machine parameters and print the comparison —
+ * the programmatic API the bench/ binaries are built from.
+ *
+ *   build/examples/explore_machine --workload=art --contexts=2
+ *   build/examples/explore_machine --workload=gcc --tq=4 --policy=drop
+ *   build/examples/explore_machine --workload=mcf --no-coalesce
+ *   build/examples/explore_machine --workload=mcf --trace=pipe.log
+ */
+
+#include <cstdio>
+
+#include "common/log.h"
+#include "common/options.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+
+    const workloads::Workload &w =
+        workloads::findWorkload(opts.get("workload", "mcf"));
+    workloads::WorkloadParams params;
+    params.seed = static_cast<std::uint64_t>(opts.getInt("seed",
+                                                         12345));
+    params.iterations = static_cast<int>(opts.getInt("iters", -1));
+    params.updateRate = opts.getDouble("update-rate", -1.0);
+    params.scale = static_cast<int>(opts.getInt("scale", 1));
+
+    sim::SimConfig cfg;
+    cfg.core.numContexts = static_cast<int>(opts.getInt("contexts",
+                                                        4));
+    cfg.dtt.threadQueueSize = static_cast<int>(opts.getInt("tq", 16));
+    if (opts.get("policy", "stall") == "drop")
+        cfg.dtt.fullPolicy = dtt::FullQueuePolicy::Drop;
+    cfg.dtt.silentSuppression = !opts.has("no-silent-suppression");
+    cfg.dtt.coalesce = !opts.has("no-coalesce");
+    cfg.dtt.spawnLatency = static_cast<Cycle>(
+        opts.getInt("spawn-latency", 4));
+
+    sim::SimConfig base_cfg = cfg;
+    base_cfg.enableDtt = false;
+    sim::SimResult base = sim::runProgram(
+        base_cfg, w.build(workloads::Variant::Baseline, params));
+
+    std::FILE *trace = nullptr;
+    if (opts.has("trace")) {
+        trace = std::fopen(opts.get("trace").c_str(), "w");
+        if (trace == nullptr)
+            fatal("cannot open trace file '%s'",
+                  opts.get("trace").c_str());
+    }
+    sim::Simulator dtt_sim(cfg,
+                           w.build(workloads::Variant::Dtt, params));
+    if (trace != nullptr)
+        dtt_sim.core().setTraceFile(trace);
+    sim::SimResult dtt = dtt_sim.run();
+    if (trace != nullptr) {
+        std::fclose(trace);
+        std::printf("pipeline trace written to %s\n",
+                    opts.get("trace").c_str());
+    }
+
+    std::printf("workload %s on %d contexts, tq=%d\n",
+                w.info().name.c_str(), cfg.core.numContexts,
+                cfg.dtt.threadQueueSize);
+    auto line = [](const char *k, std::uint64_t b, std::uint64_t d) {
+        std::printf("  %-22s %12llu %12llu\n", k,
+                    static_cast<unsigned long long>(b),
+                    static_cast<unsigned long long>(d));
+    };
+    std::printf("  %-22s %12s %12s\n", "", "baseline", "dtt");
+    line("cycles", base.cycles, dtt.cycles);
+    line("main insts", base.mainCommitted, dtt.mainCommitted);
+    line("thread insts", base.dttCommitted, dtt.dttCommitted);
+    line("tstores", base.tstores, dtt.tstores);
+    line("silent suppressed", base.silentSuppressed,
+         dtt.silentSuppressed);
+    line("threads fired", base.fired, dtt.fired);
+    line("coalesced", base.coalesced, dtt.coalesced);
+    line("spawns", base.dttSpawns, dtt.dttSpawns);
+    line("tq max occupancy", base.tqMaxOccupancy, dtt.tqMaxOccupancy);
+    line("twait stall cycles", base.twaitStallCycles,
+         dtt.twaitStallCycles);
+    line("tstore commit stalls", base.tstoreCommitStalls,
+         dtt.tstoreCommitStalls);
+    line("L1D misses", base.l1dMisses, dtt.l1dMisses);
+    line("L2 misses", base.l2Misses, dtt.l2Misses);
+    line("branch mispredicts", base.condMispredicts,
+         dtt.condMispredicts);
+    std::printf("  %-22s %12.2f %12.2f\n", "IPC", base.ipc, dtt.ipc);
+    std::printf("\n  speedup: %.2fx\n",
+                static_cast<double>(base.cycles)
+                    / static_cast<double>(dtt.cycles));
+    if (opts.has("detailed")) {
+        std::puts("\ndetailed DTT-machine statistics:");
+        std::fputs(sim::formatDetailedStats(dtt_sim).c_str(), stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: author a tiny program with data-triggered threads using
+ * the ProgramBuilder, run it on the cycle-level SMT simulator, and
+ * read the results.
+ *
+ * The program keeps a running "derived" value (the square of a
+ * sensor reading) up to date with a DTT: whenever the reading
+ * changes, the handler recomputes the square; when a write leaves the
+ * reading unchanged (a silent store), nothing runs at all.
+ *
+ *   build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "isa/builder.h"
+#include "sim/simulator.h"
+
+using namespace dttsim;
+using namespace dttsim::isa::regs;
+
+int
+main()
+{
+    isa::ProgramBuilder b;
+
+    // ----- data ------------------------------------------------------
+    Addr reading = b.quads("reading", {3});
+    Addr squared = b.quads("squared", {9});  // consistent initial value
+    // A little write log: half the writes store the same value again.
+    Addr updates = b.quads("updates", {4, 4, 7, 7, 7, 2, 2, 2});
+
+    // ----- main thread ------------------------------------------------
+    isa::Label handler = b.newLabel();
+    b.bindNamed("main");
+    b.treg(0, handler);          // attach the handler to trigger 0
+
+    b.la(s1, updates);
+    b.la(s2, reading);
+    b.li(t1, 8);
+    b.loop(t0, t1, [&] {
+        b.ld(t2, s1, 0);         // next write from the log
+        b.tsd(t2, s2, 0, 0);     // triggering store to the reading
+        b.addi(s1, s1, 8);
+    });
+
+    b.twait(0);                  // fence: all triggered work done
+    b.la(t3, squared);
+    b.ld(s0, t3, 0);             // consume the derived value
+    b.halt();
+
+    // ----- the data-triggered thread ----------------------------------
+    // a0 = address of the changed datum, a1 = the stored value.
+    b.bind(handler);
+    b.mul(t0, a1, a1);
+    b.la(t1, squared);
+    b.sd(t0, t1, 0);
+    b.tret();
+
+    isa::Program prog = b.take();
+
+    // ----- simulate ----------------------------------------------------
+    sim::SimConfig cfg;          // 4-context SMT, Table 1 machine
+    sim::Simulator simulator(cfg, prog);
+    sim::SimResult r = simulator.run();
+
+    std::printf("quickstart: data-triggered threads in ~40 lines\n\n");
+    std::printf("cycles                 %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("main-thread insts      %llu\n",
+                static_cast<unsigned long long>(r.mainCommitted));
+    std::printf("DTT insts              %llu\n",
+                static_cast<unsigned long long>(r.dttCommitted));
+    std::printf("triggering stores      %llu\n",
+                static_cast<unsigned long long>(r.tstores));
+    std::printf("  silent (suppressed)  %llu\n",
+                static_cast<unsigned long long>(r.silentSuppressed));
+    std::printf("  threads spawned      %llu\n",
+                static_cast<unsigned long long>(r.dttSpawns));
+    std::printf("final squared value    %llu  (expect 4 = 2*2)\n",
+                static_cast<unsigned long long>(
+                    simulator.core().memory().read64(
+                        prog.dataSymbol("squared"))));
+    std::printf("\nOf 8 writes, only the 3 value-changing ones could "
+                "trigger (back-to-back\nchanges may additionally "
+                "coalesce in the thread queue); the 5 silent\nstores "
+                "never ran anything — that computation was "
+                "eliminated.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The paper's motivating example, end to end: mcf's
+ * refresh_potential. The baseline recomputes node potentials over the
+ * whole chain forest every simplex iteration even though only a
+ * handful of arc costs changed; the DTT version attaches a thread to
+ * the cost fields and the main loop skips the recompute entirely.
+ *
+ * This example uses the text assembler (the workload library builds
+ * the same kernel with the ProgramBuilder) so the DTT extension is
+ * visible as actual assembly. It then runs both versions on the
+ * cycle-level simulator and reports the speedup.
+ *
+ *   build/examples/refresh_potential [--iters=N]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/options.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+using namespace dttsim;
+
+namespace {
+
+/** A miniature refresh_potential in dttsim assembly: one chain of 8
+ *  nodes, costs updated twice per iteration (usually silently). */
+const char *kMiniDtt = R"(
+main:
+    treg 0, refresh          # potentials follow cost changes
+    li   s0, 0               # iteration count
+    li   s1, 16              # iterations
+outer:
+    # sparse update: cost[3] = 5 (changes only on iteration 0)
+    li   a0, cost
+    li   t0, 5
+    tsd  t0, 24(a0), 0
+    # sparse update: cost[6] = 9 (changes only on iteration 0)
+    li   t0, 9
+    tsd  t0, 48(a0), 0
+    twait 0                  # fence before consuming potentials
+    li   a1, potential
+    ld   s2, 56(a1)          # objective: last node's potential
+    addi s0, s0, 1
+    blt  s0, s1, outer
+    li   a2, result
+    sd   s2, 0(a2)
+    halt
+
+# DTT handler: a0 = &cost[k]. Recompute the potential prefix sums
+# from node k to the end of the chain.
+refresh:
+    li   t0, cost
+    sub  t1, a0, t0          # byte offset of the changed node
+    srli t1, t1, 3           # k
+    li   t2, 0               # running potential
+    beq  t1, x0, from_zero
+    li   t3, potential
+    slli t4, t1, 3
+    add  t3, t3, t4
+    ld   t2, -8(t3)          # potential[k-1]
+from_zero:
+    li   t3, 8               # chain length
+    sub  t3, t3, t1          # nodes to refresh
+    li   t4, cost
+    slli t5, t1, 3
+    add  t4, t4, t5          # &cost[k]
+    li   t6, potential
+    add  t6, t6, t5          # &potential[k]
+suffix:
+    ld   t7, 0(t4)
+    add  t2, t2, t7
+    sd   t2, 0(t6)
+    addi t4, t4, 8
+    addi t6, t6, 8
+    addi t3, t3, -1
+    bne  t3, x0, suffix
+    tret
+
+    .data
+cost:      .quad 1, 2, 3, 4, 1, 2, 3, 4
+potential: .quad 1, 3, 6, 10, 11, 13, 16, 20
+result:    .space 8
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+
+    // ----- part 1: the hand-written miniature ------------------------
+    std::puts("part 1: hand-written refresh_potential DTT "
+              "(see source for the assembly)\n");
+    isa::Program mini = isa::assemble(kMiniDtt);
+    sim::Simulator simulator(sim::SimConfig{}, mini);
+    sim::SimResult mr = simulator.run();
+    std::printf("  cycles=%llu  tstores=%llu  silent=%llu  "
+                "spawns=%llu\n",
+                static_cast<unsigned long long>(mr.cycles),
+                static_cast<unsigned long long>(mr.tstores),
+                static_cast<unsigned long long>(mr.silentSuppressed),
+                static_cast<unsigned long long>(mr.dttSpawns));
+    std::printf("  objective (potential of last node) = %llu "
+                "(expect 1+2+3+5+1+2+9+4 = 27)\n\n",
+                static_cast<unsigned long long>(
+                    simulator.core().memory().read64(
+                        mini.dataSymbol("result"))));
+
+    // ----- part 2: the full mcf workload ------------------------------
+    std::puts("part 2: the full mcf analogue from the workload "
+              "library");
+    workloads::WorkloadParams params;
+    params.iterations = static_cast<int>(opts.getInt("iters", -1));
+
+    const workloads::Workload &mcf = workloads::findWorkload("mcf");
+    sim::SimConfig base_cfg;
+    base_cfg.enableDtt = false;
+    sim::SimResult base = sim::runProgram(
+        base_cfg, mcf.build(workloads::Variant::Baseline, params));
+    sim::SimResult dtt = sim::runProgram(
+        sim::SimConfig{}, mcf.build(workloads::Variant::Dtt, params));
+
+    std::printf("  baseline: %llu cycles, %llu insts (refresh runs "
+                "every iteration)\n",
+                static_cast<unsigned long long>(base.cycles),
+                static_cast<unsigned long long>(base.totalCommitted));
+    std::printf("  DTT:      %llu cycles, %llu main + %llu thread "
+                "insts\n",
+                static_cast<unsigned long long>(dtt.cycles),
+                static_cast<unsigned long long>(dtt.mainCommitted),
+                static_cast<unsigned long long>(dtt.dttCommitted));
+    std::printf("  %llu of %llu triggering stores were silent and "
+                "spawned nothing\n",
+                static_cast<unsigned long long>(dtt.silentSuppressed),
+                static_cast<unsigned long long>(dtt.tstores));
+    std::printf("  speedup: %.2fx\n",
+                static_cast<double>(base.cycles)
+                    / static_cast<double>(dtt.cycles));
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Standalone assembler + runner: assemble a .s file written in the
+ * dttsim ISA (DTT extension included) and execute it — functionally
+ * or on the cycle-level simulator — printing the result report.
+ *
+ *   build/examples/run_asm --file=prog.s
+ *   build/examples/run_asm --file=prog.s --functional
+ *   build/examples/run_asm --file=prog.s --trace=pipe.log --detailed
+ *   build/examples/run_asm --file=prog.s --disasm
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/options.h"
+#include "cpu/executor.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "sim/report.h"
+
+using namespace dttsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    if (!opts.has("file")) {
+        std::puts("usage: run_asm --file=prog.s [--functional]"
+                  " [--disasm] [--trace=out.log] [--detailed]"
+                  " [--max-cycles=N]");
+        return 2;
+    }
+
+    std::ifstream in(opts.get("file"));
+    if (!in)
+        fatal("cannot open '%s'", opts.get("file").c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    isa::Program prog = isa::assemble(text.str());
+    std::printf("assembled %zu instructions, %d trigger(s), data end"
+                " 0x%llx\n",
+                static_cast<std::size_t>(prog.size()),
+                prog.numTriggers(),
+                static_cast<unsigned long long>(prog.dataEnd()));
+
+    if (opts.has("disasm"))
+        std::fputs(isa::disassemble(prog).c_str(), stdout);
+
+    if (opts.has("functional")) {
+        cpu::FunctionalRunner runner(prog);
+        cpu::FuncRunResult r = runner.run(
+            static_cast<std::uint64_t>(
+                opts.getInt("max-insts", 1 << 28)));
+        std::printf("functional: halted=%d main insts=%llu dtt"
+                    " insts=%llu (%llu handler runs, %llu/%llu silent"
+                    " tstores)\n",
+                    r.halted ? 1 : 0,
+                    static_cast<unsigned long long>(
+                        r.mainInstructions),
+                    static_cast<unsigned long long>(
+                        r.dttInstructions),
+                    static_cast<unsigned long long>(r.dttRuns),
+                    static_cast<unsigned long long>(r.silentTstores),
+                    static_cast<unsigned long long>(r.tstores));
+        if (prog.hasDataSymbol("result"))
+            std::printf("result = %llu\n",
+                        static_cast<unsigned long long>(
+                            runner.memory().read64(
+                                prog.dataSymbol("result"))));
+        return r.halted ? 0 : 1;
+    }
+
+    sim::SimConfig cfg;
+    cfg.maxCycles = static_cast<Cycle>(
+        opts.getInt("max-cycles", 1 << 28));
+    sim::Simulator simulator(cfg, prog);
+
+    std::FILE *trace = nullptr;
+    if (opts.has("trace")) {
+        trace = std::fopen(opts.get("trace").c_str(), "w");
+        if (trace == nullptr)
+            fatal("cannot open trace file '%s'",
+                  opts.get("trace").c_str());
+        simulator.core().setTraceFile(trace);
+    }
+
+    sim::SimResult r = simulator.run();
+    std::fputs(sim::formatResult(r).c_str(), stdout);
+    if (prog.hasDataSymbol("result"))
+        std::printf("result = %llu\n",
+                    static_cast<unsigned long long>(
+                        simulator.core().memory().read64(
+                            prog.dataSymbol("result"))));
+    if (opts.has("detailed"))
+        std::fputs(sim::formatDetailedStats(simulator).c_str(),
+                   stdout);
+    if (trace != nullptr)
+        std::fclose(trace);
+    return r.halted ? 0 : 1;
+}

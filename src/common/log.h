@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 idiom:
+ * panic() for internal invariant violations (simulator bugs) and
+ * fatal() for unrecoverable user/configuration errors. Both throw
+ * typed exceptions rather than aborting so the library stays usable
+ * (and testable) when embedded.
+ */
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace dttsim {
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the simulation cannot continue due to user input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug. Never returns.
+ * @param fmt printf-style message.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error (bad config, bad program).
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace dttsim

@@ -1,0 +1,53 @@
+#include "common/options.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace dttsim {
+
+Options::Options(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            values_[arg] = "1";
+        else
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Options::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Options::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end()
+        ? fallback : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Options::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end()
+        ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace dttsim

@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal command-line option parser for the bench/example binaries.
+ * Supports "--key=value" and "--flag" styles only, which is all the
+ * harness needs; anything fancier should use a real library.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dttsim {
+
+/** Parsed "--key=value" command-line options. */
+class Options
+{
+  public:
+    /** Parse argv; unknown positional arguments raise fatal(). */
+    Options(int argc, const char *const *argv);
+
+    /** True if --name or --name=... was given. */
+    bool has(const std::string &name) const;
+
+    /** String value of --name=value, or fallback. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Integer value of --name=value, or fallback. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** Double value of --name=value, or fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace dttsim

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Per-static-instruction reuse buffers (Sodani & Sohi-style): a small
+ * fully-associative LRU set of remembered executions keyed by source
+ * operand values (and, for memory operations, address + memory
+ * value). Shared by the reuse profiler and the hardware
+ * instruction-reuse comparison machine in the timing core.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dttsim {
+
+/** One execution signature of a static instruction. */
+struct ReuseProbe
+{
+    std::uint64_t src[2] = {0, 0};
+    int numSrc = 0;
+    bool hasMem = false;
+    Addr addr = 0;
+    std::uint64_t memValue = 0;
+
+    bool
+    matches(const ReuseProbe &o) const
+    {
+        return numSrc == o.numSrc && src[0] == o.src[0]
+            && src[1] == o.src[1] && hasMem == o.hasMem
+            && (!hasMem || (addr == o.addr && memValue == o.memValue));
+    }
+};
+
+/** A set of per-PC reuse buffers. */
+class ReuseBufferSet
+{
+  public:
+    /**
+     * @param num_pcs static instruction count (buffers allocated
+     *        lazily per PC).
+     * @param entries_per_pc LRU capacity of each buffer.
+     */
+    ReuseBufferSet(std::size_t num_pcs, int entries_per_pc)
+        : buffers_(num_pcs), entriesPerPc_(entries_per_pc)
+    {
+    }
+
+    /**
+     * Probe PC's buffer; on hit, refresh LRU and return true. On
+     * miss, insert the probe (evicting LRU) and return false.
+     */
+    bool
+    lookupInsert(std::uint64_t pc, const ReuseProbe &probe)
+    {
+        auto &buf = buffers_[pc];
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            if (buf[i].matches(probe)) {
+                ReuseProbe hit = buf[i];
+                buf.erase(buf.begin() + static_cast<long>(i));
+                buf.push_back(hit);
+                return true;
+            }
+        }
+        if (buf.size() >= static_cast<std::size_t>(entriesPerPc_))
+            buf.erase(buf.begin());
+        buf.push_back(probe);
+        return false;
+    }
+
+  private:
+    std::vector<std::vector<ReuseProbe>> buffers_;
+    int entriesPerPc_;
+};
+
+} // namespace dttsim

@@ -1,0 +1,40 @@
+#include "common/stats.h"
+
+namespace dttsim {
+
+Counter &
+StatGroup::counter(const std::string &stat_name)
+{
+    auto it = counters_.find(stat_name);
+    if (it == counters_.end()) {
+        order_.push_back(stat_name);
+        it = counters_.emplace(stat_name, Counter()).first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+StatGroup::get(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::dump() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(order_.size());
+    for (const auto &n : order_)
+        out.emplace_back(n, counters_.at(n).value());
+    return out;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+} // namespace dttsim

@@ -1,0 +1,129 @@
+#pragma once
+
+/**
+ * @file
+ * Lightweight statistics primitives: named scalar counters, ratios and
+ * histograms grouped per simulator component. Components expose a
+ * StatGroup; the simulator facade aggregates them into reports.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dttsim {
+
+/** A monotonically increasing scalar event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Fixed-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets number of equal-width buckets.
+     * @param bucket_width width of each bucket in sample units.
+     */
+    explicit Histogram(std::size_t num_buckets = 16,
+                       std::uint64_t bucket_width = 1)
+        : buckets_(num_buckets, 0), width_(bucket_width)
+    {}
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v > max_) max_ = v;
+        std::size_t idx = static_cast<std::size_t>(v / width_);
+        if (idx >= buckets_.size())
+            ++overflow_;
+        else
+            ++buckets_[idx];
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = sum_ = max_ = overflow_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t width_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/**
+ * A named collection of counters belonging to one component. Counters
+ * register themselves by name so reports can be rendered generically.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Create (or fetch) a named counter owned by this group. */
+    Counter &counter(const std::string &stat_name);
+
+    /** Read a named counter; returns 0 for unknown names. */
+    std::uint64_t get(const std::string &stat_name) const;
+
+    /** All (name, value) pairs in registration order. */
+    std::vector<std::pair<std::string, std::uint64_t>> dump() const;
+
+    const std::string &name() const { return name_; }
+
+    /** Reset every counter in the group. */
+    void reset();
+
+  private:
+    std::string name_;
+    std::vector<std::string> order_;
+    std::map<std::string, Counter> counters_;
+};
+
+/** Percentage helper: 100 * num / den, 0 when den == 0. */
+inline double
+pct(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : 100.0 * static_cast<double>(num)
+        / static_cast<double>(den);
+}
+
+/** Ratio helper: num / den, 0 when den == 0. */
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num)
+        / static_cast<double>(den);
+}
+
+} // namespace dttsim

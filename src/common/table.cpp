@@ -1,0 +1,95 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace dttsim {
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cols)
+{
+    if (!header_.empty() && cols.size() != header_.size())
+        panic("TextTable row has %zu cells, header has %zu",
+              cols.size(), header_.size());
+    rows_.push_back(std::move(cols));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+TextTable::pctCell(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            os << (i ? "  " : "");
+            os << c << std::string(widths[i] - c.size(), ' ');
+        }
+        std::string s = os.str();
+        while (!s.empty() && s.back() == ' ')
+            s.pop_back();
+        return s + "\n";
+    };
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w;
+    total += widths.empty() ? 0 : 2 * (widths.size() - 1);
+    total = std::max(total, title_.size());
+
+    std::ostringstream os;
+    os << title_ << "\n" << std::string(total, '=') << "\n";
+    if (!header_.empty()) {
+        os << line(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        os << line(r);
+    return os.str();
+}
+
+} // namespace dttsim

@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print the
+ * rows/series of each reproduced figure and table.
+ */
+
+#include <string>
+#include <vector>
+
+namespace dttsim {
+
+/** Column-aligned ASCII table with a title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row (defines the column count). */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row; must match the header column count. */
+    void row(std::vector<std::string> cols);
+
+    /** Convenience cell formatters. */
+    static std::string num(double v, int precision = 2);
+    static std::string num(std::uint64_t v);
+    static std::string pctCell(double v, int precision = 1);
+
+    /** Render the table (title, rule, header, rows). */
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dttsim

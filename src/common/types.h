@@ -1,0 +1,36 @@
+#pragma once
+
+/**
+ * @file
+ * Fundamental integer typedefs shared by every dttsim module.
+ */
+
+#include <cstdint>
+
+namespace dttsim {
+
+/** Byte address in the simulated 64-bit physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Global dynamic-instruction sequence number (allocation order). */
+using SeqNum = std::uint64_t;
+
+/** Hardware thread (SMT) context identifier. */
+using CtxId = int;
+
+/** Static trigger identifier indexing the DTT thread registry. */
+using TriggerId = int;
+
+/** Value of an architectural register (integer view). */
+using RegVal = std::uint64_t;
+
+/** Sentinel for "no context". */
+inline constexpr CtxId invalidCtx = -1;
+
+/** Sentinel for "no trigger attached". */
+inline constexpr TriggerId invalidTrigger = -1;
+
+} // namespace dttsim

@@ -1,0 +1,149 @@
+#include "core/controller.h"
+
+#include "common/log.h"
+
+namespace dttsim::dtt {
+
+DttController::DttController(const DttConfig &config, int num_contexts)
+    : config_(config),
+      registry_(config.maxTriggers),
+      queue_(config.threadQueueSize, config.coalesce),
+      status_(config.maxTriggers, num_contexts),
+      stats_("dtt")
+{
+    stats_.counter("tstores");
+    stats_.counter("silentSuppressed");
+    stats_.counter("fired");
+    stats_.counter("coalesced");
+    stats_.counter("dropped");
+    stats_.counter("stallEvents");
+    stats_.counter("spawns");
+    stats_.counter("staleDiscards");
+    stats_.counter("unregisteredFirings");
+}
+
+void
+DttController::onTregCommit(TriggerId t, std::uint64_t entry_pc)
+{
+    registry_.install(t, entry_pc);
+}
+
+void
+DttController::onTunregCommit(TriggerId t)
+{
+    registry_.remove(t);
+}
+
+void
+DttController::onTclrCommit(TriggerId t)
+{
+    status_.of(t).overflowed = false;
+}
+
+TstoreOutcome
+DttController::onTstoreCommit(TriggerId t, Addr addr,
+                              std::uint64_t value, bool silent)
+{
+    ++stats_.counter("tstores");
+
+    if (config_.silentSuppression && silent) {
+        ++stats_.counter("silentSuppressed");
+        return TstoreOutcome::Silent;
+    }
+    if (!registry_.lookup(t).valid) {
+        // Firing with no registered handler is legal (e.g. before
+        // TREG); it simply does nothing.
+        ++stats_.counter("unregisteredFirings");
+        return TstoreOutcome::Silent;
+    }
+
+    switch (queue_.push(PendingThread{t, addr, value})) {
+      case EnqueueResult::Enqueued:
+        ++stats_.counter("fired");
+        return TstoreOutcome::Fired;
+      case EnqueueResult::Coalesced:
+        ++stats_.counter("coalesced");
+        return TstoreOutcome::Coalesced;
+      case EnqueueResult::Full:
+        if (config_.fullPolicy == FullQueuePolicy::Stall) {
+            ++stats_.counter("stallEvents");
+            return TstoreOutcome::Stall;
+        }
+        status_.of(t).overflowed = true;
+        ++stats_.counter("dropped");
+        return TstoreOutcome::Dropped;
+    }
+    panic("unreachable");
+}
+
+void
+DttController::onTretCommit(CtxId ctx)
+{
+    status_.markDone(ctx);
+}
+
+void
+DttController::onTstoreFetched(TriggerId t)
+{
+    ++status_.of(t).inflightTstores;
+}
+
+void
+DttController::onTstoreDone(TriggerId t)
+{
+    auto &s = status_.of(t);
+    if (s.inflightTstores <= 0)
+        panic("tstore inflight underflow for trigger %d", t);
+    --s.inflightTstores;
+}
+
+bool
+DttController::waitSatisfied(TriggerId t) const
+{
+    const TriggerStatus &s = status_.of(t);
+    return queue_.pendingFor(t) == 0 && s.running == 0
+        && s.inflightTstores == 0;
+}
+
+std::int64_t
+DttController::chk(TriggerId t) const
+{
+    const TriggerStatus &s = status_.of(t);
+    std::int64_t outstanding = queue_.pendingFor(t) + s.running
+        + s.inflightTstores;
+    if (s.overflowed)
+        outstanding |= std::int64_t(1) << 62;
+    return outstanding;
+}
+
+SpawnRequest
+DttController::takeSpawn()
+{
+    while (!queue_.empty()) {
+        std::optional<PendingThread> picked =
+            queue_.popFirst([&](const PendingThread &p) {
+                if (!config_.serializePerTrigger)
+                    return true;
+                return status_.of(p.trig).running == 0;
+            });
+        if (!picked)
+            return SpawnRequest{};  // all pending triggers busy
+        const RegistryEntry &e = registry_.lookup(picked->trig);
+        if (!e.valid) {
+            ++stats_.counter("staleDiscards");
+            continue;
+        }
+        ++stats_.counter("spawns");
+        return SpawnRequest{true, picked->trig, e.entryPc,
+                            picked->addr, picked->value};
+    }
+    return SpawnRequest{};
+}
+
+void
+DttController::onSpawned(TriggerId t, CtxId ctx)
+{
+    status_.markRunning(t, ctx);
+}
+
+} // namespace dttsim::dtt

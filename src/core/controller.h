@@ -1,0 +1,124 @@
+#pragma once
+
+/**
+ * @file
+ * DttController: the control logic of the data-triggered-threads
+ * extension. It owns the thread registry, thread queue and thread
+ * status table, and implements the paper's mechanisms:
+ *
+ *  - trigger evaluation at triggering-store commit, with silent-store
+ *    suppression (a store that does not change the value fires no
+ *    thread — this is what eliminates redundant computation);
+ *  - duplicate squash (coalescing) of pending threads for the same
+ *    (trigger, address);
+ *  - full-queue handling (stall the store, or drop + sticky overflow
+ *    flag for a software fallback);
+ *  - spawning pending threads onto free SMT contexts;
+ *  - the TWAIT condition the main thread uses as a consumption fence.
+ */
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/dtt_config.h"
+#include "core/queue.h"
+#include "core/registry.h"
+#include "core/status.h"
+
+namespace dttsim::dtt {
+
+/** Commit-time outcome of a triggering store. */
+enum class TstoreOutcome {
+    Silent,     ///< value unchanged; no thread fired
+    Fired,      ///< enqueued a pending thread
+    Coalesced,  ///< squashed into an existing pending thread
+    Dropped,    ///< queue full, Drop policy: overflow flag set
+    Stall,      ///< queue full, Stall policy: retry commit next cycle
+};
+
+/** Work item handed to the core's spawn logic. */
+struct SpawnRequest
+{
+    bool valid = false;
+    TriggerId trig = invalidTrigger;
+    std::uint64_t entryPc = 0;
+    Addr addr = 0;
+    std::uint64_t value = 0;
+};
+
+/** The DTT hardware control unit. */
+class DttController
+{
+  public:
+    DttController(const DttConfig &config, int num_contexts);
+
+    // ----- commit-time events from the core -------------------------
+    /** TREG commit. */
+    void onTregCommit(TriggerId t, std::uint64_t entry_pc);
+
+    /** TUNREG commit. */
+    void onTunregCommit(TriggerId t);
+
+    /** TCLR commit. */
+    void onTclrCommit(TriggerId t);
+
+    /**
+     * Triggering-store commit: evaluates the trigger condition.
+     * @param silent the store did not change memory contents.
+     * @return what happened; Stall means the caller must retry.
+     */
+    TstoreOutcome onTstoreCommit(TriggerId t, Addr addr,
+                                 std::uint64_t value, bool silent);
+
+    /** TRET commit on @p ctx: the DTT finished. */
+    void onTretCommit(CtxId ctx);
+
+    // ----- in-flight tstore tracking (fetch <-> commit window) ------
+    /** A tstore for @p t entered the pipeline (fetched). */
+    void onTstoreFetched(TriggerId t);
+
+    /** The same tstore left the pipeline (committed). Called by the
+     *  core exactly once per fetched tstore, after onTstoreCommit
+     *  returns a non-Stall outcome. */
+    void onTstoreDone(TriggerId t);
+
+    // ----- main-thread synchronization -------------------------------
+    /**
+     * TWAIT condition: no pending queue entries, no running threads
+     * and no in-flight (uncommitted) triggering stores for @p t.
+     */
+    bool waitSatisfied(TriggerId t) const;
+
+    /** TCHK value: outstanding-work count; bit 62 = overflow flag. */
+    std::int64_t chk(TriggerId t) const;
+
+    // ----- spawn interface -------------------------------------------
+    /**
+     * If a pending thread exists and its trigger is still registered,
+     * dequeue it for spawning. Pending entries whose trigger was
+     * unregistered after firing are discarded.
+     */
+    SpawnRequest takeSpawn();
+
+    /** The core placed the spawned thread on @p ctx. */
+    void onSpawned(TriggerId t, CtxId ctx);
+
+    // ----- introspection ----------------------------------------------
+    const ThreadQueue &queue() const { return queue_; }
+    const ThreadRegistry &registry() const { return registry_; }
+    const ThreadStatusTable &statusTable() const { return status_; }
+    const DttConfig &config() const { return config_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    DttConfig config_;
+    ThreadRegistry registry_;
+    ThreadQueue queue_;
+    ThreadStatusTable status_;
+    StatGroup stats_;
+};
+
+} // namespace dttsim::dtt

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Configuration of the data-triggered-threads architecture extension
+ * (thread registry + thread queue + thread status table), the primary
+ * contribution of Tseng & Tullsen (HPCA 2011).
+ */
+
+#include "common/types.h"
+
+namespace dttsim::dtt {
+
+/** What a committing triggering store does when the thread queue is
+ *  full. */
+enum class FullQueuePolicy {
+    /** Stall the store's commit until a queue slot frees up. */
+    Stall,
+    /**
+     * Drop the trigger and set the trigger's sticky overflow flag;
+     * software checks it with TCHK after TWAIT and falls back to the
+     * inline recomputation path, clearing the flag with TCLR.
+     */
+    Drop,
+};
+
+/** DTT hardware parameters. */
+struct DttConfig
+{
+    /** Static trigger table size (thread registry entries). */
+    int maxTriggers = 64;
+
+    /** Thread queue capacity (pending triggered threads). */
+    int threadQueueSize = 16;
+
+    FullQueuePolicy fullPolicy = FullQueuePolicy::Stall;
+
+    /**
+     * Suppress triggers whose store does not change the value (silent
+     * stores). This is the redundancy-elimination mechanism at the
+     * heart of the paper; turning it off is the Fig. 9 ablation
+     * (every tstore spawns a thread).
+     */
+    bool silentSuppression = true;
+
+    /**
+     * Coalesce a newly fired trigger with an already-pending queue
+     * entry for the same (trigger, address) — the paper's duplicate
+     * squash. Requires handlers to be idempotent functions of current
+     * memory state.
+     */
+    bool coalesce = true;
+
+    /**
+     * Spawn a pending thread only when no thread of the *same*
+     * trigger is running (threads of different triggers still run
+     * concurrently). Per-trigger serialization makes handlers atomic
+     * with respect to each other, which is what lets suffix-style
+     * recomputation handlers (e.g. the mcf refresh_potential DTT)
+     * tolerate multiple outstanding updates; workloads get
+     * concurrency by striping independent data across trigger ids.
+     */
+    bool serializePerTrigger = true;
+
+    /** Cycles to initialize a hardware context at spawn. */
+    Cycle spawnLatency = 4;
+};
+
+} // namespace dttsim::dtt

@@ -1,0 +1,66 @@
+#include "core/queue.h"
+
+#include "common/log.h"
+
+namespace dttsim::dtt {
+
+ThreadQueue::ThreadQueue(int capacity, bool coalesce)
+    : capacity_(capacity), coalesce_(coalesce), stats_("threadQueue")
+{
+    if (capacity <= 0)
+        fatal("thread queue capacity must be positive (got %d)",
+              capacity);
+    stats_.counter("enqueues");
+    stats_.counter("coalesces");
+    stats_.counter("rejects");
+    stats_.counter("dequeues");
+    stats_.counter("maxOccupancy");
+}
+
+EnqueueResult
+ThreadQueue::push(const PendingThread &t)
+{
+    if (coalesce_) {
+        for (auto &e : entries_) {
+            if (e.trig == t.trig && e.addr == t.addr) {
+                e.value = t.value;  // newest value wins
+                ++stats_.counter("coalesces");
+                return EnqueueResult::Coalesced;
+            }
+        }
+    }
+    if (static_cast<int>(entries_.size()) >= capacity_) {
+        ++stats_.counter("rejects");
+        return EnqueueResult::Full;
+    }
+    entries_.push_back(t);
+    if (static_cast<std::size_t>(t.trig) >= perTrigger_.size())
+        perTrigger_.resize(static_cast<std::size_t>(t.trig) + 1, 0);
+    ++perTrigger_[static_cast<std::size_t>(t.trig)];
+    ++stats_.counter("enqueues");
+    auto &max_occ = stats_.counter("maxOccupancy");
+    if (entries_.size() > max_occ.value())
+        max_occ += entries_.size() - max_occ.value();
+    return EnqueueResult::Enqueued;
+}
+
+int
+ThreadQueue::pendingFor(TriggerId t) const
+{
+    auto idx = static_cast<std::size_t>(t);
+    return idx < perTrigger_.size() ? perTrigger_[idx] : 0;
+}
+
+PendingThread
+ThreadQueue::pop()
+{
+    if (entries_.empty())
+        panic("pop from empty thread queue");
+    PendingThread t = entries_.front();
+    entries_.pop_front();
+    --perTrigger_[static_cast<std::size_t>(t.trig)];
+    ++stats_.counter("dequeues");
+    return t;
+}
+
+} // namespace dttsim::dtt

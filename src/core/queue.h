@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * Thread queue: the hardware FIFO of pending triggered threads. A
+ * fired trigger enqueues (trigger, address, value); the spawn logic
+ * dequeues into free SMT contexts. Supports the paper's duplicate
+ * squash: a firing that matches a pending (trigger, address) entry
+ * coalesces into it instead of occupying a new slot.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace dttsim::dtt {
+
+/** One pending triggered thread. */
+struct PendingThread
+{
+    TriggerId trig = invalidTrigger;
+    Addr addr = 0;
+    std::uint64_t value = 0;
+};
+
+/** Result of an enqueue attempt. */
+enum class EnqueueResult { Enqueued, Coalesced, Full };
+
+/** Bounded FIFO of pending triggered threads. */
+class ThreadQueue
+{
+  public:
+    /**
+     * @param capacity maximum pending entries.
+     * @param coalesce enable same-(trigger,address) squash.
+     */
+    ThreadQueue(int capacity, bool coalesce);
+
+    /** Try to add a fired trigger. */
+    EnqueueResult push(const PendingThread &t);
+
+    /** True when no entries are pending. */
+    bool empty() const { return entries_.empty(); }
+
+    int size() const { return static_cast<int>(entries_.size()); }
+    int capacity() const { return capacity_; }
+
+    /** Pending entries for one trigger (O(1)). */
+    int pendingFor(TriggerId t) const;
+
+    /** Remove and return the oldest entry. @pre !empty(). */
+    PendingThread pop();
+
+    /**
+     * Remove and return the oldest entry accepted by @p pred, or
+     * nothing. Used by per-trigger serialization to skip triggers
+     * that already have a running thread.
+     */
+    template <typename Pred>
+    std::optional<PendingThread>
+    popFirst(Pred &&pred)
+    {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (pred(*it)) {
+                PendingThread t = *it;
+                entries_.erase(it);
+                --perTrigger_[static_cast<std::size_t>(t.trig)];
+                ++stats_.counter("dequeues");
+                return t;
+            }
+        }
+        return std::nullopt;
+    }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    int capacity_;
+    bool coalesce_;
+    std::deque<PendingThread> entries_;
+    std::vector<int> perTrigger_;
+    StatGroup stats_;
+};
+
+} // namespace dttsim::dtt

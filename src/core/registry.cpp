@@ -1,0 +1,41 @@
+#include "core/registry.h"
+
+#include "common/log.h"
+
+namespace dttsim::dtt {
+
+ThreadRegistry::ThreadRegistry(int max_triggers)
+    : entries_(static_cast<std::size_t>(max_triggers))
+{
+}
+
+void
+ThreadRegistry::checkId(TriggerId t) const
+{
+    if (t < 0 || t >= static_cast<TriggerId>(entries_.size()))
+        fatal("trigger id %d outside registry (capacity %zu); raise "
+              "DttConfig::maxTriggers", t, entries_.size());
+}
+
+void
+ThreadRegistry::install(TriggerId t, std::uint64_t entry_pc)
+{
+    checkId(t);
+    entries_[static_cast<std::size_t>(t)] = {true, entry_pc};
+}
+
+void
+ThreadRegistry::remove(TriggerId t)
+{
+    checkId(t);
+    entries_[static_cast<std::size_t>(t)] = {};
+}
+
+const RegistryEntry &
+ThreadRegistry::lookup(TriggerId t) const
+{
+    checkId(t);
+    return entries_[static_cast<std::size_t>(t)];
+}
+
+} // namespace dttsim::dtt

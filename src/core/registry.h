@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * Thread registry: the static table mapping trigger ids to DTT entry
+ * points. Written by TREG/TUNREG at commit; read at spawn time.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dttsim::dtt {
+
+/** One registry entry. */
+struct RegistryEntry
+{
+    bool valid = false;
+    std::uint64_t entryPc = 0;
+};
+
+/** The thread registry (trigger id -> handler entry point). */
+class ThreadRegistry
+{
+  public:
+    explicit ThreadRegistry(int max_triggers);
+
+    /** Install trigger @p t -> @p entry_pc (TREG commit). */
+    void install(TriggerId t, std::uint64_t entry_pc);
+
+    /** Remove trigger @p t (TUNREG commit); idempotent. */
+    void remove(TriggerId t);
+
+    /** Entry for @p t; invalid entry if unregistered. */
+    const RegistryEntry &lookup(TriggerId t) const;
+
+    int capacity() const { return static_cast<int>(entries_.size()); }
+
+  private:
+    void checkId(TriggerId t) const;
+
+    std::vector<RegistryEntry> entries_;
+};
+
+} // namespace dttsim::dtt

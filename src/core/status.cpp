@@ -1,0 +1,63 @@
+#include "core/status.h"
+
+#include "common/log.h"
+
+namespace dttsim::dtt {
+
+ThreadStatusTable::ThreadStatusTable(int max_triggers, int num_contexts)
+    : status_(static_cast<std::size_t>(max_triggers)),
+      byCtx_(static_cast<std::size_t>(num_contexts), invalidTrigger)
+{
+}
+
+void
+ThreadStatusTable::checkId(TriggerId t) const
+{
+    if (t < 0 || t >= static_cast<TriggerId>(status_.size()))
+        fatal("trigger id %d outside status table (capacity %zu)",
+              t, status_.size());
+}
+
+TriggerStatus &
+ThreadStatusTable::of(TriggerId t)
+{
+    checkId(t);
+    return status_[static_cast<std::size_t>(t)];
+}
+
+const TriggerStatus &
+ThreadStatusTable::of(TriggerId t) const
+{
+    checkId(t);
+    return status_[static_cast<std::size_t>(t)];
+}
+
+void
+ThreadStatusTable::markRunning(TriggerId t, CtxId ctx)
+{
+    checkId(t);
+    if (byCtx_.at(static_cast<std::size_t>(ctx)) != invalidTrigger)
+        panic("context %d spawned while already running trigger %d",
+              ctx, byCtx_[static_cast<std::size_t>(ctx)]);
+    byCtx_[static_cast<std::size_t>(ctx)] = t;
+    ++status_[static_cast<std::size_t>(t)].running;
+}
+
+TriggerId
+ThreadStatusTable::markDone(CtxId ctx)
+{
+    TriggerId t = byCtx_.at(static_cast<std::size_t>(ctx));
+    if (t == invalidTrigger)
+        panic("TRET on context %d with no running trigger", ctx);
+    byCtx_[static_cast<std::size_t>(ctx)] = invalidTrigger;
+    --status_[static_cast<std::size_t>(t)].running;
+    return t;
+}
+
+TriggerId
+ThreadStatusTable::runningOn(CtxId ctx) const
+{
+    return byCtx_.at(static_cast<std::size_t>(ctx));
+}
+
+} // namespace dttsim::dtt

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Thread status table: per-trigger bookkeeping the TWAIT/TCHK
+ * instructions read — how many threads for the trigger are pending in
+ * the queue, running on a context, or still in flight as uncommitted
+ * triggering stores, plus the sticky overflow flag set when the Drop
+ * full-queue policy rejects a firing.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dttsim::dtt {
+
+/** Status of one trigger. */
+struct TriggerStatus
+{
+    int running = 0;          ///< DTTs executing on a context
+    int inflightTstores = 0;  ///< fetched-but-uncommitted tstores
+    bool overflowed = false;  ///< Drop policy rejected a firing
+};
+
+/** Per-trigger status, plus which trigger each context is running. */
+class ThreadStatusTable
+{
+  public:
+    ThreadStatusTable(int max_triggers, int num_contexts);
+
+    TriggerStatus &of(TriggerId t);
+    const TriggerStatus &of(TriggerId t) const;
+
+    /** Record that @p ctx started running a thread of trigger @p t. */
+    void markRunning(TriggerId t, CtxId ctx);
+
+    /** Record that @p ctx finished (TRET commit); returns trigger. */
+    TriggerId markDone(CtxId ctx);
+
+    /** Trigger running on @p ctx, or invalidTrigger. */
+    TriggerId runningOn(CtxId ctx) const;
+
+  private:
+    void checkId(TriggerId t) const;
+
+    std::vector<TriggerStatus> status_;
+    std::vector<TriggerId> byCtx_;
+};
+
+} // namespace dttsim::dtt

@@ -1,0 +1,4 @@
+#include "cpu/arch_state.h"
+
+// ArchState is header-only; this translation unit exists so the build
+// system has a stable home if out-of-line members are added later.

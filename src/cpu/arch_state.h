@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Architectural state of one hardware context: PC, 32 integer
+ * registers (x0 hard-wired to zero) and 32 double-precision FP
+ * registers.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dttsim::cpu {
+
+/** Per-context architectural register state. */
+struct ArchState
+{
+    std::uint64_t pc = 0;
+    std::array<std::uint64_t, 32> x{};
+    std::array<double, 32> f{};
+
+    std::uint64_t
+    getX(int i) const
+    {
+        return i == 0 ? 0 : x[static_cast<std::size_t>(i)];
+    }
+
+    void
+    setX(int i, std::uint64_t v)
+    {
+        if (i != 0)
+            x[static_cast<std::size_t>(i)] = v;
+    }
+
+    double getF(int i) const { return f[static_cast<std::size_t>(i)]; }
+    void setF(int i, double v) { f[static_cast<std::size_t>(i)] = v; }
+
+    /** Reset to a clean state with the given entry PC and stack. */
+    void
+    reset(std::uint64_t entry_pc, std::uint64_t stack_ptr)
+    {
+        pc = entry_pc;
+        x.fill(0);
+        f.fill(0.0);
+        x[2] = stack_ptr;  // sp
+    }
+};
+
+} // namespace dttsim::cpu

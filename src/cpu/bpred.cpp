@@ -1,0 +1,143 @@
+#include "cpu/bpred.h"
+
+#include "common/log.h"
+
+namespace dttsim::cpu {
+
+namespace {
+
+bool
+isCall(const isa::Inst &inst)
+{
+    return (inst.op == isa::Opcode::JAL || inst.op == isa::Opcode::JALR)
+        && inst.rd == 1;  // writes ra
+}
+
+bool
+isReturn(const isa::Inst &inst)
+{
+    return inst.op == isa::Opcode::JALR && inst.rd == 0 && inst.rs1 == 1;
+}
+
+} // namespace
+
+Bpred::Bpred(const BpredConfig &config)
+    : config_(config),
+      historyMask_((1ull << config.historyBits) - 1),
+      counters_(1ull << config.historyBits, 1),  // weakly not-taken
+      btb_(static_cast<std::size_t>(config.btbEntries)),
+      history_(static_cast<std::size_t>(config.numContexts), 0),
+      ras_(static_cast<std::size_t>(config.numContexts)),
+      stats_("bpred")
+{
+    stats_.counter("condBranches");
+    stats_.counter("condMispredicts");
+    stats_.counter("indirects");
+    stats_.counter("indirectMispredicts");
+    stats_.counter("rasHits");
+}
+
+std::uint64_t
+Bpred::gshareIndex(CtxId ctx, std::uint64_t pc) const
+{
+    return (pc ^ history_[static_cast<std::size_t>(ctx)]) & historyMask_;
+}
+
+Prediction
+Bpred::predict(CtxId ctx, std::uint64_t pc, const isa::Inst &inst)
+{
+    Prediction p;
+    switch (inst.op) {
+      case isa::Opcode::JAL:
+        p.taken = true;
+        p.target = static_cast<std::uint64_t>(inst.imm);
+        return p;
+      case isa::Opcode::JALR: {
+        p.taken = true;
+        auto &ras = ras_[static_cast<std::size_t>(ctx)];
+        if (isReturn(inst) && !ras.empty()) {
+            p.target = ras.back();
+            return p;
+        }
+        const BtbEntry &e =
+            btb_[pc % static_cast<std::uint64_t>(config_.btbEntries)];
+        p.target = e.pc == pc ? e.target : pc + 1;
+        return p;
+      }
+      default: {
+        // Conditional branch: gshare direction, decoded target.
+        std::uint8_t ctr = counters_[gshareIndex(ctx, pc)];
+        p.taken = ctr >= 2;
+        p.target = p.taken ? static_cast<std::uint64_t>(inst.imm)
+                           : pc + 1;
+        return p;
+      }
+    }
+}
+
+void
+Bpred::update(CtxId ctx, std::uint64_t pc, const isa::Inst &inst,
+              bool taken, std::uint64_t target)
+{
+    auto &ras = ras_[static_cast<std::size_t>(ctx)];
+    switch (inst.op) {
+      case isa::Opcode::JAL:
+        if (isCall(inst)) {
+            if (ras.size() >= static_cast<std::size_t>(config_.rasEntries))
+                ras.erase(ras.begin());
+            ras.push_back(pc + 1);
+        }
+        return;
+      case isa::Opcode::JALR: {
+        ++stats_.counter("indirects");
+        if (isReturn(inst)) {
+            if (!ras.empty()) {
+                if (ras.back() == target)
+                    ++stats_.counter("rasHits");
+                else
+                    ++stats_.counter("indirectMispredicts");
+                ras.pop_back();
+            } else {
+                ++stats_.counter("indirectMispredicts");
+            }
+        } else {
+            BtbEntry &e =
+                btb_[pc % static_cast<std::uint64_t>(config_.btbEntries)];
+            if (e.pc != pc || e.target != target)
+                ++stats_.counter("indirectMispredicts");
+            e.pc = pc;
+            e.target = target;
+        }
+        if (isCall(inst)) {
+            if (ras.size() >= static_cast<std::size_t>(config_.rasEntries))
+                ras.erase(ras.begin());
+            ras.push_back(pc + 1);
+        }
+        return;
+      }
+      default: {
+        ++stats_.counter("condBranches");
+        std::uint64_t idx = gshareIndex(ctx, pc);
+        std::uint8_t &ctr = counters_[idx];
+        bool predicted = ctr >= 2;
+        if (predicted != taken)
+            ++stats_.counter("condMispredicts");
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        auto &hist = history_[static_cast<std::size_t>(ctx)];
+        hist = ((hist << 1) | (taken ? 1 : 0)) & historyMask_;
+        return;
+      }
+    }
+}
+
+void
+Bpred::resetContext(CtxId ctx)
+{
+    history_[static_cast<std::size_t>(ctx)] = 0;
+    ras_[static_cast<std::size_t>(ctx)].clear();
+}
+
+} // namespace dttsim::cpu

@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * Branch prediction: gshare direction predictor with per-context
+ * global history, a direct-mapped tagged BTB for indirect targets, and
+ * a per-context return-address stack. Tables are shared between SMT
+ * contexts (main thread and DTTs), history and RAS are private — the
+ * standard SMT arrangement.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/inst.h"
+
+namespace dttsim::cpu {
+
+/** Predictor sizing. */
+struct BpredConfig
+{
+    int historyBits = 12;    ///< gshare history/table index width
+    int btbEntries = 2048;   ///< direct-mapped BTB entries
+    int rasEntries = 16;     ///< return-address stack depth
+    int numContexts = 4;     ///< hardware contexts (for history/RAS)
+};
+
+/** Direction + target prediction for one control instruction. */
+struct Prediction
+{
+    bool taken = false;
+    std::uint64_t target = 0;
+};
+
+/** gshare + BTB + RAS predictor. */
+class Bpred
+{
+  public:
+    explicit Bpred(const BpredConfig &config);
+
+    /**
+     * Predict a decoded control instruction at @p pc for context
+     * @p ctx. Direct targets are exact (decoded form); JALR targets
+     * come from the RAS (returns) or BTB (other indirects).
+     */
+    Prediction predict(CtxId ctx, std::uint64_t pc, const isa::Inst &inst);
+
+    /**
+     * Train with the actual outcome and, for calls/returns, maintain
+     * the RAS. Must be called for every control instruction in fetch
+     * order (we resolve at dispatch, which is fetch order per context).
+     */
+    void update(CtxId ctx, std::uint64_t pc, const isa::Inst &inst,
+                bool taken, std::uint64_t target);
+
+    /** Reset the private state of a context (on DTT spawn). */
+    void resetContext(CtxId ctx);
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    std::uint64_t gshareIndex(CtxId ctx, std::uint64_t pc) const;
+
+    BpredConfig config_;
+    std::uint64_t historyMask_;
+    std::vector<std::uint8_t> counters_;     ///< 2-bit saturating
+    struct BtbEntry
+    {
+        std::uint64_t pc = ~0ull;
+        std::uint64_t target = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::vector<std::uint64_t> history_;      ///< per context
+    std::vector<std::vector<std::uint64_t>> ras_;  ///< per context
+    StatGroup stats_;
+};
+
+} // namespace dttsim::cpu

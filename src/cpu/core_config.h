@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Timing-core configuration: an SMT out-of-order superscalar in the
+ * style the paper simulates (ICOUNT fetch over hardware contexts,
+ * shared ROB/IQ/LSQ partitions, pooled functional units). Defaults
+ * approximate the era's 4-context SMT research configurations.
+ */
+
+#include "cpu/bpred.h"
+
+namespace dttsim::cpu {
+
+/** All timing parameters of the core. */
+struct CoreConfig
+{
+    /** Hardware contexts: context 0 runs the main thread; the rest
+     *  are available to spawned data-triggered threads. */
+    int numContexts = 4;
+
+    int fetchWidth = 8;     ///< instructions fetched per cycle (total)
+    int fetchThreads = 2;   ///< contexts fetched per cycle (ICOUNT2.8)
+    int fetchBlockInsts = 8; ///< fetch stops at this block boundary
+    int frontendDepth = 5;  ///< fetch-to-dispatch latency (cycles)
+    int frontendQSize = 24; ///< per-context fetched-instruction buffer
+    int dispatchWidth = 8;
+    int issueWidth = 6;
+    int commitWidth = 8;
+
+    int robSize = 256;      ///< shared reorder buffer entries
+    int iqSize = 64;        ///< shared issue queue entries
+    int lqSize = 48;        ///< shared load queue entries
+    int sqSize = 32;        ///< shared store queue entries
+
+    /**
+     * Queue entries reserved per *other* context: context c may not
+     * allocate beyond size - reserve*(numContexts-1) entries of any
+     * shared queue. Guarantees forward progress for data-triggered
+     * threads even when the main thread is commit-stalled on a full
+     * thread queue (otherwise the stalled store's context can wedge
+     * the store queue the handler needs — a deadlock cycle).
+     */
+    int queueReservePerCtx = 2;
+
+    // Functional-unit pool (issue slots per class per cycle; fully
+    // pipelined).
+    int intAlu = 4;
+    int intMulDiv = 2;
+    int fpAlu = 2;
+    int fpMulDiv = 2;
+    int memPorts = 2;
+
+    /** Extra redirect cycles after a mispredicted branch resolves
+     *  (refill is additionally paid through frontendDepth). */
+    int mispredictPenalty = 3;
+
+    /**
+     * Hardware instruction reuse (Sodani/Sohi-style) — the
+     * value-locality comparison machine: long-latency instructions
+     * and loads that match a remembered execution bypass their
+     * execution latency (and the D-cache access). They still consume
+     * fetch, rename, issue and commit bandwidth, which is why reuse
+     * alone recovers far less than eliminating the computation with
+     * DTTs.
+     */
+    bool reuseBuffer = false;
+    int reuseEntriesPerPc = 8;
+
+    BpredConfig bpred;
+};
+
+} // namespace dttsim::cpu

@@ -1,0 +1,391 @@
+#include "cpu/executor.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/log.h"
+#include "isa/program.h"
+
+namespace dttsim::cpu {
+
+namespace {
+
+std::int64_t
+asSigned(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v);
+}
+
+/** Signed division avoiding UB on INT64_MIN / -1 and /0. */
+std::int64_t
+safeDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+std::int64_t
+safeRem(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+/** Truncate a double to int64, clamping NaN/inf/overflow. */
+std::int64_t
+toInt(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 9.2233720368547758e18)
+        return std::numeric_limits<std::int64_t>::max();
+    if (d <= -9.2233720368547758e18)
+        return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(d);
+}
+
+/** Truncate a store value to the access size. */
+std::uint64_t
+sized(std::uint64_t v, int size)
+{
+    switch (size) {
+      case 1: return v & 0xffull;
+      case 4: return v & 0xffffffffull;
+      default: return v;
+    }
+}
+
+} // namespace
+
+StepInfo
+step(ArchState &st, mem::Memory &memory, const isa::Program &prog,
+     DttHooks *hooks)
+{
+    using isa::Opcode;
+
+    StepInfo info;
+    const isa::Inst &inst = prog.at(st.pc);
+    info.inst = inst;
+    info.pc = st.pc;
+    std::uint64_t next = st.pc + 1;
+
+    auto a = [&] { return st.getX(inst.rs1); };
+    auto b = [&] { return st.getX(inst.rs2); };
+    auto fa = [&] { return st.getF(inst.rs1); };
+    auto fb = [&] { return st.getF(inst.rs2); };
+    auto setRd = [&](std::uint64_t v) { st.setX(inst.rd, v); };
+    auto setFd = [&](double v) { st.setF(inst.rd, v); };
+    auto memAddr = [&] {
+        return st.getX(inst.rs1) + static_cast<std::uint64_t>(inst.imm);
+    };
+    auto branch = [&](bool cond) {
+        info.isControl = true;
+        if (cond) {
+            info.taken = true;
+            next = static_cast<std::uint64_t>(inst.imm);
+        }
+    };
+    auto doLoad = [&](int size) {
+        Addr addr = memAddr();
+        std::uint64_t v = memory.read(addr, size);
+        info.mem = MemEffect{true, true, addr, size, v, 0};
+        return v;
+    };
+    auto doStore = [&](int size, std::uint64_t v) {
+        Addr addr = memAddr();
+        std::uint64_t old = memory.read(addr, size);
+        std::uint64_t nv = sized(v, size);
+        memory.write(addr, size, nv);
+        info.mem = MemEffect{true, false, addr, size, nv, old};
+    };
+
+    switch (inst.op) {
+      case Opcode::ADD: setRd(a() + b()); break;
+      case Opcode::SUB: setRd(a() - b()); break;
+      case Opcode::MUL: setRd(a() * b()); break;
+      case Opcode::DIV:
+        setRd(static_cast<std::uint64_t>(
+            safeDiv(asSigned(a()), asSigned(b()))));
+        break;
+      case Opcode::REM:
+        setRd(static_cast<std::uint64_t>(
+            safeRem(asSigned(a()), asSigned(b()))));
+        break;
+      case Opcode::AND: setRd(a() & b()); break;
+      case Opcode::OR: setRd(a() | b()); break;
+      case Opcode::XOR: setRd(a() ^ b()); break;
+      case Opcode::SLL: setRd(a() << (b() & 63)); break;
+      case Opcode::SRL: setRd(a() >> (b() & 63)); break;
+      case Opcode::SRA:
+        setRd(static_cast<std::uint64_t>(asSigned(a())
+                                         >> (b() & 63)));
+        break;
+      case Opcode::SLT:
+        setRd(asSigned(a()) < asSigned(b()) ? 1 : 0);
+        break;
+      case Opcode::SLTU: setRd(a() < b() ? 1 : 0); break;
+
+      case Opcode::ADDI:
+        setRd(a() + static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Opcode::ANDI:
+        setRd(a() & static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Opcode::ORI:
+        setRd(a() | static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Opcode::XORI:
+        setRd(a() ^ static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Opcode::SLLI: setRd(a() << (inst.imm & 63)); break;
+      case Opcode::SRLI: setRd(a() >> (inst.imm & 63)); break;
+      case Opcode::SRAI:
+        setRd(static_cast<std::uint64_t>(asSigned(a())
+                                         >> (inst.imm & 63)));
+        break;
+      case Opcode::SLTI:
+        setRd(asSigned(a()) < inst.imm ? 1 : 0);
+        break;
+      case Opcode::LI:
+        setRd(static_cast<std::uint64_t>(inst.imm));
+        break;
+
+      case Opcode::LD: setRd(doLoad(8)); break;
+      case Opcode::LW: {
+        std::uint64_t v = doLoad(4);
+        setRd(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(v))));
+        break;
+      }
+      case Opcode::LB: setRd(doLoad(1)); break;
+      case Opcode::SD: doStore(8, b()); break;
+      case Opcode::SW: doStore(4, b()); break;
+      case Opcode::SB: doStore(1, b()); break;
+
+      case Opcode::FLD: {
+        Addr addr = memAddr();
+        double d = memory.readDouble(addr);
+        std::uint64_t raw = memory.read64(addr);
+        info.mem = MemEffect{true, true, addr, 8, raw, 0};
+        setFd(d);
+        break;
+      }
+      case Opcode::FSD: {
+        double d = st.getF(inst.rs2);
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, 8);
+        doStore(8, bits);
+        break;
+      }
+      case Opcode::FLI: setFd(inst.fimm); break;
+      case Opcode::FADD: setFd(fa() + fb()); break;
+      case Opcode::FSUB: setFd(fa() - fb()); break;
+      case Opcode::FMUL: setFd(fa() * fb()); break;
+      case Opcode::FDIV: setFd(fa() / fb()); break;
+      case Opcode::FSQRT: setFd(std::sqrt(fa())); break;
+      case Opcode::FMIN: setFd(std::fmin(fa(), fb())); break;
+      case Opcode::FMAX: setFd(std::fmax(fa(), fb())); break;
+      case Opcode::FNEG: setFd(-fa()); break;
+      case Opcode::FABS: setFd(std::fabs(fa())); break;
+      case Opcode::FCVTDW:
+        setFd(static_cast<double>(asSigned(a())));
+        break;
+      case Opcode::FCVTWD:
+        setRd(static_cast<std::uint64_t>(toInt(fa())));
+        break;
+      case Opcode::FEQ: setRd(fa() == fb() ? 1 : 0); break;
+      case Opcode::FLT: setRd(fa() < fb() ? 1 : 0); break;
+      case Opcode::FLE: setRd(fa() <= fb() ? 1 : 0); break;
+
+      case Opcode::BEQ: branch(a() == b()); break;
+      case Opcode::BNE: branch(a() != b()); break;
+      case Opcode::BLT: branch(asSigned(a()) < asSigned(b())); break;
+      case Opcode::BGE: branch(asSigned(a()) >= asSigned(b())); break;
+      case Opcode::BLTU: branch(a() < b()); break;
+      case Opcode::BGEU: branch(a() >= b()); break;
+      case Opcode::JAL:
+        setRd(st.pc + 1);
+        info.isControl = true;
+        info.taken = true;
+        next = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Opcode::JALR: {
+        std::uint64_t target =
+            a() + static_cast<std::uint64_t>(inst.imm);
+        setRd(st.pc + 1);
+        info.isControl = true;
+        info.taken = true;
+        next = target;
+        break;
+      }
+
+      case Opcode::NOP: break;
+      case Opcode::HALT:
+        info.halted = true;
+        next = st.pc;
+        break;
+
+      case Opcode::TREG:
+        if (hooks)
+            hooks->treg(inst.trig, static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Opcode::TUNREG:
+        if (hooks)
+            hooks->tunreg(inst.trig);
+        break;
+      case Opcode::TSD:
+      case Opcode::TSW:
+      case Opcode::TSB: {
+        int size = isa::accessSize(inst.op);
+        doStore(size, b());
+        info.isTstore = true;
+        info.trig = inst.trig;
+        info.silent = info.mem.oldValue == info.mem.value;
+        if (hooks)
+            hooks->tstore(inst.trig, info.mem.addr, info.mem.oldValue,
+                          info.mem.value, info.silent);
+        break;
+      }
+      case Opcode::TWAIT:
+        info.isTwait = true;
+        info.trig = inst.trig;
+        break;
+      case Opcode::TCHK:
+        setRd(static_cast<std::uint64_t>(
+            hooks ? hooks->chk(inst.trig) : 0));
+        info.trig = inst.trig;
+        break;
+      case Opcode::TCLR:
+        if (hooks)
+            hooks->tclr(inst.trig);
+        info.trig = inst.trig;
+        break;
+      case Opcode::TRET:
+        info.isTret = true;
+        next = st.pc;  // context is retired by the caller
+        break;
+
+      case Opcode::NumOpcodes:
+        panic("executed invalid opcode at pc %llu",
+              static_cast<unsigned long long>(st.pc));
+    }
+
+    st.pc = next;
+    info.nextPc = next;
+    return info;
+}
+
+void
+loadData(const isa::Program &prog, mem::Memory &memory)
+{
+    for (const auto &chunk : prog.dataChunks())
+        memory.writeBytes(chunk.base, chunk.bytes.data(),
+                          chunk.bytes.size());
+}
+
+std::uint64_t
+stackFor(CtxId ctx)
+{
+    return isa::kStackTop
+        - static_cast<std::uint64_t>(ctx) * isa::kStackSize;
+}
+
+// FunctionalRunner -----------------------------------------------------
+
+FunctionalRunner::FunctionalRunner(isa::Program prog)
+    : prog_(std::move(prog))
+{
+    loadData(prog_, memory_);
+    main_.reset(prog_.entry(), stackFor(0));
+}
+
+FuncRunResult
+FunctionalRunner::run(std::uint64_t max_insts)
+{
+    budget_ = max_insts;
+    while (budget_ > 0) {
+        --budget_;
+        StepInfo info = step(main_, memory_, prog_, this);
+        ++result_.mainInstructions;
+        if (observer_)
+            observer_(info, 0);
+        if (info.halted) {
+            result_.halted = true;
+            break;
+        }
+        if (info.isTret)
+            fatal("TRET executed by the main thread at pc %llu",
+                  static_cast<unsigned long long>(info.pc));
+    }
+    return result_;
+}
+
+void
+FunctionalRunner::tstore(TriggerId t, Addr addr, std::uint64_t old_val,
+                         std::uint64_t new_val, bool silent)
+{
+    (void)old_val;
+    ++result_.tstores;
+    if (silent) {
+        ++result_.silentTstores;
+        return;
+    }
+    auto it = registry_.find(t);
+    if (it == registry_.end())
+        return;  // trigger fired with no registered handler
+    runHandler(it->second, addr, new_val, curDepth_ + 1);
+}
+
+void
+FunctionalRunner::treg(TriggerId t, std::uint64_t entry_pc)
+{
+    registry_[t] = entry_pc;
+}
+
+void
+FunctionalRunner::tunreg(TriggerId t)
+{
+    registry_.erase(t);
+}
+
+void
+FunctionalRunner::runHandler(std::uint64_t entry_pc, Addr addr,
+                             std::uint64_t value, int depth)
+{
+    if (depth > kMaxDepth)
+        fatal("DTT trigger nesting exceeds depth %d", kMaxDepth);
+    ++result_.dttRuns;
+    int saved_depth = curDepth_;
+    curDepth_ = depth;
+
+    ArchState st;
+    st.reset(entry_pc, stackFor(depth));
+    st.setX(10, addr);   // a0 = triggering address
+    st.setX(11, value);  // a1 = stored value
+
+    while (budget_ > 0) {
+        --budget_;
+        StepInfo info = step(st, memory_, prog_, this);
+        ++result_.dttInstructions;
+        if (observer_)
+            observer_(info, depth);
+        if (info.isTret) {
+            curDepth_ = saved_depth;
+            return;
+        }
+        if (info.halted)
+            fatal("HALT executed inside a DTT handler at pc %llu",
+                  static_cast<unsigned long long>(info.pc));
+    }
+    fatal("instruction budget exhausted inside DTT handler");
+}
+
+} // namespace dttsim::cpu

@@ -1,0 +1,159 @@
+#pragma once
+
+/**
+ * @file
+ * Functional execution of dttsim instructions: the semantic reference
+ * for the ISA. Used directly by the redundancy profiler and the
+ * FunctionalRunner (which runs DTT handlers inline, synchronously),
+ * and by the OOO timing core as its execute stage.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "cpu/arch_state.h"
+#include "isa/program.h"
+#include "mem/memory.h"
+
+namespace dttsim::cpu {
+
+/**
+ * Callbacks through which the executor reports DTT-extension events.
+ * The timing simulator routes these to the DttController; the
+ * FunctionalRunner services them inline.
+ */
+class DttHooks
+{
+  public:
+    virtual ~DttHooks() = default;
+
+    /** TSTORE committed. @param silent old == new (no trigger). */
+    virtual void
+    tstore(TriggerId t, Addr addr, std::uint64_t old_val,
+           std::uint64_t new_val, bool silent)
+    {
+        (void)t; (void)addr; (void)old_val; (void)new_val; (void)silent;
+    }
+
+    /** TREG: attach @p entry_pc to trigger @p t. */
+    virtual void treg(TriggerId t, std::uint64_t entry_pc)
+    {
+        (void)t; (void)entry_pc;
+    }
+
+    /** TUNREG: detach trigger @p t. */
+    virtual void tunreg(TriggerId t) { (void)t; }
+
+    /** TCHK result: outstanding-work count, overflow flag in bit 62. */
+    virtual std::int64_t chk(TriggerId t) { (void)t; return 0; }
+
+    /** TCLR: clear trigger @p t's sticky overflow flag. */
+    virtual void tclr(TriggerId t) { (void)t; }
+};
+
+/** Memory side-effects of one executed instruction. */
+struct MemEffect
+{
+    bool valid = false;
+    bool isLoad = false;
+    Addr addr = 0;
+    int size = 0;
+    std::uint64_t value = 0;    ///< loaded or stored value (sized)
+    std::uint64_t oldValue = 0; ///< pre-store memory contents (sized)
+};
+
+/** Everything the caller needs to know about one executed step. */
+struct StepInfo
+{
+    isa::Inst inst;
+    std::uint64_t pc = 0;
+    std::uint64_t nextPc = 0;
+    bool isControl = false;
+    bool taken = false;      ///< control transfer redirected the PC
+    bool halted = false;     ///< HALT executed
+    bool isTret = false;     ///< TRET executed
+    bool isTwait = false;
+    MemEffect mem;
+    // tstore decomposition (mem also valid for tstores)
+    bool isTstore = false;
+    bool silent = false;
+    TriggerId trig = invalidTrigger;
+};
+
+/**
+ * Execute the instruction at @p state.pc, updating @p state and
+ * @p memory. DTT events are reported through @p hooks (may be null
+ * for programs without the extension). TWAIT executes as a no-op at
+ * this level — scheduling/blocking is the caller's job.
+ */
+StepInfo step(ArchState &state, mem::Memory &memory,
+              const isa::Program &prog, DttHooks *hooks);
+
+/** Copy a program's initialized data chunks into simulated memory. */
+void loadData(const isa::Program &prog, mem::Memory &memory);
+
+/** Stack pointer assigned to hardware context @p ctx. */
+std::uint64_t stackFor(CtxId ctx);
+
+/** Outcome of a FunctionalRunner run. */
+struct FuncRunResult
+{
+    std::uint64_t mainInstructions = 0;
+    std::uint64_t dttInstructions = 0;
+    std::uint64_t dttRuns = 0;       ///< handler invocations
+    std::uint64_t silentTstores = 0;
+    std::uint64_t tstores = 0;
+    bool halted = false;
+};
+
+/**
+ * Functional-only whole-program runner with *inline* DTT semantics:
+ * every non-silent triggering store immediately runs the registered
+ * handler to completion (nested triggers allowed up to a depth limit).
+ * This is the architectural reference model: the timing simulator must
+ * reach the same final memory state for well-formed DTT programs
+ * (handlers idempotent in current memory state, consumers fenced by
+ * TWAIT).
+ */
+class FunctionalRunner : public DttHooks
+{
+  public:
+    /** Per-step observer: step info plus handler nesting depth
+     *  (0 = main thread). */
+    using Observer = std::function<void(const StepInfo &, int depth)>;
+
+    /** The runner owns a copy of @p prog (temporaries are safe). */
+    explicit FunctionalRunner(isa::Program prog);
+
+    /** Run until HALT or @p max_insts total instructions. */
+    FuncRunResult run(std::uint64_t max_insts = 1ull << 32);
+
+    mem::Memory &memory() { return memory_; }
+    const ArchState &mainState() const { return main_; }
+    void setObserver(Observer obs) { observer_ = std::move(obs); }
+
+    // DttHooks: inline servicing.
+    void tstore(TriggerId t, Addr addr, std::uint64_t old_val,
+                std::uint64_t new_val, bool silent) override;
+    void treg(TriggerId t, std::uint64_t entry_pc) override;
+    void tunreg(TriggerId t) override;
+    std::int64_t chk(TriggerId t) override { (void)t; return 0; }
+
+  private:
+    void runHandler(std::uint64_t entry_pc, Addr addr,
+                    std::uint64_t value, int depth);
+
+    isa::Program prog_;
+    mem::Memory memory_;
+    ArchState main_;
+    std::unordered_map<TriggerId, std::uint64_t> registry_;
+    Observer observer_;
+    FuncRunResult result_;
+    std::uint64_t budget_ = 0;
+    int curDepth_ = 0;
+    static constexpr int kMaxDepth = 8;
+};
+
+} // namespace dttsim::cpu

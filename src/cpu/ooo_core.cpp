@@ -1,0 +1,661 @@
+#include "cpu/ooo_core.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "isa/disasm.h"
+#include "isa/operands.h"
+
+namespace dttsim::cpu {
+
+namespace {
+
+/** Map an FU class onto one of the 5 configured issue pools. */
+int
+poolOf(isa::FuClass fu)
+{
+    switch (fu) {
+      case isa::FuClass::IntAlu:
+      case isa::FuClass::Branch:
+      case isa::FuClass::Dtt:
+        return 0;
+      case isa::FuClass::IntMul:
+      case isa::FuClass::IntDiv:
+        return 1;
+      case isa::FuClass::FpAdd:
+        return 2;
+      case isa::FuClass::FpMul:
+      case isa::FuClass::FpDiv:
+        return 3;
+      case isa::FuClass::Mem:
+        return 4;
+    }
+    return 0;
+}
+
+using isa::destReg;
+using isa::forEachSource;
+
+/** Instructions the hardware reuse buffer may bypass: loads and
+ *  multi-cycle arithmetic. Stores must still write, control must
+ *  still steer, DTT ops must still reach the controller. */
+bool
+reuseEligible(const isa::Inst &inst)
+{
+    if (isa::isStore(inst.op) || isa::isControl(inst.op))
+        return false;
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    if (info.fu == isa::FuClass::Dtt)
+        return false;
+    return isa::isLoad(inst.op) || info.latency > 1;
+}
+
+std::uint64_t
+fpBits(double d)
+{
+    std::uint64_t v;
+    std::memcpy(&v, &d, 8);
+    return v;
+}
+
+} // namespace
+
+OooCore::OooCore(const CoreConfig &config, const isa::Program &prog,
+                 mem::Hierarchy &hierarchy,
+                 dtt::DttController *controller)
+    : config_(config),
+      prog_(prog),
+      hierarchy_(hierarchy),
+      controller_(controller),
+      bpred_([&] {
+          BpredConfig b = config.bpred;
+          b.numContexts = config.numContexts;
+          return b;
+      }()),
+      fetchHooks_(controller),
+      ctxs_(static_cast<std::size_t>(config.numContexts)),
+      wheel_(kWheelSize),
+      stats_("core")
+{
+    if (config_.numContexts < 1)
+        fatal("core needs at least one hardware context");
+    if (config_.reuseBuffer)
+        reuse_ = std::make_unique<ReuseBufferSet>(
+            prog_.size(), config_.reuseEntriesPerPc);
+    loadData(prog_, memory_);
+    CtxState &main = ctxs_[0];
+    main.active = true;
+    main.arch.reset(prog_.entry(), stackFor(0));
+
+    stats_.counter("cycles");
+    stats_.counter("fetched");
+    stats_.counter("committed");
+    stats_.counter("mainCommitted");
+    stats_.counter("dttCommitted");
+    stats_.counter("twaitStallCycles");
+    stats_.counter("tstoreCommitStalls");
+    stats_.counter("robFullStalls");
+    stats_.counter("iqFullStalls");
+    stats_.counter("lsqFullStalls");
+    stats_.counter("icacheBlockCycles");
+    stats_.counter("spawns");
+    stats_.counter("reusedInsts");
+    stats_.counter("coRunnerCommitted");
+}
+
+const ArchState &
+OooCore::archState(CtxId ctx) const
+{
+    return ctxs_.at(static_cast<std::size_t>(ctx)).arch;
+}
+
+void
+OooCore::startCoRunner(CtxId ctx, std::uint64_t entry_pc)
+{
+    if (ctx <= 0 || ctx >= config_.numContexts)
+        fatal("co-runner context %d out of range", ctx);
+    if (now_ != 0)
+        panic("co-runners must start before the first cycle");
+    CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+    if (c.active)
+        fatal("context %d already occupied", ctx);
+    c.active = true;
+    c.isCoRunner = true;
+    c.arch.reset(entry_pc, stackFor(ctx));
+}
+
+void
+OooCore::scheduleCompletion(DynInst &di, Cycle when)
+{
+    if (when <= now_)
+        panic("completion scheduled in the past");
+    if (when - now_ >= kWheelSize)
+        panic("latency %llu exceeds completion wheel",
+              static_cast<unsigned long long>(when - now_));
+    di.completeCycle = when;
+    wheel_[when % kWheelSize].push_back(&di);
+}
+
+bool
+OooCore::takeFuSlot(isa::FuClass fu)
+{
+    int pool = poolOf(fu);
+    int limit = 0;
+    switch (pool) {
+      case 0: limit = config_.intAlu; break;
+      case 1: limit = config_.intMulDiv; break;
+      case 2: limit = config_.fpAlu; break;
+      case 3: limit = config_.fpMulDiv; break;
+      case 4: limit = config_.memPorts; break;
+    }
+    if (fuUsed_[pool] >= limit)
+        return false;
+    ++fuUsed_[pool];
+    return true;
+}
+
+int
+OooCore::icount(const CtxState &c) const
+{
+    return static_cast<int>(c.frontend.size() + c.rob.size());
+}
+
+int
+OooCore::ctxCap(int total_size) const
+{
+    int cap = total_size
+        - config_.queueReservePerCtx * (config_.numContexts - 1);
+    return cap < 1 ? 1 : cap;
+}
+
+void
+OooCore::traceEvent(const char *stage, const DynInst &di,
+                    const char *annotation)
+{
+    if (trace_ == nullptr)
+        return;
+    std::fprintf(trace_, "%8llu %-3s c%d %6llu  %-28s %s\n",
+                 static_cast<unsigned long long>(now_), stage, di.ctx,
+                 static_cast<unsigned long long>(di.info.pc),
+                 isa::disassemble(di.info.inst).c_str(), annotation);
+}
+
+void
+OooCore::doComplete()
+{
+    auto &slot = wheel_[now_ % kWheelSize];
+    for (DynInst *di : slot) {
+        di->completed = true;
+        traceEvent("CMP", *di);
+        for (DynInst *consumer : di->consumers) {
+            if (--consumer->depCount < 0)
+                panic("dependence count underflow");
+        }
+        if (di->blocksFetchOnComplete) {
+            CtxState &c = ctxs_[static_cast<std::size_t>(di->ctx)];
+            c.fetchBlockedOnBranch = false;
+            Cycle resume = now_
+                + static_cast<Cycle>(config_.mispredictPenalty);
+            if (resume > c.fetchReady)
+                c.fetchReady = resume;
+        }
+    }
+    slot.clear();
+}
+
+void
+OooCore::releaseCommittedWriter(CtxState &c, const DynInst &di)
+{
+    bool is_fp;
+    int idx;
+    if (destReg(di.info.inst, is_fp, idx)
+        && c.lastWriter[is_fp ? 1 : 0][idx] == &di)
+        c.lastWriter[is_fp ? 1 : 0][idx] = nullptr;
+}
+
+void
+OooCore::doCommit()
+{
+    int budget = config_.commitWidth;
+    int n = config_.numContexts;
+    for (int k = 0; k < n && budget > 0; ++k) {
+        auto ci = static_cast<std::size_t>((rrCommit_ + k) % n);
+        CtxState &c = ctxs_[ci];
+        while (budget > 0 && !c.rob.empty()) {
+            DynInst &di = c.rob.front();
+            if (!di.completed)
+                break;
+            const isa::Inst &inst = di.info.inst;
+
+            if (di.info.isTstore && controller_) {
+                auto outcome = controller_->onTstoreCommit(
+                    inst.trig, di.info.mem.addr, di.info.mem.value,
+                    di.info.silent);
+                if (outcome == dtt::TstoreOutcome::Stall) {
+                    ++stats_.counter("tstoreCommitStalls");
+                    traceEvent("TQS", di, "thread queue full");
+                    break;  // retry next cycle
+                }
+                controller_->onTstoreDone(inst.trig);
+            }
+            if (di.info.mem.valid && !di.info.mem.isLoad)
+                hierarchy_.accessData(di.info.mem.addr, true, now_);
+
+            switch (inst.op) {
+              case isa::Opcode::TREG:
+                if (controller_)
+                    controller_->onTregCommit(
+                        inst.trig,
+                        static_cast<std::uint64_t>(inst.imm));
+                break;
+              case isa::Opcode::TUNREG:
+                if (controller_)
+                    controller_->onTunregCommit(inst.trig);
+                break;
+              case isa::Opcode::TCLR:
+                if (controller_)
+                    controller_->onTclrCommit(inst.trig);
+                break;
+              case isa::Opcode::TRET:
+                if (ci == 0)
+                    fatal("TRET committed by the main thread");
+                if (controller_)
+                    controller_->onTretCommit(static_cast<CtxId>(ci));
+                break;
+              case isa::Opcode::HALT:
+                if (ci == 0) {
+                    halted_ = true;
+                } else if (c.isCoRunner) {
+                    // A co-runner finished; its context idles (it
+                    // stays reserved, not handed to DTT spawns).
+                    c.active = false;
+                } else {
+                    fatal("HALT committed by a DTT context");
+                }
+                break;
+              default:
+                break;
+            }
+
+            releaseCommittedWriter(c, di);
+            bool was_load = di.info.mem.valid && di.info.mem.isLoad;
+            bool was_store = di.info.mem.valid && !di.info.mem.isLoad;
+            bool was_tret = inst.op == isa::Opcode::TRET;
+            c.rob.pop_front();
+            --robUsed_;
+            --c.robUsed;
+            if (was_load) {
+                --lqUsed_;
+                --c.lqUsed;
+            }
+            if (was_store) {
+                --sqUsed_;
+                --c.sqUsed;
+            }
+            --budget;
+            ++c.committed;
+            ++stats_.counter("committed");
+            if (ci == 0) {
+                ++mainCommitted_;
+                ++stats_.counter("mainCommitted");
+            } else if (c.isCoRunner) {
+                ++stats_.counter("coRunnerCommitted");
+            } else {
+                ++dttCommitted_;
+                ++stats_.counter("dttCommitted");
+            }
+            lastCommit_ = now_;
+            traceEvent("RET", di);
+
+            if (was_tret) {
+                // Context is finished; reclaim it.
+                if (!c.rob.empty() || !c.frontend.empty())
+                    panic("instructions younger than TRET in ctx %zu",
+                          ci);
+                c.active = false;
+                c.fetchStopped = false;
+                std::fill(&c.lastWriter[0][0], &c.lastWriter[0][0] + 64,
+                          nullptr);
+                break;
+            }
+        }
+    }
+    rrCommit_ = (rrCommit_ + 1) % n;
+}
+
+void
+OooCore::doIssue()
+{
+    int budget = config_.issueWidth;
+    for (DynInst *di : iq_) {
+        if (budget == 0)
+            break;
+        if (di->issued || di->depCount > 0)
+            continue;
+        const isa::Inst &inst = di->info.inst;
+        const isa::OpInfo &info = isa::opInfo(inst.op);
+        // Reuse hits read the reuse buffer instead of executing:
+        // single-cycle on an ALU slot, no D-cache access.
+        isa::FuClass fu = di->reused ? isa::FuClass::IntAlu : info.fu;
+        if (!takeFuSlot(fu))
+            continue;
+        Cycle lat = info.latency;
+        if (di->reused)
+            lat = 1;
+        else if (di->info.mem.valid && di->info.mem.isLoad)
+            lat = hierarchy_.accessData(di->info.mem.addr, false,
+                                        now_);
+        else if (di->info.mem.valid)
+            lat = 1;  // store: AGU only; cache written at commit
+        if (lat < 1)
+            lat = 1;
+        di->issued = true;
+        traceEvent("ISS", *di, di->reused ? "reuse hit" : "");
+        scheduleCompletion(*di, now_ + lat);
+        --budget;
+        --iqUsed_;
+        --ctxs_[static_cast<std::size_t>(di->ctx)].iqUsed;
+    }
+    std::erase_if(iq_, [](DynInst *d) { return d->issued; });
+}
+
+void
+OooCore::doDispatch()
+{
+    int budget = config_.dispatchWidth;
+    int n = config_.numContexts;
+    for (int k = 0; k < n && budget > 0; ++k) {
+        auto ci = static_cast<std::size_t>((rrDispatch_ + k) % n);
+        CtxState &c = ctxs_[ci];
+        while (budget > 0 && !c.frontend.empty()) {
+            DynInst &head = c.frontend.front();
+            if (head.fetchCycle
+                + static_cast<Cycle>(config_.frontendDepth) > now_)
+                break;
+            if (robUsed_ >= config_.robSize
+                || c.robUsed >= ctxCap(config_.robSize)) {
+                ++stats_.counter("robFullStalls");
+                break;
+            }
+            if (iqUsed_ >= config_.iqSize
+                || c.iqUsed >= ctxCap(config_.iqSize)) {
+                ++stats_.counter("iqFullStalls");
+                break;
+            }
+            bool is_load = head.info.mem.valid && head.info.mem.isLoad;
+            bool is_store = head.info.mem.valid && !head.info.mem.isLoad;
+            if ((is_load && (lqUsed_ >= config_.lqSize
+                             || c.lqUsed >= ctxCap(config_.lqSize)))
+                || (is_store && (sqUsed_ >= config_.sqSize
+                                 || c.sqUsed >= ctxCap(config_.sqSize)))) {
+                ++stats_.counter("lsqFullStalls");
+                break;
+            }
+            c.rob.push_back(std::move(head));
+            c.frontend.pop_front();
+            DynInst &di = c.rob.back();
+            di.dispatched = true;
+            ++robUsed_;
+            ++iqUsed_;
+            ++c.robUsed;
+            ++c.iqUsed;
+            if (is_load) {
+                ++lqUsed_;
+                ++c.lqUsed;
+            }
+            if (is_store) {
+                ++sqUsed_;
+                ++c.sqUsed;
+            }
+            linkDependencies(c, di);
+            traceEvent("DIS", di);
+            iq_.push_back(&di);
+            --budget;
+        }
+    }
+    rrDispatch_ = (rrDispatch_ + 1) % n;
+}
+
+void
+OooCore::linkDependencies(CtxState &c, DynInst &di)
+{
+    forEachSource(di.info.inst, [&](bool is_fp, int idx) {
+        if (!is_fp && idx == 0)
+            return;  // x0
+        DynInst *producer = c.lastWriter[is_fp ? 1 : 0][idx];
+        if (producer != nullptr && !producer->completed) {
+            ++di.depCount;
+            producer->consumers.push_back(&di);
+        }
+    });
+    bool is_fp;
+    int idx;
+    if (destReg(di.info.inst, is_fp, idx))
+        c.lastWriter[is_fp ? 1 : 0][idx] = &di;
+}
+
+void
+OooCore::doSpawn()
+{
+    if (controller_ == nullptr)
+        return;
+    for (int ctx = 1; ctx < config_.numContexts; ++ctx) {
+        CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+        if (c.active || c.isCoRunner)
+            continue;
+        dtt::SpawnRequest req = controller_->takeSpawn();
+        if (!req.valid)
+            return;
+        c.active = true;
+        c.fetchStopped = false;
+        c.fetchBlockedOnBranch = false;
+        c.twaitBlocked = false;
+        c.curFetchLine = ~0ull;
+        c.arch.reset(req.entryPc, stackFor(ctx));
+        c.arch.setX(10, req.addr);   // a0
+        c.arch.setX(11, req.value);  // a1
+        c.fetchReady = now_ + controller_->config().spawnLatency;
+        std::fill(&c.lastWriter[0][0], &c.lastWriter[0][0] + 64,
+                  nullptr);
+        bpred_.resetContext(ctx);
+        controller_->onSpawned(req.trig, ctx);
+        if (trace_ != nullptr)
+            std::fprintf(trace_,
+                         "%8llu SPW c%d trigger %d entry %llu"
+                         " addr 0x%llx\n",
+                         static_cast<unsigned long long>(now_), ctx,
+                         req.trig,
+                         static_cast<unsigned long long>(req.entryPc),
+                         static_cast<unsigned long long>(req.addr));
+        ++dttSpawns_;
+        ++stats_.counter("spawns");
+    }
+}
+
+void
+OooCore::doFetch()
+{
+    // Gather fetchable contexts, unblocking satisfied TWAITs.
+    std::vector<int> candidates;
+    for (int ctx = 0; ctx < config_.numContexts; ++ctx) {
+        CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+        if (!c.active || c.fetchStopped || c.fetchBlockedOnBranch)
+            continue;
+        if (c.twaitBlocked) {
+            if (controller_ && controller_->waitSatisfied(c.twaitTrig))
+                c.twaitBlocked = false;
+            else
+                continue;
+        }
+        if (c.fetchReady > now_)
+            continue;
+        if (c.frontend.size()
+            >= static_cast<std::size_t>(config_.frontendQSize))
+            continue;
+        candidates.push_back(ctx);
+    }
+    // ICOUNT: fewest in-flight instructions first.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](int a, int b) {
+                         return icount(ctxs_[size_t(a)])
+                             < icount(ctxs_[size_t(b)]);
+                     });
+
+    int budget = config_.fetchWidth;
+    int threads = 0;
+    for (int ctx : candidates) {
+        if (budget == 0 || threads >= config_.fetchThreads)
+            break;
+        fetchFrom(ctx, budget);
+        ++threads;
+    }
+}
+
+void
+OooCore::fetchFrom(CtxId ctx, int &budget)
+{
+    CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+    std::uint64_t block = c.arch.pc
+        / static_cast<std::uint64_t>(config_.fetchBlockInsts);
+
+    while (budget > 0
+           && c.frontend.size()
+              < static_cast<std::size_t>(config_.frontendQSize)) {
+        std::uint64_t pc = c.arch.pc;
+
+        // I-cache: probe on each new line.
+        std::uint64_t line = pcToAddr(pc)
+            / hierarchy_.config().l1i.lineBytes;
+        if (line != c.curFetchLine) {
+            Cycle lat = hierarchy_.accessInst(pcToAddr(pc), now_);
+            c.curFetchLine = line;
+            if (lat > hierarchy_.l1i().hitLatency()) {
+                c.fetchReady = now_ + lat;
+                ++stats_.counter("icacheBlockCycles");
+                return;
+            }
+        }
+
+        const isa::Inst &inst = prog_.at(pc);
+        if (inst.op == isa::Opcode::TWAIT && controller_
+            && !controller_->waitSatisfied(inst.trig)) {
+            c.twaitBlocked = true;
+            c.twaitTrig = inst.trig;
+            return;
+        }
+
+        // Hardware-reuse machine: capture source values pre-execute.
+        ReuseProbe probe;
+        bool try_reuse = reuse_ != nullptr && reuseEligible(inst);
+        if (try_reuse) {
+            forEachSource(inst, [&](bool is_fp, int idx) {
+                if (probe.numSrc < 2)
+                    probe.src[probe.numSrc++] = is_fp
+                        ? fpBits(c.arch.getF(idx))
+                        : c.arch.getX(idx);
+            });
+        }
+
+        StepInfo info = step(c.arch, memory_, prog_, &fetchHooks_);
+
+        DynInst di;
+        di.seq = nextSeq_++;
+        di.ctx = ctx;
+        di.info = info;
+        di.fetchCycle = now_;
+
+        if (try_reuse) {
+            probe.hasMem = info.mem.valid;
+            probe.addr = info.mem.addr;
+            probe.memValue = info.mem.value;
+            di.reused = reuse_->lookupInsert(pc, probe);
+            if (di.reused)
+                ++stats_.counter("reusedInsts");
+        }
+
+        if (info.isTstore && controller_)
+            controller_->onTstoreFetched(inst.trig);
+
+        bool mispredicted = false;
+        if (info.isControl) {
+            Prediction pred = bpred_.predict(ctx, pc, inst);
+            mispredicted = pred.taken != info.taken
+                || (info.taken && pred.target != info.nextPc);
+            bpred_.update(ctx, pc, inst, info.taken, info.nextPc);
+            if (mispredicted) {
+                di.blocksFetchOnComplete = true;
+                c.fetchBlockedOnBranch = true;
+            }
+        }
+
+        traceEvent("FET", di, mispredicted ? "mispredict" : "");
+        c.frontend.push_back(std::move(di));
+        --budget;
+        ++c.fetched;
+        ++stats_.counter("fetched");
+
+        if (inst.op == isa::Opcode::TRET
+            || inst.op == isa::Opcode::HALT) {
+            c.fetchStopped = true;
+            return;
+        }
+        if (mispredicted)
+            return;
+        if (info.taken)
+            return;  // taken-branch fetch break
+        if (info.nextPc / static_cast<std::uint64_t>(
+                config_.fetchBlockInsts) != block)
+            return;  // fetch-block boundary
+    }
+}
+
+void
+OooCore::tick()
+{
+    std::fill(std::begin(fuUsed_), std::end(fuUsed_), 0);
+    doComplete();
+    doCommit();
+    doIssue();
+    doDispatch();
+    doSpawn();
+    doFetch();
+    if (ctxs_[0].twaitBlocked)
+        ++stats_.counter("twaitStallCycles");
+    ++now_;
+    ++stats_.counter("cycles");
+
+    if (now_ - lastCommit_ > kWatchdog) {
+        std::string state;
+        for (int ctx = 0; ctx < config_.numContexts; ++ctx) {
+            const CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+            state += strfmt(
+                " ctx%d{active=%d pc=%llu rob=%zu fe=%zu twait=%d}",
+                ctx, c.active ? 1 : 0,
+                static_cast<unsigned long long>(c.arch.pc),
+                c.rob.size(), c.frontend.size(),
+                c.twaitBlocked ? 1 : 0);
+        }
+        panic("no commit for %llu cycles at cycle %llu:%s",
+              static_cast<unsigned long long>(kWatchdog),
+              static_cast<unsigned long long>(now_), state.c_str());
+    }
+}
+
+CoreRunResult
+OooCore::run(Cycle max_cycles)
+{
+    while (!halted_ && now_ < max_cycles)
+        tick();
+
+    CoreRunResult r;
+    r.cycles = now_;
+    r.mainCommitted = mainCommitted_;
+    r.dttCommitted = dttCommitted_;
+    r.dttSpawns = dttSpawns_;
+    r.halted = halted_;
+    r.hitMaxCycles = !halted_;
+    return r;
+}
+
+} // namespace dttsim::cpu

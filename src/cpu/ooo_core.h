@@ -1,0 +1,219 @@
+#pragma once
+
+/**
+ * @file
+ * Cycle-level SMT out-of-order core. Context 0 runs the main thread;
+ * contexts 1..N-1 are spawned on demand by the DttController with
+ * pending data-triggered threads. The model:
+ *
+ *  - ICOUNT fetch policy over active contexts, I-cache timing, gshare
+ *    branch prediction (mispredicted branches stall the context's
+ *    fetch until resolve + penalty; wrong-path instructions are not
+ *    fetched — see DESIGN.md for this documented approximation);
+ *  - functional execution happens at fetch in per-context program
+ *    order (values are architecturally exact); timing is modeled
+ *    separately through dispatch/issue/commit resource accounting;
+ *  - shared ROB/IQ/LQ/SQ occupancy, pooled functional units, loads
+ *    probe the data cache at issue, stores write it at commit;
+ *  - DTT semantics: triggering stores evaluate their trigger at
+ *    commit (silent-store suppression), TWAIT gates fetch of the
+ *    waiting context, TRET frees the context at commit.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include <memory>
+
+#include "common/reuse_buffer.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/controller.h"
+#include "cpu/arch_state.h"
+#include "cpu/bpred.h"
+#include "cpu/core_config.h"
+#include "cpu/executor.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+#include "mem/memory.h"
+
+namespace dttsim::cpu {
+
+/** Simulated byte address of instruction slot @p pc (for caches). */
+inline Addr
+pcToAddr(std::uint64_t pc)
+{
+    return 0x1000 + pc * 4;
+}
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    SeqNum seq = 0;
+    CtxId ctx = 0;
+    StepInfo info;                 ///< functional result (fetch time)
+    Cycle fetchCycle = 0;
+    int depCount = 0;              ///< outstanding producers
+    bool dispatched = false;
+    bool issued = false;
+    bool completed = false;
+    bool blocksFetchOnComplete = false;  ///< mispredicted branch
+    bool reused = false;           ///< hit in the HW reuse buffer
+    Cycle completeCycle = 0;
+    std::vector<DynInst *> consumers;
+};
+
+/** End-of-run summary for one core execution. */
+struct CoreRunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t mainCommitted = 0;
+    std::uint64_t dttCommitted = 0;
+    std::uint64_t dttSpawns = 0;
+    bool halted = false;   ///< main thread reached HALT
+    bool hitMaxCycles = false;
+};
+
+/** The SMT out-of-order timing core. */
+class OooCore
+{
+  public:
+    /**
+     * @param config core parameters.
+     * @param prog program image (shared text for all contexts).
+     * @param hierarchy cache timing model.
+     * @param controller DTT control unit (may be null to run the
+     *        program as a plain single/multi-context core; DTT
+     *        opcodes then behave as no-ops and never trigger).
+     */
+    OooCore(const CoreConfig &config, const isa::Program &prog,
+            mem::Hierarchy &hierarchy, dtt::DttController *controller);
+
+    /** Run until the main thread halts or @p max_cycles elapse. */
+    CoreRunResult run(Cycle max_cycles = 1ull << 40);
+
+    /**
+     * Start an independent co-running thread on context @p ctx
+     * (1..numContexts-1) at @p entry_pc, before run(). Co-runner
+     * contexts are never used for DTT spawns; they model other work
+     * sharing the SMT core. A co-runner may HALT (its context goes
+     * idle) but the simulation ends only when context 0 halts.
+     */
+    void startCoRunner(CtxId ctx, std::uint64_t entry_pc);
+
+    /** Advance one cycle (exposed for tests). */
+    void tick();
+
+    bool halted() const { return halted_; }
+    Cycle now() const { return now_; }
+    mem::Memory &memory() { return memory_; }
+
+    /**
+     * Enable a per-event pipeline trace (fetch/dispatch/issue/
+     * complete/commit, DTT spawns and trigger outcomes) on @p out.
+     * Pass nullptr to disable. Intended for debugging; the format is
+     * "cycle stage ctx pc disassembly [annotation]".
+     */
+    void setTraceFile(std::FILE *out) { trace_ = out; }
+    const ArchState &archState(CtxId ctx) const;
+    Bpred &bpred() { return bpred_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Committed instructions per context kind. */
+    std::uint64_t mainCommitted() const { return mainCommitted_; }
+    std::uint64_t dttCommitted() const { return dttCommitted_; }
+
+  private:
+    struct CtxState
+    {
+        bool active = false;
+        bool isCoRunner = false;     ///< excluded from DTT spawns
+        bool fetchStopped = false;   ///< fetched TRET/HALT
+        bool fetchBlockedOnBranch = false;
+        bool twaitBlocked = false;
+        TriggerId twaitTrig = invalidTrigger;
+        Cycle fetchReady = 0;
+        std::uint64_t curFetchLine = ~0ull;
+        ArchState arch;
+        std::deque<DynInst> frontend;  ///< fetched, not dispatched
+        std::deque<DynInst> rob;       ///< dispatched, not committed
+        DynInst *lastWriter[2][32] = {};  ///< [int=0/fp=1][reg]
+        std::uint64_t fetched = 0;
+        std::uint64_t committed = 0;
+        // Per-context occupancy of the shared queues (reservation).
+        int robUsed = 0;
+        int iqUsed = 0;
+        int lqUsed = 0;
+        int sqUsed = 0;
+    };
+
+    void traceEvent(const char *stage, const DynInst &di,
+                    const char *annotation = "");
+    void doComplete();
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doSpawn();
+    void doFetch();
+    void fetchFrom(CtxId ctx, int &budget);
+    int icount(const CtxState &c) const;
+    /** Per-context allocation ceiling for a shared queue. */
+    int ctxCap(int total_size) const;
+    void linkDependencies(CtxState &c, DynInst &di);
+    void scheduleCompletion(DynInst &di, Cycle when);
+    bool takeFuSlot(isa::FuClass fu);
+    void releaseCommittedWriter(CtxState &c, const DynInst &di);
+
+    /** Fetch-time hook adapter: only TCHK reads the controller; all
+     *  state-changing DTT events are deferred to commit. */
+    class FetchHooks : public DttHooks
+    {
+      public:
+        explicit FetchHooks(dtt::DttController *ctrl) : ctrl_(ctrl) {}
+        std::int64_t
+        chk(TriggerId t) override
+        {
+            return ctrl_ ? ctrl_->chk(t) : 0;
+        }
+      private:
+        dtt::DttController *ctrl_;
+    };
+
+    CoreConfig config_;
+    const isa::Program &prog_;
+    mem::Hierarchy &hierarchy_;
+    dtt::DttController *controller_;
+    mem::Memory memory_;
+    Bpred bpred_;
+    FetchHooks fetchHooks_;
+    std::unique_ptr<ReuseBufferSet> reuse_;  ///< null unless enabled
+
+    std::vector<CtxState> ctxs_;
+    std::vector<DynInst *> iq_;     ///< dispatch order
+    static constexpr std::size_t kWheelSize = 4096;
+    std::vector<std::vector<DynInst *>> wheel_;
+    int robUsed_ = 0;
+    int iqUsed_ = 0;
+    int lqUsed_ = 0;
+    int sqUsed_ = 0;
+    int fuUsed_[5] = {};            ///< per FU pool, this cycle
+
+    Cycle now_ = 0;
+    SeqNum nextSeq_ = 0;
+    bool halted_ = false;
+    Cycle lastCommit_ = 0;
+    std::FILE *trace_ = nullptr;
+    int rrCommit_ = 0;
+    int rrDispatch_ = 0;
+    std::uint64_t mainCommitted_ = 0;
+    std::uint64_t dttCommitted_ = 0;
+    std::uint64_t dttSpawns_ = 0;
+    StatGroup stats_;
+
+    static constexpr Cycle kWatchdog = 1000000;
+};
+
+} // namespace dttsim::cpu

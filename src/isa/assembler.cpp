@@ -1,0 +1,438 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+
+namespace dttsim::isa {
+
+namespace {
+
+struct Token
+{
+    std::string text;
+};
+
+/** Split one line into tokens; commas and parens are separators that
+ *  also appear as their own tokens (parens) or vanish (commas). */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    auto flush = [&] {
+        if (!cur.empty()) {
+            toks.push_back(cur);
+            cur.clear();
+        }
+    };
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            flush();
+        } else if (c == '(' || c == ')' || c == ':') {
+            flush();
+            toks.push_back(std::string(1, c));
+        } else {
+            cur.push_back(c);
+        }
+    }
+    flush();
+    return toks;
+}
+
+bool
+isInteger(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    if (i >= s.size())
+        return false;
+    if (s.size() > i + 2 && s[i] == '0' && (s[i + 1] == 'x'
+                                            || s[i + 1] == 'X')) {
+        for (std::size_t j = i + 2; j < s.size(); ++j)
+            if (!std::isxdigit(static_cast<unsigned char>(s[j])))
+                return false;
+        return true;
+    }
+    for (std::size_t j = i; j < s.size(); ++j)
+        if (!std::isdigit(static_cast<unsigned char>(s[j])))
+            return false;
+    return true;
+}
+
+std::int64_t
+parseInt(const std::string &s, int line_no)
+{
+    if (!isInteger(s))
+        fatal("line %d: expected integer, got '%s'", line_no, s.c_str());
+    return std::strtoll(s.c_str(), nullptr, 0);
+}
+
+std::optional<int>
+parseReg(const std::string &s)
+{
+    // Aliases match isa::regs (builder-authored code conventions).
+    static const struct { const char *name; int idx; } aliases[] = {
+        {"zero", 0}, {"ra", 1}, {"sp", 2},
+        {"a0", 10}, {"a1", 11}, {"a2", 12}, {"a3", 13},
+        {"a4", 14}, {"a5", 15}, {"a6", 16}, {"a7", 17},
+        {"t0", 5}, {"t1", 6}, {"t2", 7}, {"t3", 8}, {"t4", 9},
+        {"t5", 28}, {"t6", 29}, {"t7", 30}, {"t8", 31},
+        {"s0", 18}, {"s1", 19}, {"s2", 20}, {"s3", 21}, {"s4", 22},
+        {"s5", 23}, {"s6", 24}, {"s7", 25}, {"s8", 26}, {"s9", 27},
+    };
+    for (const auto &a : aliases)
+        if (s == a.name)
+            return a.idx;
+    if (s.size() >= 2 && (s[0] == 'x' || s[0] == 'f')) {
+        bool digits = true;
+        for (std::size_t i = 1; i < s.size(); ++i)
+            digits = digits &&
+                std::isdigit(static_cast<unsigned char>(s[i]));
+        if (digits) {
+            int idx = std::atoi(s.c_str() + 1);
+            if (idx >= 0 && idx < 32)
+                return idx;
+        }
+    }
+    return std::nullopt;
+}
+
+int
+needReg(const std::string &s, int line_no)
+{
+    auto r = parseReg(s);
+    if (!r)
+        fatal("line %d: expected register, got '%s'", line_no, s.c_str());
+    return *r;
+}
+
+/** One instruction awaiting target/symbol resolution in pass 2. */
+struct PendingInst
+{
+    Inst inst;
+    int lineNo = 0;
+    std::string targetSym;  ///< branch/jump target or li symbol
+    bool wantsTarget = false;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Program prog;
+    std::vector<PendingInst> pending;
+
+    enum class Section { Text, Data } section = Section::Text;
+
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+    std::string pending_label;
+
+    auto bind_label = [&](const std::string &name) {
+        if (section == Section::Text)
+            prog.defineLabel(name, prog.size());
+        else
+            pending_label = name;  // bound by the following directive
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto toks = tokenize(line);
+        std::size_t i = 0;
+
+        // Leading "label :" pairs.
+        while (i + 1 < toks.size() && toks[i + 1] == ":") {
+            bind_label(toks[i]);
+            i += 2;
+        }
+        if (i >= toks.size())
+            continue;
+
+        const std::string &head = toks[i];
+
+        if (head == ".text") { section = Section::Text; continue; }
+        if (head == ".data") { section = Section::Data; continue; }
+
+        if (head[0] == '.') {
+            // Data directive.
+            if (section != Section::Data)
+                fatal("line %d: %s outside .data", line_no, head.c_str());
+            std::vector<std::uint8_t> bytes;
+            auto push64 = [&](std::uint64_t v) {
+                for (int b = 0; b < 8; ++b)
+                    bytes.push_back(
+                        static_cast<std::uint8_t>(v >> (8 * b)));
+            };
+            if (head == ".quad") {
+                for (std::size_t j = i + 1; j < toks.size(); ++j)
+                    push64(static_cast<std::uint64_t>(
+                        parseInt(toks[j], line_no)));
+            } else if (head == ".word") {
+                for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                    auto v = static_cast<std::uint32_t>(
+                        parseInt(toks[j], line_no));
+                    for (int b = 0; b < 4; ++b)
+                        bytes.push_back(
+                            static_cast<std::uint8_t>(v >> (8 * b)));
+                }
+            } else if (head == ".byte") {
+                for (std::size_t j = i + 1; j < toks.size(); ++j)
+                    bytes.push_back(static_cast<std::uint8_t>(
+                        parseInt(toks[j], line_no)));
+            } else if (head == ".double") {
+                for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                    double d = std::strtod(toks[j].c_str(), nullptr);
+                    std::uint64_t v;
+                    std::memcpy(&v, &d, 8);
+                    push64(v);
+                }
+            } else if (head == ".space") {
+                if (i + 1 >= toks.size())
+                    fatal("line %d: .space needs a size", line_no);
+                auto n = static_cast<std::uint64_t>(
+                    parseInt(toks[i + 1], line_no));
+                prog.allocData(pending_label, n);
+                pending_label.clear();
+                continue;
+            } else {
+                fatal("line %d: unknown directive '%s'", line_no,
+                      head.c_str());
+            }
+            prog.addData(pending_label, bytes);
+            pending_label.clear();
+            continue;
+        }
+
+        if (section != Section::Text)
+            fatal("line %d: instruction outside .text", line_no);
+
+        std::vector<std::string> ops(toks.begin()
+                                     + static_cast<long>(i) + 1,
+                                     toks.end());
+
+        // Pseudo-instructions (expanded before real decoding).
+        std::string mnem = head;
+        if (mnem == "beqz" || mnem == "bnez") {
+            if (ops.size() != 2)
+                fatal("line %d: %s expects rs, target", line_no,
+                      mnem.c_str());
+            ops = {ops[0], "x0", ops[1]};
+            mnem = mnem == "beqz" ? "beq" : "bne";
+        } else if (mnem == "j") {
+            if (ops.size() != 1)
+                fatal("line %d: j expects a target", line_no);
+            ops = {"x0", ops[0]};
+            mnem = "jal";
+        } else if (mnem == "call") {
+            if (ops.size() != 1)
+                fatal("line %d: call expects a target", line_no);
+            ops = {"ra", ops[0]};
+            mnem = "jal";
+        } else if (mnem == "ret") {
+            if (!ops.empty())
+                fatal("line %d: ret takes no operands", line_no);
+            ops = {"x0", "ra", "0"};
+            mnem = "jalr";
+        } else if (mnem == "mv") {
+            if (ops.size() != 2)
+                fatal("line %d: mv expects rd, rs", line_no);
+            ops = {ops[0], ops[1], "0"};
+            mnem = "addi";
+        }
+
+        Opcode op = parseMnemonic(mnem);
+        if (op == Opcode::NumOpcodes)
+            fatal("line %d: unknown mnemonic '%s'", line_no, head.c_str());
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n)
+                fatal("line %d: %s expects %zu operand tokens, got %zu",
+                      line_no, head.c_str(), n, ops.size());
+        };
+        // "imm ( reg )" occupies 4 tokens: imm, (, reg, ).
+        auto mem_operand = [&](std::size_t at, std::int64_t &disp,
+                               int &base) {
+            if (at + 3 >= ops.size() + 0 || ops.size() < at + 4
+                || ops[at + 1] != "(" || ops[at + 3] != ")")
+                fatal("line %d: expected imm(reg) operand", line_no);
+            disp = parseInt(ops[at], line_no);
+            base = needReg(ops[at + 2], line_no);
+        };
+
+        PendingInst p;
+        p.lineNo = line_no;
+        p.inst.op = op;
+        Inst &inst = p.inst;
+
+        switch (opInfo(op).format) {
+          case Format::R:
+          case Format::FR:
+            need(3);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            inst.rs1 = static_cast<std::uint8_t>(needReg(ops[1], line_no));
+            inst.rs2 = static_cast<std::uint8_t>(needReg(ops[2], line_no));
+            break;
+          case Format::FR1:
+          case Format::FCvtFI:
+          case Format::FCvtIF:
+            need(2);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            inst.rs1 = static_cast<std::uint8_t>(needReg(ops[1], line_no));
+            break;
+          case Format::FCmp:
+            need(3);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            inst.rs1 = static_cast<std::uint8_t>(needReg(ops[1], line_no));
+            inst.rs2 = static_cast<std::uint8_t>(needReg(ops[2], line_no));
+            break;
+          case Format::I:
+          case Format::JumpR:
+            need(3);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            inst.rs1 = static_cast<std::uint8_t>(needReg(ops[1], line_no));
+            inst.imm = parseInt(ops[2], line_no);
+            break;
+          case Format::LI:
+            need(2);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            if (isInteger(ops[1])) {
+                inst.imm = parseInt(ops[1], line_no);
+            } else {
+                p.targetSym = ops[1];
+                p.wantsTarget = true;
+            }
+            break;
+          case Format::FLI:
+            need(2);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            inst.fimm = std::strtod(ops[1].c_str(), nullptr);
+            break;
+          case Format::Load: {
+            if (ops.size() != 5)
+                fatal("line %d: %s expects rd, imm(rs1)", line_no,
+                      head.c_str());
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            std::int64_t disp;
+            int base;
+            mem_operand(1, disp, base);
+            inst.imm = disp;
+            inst.rs1 = static_cast<std::uint8_t>(base);
+            break;
+          }
+          case Format::Store: {
+            if (ops.size() != 5)
+                fatal("line %d: %s expects rs2, imm(rs1)", line_no,
+                      head.c_str());
+            inst.rs2 = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            std::int64_t disp;
+            int base;
+            mem_operand(1, disp, base);
+            inst.imm = disp;
+            inst.rs1 = static_cast<std::uint8_t>(base);
+            break;
+          }
+          case Format::TStore: {
+            if (ops.size() != 6)
+                fatal("line %d: %s expects rs2, imm(rs1), trig", line_no,
+                      head.c_str());
+            inst.rs2 = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            std::int64_t disp;
+            int base;
+            mem_operand(1, disp, base);
+            inst.imm = disp;
+            inst.rs1 = static_cast<std::uint8_t>(base);
+            inst.trig = static_cast<TriggerId>(parseInt(ops[5], line_no));
+            prog.noteTrigger(inst.trig);
+            break;
+          }
+          case Format::Branch:
+            need(3);
+            inst.rs1 = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            inst.rs2 = static_cast<std::uint8_t>(needReg(ops[1], line_no));
+            if (isInteger(ops[2])) {
+                inst.imm = parseInt(ops[2], line_no);
+            } else {
+                p.targetSym = ops[2];
+                p.wantsTarget = true;
+            }
+            break;
+          case Format::Jump:
+            need(2);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            if (isInteger(ops[1])) {
+                inst.imm = parseInt(ops[1], line_no);
+            } else {
+                p.targetSym = ops[1];
+                p.wantsTarget = true;
+            }
+            break;
+          case Format::TReg:
+            need(2);
+            inst.trig = static_cast<TriggerId>(parseInt(ops[0], line_no));
+            prog.noteTrigger(inst.trig);
+            if (isInteger(ops[1])) {
+                inst.imm = parseInt(ops[1], line_no);
+            } else {
+                p.targetSym = ops[1];
+                p.wantsTarget = true;
+            }
+            break;
+          case Format::Trig:
+            need(1);
+            inst.trig = static_cast<TriggerId>(parseInt(ops[0], line_no));
+            prog.noteTrigger(inst.trig);
+            break;
+          case Format::TChk:
+            need(2);
+            inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
+            inst.trig = static_cast<TriggerId>(parseInt(ops[1], line_no));
+            prog.noteTrigger(inst.trig);
+            break;
+          case Format::None:
+            need(0);
+            break;
+        }
+
+        std::uint64_t pc = prog.append(inst);
+        if (p.wantsTarget) {
+            p.inst = inst;
+            pending.push_back(p);
+            pending.back().inst.imm = static_cast<std::int64_t>(pc);
+            // Reuse imm to remember the pc; resolved below.
+        }
+    }
+
+    // Pass 2: resolve symbolic targets.
+    for (const auto &p : pending) {
+        auto pc = static_cast<std::uint64_t>(p.inst.imm);
+        Inst &inst = prog.text()[pc];
+        if (inst.op == Opcode::LI && prog.hasDataSymbol(p.targetSym)) {
+            inst.imm = static_cast<std::int64_t>(
+                prog.dataSymbol(p.targetSym));
+        } else if (prog.hasLabel(p.targetSym)) {
+            inst.imm = static_cast<std::int64_t>(prog.label(p.targetSym));
+        } else if (prog.hasDataSymbol(p.targetSym)
+                   && inst.op == Opcode::TREG) {
+            fatal("line %d: treg target '%s' is a data symbol",
+                  p.lineNo, p.targetSym.c_str());
+        } else {
+            fatal("line %d: unresolved symbol '%s'", p.lineNo,
+                  p.targetSym.c_str());
+        }
+    }
+
+    if (prog.hasLabel("main"))
+        prog.setEntry(prog.label("main"));
+    return prog;
+}
+
+} // namespace dttsim::isa

@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Two-pass text assembler for the dttsim ISA. Supports `.text` /
+ * `.data` sections, labels, `.quad` / `.word` / `.byte` / `.double` /
+ * `.space` data directives, `#`-comments, and symbolic operands for
+ * branch targets and `li` (which resolves data symbols to addresses
+ * and text labels to instruction indices).
+ *
+ * Example:
+ * @code
+ *     .text
+ * main:
+ *     li    a0, arr
+ *     ld    x5, 0(a0)
+ *     tsd   x5, 8(a0), 0
+ *     treg  0, handler
+ *     twait 0
+ *     halt
+ * handler:
+ *     tret
+ *     .data
+ * arr: .quad 1, 2, 3
+ * @endcode
+ */
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace dttsim::isa {
+
+/** Thrown (via fatal()) on malformed assembly; see log.h. */
+
+/**
+ * Assemble @p source into a Program. The entry point is the `main`
+ * label when present, otherwise instruction 0.
+ */
+Program assemble(const std::string &source);
+
+} // namespace dttsim::isa

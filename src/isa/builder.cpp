@@ -1,0 +1,441 @@
+#include "isa/builder.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace dttsim::isa {
+
+Label
+ProgramBuilder::newLabel()
+{
+    labelPc_.push_back(-1);
+    return Label(static_cast<int>(labelPc_.size()) - 1);
+}
+
+void
+ProgramBuilder::bind(Label &l)
+{
+    if (l.id_ < 0)
+        l = newLabel();
+    if (labelPc_[static_cast<std::size_t>(l.id_)] >= 0)
+        panic("label %d bound twice", l.id_);
+    labelPc_[static_cast<std::size_t>(l.id_)] =
+        static_cast<std::int64_t>(prog_.size());
+}
+
+Label
+ProgramBuilder::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+ProgramBuilder::bindNamed(const std::string &name)
+{
+    prog_.defineLabel(name, prog_.size());
+}
+
+Addr
+ProgramBuilder::quads(const std::string &name,
+                      const std::vector<std::int64_t> &vals)
+{
+    std::vector<std::uint8_t> b(vals.size() * 8);
+    std::memcpy(b.data(), vals.data(), b.size());
+    return prog_.addData(name, b);
+}
+
+Addr
+ProgramBuilder::doubles(const std::string &name,
+                        const std::vector<double> &vals)
+{
+    std::vector<std::uint8_t> b(vals.size() * 8);
+    std::memcpy(b.data(), vals.data(), b.size());
+    return prog_.addData(name, b);
+}
+
+Addr
+ProgramBuilder::bytes(const std::string &name,
+                      const std::vector<std::uint8_t> &vals)
+{
+    return prog_.addData(name, vals);
+}
+
+Addr
+ProgramBuilder::space(const std::string &name, std::uint64_t size)
+{
+    return prog_.allocData(name, size);
+}
+
+void
+ProgramBuilder::emit(const Inst &inst)
+{
+    if (taken_)
+        panic("ProgramBuilder reused after take()");
+    if (inst.trig != invalidTrigger)
+        prog_.noteTrigger(inst.trig);
+    prog_.append(inst);
+}
+
+void
+ProgramBuilder::emitTarget(Inst inst, Label l)
+{
+    if (l.id_ < 0)
+        panic("branch to default-constructed label; use newLabel()");
+    std::uint64_t pc = prog_.size();
+    emit(inst);
+    fixups_.push_back(Fixup{pc, l.id_});
+}
+
+// Integer ALU -------------------------------------------------------
+
+namespace {
+
+Inst
+rType(Opcode op, std::uint8_t rd, std::uint8_t a, std::uint8_t b)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = a;
+    i.rs2 = b;
+    return i;
+}
+
+Inst
+iType(Opcode op, std::uint8_t rd, std::uint8_t a, std::int64_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = a;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+#define DTTSIM_R(NAME, OP) \
+    void ProgramBuilder::NAME(Reg rd, Reg a, Reg b) \
+    { emit(rType(Opcode::OP, rd.idx, a.idx, b.idx)); }
+
+DTTSIM_R(add, ADD)
+DTTSIM_R(sub, SUB)
+DTTSIM_R(mul, MUL)
+DTTSIM_R(div, DIV)
+DTTSIM_R(rem, REM)
+DTTSIM_R(and_, AND)
+DTTSIM_R(or_, OR)
+DTTSIM_R(xor_, XOR)
+DTTSIM_R(sll, SLL)
+DTTSIM_R(srl, SRL)
+DTTSIM_R(sra, SRA)
+DTTSIM_R(slt, SLT)
+DTTSIM_R(sltu, SLTU)
+#undef DTTSIM_R
+
+#define DTTSIM_I(NAME, OP) \
+    void ProgramBuilder::NAME(Reg rd, Reg a, std::int64_t imm) \
+    { emit(iType(Opcode::OP, rd.idx, a.idx, imm)); }
+
+DTTSIM_I(addi, ADDI)
+DTTSIM_I(andi, ANDI)
+DTTSIM_I(ori, ORI)
+DTTSIM_I(xori, XORI)
+DTTSIM_I(slli, SLLI)
+DTTSIM_I(srli, SRLI)
+DTTSIM_I(srai, SRAI)
+DTTSIM_I(slti, SLTI)
+#undef DTTSIM_I
+
+void
+ProgramBuilder::li(Reg rd, std::int64_t imm)
+{
+    Inst i;
+    i.op = Opcode::LI;
+    i.rd = rd.idx;
+    i.imm = imm;
+    emit(i);
+}
+
+// Memory -------------------------------------------------------------
+
+#define DTTSIM_LOAD(NAME, OP, REGTYPE, FIELD) \
+    void ProgramBuilder::NAME(REGTYPE rd, Reg base, std::int64_t off) \
+    { \
+        Inst i; \
+        i.op = Opcode::OP; \
+        i.FIELD = rd.idx; \
+        i.rs1 = base.idx; \
+        i.imm = off; \
+        emit(i); \
+    }
+
+DTTSIM_LOAD(ld, LD, Reg, rd)
+DTTSIM_LOAD(lw, LW, Reg, rd)
+DTTSIM_LOAD(lb, LB, Reg, rd)
+DTTSIM_LOAD(fld, FLD, FReg, rd)
+#undef DTTSIM_LOAD
+
+#define DTTSIM_STORE(NAME, OP, REGTYPE) \
+    void ProgramBuilder::NAME(REGTYPE rs, Reg base, std::int64_t off) \
+    { \
+        Inst i; \
+        i.op = Opcode::OP; \
+        i.rs2 = rs.idx; \
+        i.rs1 = base.idx; \
+        i.imm = off; \
+        emit(i); \
+    }
+
+DTTSIM_STORE(sd, SD, Reg)
+DTTSIM_STORE(sw, SW, Reg)
+DTTSIM_STORE(sb, SB, Reg)
+DTTSIM_STORE(fsd, FSD, FReg)
+#undef DTTSIM_STORE
+
+// Floating point ------------------------------------------------------
+
+void
+ProgramBuilder::fli(FReg rd, double v)
+{
+    Inst i;
+    i.op = Opcode::FLI;
+    i.rd = rd.idx;
+    i.fimm = v;
+    emit(i);
+}
+
+#define DTTSIM_FR(NAME, OP) \
+    void ProgramBuilder::NAME(FReg rd, FReg a, FReg b) \
+    { emit(rType(Opcode::OP, rd.idx, a.idx, b.idx)); }
+
+DTTSIM_FR(fadd, FADD)
+DTTSIM_FR(fsub, FSUB)
+DTTSIM_FR(fmul, FMUL)
+DTTSIM_FR(fdiv, FDIV)
+DTTSIM_FR(fmin, FMIN)
+DTTSIM_FR(fmax, FMAX)
+#undef DTTSIM_FR
+
+void
+ProgramBuilder::fsqrt(FReg rd, FReg a)
+{
+    emit(rType(Opcode::FSQRT, rd.idx, a.idx, 0));
+}
+
+void
+ProgramBuilder::fneg(FReg rd, FReg a)
+{
+    emit(rType(Opcode::FNEG, rd.idx, a.idx, 0));
+}
+
+void
+ProgramBuilder::fabs_(FReg rd, FReg a)
+{
+    emit(rType(Opcode::FABS, rd.idx, a.idx, 0));
+}
+
+void
+ProgramBuilder::fabs_impl(FReg rd, FReg a)
+{
+    // fmv lowers to fabs of |a|? No: implement as fadd with zero-free
+    // move: use FABS only when a >= 0 is unknown, so emit FADD rd, a, 0?
+    // Simplest exact move: FMIN rd, a, a.
+    emit(rType(Opcode::FMIN, rd.idx, a.idx, a.idx));
+}
+
+void
+ProgramBuilder::fcvtdw(FReg rd, Reg a)
+{
+    emit(rType(Opcode::FCVTDW, rd.idx, a.idx, 0));
+}
+
+void
+ProgramBuilder::fcvtwd(Reg rd, FReg a)
+{
+    emit(rType(Opcode::FCVTWD, rd.idx, a.idx, 0));
+}
+
+#define DTTSIM_FCMP(NAME, OP) \
+    void ProgramBuilder::NAME(Reg rd, FReg a, FReg b) \
+    { emit(rType(Opcode::OP, rd.idx, a.idx, b.idx)); }
+
+DTTSIM_FCMP(feq, FEQ)
+DTTSIM_FCMP(flt, FLT)
+DTTSIM_FCMP(fle, FLE)
+#undef DTTSIM_FCMP
+
+// Control flow --------------------------------------------------------
+
+#define DTTSIM_BR(NAME, OP) \
+    void ProgramBuilder::NAME(Reg a, Reg b, Label l) \
+    { \
+        Inst i; \
+        i.op = Opcode::OP; \
+        i.rs1 = a.idx; \
+        i.rs2 = b.idx; \
+        emitTarget(i, l); \
+    }
+
+DTTSIM_BR(beq, BEQ)
+DTTSIM_BR(bne, BNE)
+DTTSIM_BR(blt, BLT)
+DTTSIM_BR(bge, BGE)
+DTTSIM_BR(bltu, BLTU)
+DTTSIM_BR(bgeu, BGEU)
+#undef DTTSIM_BR
+
+void
+ProgramBuilder::jal(Reg rd, Label l)
+{
+    Inst i;
+    i.op = Opcode::JAL;
+    i.rd = rd.idx;
+    emitTarget(i, l);
+}
+
+void
+ProgramBuilder::jalr(Reg rd, Reg base, std::int64_t off)
+{
+    emit(iType(Opcode::JALR, rd.idx, base.idx, off));
+}
+
+void
+ProgramBuilder::nop()
+{
+    Inst i;
+    i.op = Opcode::NOP;
+    emit(i);
+}
+
+void
+ProgramBuilder::halt()
+{
+    Inst i;
+    i.op = Opcode::HALT;
+    emit(i);
+}
+
+// DTT extension -------------------------------------------------------
+
+void
+ProgramBuilder::treg(TriggerId t, Label entry)
+{
+    Inst i;
+    i.op = Opcode::TREG;
+    i.trig = t;
+    emitTarget(i, entry);
+}
+
+void
+ProgramBuilder::tunreg(TriggerId t)
+{
+    Inst i;
+    i.op = Opcode::TUNREG;
+    i.trig = t;
+    emit(i);
+}
+
+#define DTTSIM_TSTORE(NAME, OP) \
+    void ProgramBuilder::NAME(Reg rs, Reg base, std::int64_t off, \
+                              TriggerId t) \
+    { \
+        Inst i; \
+        i.op = Opcode::OP; \
+        i.rs2 = rs.idx; \
+        i.rs1 = base.idx; \
+        i.imm = off; \
+        i.trig = t; \
+        emit(i); \
+    }
+
+DTTSIM_TSTORE(tsd, TSD)
+DTTSIM_TSTORE(tsw, TSW)
+DTTSIM_TSTORE(tsb, TSB)
+#undef DTTSIM_TSTORE
+
+void
+ProgramBuilder::twait(TriggerId t)
+{
+    Inst i;
+    i.op = Opcode::TWAIT;
+    i.trig = t;
+    emit(i);
+}
+
+void
+ProgramBuilder::tchk(Reg rd, TriggerId t)
+{
+    Inst i;
+    i.op = Opcode::TCHK;
+    i.rd = rd.idx;
+    i.trig = t;
+    emit(i);
+}
+
+void
+ProgramBuilder::tclr(TriggerId t)
+{
+    Inst i;
+    i.op = Opcode::TCLR;
+    i.trig = t;
+    emit(i);
+}
+
+void
+ProgramBuilder::tret()
+{
+    Inst i;
+    i.op = Opcode::TRET;
+    emit(i);
+}
+
+// Structured helpers --------------------------------------------------
+
+void
+ProgramBuilder::loop(Reg idx, Reg bound, const std::function<void()> &body)
+{
+    li(idx, 0);
+    Label done = newLabel();
+    bge(idx, bound, done);
+    Label top = here();
+    body();
+    addi(idx, idx, 1);
+    blt(idx, bound, top);
+    bind(done);
+}
+
+void
+ProgramBuilder::loop(Reg idx, std::int64_t bound, Reg scratch,
+                     const std::function<void()> &body)
+{
+    li(scratch, bound);
+    loop(idx, scratch, body);
+}
+
+void
+ProgramBuilder::loop(Reg idx, std::int64_t bound,
+                     const std::function<void()> &body)
+{
+    loop(idx, bound, Reg{4}, body);
+}
+
+Program
+ProgramBuilder::take()
+{
+    for (const auto &f : fixups_) {
+        std::int64_t target = labelPc_[static_cast<std::size_t>(f.labelId)];
+        if (target < 0)
+            panic("label %d referenced but never bound", f.labelId);
+        prog_.text()[f.pc].imm = target;
+    }
+    if (prog_.hasLabel("main"))
+        prog_.setEntry(prog_.label("main"));
+    taken_ = true;
+    return std::move(prog_);
+}
+
+} // namespace dttsim::isa

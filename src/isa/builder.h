@@ -1,0 +1,238 @@
+#pragma once
+
+/**
+ * @file
+ * ProgramBuilder: a typed C++ emission DSL for authoring dttsim
+ * programs. This is how the SPEC-like workloads are written — one
+ * method per opcode, forward-referencing labels, data-segment helpers
+ * and a structured counted-loop helper.
+ *
+ * @code
+ * ProgramBuilder b;
+ * using namespace dttsim::isa::regs;
+ * Addr arr = b.quads("arr", {1, 2, 3});
+ * b.li(a0, static_cast<std::int64_t>(arr));
+ * b.loop(t0, 3, [&] {
+ *     b.slli(t1, t0, 3);
+ *     b.add(t1, t1, a0);
+ *     b.ld(t2, t1, 0);
+ *     b.add(s0, s0, t2);
+ * });
+ * b.halt();
+ * Program p = b.take();
+ * @endcode
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace dttsim::isa {
+
+/** Integer register operand. */
+struct Reg
+{
+    std::uint8_t idx;
+};
+
+/** Floating-point register operand. */
+struct FReg
+{
+    std::uint8_t idx;
+};
+
+/** Conventional register names for builder-authored code. */
+namespace regs {
+
+inline constexpr Reg x(int i) { return Reg{std::uint8_t(i)}; }
+inline constexpr FReg f(int i) { return FReg{std::uint8_t(i)}; }
+
+inline constexpr Reg zero{0};
+inline constexpr Reg ra{1};
+inline constexpr Reg sp{2};
+/** Argument registers a0..a7 = x10..x17 (a0/a1 receive the DTT
+ *  trigger address and stored value at spawn). */
+inline constexpr Reg a0{10}, a1{11}, a2{12}, a3{13};
+inline constexpr Reg a4{14}, a5{15}, a6{16}, a7{17};
+/** Temporaries. */
+inline constexpr Reg t0{5}, t1{6}, t2{7}, t3{8}, t4{9};
+inline constexpr Reg t5{28}, t6{29}, t7{30}, t8{31};
+/** Long-lived locals. */
+inline constexpr Reg s0{18}, s1{19}, s2{20}, s3{21}, s4{22};
+inline constexpr Reg s5{23}, s6{24}, s7{25}, s8{26}, s9{27};
+
+inline constexpr FReg ft0{0}, ft1{1}, ft2{2}, ft3{3}, ft4{4}, ft5{5};
+inline constexpr FReg fs0{8}, fs1{9}, fs2{10}, fs3{11}, fs4{12};
+inline constexpr FReg fa0{16}, fa1{17};
+
+} // namespace regs
+
+/** Forward-referencing code label handle. */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class ProgramBuilder;
+    explicit Label(int id) : id_(id) {}
+    int id_ = -1;
+};
+
+/** Emission DSL producing a Program. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder() = default;
+
+    // ----- labels ---------------------------------------------------
+    /** Create an unbound label. */
+    Label newLabel();
+    /** Bind @p l to the current emission point. */
+    void bind(Label &l);
+    /** Create a label bound right here. */
+    Label here();
+    /** Bind a *named* label (visible in Program::labels()). */
+    void bindNamed(const std::string &name);
+
+    // ----- data segment ---------------------------------------------
+    Addr quads(const std::string &name,
+               const std::vector<std::int64_t> &vals);
+    Addr doubles(const std::string &name,
+                 const std::vector<double> &vals);
+    Addr bytes(const std::string &name,
+               const std::vector<std::uint8_t> &vals);
+    Addr space(const std::string &name, std::uint64_t size);
+
+    // ----- integer ALU ----------------------------------------------
+    void add(Reg rd, Reg a, Reg b);
+    void sub(Reg rd, Reg a, Reg b);
+    void mul(Reg rd, Reg a, Reg b);
+    void div(Reg rd, Reg a, Reg b);
+    void rem(Reg rd, Reg a, Reg b);
+    void and_(Reg rd, Reg a, Reg b);
+    void or_(Reg rd, Reg a, Reg b);
+    void xor_(Reg rd, Reg a, Reg b);
+    void sll(Reg rd, Reg a, Reg b);
+    void srl(Reg rd, Reg a, Reg b);
+    void sra(Reg rd, Reg a, Reg b);
+    void slt(Reg rd, Reg a, Reg b);
+    void sltu(Reg rd, Reg a, Reg b);
+    void addi(Reg rd, Reg a, std::int64_t imm);
+    void andi(Reg rd, Reg a, std::int64_t imm);
+    void ori(Reg rd, Reg a, std::int64_t imm);
+    void xori(Reg rd, Reg a, std::int64_t imm);
+    void slli(Reg rd, Reg a, std::int64_t imm);
+    void srli(Reg rd, Reg a, std::int64_t imm);
+    void srai(Reg rd, Reg a, std::int64_t imm);
+    void slti(Reg rd, Reg a, std::int64_t imm);
+    void li(Reg rd, std::int64_t imm);
+    /** rd <- address constant. */
+    void la(Reg rd, Addr addr) { li(rd, std::int64_t(addr)); }
+    void mv(Reg rd, Reg a) { addi(rd, a, 0); }
+
+    // ----- memory ---------------------------------------------------
+    void ld(Reg rd, Reg base, std::int64_t off);
+    void lw(Reg rd, Reg base, std::int64_t off);
+    void lb(Reg rd, Reg base, std::int64_t off);
+    void sd(Reg rs, Reg base, std::int64_t off);
+    void sw(Reg rs, Reg base, std::int64_t off);
+    void sb(Reg rs, Reg base, std::int64_t off);
+    void fld(FReg rd, Reg base, std::int64_t off);
+    void fsd(FReg rs, Reg base, std::int64_t off);
+
+    // ----- floating point -------------------------------------------
+    void fli(FReg rd, double v);
+    void fadd(FReg rd, FReg a, FReg b);
+    void fsub(FReg rd, FReg a, FReg b);
+    void fmul(FReg rd, FReg a, FReg b);
+    void fdiv(FReg rd, FReg a, FReg b);
+    void fsqrt(FReg rd, FReg a);
+    void fmin(FReg rd, FReg a, FReg b);
+    void fmax(FReg rd, FReg a, FReg b);
+    void fneg(FReg rd, FReg a);
+    void fabs_(FReg rd, FReg a);
+    void fcvtdw(FReg rd, Reg a);
+    void fcvtwd(Reg rd, FReg a);
+    void feq(Reg rd, FReg a, FReg b);
+    void flt(Reg rd, FReg a, FReg b);
+    void fle(Reg rd, FReg a, FReg b);
+    void fmv(FReg rd, FReg a) { fabs_impl(rd, a); }
+
+    // ----- control flow ---------------------------------------------
+    void beq(Reg a, Reg b, Label l);
+    void bne(Reg a, Reg b, Label l);
+    void blt(Reg a, Reg b, Label l);
+    void bge(Reg a, Reg b, Label l);
+    void bltu(Reg a, Reg b, Label l);
+    void bgeu(Reg a, Reg b, Label l);
+    void beqz(Reg a, Label l) { beq(a, regs::zero, l); }
+    void bnez(Reg a, Label l) { bne(a, regs::zero, l); }
+    void jal(Reg rd, Label l);
+    void jalr(Reg rd, Reg base, std::int64_t off);
+    void j(Label l) { jal(regs::zero, l); }
+    void call(Label l) { jal(regs::ra, l); }
+    void ret() { jalr(regs::zero, regs::ra, 0); }
+    void nop();
+    void halt();
+
+    // ----- DTT extension --------------------------------------------
+    void treg(TriggerId t, Label entry);
+    void tunreg(TriggerId t);
+    void tsd(Reg rs, Reg base, std::int64_t off, TriggerId t);
+    void tsw(Reg rs, Reg base, std::int64_t off, TriggerId t);
+    void tsb(Reg rs, Reg base, std::int64_t off, TriggerId t);
+    void twait(TriggerId t);
+    void tchk(Reg rd, TriggerId t);
+    void tclr(TriggerId t);
+    void tret();
+
+    // ----- structured helpers ---------------------------------------
+    /**
+     * Counted loop: idx runs 0..bound-1 (bound read from a register).
+     * The body must not clobber idx or bound. Bottom-tested (one
+     * branch per iteration).
+     */
+    void loop(Reg idx, Reg bound, const std::function<void()> &body);
+
+    /** Counted loop with a constant bound (uses @p scratch for it). */
+    void loop(Reg idx, std::int64_t bound, Reg scratch,
+              const std::function<void()> &body);
+
+    /** Convenience: constant-bound loop using x4 as bound scratch. */
+    void loop(Reg idx, std::int64_t bound,
+              const std::function<void()> &body);
+
+    // ----- finish ----------------------------------------------------
+    /** Current emission PC. */
+    std::uint64_t pc() const { return prog_.size(); }
+
+    /**
+     * Resolve all label references and return the finished program.
+     * The builder must not be reused afterwards. Entry point is the
+     * named label "main" if bound, else instruction 0.
+     */
+    Program take();
+
+  private:
+    void emit(const Inst &inst);
+    void emitTarget(Inst inst, Label l);
+    void fabs_impl(FReg rd, FReg a);
+
+    struct Fixup
+    {
+        std::uint64_t pc;
+        int labelId;
+    };
+
+    Program prog_;
+    std::vector<std::int64_t> labelPc_;  ///< -1 while unbound
+    std::vector<Fixup> fixups_;
+    bool taken_ = false;
+};
+
+} // namespace dttsim::isa

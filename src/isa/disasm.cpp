@@ -1,0 +1,135 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace dttsim::isa {
+
+namespace {
+
+std::string
+xr(int idx)
+{
+    return "x" + std::to_string(idx);
+}
+
+std::string
+fr(int idx)
+{
+    return "f" + std::to_string(idx);
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    std::ostringstream os;
+    os << info.mnemonic;
+    auto sep = [&os, first = true]() mutable -> std::ostream & {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+    bool fp_ls = inst.op == Opcode::FLD || inst.op == Opcode::FSD;
+    switch (info.format) {
+      case Format::R:
+        sep() << xr(inst.rd);
+        sep() << xr(inst.rs1);
+        sep() << xr(inst.rs2);
+        break;
+      case Format::FR:
+        sep() << fr(inst.rd);
+        sep() << fr(inst.rs1);
+        sep() << fr(inst.rs2);
+        break;
+      case Format::FR1:
+        sep() << fr(inst.rd);
+        sep() << fr(inst.rs1);
+        break;
+      case Format::FCvtFI:
+        sep() << fr(inst.rd);
+        sep() << xr(inst.rs1);
+        break;
+      case Format::FCvtIF:
+        sep() << xr(inst.rd);
+        sep() << fr(inst.rs1);
+        break;
+      case Format::FCmp:
+        sep() << xr(inst.rd);
+        sep() << fr(inst.rs1);
+        sep() << fr(inst.rs2);
+        break;
+      case Format::I:
+      case Format::JumpR:
+        sep() << xr(inst.rd);
+        sep() << xr(inst.rs1);
+        sep() << inst.imm;
+        break;
+      case Format::LI:
+        sep() << xr(inst.rd);
+        sep() << inst.imm;
+        break;
+      case Format::FLI:
+        sep() << fr(inst.rd);
+        sep() << inst.fimm;
+        break;
+      case Format::Load:
+        sep() << (fp_ls ? fr(inst.rd) : xr(inst.rd));
+        sep() << inst.imm << "(" << xr(inst.rs1) << ")";
+        break;
+      case Format::Store:
+        sep() << (fp_ls ? fr(inst.rs2) : xr(inst.rs2));
+        sep() << inst.imm << "(" << xr(inst.rs1) << ")";
+        break;
+      case Format::TStore:
+        sep() << xr(inst.rs2);
+        sep() << inst.imm << "(" << xr(inst.rs1) << ")";
+        sep() << inst.trig;
+        break;
+      case Format::Branch:
+        sep() << xr(inst.rs1);
+        sep() << xr(inst.rs2);
+        sep() << inst.imm;
+        break;
+      case Format::Jump:
+        sep() << xr(inst.rd);
+        sep() << inst.imm;
+        break;
+      case Format::TReg:
+        sep() << inst.trig;
+        sep() << inst.imm;
+        break;
+      case Format::Trig:
+        sep() << inst.trig;
+        break;
+      case Format::TChk:
+        sep() << xr(inst.rd);
+        sep() << inst.trig;
+        break;
+      case Format::None:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    // Invert the label map for annotation.
+    std::ostringstream os;
+    std::map<std::uint64_t, std::string> by_pc;
+    for (const auto &[name, pc] : prog.labels())
+        by_pc[pc] = name;
+    for (std::uint64_t pc = 0; pc < prog.size(); ++pc) {
+        auto it = by_pc.find(pc);
+        if (it != by_pc.end())
+            os << it->second << ":\n";
+        os << "    " << pc << ": " << disassemble(prog.at(pc)) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dttsim::isa

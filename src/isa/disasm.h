@@ -1,0 +1,22 @@
+#pragma once
+
+/**
+ * @file
+ * Disassembler: renders decoded instructions back to assembly text,
+ * used by traces, error messages and the assembler round-trip tests.
+ */
+
+#include <string>
+
+#include "isa/inst.h"
+#include "isa/program.h"
+
+namespace dttsim::isa {
+
+/** Render one instruction as assembly text. */
+std::string disassemble(const Inst &inst);
+
+/** Render a whole program, one "pc: text" line per instruction. */
+std::string disassemble(const Program &prog);
+
+} // namespace dttsim::isa

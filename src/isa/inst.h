@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Decoded instruction representation. The simulator never binary-
+ * encodes instructions; a program is a vector of Inst and the PC is an
+ * index into that vector (one "slot" per instruction).
+ */
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "isa/opcodes.h"
+
+namespace dttsim::isa {
+
+/**
+ * One decoded instruction. Field meaning depends on the opcode's
+ * Format:
+ *  - rd/rs1/rs2 index the integer or FP register file (0..31); which
+ *    file is implied by the opcode.
+ *  - imm holds the immediate, the load/store displacement, or the
+ *    absolute branch/jump target (instruction index, resolved by the
+ *    assembler/builder).
+ *  - trig is the static trigger id for the DTT extension ops.
+ *  - fimm is the literal for FLI.
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    TriggerId trig = invalidTrigger;
+    std::int64_t imm = 0;
+    double fimm = 0.0;
+};
+
+} // namespace dttsim::isa

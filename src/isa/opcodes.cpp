@@ -1,0 +1,201 @@
+#include "isa/opcodes.h"
+
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace dttsim::isa {
+
+namespace {
+
+const OpInfo kOpTable[] = {
+    // mnemonic, format, fu, latency
+    {"add",    Format::R,      FuClass::IntAlu, 1},
+    {"sub",    Format::R,      FuClass::IntAlu, 1},
+    {"mul",    Format::R,      FuClass::IntMul, 3},
+    {"div",    Format::R,      FuClass::IntDiv, 20},
+    {"rem",    Format::R,      FuClass::IntDiv, 20},
+    {"and",    Format::R,      FuClass::IntAlu, 1},
+    {"or",     Format::R,      FuClass::IntAlu, 1},
+    {"xor",    Format::R,      FuClass::IntAlu, 1},
+    {"sll",    Format::R,      FuClass::IntAlu, 1},
+    {"srl",    Format::R,      FuClass::IntAlu, 1},
+    {"sra",    Format::R,      FuClass::IntAlu, 1},
+    {"slt",    Format::R,      FuClass::IntAlu, 1},
+    {"sltu",   Format::R,      FuClass::IntAlu, 1},
+    {"addi",   Format::I,      FuClass::IntAlu, 1},
+    {"andi",   Format::I,      FuClass::IntAlu, 1},
+    {"ori",    Format::I,      FuClass::IntAlu, 1},
+    {"xori",   Format::I,      FuClass::IntAlu, 1},
+    {"slli",   Format::I,      FuClass::IntAlu, 1},
+    {"srli",   Format::I,      FuClass::IntAlu, 1},
+    {"srai",   Format::I,      FuClass::IntAlu, 1},
+    {"slti",   Format::I,      FuClass::IntAlu, 1},
+    {"li",     Format::LI,     FuClass::IntAlu, 1},
+    {"ld",     Format::Load,   FuClass::Mem,    1},
+    {"lw",     Format::Load,   FuClass::Mem,    1},
+    {"lb",     Format::Load,   FuClass::Mem,    1},
+    {"sd",     Format::Store,  FuClass::Mem,    1},
+    {"sw",     Format::Store,  FuClass::Mem,    1},
+    {"sb",     Format::Store,  FuClass::Mem,    1},
+    {"fld",    Format::Load,   FuClass::Mem,    1},
+    {"fsd",    Format::Store,  FuClass::Mem,    1},
+    {"fli",    Format::FLI,    FuClass::FpAdd,  1},
+    {"fadd",   Format::FR,     FuClass::FpAdd,  3},
+    {"fsub",   Format::FR,     FuClass::FpAdd,  3},
+    {"fmul",   Format::FR,     FuClass::FpMul,  4},
+    {"fdiv",   Format::FR,     FuClass::FpDiv,  16},
+    {"fsqrt",  Format::FR1,    FuClass::FpDiv,  20},
+    {"fmin",   Format::FR,     FuClass::FpAdd,  3},
+    {"fmax",   Format::FR,     FuClass::FpAdd,  3},
+    {"fneg",   Format::FR1,    FuClass::FpAdd,  1},
+    {"fabs",   Format::FR1,    FuClass::FpAdd,  1},
+    {"fcvtdw", Format::FCvtFI, FuClass::FpAdd,  3},
+    {"fcvtwd", Format::FCvtIF, FuClass::FpAdd,  3},
+    {"feq",    Format::FCmp,   FuClass::FpAdd,  3},
+    {"flt",    Format::FCmp,   FuClass::FpAdd,  3},
+    {"fle",    Format::FCmp,   FuClass::FpAdd,  3},
+    {"beq",    Format::Branch, FuClass::Branch, 1},
+    {"bne",    Format::Branch, FuClass::Branch, 1},
+    {"blt",    Format::Branch, FuClass::Branch, 1},
+    {"bge",    Format::Branch, FuClass::Branch, 1},
+    {"bltu",   Format::Branch, FuClass::Branch, 1},
+    {"bgeu",   Format::Branch, FuClass::Branch, 1},
+    {"jal",    Format::Jump,   FuClass::Branch, 1},
+    {"jalr",   Format::JumpR,  FuClass::Branch, 1},
+    {"nop",    Format::None,   FuClass::IntAlu, 1},
+    {"halt",   Format::None,   FuClass::IntAlu, 1},
+    {"treg",   Format::TReg,   FuClass::Dtt,    1},
+    {"tunreg", Format::Trig,   FuClass::Dtt,    1},
+    {"tsd",    Format::TStore, FuClass::Mem,    1},
+    {"tsw",    Format::TStore, FuClass::Mem,    1},
+    {"tsb",    Format::TStore, FuClass::Mem,    1},
+    {"twait",  Format::Trig,   FuClass::Dtt,    1},
+    {"tchk",   Format::TChk,   FuClass::Dtt,    1},
+    {"tclr",   Format::Trig,   FuClass::Dtt,    1},
+    {"tret",   Format::None,   FuClass::Dtt,    1},
+};
+
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
+              static_cast<std::size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync with Opcode enum");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    if (idx >= static_cast<std::size_t>(Opcode::NumOpcodes))
+        panic("opInfo: invalid opcode %zu", idx);
+    return kOpTable[idx];
+}
+
+Opcode
+parseMnemonic(const std::string &s)
+{
+    static const std::unordered_map<std::string, Opcode> map = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i)
+            m.emplace(kOpTable[i].mnemonic, static_cast<Opcode>(i));
+        return m;
+    }();
+    auto it = map.find(s);
+    return it == map.end() ? Opcode::NumOpcodes : it->second;
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+      case Opcode::JAL: case Opcode::JALR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD: case Opcode::LW: case Opcode::LB: case Opcode::FLD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Opcode op)
+{
+    switch (op) {
+      case Opcode::SD: case Opcode::SW: case Opcode::SB: case Opcode::FSD:
+      case Opcode::TSD: case Opcode::TSW: case Opcode::TSB:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isTStore(Opcode op)
+{
+    return op == Opcode::TSD || op == Opcode::TSW || op == Opcode::TSB;
+}
+
+int
+accessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD: case Opcode::SD: case Opcode::TSD:
+      case Opcode::FLD: case Opcode::FSD:
+        return 8;
+      case Opcode::LW: case Opcode::SW: case Opcode::TSW:
+        return 4;
+      case Opcode::LB: case Opcode::SB: case Opcode::TSB:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+bool
+writesIntReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::ADDI: case Opcode::ANDI:
+      case Opcode::ORI: case Opcode::XORI: case Opcode::SLLI:
+      case Opcode::SRLI: case Opcode::SRAI: case Opcode::SLTI:
+      case Opcode::LI: case Opcode::LD: case Opcode::LW: case Opcode::LB:
+      case Opcode::FCVTWD: case Opcode::FEQ: case Opcode::FLT:
+      case Opcode::FLE: case Opcode::JAL: case Opcode::JALR:
+      case Opcode::TCHK:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesFpReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::FLD: case Opcode::FLI: case Opcode::FADD:
+      case Opcode::FSUB: case Opcode::FMUL: case Opcode::FDIV:
+      case Opcode::FSQRT: case Opcode::FMIN: case Opcode::FMAX:
+      case Opcode::FNEG: case Opcode::FABS: case Opcode::FCVTDW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace dttsim::isa

@@ -1,0 +1,122 @@
+#pragma once
+
+/**
+ * @file
+ * Opcode set of the dttsim RISC ISA, including the data-triggered
+ * thread (DTT) extension of Tseng & Tullsen (HPCA 2011): triggering
+ * stores (TSD/TSW/TSB), thread-registry management (TREG/TUNREG),
+ * main-thread synchronization (TWAIT/TCHK/TCLR) and DTT termination
+ * (TRET).
+ *
+ * Instructions are kept in decoded form throughout the simulator (no
+ * binary encoding); each opcode carries static metadata: mnemonic,
+ * assembly format, functional-unit class and execution latency class.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace dttsim::isa {
+
+/** Every opcode in the base ISA plus the DTT extension. */
+enum class Opcode : std::uint8_t {
+    // Integer register-register.
+    ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // Integer register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    // Full-width immediate load.
+    LI,
+    // Integer loads/stores (D = 8 bytes, W = 4, B = 1).
+    LD, LW, LB, SD, SW, SB,
+    // Floating point (doubles).
+    FLD, FSD, FLI,
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMIN, FMAX, FNEG, FABS,
+    FCVTDW,  ///< fd <- (double) rs1
+    FCVTWD,  ///< rd <- (int64) trunc(fs1)
+    FEQ, FLT, FLE,
+    // Control flow.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR,
+    // Misc.
+    NOP, HALT,
+    // DTT extension.
+    TREG,    ///< register trigger: registry[trig] = entry pc
+    TUNREG,  ///< deregister trigger
+    TSD,     ///< triggering 8-byte store
+    TSW,     ///< triggering 4-byte store
+    TSB,     ///< triggering 1-byte store
+    TWAIT,   ///< stall until trigger has no pending/running DTTs
+    TCHK,    ///< rd <- pending+running count (plus overflow flag bit)
+    TCLR,    ///< clear trigger's sticky overflow flag
+    TRET,    ///< terminate the current DTT, free its context
+
+    NumOpcodes,
+};
+
+/** Assembly operand format, used by the assembler and disassembler. */
+enum class Format : std::uint8_t {
+    R,      ///< op rd, rs1, rs2
+    I,      ///< op rd, rs1, imm
+    LI,     ///< op rd, imm64
+    FLI,    ///< op fd, double-imm
+    Load,   ///< op rd, imm(rs1)
+    Store,  ///< op rs2, imm(rs1)
+    TStore, ///< op rs2, imm(rs1), trig
+    Branch, ///< op rs1, rs2, target
+    Jump,   ///< op rd, target
+    JumpR,  ///< op rd, rs1, imm
+    FR,     ///< op fd, fs1, fs2
+    FR1,    ///< op fd, fs1
+    FCvtFI, ///< op fd, rs1
+    FCvtIF, ///< op rd, fs1
+    FCmp,   ///< op rd, fs1, fs2
+    TReg,   ///< op trig, target
+    Trig,   ///< op trig
+    TChk,   ///< op rd, trig
+    None,   ///< op
+};
+
+/** Functional-unit class an opcode executes on. */
+enum class FuClass : std::uint8_t {
+    IntAlu, IntMul, IntDiv, FpAdd, FpMul, FpDiv, Mem, Branch, Dtt,
+};
+
+/** Static per-opcode properties. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+    FuClass fu;
+    std::uint8_t latency;  ///< execute latency in cycles (Mem: AGU only)
+};
+
+/** Look up static properties of an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic string of an opcode. */
+inline const char *mnemonic(Opcode op) { return opInfo(op).mnemonic; }
+
+/** Parse a mnemonic; returns NumOpcodes on failure. */
+Opcode parseMnemonic(const std::string &s);
+
+/** True for conditional branches and unconditional jumps. */
+bool isControl(Opcode op);
+
+/** True for all memory reads (LD/LW/LB/FLD). */
+bool isLoad(Opcode op);
+
+/** True for all memory writes, including triggering stores. */
+bool isStore(Opcode op);
+
+/** True for the triggering stores TSD/TSW/TSB. */
+bool isTStore(Opcode op);
+
+/** Access size in bytes for load/store opcodes, 0 otherwise. */
+int accessSize(Opcode op);
+
+/** True when the opcode writes an integer destination register. */
+bool writesIntReg(Opcode op);
+
+/** True when the opcode writes a floating-point destination register. */
+bool writesFpReg(Opcode op);
+
+} // namespace dttsim::isa

@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * Operand enumeration helpers shared by the timing core (dependence
+ * linking) and the profilers (dynamic instruction-reuse analysis).
+ */
+
+#include "isa/inst.h"
+#include "isa/opcodes.h"
+
+namespace dttsim::isa {
+
+/**
+ * Invoke fn(is_fp, reg_index) for every source register operand of
+ * @p inst.
+ */
+template <typename Fn>
+void
+forEachSource(const Inst &inst, Fn &&fn)
+{
+    switch (opInfo(inst.op).format) {
+      case Format::R:
+      case Format::Branch:
+      case Format::TStore:
+        fn(false, static_cast<int>(inst.rs1));
+        fn(false, static_cast<int>(inst.rs2));
+        break;
+      case Format::Store:
+        fn(false, static_cast<int>(inst.rs1));
+        if (inst.op == Opcode::FSD)
+            fn(true, static_cast<int>(inst.rs2));
+        else
+            fn(false, static_cast<int>(inst.rs2));
+        break;
+      case Format::I:
+      case Format::JumpR:
+      case Format::Load:
+      case Format::FCvtFI:
+        fn(false, static_cast<int>(inst.rs1));
+        break;
+      case Format::FR:
+      case Format::FCmp:
+        fn(true, static_cast<int>(inst.rs1));
+        fn(true, static_cast<int>(inst.rs2));
+        break;
+      case Format::FR1:
+      case Format::FCvtIF:
+        fn(true, static_cast<int>(inst.rs1));
+        break;
+      case Format::LI:
+      case Format::FLI:
+      case Format::Jump:
+      case Format::TReg:
+      case Format::Trig:
+      case Format::TChk:
+      case Format::None:
+        break;
+    }
+}
+
+/**
+ * Destination register of @p inst.
+ * @return false when the instruction writes no register (stores,
+ *         branches, x0 sinks).
+ */
+inline bool
+destReg(const Inst &inst, bool &is_fp, int &idx)
+{
+    if (writesIntReg(inst.op)) {
+        if (inst.rd == 0)
+            return false;
+        is_fp = false;
+        idx = inst.rd;
+        return true;
+    }
+    if (writesFpReg(inst.op)) {
+        is_fp = true;
+        idx = inst.rd;
+        return true;
+    }
+    return false;
+}
+
+} // namespace dttsim::isa

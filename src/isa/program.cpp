@@ -1,0 +1,88 @@
+#include "isa/program.h"
+
+#include "common/log.h"
+
+namespace dttsim::isa {
+
+const Inst &
+Program::at(std::uint64_t pc) const
+{
+    if (pc >= text_.size())
+        panic("PC 0x%llx outside program text (size %zu)",
+              static_cast<unsigned long long>(pc), text_.size());
+    return text_[pc];
+}
+
+void
+Program::defineLabel(const std::string &name, std::uint64_t pc)
+{
+    auto [it, inserted] = textSyms_.emplace(name, pc);
+    if (!inserted)
+        fatal("duplicate text label '%s'", name.c_str());
+}
+
+std::uint64_t
+Program::label(const std::string &name) const
+{
+    auto it = textSyms_.find(name);
+    if (it == textSyms_.end())
+        fatal("unknown text label '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return textSyms_.count(name) != 0;
+}
+
+Addr
+Program::allocData(const std::string &name, std::uint64_t bytes)
+{
+    // Named objects are 8-byte aligned; anonymous continuations
+    // (e.g. a second `.byte` line extending an array) stay
+    // contiguous with the previous chunk.
+    if (!name.empty())
+        nextData_ = (nextData_ + 7) & ~Addr(7);
+    Addr base = nextData_;
+    nextData_ += bytes;
+    if (!name.empty()) {
+        auto [it, inserted] = dataSyms_.emplace(name, base);
+        if (!inserted)
+            fatal("duplicate data symbol '%s'", name.c_str());
+    }
+    return base;
+}
+
+Addr
+Program::addData(const std::string &name,
+                 const std::vector<std::uint8_t> &bytes)
+{
+    Addr base = allocData(name, bytes.size());
+    chunks_.push_back(DataChunk{base, bytes});
+    return base;
+}
+
+Addr
+Program::dataSymbol(const std::string &name) const
+{
+    auto it = dataSyms_.find(name);
+    if (it == dataSyms_.end())
+        fatal("unknown data symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasDataSymbol(const std::string &name) const
+{
+    return dataSyms_.count(name) != 0;
+}
+
+void
+Program::noteTrigger(TriggerId t)
+{
+    if (t >= numTriggers_)
+        numTriggers_ = t + 1;
+}
+
+} // namespace dttsim::isa

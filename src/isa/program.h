@@ -1,0 +1,104 @@
+#pragma once
+
+/**
+ * @file
+ * A loadable program image: instruction text, initialized data
+ * segments, and symbol tables for both. Produced by the Assembler or
+ * the ProgramBuilder, consumed by the functional and timing cores.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/inst.h"
+
+namespace dttsim::isa {
+
+/** One initialized region of the data segment. */
+struct DataChunk
+{
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Default base address of the data segment. */
+inline constexpr Addr kDataBase = 0x100000;
+
+/** Base of the per-context stack area (stacks grow down from here). */
+inline constexpr Addr kStackTop = 0x7ff00000;
+
+/** Bytes reserved per hardware-context stack. */
+inline constexpr Addr kStackSize = 0x10000;
+
+/** A complete program image. */
+class Program
+{
+  public:
+    /** Append one instruction; returns its PC (instruction index). */
+    std::uint64_t
+    append(const Inst &inst)
+    {
+        text_.push_back(inst);
+        return text_.size() - 1;
+    }
+
+    const std::vector<Inst> &text() const { return text_; }
+    std::vector<Inst> &text() { return text_; }
+
+    /** Instruction at @p pc. @pre pc < size(). */
+    const Inst &at(std::uint64_t pc) const;
+
+    std::uint64_t size() const { return text_.size(); }
+
+    /** Entry point (instruction index) for the main thread. */
+    std::uint64_t entry() const { return entry_; }
+    void setEntry(std::uint64_t pc) { entry_ = pc; }
+
+    /** Define a text label at @p pc. */
+    void defineLabel(const std::string &name, std::uint64_t pc);
+
+    /** Look up a text label; fatal() if missing. */
+    std::uint64_t label(const std::string &name) const;
+    bool hasLabel(const std::string &name) const;
+
+    /**
+     * Reserve @p bytes in the data segment, 8-byte aligned, under
+     * @p name; returns the assigned address.
+     */
+    Addr allocData(const std::string &name, std::uint64_t bytes);
+
+    /** Add pre-initialized bytes at the next free data address. */
+    Addr addData(const std::string &name,
+                 const std::vector<std::uint8_t> &bytes);
+
+    /** Look up a data symbol; fatal() if missing. */
+    Addr dataSymbol(const std::string &name) const;
+    bool hasDataSymbol(const std::string &name) const;
+
+    const std::vector<DataChunk> &dataChunks() const { return chunks_; }
+    Addr dataEnd() const { return nextData_; }
+
+    /** Highest trigger id used + 1 (sizes the DTT registry). */
+    int numTriggers() const { return numTriggers_; }
+    void noteTrigger(TriggerId t);
+
+    /** All text labels (for disassembly annotation). */
+    const std::map<std::string, std::uint64_t> &labels() const
+    {
+        return textSyms_;
+    }
+
+  private:
+    std::vector<Inst> text_;
+    std::vector<DataChunk> chunks_;
+    std::map<std::string, std::uint64_t> textSyms_;
+    std::map<std::string, Addr> dataSyms_;
+    std::uint64_t entry_ = 0;
+    Addr nextData_ = kDataBase;
+    int numTriggers_ = 0;
+};
+
+} // namespace dttsim::isa

@@ -1,0 +1,111 @@
+#include "mem/cache.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace dttsim::mem {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), stats_(config.name)
+{
+    if (config_.lineBytes == 0
+        || (config_.lineBytes & (config_.lineBytes - 1)) != 0)
+        fatal("%s: line size must be a power of two",
+              config_.name.c_str());
+    if (config_.assoc == 0)
+        fatal("%s: associativity must be >= 1", config_.name.c_str());
+    std::uint64_t lines = config_.sizeBytes / config_.lineBytes;
+    if (lines == 0 || lines % config_.assoc != 0)
+        fatal("%s: size/line/assoc geometry invalid",
+              config_.name.c_str());
+    numSets_ = static_cast<std::uint32_t>(lines / config_.assoc);
+    if ((numSets_ & (numSets_ - 1)) != 0)
+        fatal("%s: number of sets (%u) must be a power of two",
+              config_.name.c_str(), numSets_);
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(std::uint64_t(config_.lineBytes)));
+    lines_.resize(std::size_t(numSets_) * config_.assoc);
+
+    stats_.counter("accesses");
+    stats_.counter("hits");
+    stats_.counter("misses");
+    stats_.counter("evictions");
+    stats_.counter("writebacks");
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+CacheAccess
+Cache::access(Addr addr, bool is_write)
+{
+    ++stats_.counter("accesses");
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *ways = &lines_[set * config_.assoc];
+
+    CacheAccess result;
+    Line *victim = &ways[0];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = ways[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lruClock_;
+            line.dirty = line.dirty || is_write;
+            ++stats_.counter("hits");
+            result.hit = true;
+            return result;
+        }
+        // Track the LRU (or first invalid) way as fill victim.
+        if (!line.valid) {
+            if (victim->valid || line.lru < victim->lru)
+                victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.counter("misses");
+    if (victim->valid) {
+        ++stats_.counter("evictions");
+        if (victim->dirty) {
+            ++stats_.counter("writebacks");
+            result.writebackVictim = true;
+        }
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = ++lruClock_;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Line *ways = &lines_[set * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+} // namespace dttsim::mem

@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * Timing-only set-associative cache model (tags, LRU, write-back
+ * write-allocate). Data values live in mem::Memory; caches only decide
+ * latency, so they track tags and dirty bits, not bytes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace dttsim::mem {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 64;
+    Cycle hitLatency = 2;
+};
+
+/** Result of a single cache lookup-with-fill. */
+struct CacheAccess
+{
+    bool hit = false;
+    bool writebackVictim = false;  ///< a dirty line was evicted
+};
+
+/** One level of set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr; on miss, fill the line (evicting LRU).
+     * @param is_write marks the line dirty on hit or fill.
+     */
+    CacheAccess access(Addr addr, bool is_write);
+
+    /** Probe without modifying state (for tests). */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything (keeps stats). */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+    Cycle hitLatency() const { return config_.hitLatency; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    std::uint64_t accesses() const { return stats_.get("accesses"); }
+    std::uint64_t misses() const { return stats_.get("misses"); }
+    double missRate() const
+    {
+        return ratio(misses(), accesses());
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  ///< larger = more recently used
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+
+    CacheConfig config_;
+    std::uint32_t numSets_;
+    std::uint32_t lineShift_;
+    std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
+    std::uint64_t lruClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace dttsim::mem

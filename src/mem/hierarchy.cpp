@@ -1,0 +1,152 @@
+#include "mem/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dttsim::mem {
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+{
+    if (config_.l1i.lineBytes != config_.l2.lineBytes
+        || config_.l1d.lineBytes != config_.l2.lineBytes)
+        fatal("hierarchy requires a uniform line size across levels");
+    if (config_.mshrs < 1)
+        fatal("hierarchy needs at least one MSHR per level");
+}
+
+Cycle
+Hierarchy::FillTracker::pendingFor(std::uint64_t line, Cycle now) const
+{
+    for (const Fill &f : fills)
+        if (f.line == line && f.readyAt > now)
+            return f.readyAt - now;
+    return 0;
+}
+
+Cycle
+Hierarchy::FillTracker::allocDelay(int mshrs, Cycle now)
+{
+    // Compact released entries opportunistically.
+    std::erase_if(fills, [now](const Fill &f) {
+        return f.readyAt <= now;
+    });
+    if (static_cast<int>(fills.size()) < mshrs)
+        return 0;
+    Cycle earliest = fills.front().readyAt;
+    for (const Fill &f : fills)
+        earliest = std::min(earliest, f.readyAt);
+    return earliest - now;
+}
+
+void
+Hierarchy::FillTracker::add(std::uint64_t line, Cycle ready_at)
+{
+    fills.push_back(Fill{line, ready_at});
+}
+
+Cycle
+Hierarchy::l2Latency(std::uint64_t line, Cycle now)
+{
+    Cycle lat = l2_.hitLatency();
+    // Tag lookup uses the line's byte address.
+    Addr addr = line * config_.l2.lineBytes;
+    CacheAccess l2 = l2_.access(addr, false);
+    if (l2.hit)
+        return lat;
+    if (config_.modelFills) {
+        if (Cycle pending = l2Fills_.pendingFor(line, now)) {
+            ++fillMerges_;
+            return lat + pending;
+        }
+        Cycle wait = l2Fills_.allocDelay(config_.mshrs, now);
+        mshrStalls_ += wait;
+        ++memAccesses_;
+        Cycle total = lat + wait + config_.memLatency;
+        l2Fills_.add(line, now + total);
+        return total;
+    }
+    ++memAccesses_;
+    return lat + config_.memLatency;
+}
+
+Cycle
+Hierarchy::accessData(Addr addr, bool is_write, Cycle now)
+{
+    std::uint64_t line = addr / config_.l1d.lineBytes;
+    Cycle lat = l1d_.hitLatency();
+    CacheAccess l1 = l1d_.access(addr, is_write);
+    if (l1.hit) {
+        if (config_.modelFills) {
+            // The tag may belong to a fill still in flight.
+            if (Cycle pending = l1dFills_.pendingFor(line, now)) {
+                ++fillMerges_;
+                return lat + pending;
+            }
+        }
+        return lat;
+    }
+
+    Cycle wait = 0;
+    if (config_.modelFills) {
+        wait = l1dFills_.allocDelay(config_.mshrs, now);
+        mshrStalls_ += wait;
+    }
+    Cycle below = l2Latency(line, now + wait);
+    Cycle total = lat + wait + below;
+    if (config_.modelFills)
+        l1dFills_.add(line, now + total);
+
+    if (config_.nextLinePrefetch) {
+        // Pull the next line toward L2 (tag install + fill timing).
+        std::uint64_t next_line = line + 1;
+        Addr next_addr = next_line * config_.l1d.lineBytes;
+        if (!l2_.contains(next_addr)
+            && (!config_.modelFills
+                || l2Fills_.pendingFor(next_line, now) == 0)) {
+            ++prefetches_;
+            (void)l2Latency(next_line, now);
+        }
+    }
+    return total;
+}
+
+Cycle
+Hierarchy::accessInst(Addr addr, Cycle now)
+{
+    std::uint64_t line = addr / config_.l1i.lineBytes;
+    Cycle lat = l1i_.hitLatency();
+    CacheAccess l1 = l1i_.access(addr, false);
+    if (l1.hit) {
+        if (config_.modelFills) {
+            if (Cycle pending = l1iFills_.pendingFor(line, now)) {
+                ++fillMerges_;
+                return lat + pending;
+            }
+        }
+        return lat;
+    }
+    Cycle wait = 0;
+    if (config_.modelFills) {
+        wait = l1iFills_.allocDelay(config_.mshrs, now);
+        mshrStalls_ += wait;
+    }
+    Cycle below = l2Latency(line, now + wait);
+    Cycle total = lat + wait + below;
+    if (config_.modelFills)
+        l1iFills_.add(line, now + total);
+    return total;
+}
+
+std::uint64_t
+Hierarchy::activityUnits() const
+{
+    std::uint64_t units = 0;
+    units += l1i_.accesses() + l1d_.accesses();
+    units += 4 * l2_.accesses();
+    units += 40 * memAccesses_;
+    return units;
+}
+
+} // namespace dttsim::mem

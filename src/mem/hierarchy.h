@@ -1,0 +1,116 @@
+#pragma once
+
+/**
+ * @file
+ * Three-level cache hierarchy: split L1I/L1D, unified L2, fixed-
+ * latency DRAM. Returns the total access latency seen by the core and
+ * keeps per-level statistics. All hardware contexts (main thread and
+ * DTTs running on SMT contexts of the same core) share this hierarchy,
+ * as in the paper's machine model.
+ *
+ * Miss timing is modeled with in-flight fills and finite MSHRs:
+ * a second access to a line whose fill is outstanding merges into it
+ * (paying the remaining latency), and when all MSHRs of a level are
+ * busy a new miss waits for the earliest release. Disable
+ * `modelFills` for the older idealized model (tags fill instantly).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.h"
+
+namespace dttsim::mem {
+
+/** Full-hierarchy configuration. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 4, 64, 1};
+    CacheConfig l1d{"l1d", 32 * 1024, 4, 64, 2};
+    CacheConfig l2{"l2", 1024 * 1024, 8, 64, 12};
+    Cycle memLatency = 200;
+
+    /** Track in-flight fills + finite MSHRs (see file comment). */
+    bool modelFills = true;
+    /** Outstanding-miss registers per L1 cache (and for the L2). */
+    int mshrs = 16;
+    /** Next-line prefetch into L2 on L1D misses. */
+    bool nextLinePrefetch = false;
+};
+
+/** The memory-side timing model used by the OOO core. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    /**
+     * Data access (load or store) issued at cycle @p now; returns
+     * total latency in cycles.
+     */
+    Cycle accessData(Addr addr, bool is_write, Cycle now = 0);
+
+    /** Instruction fetch access at cycle @p now. */
+    Cycle accessInst(Addr addr, Cycle now = 0);
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Total accesses that went to DRAM. */
+    std::uint64_t memAccesses() const { return memAccesses_; }
+
+    /** Misses merged into an in-flight fill of the same line. */
+    std::uint64_t fillMerges() const { return fillMerges_; }
+
+    /** Extra cycles spent waiting for a free MSHR. */
+    std::uint64_t mshrStallCycles() const { return mshrStalls_; }
+
+    /** Prefetches issued (next-line). */
+    std::uint64_t prefetches() const { return prefetches_; }
+
+    /** Dynamic-activity proxy for the energy figure: weighted access
+     *  counts (L1 = 1, L2 = 4, DRAM = 40 units per access). */
+    std::uint64_t activityUnits() const;
+
+  private:
+    /** Outstanding fills of one cache level. */
+    struct FillTracker
+    {
+        struct Fill
+        {
+            std::uint64_t line = 0;
+            Cycle readyAt = 0;
+        };
+        std::vector<Fill> fills;
+
+        /** Remaining latency if @p line is already inbound, else 0. */
+        Cycle pendingFor(std::uint64_t line, Cycle now) const;
+
+        /** Cycles until an MSHR frees up (0 if one is available). */
+        Cycle allocDelay(int mshrs, Cycle now);
+
+        void add(std::uint64_t line, Cycle ready_at);
+    };
+
+    /** L2-and-below latency for a line (shared by I and D paths). */
+    Cycle l2Latency(std::uint64_t line, Cycle now);
+
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    FillTracker l1iFills_;
+    FillTracker l1dFills_;
+    FillTracker l2Fills_;
+    std::uint64_t memAccesses_ = 0;
+    std::uint64_t fillMerges_ = 0;
+    std::uint64_t mshrStalls_ = 0;
+    std::uint64_t prefetches_ = 0;
+};
+
+} // namespace dttsim::mem

@@ -1,0 +1,136 @@
+#include "mem/memory.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace dttsim::mem {
+
+namespace {
+
+/** All-zero page returned for reads of untouched memory. */
+const Memory::Page kZeroPage{};
+
+} // namespace
+
+const std::uint8_t *
+Memory::pageFor(Addr a) const
+{
+    auto it = pages_.find(a >> kPageBits);
+    return it == pages_.end() ? kZeroPage.data() : it->second->data();
+}
+
+std::uint8_t *
+Memory::pageForWrite(Addr a)
+{
+    auto &slot = pages_[a >> kPageBits];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return slot->data();
+}
+
+std::uint8_t
+Memory::read8(Addr a) const
+{
+    return pageFor(a)[a & (kPageSize - 1)];
+}
+
+std::uint32_t
+Memory::read32(Addr a) const
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(read8(a + std::uint64_t(i))) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Memory::read64(Addr a) const
+{
+    // Fast path: access fully inside one page.
+    std::uint64_t off = a & (kPageSize - 1);
+    if (off + 8 <= kPageSize) {
+        std::uint64_t v;
+        std::memcpy(&v, pageFor(a) + off, 8);
+        return v;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(read8(a + std::uint64_t(i))) << (8 * i);
+    return v;
+}
+
+double
+Memory::readDouble(Addr a) const
+{
+    std::uint64_t v = read64(a);
+    double d;
+    std::memcpy(&d, &v, 8);
+    return d;
+}
+
+void
+Memory::write8(Addr a, std::uint8_t v)
+{
+    pageForWrite(a)[a & (kPageSize - 1)] = v;
+}
+
+void
+Memory::write32(Addr a, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        write8(a + std::uint64_t(i), std::uint8_t(v >> (8 * i)));
+}
+
+void
+Memory::write64(Addr a, std::uint64_t v)
+{
+    std::uint64_t off = a & (kPageSize - 1);
+    if (off + 8 <= kPageSize) {
+        std::memcpy(pageForWrite(a) + off, &v, 8);
+        return;
+    }
+    for (int i = 0; i < 8; ++i)
+        write8(a + std::uint64_t(i), std::uint8_t(v >> (8 * i)));
+}
+
+void
+Memory::writeDouble(Addr a, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    write64(a, bits);
+}
+
+std::uint64_t
+Memory::read(Addr a, int size) const
+{
+    switch (size) {
+      case 1: return read8(a);
+      case 4: return read32(a);
+      case 8: return read64(a);
+      default: panic("Memory::read: bad size %d", size);
+    }
+}
+
+void
+Memory::write(Addr a, int size, std::uint64_t v)
+{
+    switch (size) {
+      case 1: write8(a, std::uint8_t(v)); break;
+      case 4: write32(a, std::uint32_t(v)); break;
+      case 8: write64(a, v); break;
+      default: panic("Memory::write: bad size %d", size);
+    }
+}
+
+void
+Memory::writeBytes(Addr a, const std::uint8_t *src, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        write8(a + i, src[i]);
+}
+
+} // namespace dttsim::mem

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Sparse 64-bit simulated physical memory. Backing pages are allocated
+ * on first touch; untouched memory reads as zero. This is the single
+ * functional store shared by all hardware contexts (main thread and
+ * data-triggered threads communicate through it).
+ */
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace dttsim::mem {
+
+/** Byte-addressable sparse memory. */
+class Memory
+{
+  public:
+    static constexpr std::uint64_t kPageBits = 12;
+    static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+
+    Memory() = default;
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
+    Memory(Memory &&) = default;
+    Memory &operator=(Memory &&) = default;
+
+    std::uint8_t read8(Addr a) const;
+    std::uint32_t read32(Addr a) const;
+    std::uint64_t read64(Addr a) const;
+    double readDouble(Addr a) const;
+
+    void write8(Addr a, std::uint8_t v);
+    void write32(Addr a, std::uint32_t v);
+    void write64(Addr a, std::uint64_t v);
+    void writeDouble(Addr a, double v);
+
+    /** Sized access used by the executor: size in {1,4,8}. */
+    std::uint64_t read(Addr a, int size) const;
+    void write(Addr a, int size, std::uint64_t v);
+
+    /** Bulk initialization (program loading). */
+    void writeBytes(Addr a, const std::uint8_t *src, std::uint64_t n);
+
+    /** Number of pages currently allocated. */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+    /** Backing page type (exposed for the zero-page constant). */
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+  private:
+    const std::uint8_t *pageFor(Addr a) const;
+    std::uint8_t *pageForWrite(Addr a);
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace dttsim::mem

@@ -1,0 +1,108 @@
+#include "profile/advisor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "cpu/executor.h"
+
+namespace dttsim::profile {
+
+namespace {
+
+/** Per-static-store accumulators. */
+struct StoreStats
+{
+    std::uint64_t executions = 0;
+    std::uint64_t silent = 0;
+    std::uint64_t downstreamReads = 0;
+};
+
+/** Live ownership of one address by its last static writer. */
+struct AddrState
+{
+    std::uint64_t writerPc = 0;
+    std::uint64_t reads = 0;
+    bool valid = false;
+};
+
+} // namespace
+
+std::vector<TriggerCandidate>
+adviseTriggers(const isa::Program &prog, std::size_t top_k,
+               AdvisorRanking ranking, std::uint64_t max_insts)
+{
+    std::unordered_map<std::uint64_t, StoreStats> stores;
+    std::unordered_map<Addr, AddrState> owners;
+
+    cpu::FunctionalRunner runner(prog);
+    runner.setObserver([&](const cpu::StepInfo &info, int depth) {
+        if (depth != 0 || !info.mem.valid)
+            return;
+        if (info.mem.isLoad) {
+            auto it = owners.find(info.mem.addr);
+            if (it != owners.end() && it->second.valid)
+                ++it->second.reads;
+            return;
+        }
+        // A store: credit the previous owner, then take ownership.
+        StoreStats &st = stores[info.pc];
+        ++st.executions;
+        if (info.mem.oldValue == info.mem.value)
+            ++st.silent;
+        AddrState &owner = owners[info.mem.addr];
+        if (owner.valid)
+            stores[owner.writerPc].downstreamReads += owner.reads;
+        owner.writerPc = info.pc;
+        owner.reads = 0;
+        owner.valid = true;
+    });
+    runner.run(max_insts);
+
+    // Flush reads credited to final owners.
+    for (const auto &[addr, owner] : owners) {
+        (void)addr;
+        if (owner.valid)
+            stores[owner.writerPc].downstreamReads += owner.reads;
+    }
+
+    std::vector<TriggerCandidate> out;
+    out.reserve(stores.size());
+    for (const auto &[pc, st] : stores) {
+        if (st.executions < 8)
+            continue;  // noise filter
+        TriggerCandidate c;
+        c.storePc = pc;
+        c.executions = st.executions;
+        c.silent = st.silent;
+        c.downstreamReads = st.downstreamReads;
+        c.silentPct = pct(st.silent, st.executions);
+        c.meanReadsPerStore = st.executions
+            ? static_cast<double>(st.downstreamReads)
+                / static_cast<double>(st.executions)
+            : 0.0;
+        double silent_frac = st.executions
+            ? static_cast<double>(st.silent)
+                / static_cast<double>(st.executions)
+            : 0.0;
+        c.triggerScore = silent_frac * c.meanReadsPerStore;
+        c.eliminationScore =
+            static_cast<double>(st.silent) * c.meanReadsPerStore;
+        out.push_back(c);
+    }
+    auto key = [ranking](const TriggerCandidate &c) {
+        return ranking == AdvisorRanking::TriggerData
+            ? c.triggerScore : c.eliminationScore;
+    };
+    std::sort(out.begin(), out.end(),
+              [&](const TriggerCandidate &a, const TriggerCandidate &b) {
+                  if (key(a) != key(b))
+                      return key(a) > key(b);
+                  return a.storePc < b.storePc;
+              });
+    if (out.size() > top_k)
+        out.resize(top_k);
+    return out;
+}
+
+} // namespace dttsim::profile

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Trigger advisor: the compiler-support side of the DTT proposal.
+ * Given a *baseline* program, rank its static stores by how much
+ * redundant downstream computation a data-triggered thread attached
+ * to them could eliminate.
+ *
+ * For each static store the advisor measures, over a functional run:
+ *  - how often it executes and how often it is silent (writes the
+ *    value already present) — silent stores are pure elimination;
+ *  - how many loads read the stored value before it is overwritten —
+ *    a proxy for the amount of computation consuming that datum.
+ *
+ * The score is silent-fraction x mean-downstream-reads x executions:
+ * stores that frequently rewrite unchanged, heavily re-read data are
+ * exactly where the paper's transformation pays off (e.g. the arc
+ * cost stores feeding mcf's refresh_potential).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace dttsim::profile {
+
+/** One ranked static-store candidate. */
+struct TriggerCandidate
+{
+    std::uint64_t storePc = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t silent = 0;
+    std::uint64_t downstreamReads = 0;   ///< loads before overwrite
+    double silentPct = 0.0;
+    double meanReadsPerStore = 0.0;
+    /**
+     * Trigger-data quality: silent-fraction x mean downstream reads.
+     * High for sparse updates of heavily-consumed data — the stores
+     * to convert into triggering stores.
+     */
+    double triggerScore = 0.0;
+    /**
+     * Redundant-computation volume: silent executions x mean reads.
+     * High for the *output* stores of redundant computation (e.g.
+     * refresh_potential's potential[] writes) — the code a DTT
+     * handler should absorb.
+     */
+    double eliminationScore = 0.0;
+};
+
+/** Which score orders the returned ranking. */
+enum class AdvisorRanking { TriggerData, RedundantComputation };
+
+/**
+ * Rank the static stores of @p prog (run functionally to HALT).
+ * Stores executing fewer than 8 times are filtered as noise.
+ * @param top_k maximum candidates returned (score-descending).
+ */
+std::vector<TriggerCandidate>
+adviseTriggers(const isa::Program &prog, std::size_t top_k = 10,
+               AdvisorRanking ranking = AdvisorRanking::TriggerData,
+               std::uint64_t max_insts = 1ull << 32);
+
+} // namespace dttsim::profile

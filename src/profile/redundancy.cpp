@@ -1,0 +1,41 @@
+#include "profile/redundancy.h"
+
+#include <unordered_map>
+
+#include "cpu/executor.h"
+
+namespace dttsim::profile {
+
+RedundancyReport
+profileRedundancy(const isa::Program &prog, std::uint64_t max_insts)
+{
+    RedundancyReport report;
+    std::unordered_map<Addr, std::uint64_t> last_loaded;
+
+    cpu::FunctionalRunner runner(prog);
+    runner.setObserver([&](const cpu::StepInfo &info, int depth) {
+        if (depth != 0)
+            return;  // classify the main thread only
+        ++report.instructions;
+        if (!info.mem.valid)
+            return;
+        if (info.mem.isLoad) {
+            ++report.loads;
+            auto [it, inserted] =
+                last_loaded.try_emplace(info.mem.addr, info.mem.value);
+            if (!inserted) {
+                if (it->second == info.mem.value)
+                    ++report.redundantLoads;
+                it->second = info.mem.value;
+            }
+        } else {
+            ++report.stores;
+            if (info.mem.oldValue == info.mem.value)
+                ++report.silentStores;
+        }
+    });
+    runner.run(max_insts);
+    return report;
+}
+
+} // namespace dttsim::profile

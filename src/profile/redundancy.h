@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Redundant-load and silent-store profiler — the characterization
+ * behind the paper's motivating claim that 78% of all loads fetch
+ * redundant data (Fig. 2) and its companion silent-store rate
+ * (Fig. 4).
+ *
+ * Definitions (matching the paper's):
+ *  - a *redundant load* returns the same value from the same address
+ *    as the previous load of that address;
+ *  - a *silent store* writes the value the location already holds.
+ */
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "isa/program.h"
+
+namespace dttsim::profile {
+
+/** Characterization counters from one functional run. */
+struct RedundancyReport
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t redundantLoads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t silentStores = 0;
+
+    double
+    redundantLoadPct() const
+    {
+        return pct(redundantLoads, loads);
+    }
+
+    double
+    silentStorePct() const
+    {
+        return pct(silentStores, stores);
+    }
+};
+
+/**
+ * Functionally execute @p prog (inline-DTT semantics) and classify
+ * every load and store of the *main thread*.
+ */
+RedundancyReport profileRedundancy(const isa::Program &prog,
+                                   std::uint64_t max_insts = 1ull << 32);
+
+} // namespace dttsim::profile

@@ -1,0 +1,107 @@
+#include "profile/reuse.h"
+
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "common/reuse_buffer.h"
+#include "cpu/executor.h"
+#include "isa/operands.h"
+
+namespace dttsim::profile {
+
+namespace {
+
+/** 64-bit mix for the unbounded-memo tuple hash. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    return h ^ (h >> 33);
+}
+
+std::uint64_t
+probeHash(std::uint64_t pc, const ReuseProbe &p)
+{
+    std::uint64_t h = mix(0x12345678, pc);
+    h = mix(h, p.src[0]);
+    h = mix(h, p.src[1]);
+    h = mix(h, static_cast<std::uint64_t>(p.numSrc));
+    if (p.hasMem) {
+        h = mix(h, p.addr);
+        h = mix(h, p.memValue);
+        h = mix(h, 1);
+    }
+    return h;
+}
+
+std::uint64_t
+bits(double d)
+{
+    std::uint64_t v;
+    std::memcpy(&v, &d, 8);
+    return v;
+}
+
+} // namespace
+
+ReuseReport
+profileReuse(const isa::Program &prog, std::uint64_t max_insts)
+{
+    ReuseReport report;
+    ReuseBufferSet buffers(prog.size(), 8);
+    std::unordered_set<std::uint64_t> seen;  // unbounded ceiling
+
+    mem::Memory memory;
+    cpu::loadData(prog, memory);
+    cpu::ArchState st;
+    st.reset(prog.entry(), cpu::stackFor(0));
+
+    // Reuse profiling runs the program *without* DTT servicing: it
+    // characterizes the baseline program, where triggering stores are
+    // plain stores. A null hooks pointer gives exactly that.
+    for (std::uint64_t n = 0; n < max_insts; ++n) {
+        std::uint64_t pc = st.pc;
+        const isa::Inst &inst = prog.at(pc);
+
+        // Capture source operand values before execution.
+        ReuseProbe probe;
+        isa::forEachSource(inst, [&](bool is_fp, int idx) {
+            if (probe.numSrc < 2)
+                probe.src[probe.numSrc++] = is_fp
+                    ? bits(st.getF(idx))
+                    : st.getX(idx);
+        });
+
+        cpu::StepInfo info = cpu::step(st, memory, prog, nullptr);
+        if (info.halted)
+            break;
+        if (inst.op == isa::Opcode::NOP
+            || inst.op == isa::Opcode::HALT)
+            continue;
+
+        ++report.instructions;
+        bool is_load = info.mem.valid && info.mem.isLoad;
+        if (is_load)
+            ++report.loads;
+
+        probe.hasMem = info.mem.valid;
+        probe.addr = info.mem.addr;
+        probe.memValue = info.mem.value;
+
+        if (buffers.lookupInsert(pc, probe)) {
+            ++report.reusable;
+            if (is_load)
+                ++report.reusableLoads;
+        }
+        if (!seen.insert(probeHash(pc, probe)).second) {
+            ++report.reusableInf;
+            if (is_load)
+                ++report.reusableLoadsInf;
+        }
+    }
+    return report;
+}
+
+} // namespace dttsim::profile

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Dynamic instruction-reuse profiler — the "redundant computation"
+ * ceiling (Fig. 3): the fraction of dynamic instructions that repeat
+ * an earlier execution of the same static instruction with identical
+ * source operands (and, for loads, an identical memory value), hence
+ * necessarily produce the same result.
+ */
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "isa/program.h"
+
+namespace dttsim::profile {
+
+/** Reuse-ceiling counters from one functional run. */
+struct ReuseReport
+{
+    std::uint64_t instructions = 0;  ///< classified (main thread)
+    std::uint64_t loads = 0;
+    /** Matches within an 8-entry LRU reuse buffer per static
+     *  instruction (a realistic hardware structure). */
+    std::uint64_t reusable = 0;
+    std::uint64_t reusableLoads = 0;
+    /** Matches against *every* prior execution of the static
+     *  instruction (unbounded memoization — the redundancy ceiling
+     *  data-triggered threads draw from). */
+    std::uint64_t reusableInf = 0;
+    std::uint64_t reusableLoadsInf = 0;
+
+    double reusePct() const { return pct(reusable, instructions); }
+    double loadReusePct() const { return pct(reusableLoads, loads); }
+    double
+    reuseInfPct() const
+    {
+        return pct(reusableInf, instructions);
+    }
+    double
+    loadReuseInfPct() const
+    {
+        return pct(reusableLoadsInf, loads);
+    }
+};
+
+/**
+ * Functionally execute @p prog and measure per-static-instruction
+ * operand reuse on the main thread.
+ */
+ReuseReport profileReuse(const isa::Program &prog,
+                         std::uint64_t max_insts = 1ull << 32);
+
+} // namespace dttsim::profile

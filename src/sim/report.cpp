@@ -1,0 +1,98 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace dttsim::sim {
+
+namespace {
+
+void
+appendRow(TextTable &t, const char *name, std::uint64_t v)
+{
+    t.row({name, TextTable::num(v)});
+}
+
+} // namespace
+
+std::string
+formatResult(const SimResult &r)
+{
+    TextTable t("simulation result");
+    t.header({"metric", "value"});
+    appendRow(t, "cycles", r.cycles);
+    appendRow(t, "main insts", r.mainCommitted);
+    appendRow(t, "dtt insts", r.dttCommitted);
+    t.row({"ipc", TextTable::num(r.ipc, 3)});
+    t.row({"halted", r.halted ? "yes" : "no"});
+    appendRow(t, "tstores", r.tstores);
+    appendRow(t, "silent suppressed", r.silentSuppressed);
+    appendRow(t, "threads fired", r.fired);
+    appendRow(t, "coalesced", r.coalesced);
+    appendRow(t, "dropped", r.dropped);
+    appendRow(t, "spawns", r.dttSpawns);
+    appendRow(t, "twait stall cycles", r.twaitStallCycles);
+    appendRow(t, "L1D misses", r.l1dMisses);
+    appendRow(t, "L1I misses", r.l1iMisses);
+    appendRow(t, "L2 misses", r.l2Misses);
+    appendRow(t, "DRAM accesses", r.memAccesses);
+    appendRow(t, "cond branches", r.condBranches);
+    appendRow(t, "cond mispredicts", r.condMispredicts);
+    appendRow(t, "activity units", r.activityUnits);
+    return t.render();
+}
+
+std::string
+formatComparison(const SimResult &baseline, const SimResult &dtt)
+{
+    TextTable t("baseline vs DTT");
+    t.header({"metric", "baseline", "dtt"});
+    auto row = [&](const char *name, std::uint64_t b, std::uint64_t d) {
+        t.row({name, TextTable::num(b), TextTable::num(d)});
+    };
+    row("cycles", baseline.cycles, dtt.cycles);
+    row("main insts", baseline.mainCommitted, dtt.mainCommitted);
+    row("thread insts", baseline.dttCommitted, dtt.dttCommitted);
+    row("tstores", baseline.tstores, dtt.tstores);
+    row("silent suppressed", baseline.silentSuppressed,
+        dtt.silentSuppressed);
+    row("spawns", baseline.dttSpawns, dtt.dttSpawns);
+    row("L1D misses", baseline.l1dMisses, dtt.l1dMisses);
+    row("L2 misses", baseline.l2Misses, dtt.l2Misses);
+    row("activity units", baseline.activityUnits, dtt.activityUnits);
+    t.row({"ipc", TextTable::num(baseline.ipc, 3),
+           TextTable::num(dtt.ipc, 3)});
+
+    std::ostringstream os;
+    os << t.render();
+    if (dtt.cycles > 0)
+        os << "speedup: "
+           << TextTable::num(static_cast<double>(baseline.cycles)
+                                 / static_cast<double>(dtt.cycles), 3)
+           << "x\n";
+    return os.str();
+}
+
+std::string
+formatDetailedStats(Simulator &simulator)
+{
+    std::ostringstream os;
+    auto dump_group = [&os](const StatGroup &g) {
+        for (const auto &[name, value] : g.dump())
+            os << "  " << g.name() << "." << name << " = " << value
+               << "\n";
+    };
+    dump_group(simulator.core().stats());
+    dump_group(simulator.core().bpred().stats());
+    dump_group(simulator.hierarchy().l1i().stats());
+    dump_group(simulator.hierarchy().l1d().stats());
+    dump_group(simulator.hierarchy().l2().stats());
+    if (simulator.controller() != nullptr) {
+        dump_group(simulator.controller()->stats());
+        dump_group(simulator.controller()->queue().stats());
+    }
+    return os.str();
+}
+
+} // namespace dttsim::sim

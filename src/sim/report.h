@@ -1,0 +1,27 @@
+#pragma once
+
+/**
+ * @file
+ * Human-readable simulation reports: renders a SimResult (and,
+ * given the Simulator, the per-component statistic groups) as
+ * formatted text. Used by the example tools; library users get the
+ * raw SimResult instead.
+ */
+
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace dttsim::sim {
+
+/** Render the headline metrics of @p result. */
+std::string formatResult(const SimResult &result);
+
+/** Render a side-by-side baseline-vs-DTT comparison. */
+std::string formatComparison(const SimResult &baseline,
+                             const SimResult &dtt);
+
+/** Render every component stat group of a finished simulator. */
+std::string formatDetailedStats(Simulator &simulator);
+
+} // namespace dttsim::sim

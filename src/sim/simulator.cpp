@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include "common/log.h"
+
+namespace dttsim::sim {
+
+Simulator::Simulator(const SimConfig &config, isa::Program prog)
+    : config_(config), prog_(std::move(prog)), hierarchy_(config.mem)
+{
+    if (config_.enableDtt)
+        controller_ = std::make_unique<dtt::DttController>(
+            config_.dtt, config_.core.numContexts);
+    core_ = std::make_unique<cpu::OooCore>(
+        config_.core, prog_, hierarchy_, controller_.get());
+}
+
+SimResult
+Simulator::run()
+{
+    cpu::CoreRunResult core_result = core_->run(config_.maxCycles);
+
+    SimResult r;
+    r.cycles = core_result.cycles;
+    r.mainCommitted = core_result.mainCommitted;
+    r.dttCommitted = core_result.dttCommitted;
+    r.totalCommitted = r.mainCommitted + r.dttCommitted;
+    r.ipc = r.cycles
+        ? static_cast<double>(r.totalCommitted)
+            / static_cast<double>(r.cycles)
+        : 0.0;
+    r.halted = core_result.halted;
+    r.hitMaxCycles = core_result.hitMaxCycles;
+    r.dttSpawns = core_result.dttSpawns;
+
+    if (controller_) {
+        const auto &ds = controller_->stats();
+        r.tstores = ds.get("tstores");
+        r.silentSuppressed = ds.get("silentSuppressed");
+        r.fired = ds.get("fired");
+        r.coalesced = ds.get("coalesced");
+        r.dropped = ds.get("dropped");
+        r.tqMaxOccupancy =
+            controller_->queue().stats().get("maxOccupancy");
+    }
+    r.twaitStallCycles = core_->stats().get("twaitStallCycles");
+    r.tstoreCommitStalls = core_->stats().get("tstoreCommitStalls");
+
+    r.l1dAccesses = hierarchy_.l1d().accesses();
+    r.l1dMisses = hierarchy_.l1d().misses();
+    r.l1iAccesses = hierarchy_.l1i().accesses();
+    r.l1iMisses = hierarchy_.l1i().misses();
+    r.l2Accesses = hierarchy_.l2().accesses();
+    r.l2Misses = hierarchy_.l2().misses();
+    r.memAccesses = hierarchy_.memAccesses();
+    r.activityUnits = hierarchy_.activityUnits();
+
+    r.condBranches = core_->bpred().stats().get("condBranches");
+    r.condMispredicts = core_->bpred().stats().get("condMispredicts");
+    return r;
+}
+
+SimResult
+runProgram(const SimConfig &config, const isa::Program &prog)
+{
+    Simulator simulator(config, prog);
+    return simulator.run();
+}
+
+} // namespace dttsim::sim

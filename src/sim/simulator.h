@@ -1,0 +1,99 @@
+#pragma once
+
+/**
+ * @file
+ * Simulator facade: wires the OOO SMT core, the cache hierarchy and
+ * the DTT controller together, runs a program to completion and
+ * returns a flat result record the benchmark harness consumes.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.h"
+#include "core/controller.h"
+#include "core/dtt_config.h"
+#include "cpu/core_config.h"
+#include "cpu/ooo_core.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+
+namespace dttsim::sim {
+
+/** Full machine configuration. */
+struct SimConfig
+{
+    cpu::CoreConfig core;
+    mem::HierarchyConfig mem;
+    dtt::DttConfig dtt;
+    /** When false, the DTT controller is absent: triggering stores
+     *  behave as plain stores (the baseline machine). */
+    bool enableDtt = true;
+    Cycle maxCycles = 1ull << 33;
+};
+
+/** Flat result record of one simulation. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    std::uint64_t mainCommitted = 0;
+    std::uint64_t dttCommitted = 0;
+    std::uint64_t totalCommitted = 0;
+    double ipc = 0.0;
+    bool halted = false;
+    bool hitMaxCycles = false;
+
+    // DTT activity.
+    std::uint64_t dttSpawns = 0;
+    std::uint64_t tstores = 0;
+    std::uint64_t silentSuppressed = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t tqMaxOccupancy = 0;
+    std::uint64_t twaitStallCycles = 0;
+    std::uint64_t tstoreCommitStalls = 0;
+
+    // Memory system.
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t activityUnits = 0;   ///< energy proxy
+
+    // Branches.
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+};
+
+/** One-shot simulator: construct with a config + program, call run(). */
+class Simulator
+{
+  public:
+    /** The simulator owns a copy of @p prog (temporaries are safe). */
+    Simulator(const SimConfig &config, isa::Program prog);
+
+    /** Run to main-thread HALT (or the cycle limit). */
+    SimResult run();
+
+    cpu::OooCore &core() { return *core_; }
+    mem::Hierarchy &hierarchy() { return hierarchy_; }
+    /** Null when enableDtt is false. */
+    dtt::DttController *controller() { return controller_.get(); }
+
+  private:
+    SimConfig config_;
+    isa::Program prog_;
+    mem::Hierarchy hierarchy_;
+    std::unique_ptr<dtt::DttController> controller_;
+    std::unique_ptr<cpu::OooCore> core_;
+};
+
+/** Convenience: build, run, return the result. */
+SimResult runProgram(const SimConfig &config, const isa::Program &prog);
+
+} // namespace dttsim::sim

@@ -1,0 +1,281 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * ammp analogue (188.ammp): non-bonded pairwise energy. Atom
+ * coordinates move sparsely during relaxation; pair energies are pure
+ * FP functions of the two endpoints' coordinates, accumulated into
+ * stripe totals in exact fixed point.
+ *
+ * Baseline recomputes every pair each step. DTT triggers on
+ * coordinate writes; the handler re-evaluates only the moved atom's
+ * pairs and maintains the stripe totals by integer deltas. Pairs
+ * connect atoms of the same stripe (atom id mod 4), so per-trigger
+ * serialization makes the read-modify-writes safe.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kPairsPerAtom = 6;
+
+class AmmpWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "ammp";
+        i.specAnalogue = "188.ammp";
+        i.kernelDesc = "pairwise non-bonded energy with sparse"
+                       " coordinate updates";
+        i.triggerDesc = "atom coordinates, striped by atom id mod 4";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.3;
+        i.defaultIterations = 15;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int At = 256 * p.scale;    // atoms
+        const int P = 512 * p.scale;     // pairs
+        const int T = p.iterations;
+        const int U = 6;
+
+        Rng rng(p.seed);
+
+        std::vector<double> coord(static_cast<std::size_t>(At));
+        for (auto &c : coord)
+            c = rng.real() * 8.0;
+
+        // Pairs within a stripe; each atom in at most kPairsPerAtom.
+        std::vector<std::int64_t> pair_atoms(
+            static_cast<std::size_t>(2 * P));
+        std::vector<std::int64_t> atom_pairs(
+            static_cast<std::size_t>(At * kPairsPerAtom), -1);
+        {
+            std::vector<int> fill(static_cast<std::size_t>(At), 0);
+            auto pick = [&](int g) {
+                int a;
+                do {
+                    a = static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(At / kStripes)))
+                        * kStripes + g;
+                } while (fill[size_t(a)] >= kPairsPerAtom);
+                return a;
+            };
+            for (int pr = 0; pr < P; ++pr) {
+                int g = pr % kStripes;
+                int i = pick(g);
+                int j = pick(g);
+                pair_atoms[size_t(2 * pr)] = i;
+                pair_atoms[size_t(2 * pr + 1)] = j;
+                atom_pairs[size_t(i * kPairsPerAtom + fill[size_t(i)]++)]
+                    = pr;
+                if (j != i)
+                    atom_pairs[size_t(
+                        j * kPairsPerAtom + fill[size_t(j)]++)] = pr;
+            }
+        }
+
+        // Energy model, mirrored exactly by the emitted sequence:
+        // d = ci - cj; e = 1 / sqrt(d*d + 0.5); (int64)(e * 4096).
+        auto pair_energy_host = [&](int pr) {
+            double ci = coord[static_cast<std::size_t>(
+                pair_atoms[size_t(2 * pr)])];
+            double cj = coord[static_cast<std::size_t>(
+                pair_atoms[size_t(2 * pr + 1)])];
+            double d = ci - cj;
+            double e = 1.0 / __builtin_sqrt(d * d + 0.5);
+            return static_cast<std::int64_t>(e * 4096.0);
+        };
+        std::vector<std::int64_t> pair_e(static_cast<std::size_t>(P));
+        std::vector<std::int64_t> stripe_e(kStripes, 0);
+        for (int pr = 0; pr < P; ++pr) {
+            pair_e[size_t(pr)] = pair_energy_host(pr);
+            stripe_e[size_t(pr % kStripes)] += pair_e[size_t(pr)];
+        }
+
+        std::vector<std::int64_t> mirror = doubleBits(coord);
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return doubleBits(rng.real() * 8.0);
+            });
+
+        ProgramBuilder b;
+        Addr coord_a = b.quads("coord", doubleBits(coord));
+        Addr patoms_a = b.quads("pairAtoms", pair_atoms);
+        Addr apairs_a = b.quads("atomPairs", atom_pairs);
+        Addr pe_a = b.quads("pairE", pair_e);
+        Addr se_a = b.quads("stripeE", stripe_e);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 5120 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label energy = b.newLabel();     // a0 = pair -> energy in a1
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- coordinate updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(coord_a));
+            b.andi(t4, t2, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            // -- recompute all pair energies (redundant) --
+            b.li(s7, P);
+            b.li(s6, 0);
+            b.li(s8, 0);
+            Label again = b.here();
+            b.mv(a0, s6);
+            b.call(energy);
+            b.add(s8, s8, a1);
+            b.slli(t0, s6, 3);
+            b.addi(t0, t0, std::int64_t(pe_a));
+            b.sd(a1, t0, 0);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s6, 0);
+            emitMixer(b, mixer_a, mixer_elems, s6);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+            b.li(s8, 0);
+            b.la(t2, se_a);
+            for (int s = 0; s < kStripes; ++s) {
+                b.ld(t3, t2, 8 * s);
+                b.add(s8, s8, t3);
+            }
+        }
+
+        // -- rest-of-program pass (shared) --
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s6, 0);
+            emitMixer(b, mixer_a, mixer_elems, s6);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s8);
+        b.add(s0, s0, s6);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- pair energy subroutine: a0 = pair index, energy in a1 --
+        b.bind(energy);
+        b.slli(t0, a0, 4);                   // pair * 2 atoms * 8
+        b.addi(t0, t0, std::int64_t(patoms_a));
+        b.ld(t1, t0, 0);                     // atom i
+        b.ld(t2, t0, 8);                     // atom j
+        b.slli(t1, t1, 3);
+        b.addi(t1, t1, std::int64_t(coord_a));
+        b.fld(ft0, t1, 0);                   // ci
+        b.slli(t2, t2, 3);
+        b.addi(t2, t2, std::int64_t(coord_a));
+        b.fld(ft1, t2, 0);                   // cj
+        b.fsub(ft0, ft0, ft1);               // d
+        b.fmul(ft0, ft0, ft0);
+        b.fli(ft1, 0.5);
+        b.fadd(ft0, ft0, ft1);
+        b.fsqrt(ft0, ft0);
+        b.fli(ft1, 1.0);
+        b.fdiv(ft0, ft1, ft0);
+        b.fli(ft1, 4096.0);
+        b.fmul(ft0, ft0, ft1);
+        b.fcvtwd(a1, ft0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &coord[atom]; re-evaluate its pairs.
+            b.bind(handler);
+            b.li(t0, std::int64_t(coord_a));
+            b.sub(t0, a0, t0);
+            b.srli(s1, t0, 3);               // atom
+            b.andi(s2, s1, kStripes - 1);    // stripe
+            b.li(t0, kPairsPerAtom);
+            b.mul(s3, s1, t0);
+            b.slli(s3, s3, 3);
+            b.addi(s3, s3, std::int64_t(apairs_a));
+            b.li(s4, 0);
+            Label next = b.newLabel();
+            Label top = b.here();
+            b.ld(s5, s3, 0);                 // pair id
+            b.blt(s5, zero, next);
+            b.mv(a0, s5);
+            b.call(energy);
+            b.slli(t0, s5, 3);
+            b.addi(t0, t0, std::int64_t(pe_a));
+            b.ld(t1, t0, 0);
+            b.sd(a1, t0, 0);
+            b.sub(t1, a1, t1);               // delta
+            b.slli(t2, s2, 3);
+            b.addi(t2, t2, std::int64_t(se_a));
+            b.ld(t3, t2, 0);
+            b.add(t3, t3, t1);
+            b.sd(t3, t2, 0);
+            b.bind(next);
+            b.addi(s3, s3, 8);
+            b.addi(s4, s4, 1);
+            b.li(t0, kPairsPerAtom);
+            b.blt(s4, t0, top);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+ammpWorkload()
+{
+    static AmmpWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,250 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * art analogue (179.art): the F1-layer weight scan, the paper's
+ * largest DTT win. y[j] = sum_i w[i][j] * x[i] over a weight matrix
+ * that changes only sparsely between input presentations.
+ *
+ * Baseline: every presentation recomputes the full I x J
+ * multiply-accumulate even though almost no weights changed.
+ *
+ * DTT: weight writes are triggering stores (striped by column group).
+ * The O(1) handler applies the delta through a shadow copy:
+ * y[j] += (w[k] - shadow[k]) * x[i]; shadow[k] = w[k]. The main
+ * thread consumes y directly behind TWAIT. All arithmetic is integer,
+ * so baseline and DTT checksums match exactly.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kCols = 64;       // J (power of two)
+constexpr int kColShift = 6;
+
+class ArtWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "art";
+        i.specAnalogue = "179.art";
+        i.kernelDesc = "F1-layer weight scan (y = W^T x) with sparse"
+                       " weight updates + exemplar resonance pass";
+        i.triggerDesc = "weight matrix entries, striped by column";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.2;
+        i.defaultIterations = 30;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int I = 64 * p.scale;   // input neurons (rows)
+        const int J = kCols;          // F1 neurons (columns)
+        const int N = I * J;
+        const int E = 9;              // exemplars (shared work)
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<std::int64_t> w(static_cast<std::size_t>(N));
+        for (auto &v : w)
+            v = rng.range(-64, 64);
+        std::vector<std::int64_t> x(static_cast<std::size_t>(I));
+        for (auto &v : x)
+            v = rng.range(-8, 8);
+        std::vector<std::int64_t> y(static_cast<std::size_t>(J), 0);
+        for (int i = 0; i < I; ++i)
+            for (int j = 0; j < J; ++j)
+                y[size_t(j)] += w[size_t(i * J + j)] * x[size_t(i)];
+        std::vector<std::int64_t> ex(static_cast<std::size_t>(E * J));
+        for (auto &v : ex)
+            v = rng.range(-16, 16);
+
+        std::vector<std::int64_t> mirror = w;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate,
+            [&](std::int64_t) { return rng.range(-64, 64); });
+
+        ProgramBuilder b;
+        Addr w_a = b.quads("w", w);
+        Addr shadow_a = b.quads("shadow", w);
+        Addr x_a = b.quads("x", x);
+        Addr y_a = b.quads("y", y);
+        Addr ex_a = b.quads("exemplars", ex);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);            // checksum
+        b.li(s1, 0);            // t
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- weight updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);                // k
+            b.ld(t3, s5, 0);                // value
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(w_a));
+            if (!dtt) {
+                b.sd(t3, t5, 0);
+            } else {
+                b.andi(t4, t2, kStripes - 1);  // stripe = j & 3
+                Label l1 = b.newLabel(), l2 = b.newLabel();
+                Label l3 = b.newLabel(), done = b.newLabel();
+                b.bnez(t4, l1);
+                b.tsd(t3, t5, 0, 0);
+                b.j(done);
+                b.bind(l1);
+                b.li(t6, 1);
+                b.bne(t4, t6, l2);
+                b.tsd(t3, t5, 0, 1);
+                b.j(done);
+                b.bind(l2);
+                b.li(t6, 2);
+                b.bne(t4, t6, l3);
+                b.tsd(t3, t5, 0, 2);
+                b.j(done);
+                b.bind(l3);
+                b.tsd(t3, t5, 0, 3);
+                b.bind(done);
+            }
+        });
+
+        if (!dtt) {
+            // -- full F1 recompute (the redundant computation) --
+            // zero y, then accumulate row by row.
+            b.la(t2, y_a);
+            b.li(t1, J);
+            b.loop(t0, t1, [&] {
+                b.sd(zero, t2, 0);
+                b.addi(t2, t2, 8);
+            });
+            b.li(t1, I);
+            b.loop(t0, t1, [&] {
+                b.slli(t2, t0, 3);
+                b.addi(t2, t2, std::int64_t(x_a));
+                b.ld(t2, t2, 0);            // x[i]
+                b.slli(t3, t0, kColShift + 3);
+                b.addi(t3, t3, std::int64_t(w_a));  // row base
+                b.la(t4, y_a);
+                b.li(t6, J);
+                b.loop(t5, t6, [&] {
+                    b.ld(t7, t3, 0);
+                    b.mul(t7, t7, t2);
+                    b.ld(t8, t4, 0);
+                    b.add(t8, t8, t7);
+                    b.sd(t8, t4, 0);
+                    b.addi(t3, t3, 8);
+                    b.addi(t4, t4, 8);
+                });
+            });
+        } else {
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- resonance pass over exemplars (shared, non-redundant) --
+        b.li(s6, 0);
+        for (int e = 0; e < E; ++e) {
+            b.la(t2, y_a);
+            b.la(t3, ex_a + static_cast<Addr>(e * J * 8));
+            b.li(t4, 0);
+            b.li(t1, J);
+            b.loop(t0, t1, [&] {
+                b.ld(t5, t2, 0);
+                b.ld(t6, t3, 0);
+                b.mul(t5, t5, t6);
+                b.add(t4, t4, t5);
+                b.addi(t2, t2, 8);
+                b.addi(t3, t3, 8);
+            });
+            // keep the best (max) resonance
+            Label skip = b.newLabel();
+            b.blt(t4, s6, skip);
+            b.mv(s6, t4);
+            b.bind(skip);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        if (dtt) {
+            // Handler: a0 = &w[k], a1 = new value.
+            b.bind(handler);
+            b.li(t0, std::int64_t(w_a));
+            b.sub(t0, a0, t0);
+            b.srli(t0, t0, 3);              // k
+            b.srli(t1, t0, kColShift);      // i = k / J
+            b.andi(t2, t0, kCols - 1);      // j = k % J
+            // delta = w[k] - shadow[k]
+            b.ld(t3, a0, 0);                // current w[k]
+            b.slli(t4, t0, 3);
+            b.addi(t4, t4, std::int64_t(shadow_a));
+            b.ld(t5, t4, 0);                // shadow
+            b.sub(t6, t3, t5);              // delta
+            b.sd(t3, t4, 0);                // shadow = w[k]
+            // y[j] += delta * x[i]
+            b.slli(t7, t1, 3);
+            b.addi(t7, t7, std::int64_t(x_a));
+            b.ld(t7, t7, 0);                // x[i]
+            b.mul(t6, t6, t7);
+            b.slli(t8, t2, 3);
+            b.addi(t8, t8, std::int64_t(y_a));
+            b.ld(t7, t8, 0);
+            b.add(t7, t7, t6);
+            b.sd(t7, t8, 0);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+artWorkload()
+{
+    static ArtWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,248 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * bzip2 analogue (256.bzip2): per-block compression over a buffer in
+ * which writes frequently rewrite bytes with their existing values
+ * (silent stores). Baseline recompresses every block each iteration;
+ * DTT recompresses only blocks whose bytes actually changed, via
+ * byte-granularity triggering stores (TSB) striped by block group.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kBlockBytes = 32;      // K (power of two: shift 5)
+constexpr int kBlockShift = 5;
+
+class Bzip2Workload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "bzip2";
+        i.specAnalogue = "256.bzip2";
+        i.kernelDesc = "per-block RLE+hash compression of a buffer"
+                       " with mostly-unchanged blocks";
+        i.triggerDesc = "buffer bytes (TSB), striped by block group";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.35;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int B = 32 * p.scale;          // blocks
+        const int K = kBlockBytes;
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<std::uint8_t> buf(static_cast<std::size_t>(B * K));
+        for (auto &v : buf)
+            v = static_cast<std::uint8_t>(rng.below(8));  // runs likely
+
+        // Host compression mirror (hash + run-length output count).
+        auto compress_host = [&](const std::uint8_t *block,
+                                 std::int64_t &hash, std::int64_t &len) {
+            std::uint64_t h = 0;  // unsigned: wraps like the ISA's MUL
+            len = 0;
+            int prev = -1;
+            for (int i = 0; i < K; ++i) {
+                h = h * 131 + block[i];
+                if (block[i] != prev)
+                    ++len;
+                prev = block[i];
+            }
+            hash = static_cast<std::int64_t>(h);
+        };
+        std::vector<std::int64_t> block_hash(static_cast<std::size_t>(B));
+        std::vector<std::int64_t> block_len(block_hash.size());
+        for (int bi = 0; bi < B; ++bi)
+            compress_host(&buf[static_cast<std::size_t>(bi * K)],
+                          block_hash[size_t(bi)], block_len[size_t(bi)]);
+
+        std::vector<std::int64_t> mirror(buf.begin(), buf.end());
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return static_cast<std::int64_t>(rng.below(8));
+            });
+
+        ProgramBuilder b;
+        Addr buf_a = b.bytes("buf", buf);
+        Addr hash_a = b.quads("blockHash", block_hash);
+        Addr len_a = b.quads("blockLen", block_len);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 4096 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label compress = b.newLabel();   // a0 = block index
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- byte updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);                // byte index
+            b.ld(t3, s5, 0);                // byte value
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.addi(t5, t2, std::int64_t(buf_a));
+            if (!dtt) {
+                b.sb(t3, t5, 0);
+            } else {
+                b.srli(t4, t2, kBlockShift);   // block
+                b.andi(t4, t4, kStripes - 1);  // stripe
+                Label l1 = b.newLabel(), l2 = b.newLabel();
+                Label l3 = b.newLabel(), done = b.newLabel();
+                b.bnez(t4, l1);
+                b.tsb(t3, t5, 0, 0);
+                b.j(done);
+                b.bind(l1);
+                b.li(t6, 1);
+                b.bne(t4, t6, l2);
+                b.tsb(t3, t5, 0, 1);
+                b.j(done);
+                b.bind(l2);
+                b.li(t6, 2);
+                b.bne(t4, t6, l3);
+                b.tsb(t3, t5, 0, 2);
+                b.j(done);
+                b.bind(l3);
+                b.tsb(t3, t5, 0, 3);
+                b.bind(done);
+            }
+        });
+
+        if (!dtt) {
+            // -- recompress every block (redundant computation) --
+            b.li(s7, B);
+            Label again = b.newLabel();
+            b.li(s6, 0);
+            b.bind(again);
+            b.mv(a0, s6);
+            b.call(compress);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- consume: fold compressed lengths and hashes --
+        b.li(s6, 0);
+        b.la(t2, hash_a);
+        b.la(t3, len_a);
+        b.li(t1, B);
+        b.loop(t0, t1, [&] {
+            b.ld(t4, t2, 0);
+            b.ld(t5, t3, 0);
+            b.xor_(s6, s6, t4);
+            b.add(s6, s6, t5);
+            b.addi(t2, t2, 8);
+            b.addi(t3, t3, 8);
+        });
+
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- compress subroutine: a0 = block index --
+        b.bind(compress);
+        b.slli(t0, a0, kBlockShift);
+        b.addi(t0, t0, std::int64_t(buf_a));   // byte cursor
+        b.li(t2, 0);                           // hash
+        b.li(t3, 0);                           // out length
+        b.li(t4, -1);                          // prev byte
+        b.li(t6, 131);
+        b.li(t8, K);
+        b.loop(t7, t8, [&] {
+            b.lb(t5, t0, 0);
+            b.mul(t2, t2, t6);
+            b.add(t2, t2, t5);
+            Label same = b.newLabel();
+            b.beq(t5, t4, same);
+            b.addi(t3, t3, 1);
+            b.bind(same);
+            b.mv(t4, t5);
+            b.addi(t0, t0, 1);
+        });
+        b.slli(t0, a0, 3);
+        b.addi(t5, t0, std::int64_t(hash_a));
+        b.sd(t2, t5, 0);
+        b.addi(t5, t0, std::int64_t(len_a));
+        b.sd(t3, t5, 0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &buf[byte]; recompress that block.
+            b.bind(handler);
+            b.li(t0, std::int64_t(buf_a));
+            b.sub(t0, a0, t0);
+            b.srli(a0, t0, kBlockShift);       // block index
+            b.call(compress);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+bzip2Workload()
+{
+    static Bzip2Workload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,228 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * crafty analogue (186.crafty): chess attack/mobility tables. The
+ * board changes two squares per move (and search revisits positions,
+ * so squares are often rewritten with the piece they already held);
+ * per-square pseudo-mobility values are pure functions of the square
+ * contents and precomputed ray masks.
+ *
+ * Baseline recomputes all 64 x BOARDS mobility entries per search
+ * step; DTT triggers on board-square writes and re-derives just that
+ * square. Evaluation (a popcount-style fold over mobility plus the
+ * search's other work) is shared.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kSquares = 64;     // squares per board
+
+/** Host mobility function, mirrored by the emitted sequence:
+ *  fold the piece code with the square's ray mask. */
+std::int64_t
+mobilityHost(std::int64_t piece, std::int64_t mask)
+{
+    auto v = static_cast<std::uint64_t>(piece * 0x0101010101010101ll)
+        & static_cast<std::uint64_t>(mask);
+    // popcount via the classic parallel fold.
+    v = v - ((v >> 1) & 0x5555555555555555ull);
+    v = (v & 0x3333333333333333ull) + ((v >> 2)
+                                       & 0x3333333333333333ull);
+    v = (v + (v >> 4)) & 0x0f0f0f0f0f0f0f0full;
+    return static_cast<std::int64_t>(
+        (v * 0x0101010101010101ull) >> 56);
+}
+
+class CraftyWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "crafty";
+        i.specAnalogue = "186.crafty";
+        i.kernelDesc = "per-square pseudo-mobility tables under"
+                       " search-move board updates";
+        i.triggerDesc = "board squares, striped by square id mod 4";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.45;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int B = 8 * p.scale;       // boards in the search stack
+        const int N = B * kSquares;      // board cells
+        const int T = p.iterations;
+        const int U = 8;                 // square writes per step
+
+        Rng rng(p.seed);
+
+        std::vector<std::int64_t> board(static_cast<std::size_t>(N));
+        for (auto &v : board)
+            v = rng.range(0, 12);        // piece codes
+        std::vector<std::int64_t> masks(static_cast<std::size_t>(N));
+        for (auto &v : masks)
+            v = static_cast<std::int64_t>(rng.next());
+        std::vector<std::int64_t> mobility(board.size());
+        for (std::size_t i = 0; i < board.size(); ++i)
+            mobility[i] = mobilityHost(board[i], masks[i]);
+
+        std::vector<std::int64_t> mirror = board;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate,
+            [&](std::int64_t) { return rng.range(0, 12); });
+
+        ProgramBuilder b;
+        Addr board_a = b.quads("board", board);
+        Addr masks_a = b.quads("rayMasks", masks);
+        Addr mob_a = b.quads("mobility", mobility);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 4608 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label derive = b.newLabel();     // a0 = cell index
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- board updates (search makes/unmakes moves) --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(board_a));
+            b.andi(t4, t2, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            // -- recompute every square's mobility (redundant) --
+            b.li(s7, N);
+            b.li(s6, 0);
+            Label again = b.here();
+            b.mv(a0, s6);
+            b.call(derive);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            // Idiomatic DTT main loop: overlap independent work with
+            // the triggered threads, then fence.
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- evaluation: fold the mobility tables --
+        b.li(s6, 0);
+        b.la(t2, mob_a);
+        b.li(t1, N);
+        b.loop(t0, t1, [&] {
+            b.ld(t4, t2, 0);
+            b.add(s6, s6, t4);
+            b.addi(t2, t2, 8);
+        });
+
+        if (!dtt) {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- derive subroutine: a0 = cell index --
+        b.bind(derive);
+        b.slli(t0, a0, 3);
+        b.addi(t1, t0, std::int64_t(board_a));
+        b.ld(t2, t1, 0);                    // piece
+        b.li(t3, 0x0101010101010101);
+        b.mul(t2, t2, t3);
+        b.addi(t1, t0, std::int64_t(masks_a));
+        b.ld(t4, t1, 0);
+        b.and_(t2, t2, t4);
+        // popcount fold (mirrors mobilityHost exactly)
+        b.srli(t4, t2, 1);
+        b.li(t5, 0x5555555555555555);
+        b.and_(t4, t4, t5);
+        b.sub(t2, t2, t4);
+        b.li(t5, 0x3333333333333333);
+        b.and_(t4, t2, t5);
+        b.srli(t2, t2, 2);
+        b.and_(t2, t2, t5);
+        b.add(t2, t2, t4);
+        b.srli(t4, t2, 4);
+        b.add(t2, t2, t4);
+        b.li(t5, 0x0f0f0f0f0f0f0f0f);
+        b.and_(t2, t2, t5);
+        b.mul(t2, t2, t3);
+        b.srli(t2, t2, 56);
+        b.addi(t1, t0, std::int64_t(mob_a));
+        b.sd(t2, t1, 0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &board[cell]; re-derive that square.
+            b.bind(handler);
+            b.li(t0, std::int64_t(board_a));
+            b.sub(t0, a0, t0);
+            b.srli(a0, t0, 3);
+            b.call(derive);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+craftyWorkload()
+{
+    static CraftyWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,258 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * equake analogue (183.equake): sparse-matrix assembly + banded
+ * matrix-vector product per timestep. The matrix coefficients are
+ * derived from mesh coordinates that rarely change; the vector
+ * evolves every timestep (non-redundant).
+ *
+ * Baseline: reassembles every matrix coefficient each timestep before
+ * the SMVP. DTT: coordinate writes trigger a handler that reassembles
+ * only the touched element's coefficients; the main thread runs the
+ * SMVP directly. Both variants execute the identical FP assembly
+ * expression, so results match bit-for-bit; the checksum is the
+ * fixed-point conversion of the per-timestep vector sum.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+
+class EquakeWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "equake";
+        i.specAnalogue = "183.equake";
+        i.kernelDesc = "matrix assembly from mesh coords + banded"
+                       " SMVP timestepping";
+        i.triggerDesc = "mesh coordinate words, striped by element";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.2;
+        i.defaultIterations = 15;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int E = 1024 * p.scale;   // elements
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<double> coord(static_cast<std::size_t>(E));
+        for (auto &c : coord)
+            c = rng.real() * 2.0 - 1.0;
+
+        auto asm0 = [](double c) { return 0.20 * (c * c) + 0.75; };
+        auto asm1 = [](double c) {
+            double t = c < 0 ? -c : c;
+            return 0.05 * __builtin_sqrt(t + 1.0);
+        };
+        std::vector<double> mat0(coord.size()), mat1(coord.size());
+        for (std::size_t e = 0; e < coord.size(); ++e) {
+            mat0[e] = asm0(coord[e]);
+            mat1[e] = asm1(coord[e]);
+        }
+        // Padded vectors: index E is a zero boundary element.
+        std::vector<double> vin(static_cast<std::size_t>(E) + 1, 0.0);
+        for (int i = 0; i < E; ++i)
+            vin[size_t(i)] = rng.real();
+        std::vector<double> vout(static_cast<std::size_t>(E) + 1, 0.0);
+
+        std::vector<std::int64_t> mirror = doubleBits(coord);
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return doubleBits(rng.real() * 2.0 - 1.0);
+            });
+
+        ProgramBuilder b;
+        Addr coord_a = b.quads("coord", doubleBits(coord));
+        Addr a0_a = b.quads("A0", doubleBits(mat0));
+        Addr a1_a = b.quads("A1", doubleBits(mat1));
+        Addr vin_a = b.quads("vin", doubleBits(vin));
+        Addr vout_a = b.quads("vout", doubleBits(vout));
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 3072 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label assemble = b.newLabel();  // shared assembly subroutine
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);            // checksum
+        b.li(s1, 0);            // t
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+        b.la(s8, vin_a);        // current input vector
+        b.la(s9, vout_a);       // current output vector
+
+        Label outer = b.here();
+
+        // -- coordinate updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);                // e
+            b.ld(t3, s5, 0);                // new coord bits
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(coord_a));
+            if (!dtt) {
+                b.sd(t3, t5, 0);
+            } else {
+                b.andi(t4, t2, kStripes - 1);
+                Label l1 = b.newLabel(), l2 = b.newLabel();
+                Label l3 = b.newLabel(), done = b.newLabel();
+                b.bnez(t4, l1);
+                b.tsd(t3, t5, 0, 0);
+                b.j(done);
+                b.bind(l1);
+                b.li(t6, 1);
+                b.bne(t4, t6, l2);
+                b.tsd(t3, t5, 0, 1);
+                b.j(done);
+                b.bind(l2);
+                b.li(t6, 2);
+                b.bne(t4, t6, l3);
+                b.tsd(t3, t5, 0, 2);
+                b.j(done);
+                b.bind(l3);
+                b.tsd(t3, t5, 0, 3);
+                b.bind(done);
+            }
+        });
+
+        if (!dtt) {
+            // -- full matrix reassembly (redundant computation) --
+            b.li(t1, E);
+            b.loop(t0, t1, [&] {
+                b.slli(a0, t0, 3);
+                b.addi(a0, a0, std::int64_t(coord_a));
+                b.call(assemble);
+            });
+        } else {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s6, 0);
+            emitMixer(b, mixer_a, mixer_elems, s6);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- banded SMVP: vout[i] = A0[i]*vin[i] + A1[i]*vin[i+1],
+        //    accumulating the vector sum (shared, non-redundant) --
+        b.fli(fs0, 0.0);
+        b.la(t2, a0_a);
+        b.la(t3, a1_a);
+        b.mv(t4, s8);
+        b.mv(t5, s9);
+        b.li(t1, E);
+        b.loop(t0, t1, [&] {
+            b.fld(ft0, t2, 0);
+            b.fld(ft1, t4, 0);
+            b.fmul(ft0, ft0, ft1);
+            b.fld(ft2, t3, 0);
+            b.fld(ft3, t4, 8);
+            b.fmul(ft2, ft2, ft3);
+            b.fadd(ft0, ft0, ft2);
+            b.fsd(ft0, t5, 0);
+            b.fadd(fs0, fs0, ft0);
+            b.addi(t2, t2, 8);
+            b.addi(t3, t3, 8);
+            b.addi(t4, t4, 8);
+            b.addi(t5, t5, 8);
+        });
+
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s6, 0);
+            emitMixer(b, mixer_a, mixer_elems, s6);
+        }
+
+        // -- fold sum into checksum (fixed point) and swap vectors --
+        b.fli(ft1, 256.0);
+        b.fmul(ft1, fs0, ft1);
+        b.fcvtwd(t0, ft1);
+        b.li(t1, 31);
+        b.mul(s0, s0, t1);
+        b.add(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.mv(t0, s8);
+        b.mv(s8, s9);
+        b.mv(s9, t0);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- assembly subroutine: a0 = &coord[e]; recompute A0/A1 --
+        b.bind(assemble);
+        b.li(t6, std::int64_t(coord_a));
+        b.sub(t6, a0, t6);                  // byte offset of element
+        b.fld(ft0, a0, 0);                  // c
+        b.fmul(ft1, ft0, ft0);
+        b.fli(ft2, 0.20);
+        b.fmul(ft1, ft1, ft2);
+        b.fli(ft2, 0.75);
+        b.fadd(ft1, ft1, ft2);              // A0
+        b.addi(t7, t6, std::int64_t(a0_a));
+        b.fsd(ft1, t7, 0);
+        b.fabs_(ft3, ft0);
+        b.fli(ft2, 1.0);
+        b.fadd(ft3, ft3, ft2);
+        b.fsqrt(ft3, ft3);
+        b.fli(ft2, 0.05);
+        b.fmul(ft3, ft3, ft2);              // A1
+        b.addi(t7, t6, std::int64_t(a1_a));
+        b.fsd(ft3, t7, 0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &coord[e]; reassemble one element.
+            b.bind(handler);
+            b.call(assemble);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+equakeWorkload()
+{
+    static EquakeWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

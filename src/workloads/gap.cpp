@@ -1,0 +1,190 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * gap analogue (254.gap): computer-algebra permutation machinery.
+ * A generator permutation table is edited rarely (and often re-
+ * written with the entry it already holds); the group machinery
+ * consumes the *composite* image table g2[g1[p]] for every point.
+ *
+ * Baseline recomposes the full composite table each round. DTT
+ * triggers on g1-entry writes; the handler re-derives the composite
+ * image for that point alone (g2 is fixed). The orbit-sum consumer
+ * and the interpreter's other work are shared.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+
+class GapWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "gap";
+        i.specAnalogue = "254.gap";
+        i.kernelDesc = "composite permutation-image table under"
+                       " sparse generator edits";
+        i.triggerDesc = "generator table entries, striped by point";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.3;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int P = 1024 * p.scale;    // points
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<std::int64_t> g1(static_cast<std::size_t>(P));
+        std::vector<std::int64_t> g2(static_cast<std::size_t>(P));
+        for (auto &v : g1)
+            v = rng.range(0, P - 1);
+        for (auto &v : g2)
+            v = rng.range(0, P - 1);
+        std::vector<std::int64_t> composite(g1.size());
+        for (int pt = 0; pt < P; ++pt)
+            composite[size_t(pt)] =
+                g2[static_cast<std::size_t>(g1[size_t(pt)])];
+
+        std::vector<std::int64_t> mirror = g1;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate,
+            [&](std::int64_t) { return rng.range(0, P - 1); });
+
+        ProgramBuilder b;
+        Addr g1_a = b.quads("g1", g1);
+        Addr g2_a = b.quads("g2", g2);
+        Addr comp_a = b.quads("composite", composite);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 4096 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- generator edits --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(g1_a));
+            b.andi(t4, t2, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            // -- recompose the full image table (redundant) --
+            b.la(t2, g1_a);
+            b.la(t3, comp_a);
+            b.li(t1, P);
+            b.loop(t0, t1, [&] {
+                b.ld(t4, t2, 0);        // g1[p]
+                b.slli(t4, t4, 3);
+                b.addi(t4, t4, std::int64_t(g2_a));
+                b.ld(t4, t4, 0);        // g2[g1[p]]
+                b.sd(t4, t3, 0);
+                b.addi(t2, t2, 8);
+                b.addi(t3, t3, 8);
+            });
+        } else {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- orbit-sum consumer: chase images from sampled seeds --
+        b.li(s6, 0);
+        b.li(t1, 64);
+        b.loop(t0, t1, [&] {
+            // seed = t0 * 16; follow 8 composite hops
+            b.slli(t2, t0, 4);
+            for (int hop = 0; hop < 8; ++hop) {
+                b.slli(t3, t2, 3);
+                b.addi(t3, t3, std::int64_t(comp_a));
+                b.ld(t2, t3, 0);
+            }
+            b.add(s6, s6, t2);
+        });
+
+        if (!dtt) {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        if (dtt) {
+            // Handler: a0 = &g1[p], a1 = new image.
+            b.bind(handler);
+            b.ld(t0, a0, 0);            // current g1[p]
+            b.slli(t0, t0, 3);
+            b.addi(t0, t0, std::int64_t(g2_a));
+            b.ld(t0, t0, 0);            // g2[g1[p]]
+            b.li(t1, std::int64_t(g1_a));
+            b.sub(t1, a0, t1);          // byte offset = p * 8
+            b.addi(t1, t1, std::int64_t(comp_a));
+            b.sd(t0, t1, 0);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+gapWorkload()
+{
+    static GapWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,200 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * gcc analogue (176.gcc): per-basic-block dataflow bitvectors
+ * (out = gen | (in & ~kill)) recomputed as the optimizer edits
+ * gen/kill sets. The edit rate is *high* and edits usually change the
+ * sets, so triggers fire constantly: this is the workload where DTT's
+ * overheads (spawn cost, thread-queue pressure, SMT contention) are
+ * not repaid — the paper's near-neutral / crossover case.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+
+class GccWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "gcc";
+        i.specAnalogue = "176.gcc";
+        i.kernelDesc = "dataflow bitvector recompute under frequent"
+                       " gen/kill edits (high trigger rate)";
+        i.triggerDesc = "gen/kill bitvector words, striped by block";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.6;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int B = 256 * p.scale;     // basic blocks (power of 2)
+        const int T = p.iterations;
+        const int U = 48;                // edits per iteration (high)
+
+        Rng rng(p.seed);
+
+        // gk[0..B) = gen, gk[B..2B) = kill.
+        std::vector<std::int64_t> gk(static_cast<std::size_t>(2 * B));
+        for (auto &v : gk)
+            v = static_cast<std::int64_t>(rng.next());
+        std::vector<std::int64_t> in(static_cast<std::size_t>(B));
+        for (auto &v : in)
+            v = static_cast<std::int64_t>(rng.next());
+        std::vector<std::int64_t> out(static_cast<std::size_t>(B));
+        for (int bi = 0; bi < B; ++bi)
+            out[size_t(bi)] = gk[size_t(bi)]
+                | (in[size_t(bi)] & ~gk[size_t(B + bi)]);
+
+        std::vector<std::int64_t> mirror = gk;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return static_cast<std::int64_t>(rng.next());
+            });
+
+        ProgramBuilder b;
+        Addr gk_a = b.quads("genKill", gk);
+        Addr in_a = b.quads("in", in);
+        Addr out_a = b.quads("out", out);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 2048 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label recompute = b.newLabel();  // a0 = block index
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- gen/kill edits --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);                 // k in [0, 2B)
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(gk_a));
+            b.andi(t4, t2, kStripes - 1);    // block & 3 == k & 3
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            // -- recompute all out vectors --
+            b.li(s7, B);
+            b.li(s6, 0);
+            Label again = b.here();
+            b.mv(a0, s6);
+            b.call(recompute);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- consume: fold the out vectors --
+        b.li(s6, 0);
+        b.la(t2, out_a);
+        b.li(t1, B);
+        b.loop(t0, t1, [&] {
+            b.ld(t4, t2, 0);
+            b.xor_(s6, s6, t4);
+            b.srli(t5, t4, 3);
+            b.add(s6, s6, t5);
+            b.addi(t2, t2, 8);
+        });
+
+        // -- rest-of-program pass (shared) --
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- recompute subroutine: a0 = block index --
+        b.bind(recompute);
+        b.slli(t0, a0, 3);
+        b.addi(t1, t0, std::int64_t(gk_a));
+        b.ld(t2, t1, 0);                     // gen
+        b.ld(t3, t1, 8ll * B);               // kill lives B words later
+        b.addi(t4, t0, std::int64_t(in_a));
+        b.ld(t4, t4, 0);                     // in
+        b.xori(t3, t3, -1);                  // ~kill
+        b.and_(t3, t3, t4);
+        b.or_(t2, t2, t3);
+        b.addi(t5, t0, std::int64_t(out_a));
+        b.sd(t2, t5, 0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &gk[k]; recompute out[k mod B].
+            b.bind(handler);
+            b.li(t0, std::int64_t(gk_a));
+            b.sub(t0, a0, t0);
+            b.srli(t0, t0, 3);               // k
+            b.andi(a0, t0, B - 1);           // block index
+            b.call(recompute);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+gccWorkload()
+{
+    static GccWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

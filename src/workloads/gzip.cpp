@@ -1,0 +1,204 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * gzip analogue (164.gzip): maintains a hash table over dictionary
+ * entries; the deflate-style matcher consumes the hashes. Dictionary
+ * entries are rewritten each iteration, usually with identical
+ * content. Baseline rehashes the full dictionary every iteration;
+ * DTT rehashes only entries whose content changed.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+
+/** The (shared) hash function applied to one dictionary word. */
+std::int64_t
+hashHost(std::int64_t v)
+{
+    auto h = static_cast<std::uint64_t>(v);
+    for (int r = 0; r < 4; ++r) {
+        h ^= h >> 13;
+        h *= 0x9e3779b1ull;
+        h ^= h << 7;
+    }
+    return static_cast<std::int64_t>(h);
+}
+
+class GzipWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "gzip";
+        i.specAnalogue = "164.gzip";
+        i.kernelDesc = "hash-chain maintenance over a dictionary of"
+                       " mostly-unchanged entries";
+        i.triggerDesc = "dictionary words, striped by entry group";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.3;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int D = 256 * p.scale;     // dictionary entries
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<std::int64_t> dict(static_cast<std::size_t>(D));
+        for (auto &v : dict)
+            v = static_cast<std::int64_t>(rng.next());
+        std::vector<std::int64_t> hash_out(dict.size());
+        for (std::size_t i = 0; i < dict.size(); ++i)
+            hash_out[i] = hashHost(dict[i]);
+
+        std::vector<std::int64_t> mirror = dict;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return static_cast<std::int64_t>(rng.next());
+            });
+
+        ProgramBuilder b;
+        Addr dict_a = b.quads("dict", dict);
+        Addr hash_a = b.quads("hashOut", hash_out);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 5120 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label rehash = b.newLabel();     // a0 = entry index
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- dictionary updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(dict_a));
+            b.andi(t4, t2, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            // -- rehash the whole dictionary (redundant) --
+            b.li(s7, D);
+            b.li(s6, 0);
+            Label again = b.here();
+            b.mv(a0, s6);
+            b.call(rehash);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- matcher pass: consume every 4th hash --
+        b.li(s6, 0);
+        b.la(t2, hash_a);
+        b.li(t1, D / 4);
+        b.loop(t0, t1, [&] {
+            b.ld(t4, t2, 0);
+            b.xor_(s6, s6, t4);
+            b.addi(t2, t2, 32);
+        });
+
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- rehash subroutine: a0 = entry index --
+        b.bind(rehash);
+        b.slli(t0, a0, 3);
+        b.addi(t1, t0, std::int64_t(dict_a));
+        b.ld(t2, t1, 0);                  // entry
+        b.li(t3, 0x9e3779b1);
+        for (int r = 0; r < 4; ++r) {
+            b.srli(t4, t2, 13);
+            b.xor_(t2, t2, t4);
+            b.mul(t2, t2, t3);
+            b.slli(t4, t2, 7);
+            b.xor_(t2, t2, t4);
+        }
+        b.addi(t1, t0, std::int64_t(hash_a));
+        b.sd(t2, t1, 0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &dict[k]; rehash entry k.
+            b.bind(handler);
+            b.li(t0, std::int64_t(dict_a));
+            b.sub(t0, a0, t0);
+            b.srli(a0, t0, 3);
+            b.call(rehash);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+gzipWorkload()
+{
+    static GzipWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,98 @@
+#include "workloads/kernel_util.h"
+
+#include <cstring>
+
+namespace dttsim::workloads {
+
+std::vector<std::int64_t>
+doubleBits(const std::vector<double> &vals)
+{
+    std::vector<std::int64_t> out(vals.size());
+    std::memcpy(out.data(), vals.data(), vals.size() * 8);
+    return out;
+}
+
+std::int64_t
+doubleBits(double v)
+{
+    std::int64_t out;
+    std::memcpy(&out, &v, 8);
+    return out;
+}
+
+void
+emitEpilogue(isa::ProgramBuilder &b, isa::Reg checksum,
+             Addr result_addr, isa::Reg scratch)
+{
+    b.la(scratch, result_addr);
+    b.sd(checksum, scratch, 0);
+    b.halt();
+}
+
+void
+emitIndex8(isa::ProgramBuilder &b, isa::Reg dst, Addr base_addr,
+           isa::Reg idx)
+{
+    b.slli(dst, idx, 3);
+    b.addi(dst, dst, static_cast<std::int64_t>(base_addr));
+}
+
+void
+emitStripedStore(isa::ProgramBuilder &b, bool dtt, isa::Reg value,
+                 isa::Reg addr, isa::Reg stripe, isa::Reg scratch)
+{
+    using namespace isa::regs;
+    if (!dtt) {
+        b.sd(value, addr, 0);
+        return;
+    }
+    isa::Label l1 = b.newLabel(), l2 = b.newLabel();
+    isa::Label l3 = b.newLabel(), done = b.newLabel();
+    b.bnez(stripe, l1);
+    b.tsd(value, addr, 0, 0);
+    b.j(done);
+    b.bind(l1);
+    b.li(scratch, 1);
+    b.bne(stripe, scratch, l2);
+    b.tsd(value, addr, 0, 1);
+    b.j(done);
+    b.bind(l2);
+    b.li(scratch, 2);
+    b.bne(stripe, scratch, l3);
+    b.tsd(value, addr, 0, 2);
+    b.j(done);
+    b.bind(l3);
+    b.tsd(value, addr, 0, 3);
+    b.bind(done);
+}
+
+std::vector<std::int64_t>
+makeMixerData(Rng &rng, int elems)
+{
+    std::vector<std::int64_t> data(static_cast<std::size_t>(elems));
+    for (auto &v : data)
+        v = static_cast<std::int64_t>(rng.next());
+    return data;
+}
+
+void
+emitMixer(isa::ProgramBuilder &b, Addr base, int elems, isa::Reg acc)
+{
+    using namespace isa::regs;
+    b.la(t2, base);
+    b.li(t1, elems);
+    b.loop(t0, t1, [&] {
+        b.ld(t4, t2, 0);
+        b.xor_(acc, acc, t4);
+        b.srli(t5, t4, 7);
+        b.add(acc, acc, t5);
+        b.andi(t5, t4, 1);
+        isa::Label skip = b.newLabel();
+        b.beqz(t5, skip);
+        b.addi(acc, acc, 3);
+        b.bind(skip);
+        b.addi(t2, t2, 8);
+    });
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,122 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for authoring workload kernels: host-side schedule
+ * generation (which trigger-data elements are written each outer
+ * iteration, with what values, and whether the write is silent) and
+ * small emission utilities used by every workload.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/builder.h"
+
+namespace dttsim::workloads {
+
+/**
+ * A precomputed update schedule over an int64 host-mirrored array.
+ * Each outer iteration performs `updatesPerIter` writes; a write is
+ * *real* (new value) with probability updateRate, else *silent*
+ * (rewrites the current value). The host mirror evolves alongside so
+ * silent writes are exact.
+ */
+struct UpdateSchedule
+{
+    std::vector<std::int64_t> indices;  ///< iterations * updatesPerIter
+    std::vector<std::int64_t> values;
+    int iterations = 0;
+    int updatesPerIter = 0;
+    std::uint64_t realWrites = 0;
+    std::uint64_t silentWrites = 0;
+};
+
+/**
+ * Generate a schedule over @p mirror (modified in place to its final
+ * state). @p new_value draws a replacement value for an index; it
+ * must (almost always) differ from the current one for the realWrites
+ * accounting to be meaningful.
+ */
+template <typename NewValueFn>
+UpdateSchedule
+makeSchedule(Rng &rng, std::vector<std::int64_t> &mirror, int iterations,
+             int updates_per_iter, double update_rate,
+             NewValueFn &&new_value)
+{
+    UpdateSchedule s;
+    s.iterations = iterations;
+    s.updatesPerIter = updates_per_iter;
+    s.indices.reserve(static_cast<std::size_t>(iterations)
+                      * static_cast<std::size_t>(updates_per_iter));
+    s.values.reserve(s.indices.capacity());
+    for (int t = 0; t < iterations; ++t) {
+        for (int u = 0; u < updates_per_iter; ++u) {
+            auto idx = static_cast<std::int64_t>(
+                rng.below(mirror.size()));
+            std::int64_t v;
+            if (rng.chance(update_rate)) {
+                v = new_value(idx);
+                if (v != mirror[static_cast<std::size_t>(idx)])
+                    ++s.realWrites;
+                else
+                    ++s.silentWrites;
+                mirror[static_cast<std::size_t>(idx)] = v;
+            } else {
+                v = mirror[static_cast<std::size_t>(idx)];
+                ++s.silentWrites;
+            }
+            s.indices.push_back(idx);
+            s.values.push_back(v);
+        }
+    }
+    return s;
+}
+
+/** Bit-cast a double vector for data-segment emission. */
+std::vector<std::int64_t> doubleBits(const std::vector<double> &vals);
+
+/** Bit-cast one double. */
+std::int64_t doubleBits(double v);
+
+/**
+ * Emit the standard epilogue: store the checksum register to the
+ * "result" data symbol and halt. @p result_addr must come from
+ * `b.space("result", 8)`.
+ */
+void emitEpilogue(isa::ProgramBuilder &b, isa::Reg checksum,
+                  Addr result_addr, isa::Reg scratch);
+
+/**
+ * Emit `dst = base_addr + idx * 8` using @p dst as scratch
+ * (dst != idx required).
+ */
+void emitIndex8(isa::ProgramBuilder &b, isa::Reg dst, Addr base_addr,
+                isa::Reg idx);
+
+/**
+ * Emit a store of @p value to the address in @p addr. In the DTT
+ * variant it is a triggering store whose static trigger id is the
+ * stripe index (0..3) held in @p stripe, dispatched through a 4-way
+ * branch tree (trigger ids are static instruction fields); in the
+ * baseline it is a plain store. Clobbers @p scratch.
+ */
+void emitStripedStore(isa::ProgramBuilder &b, bool dtt, isa::Reg value,
+                      isa::Reg addr, isa::Reg stripe, isa::Reg scratch);
+
+/** Host data for emitMixer (random 64-bit words). */
+std::vector<std::int64_t> makeMixerData(Rng &rng, int elems);
+
+/**
+ * Emit the generic non-redundant "rest of the program" pass shared by
+ * both variants: a data-dependent walk over @p elems words at
+ * @p base, folding into @p acc. Models the portion of each SPEC
+ * benchmark outside the DTT-targeted kernel (loads, ALU mix, hard-to-
+ * predict branches) and thus sets the per-benchmark Amdahl floor.
+ * Clobbers t0, t1, t2, t4, t5; @p acc must not be one of those.
+ */
+void emitMixer(isa::ProgramBuilder &b, Addr base, int elems,
+               isa::Reg acc);
+
+} // namespace dttsim::workloads

@@ -1,0 +1,324 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * mcf analogue (181.mcf): the paper's flagship DTT target,
+ * refresh_potential. A forest of M chains of length L carries
+ * per-node costs; node potentials are running prefix sums of the
+ * costs along each chain, and each simplex iteration consumes the
+ * chain-potential aggregates plus an arc-pricing pass over the
+ * potentials.
+ *
+ * Baseline: every outer iteration applies a few sparse cost updates
+ * (mostly silent) and then re-runs refresh_potential over *all*
+ * M*L nodes — the redundant computation the paper measures.
+ *
+ * DTT: cost updates are triggering stores (striped across 4 trigger
+ * ids by chain group). The handler recomputes the potential suffix of
+ * the affected chain and its chain aggregate. The main thread skips
+ * refresh_potential entirely: it TWAITs the stripes and consumes the
+ * aggregates. Silent updates trigger nothing — that computation
+ * simply never happens.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kChainLen = 64;        // L (power of two: shift by 6)
+constexpr int kChainShift = 6;
+
+class McfWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "mcf";
+        i.specAnalogue = "181.mcf";
+        i.kernelDesc = "refresh_potential prefix-sum over chain forest"
+                       " + arc pricing";
+        i.triggerDesc = "node cost fields, striped by chain group";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.25;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int M = 64 * p.scale;          // chains
+        const int L = kChainLen;
+        const int N = M * L;                 // nodes
+        const int A = 24 * M;                // pricing arcs
+        const int T = p.iterations;
+        const int U = 8;                     // updates per iteration
+
+        Rng rng(p.seed);
+
+        // ----- host-side input generation ---------------------------
+        std::vector<std::int64_t> cost(static_cast<std::size_t>(N));
+        for (auto &c : cost)
+            c = rng.range(1, 100);
+
+        std::vector<std::int64_t> potential(cost.size());
+        std::vector<std::int64_t> chain_sum(static_cast<std::size_t>(M));
+        for (int c = 0; c < M; ++c) {
+            std::int64_t run = 0, sum = 0;
+            for (int j = 0; j < L; ++j) {
+                run += cost[static_cast<std::size_t>(c * L + j)];
+                potential[static_cast<std::size_t>(c * L + j)] = run;
+                sum += run;
+            }
+            chain_sum[static_cast<std::size_t>(c)] = sum;
+        }
+
+        std::vector<std::int64_t> arc_tail(static_cast<std::size_t>(A));
+        std::vector<std::int64_t> arc_head(arc_tail.size());
+        std::vector<std::int64_t> arc_cost(arc_tail.size());
+        for (int a = 0; a < A; ++a) {
+            arc_tail[size_t(a)] = rng.range(0, N - 1);
+            arc_head[size_t(a)] = rng.range(0, N - 1);
+            arc_cost[size_t(a)] = rng.range(-50, 50);
+        }
+
+        std::vector<std::int64_t> mirror = cost;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate,
+            [&](std::int64_t) { return rng.range(1, 100); });
+
+        // ----- data segment -----------------------------------------
+        ProgramBuilder b;
+        Addr cost_a = b.quads("cost", cost);
+        Addr pot_a = b.quads("potential", potential);
+        Addr csum_a = b.quads("chainSum", chain_sum);
+        Addr tail_a = b.quads("arcTail", arc_tail);
+        Addr head_a = b.quads("arcHead", arc_head);
+        Addr acost_a = b.quads("arcCost", arc_cost);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 1024 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        // ----- program ----------------------------------------------
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);            // checksum
+        b.li(s1, 0);            // t
+        b.li(s2, T);
+        b.la(s4, sidx_a);       // schedule index cursor
+        b.la(s5, sval_a);       // schedule value cursor
+
+        Label outer = b.here();
+
+        // -- apply this iteration's updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);                // k
+            b.ld(t3, s5, 0);                // new value
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(cost_a));
+            if (!dtt) {
+                b.sd(t3, t5, 0);
+            } else {
+                // stripe = (k >> kChainShift) & (kStripes-1)
+                b.srli(t4, t2, kChainShift);
+                b.andi(t4, t4, kStripes - 1);
+                Label s1l = b.newLabel(), s2l = b.newLabel();
+                Label s3l = b.newLabel(), done = b.newLabel();
+                b.bnez(t4, s1l);
+                b.tsd(t3, t5, 0, 0);
+                b.j(done);
+                b.bind(s1l);
+                b.li(t6, 1);
+                b.bne(t4, t6, s2l);
+                b.tsd(t3, t5, 0, 1);
+                b.j(done);
+                b.bind(s2l);
+                b.li(t6, 2);
+                b.bne(t4, t6, s3l);
+                b.tsd(t3, t5, 0, 2);
+                b.j(done);
+                b.bind(s3l);
+                b.tsd(t3, t5, 0, 3);
+                b.bind(done);
+            }
+        });
+
+        if (!dtt) {
+            // -- refresh_potential over every chain (the redundant
+            //    computation) --
+            b.li(t1, M);
+            b.loop(t0, t1, [&] {
+                b.slli(t6, t0, kChainShift + 3);   // chain byte base
+                b.addi(t7, t6, std::int64_t(cost_a));
+                b.addi(t6, t6, std::int64_t(pot_a));
+                b.li(t4, 0);                       // running potential
+                b.li(t5, 0);                       // chain sum
+                b.li(t3, L);
+                b.loop(t2, t3, [&] {
+                    b.ld(t8, t7, 0);
+                    b.add(t4, t4, t8);
+                    b.sd(t4, t6, 0);
+                    b.add(t5, t5, t4);
+                    b.addi(t7, t7, 8);
+                    b.addi(t6, t6, 8);
+                });
+                b.slli(t6, t0, 3);
+                b.addi(t6, t6, std::int64_t(csum_a));
+                b.sd(t5, t6, 0);
+            });
+        } else {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- objective: sum of chain aggregates --
+        b.li(s6, 0);
+        b.li(t1, M);
+        b.la(t2, csum_a);
+        b.loop(t0, t1, [&] {
+            b.ld(t3, t2, 0);
+            b.add(s6, s6, t3);
+            b.addi(t2, t2, 8);
+        });
+
+        // -- arc pricing over potentials (non-redundant work both
+        //    variants share; sets the Amdahl floor) --
+        b.li(s7, 0);                        // negative-arc count
+        b.li(t1, A);
+        b.la(t2, tail_a);
+        b.la(t3, head_a);
+        b.la(t4, acost_a);
+        b.loop(t0, t1, [&] {
+            b.ld(t5, t2, 0);                // tail node
+            b.ld(t6, t3, 0);                // head node
+            b.slli(t5, t5, 3);
+            b.addi(t5, t5, std::int64_t(pot_a));
+            b.ld(t5, t5, 0);                // potential[tail]
+            b.slli(t6, t6, 3);
+            b.addi(t6, t6, std::int64_t(pot_a));
+            b.ld(t6, t6, 0);                // potential[head]
+            b.ld(t7, t4, 0);                // arc cost
+            b.add(t7, t7, t5);
+            b.sub(t7, t7, t6);              // reduced cost
+            b.slt(t7, t7, zero);
+            b.add(s7, s7, t7);
+            b.addi(t2, t2, 8);
+            b.addi(t3, t3, 8);
+            b.addi(t4, t4, 8);
+        });
+
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        // -- fold into checksum --
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s7);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        if (dtt) {
+            // DTT handler: a0 = &cost[k]. Recompute the potential
+            // suffix of the affected chain and its aggregate.
+            b.bind(handler);
+            b.li(t0, std::int64_t(cost_a));
+            b.sub(t0, a0, t0);
+            b.srli(t0, t0, 3);              // k
+            b.srli(t1, t0, kChainShift);    // chain c
+            b.andi(t2, t0, L - 1);          // j within chain
+            b.slli(t3, t1, kChainShift);    // chain node base
+
+            // running = (j == 0) ? 0 : potential[k-1]
+            b.li(t4, 0);
+            Label from_zero = b.newLabel();
+            b.beqz(t2, from_zero);
+            b.slli(t4, t0, 3);
+            b.addi(t4, t4, std::int64_t(pot_a) - 8);
+            b.ld(t4, t4, 0);
+            b.bind(from_zero);
+
+            // suffix recompute: i from j to L-1
+            b.add(t5, t3, t2);              // node index base+j
+            b.slli(t5, t5, 3);
+            b.addi(t6, t5, std::int64_t(cost_a));
+            b.addi(t5, t5, std::int64_t(pot_a));
+            b.li(t7, L);
+            b.sub(t7, t7, t2);              // remaining count
+            Label suffix_done = b.newLabel();
+            b.beqz(t7, suffix_done);
+            Label suffix = b.here();
+            b.ld(t8, t6, 0);
+            b.add(t4, t4, t8);
+            b.sd(t4, t5, 0);
+            b.addi(t6, t6, 8);
+            b.addi(t5, t5, 8);
+            b.addi(t7, t7, -1);
+            b.bnez(t7, suffix);
+            b.bind(suffix_done);
+
+            // chainSum[c] = sum of the chain's potentials
+            b.slli(t5, t3, 3);
+            b.addi(t5, t5, std::int64_t(pot_a));
+            b.li(t6, 0);
+            b.li(t8, L);
+            b.loop(t7, t8, [&] {
+                b.ld(t0, t5, 0);
+                b.add(t6, t6, t0);
+                b.addi(t5, t5, 8);
+            });
+            b.slli(t5, t1, 3);
+            b.addi(t5, t5, std::int64_t(csum_a));
+            b.sd(t6, t5, 0);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+mcfWorkload()
+{
+    static McfWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,212 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * mesa analogue (177.mesa): software 3D vertex pipeline. Scene
+ * vertices (4 doubles each) are re-transformed through a fixed
+ * matrix row every frame even though almost none moved between
+ * frames.
+ *
+ * Baseline transforms every vertex each frame. DTT triggers on
+ * vertex-coordinate writes; the handler re-transforms just that
+ * vertex (disjoint output slot). The per-frame raster pass over the
+ * transformed coordinates (fixed-point accumulation) is shared. The
+ * transform expression is emitted identically in both variants, so
+ * checksums match bit-for-bit.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kVertexWords = 4;  // x, y, z, w (power of two)
+
+class MesaWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "mesa";
+        i.specAnalogue = "177.mesa";
+        i.kernelDesc = "vertex transform pipeline over a mostly-"
+                       "static scene";
+        i.triggerDesc = "vertex coordinates, striped by vertex id";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.25;
+        i.defaultIterations = 15;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int V = 512 * p.scale;     // vertices
+        const int N = V * kVertexWords;  // coordinate cells
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<double> coords(static_cast<std::size_t>(N));
+        for (auto &c : coords)
+            c = rng.real() * 4.0 - 2.0;
+        // Fixed transform row (m0..m3).
+        const double m0 = 0.8, m1 = -0.3, m2 = 0.5, m3 = 1.25;
+        auto transform_host = [&](const double *v) {
+            return m0 * v[0] + m1 * v[1] + m2 * v[2] + m3 * v[3];
+        };
+        std::vector<double> xformed(static_cast<std::size_t>(V));
+        for (int v = 0; v < V; ++v)
+            xformed[size_t(v)] =
+                transform_host(&coords[size_t(v * kVertexWords)]);
+
+        std::vector<std::int64_t> mirror = doubleBits(coords);
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return doubleBits(rng.real() * 4.0 - 2.0);
+            });
+
+        ProgramBuilder b;
+        Addr coord_a = b.quads("coords", doubleBits(coords));
+        Addr xf_a = b.quads("xformed", doubleBits(xformed));
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 4096 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label xform = b.newLabel();      // a0 = vertex id
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- scene edits (sparse vertex moves, mostly silent) --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);             // coordinate cell index
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(coord_a));
+            b.srli(t4, t2, 2);           // vertex = cell / 4
+            b.andi(t4, t4, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            // -- transform every vertex (redundant) --
+            b.li(s7, V);
+            b.li(s6, 0);
+            Label again = b.here();
+            b.mv(a0, s6);
+            b.call(xform);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- raster pass: fold transformed coords in fixed point --
+        b.li(s6, 0);
+        b.la(t2, xf_a);
+        b.li(t1, V);
+        b.loop(t0, t1, [&] {
+            b.fld(ft0, t2, 0);
+            b.fli(ft1, 64.0);
+            b.fmul(ft0, ft0, ft1);
+            b.fcvtwd(t4, ft0);
+            b.add(s6, s6, t4);
+            b.addi(t2, t2, 8);
+        });
+
+        if (!dtt) {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- transform subroutine: a0 = vertex id --
+        b.bind(xform);
+        b.slli(t6, a0, 2 + 3);           // vertex * 4 words * 8
+        b.addi(t6, t6, std::int64_t(coord_a));
+        b.fld(ft0, t6, 0);
+        b.fli(ft4, 0.8);
+        b.fmul(ft0, ft0, ft4);
+        b.fld(ft1, t6, 8);
+        b.fli(ft4, -0.3);
+        b.fmul(ft1, ft1, ft4);
+        b.fadd(ft0, ft0, ft1);
+        b.fld(ft2, t6, 16);
+        b.fli(ft4, 0.5);
+        b.fmul(ft2, ft2, ft4);
+        b.fadd(ft0, ft0, ft2);
+        b.fld(ft3, t6, 24);
+        b.fli(ft4, 1.25);
+        b.fmul(ft3, ft3, ft4);
+        b.fadd(ft0, ft0, ft3);
+        b.slli(t7, a0, 3);
+        b.addi(t7, t7, std::int64_t(xf_a));
+        b.fsd(ft0, t7, 0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &coords[cell]; re-transform its vertex.
+            b.bind(handler);
+            b.li(t0, std::int64_t(coord_a));
+            b.sub(t0, a0, t0);
+            b.srli(a0, t0, 2 + 3);       // vertex id
+            b.call(xform);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+mesaWorkload()
+{
+    static MesaWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,215 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * parser analogue (197.parser): dictionary lookup cost. A token
+ * stream references dictionary words; each reference needs the word's
+ * link cost, a pure function of its definition. Definitions rarely
+ * change.
+ *
+ * Baseline recomputes the cost inline at every token reference (the
+ * per-occurrence redundancy). DTT keeps a memo table maintained by a
+ * handler triggered on definition writes; the token loop becomes a
+ * plain lookup.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr std::int64_t kMixConst = 0x9e3779b97f4a7c15ll;
+
+/** Link-cost function, mirrored exactly by the emitted sequence. */
+std::int64_t
+costHost(std::int64_t def)
+{
+    auto c = static_cast<std::uint64_t>(def);
+    for (int round = 0; round < 3; ++round) {
+        c ^= c >> 11;
+        c *= static_cast<std::uint64_t>(kMixConst);
+        c ^= c >> 29;
+    }
+    return static_cast<std::int64_t>(c & 0xffff);
+}
+
+class ParserWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "parser";
+        i.specAnalogue = "197.parser";
+        i.kernelDesc = "per-token dictionary link-cost computation"
+                       " over rarely-changing definitions";
+        i.triggerDesc = "dictionary definitions, striped by word id";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.3;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int W = 256 * p.scale;     // dictionary words
+        const int S = 512 * p.scale;     // tokens per sentence batch
+        const int T = p.iterations;
+        const int U = 4;
+
+        Rng rng(p.seed);
+
+        std::vector<std::int64_t> def(static_cast<std::size_t>(W));
+        for (auto &v : def)
+            v = static_cast<std::int64_t>(rng.next());
+        std::vector<std::int64_t> word_cost(def.size());
+        for (std::size_t i = 0; i < def.size(); ++i)
+            word_cost[i] = costHost(def[i]);
+        std::vector<std::int64_t> tokens(static_cast<std::size_t>(S));
+        for (auto &v : tokens)
+            v = rng.range(0, W - 1);
+
+        std::vector<std::int64_t> mirror = def;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return static_cast<std::int64_t>(rng.next());
+            });
+
+        ProgramBuilder b;
+        Addr def_a = b.quads("def", def);
+        Addr cost_a = b.quads("wordCost", word_cost);
+        Addr tok_a = b.quads("tokens", tokens);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 4096 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+
+        // Emit the cost function on value in t7 -> result in t7;
+        // clobbers t8. Must mirror costHost() exactly.
+        auto emit_cost = [&] {
+            for (int round = 0; round < 3; ++round) {
+                b.srli(t8, t7, 11);
+                b.xor_(t7, t7, t8);
+                b.li(t8, kMixConst);
+                b.mul(t7, t7, t8);
+                b.srli(t8, t7, 29);
+                b.xor_(t7, t7, t8);
+            }
+            b.andi(t7, t7, 0xffff);
+        };
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- definition updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(def_a));
+            b.andi(t4, t2, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (dtt) {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- parse the sentence batch --
+        b.li(s6, 0);
+        b.la(t2, tok_a);
+        b.li(t1, S);
+        b.loop(t0, t1, [&] {
+            b.ld(t5, t2, 0);                 // word id
+            b.slli(t5, t5, 3);
+            if (!dtt) {
+                // recompute the cost at every occurrence (redundant)
+                b.addi(t5, t5, std::int64_t(def_a));
+                b.ld(t7, t5, 0);
+                emit_cost();
+            } else {
+                // memo lookup maintained by the DTT handler
+                b.addi(t5, t5, std::int64_t(cost_a));
+                b.ld(t7, t5, 0);
+            }
+            b.add(s6, s6, t7);
+            b.addi(t2, t2, 8);
+        });
+
+        // -- rest-of-program pass (shared) --
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        if (dtt) {
+            // Handler: a0 = &def[w]; refresh wordCost[w].
+            b.bind(handler);
+            b.ld(t7, a0, 0);
+            emit_cost();
+            b.li(t0, std::int64_t(def_a));
+            b.sub(t0, a0, t0);
+            b.addi(t0, t0, std::int64_t(cost_a));
+            b.sd(t7, t0, 0);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+parserWorkload()
+{
+    static ParserWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

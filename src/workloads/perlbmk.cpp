@@ -1,0 +1,233 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * perlbmk analogue (253.perlbmk): interpreter symbol table. Script
+ * statements reference interned symbols whose *string values* are
+ * rebound rarely (and often to the same string). Each reference needs
+ * the value's hash/length digest.
+ *
+ * Baseline re-digests the referenced symbol's string (a byte loop)
+ * at every reference. DTT caches digests, maintained by a handler
+ * triggered on rebinding writes to the string storage.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kStrBytes = 16;    // bytes per symbol string (2 words)
+
+/** Host digest over the symbol's two string words, mirrored by the
+ *  emitted byte loop. */
+std::int64_t
+digestHost(const std::uint8_t *s)
+{
+    std::uint64_t h = 5381;
+    for (int i = 0; i < kStrBytes; ++i)
+        h = h * 33 + s[i];
+    return static_cast<std::int64_t>(h);
+}
+
+class PerlbmkWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "perlbmk";
+        i.specAnalogue = "253.perlbmk";
+        i.kernelDesc = "symbol string digests recomputed per"
+                       " interpreter reference";
+        i.triggerDesc = "symbol string bytes (TSB), striped by symbol";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.35;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int W = 128 * p.scale;     // interned symbols
+        const int S = 192 * p.scale;     // references per statement run
+        const int T = p.iterations;
+        const int U = 6;                 // rebinding byte-writes
+
+        Rng rng(p.seed);
+
+        std::vector<std::uint8_t> strings(
+            static_cast<std::size_t>(W * kStrBytes));
+        for (auto &c : strings)
+            c = static_cast<std::uint8_t>('a' + rng.below(26));
+        std::vector<std::int64_t> digest(static_cast<std::size_t>(W));
+        for (int w = 0; w < W; ++w)
+            digest[size_t(w)] =
+                digestHost(&strings[size_t(w * kStrBytes)]);
+        std::vector<std::int64_t> refs(static_cast<std::size_t>(S));
+        for (auto &v : refs)
+            v = rng.range(0, W - 1);
+
+        std::vector<std::int64_t> mirror(strings.begin(),
+                                         strings.end());
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate, [&](std::int64_t) {
+                return static_cast<std::int64_t>('a' + rng.below(26));
+            });
+
+        ProgramBuilder b;
+        Addr str_a = b.bytes("strings", strings);
+        Addr dig_a = b.quads("digest", digest);
+        Addr refs_a = b.quads("refs", refs);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 3584 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label redigest = b.newLabel();   // a0 = symbol id
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- symbol rebinds (byte writes into string storage) --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);            // byte index in string pool
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.addi(t5, t2, std::int64_t(str_a));
+            if (!dtt) {
+                b.sb(t3, t5, 0);
+            } else {
+                b.srli(t4, t2, 4);      // symbol = byte / 16
+                b.andi(t4, t4, kStripes - 1);
+                Label l1 = b.newLabel(), l2 = b.newLabel();
+                Label l3 = b.newLabel(), done = b.newLabel();
+                b.bnez(t4, l1);
+                b.tsb(t3, t5, 0, 0);
+                b.j(done);
+                b.bind(l1);
+                b.li(t6, 1);
+                b.bne(t4, t6, l2);
+                b.tsb(t3, t5, 0, 1);
+                b.j(done);
+                b.bind(l2);
+                b.li(t6, 2);
+                b.bne(t4, t6, l3);
+                b.tsb(t3, t5, 0, 2);
+                b.j(done);
+                b.bind(l3);
+                b.tsb(t3, t5, 0, 3);
+                b.bind(done);
+            }
+        });
+
+        if (dtt) {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- interpret: every reference needs the symbol's digest --
+        b.li(s6, 0);
+        b.la(s7, refs_a);
+        b.li(t1, S);
+        b.loop(t0, t1, [&] {
+            b.ld(a0, s7, 0);            // symbol id
+            if (!dtt) {
+                b.call(redigest);       // recompute at each reference
+                b.mv(t5, a1);
+            } else {
+                b.slli(t5, a0, 3);
+                b.addi(t5, t5, std::int64_t(dig_a));
+                b.ld(t5, t5, 0);        // cached digest
+            }
+            b.add(s6, s6, t5);
+            b.addi(s7, s7, 8);
+        });
+
+        if (!dtt) {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- digest subroutine: a0 = symbol id, digest in a1 (also
+        //    stored to the cache) --
+        b.bind(redigest);
+        b.slli(t6, a0, 4);              // byte base
+        b.addi(t6, t6, std::int64_t(str_a));
+        b.li(a1, 5381);
+        b.li(t7, 33);
+        b.li(t8, kStrBytes);
+        Label byte_loop = b.here();
+        b.lb(t4, t6, 0);
+        b.mul(a1, a1, t7);
+        b.add(a1, a1, t4);
+        b.addi(t6, t6, 1);
+        b.addi(t8, t8, -1);
+        b.bnez(t8, byte_loop);
+        b.slli(t6, a0, 3);
+        b.addi(t6, t6, std::int64_t(dig_a));
+        b.sd(a1, t6, 0);
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &strings[byte]; re-digest that symbol.
+            b.bind(handler);
+            b.li(t0, std::int64_t(str_a));
+            b.sub(t0, a0, t0);
+            b.srli(a0, t0, 4);          // symbol id
+            b.call(redigest);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+perlbmkWorkload()
+{
+    static PerlbmkWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

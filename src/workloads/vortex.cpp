@@ -1,0 +1,214 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * vortex analogue (255.vortex): object-oriented database. Objects
+ * carry 4 fields; the store maintains a packed index key per object,
+ * derived from its fields. Transactions rewrite fields (frequently
+ * with the value already present); queries scan the key index.
+ *
+ * Baseline rebuilds every object's key each transaction batch. DTT
+ * triggers on field writes; the handler re-derives only the touched
+ * object's key. The query scan and the transaction bookkeeping are
+ * shared.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kFields = 4;
+
+/** Host key derivation, mirrored by the emitted sequence. */
+std::int64_t
+keyHost(const std::int64_t *fields)
+{
+    std::uint64_t k = 0;
+    for (int f = 0; f < kFields; ++f) {
+        k = (k << 13) | (k >> 51);
+        k ^= static_cast<std::uint64_t>(fields[f]) * 0x9e3779b1ull;
+    }
+    return static_cast<std::int64_t>(k);
+}
+
+class VortexWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "vortex";
+        i.specAnalogue = "255.vortex";
+        i.kernelDesc = "object index-key maintenance under"
+                       " transactional field updates";
+        i.triggerDesc = "object fields, striped by object id mod 4";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.3;
+        i.defaultIterations = 20;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int O = 256 * p.scale;     // objects
+        const int N = O * kFields;       // field cells
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<std::int64_t> fields(static_cast<std::size_t>(N));
+        for (auto &v : fields)
+            v = rng.range(0, 9999);
+        std::vector<std::int64_t> keys(static_cast<std::size_t>(O));
+        for (int o = 0; o < O; ++o)
+            keys[size_t(o)] = keyHost(&fields[size_t(o * kFields)]);
+
+        std::vector<std::int64_t> mirror = fields;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate,
+            [&](std::int64_t) { return rng.range(0, 9999); });
+
+        ProgramBuilder b;
+        Addr fld_a = b.quads("fields", fields);
+        Addr key_a = b.quads("keys", keys);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 3072 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label derive = b.newLabel();     // a0 = object id, key in a1
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        // -- transactional field updates --
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);             // field cell index
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(fld_a));
+            b.srli(t4, t2, 2);           // object = cell / kFields
+            b.andi(t4, t4, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            // -- rebuild every key (redundant) --
+            b.li(s7, O);
+            b.li(s6, 0);
+            Label again = b.here();
+            b.mv(a0, s6);
+            b.call(derive);
+            b.slli(t0, s6, 3);
+            b.addi(t0, t0, std::int64_t(key_a));
+            b.sd(a1, t0, 0);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+        }
+
+        // -- query scan: count keys below a probe, fold extremes --
+        b.li(s6, 0);
+        b.la(t2, key_a);
+        b.li(t1, O);
+        b.li(t3, 0);
+        b.loop(t0, t1, [&] {
+            b.ld(t4, t2, 0);
+            b.slt(t5, t4, t3);
+            b.add(s6, s6, t5);
+            b.xor_(t3, t3, t4);
+            b.addi(t2, t2, 8);
+        });
+        b.add(s6, s6, t3);
+
+        if (!dtt) {
+            b.li(s8, 0);
+            emitMixer(b, mixer_a, mixer_elems, s8);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s6);
+        b.add(s0, s0, s8);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- key derivation: a0 = object id, key in a1 --
+        b.bind(derive);
+        b.slli(t6, a0, 2 + 3);           // object * kFields * 8
+        b.addi(t6, t6, std::int64_t(fld_a));
+        b.li(a1, 0);
+        b.li(t8, 0x9e3779b1);
+        for (int f = 0; f < kFields; ++f) {
+            b.slli(t7, a1, 13);
+            b.srli(a1, a1, 51);
+            b.or_(a1, a1, t7);           // rotl(k, 13)
+            b.ld(t7, t6, 8 * f);
+            b.mul(t7, t7, t8);
+            b.xor_(a1, a1, t7);
+        }
+        b.ret();
+
+        if (dtt) {
+            // Handler: a0 = &fields[cell]; re-derive its object key.
+            b.bind(handler);
+            b.li(t0, std::int64_t(fld_a));
+            b.sub(t0, a0, t0);
+            b.srli(a0, t0, 2 + 3);       // object id
+            b.call(derive);
+            b.slli(t0, a0, 3);
+            b.addi(t0, t0, std::int64_t(key_a));
+            b.sd(a1, t0, 0);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+vortexWorkload()
+{
+    static VortexWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,279 @@
+#include "workloads/workload.h"
+
+/**
+ * @file
+ * vpr analogue (175.vpr): placement with a floating-point wiring-cost
+ * model. Same stripe-partitioned net structure as twolf, but the net
+ * cost is sqrt(span^2 + 1) in double precision, converted to fixed
+ * point so that delta maintenance stays exact. Baseline re-costs all
+ * nets per iteration; DTT re-costs only nets of moved cells.
+ */
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "workloads/kernel_util.h"
+
+namespace dttsim::workloads {
+
+namespace {
+
+using namespace isa::regs;
+using isa::Label;
+using isa::ProgramBuilder;
+
+constexpr int kStripes = 4;
+constexpr int kPins = 4;
+constexpr int kNetsPerCell = 4;
+
+class VprWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo i;
+        i.name = "vpr";
+        i.specAnalogue = "175.vpr";
+        i.kernelDesc = "FP wiring-cost maintenance under local"
+                       " placement moves";
+        i.triggerDesc = "cell positions, striped by cell id mod 4";
+        i.staticTriggers = kStripes;
+        i.defaultUpdateRate = 0.35;
+        i.defaultIterations = 15;
+        return i;
+    }
+
+    isa::Program
+    build(Variant variant, const WorkloadParams &params) const override
+    {
+        WorkloadParams p = resolve(params);
+        const int C = 512 * p.scale;
+        const int Nn = 256 * p.scale;
+        const int T = p.iterations;
+        const int U = 8;
+
+        Rng rng(p.seed);
+
+        std::vector<std::int64_t> pos(static_cast<std::size_t>(C));
+        for (auto &v : pos)
+            v = rng.range(0, 1023);
+
+        std::vector<std::int64_t> net_pins(
+            static_cast<std::size_t>(Nn * kPins));
+        std::vector<std::int64_t> cell_nets(
+            static_cast<std::size_t>(C * kNetsPerCell), -1);
+        {
+            std::vector<int> fill(static_cast<std::size_t>(C), 0);
+            auto contains = [&](int cell, int n) {
+                for (int s = 0; s < fill[size_t(cell)]; ++s)
+                    if (cell_nets[size_t(cell * kNetsPerCell + s)] == n)
+                        return true;
+                return false;
+            };
+            for (int n = 0; n < Nn; ++n) {
+                int g = n % kStripes;
+                for (int q = 0; q < kPins; ++q) {
+                    int cell;
+                    do {
+                        cell = static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(C / kStripes)))
+                            * kStripes + g;
+                    } while (fill[size_t(cell)] >= kNetsPerCell
+                             && !contains(cell, n));
+                    if (!contains(cell, n))
+                        cell_nets[size_t(cell * kNetsPerCell
+                                         + fill[size_t(cell)]++)] = n;
+                    net_pins[size_t(n * kPins + q)] = cell;
+                }
+            }
+        }
+
+        // FP cost model, mirrored exactly in the ISA subroutine:
+        // span = hi - lo; cost = (int64) (sqrt(span*span + 1) * 256).
+        auto net_cost_host = [&](int n) {
+            std::int64_t lo = 1 << 20, hi = -1;
+            for (int q = 0; q < kPins; ++q) {
+                std::int64_t v = pos[static_cast<std::size_t>(
+                    net_pins[size_t(n * kPins + q)])];
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+            double span = static_cast<double>(hi - lo);
+            return static_cast<std::int64_t>(
+                __builtin_sqrt(span * span + 1.0) * 256.0);
+        };
+        std::vector<std::int64_t> net_cost(static_cast<std::size_t>(Nn));
+        std::vector<std::int64_t> stripe_cost(kStripes, 0);
+        for (int n = 0; n < Nn; ++n) {
+            net_cost[size_t(n)] = net_cost_host(n);
+            stripe_cost[size_t(n % kStripes)] += net_cost[size_t(n)];
+        }
+
+        std::vector<std::int64_t> mirror = pos;
+        UpdateSchedule sched = makeSchedule(
+            rng, mirror, T, U, p.updateRate,
+            [&](std::int64_t) { return rng.range(0, 1023); });
+
+        ProgramBuilder b;
+        Addr pos_a = b.quads("pos", pos);
+        Addr pins_a = b.quads("netPins", net_pins);
+        Addr cnets_a = b.quads("cellNets", cell_nets);
+        Addr ncost_a = b.quads("netCost", net_cost);
+        Addr scost_a = b.quads("stripeCost", stripe_cost);
+        Addr sidx_a = b.quads("schedIdx", sched.indices);
+        Addr sval_a = b.quads("schedVal", sched.values);
+        const int mixer_elems = 6144 * p.scale;
+        Addr mixer_a = b.quads("mixer", makeMixerData(rng, mixer_elems));
+        Addr result_a = b.space("result", 8);
+
+        bool dtt = variant == Variant::Dtt;
+        Label handler = b.newLabel();
+        Label netcost = b.newLabel();
+
+        b.bindNamed("main");
+        if (dtt) {
+            for (int s = 0; s < kStripes; ++s)
+                b.treg(s, handler);
+        }
+        b.li(s0, 0);
+        b.li(s1, 0);
+        b.li(s2, T);
+        b.la(s4, sidx_a);
+        b.la(s5, sval_a);
+
+        Label outer = b.here();
+
+        b.li(t1, U);
+        b.loop(t0, t1, [&] {
+            b.ld(t2, s4, 0);
+            b.ld(t3, s5, 0);
+            b.addi(s4, s4, 8);
+            b.addi(s5, s5, 8);
+            b.slli(t5, t2, 3);
+            b.addi(t5, t5, std::int64_t(pos_a));
+            b.andi(t4, t2, kStripes - 1);
+            emitStripedStore(b, dtt, t3, t5, t4, t6);
+        });
+
+        if (!dtt) {
+            b.li(s7, Nn);
+            b.li(s6, 0);
+            b.li(s8, 0);
+            Label again = b.here();
+            b.mv(a0, s6);
+            b.call(netcost);
+            b.add(s8, s8, a1);
+            b.slli(t0, s6, 3);
+            b.addi(t0, t0, std::int64_t(ncost_a));
+            b.sd(a1, t0, 0);
+            b.addi(s6, s6, 1);
+            b.blt(s6, s7, again);
+        } else {
+            // Idiomatic DTT main loop: overlap the independent
+            // rest-of-program pass with the triggered threads, then
+            // fence before consuming their results.
+            b.li(s6, 0);
+            emitMixer(b, mixer_a, mixer_elems, s6);
+            for (int s = 0; s < kStripes; ++s)
+                b.twait(s);
+            b.li(s8, 0);
+            b.la(t2, scost_a);
+            for (int s = 0; s < kStripes; ++s) {
+                b.ld(t3, t2, 8 * s);
+                b.add(s8, s8, t3);
+            }
+        }
+
+        if (!dtt) {
+            // -- rest-of-program pass (baseline position) --
+            b.li(s6, 0);
+            emitMixer(b, mixer_a, mixer_elems, s6);
+        }
+
+        b.li(t0, 31);
+        b.mul(s0, s0, t0);
+        b.add(s0, s0, s8);
+        b.add(s0, s0, s6);
+
+        b.addi(s1, s1, 1);
+        b.blt(s1, s2, outer);
+
+        emitEpilogue(b, s0, result_a, t0);
+
+        // -- FP net cost subroutine: a0 = net index, cost in a1 --
+        b.bind(netcost);
+        b.slli(t0, a0, 3 + 2);
+        b.addi(t0, t0, std::int64_t(pins_a));
+        b.li(t2, 1 << 20);
+        b.li(t3, -1);
+        for (int q = 0; q < kPins; ++q) {
+            b.ld(t4, t0, 8 * q);
+            b.slli(t4, t4, 3);
+            b.addi(t4, t4, std::int64_t(pos_a));
+            b.ld(t4, t4, 0);
+            Label no_lo = b.newLabel(), no_hi = b.newLabel();
+            b.bge(t4, t2, no_lo);
+            b.mv(t2, t4);
+            b.bind(no_lo);
+            b.bge(t3, t4, no_hi);
+            b.mv(t3, t4);
+            b.bind(no_hi);
+        }
+        b.sub(t4, t3, t2);                 // span
+        b.fcvtdw(ft0, t4);
+        b.fmul(ft0, ft0, ft0);
+        b.fli(ft1, 1.0);
+        b.fadd(ft0, ft0, ft1);
+        b.fsqrt(ft0, ft0);
+        b.fli(ft1, 256.0);
+        b.fmul(ft0, ft0, ft1);
+        b.fcvtwd(a1, ft0);
+        b.ret();
+
+        if (dtt) {
+            b.bind(handler);
+            b.li(t0, std::int64_t(pos_a));
+            b.sub(t0, a0, t0);
+            b.srli(s1, t0, 3);
+            b.andi(s2, s1, kStripes - 1);
+            b.slli(s3, s1, 3 + 2);
+            b.addi(s3, s3, std::int64_t(cnets_a));
+            b.li(s4, 0);
+            Label next = b.newLabel();
+            Label top = b.here();
+            b.ld(s5, s3, 0);
+            b.blt(s5, zero, next);
+            b.mv(a0, s5);
+            b.call(netcost);
+            b.slli(t0, s5, 3);
+            b.addi(t0, t0, std::int64_t(ncost_a));
+            b.ld(t1, t0, 0);
+            b.sd(a1, t0, 0);
+            b.sub(t1, a1, t1);
+            b.slli(t2, s2, 3);
+            b.addi(t2, t2, std::int64_t(scost_a));
+            b.ld(t3, t2, 0);
+            b.add(t3, t3, t1);
+            b.sd(t3, t2, 0);
+            b.bind(next);
+            b.addi(s3, s3, 8);
+            b.addi(s4, s4, 1);
+            b.li(t0, kNetsPerCell);
+            b.blt(s4, t0, top);
+            b.tret();
+        }
+
+        return b.take();
+    }
+};
+
+} // namespace
+
+const Workload &
+vprWorkload()
+{
+    static VprWorkload w;
+    return w;
+}
+
+} // namespace dttsim::workloads

@@ -1,0 +1,35 @@
+#include "workloads/workload.h"
+
+#include "common/log.h"
+
+namespace dttsim::workloads {
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const std::vector<const Workload *> all = {
+        &mcfWorkload(),    &artWorkload(),   &equakeWorkload(),
+        &bzip2Workload(),  &gzipWorkload(),  &twolfWorkload(),
+        &vprWorkload(),    &parserWorkload(), &ammpWorkload(),
+        &gccWorkload(),    &craftyWorkload(), &perlbmkWorkload(),
+        &gapWorkload(),    &vortexWorkload(),  &mesaWorkload(),
+    };
+    return all;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload *w : allWorkloads())
+        if (w->info().name == name)
+            return *w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::uint64_t
+resultChecksum(const isa::Program &prog, const mem::Memory &memory)
+{
+    return memory.read64(prog.dataSymbol("result"));
+}
+
+} // namespace dttsim::workloads

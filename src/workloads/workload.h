@@ -1,0 +1,127 @@
+#pragma once
+
+/**
+ * @file
+ * SPEC-like workload framework. Each workload reproduces the hot
+ * kernel that the paper's DTT transformation targets in one SPEC
+ * CPU2000 C benchmark, and can build itself in two variants:
+ *
+ *  - Baseline: the original form that recomputes results every outer
+ *    iteration (the redundant computation the paper measures);
+ *  - Dtt: the data-triggered-threads form, where updates to the
+ *    trigger data use triggering stores, handlers maintain the
+ *    results incrementally on spare contexts, and the main thread
+ *    consumes them behind TWAIT fences.
+ *
+ * Both variants write an identical 64-bit checksum to the data symbol
+ * "result" before HALT, which the test suite uses as the equivalence
+ * oracle (all aggregation is integer/fixed-point for exactness).
+ *
+ * Inputs are generated host-side by a deterministic RNG: data arrays
+ * plus a precomputed *update schedule* (which elements are written
+ * each outer iteration, and with what values). The updateRate
+ * parameter controls the fraction of scheduled writes that actually
+ * change the value — the rest are silent stores, the redundancy DTT
+ * exploits.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "mem/memory.h"
+
+namespace dttsim::workloads {
+
+/** Which form of the kernel to build. */
+enum class Variant { Baseline, Dtt };
+
+/** Generation knobs common to all workloads. */
+struct WorkloadParams
+{
+    std::uint64_t seed = 12345;
+
+    /** Size multiplier (1 = default working set). */
+    int scale = 1;
+
+    /**
+     * Fraction of scheduled trigger-data writes that truly change the
+     * value (the rest are silent). Negative = workload default,
+     * calibrated to the paper's per-benchmark behaviour.
+     */
+    double updateRate = -1.0;
+
+    /** Outer iterations. Negative = workload default. */
+    int iterations = -1;
+};
+
+/** Static description of a workload (Table 2 rows). */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string specAnalogue;
+    std::string kernelDesc;
+    std::string triggerDesc;
+    int staticTriggers = 0;       ///< trigger ids used (stripes)
+    double defaultUpdateRate = 0.1;
+    int defaultIterations = 0;
+};
+
+/** Abstract workload: knows how to build both program variants. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual WorkloadInfo info() const = 0;
+
+    /** Build the program for @p variant with @p params. */
+    virtual isa::Program build(Variant variant,
+                               const WorkloadParams &params) const = 0;
+
+  protected:
+    /** Resolve defaulted params against info(). */
+    WorkloadParams
+    resolve(const WorkloadParams &params) const
+    {
+        WorkloadParams p = params;
+        WorkloadInfo i = info();
+        if (p.updateRate < 0)
+            p.updateRate = i.defaultUpdateRate;
+        if (p.iterations < 0)
+            p.iterations = i.defaultIterations;
+        if (p.scale < 1)
+            p.scale = 1;
+        return p;
+    }
+};
+
+// One accessor per workload (defined in its own translation unit).
+const Workload &mcfWorkload();
+const Workload &artWorkload();
+const Workload &equakeWorkload();
+const Workload &bzip2Workload();
+const Workload &gzipWorkload();
+const Workload &twolfWorkload();
+const Workload &vprWorkload();
+const Workload &parserWorkload();
+const Workload &ammpWorkload();
+const Workload &gccWorkload();
+const Workload &craftyWorkload();
+const Workload &perlbmkWorkload();
+const Workload &gapWorkload();
+const Workload &vortexWorkload();
+const Workload &mesaWorkload();
+
+/** All workloads, in the paper's presentation order. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Find by name; fatal() if unknown. */
+const Workload &findWorkload(const std::string &name);
+
+/** Read the 64-bit checksum a finished program left at "result". */
+std::uint64_t resultChecksum(const isa::Program &prog,
+                             const mem::Memory &memory);
+
+} // namespace dttsim::workloads

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trigger-advisor tests: the compiler-support pass must identify
+ * trigger-data stores (silent, heavily re-read) and redundant-
+ * computation sites (high-volume silent writers) on hand-built
+ * programs with known structure, and on the mcf workload it must
+ * pick the same store the hand-written DTT variant instruments.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "profile/advisor.h"
+#include "workloads/workload.h"
+
+namespace dttsim::profile {
+namespace {
+
+TEST(Advisor, FindsSilentHeavilyReadStore)
+{
+    // Store A rewrites the same value (silent) and its datum is read
+    // 4 times per iteration; store B always changes and is read once.
+    isa::Program prog = isa::assemble(R"(
+        li s0, 0
+        li s1, 16
+        li a0, dataA
+        li a1, dataB
+    top:
+        li t0, 7
+        sd t0, 0(a0)        # store A: silent after iteration 1
+        add t1, s0, s0
+        sd t1, 0(a1)        # store B: changes every iteration
+        ld t2, 0(a0)
+        ld t2, 0(a0)
+        ld t2, 0(a0)
+        ld t2, 0(a0)
+        ld t3, 0(a1)
+        addi s0, s0, 1
+        blt s0, s1, top
+        halt
+        .data
+    dataA: .space 8
+    dataB: .space 8
+    )");
+    auto ranked = adviseTriggers(prog, 5,
+                                 AdvisorRanking::TriggerData);
+    ASSERT_GE(ranked.size(), 2u);
+    // Store A is at pc 4+1=5? Identify by properties instead of pc.
+    const TriggerCandidate &top = ranked[0];
+    EXPECT_EQ(top.executions, 16u);
+    EXPECT_GT(top.silentPct, 90.0);  // 15/16 silent
+    EXPECT_NEAR(top.meanReadsPerStore, 4.0, 0.5);
+    EXPECT_GT(top.triggerScore, ranked[1].triggerScore);
+}
+
+TEST(Advisor, NeverSilentStoreScoresZero)
+{
+    isa::Program prog = isa::assemble(R"(
+        li s0, 1
+        li s1, 16
+        li a0, data
+    top:
+        sd s0, 0(a0)         # value changes every iteration
+        ld t0, 0(a0)
+        addi s0, s0, 1
+        blt s0, s1, top
+        halt
+        .data
+    data: .space 8
+    )");
+    auto ranked = adviseTriggers(prog, 5,
+                                 AdvisorRanking::TriggerData);
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_EQ(ranked[0].silent, 0u);
+    EXPECT_EQ(ranked[0].triggerScore, 0.0);
+}
+
+TEST(Advisor, NoiseFilterDropsRareStores)
+{
+    isa::Program prog = isa::assemble(R"(
+        li a0, data
+        li t0, 1
+        sd t0, 0(a0)         # executes once
+        halt
+        .data
+    data: .space 8
+    )");
+    EXPECT_TRUE(adviseTriggers(prog, 5).empty());
+}
+
+TEST(Advisor, McfTopTriggerIsTheCostUpdateStore)
+{
+    workloads::WorkloadParams params;
+    params.iterations = 6;
+    isa::Program prog = workloads::mcfWorkload().build(
+        workloads::Variant::Baseline, params);
+
+    auto trig = adviseTriggers(prog, 1, AdvisorRanking::TriggerData);
+    ASSERT_EQ(trig.size(), 1u);
+    // The cost-update store executes iterations x 8 updates times.
+    EXPECT_EQ(trig[0].executions, 6u * 8u);
+    EXPECT_GT(trig[0].meanReadsPerStore, 2.0);
+
+    auto elim = adviseTriggers(prog, 1,
+                               AdvisorRanking::RedundantComputation);
+    ASSERT_EQ(elim.size(), 1u);
+    // The redundant-computation site is the potential[] writer:
+    // executes nodes x iterations times, nearly always silently.
+    EXPECT_GT(elim[0].executions, 10000u);
+    EXPECT_GT(elim[0].silentPct, 90.0);
+}
+
+TEST(Advisor, RankingsAreSorted)
+{
+    workloads::WorkloadParams params;
+    params.iterations = 3;
+    isa::Program prog = workloads::gzipWorkload().build(
+        workloads::Variant::Baseline, params);
+    auto ranked = adviseTriggers(prog, 10,
+                                 AdvisorRanking::TriggerData);
+    for (std::size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_GE(ranked[i - 1].triggerScore, ranked[i].triggerScore);
+}
+
+} // namespace
+} // namespace dttsim::profile

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Assembler tests: sections, labels, data directives, every operand
+ * format, symbolic resolution, error reporting, and a disassembler
+ * round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+
+namespace dttsim::isa {
+namespace {
+
+TEST(Assembler, MinimalProgram)
+{
+    Program p = assemble(R"(
+        .text
+    main:
+        li   x5, 42
+        halt
+    )");
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.entry(), 0u);
+    EXPECT_EQ(p.at(0).op, Opcode::LI);
+    EXPECT_EQ(p.at(0).rd, 5);
+    EXPECT_EQ(p.at(0).imm, 42);
+    EXPECT_EQ(p.at(1).op, Opcode::HALT);
+}
+
+TEST(Assembler, AllOperandFormats)
+{
+    Program p = assemble(R"(
+        add  x1, x2, x3
+        addi x1, x2, -7
+        li   x1, 0x10
+        ld   x4, 8(x5)
+        sd   x4, -8(x5)
+        tsd  x4, 0(x5), 2
+        beq  x1, x2, main
+        jal  ra, main
+        jalr x0, ra, 0
+        fadd f1, f2, f3
+        fneg f1, f2
+        fcvtdw f1, x2
+        fcvtwd x2, f1
+        feq  x1, f2, f3
+        fli  f1, 2.5
+        fld  f4, 0(x5)
+        fsd  f4, 0(x5)
+        treg 1, main
+        tunreg 1
+        twait 1
+        tchk x3, 1
+        tclr 1
+        tret
+        nop
+    main:
+        halt
+    )");
+    EXPECT_EQ(p.at(0).op, Opcode::ADD);
+    EXPECT_EQ(p.at(1).imm, -7);
+    EXPECT_EQ(p.at(2).imm, 0x10);
+    EXPECT_EQ(p.at(3).imm, 8);
+    EXPECT_EQ(p.at(4).imm, -8);
+    EXPECT_EQ(p.at(5).trig, 2);
+    EXPECT_EQ(p.at(6).imm, static_cast<std::int64_t>(p.label("main")));
+    EXPECT_EQ(p.at(7).imm, static_cast<std::int64_t>(p.label("main")));
+    EXPECT_EQ(p.at(14).fimm, 2.5);
+    EXPECT_EQ(p.at(17).op, Opcode::TREG);
+    EXPECT_EQ(p.at(17).imm, static_cast<std::int64_t>(p.label("main")));
+    EXPECT_EQ(p.numTriggers(), 3);  // highest trigger id is 2
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = assemble(R"(
+        add  zero, ra, sp
+        add  a0, a7, x31
+    )");
+    EXPECT_EQ(p.at(0).rd, 0);
+    EXPECT_EQ(p.at(0).rs1, 1);
+    EXPECT_EQ(p.at(0).rs2, 2);
+    EXPECT_EQ(p.at(1).rd, 10);
+    EXPECT_EQ(p.at(1).rs1, 17);
+    EXPECT_EQ(p.at(1).rs2, 31);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program p = assemble(R"(
+        .text
+        li a0, arr
+        halt
+        .data
+    arr:  .quad 1, -2, 3
+    w:    .word 7, 8
+    bs:   .byte 1, 2, 3, 4
+    dbl:  .double 1.5
+    sp1:  .space 32
+    end:  .quad 99
+    )");
+    Addr arr = p.dataSymbol("arr");
+    EXPECT_EQ(p.at(0).imm, static_cast<std::int64_t>(arr));
+    EXPECT_EQ(p.dataSymbol("w"), arr + 24);
+    EXPECT_EQ(p.dataSymbol("bs"), arr + 32);
+    EXPECT_EQ(p.dataSymbol("dbl"), arr + 40);
+    EXPECT_EQ(p.dataSymbol("sp1"), arr + 48);
+    EXPECT_EQ(p.dataSymbol("end"), arr + 80);
+    // Chunks carry the encoded bytes.
+    EXPECT_EQ(p.dataChunks()[0].bytes.size(), 24u);
+    EXPECT_EQ(p.dataChunks()[0].bytes[0], 1u);
+    EXPECT_EQ(p.dataChunks()[0].bytes[8], 0xfeu);  // -2 little endian
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        # full line comment
+
+        nop   # trailing comment
+        halt
+    )");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Program p = assemble(R"(
+    top:
+        addi x1, x1, 1
+        beq  x1, x2, done
+        jal  x0, top
+    done:
+        halt
+    )");
+    EXPECT_EQ(p.at(1).imm, 3);
+    EXPECT_EQ(p.at(2).imm, 0);
+}
+
+TEST(Assembler, UnnamedContinuationChunksAreContiguous)
+{
+    // A second data line without a label extends the previous array
+    // with no alignment gap; the next *named* object realigns.
+    Program p = assemble(R"(
+        halt
+        .data
+    arr: .byte 1, 2, 3
+         .byte 4, 5
+    nxt: .quad 7
+    )");
+    Addr arr = p.dataSymbol("arr");
+    ASSERT_EQ(p.dataChunks().size(), 3u);
+    EXPECT_EQ(p.dataChunks()[1].base, arr + 3);   // contiguous
+    EXPECT_EQ(p.dataSymbol("nxt"), arr + 8);      // realigned
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = assemble(R"(
+    main:
+        beqz x5, main
+        bnez x6, main
+        j    main
+        call main
+        ret
+        mv   x7, x8
+        halt
+    )");
+    EXPECT_EQ(p.at(0).op, Opcode::BEQ);
+    EXPECT_EQ(p.at(0).rs2, 0);
+    EXPECT_EQ(p.at(1).op, Opcode::BNE);
+    EXPECT_EQ(p.at(2).op, Opcode::JAL);
+    EXPECT_EQ(p.at(2).rd, 0);
+    EXPECT_EQ(p.at(3).op, Opcode::JAL);
+    EXPECT_EQ(p.at(3).rd, 1);
+    EXPECT_EQ(p.at(4).op, Opcode::JALR);
+    EXPECT_EQ(p.at(4).rs1, 1);
+    EXPECT_EQ(p.at(5).op, Opcode::ADDI);
+    EXPECT_EQ(p.at(5).rd, 7);
+    EXPECT_EQ(p.at(5).rs1, 8);
+    EXPECT_EQ(p.at(5).imm, 0);
+    EXPECT_THROW(assemble("beqz x5"), FatalError);
+    EXPECT_THROW(assemble("ret x1"), FatalError);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("bogus x1, x2"), FatalError);
+    EXPECT_THROW(assemble("add x1, x2"), FatalError);
+    EXPECT_THROW(assemble("add x1, x2, notareg"), FatalError);
+    EXPECT_THROW(assemble("beq x1, x2, nowhere"), FatalError);
+    EXPECT_THROW(assemble(".quad 1"), FatalError);   // outside .data
+    EXPECT_THROW(assemble(".data\n nop"), FatalError);
+    EXPECT_THROW(assemble(".data\nx: .unknown 3"), FatalError);
+    EXPECT_THROW(assemble("ld x1, 8 x2"), FatalError);
+}
+
+TEST(Assembler, DisasmRoundTrip)
+{
+    const char *src = R"(
+    main:
+        li   x5, 3
+        addi x6, x5, 1
+        beq  x5, x6, main
+        halt
+    )";
+    Program p = assemble(src);
+    // Reassembling the disassembly yields the same instruction stream.
+    std::string dis = disassemble(p);
+    Program p2 = assemble(dis);
+    ASSERT_EQ(p2.size(), p.size());
+    for (std::uint64_t pc = 0; pc < p.size(); ++pc) {
+        EXPECT_EQ(p2.at(pc).op, p.at(pc).op) << "pc " << pc;
+        EXPECT_EQ(p2.at(pc).imm, p.at(pc).imm) << "pc " << pc;
+        EXPECT_EQ(p2.at(pc).rd, p.at(pc).rd) << "pc " << pc;
+    }
+}
+
+} // namespace
+} // namespace dttsim::isa

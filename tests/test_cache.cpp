@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Cache and hierarchy tests: hit/miss behaviour, LRU replacement,
+ * dirty-victim writebacks, geometry validation, latency composition
+ * through the hierarchy, and a parameterized invariant sweep over
+ * geometries (property-style).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+
+namespace dttsim::mem {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.name = "t";
+    c.sizeBytes = 4 * 64;  // 4 lines
+    c.assoc = 2;           // 2 sets x 2 ways
+    c.lineBytes = 64;
+    c.hitLatency = 2;
+    return c;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13f, false).hit);   // same line
+    EXPECT_FALSE(c.access(0x140, false).hit);  // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache());
+    // Set 0 holds lines whose (addr/64) is even. Three distinct lines
+    // mapping to set 0 with assoc 2 -> the first gets evicted.
+    c.access(0 * 64, false);   // A
+    c.access(4 * 64, false);   // B (set 0 again: 2 sets)
+    c.access(0 * 64, false);   // touch A -> B becomes LRU
+    c.access(8 * 64, false);   // C evicts B
+    EXPECT_TRUE(c.contains(0 * 64));
+    EXPECT_FALSE(c.contains(4 * 64));
+    EXPECT_TRUE(c.contains(8 * 64));
+}
+
+TEST(Cache, DirtyVictimWritesBack)
+{
+    Cache c(smallCache());
+    c.access(0 * 64, true);    // dirty A in set 0
+    c.access(4 * 64, false);   // clean B
+    CacheAccess r = c.access(8 * 64, false);  // evicts A (LRU, dirty)
+    EXPECT_TRUE(r.writebackVictim);
+    EXPECT_EQ(c.stats().get("writebacks"), 1u);
+}
+
+TEST(Cache, WriteHitSetsDirty)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.access(0, true);         // hit, marks dirty
+    c.access(4 * 64, false);
+    CacheAccess r = c.access(8 * 64, false);
+    EXPECT_TRUE(r.writebackVictim);
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    EXPECT_TRUE(c.contains(0));
+    c.flush();
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, GeometryValidation)
+{
+    CacheConfig c = smallCache();
+    c.lineBytes = 48;  // not a power of two
+    EXPECT_THROW(Cache bad(c), FatalError);
+    c = smallCache();
+    c.assoc = 0;
+    EXPECT_THROW(Cache bad(c), FatalError);
+    c = smallCache();
+    c.assoc = 3;  // lines(4) % assoc != 0
+    EXPECT_THROW(Cache bad(c), FatalError);
+}
+
+// ----- parameterized invariant sweep --------------------------------
+
+struct Geometry
+{
+    std::uint64_t size;
+    std::uint32_t assoc;
+    std::uint32_t line;
+};
+
+class CacheSweep : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheSweep, InvariantsHoldUnderRandomStream)
+{
+    Geometry g = GetParam();
+    CacheConfig cfg;
+    cfg.name = "sweep";
+    cfg.sizeBytes = g.size;
+    cfg.assoc = g.assoc;
+    cfg.lineBytes = g.line;
+    Cache c(cfg);
+
+    Rng rng(g.size * 31 + g.assoc * 7 + g.line);
+    std::uint64_t hits = 0, misses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = rng.below(64 * 1024);
+        bool wr = rng.chance(0.3);
+        CacheAccess r = c.access(a, wr);
+        (r.hit ? hits : misses) += 1;
+        // A line just accessed must be resident.
+        EXPECT_TRUE(c.contains(a));
+    }
+    EXPECT_EQ(c.accesses(), hits + misses);
+    EXPECT_EQ(c.misses(), misses);
+    // Evictions can never exceed misses; writebacks never exceed
+    // evictions.
+    EXPECT_LE(c.stats().get("evictions"), c.misses());
+    EXPECT_LE(c.stats().get("writebacks"), c.stats().get("evictions"));
+    // Working set (64 KiB) exceeds every swept cache: some misses.
+    EXPECT_GT(misses, 0u);
+    EXPECT_GT(hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(Geometry{1024, 1, 32}, Geometry{4096, 2, 64},
+                      Geometry{8192, 4, 64}, Geometry{8192, 8, 128},
+                      Geometry{32768, 4, 64}, Geometry{2048, 32, 64}),
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return "s" + std::to_string(info.param.size) + "_a"
+            + std::to_string(info.param.assoc) + "_l"
+            + std::to_string(info.param.line);
+    });
+
+// ----- hierarchy -----------------------------------------------------
+
+TEST(Hierarchy, LatencyComposition)
+{
+    HierarchyConfig cfg;
+    cfg.l1d.hitLatency = 2;
+    cfg.l2.hitLatency = 12;
+    cfg.memLatency = 200;
+    Hierarchy h(cfg);
+
+    // Cold: L1 miss + L2 miss + memory.
+    EXPECT_EQ(h.accessData(0, false, 0), 2u + 12u + 200u);
+    // After the fill lands: L1 hit.
+    EXPECT_EQ(h.accessData(0, false, 1000), 2u);
+    EXPECT_EQ(h.memAccesses(), 1u);
+}
+
+TEST(Hierarchy, InFlightFillMergesSameLine)
+{
+    HierarchyConfig cfg;
+    Hierarchy h(cfg);
+    Cycle first = h.accessData(0, false, 0);   // miss, fill at 'first'
+    // A second access to the same line 10 cycles later pays only the
+    // remaining fill latency (plus the L1 lookup).
+    Cycle second = h.accessData(8, false, 10);
+    EXPECT_EQ(second, cfg.l1d.hitLatency + (first - 10));
+    EXPECT_EQ(h.fillMerges(), 1u);
+    EXPECT_EQ(h.memAccesses(), 1u);  // no duplicate DRAM fetch
+}
+
+TEST(Hierarchy, MshrExhaustionDelaysNewMisses)
+{
+    HierarchyConfig cfg;
+    cfg.mshrs = 2;
+    Hierarchy h(cfg);
+    h.accessData(0 * 4096, false, 0);
+    h.accessData(1 * 4096, false, 0);
+    // Third distinct miss at the same cycle must wait for a free
+    // MSHR.
+    Cycle third = h.accessData(2 * 4096, false, 0);
+    EXPECT_GT(third, cfg.l1d.hitLatency + cfg.l2.hitLatency
+                         + cfg.memLatency);
+    EXPECT_GT(h.mshrStallCycles(), 0u);
+}
+
+TEST(Hierarchy, FillModelingCanBeDisabled)
+{
+    HierarchyConfig cfg;
+    cfg.modelFills = false;
+    Hierarchy h(cfg);
+    h.accessData(0, false, 0);
+    // Idealized model: the tag is usable immediately.
+    EXPECT_EQ(h.accessData(8, false, 0), cfg.l1d.hitLatency);
+    EXPECT_EQ(h.fillMerges(), 0u);
+}
+
+TEST(Hierarchy, NextLinePrefetchWarmsL2)
+{
+    HierarchyConfig cfg;
+    cfg.nextLinePrefetch = true;
+    Hierarchy h(cfg);
+    h.accessData(0, false, 0);                 // miss, prefetch line 1
+    EXPECT_EQ(h.prefetches(), 1u);
+    // Far later, line 1 hits in L2 (L1 miss, no DRAM trip) — and its
+    // own L1 miss prefetches line 2.
+    Cycle lat = h.accessData(64, false, 5000);
+    EXPECT_EQ(lat, cfg.l1d.hitLatency + cfg.l2.hitLatency);
+    EXPECT_EQ(h.prefetches(), 2u);
+    EXPECT_EQ(h.memAccesses(), 3u);  // demand + two prefetch fills
+}
+
+TEST(Hierarchy, RejectsMixedLineSizes)
+{
+    HierarchyConfig cfg;
+    cfg.l1d.lineBytes = 32;
+    EXPECT_THROW(Hierarchy bad(cfg), FatalError);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    HierarchyConfig cfg;
+    cfg.l1d.sizeBytes = 2 * 64;  // 2 lines, direct-ish
+    cfg.l1d.assoc = 1;
+    cfg.l1d.hitLatency = 2;
+    cfg.l2.hitLatency = 12;
+    Hierarchy h(cfg);
+
+    h.accessData(0, false);
+    // Evict line 0 from L1 (same set, different tag).
+    h.accessData(2 * 64, false);
+    // L1 miss, L2 hit.
+    EXPECT_EQ(h.accessData(0, false), 2u + 12u);
+}
+
+TEST(Hierarchy, InstAndDataAreSeparateL1s)
+{
+    Hierarchy h(HierarchyConfig{});
+    h.accessInst(0x40);
+    // Same address on the data side still cold in L1D but warm in L2.
+    Cycle lat = h.accessData(0x40, false);
+    EXPECT_EQ(lat, h.l1d().hitLatency() + h.l2().hitLatency());
+}
+
+TEST(Hierarchy, ActivityUnitsWeighting)
+{
+    Hierarchy h(HierarchyConfig{});
+    h.accessData(0, false);  // L1D + L2 + mem
+    // 1 (l1d) + 4 (l2) + 40 (mem) = 45
+    EXPECT_EQ(h.activityUnits(), 45u);
+    h.accessData(0, false);  // L1 hit only
+    EXPECT_EQ(h.activityUnits(), 46u);
+}
+
+} // namespace
+} // namespace dttsim::mem

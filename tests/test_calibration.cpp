@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Calibration regression: the headline reproduction is a *shape* —
+ * who wins, by roughly what factor, where the crossover sits. These
+ * tests pin that shape in wide bands so refactoring the simulator or
+ * workloads cannot silently drift the reproduction away from the
+ * paper's results (up to 5.9X, averaging 46%, gcc-class crossover).
+ * Reduced iteration counts keep runtime modest; bands are set
+ * accordingly wide.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim {
+namespace {
+
+double
+speedupOf(const std::string &name, int iterations)
+{
+    const workloads::Workload &w = workloads::findWorkload(name);
+    workloads::WorkloadParams p;
+    p.iterations = iterations;
+    sim::SimConfig base_cfg;
+    base_cfg.enableDtt = false;
+    sim::SimResult base = sim::runProgram(
+        base_cfg, w.build(workloads::Variant::Baseline, p));
+    sim::SimResult dtt = sim::runProgram(
+        sim::SimConfig{}, w.build(workloads::Variant::Dtt, p));
+    EXPECT_TRUE(base.halted && dtt.halted) << name;
+    return static_cast<double>(base.cycles)
+        / static_cast<double>(dtt.cycles);
+}
+
+TEST(Calibration, ArtIsTheMultiXHeadliner)
+{
+    double s = speedupOf("art", 10);
+    EXPECT_GT(s, 3.5);
+    EXPECT_LT(s, 8.0);
+}
+
+TEST(Calibration, McfAndTwolfAreStrongWinners)
+{
+    EXPECT_GT(speedupOf("mcf", 8), 1.25);
+    EXPECT_GT(speedupOf("twolf", 8), 1.25);
+}
+
+TEST(Calibration, GccIsTheCrossover)
+{
+    double s = speedupOf("gcc", 8);
+    EXPECT_GT(s, 0.85);
+    EXPECT_LT(s, 1.08);
+}
+
+TEST(Calibration, SuiteAverageInPaperBand)
+{
+    // Paper: "averaging 46%". Accept a generous band around it at
+    // reduced iteration counts.
+    double sum = 0;
+    int n = 0;
+    for (const workloads::Workload *w : workloads::allWorkloads()) {
+        sum += speedupOf(w->info().name, 6);
+        ++n;
+    }
+    double mean = sum / n;
+    EXPECT_GT(mean, 1.25);
+    EXPECT_LT(mean, 1.75);
+}
+
+TEST(Calibration, EveryWinnerActuallyWins)
+{
+    // All benchmarks except the designated crossover must not lose.
+    for (const workloads::Workload *w : workloads::allWorkloads()) {
+        if (w->info().name == "gcc")
+            continue;
+        EXPECT_GT(speedupOf(w->info().name, 6), 0.99)
+            << w->info().name;
+    }
+}
+
+} // namespace
+} // namespace dttsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: counters, histograms,
+ * stat groups, table rendering, option parsing, RNG determinism and
+ * the error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/options.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace dttsim {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10);  // buckets [0,10) [10,20) [20,30) [30,40)
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40);   // overflow
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 39 + 40 + 1000) / 6.0);
+}
+
+TEST(StatGroup, NamedCountersAndDump)
+{
+    StatGroup g("grp");
+    ++g.counter("a");
+    g.counter("b") += 5;
+    ++g.counter("a");
+    EXPECT_EQ(g.get("a"), 2u);
+    EXPECT_EQ(g.get("b"), 5u);
+    EXPECT_EQ(g.get("missing"), 0u);
+    auto dump = g.dump();
+    ASSERT_EQ(dump.size(), 2u);
+    EXPECT_EQ(dump[0].first, "a");  // registration order
+    EXPECT_EQ(dump[1].first, "b");
+    g.reset();
+    EXPECT_EQ(g.get("a"), 0u);
+}
+
+TEST(Ratios, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(pct(1, 2), 50.0);
+    EXPECT_DOUBLE_EQ(pct(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+    EXPECT_DOUBLE_EQ(ratio(3, 0), 0.0);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("Title");
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "23"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow)
+{
+    TextTable t("T");
+    t.header({"a", "b"});
+    EXPECT_THROW(t.row({"only-one"}), PanicError);
+}
+
+TEST(TextTable, CellFormatters)
+{
+    EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::num(std::uint64_t(42)), "42");
+    EXPECT_EQ(TextTable::pctCell(12.345, 1), "12.3%");
+}
+
+TEST(Options, ParsesFlagsAndValues)
+{
+    const char *argv[] = {"prog", "--flag", "--k=v", "--n=42",
+                          "--d=2.5"};
+    Options o(5, argv);
+    EXPECT_TRUE(o.has("flag"));
+    EXPECT_FALSE(o.has("missing"));
+    EXPECT_EQ(o.get("k"), "v");
+    EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+    EXPECT_EQ(o.getInt("n", 0), 42);
+    EXPECT_EQ(o.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(o.getDouble("d", 0), 2.5);
+}
+
+TEST(Options, RejectsPositional)
+{
+    const char *argv[] = {"prog", "positional"};
+    EXPECT_THROW(Options(2, argv), FatalError);
+}
+
+TEST(Rng, DeterministicStream)
+{
+    Rng a(7), b(7), c(8);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool any_diff = false;
+    Rng a2(7);
+    for (int i = 0; i < 100; ++i)
+        any_diff = any_diff || a2.next() != c.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng r(123);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        EXPECT_LT(r.below(10), 10u);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Log, PanicAndFatalThrowTypedErrors)
+{
+    EXPECT_THROW(panic("x %d", 1), PanicError);
+    EXPECT_THROW(fatal("y %s", "z"), FatalError);
+    EXPECT_EQ(strfmt("a%db", 7), "a7b");
+}
+
+} // namespace
+} // namespace dttsim

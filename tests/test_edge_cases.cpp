@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Edge-case coverage across modules: extreme operand values in the
+ * executor, FP conversion clamping, fetch-path corner cases in the
+ * timing core, trace output, controller misuse diagnostics, and the
+ * DTT opcodes under a null controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/log.h"
+#include "core/controller.h"
+#include "cpu/executor.h"
+#include "cpu/ooo_core.h"
+#include "isa/assembler.h"
+#include "mem/hierarchy.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim {
+namespace {
+
+std::uint64_t
+regAfter(const std::string &body, int reg)
+{
+    cpu::FunctionalRunner runner(isa::assemble(body + "\n halt\n"));
+    EXPECT_TRUE(runner.run(1u << 20).halted);
+    return runner.mainState().getX(reg);
+}
+
+TEST(ExecutorEdge, ShiftAmountsMaskTo63)
+{
+    EXPECT_EQ(regAfter("li x5, 1\n li x6, 64\n sll x7, x5, x6", 7),
+              1u);  // 64 & 63 == 0
+    EXPECT_EQ(regAfter("li x5, 1\n li x6, 65\n sll x7, x5, x6", 7),
+              2u);
+    EXPECT_EQ(regAfter("li x5, -1\n li x6, 127\n srl x7, x5, x6", 7),
+              1u);  // 127 & 63 == 63
+}
+
+TEST(ExecutorEdge, ImmediateLogicalsWithNegativeImm)
+{
+    EXPECT_EQ(regAfter("li x5, 0x0f\n xori x5, x5, -1", 5),
+              ~0x0full);
+    EXPECT_EQ(regAfter("li x5, 0\n ori x5, x5, -16", 5),
+              static_cast<std::uint64_t>(-16));
+    EXPECT_EQ(regAfter("li x5, -1\n andi x5, x5, -16", 5),
+              static_cast<std::uint64_t>(-16));
+}
+
+TEST(ExecutorEdge, SltiBoundaries)
+{
+    EXPECT_EQ(regAfter("li x5, -1\n slti x6, x5, 0", 6), 1u);
+    EXPECT_EQ(regAfter("li x5, 0\n slti x6, x5, 0", 6), 0u);
+}
+
+TEST(ExecutorEdge, FcvtClampsNonFinite)
+{
+    // inf -> INT64_MAX, -inf -> INT64_MIN, nan -> 0.
+    cpu::FunctionalRunner runner(isa::assemble(R"(
+        fli f1, 1.0
+        fli f2, 0.0
+        fdiv f3, f1, f2      # +inf
+        fneg f4, f3          # -inf
+        fsub f5, f3, f3      # nan
+        fcvtwd x5, f3
+        fcvtwd x6, f4
+        fcvtwd x7, f5
+        halt
+    )"));
+    ASSERT_TRUE(runner.run().halted);
+    EXPECT_EQ(runner.mainState().getX(5),
+              0x7fffffffffffffffull);
+    EXPECT_EQ(runner.mainState().getX(6),
+              0x8000000000000000ull);
+    EXPECT_EQ(runner.mainState().getX(7), 0u);
+}
+
+TEST(ExecutorEdge, MulWrapsLikeHardware)
+{
+    EXPECT_EQ(regAfter(
+        "li x5, 0x7fffffffffffffff\n li x6, 2\n mul x7, x5, x6", 7),
+        0xfffffffffffffffeull);
+}
+
+TEST(ExecutorEdge, JalrComputedTarget)
+{
+    // Jump table: x5 selects one of two blocks via jalr.
+    cpu::FunctionalRunner runner(isa::assemble(R"(
+    main:
+        li   x5, 4          # target pc (blockB)
+        jalr x0, x5, 0
+    blockA:
+        li   x6, 1
+        halt
+    blockB:
+        li   x6, 2
+        halt
+    )"));
+    ASSERT_TRUE(runner.run().halted);
+    EXPECT_EQ(runner.mainState().getX(6), 2u);
+}
+
+TEST(ExecutorEdge, DttOpsAreNoOpsWithoutHooks)
+{
+    // Null-hooks functional run: treg/twait/tchk/tclr behave as
+    // no-ops, tstores are plain stores.
+    mem::Memory memory;
+    isa::Program p = isa::assemble(R"(
+        treg 0, main
+    main:
+        li  a0, buf
+        li  x5, 3
+        tsd x5, 0(a0), 0
+        twait 0
+        tchk x6, 0
+        tclr 0
+        halt
+        .data
+    buf: .space 8
+    )");
+    cpu::loadData(p, memory);
+    cpu::ArchState st;
+    st.reset(p.entry(), cpu::stackFor(0));
+    for (int i = 0; i < 32; ++i) {
+        cpu::StepInfo info = cpu::step(st, memory, p, nullptr);
+        if (info.halted)
+            break;
+    }
+    EXPECT_EQ(memory.read64(p.dataSymbol("buf")), 3u);
+    EXPECT_EQ(st.getX(6), 0u);  // tchk with no hooks reads 0
+}
+
+TEST(CoreEdge, TraceFileReceivesPipelineEvents)
+{
+    isa::Program prog = isa::assemble(R"(
+    main:
+        treg 0, handler
+        li  a0, buf
+        li  x5, 1
+        tsd x5, 0(a0), 0
+        twait 0
+        halt
+    handler:
+        tret
+        .data
+    buf: .space 8
+    )");
+    std::string path = ::testing::TempDir() + "dttsim_trace.log";
+    std::FILE *f = std::fopen(path.c_str(), "w+");
+    ASSERT_NE(f, nullptr);
+    {
+        sim::Simulator s(sim::SimConfig{}, prog);
+        s.core().setTraceFile(f);
+        ASSERT_TRUE(s.run().halted);
+    }
+    std::fflush(f);
+    std::rewind(f);
+    std::string contents;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        contents.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_NE(contents.find("FET"), std::string::npos);
+    EXPECT_NE(contents.find("DIS"), std::string::npos);
+    EXPECT_NE(contents.find("ISS"), std::string::npos);
+    EXPECT_NE(contents.find("CMP"), std::string::npos);
+    EXPECT_NE(contents.find("RET"), std::string::npos);
+    EXPECT_NE(contents.find("SPW"), std::string::npos);
+    EXPECT_NE(contents.find("tsd"), std::string::npos);
+}
+
+TEST(CoreEdge, IcountPolicySharesFetchFairly)
+{
+    // Two long-running threads (main + co-runner) on a narrow core:
+    // both must make progress (ICOUNT prevents starvation).
+    isa::Program prog = isa::assemble(R"(
+        li x5, 0
+        li x6, 3000
+    top:
+        addi x5, x5, 1
+        blt  x5, x6, top
+        halt
+    )");
+    isa::Inst addi;
+    addi.op = isa::Opcode::ADDI;
+    addi.rd = 7;
+    addi.rs1 = 7;
+    addi.imm = 1;
+    std::uint64_t spin = prog.append(addi);
+    isa::Inst jal;
+    jal.op = isa::Opcode::JAL;
+    jal.imm = static_cast<std::int64_t>(spin);
+    prog.append(jal);
+
+    sim::SimConfig cfg;
+    cfg.enableDtt = false;
+    cfg.core.fetchWidth = 2;
+    sim::Simulator s(cfg, prog);
+    s.core().startCoRunner(1, spin);
+    sim::SimResult r = s.run();
+    ASSERT_TRUE(r.halted);
+    std::uint64_t co = s.core().stats().get("coRunnerCommitted");
+    // The co-runner committed a comparable amount of work.
+    EXPECT_GT(co, r.mainCommitted / 4);
+}
+
+TEST(ControllerEdge, RegistryCapacityEnforced)
+{
+    dtt::DttConfig cfg;
+    cfg.maxTriggers = 2;
+    dtt::DttController c(cfg, 4);
+    c.onTregCommit(1, 10);
+    EXPECT_THROW(c.onTregCommit(2, 10), FatalError);
+    EXPECT_THROW(c.chk(-1), FatalError);
+}
+
+TEST(ControllerEdge, TstoreDoneUnderflowPanics)
+{
+    dtt::DttController c(dtt::DttConfig{}, 4);
+    EXPECT_THROW(c.onTstoreDone(0), PanicError);
+}
+
+TEST(ControllerEdge, SpawnLatencyDelaysFirstHandlerWork)
+{
+    auto run_with_latency = [](Cycle lat) {
+        isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li  a0, buf
+            li  x5, 1
+            tsd x5, 0(a0), 0
+            twait 0
+            halt
+        handler:
+            tret
+            .data
+        buf: .space 8
+        )");
+        sim::SimConfig cfg;
+        cfg.dtt.spawnLatency = lat;
+        return sim::runProgram(cfg, prog).cycles;
+    };
+    EXPECT_GT(run_with_latency(200), run_with_latency(1) + 100);
+}
+
+TEST(SimulatorEdge, ZeroIterationWorkloadStillWellFormed)
+{
+    // iterations=1 is the practical minimum; builds and matches.
+    workloads::WorkloadParams p;
+    p.iterations = 1;
+    for (const char *name : {"mcf", "gcc", "vortex"}) {
+        isa::Program prog = workloads::findWorkload(name).build(
+            workloads::Variant::Dtt, p);
+        cpu::FunctionalRunner ref(prog);
+        ASSERT_TRUE(ref.run(1ull << 26).halted) << name;
+        sim::Simulator s(sim::SimConfig{}, prog);
+        ASSERT_TRUE(s.run().halted) << name;
+        EXPECT_EQ(workloads::resultChecksum(prog, s.core().memory()),
+                  workloads::resultChecksum(prog, ref.memory()))
+            << name;
+    }
+}
+
+} // namespace
+} // namespace dttsim

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Functional executor tests: instruction semantics for every opcode
+ * class, edge cases (division, shifts, conversions), DTT event
+ * reporting (silent-store detection), and the FunctionalRunner's
+ * inline handler execution including nested triggers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "cpu/executor.h"
+#include "isa/assembler.h"
+
+namespace dttsim::cpu {
+namespace {
+
+/** Run source to HALT on the functional runner. */
+FunctionalRunner
+runSrc(const std::string &src, FuncRunResult *out = nullptr)
+{
+    FunctionalRunner runner(isa::assemble(src));
+    FuncRunResult r = runner.run(1u << 22);
+    EXPECT_TRUE(r.halted) << "program did not halt";
+    if (out)
+        *out = r;
+    return runner;
+}
+
+std::uint64_t
+regAfter(const std::string &body, int reg)
+{
+    FunctionalRunner runner = runSrc(body + "\n halt\n");
+    return runner.mainState().getX(reg);
+}
+
+TEST(Executor, IntegerAluBasics)
+{
+    EXPECT_EQ(regAfter("li x5, 40\n addi x5, x5, 2", 5), 42u);
+    EXPECT_EQ(regAfter("li x5, 7\n li x6, 3\n sub x7, x5, x6", 7), 4u);
+    EXPECT_EQ(regAfter("li x5, 6\n li x6, 7\n mul x7, x5, x6", 7), 42u);
+    EXPECT_EQ(regAfter("li x5, 0xf0\n andi x5, x5, 0x3c", 5), 0x30u);
+    EXPECT_EQ(regAfter("li x5, 1\n slli x5, x5, 8", 5), 256u);
+    EXPECT_EQ(regAfter("li x5, -8\n srai x5, x5, 1", 5),
+              static_cast<std::uint64_t>(-4));
+    EXPECT_EQ(regAfter("li x5, -8\n srli x5, x5, 60", 5), 15u);
+    EXPECT_EQ(regAfter("li x5, -1\n li x6, 1\n slt x7, x5, x6", 7), 1u);
+    EXPECT_EQ(regAfter("li x5, -1\n li x6, 1\n sltu x7, x5, x6", 7),
+              0u);
+}
+
+TEST(Executor, X0IsHardwiredZero)
+{
+    EXPECT_EQ(regAfter("li x0, 42\n add x5, x0, x0", 5), 0u);
+}
+
+TEST(Executor, DivisionEdgeCases)
+{
+    EXPECT_EQ(regAfter("li x5, 7\n li x6, 2\n div x7, x5, x6", 7), 3u);
+    EXPECT_EQ(regAfter("li x5, -7\n li x6, 2\n div x7, x5, x6", 7),
+              static_cast<std::uint64_t>(-3));
+    EXPECT_EQ(regAfter("li x5, 7\n li x6, 0\n div x7, x5, x6", 7), 0u);
+    EXPECT_EQ(regAfter("li x5, 7\n li x6, 0\n rem x7, x5, x6", 7), 7u);
+    EXPECT_EQ(regAfter("li x5, 7\n li x6, 3\n rem x7, x5, x6", 7), 1u);
+    // INT64_MIN / -1 must not trap.
+    EXPECT_EQ(regAfter("li x5, -9223372036854775808\n li x6, -1\n"
+                       " div x7, x5, x6", 7),
+              0x8000000000000000ull);
+}
+
+TEST(Executor, LoadStoreSizes)
+{
+    FunctionalRunner r = runSrc(R"(
+        li   a0, buf
+        li   x5, 0x1122334455667788
+        sd   x5, 0(a0)
+        ld   x6, 0(a0)
+        lw   x7, 0(a0)
+        lb   x8, 0(a0)
+        sw   x5, 16(a0)
+        ld   x9, 16(a0)
+        sb   x5, 32(a0)
+        ld   x10, 32(a0)
+        halt
+        .data
+    buf: .space 64
+    )");
+    const ArchState &st = r.mainState();
+    EXPECT_EQ(st.getX(6), 0x1122334455667788ull);
+    EXPECT_EQ(st.getX(7), 0x55667788ull);     // lw sign-extends: +ve
+    EXPECT_EQ(st.getX(8), 0x88ull);           // lb zero-extends
+    EXPECT_EQ(st.getX(9), 0x55667788ull);     // sw truncates
+    EXPECT_EQ(st.getX(10), 0x88ull);          // sb truncates
+}
+
+TEST(Executor, LwSignExtendsNegative)
+{
+    FunctionalRunner r = runSrc(R"(
+        li  a0, buf
+        li  x5, 0xfffffffe
+        sw  x5, 0(a0)
+        lw  x6, 0(a0)
+        halt
+        .data
+    buf: .space 8
+    )");
+    EXPECT_EQ(r.mainState().getX(6), static_cast<std::uint64_t>(-2));
+}
+
+TEST(Executor, FloatingPoint)
+{
+    FunctionalRunner r = runSrc(R"(
+        fli   f1, 2.0
+        fli   f2, 0.5
+        fadd  f3, f1, f2
+        fsub  f4, f1, f2
+        fmul  f5, f1, f2
+        fdiv  f6, f1, f2
+        fli   f7, 9.0
+        fsqrt f7, f7
+        fneg  f8, f1
+        fabs  f9, f8
+        fmin  f10, f1, f2
+        fmax  f11, f1, f2
+        li    x5, -3
+        fcvtdw f12, x5
+        fli   f13, 2.75
+        fcvtwd x6, f13
+        feq   x7, f1, f1
+        flt   x8, f2, f1
+        fle   x9, f1, f2
+        halt
+    )");
+    const ArchState &st = r.mainState();
+    EXPECT_EQ(st.getF(3), 2.5);
+    EXPECT_EQ(st.getF(4), 1.5);
+    EXPECT_EQ(st.getF(5), 1.0);
+    EXPECT_EQ(st.getF(6), 4.0);
+    EXPECT_EQ(st.getF(7), 3.0);
+    EXPECT_EQ(st.getF(8), -2.0);
+    EXPECT_EQ(st.getF(9), 2.0);
+    EXPECT_EQ(st.getF(10), 0.5);
+    EXPECT_EQ(st.getF(11), 2.0);
+    EXPECT_EQ(st.getF(12), -3.0);
+    EXPECT_EQ(st.getX(6), 2u);   // truncation toward zero
+    EXPECT_EQ(st.getX(7), 1u);
+    EXPECT_EQ(st.getX(8), 1u);
+    EXPECT_EQ(st.getX(9), 0u);
+}
+
+TEST(Executor, FpMemoryRoundTrip)
+{
+    FunctionalRunner r = runSrc(R"(
+        li   a0, buf
+        fli  f1, -7.25
+        fsd  f1, 0(a0)
+        fld  f2, 0(a0)
+        halt
+        .data
+    buf: .space 8
+    )");
+    EXPECT_EQ(r.mainState().getF(2), -7.25);
+}
+
+TEST(Executor, BranchesAndJumps)
+{
+    EXPECT_EQ(regAfter(R"(
+        li x5, 0
+        li x6, 3
+    top:
+        addi x5, x5, 1
+        blt  x5, x6, top
+    )", 5), 3u);
+
+    // JAL/JALR link and return.
+    FunctionalRunner r = runSrc(R"(
+    main:
+        li   x5, 1
+        jal  ra, func
+        addi x5, x5, 100
+        halt
+    func:
+        addi x5, x5, 10
+        jalr x0, ra, 0
+    )");
+    EXPECT_EQ(r.mainState().getX(5), 111u);
+}
+
+TEST(Executor, BranchVariants)
+{
+    EXPECT_EQ(regAfter(R"(
+        li x5, -1
+        li x6, 1
+        li x7, 0
+        bge  x5, x6, over1
+        addi x7, x7, 1
+    over1:
+        bltu x6, x5, over2
+        addi x7, x7, 2
+    over2:
+        bgeu x5, x6, over3
+        addi x7, x7, 100
+    over3:
+        bne  x5, x6, over4
+        addi x7, x7, 200
+    over4:
+    )", 7), 1u);  // only the bge falls through; the rest are taken
+}
+
+TEST(Executor, SilentTstoreDetected)
+{
+    FuncRunResult result;
+    runSrc(R"(
+        li  a0, buf
+        li  x5, 7
+        tsd x5, 0(a0), 0    # changes 0 -> 7 (fires)
+        tsd x5, 0(a0), 0    # silent
+        li  x6, 8
+        tsd x6, 0(a0), 0    # fires
+        halt
+        .data
+    buf: .space 8
+    )", &result);
+    EXPECT_EQ(result.tstores, 3u);
+    EXPECT_EQ(result.silentTstores, 1u);
+}
+
+TEST(Executor, TsbSilentComparesByteOnly)
+{
+    FuncRunResult result;
+    runSrc(R"(
+        li  a0, buf
+        li  x5, 0x1ff        # low byte 0xff
+        tsb x5, 0(a0), 0     # fires (0 -> 0xff)
+        li  x6, 0x2ff        # same low byte
+        tsb x6, 0(a0), 0     # silent at byte granularity
+        halt
+        .data
+    buf: .space 8
+    )", &result);
+    EXPECT_EQ(result.silentTstores, 1u);
+}
+
+TEST(Executor, InlineHandlerRunsOnRealTrigger)
+{
+    // Handler adds 100 to out for every *value-changing* store.
+    FunctionalRunner r = runSrc(R"(
+    main:
+        treg 0, handler
+        li  a0, buf
+        li  x5, 7
+        tsd x5, 0(a0), 0     # fires
+        tsd x5, 0(a0), 0     # silent - no handler
+        li  x5, 9
+        tsd x5, 0(a0), 0     # fires
+        halt
+    handler:
+        li   x6, out
+        ld   x7, 0(x6)
+        addi x7, x7, 100
+        sd   x7, 0(x6)
+        tret
+        .data
+    buf: .space 8
+    out: .space 8
+    )");
+    // out lives 8 bytes after buf (the first data symbol).
+    EXPECT_EQ(r.memory().read64(isa::kDataBase + 8), 200u);
+}
+
+TEST(Executor, HandlerReceivesAddressAndValue)
+{
+    FunctionalRunner r = runSrc(R"(
+    main:
+        treg 0, handler
+        li  a0, buf
+        li  x5, 77
+        tsd x5, 8(a0), 0
+        halt
+    handler:
+        li  x6, out
+        sd  a0, 0(x6)        # triggering address
+        sd  a1, 8(x6)        # stored value
+        tret
+        .data
+    buf: .space 16
+    out: .space 16
+    )");
+    Addr buf = isa::kDataBase;
+    Addr out = buf + 16;
+    EXPECT_EQ(r.memory().read64(out), buf + 8);
+    EXPECT_EQ(r.memory().read64(out + 8), 77u);
+}
+
+TEST(Executor, NestedTriggersRun)
+{
+    FunctionalRunner r = runSrc(R"(
+    main:
+        treg 0, h0
+        treg 1, h1
+        li  a0, buf
+        li  x5, 1
+        tsd x5, 0(a0), 0
+        halt
+    h0:
+        li  x6, buf
+        li  x7, 5
+        tsd x7, 8(x6), 1     # nested trigger
+        tret
+    h1:
+        li  x6, out
+        li  x7, 42
+        sd  x7, 0(x6)
+        tret
+        .data
+    buf: .space 16
+    out: .space 8
+    )");
+    EXPECT_EQ(r.memory().read64(isa::kDataBase + 16), 42u);
+}
+
+TEST(Executor, UnregisteredTriggerIsIgnored)
+{
+    FuncRunResult result;
+    runSrc(R"(
+        li  a0, buf
+        li  x5, 3
+        tsd x5, 0(a0), 7
+        halt
+        .data
+    buf: .space 8
+    )", &result);
+    EXPECT_EQ(result.dttRuns, 0u);
+}
+
+TEST(Executor, TunregStopsHandler)
+{
+    FunctionalRunner r = runSrc(R"(
+    main:
+        treg 0, handler
+        tunreg 0
+        li  a0, buf
+        li  x5, 3
+        tsd x5, 0(a0), 0
+        halt
+    handler:
+        li  x6, out
+        li  x7, 1
+        sd  x7, 0(x6)
+        tret
+        .data
+    buf: .space 8
+    out: .space 8
+    )");
+    EXPECT_EQ(r.memory().read64(isa::kDataBase + 8), 0u);
+}
+
+TEST(Executor, TchkReturnsZeroInline)
+{
+    // Inline semantics: by the time TCHK executes, no work is
+    // outstanding.
+    EXPECT_EQ(regAfter("tchk x5, 0", 5), 0u);
+}
+
+TEST(Executor, MainThreadTretIsFatal)
+{
+    FunctionalRunner runner(isa::assemble("tret\n halt"));
+    EXPECT_THROW(runner.run(), FatalError);
+}
+
+TEST(Executor, HaltInsideHandlerIsFatal)
+{
+    FunctionalRunner runner(isa::assemble(R"(
+    main:
+        treg 0, handler
+        li  a0, buf
+        li  x5, 1
+        tsd x5, 0(a0), 0
+        halt
+    handler:
+        halt
+        .data
+    buf: .space 8
+    )"));
+    EXPECT_THROW(runner.run(), FatalError);
+}
+
+TEST(Executor, RunawayHandlerHitsBudget)
+{
+    FunctionalRunner runner(isa::assemble(R"(
+    main:
+        treg 0, handler
+        li  a0, buf
+        li  x5, 1
+        tsd x5, 0(a0), 0
+        halt
+    handler:
+        jal x0, handler
+        .data
+    buf: .space 8
+    )"));
+    EXPECT_THROW(runner.run(100000), FatalError);
+}
+
+TEST(Executor, StepInfoReportsMemoryEffects)
+{
+    isa::Program p = isa::assemble(R"(
+        li a0, buf
+        li x5, 5
+        sd x5, 0(a0)
+        ld x6, 0(a0)
+        halt
+        .data
+    buf: .space 8
+    )");
+    mem::Memory m;
+    loadData(p, m);
+    ArchState st;
+    st.reset(p.entry(), stackFor(0));
+    step(st, m, p, nullptr);   // li
+    step(st, m, p, nullptr);   // li
+    StepInfo store = step(st, m, p, nullptr);
+    ASSERT_TRUE(store.mem.valid);
+    EXPECT_FALSE(store.mem.isLoad);
+    EXPECT_EQ(store.mem.value, 5u);
+    EXPECT_EQ(store.mem.oldValue, 0u);
+    StepInfo load = step(st, m, p, nullptr);
+    ASSERT_TRUE(load.mem.valid);
+    EXPECT_TRUE(load.mem.isLoad);
+    EXPECT_EQ(load.mem.value, 5u);
+    StepInfo halt_info = step(st, m, p, nullptr);
+    EXPECT_TRUE(halt_info.halted);
+}
+
+} // namespace
+} // namespace dttsim::cpu

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Whole-stack integration tests: nontrivial assembly programs
+ * (recursion through the stack, FP numerics, pointer structures,
+ * multi-trigger pipelines) run on both the functional reference and
+ * the timing simulator, checking results and first-order behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/executor.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+
+namespace dttsim {
+namespace {
+
+std::uint64_t
+runBoth(const std::string &src, const char *symbol)
+{
+    isa::Program prog = isa::assemble(src);
+
+    cpu::FunctionalRunner ref(prog);
+    EXPECT_TRUE(ref.run(1u << 24).halted);
+    std::uint64_t func_val =
+        ref.memory().read64(prog.dataSymbol(symbol));
+
+    sim::Simulator s(sim::SimConfig{}, prog);
+    sim::SimResult r = s.run();
+    EXPECT_TRUE(r.halted);
+    std::uint64_t sim_val =
+        s.core().memory().read64(prog.dataSymbol(symbol));
+    EXPECT_EQ(func_val, sim_val);
+    return sim_val;
+}
+
+TEST(Integration, RecursiveFibonacciViaStack)
+{
+    // fib(12) = 144 with real call/return and stack spills.
+    std::uint64_t v = runBoth(R"(
+    main:
+        li   a0, 12
+        call fib
+        li   t0, result
+        sd   a0, 0(t0)
+        halt
+    fib:
+        li   t0, 2
+        blt  a0, t0, base
+        addi sp, sp, -24
+        sd   ra, 0(sp)
+        sd   a0, 8(sp)
+        addi a0, a0, -1
+        call fib
+        sd   a0, 16(sp)        # fib(n-1)
+        ld   a0, 8(sp)
+        addi a0, a0, -2
+        call fib
+        ld   t1, 16(sp)
+        add  a0, a0, t1
+        ld   ra, 0(sp)
+        addi sp, sp, 24
+        ret
+    base:
+        ret                    # fib(0)=0, fib(1)=1: a0 unchanged
+        .data
+    result: .space 8
+    )", "result");
+    EXPECT_EQ(v, 144u);
+}
+
+TEST(Integration, LinkedListSum)
+{
+    // Walk a 5-node list laid out in the data segment.
+    std::uint64_t v = runBoth(R"(
+    main:
+        li   t0, n0
+        li   t1, 0
+    walk:
+        beqz t0, done
+        ld   t2, 0(t0)      # value
+        add  t1, t1, t2
+        ld   t0, 8(t0)      # next
+        j    walk
+    done:
+        li   t3, result
+        sd   t1, 0(t3)
+        halt
+        .data
+    n0: .quad 10
+        .quad 0x100010      # &n1: nodes are 16B from kDataBase
+    n1: .quad 20
+        .quad 0x100020
+    n2: .quad 30
+        .quad 0x100030
+    n3: .quad 31
+        .quad 0x100040
+    n4: .quad 9
+        .quad 0
+    result: .space 8
+    )", "result");
+    EXPECT_EQ(v, 100u);
+}
+
+TEST(Integration, NewtonSqrtConverges)
+{
+    // Newton iteration for sqrt(2), fixed-point result (x * 2^32).
+    std::uint64_t v = runBoth(R"(
+    main:
+        fli  f1, 2.0          # target
+        fli  f2, 1.0          # x0
+        li   t0, 20
+    iter:
+        fdiv f3, f1, f2
+        fadd f2, f2, f3
+        fli  f4, 0.5
+        fmul f2, f2, f4
+        addi t0, t0, -1
+        bnez t0, iter
+        fli  f5, 4294967296.0
+        fmul f2, f2, f5
+        fcvtwd t1, f2
+        li   t2, result
+        sd   t1, 0(t2)
+        halt
+        .data
+    result: .space 8
+    )", "result");
+    // sqrt(2) * 2^32 = 6074000999.79...
+    EXPECT_EQ(v, 6074000999u);
+}
+
+TEST(Integration, ChainedTriggersPipeline)
+{
+    // Trigger 0's handler triggers trigger 1 (a two-stage dataflow
+    // pipeline): raw -> squared -> squared+1.
+    std::uint64_t v = runBoth(R"(
+    main:
+        treg 0, stage1
+        treg 1, stage2
+        li  a0, raw
+        li  t0, 6
+        tsd t0, 0(a0), 0
+        twait 0
+        twait 1
+        li  t1, final
+        ld  t2, 0(t1)
+        li  t3, result
+        sd  t2, 0(t3)
+        halt
+    stage1:
+        mul t0, a1, a1
+        li  t1, mid
+        tsd t0, 0(t1), 1     # nested trigger
+        tret
+    stage2:
+        addi t0, a1, 1
+        li  t1, final
+        sd  t0, 0(t1)
+        tret
+        .data
+    raw:    .space 8
+    mid:    .space 8
+    final:  .space 8
+    result: .space 8
+    )", "result");
+    EXPECT_EQ(v, 37u);
+}
+
+TEST(Integration, TwoIndependentTriggersRunConcurrently)
+{
+    isa::Program prog = isa::assemble(R"(
+    main:
+        treg 0, h0
+        treg 1, h1
+        li  a0, bufA
+        li  a1, bufB
+        li  t0, 5
+        tsd t0, 0(a0), 0
+        tsd t0, 0(a1), 1
+        twait 0
+        twait 1
+        li  t1, outA
+        ld  t2, 0(t1)
+        li  t1, outB
+        ld  t3, 0(t1)
+        add t2, t2, t3
+        li  t1, result
+        sd  t2, 0(t1)
+        halt
+    h0:
+        li  t0, 400
+    spin0:
+        addi t0, t0, -1
+        bnez t0, spin0
+        li  t1, outA
+        li  t2, 1
+        sd  t2, 0(t1)
+        tret
+    h1:
+        li  t0, 400
+    spin1:
+        addi t0, t0, -1
+        bnez t0, spin1
+        li  t1, outB
+        li  t2, 2
+        sd  t2, 0(t1)
+        tret
+        .data
+    bufA:   .space 8
+    bufB:   .space 8
+    outA:   .space 8
+    outB:   .space 8
+    result: .space 8
+    )");
+    sim::Simulator s(sim::SimConfig{}, prog);
+    sim::SimResult r = s.run();
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(s.core().memory().read64(prog.dataSymbol("result")), 3u);
+    EXPECT_EQ(r.dttSpawns, 2u);
+    // Two ~1200-cycle handlers overlapping: total must be well under
+    // the serial sum plus main-thread time.
+    EXPECT_LT(r.cycles, 3500u);
+}
+
+TEST(Integration, TwaitStallCyclesAccounted)
+{
+    isa::Program prog = isa::assemble(R"(
+    main:
+        treg 0, handler
+        li  a0, buf
+        li  t0, 1
+        tsd t0, 0(a0), 0
+        twait 0
+        halt
+    handler:
+        li  t0, 2000
+    spin:
+        addi t0, t0, -1
+        bnez t0, spin
+        tret
+        .data
+    buf: .space 8
+    )");
+    sim::SimResult r = sim::runProgram(sim::SimConfig{}, prog);
+    ASSERT_TRUE(r.halted);
+    // The main thread had nothing to overlap: most of the run is
+    // attributed to the TWAIT stall.
+    EXPECT_GT(r.twaitStallCycles, r.cycles / 2);
+}
+
+TEST(Integration, HeavySmtContentionStillCorrect)
+{
+    // Many triggers with busy handlers on a narrow 2-wide machine.
+    isa::Program prog = isa::assemble(R"(
+    main:
+        treg 0, handler
+        li  a0, buf
+        li  s0, 0
+        li  s1, 30
+    loop:
+        addi s0, s0, 1
+        tsd  s0, 0(a0), 0
+        addi s0, s0, 1
+        tsd  s0, 8(a0), 0
+        blt  s0, s1, loop
+        twait 0
+        li  t0, acc
+        ld  t1, 0(t0)
+        li  t2, result
+        sd  t1, 0(t2)
+        halt
+    handler:
+        li  t0, acc
+        ld  t1, 0(t0)
+        addi t1, t1, 1
+        sd  t1, 0(t0)
+        li  t2, 50
+    spin:
+        addi t2, t2, -1
+        bnez t2, spin
+        tret
+        .data
+    buf:    .space 16
+    acc:    .space 8
+    result: .space 8
+    )");
+    sim::SimConfig cfg;
+    cfg.core.fetchWidth = 2;
+    cfg.core.issueWidth = 2;
+    cfg.core.commitWidth = 2;
+    cfg.core.numContexts = 3;
+    sim::Simulator s(cfg, prog);
+    sim::SimResult r = s.run();
+    ASSERT_TRUE(r.halted);
+    // Every spawned handler bumped acc exactly once.
+    EXPECT_EQ(s.core().memory().read64(prog.dataSymbol("result")),
+              r.dttSpawns);
+    EXPECT_GT(r.dttSpawns, 0u);
+}
+
+} // namespace
+} // namespace dttsim

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the ISA definition: opcode metadata coherence,
+ * mnemonic parsing, operand classification helpers, program image
+ * bookkeeping and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/disasm.h"
+#include "isa/opcodes.h"
+#include "isa/operands.h"
+#include "isa/program.h"
+
+namespace dttsim::isa {
+namespace {
+
+TEST(Opcodes, MnemonicRoundTrip)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(parseMnemonic(mnemonic(op)), op)
+            << "mnemonic " << mnemonic(op);
+    }
+    EXPECT_EQ(parseMnemonic("not_an_op"), Opcode::NumOpcodes);
+}
+
+TEST(Opcodes, LoadStoreClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LD));
+    EXPECT_TRUE(isLoad(Opcode::FLD));
+    EXPECT_FALSE(isLoad(Opcode::SD));
+    EXPECT_TRUE(isStore(Opcode::SD));
+    EXPECT_TRUE(isStore(Opcode::FSD));
+    EXPECT_TRUE(isStore(Opcode::TSD));
+    EXPECT_TRUE(isTStore(Opcode::TSB));
+    EXPECT_FALSE(isTStore(Opcode::SB));
+    EXPECT_FALSE(isStore(Opcode::ADD));
+}
+
+TEST(Opcodes, AccessSizes)
+{
+    EXPECT_EQ(accessSize(Opcode::LD), 8);
+    EXPECT_EQ(accessSize(Opcode::LW), 4);
+    EXPECT_EQ(accessSize(Opcode::LB), 1);
+    EXPECT_EQ(accessSize(Opcode::TSW), 4);
+    EXPECT_EQ(accessSize(Opcode::FSD), 8);
+    EXPECT_EQ(accessSize(Opcode::ADD), 0);
+}
+
+TEST(Opcodes, RegisterWriteClassification)
+{
+    EXPECT_TRUE(writesIntReg(Opcode::ADD));
+    EXPECT_TRUE(writesIntReg(Opcode::LD));
+    EXPECT_TRUE(writesIntReg(Opcode::JAL));
+    EXPECT_TRUE(writesIntReg(Opcode::FCVTWD));
+    EXPECT_TRUE(writesIntReg(Opcode::TCHK));
+    EXPECT_FALSE(writesIntReg(Opcode::SD));
+    EXPECT_FALSE(writesIntReg(Opcode::FADD));
+    EXPECT_TRUE(writesFpReg(Opcode::FADD));
+    EXPECT_TRUE(writesFpReg(Opcode::FLD));
+    EXPECT_TRUE(writesFpReg(Opcode::FCVTDW));
+    EXPECT_FALSE(writesFpReg(Opcode::ADD));
+    // No opcode writes both files.
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_FALSE(writesIntReg(op) && writesFpReg(op));
+    }
+}
+
+TEST(Opcodes, ControlClassification)
+{
+    EXPECT_TRUE(isControl(Opcode::BEQ));
+    EXPECT_TRUE(isControl(Opcode::JAL));
+    EXPECT_TRUE(isControl(Opcode::JALR));
+    EXPECT_FALSE(isControl(Opcode::ADD));
+    EXPECT_FALSE(isControl(Opcode::TWAIT));
+}
+
+TEST(Operands, SourceEnumeration)
+{
+    Inst add;
+    add.op = Opcode::ADD;
+    add.rd = 1;
+    add.rs1 = 2;
+    add.rs2 = 3;
+    int count = 0;
+    forEachSource(add, [&](bool fp, int idx) {
+        EXPECT_FALSE(fp);
+        EXPECT_TRUE(idx == 2 || idx == 3);
+        ++count;
+    });
+    EXPECT_EQ(count, 2);
+
+    Inst fsd;
+    fsd.op = Opcode::FSD;
+    fsd.rs1 = 4;  // base (int)
+    fsd.rs2 = 5;  // data (fp)
+    bool saw_fp = false, saw_int = false;
+    forEachSource(fsd, [&](bool fp, int idx) {
+        if (fp) {
+            saw_fp = true;
+            EXPECT_EQ(idx, 5);
+        } else {
+            saw_int = true;
+            EXPECT_EQ(idx, 4);
+        }
+    });
+    EXPECT_TRUE(saw_fp && saw_int);
+
+    Inst li;
+    li.op = Opcode::LI;
+    forEachSource(li, [&](bool, int) { FAIL() << "LI has no sources"; });
+}
+
+TEST(Operands, DestRegClassification)
+{
+    Inst add;
+    add.op = Opcode::ADD;
+    add.rd = 7;
+    bool fp;
+    int idx;
+    ASSERT_TRUE(destReg(add, fp, idx));
+    EXPECT_FALSE(fp);
+    EXPECT_EQ(idx, 7);
+
+    add.rd = 0;  // x0 sink
+    EXPECT_FALSE(destReg(add, fp, idx));
+
+    Inst fadd;
+    fadd.op = Opcode::FADD;
+    fadd.rd = 0;  // f0 is a real register
+    ASSERT_TRUE(destReg(fadd, fp, idx));
+    EXPECT_TRUE(fp);
+    EXPECT_EQ(idx, 0);
+
+    Inst sd;
+    sd.op = Opcode::SD;
+    EXPECT_FALSE(destReg(sd, fp, idx));
+}
+
+TEST(Program, LabelsAndData)
+{
+    Program p;
+    Inst nop;
+    p.append(nop);
+    p.defineLabel("foo", 0);
+    EXPECT_TRUE(p.hasLabel("foo"));
+    EXPECT_EQ(p.label("foo"), 0u);
+    EXPECT_THROW(p.defineLabel("foo", 1), FatalError);
+    EXPECT_THROW(p.label("bar"), FatalError);
+
+    Addr a = p.allocData("arr", 24);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(p.dataSymbol("arr"), a);
+    Addr b = p.addData("init", {1, 2, 3});
+    EXPECT_GE(b, a + 24);
+    ASSERT_EQ(p.dataChunks().size(), 1u);
+    EXPECT_EQ(p.dataChunks()[0].bytes.size(), 3u);
+    EXPECT_THROW(p.allocData("arr", 8), FatalError);
+}
+
+TEST(Program, TriggerTracking)
+{
+    Program p;
+    EXPECT_EQ(p.numTriggers(), 0);
+    p.noteTrigger(0);
+    EXPECT_EQ(p.numTriggers(), 1);
+    p.noteTrigger(5);
+    EXPECT_EQ(p.numTriggers(), 6);
+    p.noteTrigger(2);
+    EXPECT_EQ(p.numTriggers(), 6);
+}
+
+TEST(Program, OutOfRangePcPanics)
+{
+    Program p;
+    EXPECT_THROW(p.at(0), PanicError);
+}
+
+TEST(Disasm, RendersRepresentativeFormats)
+{
+    Inst i;
+    i.op = Opcode::ADD;
+    i.rd = 1;
+    i.rs1 = 2;
+    i.rs2 = 3;
+    EXPECT_EQ(disassemble(i), "add x1, x2, x3");
+
+    i = Inst{};
+    i.op = Opcode::LD;
+    i.rd = 5;
+    i.rs1 = 6;
+    i.imm = 16;
+    EXPECT_EQ(disassemble(i), "ld x5, 16(x6)");
+
+    i = Inst{};
+    i.op = Opcode::TSD;
+    i.rs2 = 7;
+    i.rs1 = 8;
+    i.imm = -8;
+    i.trig = 3;
+    EXPECT_EQ(disassemble(i), "tsd x7, -8(x8), 3");
+
+    i = Inst{};
+    i.op = Opcode::FADD;
+    i.rd = 1;
+    i.rs1 = 2;
+    i.rs2 = 3;
+    EXPECT_EQ(disassemble(i), "fadd f1, f2, f3");
+
+    i = Inst{};
+    i.op = Opcode::TRET;
+    EXPECT_EQ(disassemble(i), "tret");
+
+    i = Inst{};
+    i.op = Opcode::TWAIT;
+    i.trig = 2;
+    EXPECT_EQ(disassemble(i), "twait 2");
+}
+
+} // namespace
+} // namespace dttsim::isa

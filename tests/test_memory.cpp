@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sparse memory tests: sized accesses, endianness, page-boundary
+ * straddles, zero-fill semantics and bulk initialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "mem/memory.h"
+
+namespace dttsim::mem {
+namespace {
+
+TEST(Memory, UntouchedReadsZero)
+{
+    Memory m;
+    EXPECT_EQ(m.read8(0), 0u);
+    EXPECT_EQ(m.read64(0xdeadbeef), 0u);
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+}
+
+TEST(Memory, ByteWriteReadBack)
+{
+    Memory m;
+    m.write8(100, 0xab);
+    EXPECT_EQ(m.read8(100), 0xabu);
+    EXPECT_EQ(m.read8(101), 0u);
+    EXPECT_EQ(m.pagesAllocated(), 1u);
+}
+
+TEST(Memory, LittleEndian64)
+{
+    Memory m;
+    m.write64(0x1000, 0x0807060504030201ull);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(m.read8(0x1000 + std::uint64_t(i)),
+                  static_cast<std::uint8_t>(i + 1));
+}
+
+TEST(Memory, Word32SignBitsPreserved)
+{
+    Memory m;
+    m.write32(8, 0xfffffffe);
+    EXPECT_EQ(m.read32(8), 0xfffffffeu);
+    EXPECT_EQ(m.read64(8), 0xfffffffeull);  // upper bytes untouched
+}
+
+TEST(Memory, PageStraddle64)
+{
+    Memory m;
+    Addr a = Memory::kPageSize - 4;  // straddles two pages
+    m.write64(a, 0x1122334455667788ull);
+    EXPECT_EQ(m.read64(a), 0x1122334455667788ull);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+}
+
+TEST(Memory, DoubleRoundTrip)
+{
+    Memory m;
+    m.writeDouble(64, -3.25);
+    EXPECT_EQ(m.readDouble(64), -3.25);
+}
+
+TEST(Memory, SizedDispatch)
+{
+    Memory m;
+    m.write(0, 1, 0x1ff);   // truncated to byte
+    EXPECT_EQ(m.read(0, 1), 0xffu);
+    m.write(8, 4, 0x1'00000002ull);
+    EXPECT_EQ(m.read(8, 4), 2u);
+    m.write(16, 8, 77);
+    EXPECT_EQ(m.read(16, 8), 77u);
+    EXPECT_THROW(m.read(0, 3), PanicError);
+    EXPECT_THROW(m.write(0, 2, 0), PanicError);
+}
+
+TEST(Memory, WriteBytesBulk)
+{
+    Memory m;
+    std::uint8_t data[] = {1, 2, 3, 4, 5};
+    m.writeBytes(Memory::kPageSize - 2, data, 5);  // crosses a page
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(m.read8(Memory::kPageSize - 2 + i),
+                  static_cast<std::uint8_t>(i + 1));
+}
+
+TEST(Memory, MoveSemantics)
+{
+    Memory m;
+    m.write64(0, 42);
+    Memory m2 = std::move(m);
+    EXPECT_EQ(m2.read64(0), 42u);
+}
+
+} // namespace
+} // namespace dttsim::mem

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Profiler tests: redundant-load and silent-store classification on
+ * hand-built programs with known counts, and the instruction-reuse
+ * (redundant computation) analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "profile/redundancy.h"
+#include "profile/reuse.h"
+
+namespace dttsim::profile {
+namespace {
+
+TEST(Redundancy, RepeatLoadsOfUnchangedDataAreRedundant)
+{
+    // Load the same location 5 times: 4 redundant.
+    RedundancyReport r = profileRedundancy(isa::assemble(R"(
+        li a0, buf
+        ld x5, 0(a0)
+        ld x5, 0(a0)
+        ld x5, 0(a0)
+        ld x5, 0(a0)
+        ld x5, 0(a0)
+        halt
+        .data
+    buf: .quad 7
+    )"));
+    EXPECT_EQ(r.loads, 5u);
+    EXPECT_EQ(r.redundantLoads, 4u);
+    EXPECT_DOUBLE_EQ(r.redundantLoadPct(), 80.0);
+}
+
+TEST(Redundancy, StoreChangingValueBreaksRedundancy)
+{
+    RedundancyReport r = profileRedundancy(isa::assemble(R"(
+        li a0, buf
+        ld x5, 0(a0)       # first load: not redundant
+        li x6, 9
+        sd x6, 0(a0)       # non-silent store
+        ld x5, 0(a0)       # value changed: not redundant
+        ld x5, 0(a0)       # redundant
+        halt
+        .data
+    buf: .quad 7
+    )"));
+    EXPECT_EQ(r.loads, 3u);
+    EXPECT_EQ(r.redundantLoads, 1u);
+    EXPECT_EQ(r.stores, 1u);
+    EXPECT_EQ(r.silentStores, 0u);
+}
+
+TEST(Redundancy, SilentStorePreservesLoadRedundancy)
+{
+    RedundancyReport r = profileRedundancy(isa::assemble(R"(
+        li a0, buf
+        ld x5, 0(a0)
+        li x6, 7
+        sd x6, 0(a0)       # silent (buf already 7)
+        ld x5, 0(a0)       # still redundant
+        halt
+        .data
+    buf: .quad 7
+    )"));
+    EXPECT_EQ(r.silentStores, 1u);
+    EXPECT_EQ(r.redundantLoads, 1u);
+}
+
+TEST(Redundancy, DistinctAddressesIndependent)
+{
+    RedundancyReport r = profileRedundancy(isa::assemble(R"(
+        li a0, buf
+        ld x5, 0(a0)
+        ld x5, 8(a0)
+        ld x5, 0(a0)
+        halt
+        .data
+    buf: .quad 1, 2
+    )"));
+    EXPECT_EQ(r.loads, 3u);
+    EXPECT_EQ(r.redundantLoads, 1u);
+}
+
+TEST(Redundancy, CountsOnlyMainThread)
+{
+    // Handler loads are not classified.
+    RedundancyReport r = profileRedundancy(isa::assemble(R"(
+    main:
+        treg 0, handler
+        li a0, buf
+        li x5, 3
+        tsd x5, 0(a0), 0
+        halt
+    handler:
+        li x6, buf
+        ld x7, 0(x6)
+        ld x7, 0(x6)
+        tret
+        .data
+    buf: .space 8
+    )"));
+    EXPECT_EQ(r.loads, 0u);
+    EXPECT_EQ(r.stores, 1u);
+}
+
+TEST(Reuse, RepeatedIdenticalComputationIsReusable)
+{
+    // The loop body recomputes the same values from the same inputs
+    // every iteration (loop-invariant), so the second iteration
+    // onward is fully reusable except the induction updates.
+    ReuseReport r = profileReuse(isa::assemble(R"(
+        li x8, 10
+        li x9, 0
+    top:
+        li x5, 6            # same operands every iteration
+        li x6, 7
+        mul x7, x5, x6
+        addi x9, x9, 1
+        blt x9, x8, top
+        halt
+    )"));
+    // li/mul: reusable from iteration 2 (3 insts x 9 iters = 27).
+    // addi/blt: operands change every iteration, never reusable.
+    EXPECT_EQ(r.reusable, 27u);
+}
+
+TEST(Reuse, ChangingOperandsNotReusable)
+{
+    ReuseReport r = profileReuse(isa::assemble(R"(
+        li x5, 0
+        addi x5, x5, 1
+        addi x5, x5, 1
+        addi x5, x5, 1
+        halt
+    )"));
+    // Each addi sees a different x5: the two reexecutions differ.
+    EXPECT_EQ(r.reusable, 0u);
+}
+
+TEST(Reuse, LoadReuseRequiresSameMemoryValue)
+{
+    ReuseReport r = profileReuse(isa::assemble(R"(
+        li a0, buf
+        ld x5, 0(a0)
+        ld x5, 0(a0)       # static inst repeated? No: distinct pcs
+        halt
+        .data
+    buf: .quad 3
+    )"));
+    // Distinct static loads never match each other.
+    EXPECT_EQ(r.reusableLoads, 0u);
+
+    ReuseReport r2 = profileReuse(isa::assemble(R"(
+        li x8, 3
+        li x9, 0
+        li a0, buf
+    top:
+        ld x5, 0(a0)       # same static load, same addr, same value
+        addi x9, x9, 1
+        blt x9, x8, top
+        halt
+        .data
+    buf: .quad 3
+    )"));
+    EXPECT_EQ(r2.reusableLoads, 2u);
+}
+
+TEST(Reuse, StoreReuseTracksValueAndAddress)
+{
+    ReuseReport r = profileReuse(isa::assemble(R"(
+        li x8, 3
+        li x9, 0
+        li a0, buf
+        li x5, 7
+    top:
+        sd x5, 0(a0)       # identical silent re-store
+        addi x9, x9, 1
+        blt x9, x8, top
+        halt
+        .data
+    buf: .space 8
+    )"));
+    // sd reusable twice (identical re-store); the one-shot li's and
+    // the changing addi/blt are not.
+    EXPECT_EQ(r.reusable, 2u);
+}
+
+TEST(Reuse, WorkloadStyleRedundancyIsHigh)
+{
+    // A baseline-style kernel rereading unchanged data has high load
+    // reuse.
+    ReuseReport r = profileReuse(isa::assemble(R"(
+        li x8, 20
+        li x9, 0
+        li a0, buf
+    rescan:
+        li  x5, 0
+        li  x6, 4
+    inner:
+        slli x7, x5, 3
+        add  x7, x7, a0
+        ld   x7, 0(x7)
+        addi x5, x5, 1
+        blt  x5, x6, inner
+        addi x9, x9, 1
+        blt  x9, x8, rescan
+        halt
+        .data
+    buf: .quad 1, 2, 3, 4
+    )"));
+    EXPECT_GT(r.loadReusePct(), 90.0);
+}
+
+} // namespace
+} // namespace dttsim::profile

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Whole-stack program tests (second batch): classic algorithms run
+ * through assembler -> functional reference -> timing simulator,
+ * asserting identical results — sorting, matrix multiply, string
+ * search, GCD, and a DTT-ified incremental histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/executor.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+
+namespace dttsim {
+namespace {
+
+std::uint64_t
+runBoth(const std::string &src)
+{
+    isa::Program prog = isa::assemble(src);
+    cpu::FunctionalRunner ref(prog);
+    EXPECT_TRUE(ref.run(1u << 26).halted);
+    std::uint64_t func_val =
+        ref.memory().read64(prog.dataSymbol("result"));
+
+    sim::Simulator s(sim::SimConfig{}, prog);
+    EXPECT_TRUE(s.run().halted);
+    EXPECT_EQ(s.core().memory().read64(prog.dataSymbol("result")),
+              func_val);
+    return func_val;
+}
+
+TEST(Programs, BubbleSortProducesSortedChecksum)
+{
+    // Sort 16 values, fold them positionally (order-sensitive).
+    std::uint64_t v = runBoth(R"(
+    main:
+        li  s0, arr
+        li  s1, 16          # n
+        li  t0, 0           # i
+    outer:
+        addi t1, s1, -1
+        bge  t0, t1, fold
+        li  t2, 0           # j
+    inner:
+        sub  t3, s1, t0
+        addi t3, t3, -1
+        bge  t2, t3, next_i
+        slli t4, t2, 3
+        add  t4, t4, s0
+        ld   t5, 0(t4)
+        ld   t6, 8(t4)
+        bge  t6, t5, no_swap
+        sd   t6, 0(t4)
+        sd   t5, 8(t4)
+    no_swap:
+        addi t2, t2, 1
+        j    inner
+    next_i:
+        addi t0, t0, 1
+        j    outer
+    fold:
+        li  t0, 0
+        li  t1, 0
+    fold_loop:
+        bge  t0, s1, done
+        slli t2, t0, 3
+        add  t2, t2, s0
+        ld   t3, 0(t2)
+        li   t4, 31
+        mul  t1, t1, t4
+        add  t1, t1, t3
+        addi t0, t0, 1
+        j    fold_loop
+    done:
+        li  t5, result
+        sd  t1, 0(t5)
+        halt
+        .data
+    arr: .quad 9, 3, 14, 1, 12, 5, 16, 7, 2, 11, 8, 15, 4, 13, 6, 10
+    result: .space 8
+    )");
+    // Sorted 1..16 folded with base 31.
+    std::uint64_t want = 0;
+    for (std::uint64_t i = 1; i <= 16; ++i)
+        want = want * 31 + i;
+    EXPECT_EQ(v, want);
+}
+
+TEST(Programs, MatrixMultiply4x4)
+{
+    std::uint64_t v = runBoth(R"(
+    main:
+        li  s0, matA
+        li  s1, matB
+        li  s2, matC
+        li  t0, 0           # i
+    row:
+        li  t1, 0           # j
+    col:
+        li  t2, 0           # k
+        li  s6, 0           # acc
+    dot:
+        slli t3, t0, 5      # i*4*8
+        slli t4, t2, 3
+        add  t3, t3, t4
+        add  t3, t3, s0
+        ld   t5, 0(t3)      # A[i][k]
+        slli t3, t2, 5
+        slli t4, t1, 3
+        add  t3, t3, t4
+        add  t3, t3, s1
+        ld   t6, 0(t3)      # B[k][j]
+        mul  t5, t5, t6
+        add  s6, s6, t5
+        addi t2, t2, 1
+        li   t7, 4
+        blt  t2, t7, dot
+        slli t3, t0, 5
+        slli t4, t1, 3
+        add  t3, t3, t4
+        add  t3, t3, s2
+        sd   s6, 0(t3)
+        addi t1, t1, 1
+        li   t7, 4
+        blt  t1, t7, col
+        addi t0, t0, 1
+        li   t7, 4
+        blt  t0, t7, row
+        # checksum C
+        li  t0, 0
+        li  s6, 0
+    fold:
+        slli t3, t0, 3
+        add  t3, t3, s2
+        ld   t4, 0(t3)
+        xor  s6, s6, t4
+        slli s6, s6, 1
+        addi t0, t0, 1
+        li   t7, 16
+        blt  t0, t7, fold
+        li  t5, result
+        sd  s6, 0(t5)
+        halt
+        .data
+    matA: .quad 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+    matB: .quad 1, 0, 0, 1, 0, 1, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1
+    matC: .space 128
+    result: .space 8
+    )");
+    EXPECT_NE(v, 0u);
+}
+
+TEST(Programs, EuclidGcd)
+{
+    std::uint64_t v = runBoth(R"(
+    main:
+        li  t0, 462
+        li  t1, 1071
+    loop:
+        beqz t1, done
+        rem  t2, t0, t1
+        mv   t0, t1
+        mv   t1, t2
+        j    loop
+    done:
+        li  t3, result
+        sd  t0, 0(t3)
+        halt
+        .data
+    result: .space 8
+    )");
+    EXPECT_EQ(v, 21u);
+}
+
+TEST(Programs, NaiveStringSearch)
+{
+    std::uint64_t v = runBoth(R"(
+    main:
+        li  s0, hay
+        li  s1, 24          # haystack length
+        li  s2, needle
+        li  s3, 3           # needle length
+        li  s4, 0           # match count
+        li  t0, 0           # position
+    pos:
+        sub  t1, s1, s3
+        blt  t1, t0, done
+        li   t2, 0          # offset in needle
+    cmp:
+        bge  t2, s3, hit
+        add  t3, s0, t0
+        add  t3, t3, t2
+        lb   t4, 0(t3)
+        add  t5, s2, t2
+        lb   t6, 0(t5)
+        bne  t4, t6, miss
+        addi t2, t2, 1
+        j    cmp
+    hit:
+        addi s4, s4, 1
+    miss:
+        addi t0, t0, 1
+        j    pos
+    done:
+        li  t7, result
+        sd  s4, 0(t7)
+        halt
+        .data
+    hay:    .byte 97, 98, 99, 97, 98, 97, 98, 99, 100, 97, 98, 99
+            .byte 99, 98, 97, 97, 98, 99, 97, 97, 98, 99, 98, 97
+    needle: .byte 97, 98, 99
+    result: .space 8
+    )");
+    // "abc" occurs at positions 0, 5, 9, 15(? count verified by the
+    // functional reference equivalence; here pin the exact value):
+    EXPECT_EQ(v, 5u);
+}
+
+TEST(Programs, IncrementalHistogramWithDtt)
+{
+    // Samples stream into 4 buckets; a DTT maintains the running
+    // maximum bucket count whenever a bucket changes.
+    std::uint64_t v = runBoth(R"(
+    main:
+        treg 0, maxer
+        li  s0, samples
+        li  s1, 24
+        li  t0, 0
+    feed:
+        bge  t0, s1, done
+        slli t1, t0, 3
+        add  t1, t1, s0
+        ld   t2, 0(t1)       # sample value 0..3
+        slli t2, t2, 3
+        li   t3, buckets
+        add  t3, t3, t2
+        ld   t4, 0(t3)
+        addi t4, t4, 1
+        tsd  t4, 0(t3), 0    # bucket update triggers the maxer
+        addi t0, t0, 1
+        j    feed
+    done:
+        twait 0
+        li  t5, curmax
+        ld  t6, 0(t5)
+        li  t7, result
+        sd  t6, 0(t7)
+        halt
+    maxer:
+        li  t0, buckets
+        li  t1, 0            # max
+        li  t2, 0            # idx
+    scan:
+        ld   t3, 0(t0)
+        bge  t1, t3, keep
+        mv   t1, t3
+    keep:
+        addi t0, t0, 8
+        addi t2, t2, 1
+        li   t4, 4
+        blt  t2, t4, scan
+        li  t5, curmax
+        sd  t1, 0(t5)
+        tret
+        .data
+    samples: .quad 0, 1, 2, 2, 3, 1, 1, 0, 2, 1, 1, 3
+             .quad 1, 2, 0, 1, 3, 1, 2, 1, 0, 2, 1, 1
+    buckets: .space 32
+    curmax:  .space 8
+    result:  .space 8
+    )");
+    // Bucket 1 receives 11 samples: the maintained max must be 11.
+    EXPECT_EQ(v, 11u);
+}
+
+} // namespace
+} // namespace dttsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Report-rendering tests: the formatted result/comparison/detailed
+ * views must contain the right metrics and never throw on any
+ * machine configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/report.h"
+
+namespace dttsim::sim {
+namespace {
+
+const char *kProgram = R"(
+main:
+    treg 0, handler
+    li  a0, buf
+    li  x5, 7
+    tsd x5, 0(a0), 0
+    twait 0
+    halt
+handler:
+    tret
+    .data
+buf: .space 8
+)";
+
+TEST(Report, FormatResultContainsHeadlineMetrics)
+{
+    SimResult r = runProgram(SimConfig{}, isa::assemble(kProgram));
+    std::string s = formatResult(r);
+    EXPECT_NE(s.find("cycles"), std::string::npos);
+    EXPECT_NE(s.find("tstores"), std::string::npos);
+    EXPECT_NE(s.find("spawns"), std::string::npos);
+    EXPECT_NE(s.find("ipc"), std::string::npos);
+    EXPECT_NE(s.find("halted"), std::string::npos);
+    EXPECT_NE(s.find("yes"), std::string::npos);
+}
+
+TEST(Report, ComparisonIncludesSpeedup)
+{
+    isa::Program prog = isa::assemble(kProgram);
+    SimConfig base_cfg;
+    base_cfg.enableDtt = false;
+    SimResult base = runProgram(base_cfg, prog);
+    SimResult dtt = runProgram(SimConfig{}, prog);
+    std::string s = formatComparison(base, dtt);
+    EXPECT_NE(s.find("speedup:"), std::string::npos);
+    EXPECT_NE(s.find("baseline"), std::string::npos);
+    EXPECT_NE(s.find("dtt"), std::string::npos);
+}
+
+TEST(Report, DetailedStatsCoverAllComponents)
+{
+    Simulator s(SimConfig{}, isa::assemble(kProgram));
+    s.run();
+    std::string text = formatDetailedStats(s);
+    EXPECT_NE(text.find("core.cycles"), std::string::npos);
+    EXPECT_NE(text.find("bpred.condBranches"), std::string::npos);
+    EXPECT_NE(text.find("l1d.accesses"), std::string::npos);
+    EXPECT_NE(text.find("l2.misses"), std::string::npos);
+    EXPECT_NE(text.find("dtt.tstores"), std::string::npos);
+    EXPECT_NE(text.find("threadQueue.enqueues"), std::string::npos);
+}
+
+TEST(Report, DetailedStatsWithoutController)
+{
+    SimConfig cfg;
+    cfg.enableDtt = false;
+    Simulator s(cfg, isa::assemble(kProgram));
+    s.run();
+    std::string text = formatDetailedStats(s);
+    EXPECT_EQ(text.find("dtt.tstores"), std::string::npos);
+    EXPECT_NE(text.find("core.committed"), std::string::npos);
+}
+
+} // namespace
+} // namespace dttsim::sim

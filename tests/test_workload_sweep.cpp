@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload parameter sweeps (property-style): the baseline/DTT
+ * checksum equivalence must hold at *every* update rate and scale,
+ * not just the calibrated defaults — this exercises silent-store
+ * suppression (r=0 fires nothing), trigger storms (r=1), and larger
+ * working sets under the functional reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/executor.h"
+#include "workloads/workload.h"
+
+namespace dttsim::workloads {
+namespace {
+
+std::uint64_t
+functionalChecksum(const isa::Program &p)
+{
+    cpu::FunctionalRunner runner(p);
+    EXPECT_TRUE(runner.run(1ull << 28).halted);
+    return resultChecksum(p, runner.memory());
+}
+
+class UpdateRateSweep
+    : public ::testing::TestWithParam<std::tuple<const Workload *,
+                                                 int>>
+{
+};
+
+TEST_P(UpdateRateSweep, ChecksumsMatchAtEveryRate)
+{
+    auto [w, rate_pct] = GetParam();
+    WorkloadParams p;
+    p.iterations = 3;
+    p.updateRate = static_cast<double>(rate_pct) / 100.0;
+    std::uint64_t base =
+        functionalChecksum(w->build(Variant::Baseline, p));
+    std::uint64_t dtt = functionalChecksum(w->build(Variant::Dtt, p));
+    EXPECT_EQ(base, dtt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, UpdateRateSweep,
+    ::testing::Combine(::testing::ValuesIn(allWorkloads()),
+                       ::testing::Values(0, 50, 100)),
+    [](const ::testing::TestParamInfo<UpdateRateSweep::ParamType>
+           &info) {
+        return std::get<0>(info.param)->info().name + "_r"
+            + std::to_string(std::get<1>(info.param));
+    });
+
+class ScaleSweep : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(ScaleSweep, ChecksumsMatchAtScale2)
+{
+    WorkloadParams p;
+    p.iterations = 2;
+    p.scale = 2;
+    std::uint64_t base = functionalChecksum(
+        GetParam()->build(Variant::Baseline, p));
+    std::uint64_t dtt = functionalChecksum(
+        GetParam()->build(Variant::Dtt, p));
+    EXPECT_EQ(base, dtt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ScaleSweep, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<const Workload *> &info) {
+        return info.param->info().name;
+    });
+
+} // namespace
+} // namespace dttsim::workloads

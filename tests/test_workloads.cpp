@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Workload equivalence tests — the central correctness oracle of the
+ * reproduction. For every workload (parameterized):
+ *
+ *  1. the Baseline and DTT program variants produce the *same*
+ *     checksum under the functional reference (inline-DTT semantics);
+ *  2. the cycle-level simulator reaches the same checksum as the
+ *     functional reference for both variants (so the SMT timing core,
+ *     spawn logic and TWAIT fencing preserve the architecture's
+ *     semantics end to end);
+ *  3. the DTT variant commits fewer main-thread instructions — the
+ *     computation really was eliminated, not moved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "cpu/executor.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim::workloads {
+namespace {
+
+class WorkloadSuite
+    : public ::testing::TestWithParam<std::tuple<const Workload *,
+                                                 std::uint64_t>>
+{
+  protected:
+    const Workload &workload() const { return *std::get<0>(GetParam()); }
+
+    WorkloadParams
+    params() const
+    {
+        WorkloadParams p;
+        p.seed = std::get<1>(GetParam());
+        // Keep test runtime modest: fewer outer iterations.
+        p.iterations = 4;
+        return p;
+    }
+};
+
+std::uint64_t
+functionalChecksum(const isa::Program &p, std::uint64_t *main_insts,
+                   std::uint64_t *dtt_insts)
+{
+    cpu::FunctionalRunner runner(p);
+    cpu::FuncRunResult r = runner.run(1ull << 28);
+    EXPECT_TRUE(r.halted);
+    if (main_insts)
+        *main_insts = r.mainInstructions;
+    if (dtt_insts)
+        *dtt_insts = r.dttInstructions;
+    return resultChecksum(p, runner.memory());
+}
+
+TEST_P(WorkloadSuite, BaselineAndDttChecksumsMatchFunctionally)
+{
+    isa::Program base = workload().build(Variant::Baseline, params());
+    isa::Program dtt = workload().build(Variant::Dtt, params());
+
+    std::uint64_t base_main = 0, dtt_main = 0, dtt_handler = 0;
+    std::uint64_t cs_base = functionalChecksum(base, &base_main,
+                                               nullptr);
+    std::uint64_t cs_dtt = functionalChecksum(dtt, &dtt_main,
+                                              &dtt_handler);
+    EXPECT_EQ(cs_base, cs_dtt);
+    EXPECT_NE(cs_base, 0u);
+    // The DTT main thread skips the redundant computation.
+    EXPECT_LT(dtt_main, base_main);
+}
+
+TEST_P(WorkloadSuite, SimulatorMatchesFunctional_Baseline)
+{
+    isa::Program base = workload().build(Variant::Baseline, params());
+    std::uint64_t want = functionalChecksum(base, nullptr, nullptr);
+
+    sim::SimConfig cfg;
+    cfg.enableDtt = false;
+    sim::Simulator s(cfg, base);
+    sim::SimResult r = s.run();
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(resultChecksum(base, s.core().memory()), want);
+}
+
+TEST_P(WorkloadSuite, SimulatorMatchesFunctional_Dtt)
+{
+    isa::Program dtt = workload().build(Variant::Dtt, params());
+    std::uint64_t want = functionalChecksum(dtt, nullptr, nullptr);
+
+    sim::SimConfig cfg;
+    sim::Simulator s(cfg, dtt);
+    sim::SimResult r = s.run();
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(resultChecksum(dtt, s.core().memory()), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite,
+    ::testing::Combine(::testing::ValuesIn(allWorkloads()),
+                       ::testing::Values(12345ull, 999ull)),
+    [](const ::testing::TestParamInfo<WorkloadSuite::ParamType> &info) {
+        return std::get<0>(info.param)->info().name + "_seed"
+            + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Workloads, RegistryIsComplete)
+{
+    EXPECT_EQ(allWorkloads().size(), 15u);
+    EXPECT_EQ(findWorkload("mcf").info().specAnalogue, "181.mcf");
+    EXPECT_THROW(findWorkload("nope"), dttsim::FatalError);
+    for (const Workload *w : allWorkloads()) {
+        WorkloadInfo i = w->info();
+        EXPECT_FALSE(i.name.empty());
+        EXPECT_FALSE(i.kernelDesc.empty());
+        EXPECT_GT(i.staticTriggers, 0);
+        EXPECT_GT(i.defaultIterations, 0);
+        EXPECT_GT(i.defaultUpdateRate, 0.0);
+    }
+}
+
+TEST(Workloads, UpdateRateIsRespected)
+{
+    // updateRate = 0 -> every scheduled write is silent -> the DTT
+    // variant spawns nothing.
+    WorkloadParams p;
+    p.iterations = 3;
+    p.updateRate = 0.0;
+    isa::Program prog = mcfWorkload().build(Variant::Dtt, p);
+    cpu::FunctionalRunner runner(prog);
+    cpu::FuncRunResult r = runner.run(1ull << 26);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.dttRuns, 0u);
+    EXPECT_EQ(r.silentTstores, r.tstores);
+}
+
+TEST(Workloads, HighUpdateRateTriggersOften)
+{
+    WorkloadParams p;
+    p.iterations = 3;
+    p.updateRate = 1.0;
+    isa::Program prog = mcfWorkload().build(Variant::Dtt, p);
+    cpu::FunctionalRunner runner(prog);
+    cpu::FuncRunResult r = runner.run(1ull << 26);
+    ASSERT_TRUE(r.halted);
+    EXPECT_GT(r.dttRuns, r.tstores / 2);
+}
+
+TEST(Workloads, DeterministicAcrossBuilds)
+{
+    WorkloadParams p;
+    p.iterations = 3;
+    isa::Program a = artWorkload().build(Variant::Baseline, p);
+    isa::Program b2 = artWorkload().build(Variant::Baseline, p);
+    cpu::FunctionalRunner ra(a), rb(b2);
+    ra.run(1ull << 26);
+    rb.run(1ull << 26);
+    EXPECT_EQ(resultChecksum(a, ra.memory()),
+              resultChecksum(b2, rb.memory()));
+}
+
+TEST(Workloads, SeedsChangeResults)
+{
+    WorkloadParams p1, p2;
+    p1.iterations = p2.iterations = 3;
+    p1.seed = 1;
+    p2.seed = 2;
+    isa::Program a = mcfWorkload().build(Variant::Baseline, p1);
+    isa::Program b2 = mcfWorkload().build(Variant::Baseline, p2);
+    cpu::FunctionalRunner ra(a), rb(b2);
+    ra.run(1ull << 26);
+    rb.run(1ull << 26);
+    EXPECT_NE(resultChecksum(a, ra.memory()),
+              resultChecksum(b2, rb.memory()));
+}
+
+} // namespace
+} // namespace dttsim::workloads
