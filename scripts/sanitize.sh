@@ -1,0 +1,16 @@
+#!/bin/sh
+# Build and run the full dttsim test suite under ASan+UBSan.
+# Usage: scripts/sanitize.sh [build-dir]   (default: build-sanitize)
+set -eu
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build-sanitize}"
+
+cmake -S "$src" -B "$build" -DCMAKE_BUILD_TYPE=Sanitize
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
+
+# Leak checking is off: gtest + static workload singletons hold
+# allocations until exit by design. UBSan aborts on any report.
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "$build" --output-on-failure -j \
+        "$(nproc 2>/dev/null || echo 4)"

@@ -1,0 +1,347 @@
+#include "analysis/addrspace.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "isa/opcodes.h"
+
+namespace dttsim::analysis {
+
+// ---- ChunkTable -----------------------------------------------------
+
+ChunkTable::ChunkTable(const isa::Program &prog)
+{
+    for (const auto &[name, base] : prog.dataSymbols())
+        chunks_.push_back(Chunk{name, base, 0});
+    std::sort(chunks_.begin(), chunks_.end(),
+              [](const Chunk &a, const Chunk &b) {
+                  return a.base < b.base;
+              });
+    for (std::size_t i = 0; i < chunks_.size(); ++i)
+        chunks_[i].end = (i + 1 < chunks_.size())
+            ? chunks_[i + 1].base : prog.dataEnd();
+}
+
+int
+ChunkTable::chunkOf(Addr addr) const
+{
+    auto it = std::upper_bound(chunks_.begin(), chunks_.end(), addr,
+                               [](Addr a, const Chunk &c) {
+                                   return a < c.base;
+                               });
+    if (it == chunks_.begin())
+        return -1;
+    --it;
+    if (addr >= it->end)
+        return -1;
+    return static_cast<int>(it - chunks_.begin());
+}
+
+const char *
+ChunkTable::name(int id) const
+{
+    if (id < 0 || id >= static_cast<int>(chunks_.size()))
+        return "?";
+    return chunks_[static_cast<std::size_t>(id)].name.c_str();
+}
+
+// ---- abstract values ------------------------------------------------
+
+namespace {
+
+using isa::Format;
+using isa::Inst;
+using isa::Opcode;
+
+/** Abstract integer-register value. */
+struct AbsVal
+{
+    enum class Kind : std::uint8_t { Undef, Const, Chunk, Unknown };
+    Kind kind = Kind::Undef;
+    std::int64_t c = 0;  ///< Const payload
+    int chunk = -1;      ///< Chunk payload
+
+    static AbsVal undef() { return AbsVal{}; }
+    static AbsVal unknown()
+    {
+        return AbsVal{Kind::Unknown, 0, -1};
+    }
+    static AbsVal constant(std::int64_t v)
+    {
+        return AbsVal{Kind::Const, v, -1};
+    }
+    static AbsVal inChunk(int id)
+    {
+        return id >= 0 ? AbsVal{Kind::Chunk, 0, id} : unknown();
+    }
+
+    bool
+    operator==(const AbsVal &o) const
+    {
+        return kind == o.kind && (kind != Kind::Const || c == o.c)
+            && (kind != Kind::Chunk || chunk == o.chunk);
+    }
+};
+
+/** Lattice join (Undef is bottom, Unknown is top). */
+AbsVal
+join(const AbsVal &a, const AbsVal &b, const ChunkTable &chunks)
+{
+    using K = AbsVal::Kind;
+    if (a.kind == K::Undef)
+        return b;
+    if (b.kind == K::Undef)
+        return a;
+    if (a == b)
+        return a;
+    if (a.kind == K::Unknown || b.kind == K::Unknown)
+        return AbsVal::unknown();
+    // Const/Chunk mixtures: keep the chunk when both sides agree on it.
+    auto chunkOf = [&](const AbsVal &v) {
+        return v.kind == K::Chunk
+            ? v.chunk
+            : chunks.chunkOf(static_cast<Addr>(v.c));
+    };
+    int ca = chunkOf(a), cb = chunkOf(b);
+    if (ca >= 0 && ca == cb)
+        return AbsVal::inChunk(ca);
+    return AbsVal::unknown();
+}
+
+using RegState = std::array<AbsVal, 32>;
+
+RegState
+joinState(const RegState &a, const RegState &b, const ChunkTable &ch)
+{
+    RegState out;
+    for (int i = 0; i < 32; ++i)
+        out[static_cast<std::size_t>(i)] =
+            join(a[static_cast<std::size_t>(i)],
+                 b[static_cast<std::size_t>(i)], ch);
+    return out;
+}
+
+/** addition of an abstract value and a literal immediate. */
+AbsVal
+addImm(const AbsVal &v, std::int64_t imm, const ChunkTable &chunks)
+{
+    using K = AbsVal::Kind;
+    switch (v.kind) {
+      case K::Const:
+        return AbsVal::constant(v.c + imm);
+      case K::Chunk:
+        return AbsVal::inChunk(v.chunk);  // small displacement
+      case K::Unknown:
+      case K::Undef:
+        // "scaled index + chunk base" idiom: the immediate IS the base.
+        return AbsVal::inChunk(
+            chunks.chunkOf(static_cast<Addr>(imm)));
+    }
+    return AbsVal::unknown();
+}
+
+/** addition of two abstract register values. */
+AbsVal
+addVals(const AbsVal &a, const AbsVal &b, const ChunkTable &chunks)
+{
+    using K = AbsVal::Kind;
+    if (a.kind == K::Const && b.kind == K::Const)
+        return AbsVal::constant(a.c + b.c);
+    if (a.kind == K::Const)
+        return addImm(b, a.c, chunks);
+    if (b.kind == K::Const)
+        return addImm(a, b.c, chunks);
+    if (a.kind == K::Chunk)
+        return AbsVal::inChunk(a.chunk);  // chunk + index
+    if (b.kind == K::Chunk)
+        return AbsVal::inChunk(b.chunk);
+    return AbsVal::unknown();
+}
+
+/** Transfer one instruction over @p st; mirrors executor semantics
+ *  for the const-foldable integer ops. */
+void
+transfer(const Inst &inst, RegState &st, const ChunkTable &chunks)
+{
+    auto get = [&](int r) {
+        return r == 0 ? AbsVal::constant(0)
+                      : st[static_cast<std::size_t>(r)];
+    };
+    auto set = [&](int r, const AbsVal &v) {
+        if (r != 0)
+            st[static_cast<std::size_t>(r)] = v;
+    };
+    auto binConst = [&](auto fn) {
+        AbsVal a = get(inst.rs1), b = get(inst.rs2);
+        if (a.kind == AbsVal::Kind::Const
+            && b.kind == AbsVal::Kind::Const)
+            set(inst.rd, AbsVal::constant(fn(a.c, b.c)));
+        else
+            set(inst.rd, AbsVal::unknown());
+    };
+    auto immConst = [&](auto fn) {
+        AbsVal a = get(inst.rs1);
+        if (a.kind == AbsVal::Kind::Const)
+            set(inst.rd, AbsVal::constant(fn(a.c, inst.imm)));
+        else
+            set(inst.rd, AbsVal::unknown());
+    };
+
+    switch (inst.op) {
+      case Opcode::LI:
+        set(inst.rd, AbsVal::constant(inst.imm));
+        break;
+      case Opcode::ADDI:
+        set(inst.rd, addImm(get(inst.rs1), inst.imm, chunks));
+        break;
+      case Opcode::ADD:
+        set(inst.rd, addVals(get(inst.rs1), get(inst.rs2), chunks));
+        break;
+      case Opcode::SUB:
+        binConst([](std::int64_t a, std::int64_t b) { return a - b; });
+        break;
+      case Opcode::MUL:
+        binConst([](std::int64_t a, std::int64_t b) { return a * b; });
+        break;
+      case Opcode::AND:
+        binConst([](std::int64_t a, std::int64_t b) { return a & b; });
+        break;
+      case Opcode::OR:
+        binConst([](std::int64_t a, std::int64_t b) { return a | b; });
+        break;
+      case Opcode::XOR:
+        binConst([](std::int64_t a, std::int64_t b) { return a ^ b; });
+        break;
+      case Opcode::ANDI:
+        immConst([](std::int64_t a, std::int64_t b) { return a & b; });
+        break;
+      case Opcode::ORI:
+        immConst([](std::int64_t a, std::int64_t b) { return a | b; });
+        break;
+      case Opcode::XORI:
+        immConst([](std::int64_t a, std::int64_t b) { return a ^ b; });
+        break;
+      case Opcode::SLLI:
+        immConst([](std::int64_t a, std::int64_t b) {
+            return static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a)
+                << (static_cast<std::uint64_t>(b) & 63));
+        });
+        break;
+      case Opcode::SRLI:
+        immConst([](std::int64_t a, std::int64_t b) {
+            return static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a)
+                >> (static_cast<std::uint64_t>(b) & 63));
+        });
+        break;
+      default:
+        // Every other writer of an integer register produces Unknown.
+        if (isa::writesIntReg(inst.op))
+            set(inst.rd, AbsVal::unknown());
+        break;
+    }
+}
+
+/** Abstract address of the memory access @p inst performs, or an
+ *  Unknown value for non-memory instructions. */
+AbsVal
+accessAddr(const Inst &inst, const RegState &st,
+           const ChunkTable &chunks)
+{
+    AbsVal base = inst.rs1 == 0
+        ? AbsVal::constant(0)
+        : st[static_cast<std::size_t>(inst.rs1)];
+    return addImm(base, inst.imm, chunks);
+}
+
+} // namespace
+
+// ---- AccessMap ------------------------------------------------------
+
+AccessMap::AccessMap(const Cfg &cfg, const ChunkTable &chunks)
+{
+    const isa::Program &prog = cfg.program();
+    perPc_.assign(prog.size(), -1);
+    if (prog.size() == 0 || cfg.blocks().empty())
+        return;
+
+    const std::size_t nblocks = cfg.blocks().size();
+    std::vector<RegState> in(nblocks);
+    std::vector<bool> seeded(nblocks, false);
+
+    // Roots start from an all-Unknown file: entry registers are
+    // zero-filled but nothing address-relevant depends on that, and
+    // callee/handler entries have caller- or spawn-defined registers.
+    RegState unknownState;
+    unknownState.fill(AbsVal::unknown());
+
+    std::deque<int> work;
+    std::vector<bool> queued(nblocks, false);
+    auto push = [&](int b) {
+        if (!queued[static_cast<std::size_t>(b)]) {
+            queued[static_cast<std::size_t>(b)] = true;
+            work.push_back(b);
+        }
+    };
+    auto seedRoot = [&](int b) {
+        if (b < 0)
+            return;
+        in[static_cast<std::size_t>(b)] = unknownState;
+        seeded[static_cast<std::size_t>(b)] = true;
+        push(b);
+    };
+    for (int r : cfg.programRoots())
+        seedRoot(r);
+    for (std::uint64_t pc : cfg.calleeEntries())
+        seedRoot(cfg.blockOf(pc));
+
+    while (!work.empty()) {
+        int bi = work.front();
+        work.pop_front();
+        queued[static_cast<std::size_t>(bi)] = false;
+        const BasicBlock &b =
+            cfg.blocks()[static_cast<std::size_t>(bi)];
+
+        RegState st = in[static_cast<std::size_t>(bi)];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc) {
+            const Inst &inst = prog.text()[pc];
+            if (isa::isLoad(inst.op) || isa::isStore(inst.op)) {
+                AbsVal a = accessAddr(inst, st, chunks);
+                int chunk = a.kind == AbsVal::Kind::Const
+                    ? chunks.chunkOf(static_cast<Addr>(a.c))
+                    : (a.kind == AbsVal::Kind::Chunk ? a.chunk : -1);
+                perPc_[pc] = chunk;
+            }
+            transfer(inst, st, chunks);
+        }
+
+        for (int s : cfg.successors(bi, EdgeView::CallSkip)) {
+            auto si = static_cast<std::size_t>(s);
+            RegState next = b.exit == BlockExit::Call
+                ? unknownState  // a call may clobber everything
+                : st;
+            RegState merged = seeded[si]
+                ? joinState(in[si], next, chunks) : next;
+            bool changed = !seeded[si];
+            if (seeded[si]) {
+                for (int r = 0; r < 32; ++r)
+                    if (!(merged[static_cast<std::size_t>(r)]
+                          == in[si][static_cast<std::size_t>(r)])) {
+                        changed = true;
+                        break;
+                    }
+            }
+            if (changed) {
+                in[si] = merged;
+                seeded[si] = true;
+                push(s);
+            }
+        }
+        // Callee entries were seeded Unknown already; the call edge
+        // (Full view only) would add nothing beyond that.
+    }
+}
+
+} // namespace dttsim::analysis

@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Static resolution of memory-access addresses to data-segment chunks.
+ *
+ * Builder/assembler programs form addresses the same way: a data
+ * symbol's base address appears as an instruction immediate (li/la or
+ * the addi of a scaled index) and the rest of the address is a runtime
+ * index. A light abstract interpretation over the integer register
+ * file — values are Const(k), Chunk(data object) or Unknown — is
+ * therefore enough to attribute most loads and stores to the data
+ * object they touch, which powers the DTT race check and sharpens the
+ * redundant-load lint.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/types.h"
+
+namespace dttsim::analysis {
+
+/** The data segment as a table of named, disjoint address ranges. */
+class ChunkTable
+{
+  public:
+    struct Chunk
+    {
+        std::string name;
+        Addr base = 0;
+        Addr end = 0;  ///< one past the last byte
+    };
+
+    explicit ChunkTable(const isa::Program &prog);
+
+    const std::vector<Chunk> &chunks() const { return chunks_; }
+
+    /** Chunk containing @p addr, or -1. */
+    int chunkOf(Addr addr) const;
+
+    /** Name of chunk @p id ("?" for -1). */
+    const char *name(int id) const;
+
+  private:
+    std::vector<Chunk> chunks_;  ///< sorted by base
+};
+
+/**
+ * Per-instruction memory-access attribution: for every load, store
+ * and triggering store, the data chunk its address statically
+ * resolves to (-1 when unknown — e.g. stack traffic or an address the
+ * abstraction loses track of).
+ */
+class AccessMap
+{
+  public:
+    AccessMap(const Cfg &cfg, const ChunkTable &chunks);
+
+    /** Chunk accessed by the memory instruction at @p pc, or -1. */
+    int chunkAt(std::uint64_t pc) const
+    {
+        return pc < perPc_.size() ? perPc_[pc] : -1;
+    }
+
+  private:
+    std::vector<int> perPc_;
+};
+
+} // namespace dttsim::analysis

@@ -1,0 +1,84 @@
+#include "analysis/analyzer.h"
+
+#include "analysis/addrspace.h"
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/verifier.h"
+#include "isa/opcodes.h"
+
+namespace dttsim::analysis {
+
+namespace {
+
+/** Store-safety verdicts for the advisor (see AnalysisResult). */
+void
+judgeStores(const Cfg &cfg, const ChunkTable &chunks,
+            const AccessMap &access, const TriggerFacts &facts,
+            std::map<std::uint64_t, std::string> &unsafe)
+{
+    const auto &text = cfg.program().text();
+
+    // chunk -> one trigger whose thread body writes it
+    std::map<int, TriggerId> writtenBy;
+    for (const auto &[trig, set] : facts.handlerWrites)
+        for (int chunk : set)
+            writtenBy.emplace(chunk, trig);
+
+    for (std::uint64_t pc = 0; pc < cfg.program().size(); ++pc) {
+        const isa::Inst &inst = text[pc];
+        if (!isa::isStore(inst.op))
+            continue;
+        if (isa::isTStore(inst.op)) {
+            unsafe.emplace(pc, "already a triggering store");
+            continue;
+        }
+        int block = cfg.blockOf(pc);
+        if (block >= 0
+            && facts.handlerOnly[static_cast<std::size_t>(block)]) {
+            unsafe.emplace(pc,
+                           "inside a DTT thread body; converting it "
+                           "would spawn threads from a thread");
+            continue;
+        }
+        int chunk = access.chunkAt(pc);
+        if (auto it = writtenBy.find(chunk); it != writtenBy.end()) {
+            unsafe.emplace(
+                pc, std::string("writes '") + chunks.name(chunk)
+                        + "', which the trigger-"
+                        + std::to_string(it->second)
+                        + " thread body also writes; triggering here "
+                          "would race with it");
+        }
+    }
+}
+
+} // namespace
+
+AnalysisResult
+analyze(const isa::Program &prog, const AnalyzeOptions &opts)
+{
+    AnalysisResult res;
+    Cfg cfg(prog);
+    ChunkTable chunks(prog);
+    AccessMap access(cfg, chunks);
+    Dataflow dataflow(cfg);
+    TriggerFacts facts = collectTriggerFacts(cfg, access);
+
+    checkTargets(cfg, res.diagnostics);
+    checkTriggers(cfg, res.diagnostics);
+    checkUnreachable(cfg, res.diagnostics);
+    checkFallOff(cfg, res.diagnostics);
+    checkThreadTermination(cfg, res.diagnostics);
+    checkRaces(cfg, chunks, access, facts, res.diagnostics);
+    res.diagnostics.insert(res.diagnostics.end(),
+                           dataflow.diagnostics().begin(),
+                           dataflow.diagnostics().end());
+    if (opts.lint)
+        lintRedundantLoads(cfg, access, res.diagnostics);
+
+    judgeStores(cfg, chunks, access, facts, res.unsafeStores);
+    sortDiagnostics(res.diagnostics);
+    return res;
+}
+
+} // namespace dttsim::analysis

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Entry point of the static analyzer: run every pass over a program
+ * and collect the findings plus the store-safety verdicts that
+ * profile::Advisor consumes (a store the analyzer cannot prove safe
+ * to convert must never be recommended as a trigger candidate).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "isa/program.h"
+
+namespace dttsim::analysis {
+
+/** Pass selection. */
+struct AnalyzeOptions
+{
+    bool lint = true;  ///< include advisory findings (A008)
+};
+
+/** Everything the analyzer concluded about one program. */
+struct AnalysisResult
+{
+    /** All findings, in stable (pc, id) order. */
+    std::vector<Diagnostic> diagnostics;
+
+    /**
+     * Static stores it would be UNSAFE to convert into triggering
+     * stores, keyed by PC, with a human-readable reason: stores inside
+     * thread bodies, stores to data some thread body also writes, and
+     * stores that already trigger.
+     */
+    std::map<std::uint64_t, std::string> unsafeStores;
+
+    /** True when any finding is an Error. */
+    bool
+    errors() const
+    {
+        return hasErrors(diagnostics);
+    }
+
+    /** Safety verdict for converting the store at @p pc. */
+    bool
+    storeSafe(std::uint64_t pc) const
+    {
+        return unsafeStores.find(pc) == unsafeStores.end();
+    }
+};
+
+/** Run all passes over @p prog. Never throws on malformed programs —
+ *  malformation is what the diagnostics report. */
+AnalysisResult analyze(const isa::Program &prog,
+                       const AnalyzeOptions &opts = {});
+
+} // namespace dttsim::analysis

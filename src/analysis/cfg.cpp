@@ -1,0 +1,222 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "isa/opcodes.h"
+
+namespace dttsim::analysis {
+
+namespace {
+
+using isa::Format;
+using isa::Inst;
+using isa::Opcode;
+
+/** True when @p op ends a basic block. */
+bool
+endsBlock(Opcode op)
+{
+    return isa::isControl(op) || op == Opcode::HALT
+        || op == Opcode::TRET;
+}
+
+/** Static control-transfer target of @p inst, if it has one. */
+bool
+staticTarget(const Inst &inst, std::uint64_t &target)
+{
+    switch (isa::opInfo(inst.op).format) {
+      case Format::Branch:
+      case Format::Jump:
+        target = static_cast<std::uint64_t>(inst.imm);
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Cfg::Cfg(const isa::Program &prog) : prog_(&prog)
+{
+    const auto &text = prog.text();
+    const std::uint64_t n = prog.size();
+    if (n == 0)
+        return;
+
+    auto inRange = [n](std::uint64_t pc) { return pc < n; };
+
+    // ---- pass 1: leaders --------------------------------------------
+    std::vector<bool> leader(n, false);
+    auto markLeader = [&](std::uint64_t pc) {
+        if (inRange(pc))
+            leader[pc] = true;
+    };
+    markLeader(prog.entry());
+    for (std::uint64_t pc = 0; pc < n; ++pc) {
+        const Inst &inst = text[pc];
+        std::uint64_t target = 0;
+        if (staticTarget(inst, target)) {
+            if (inRange(target))
+                markLeader(target);
+            else
+                badTargetPcs_.push_back(pc);
+        }
+        if (inst.op == Opcode::TREG) {
+            auto entry = static_cast<std::uint64_t>(inst.imm);
+            if (inRange(entry)) {
+                markLeader(entry);
+                handlerEntries_.emplace(inst.trig, entry);
+            } else {
+                badTargetPcs_.push_back(pc);
+            }
+        }
+        if (inst.op == Opcode::JAL && inst.rd != 0
+            && inRange(static_cast<std::uint64_t>(inst.imm)))
+            calleeEntries_.insert(static_cast<std::uint64_t>(inst.imm));
+        if (endsBlock(inst.op))
+            markLeader(pc + 1);  // no-op when pc+1 == n
+    }
+    leader[0] = true;
+
+    // ---- pass 2: blocks ---------------------------------------------
+    for (std::uint64_t pc = 0; pc < n; ++pc) {
+        if (!leader[pc])
+            continue;
+        BasicBlock b;
+        b.first = pc;
+        std::uint64_t last = pc;
+        while (last + 1 < n && !leader[last + 1]
+               && !endsBlock(text[last].op))
+            ++last;
+        b.last = last;
+        blocks_.push_back(b);
+        firsts_.push_back(pc);
+    }
+
+    // ---- pass 3: exits and edges ------------------------------------
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        BasicBlock &b = blocks_[i];
+        const Inst &lastInst = text[b.last];
+        std::uint64_t fall = b.last + 1;
+        std::uint64_t target = 0;
+        bool hasTarget = staticTarget(lastInst, target)
+            && inRange(target);
+
+        if (isa::opInfo(lastInst.op).format == Format::Branch) {
+            b.exit = BlockExit::Branch;
+            b.succTarget = hasTarget ? blockOf(target) : -1;
+            b.succFall = inRange(fall) ? blockOf(fall) : -1;
+        } else if (lastInst.op == Opcode::JAL) {
+            if (lastInst.rd == 0) {
+                b.exit = BlockExit::Jump;
+                b.succTarget = hasTarget ? blockOf(target) : -1;
+            } else {
+                b.exit = BlockExit::Call;
+                b.succTarget = hasTarget ? blockOf(target) : -1;
+                b.succFall = inRange(fall) ? blockOf(fall) : -1;
+            }
+        } else if (lastInst.op == Opcode::JALR) {
+            b.exit = BlockExit::Return;
+        } else if (lastInst.op == Opcode::HALT) {
+            b.exit = BlockExit::Halt;
+        } else if (lastInst.op == Opcode::TRET) {
+            b.exit = BlockExit::Tret;
+        } else if (!inRange(fall)) {
+            b.exit = BlockExit::FallOff;
+        } else {
+            b.exit = BlockExit::Fallthrough;
+            b.succFall = blockOf(fall);
+        }
+        // A call or branch whose fall-through runs off the end.
+        if ((b.exit == BlockExit::Call || b.exit == BlockExit::Branch)
+            && !inRange(fall))
+            b.succFall = -1;
+    }
+
+    entryBlock_ = blockOf(prog.entry());
+}
+
+int
+Cfg::blockOf(std::uint64_t pc) const
+{
+    if (pc >= prog_->size())
+        return -1;
+    auto it = std::upper_bound(firsts_.begin(), firsts_.end(), pc);
+    return static_cast<int>(it - firsts_.begin()) - 1;
+}
+
+std::vector<int>
+Cfg::successors(int block, EdgeView view) const
+{
+    std::vector<int> out;
+    const BasicBlock &b = blocks_[static_cast<std::size_t>(block)];
+    switch (b.exit) {
+      case BlockExit::Branch:
+        if (b.succTarget >= 0)
+            out.push_back(b.succTarget);
+        if (b.succFall >= 0)
+            out.push_back(b.succFall);
+        break;
+      case BlockExit::Jump:
+        if (b.succTarget >= 0)
+            out.push_back(b.succTarget);
+        break;
+      case BlockExit::Call:
+        if (view == EdgeView::Full && b.succTarget >= 0)
+            out.push_back(b.succTarget);
+        if (b.succFall >= 0)
+            out.push_back(b.succFall);
+        break;
+      case BlockExit::Fallthrough:
+        if (b.succFall >= 0)
+            out.push_back(b.succFall);
+        break;
+      case BlockExit::Return:
+      case BlockExit::Halt:
+      case BlockExit::Tret:
+      case BlockExit::FallOff:
+        break;
+    }
+    return out;
+}
+
+std::vector<bool>
+Cfg::reachable(const std::vector<int> &roots, EdgeView view) const
+{
+    std::vector<bool> seen(blocks_.size(), false);
+    std::vector<int> stack;
+    for (int r : roots) {
+        if (r >= 0 && !seen[static_cast<std::size_t>(r)]) {
+            seen[static_cast<std::size_t>(r)] = true;
+            stack.push_back(r);
+        }
+    }
+    while (!stack.empty()) {
+        int b = stack.back();
+        stack.pop_back();
+        for (int s : successors(b, view)) {
+            if (!seen[static_cast<std::size_t>(s)]) {
+                seen[static_cast<std::size_t>(s)] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<int>
+Cfg::programRoots() const
+{
+    std::vector<int> roots;
+    if (entryBlock_ >= 0)
+        roots.push_back(entryBlock_);
+    for (const auto &[trig, pc] : handlerEntries_) {
+        (void)trig;
+        int b = blockOf(pc);
+        if (b >= 0)
+            roots.push_back(b);
+    }
+    return roots;
+}
+
+} // namespace dttsim::analysis

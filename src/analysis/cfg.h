@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * Control-flow graph over a decoded isa::Program: basic blocks,
+ * successor edges and reachability. The graph is call-aware — `jal`
+ * with a link register is a Call (the callee entry becomes a function
+ * root and the fall-through is the return point), `jalr` is a Return —
+ * which matches the only calling convention the builder workloads use.
+ *
+ * Two edge views serve different clients:
+ *  - Full: calls edge into both the callee and the fall-through;
+ *    used for whole-program reachability (unreachable-code, handler
+ *    write-set collection).
+ *  - CallSkip: calls edge only to the fall-through ("the callee
+ *    returns"); used by the dataflow passes, which model callee
+ *    effects with summaries instead of edges.
+ *
+ * Construction is total: malformed programs (targets outside the
+ * text) still produce a graph — the offending edges are simply
+ * dropped and the instruction is recorded for the verifier to report.
+ */
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace dttsim::analysis {
+
+/** How a basic block ends. */
+enum class BlockExit : std::uint8_t {
+    Fallthrough,  ///< non-control last instruction; next block follows
+    Branch,       ///< conditional branch: target + fall-through
+    Jump,         ///< unconditional jump (jal x0): target only
+    Call,         ///< linking jal: callee + fall-through (returns)
+    Return,       ///< jalr: dynamic target, treated as subroutine return
+    Halt,         ///< HALT
+    Tret,         ///< TRET (DTT thread end)
+    FallOff,      ///< last block runs past the end of the text
+};
+
+/** One basic block: the PC range [first, last] plus its edges. */
+struct BasicBlock
+{
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+    BlockExit exit = BlockExit::Fallthrough;
+    int succTarget = -1;  ///< block id of branch/jump/call target
+    int succFall = -1;    ///< block id of the fall-through successor
+};
+
+/** Edge view selector for traversals. */
+enum class EdgeView {
+    Full,      ///< calls follow both callee and fall-through
+    CallSkip,  ///< calls follow only the fall-through
+};
+
+/** Control-flow graph of one program. */
+class Cfg
+{
+  public:
+    explicit Cfg(const isa::Program &prog);
+
+    const isa::Program &program() const { return *prog_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block containing @p pc; -1 if pc is outside the text. */
+    int blockOf(std::uint64_t pc) const;
+
+    /** Entry block of the main thread (-1 for an empty program). */
+    int entryBlock() const { return entryBlock_; }
+
+    /** treg-registered thread bodies: trigger id -> entry PCs. */
+    const std::multimap<TriggerId, std::uint64_t> &handlerEntries() const
+    {
+        return handlerEntries_;
+    }
+
+    /** Entry PCs of blocks reached by linking calls. */
+    const std::set<std::uint64_t> &calleeEntries() const
+    {
+        return calleeEntries_;
+    }
+
+    /** PCs of control/treg instructions whose target is outside the
+     *  text (their edges were dropped). */
+    const std::vector<std::uint64_t> &badTargetPcs() const
+    {
+        return badTargetPcs_;
+    }
+
+    /** Successor block ids of @p block under @p view. */
+    std::vector<int> successors(int block, EdgeView view) const;
+
+    /**
+     * Blocks reachable from @p roots (block ids) under @p view,
+     * as a per-block flag vector.
+     */
+    std::vector<bool> reachable(const std::vector<int> &roots,
+                                EdgeView view) const;
+
+    /** Roots of whole-program reachability: entry + handler entries. */
+    std::vector<int> programRoots() const;
+
+  private:
+    const isa::Program *prog_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<std::uint64_t> firsts_;  ///< blocks_[i].first (sorted)
+    int entryBlock_ = -1;
+    std::multimap<TriggerId, std::uint64_t> handlerEntries_;
+    std::set<std::uint64_t> calleeEntries_;
+    std::vector<std::uint64_t> badTargetPcs_;
+};
+
+} // namespace dttsim::analysis

@@ -1,0 +1,504 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "isa/opcodes.h"
+
+namespace dttsim::analysis {
+
+namespace {
+
+using isa::Format;
+using isa::Inst;
+using isa::Opcode;
+
+constexpr int kNumRegs = 64;
+constexpr RegMask kAllRegs = ~RegMask(0);
+
+RegMask
+bit(int reg)
+{
+    return RegMask(1) << reg;
+}
+
+RegMask
+intReg(int r)
+{
+    return r == 0 ? 0 : bit(r);  // x0 is never undefined nor live
+}
+
+RegMask
+fpReg(int r)
+{
+    return bit(32 + r);
+}
+
+/** Registers defined by the runtime at each kind of routine entry:
+ *  x0 and sp everywhere; a DTT thread additionally gets the trigger
+ *  address in a0 and the stored value in a1. */
+constexpr RegMask kMainEntryDefined = RegMask(1) << 0 | RegMask(1) << 2;
+constexpr RegMask kThreadEntryDefined =
+    kMainEntryDefined | RegMask(1) << 10 | RegMask(1) << 11;
+
+/** Dense bitvector over definition sites. */
+class BitVec
+{
+  public:
+    void resize(std::size_t bits)
+    {
+        words_.assign((bits + 63) / 64, 0);
+    }
+    void set(std::size_t i) { words_[i / 64] |= RegMask(1) << (i % 64); }
+    bool
+    test(std::size_t i) const
+    {
+        return (words_[i / 64] >> (i % 64)) & 1;
+    }
+    bool
+    orWith(const BitVec &o)  ///< returns true when bits changed
+    {
+        bool changed = false;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            RegMask merged = words_[w] | o.words_[w];
+            changed |= merged != words_[w];
+            words_[w] = merged;
+        }
+        return changed;
+    }
+    void
+    andNot(const BitVec &o)
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            words_[w] &= ~o.words_[w];
+    }
+
+  private:
+    std::vector<RegMask> words_;
+};
+
+} // namespace
+
+UseDef
+useDef(const Inst &inst)
+{
+    UseDef ud;
+    switch (isa::opInfo(inst.op).format) {
+      case Format::R:
+        ud.uses = intReg(inst.rs1) | intReg(inst.rs2);
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::I:
+        ud.uses = intReg(inst.rs1);
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::LI:
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::FLI:
+        ud.defs = fpReg(inst.rd);
+        break;
+      case Format::Load:
+        ud.uses = intReg(inst.rs1);
+        ud.defs = inst.op == Opcode::FLD ? fpReg(inst.rd)
+                                         : intReg(inst.rd);
+        break;
+      case Format::Store:
+        ud.uses = intReg(inst.rs1)
+            | (inst.op == Opcode::FSD ? fpReg(inst.rs2)
+                                      : intReg(inst.rs2));
+        break;
+      case Format::TStore:
+        ud.uses = intReg(inst.rs1) | intReg(inst.rs2);
+        break;
+      case Format::Branch:
+        ud.uses = intReg(inst.rs1) | intReg(inst.rs2);
+        break;
+      case Format::Jump:
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::JumpR:
+        ud.uses = intReg(inst.rs1);
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::FR:
+        ud.uses = fpReg(inst.rs1) | fpReg(inst.rs2);
+        ud.defs = fpReg(inst.rd);
+        break;
+      case Format::FR1:
+        ud.uses = fpReg(inst.rs1);
+        ud.defs = fpReg(inst.rd);
+        break;
+      case Format::FCvtFI:  // fd <- (double) rs1
+        ud.uses = intReg(inst.rs1);
+        ud.defs = fpReg(inst.rd);
+        break;
+      case Format::FCvtIF:  // rd <- (int64) fs1
+        ud.uses = fpReg(inst.rs1);
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::FCmp:
+        ud.uses = fpReg(inst.rs1) | fpReg(inst.rs2);
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::TChk:
+        ud.defs = intReg(inst.rd);
+        break;
+      case Format::TReg:
+      case Format::Trig:
+      case Format::None:
+        break;
+    }
+    return ud;
+}
+
+Dataflow::Dataflow(const Cfg &cfg)
+{
+    const std::size_t nblocks = cfg.blocks().size();
+    maybeUndefIn_.assign(nblocks, 0);
+    liveIn_.assign(nblocks, 0);
+    liveOut_.assign(nblocks, 0);
+    if (nblocks == 0)
+        return;
+    computeFunctions(cfg);
+    runReachingDefs(cfg);
+    runLiveness(cfg);
+}
+
+namespace {
+
+/** Summary lookup for the Call-exit of @p b (zeroes when the call
+ *  target is unresolvable). */
+void
+callSummary(const Cfg &cfg, const BasicBlock &b,
+            const std::map<std::uint64_t, FuncSummary> &funcs,
+            RegMask &mustDef, RegMask &mayUse)
+{
+    mustDef = 0;
+    mayUse = 0;
+    if (b.exit != BlockExit::Call || b.succTarget < 0)
+        return;
+    std::uint64_t entry =
+        cfg.blocks()[static_cast<std::size_t>(b.succTarget)].first;
+    auto it = funcs.find(entry);
+    if (it != funcs.end()) {
+        mustDef = it->second.mustDef;
+        mayUse = it->second.mayUse;
+    }
+}
+
+/** Intraprocedural must-defined/may-use analysis of one routine body
+ *  (used both to build function summaries and by their fixpoint). */
+void
+analyzeBody(const Cfg &cfg, const std::vector<int> &body, int entry,
+            RegMask entryDefined,
+            const std::map<std::uint64_t, FuncSummary> &funcs,
+            RegMask &mustDefOut, RegMask &mayUseOut)
+{
+    const auto &text = cfg.program().text();
+    const std::size_t nblocks = cfg.blocks().size();
+    std::vector<bool> inBody(nblocks, false);
+    for (int b : body)
+        inBody[static_cast<std::size_t>(b)] = true;
+
+    // Forward fixpoint; merge is intersection, so non-entry blocks
+    // start at top (all-defined) and only ever lose bits.
+    std::vector<RegMask> in(nblocks, kAllRegs), out(nblocks, kAllRegs);
+    auto transferBlock = [&](int bi) {
+        const BasicBlock &b =
+            cfg.blocks()[static_cast<std::size_t>(bi)];
+        RegMask defined = in[static_cast<std::size_t>(bi)];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc)
+            defined |= useDef(text[pc]).defs;
+        RegMask calleeMust = 0, calleeMay = 0;
+        callSummary(cfg, b, funcs, calleeMust, calleeMay);
+        return defined | calleeMust;
+    };
+
+    in[static_cast<std::size_t>(entry)] = entryDefined;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int bi : body) {
+            auto i = static_cast<std::size_t>(bi);
+            RegMask merged = bi == entry ? entryDefined : kAllRegs;
+            bool hasPred = bi == entry;
+            // Predecessor scan (bodies are small; O(n^2) is fine).
+            for (int pi : body) {
+                auto succs = cfg.successors(pi, EdgeView::CallSkip);
+                if (std::find(succs.begin(), succs.end(), bi)
+                    != succs.end()) {
+                    merged &= out[static_cast<std::size_t>(pi)];
+                    hasPred = true;
+                }
+            }
+            if (!hasPred)
+                merged = kAllRegs;
+            in[i] = merged;
+            RegMask newOut = transferBlock(bi);
+            if (newOut != out[i]) {
+                out[i] = newOut;
+                changed = true;
+            }
+        }
+    }
+
+    // May-use: walk each block once with its converged must-defined-in.
+    RegMask mayUse = 0;
+    for (int bi : body) {
+        const BasicBlock &b =
+            cfg.blocks()[static_cast<std::size_t>(bi)];
+        RegMask defined = in[static_cast<std::size_t>(bi)];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc) {
+            UseDef ud = useDef(text[pc]);
+            mayUse |= ud.uses & ~defined;
+            defined |= ud.defs;
+        }
+        RegMask calleeMust = 0, calleeMay = 0;
+        callSummary(cfg, b, funcs, calleeMust, calleeMay);
+        mayUse |= calleeMay & ~defined;
+    }
+
+    // The routine's guarantee is the intersection over its returns.
+    RegMask mustDef = kAllRegs;
+    bool sawReturn = false;
+    for (int bi : body) {
+        const BasicBlock &b =
+            cfg.blocks()[static_cast<std::size_t>(bi)];
+        if (b.exit == BlockExit::Return || b.exit == BlockExit::Tret) {
+            mustDef &= out[static_cast<std::size_t>(bi)];
+            sawReturn = true;
+        }
+    }
+    if (!sawReturn)
+        mustDef = kAllRegs;  // never returns; guarantee is vacuous
+    mustDefOut = mustDef;
+    mayUseOut = mayUse;
+}
+
+} // namespace
+
+void
+Dataflow::computeFunctions(const Cfg &cfg)
+{
+    for (std::uint64_t entry : cfg.calleeEntries()) {
+        int eb = cfg.blockOf(entry);
+        if (eb < 0 || cfg.blocks()[static_cast<std::size_t>(eb)].first
+            != entry)
+            continue;  // call into the middle of a block: no summary
+        FuncSummary fs;
+        fs.entryPc = entry;
+        auto seen = cfg.reachable({eb}, EdgeView::CallSkip);
+        for (std::size_t b = 0; b < seen.size(); ++b)
+            if (seen[b])
+                fs.body.push_back(static_cast<int>(b));
+        // Optimistic start: the summary fixpoint below only shrinks
+        // mustDef / grows mayUse, so cycles (recursion) converge.
+        fs.mustDef = kAllRegs;
+        fs.mayUse = 0;
+        funcs_.emplace(entry, fs);
+    }
+
+    for (int iter = 0; iter < 100; ++iter) {
+        bool changed = false;
+        for (auto &[entry, fs] : funcs_) {
+            RegMask mustDef = 0, mayUse = 0;
+            // entryDefined = 0: the summary captures what the routine
+            // itself guarantees to define / may consume.
+            analyzeBody(cfg, fs.body, cfg.blockOf(entry), 0, funcs_,
+                        mustDef, mayUse);
+            if (fs.mustDef != mustDef || fs.mayUse != mayUse) {
+                fs.mustDef = mustDef;
+                fs.mayUse = mayUse;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+}
+
+void
+Dataflow::runReachingDefs(const Cfg &cfg)
+{
+    const auto &text = cfg.program().text();
+    const std::size_t nblocks = cfg.blocks().size();
+
+    // ---- definition sites -------------------------------------------
+    // Sites 0..63 are the pseudo "uninitialized at routine entry"
+    // definitions, one per dataflow register; real definitions (and
+    // synthetic callee-summary definitions at call sites) follow.
+    struct Site
+    {
+        std::uint64_t pc;
+        int reg;
+    };
+    std::vector<Site> sites;
+    for (int r = 0; r < kNumRegs; ++r)
+        sites.push_back(Site{kNoPc, r});
+    std::vector<std::vector<std::size_t>> sitesAtPc(text.size());
+    auto addSite = [&](std::uint64_t pc, RegMask defs) {
+        for (int r = 0; r < kNumRegs; ++r)
+            if (defs & bit(r)) {
+                sitesAtPc[pc].push_back(sites.size());
+                sites.push_back(Site{pc, r});
+            }
+    };
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+        const BasicBlock &b = cfg.blocks()[bi];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc)
+            addSite(pc, useDef(text[pc]).defs);
+        RegMask calleeMust = 0, calleeMay = 0;
+        callSummary(cfg, b, funcs_, calleeMust, calleeMay);
+        if (calleeMust)
+            addSite(b.last, calleeMust & ~useDef(text[b.last]).defs);
+    }
+    const std::size_t nsites = sites.size();
+
+    std::vector<BitVec> defsOfReg(kNumRegs);
+    for (auto &v : defsOfReg)
+        v.resize(nsites);
+    for (std::size_t s = 0; s < nsites; ++s)
+        defsOfReg[static_cast<std::size_t>(sites[s].reg)].set(s);
+
+    // ---- block IN sets, union merge over CallSkip edges -------------
+    std::vector<BitVec> in(nblocks);
+    for (auto &v : in)
+        v.resize(nsites);
+    std::vector<bool> reached(nblocks, false);
+
+    std::deque<int> work;
+    std::vector<bool> queued(nblocks, false);
+    auto push = [&](int b) {
+        if (!queued[static_cast<std::size_t>(b)]) {
+            queued[static_cast<std::size_t>(b)] = true;
+            work.push_back(b);
+        }
+    };
+    auto seedRoot = [&](int b, RegMask entryDefined) {
+        if (b < 0)
+            return;
+        auto i = static_cast<std::size_t>(b);
+        for (int r = 0; r < kNumRegs; ++r)
+            if (!(entryDefined & bit(r)))
+                in[i].set(static_cast<std::size_t>(r));
+        reached[i] = true;
+        push(b);
+    };
+    seedRoot(cfg.entryBlock(), kMainEntryDefined);
+    for (const auto &[trig, pc] : cfg.handlerEntries()) {
+        (void)trig;
+        seedRoot(cfg.blockOf(pc), kThreadEntryDefined);
+    }
+    for (std::uint64_t pc : cfg.calleeEntries())
+        seedRoot(cfg.blockOf(pc), kAllRegs);
+
+    // One pc's transfer: every site at this pc (instruction def or
+    // callee-summary def) kills all other defs of its register, then
+    // becomes reaching itself.
+    auto applyPc = [&](std::uint64_t pc, BitVec &r) {
+        for (std::size_t s : sitesAtPc[pc])
+            r.andNot(defsOfReg[static_cast<std::size_t>(sites[s].reg)]);
+        for (std::size_t s : sitesAtPc[pc])
+            r.set(s);
+    };
+    auto applyBlock = [&](int bi, BitVec &r) {
+        const BasicBlock &b =
+            cfg.blocks()[static_cast<std::size_t>(bi)];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc)
+            applyPc(pc, r);
+    };
+
+    while (!work.empty()) {
+        int bi = work.front();
+        work.pop_front();
+        auto i = static_cast<std::size_t>(bi);
+        queued[i] = false;
+        BitVec out = in[i];
+        applyBlock(bi, out);
+        for (int s : cfg.successors(bi, EdgeView::CallSkip)) {
+            auto si = static_cast<std::size_t>(s);
+            bool changed = in[si].orWith(out) || !reached[si];
+            reached[si] = true;
+            if (changed)
+                push(s);
+        }
+    }
+
+    // ---- expose the per-block maybe-undefined mask ------------------
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        if (!reached[b])
+            continue;
+        for (int r = 0; r < kNumRegs; ++r)
+            if (in[b].test(static_cast<std::size_t>(r)))
+                maybeUndefIn_[b] |= bit(r);
+    }
+
+    // ---- def-before-use diagnostics ---------------------------------
+    const DiagInfo &info = diagInfo(DiagId::UseBeforeDef);
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+        if (!reached[bi])
+            continue;
+        const BasicBlock &b = cfg.blocks()[bi];
+        BitVec r = in[bi];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc) {
+            UseDef ud = useDef(text[pc]);
+            for (int reg = 0; reg < kNumRegs; ++reg) {
+                if ((ud.uses & bit(reg))
+                    && r.test(static_cast<std::size_t>(reg))) {
+                    Diagnostic d;
+                    d.id = DiagId::UseBeforeDef;
+                    d.severity = info.severity;
+                    d.pc = pc;
+                    d.message = "register " + dataflowRegName(reg)
+                        + " may be read by " + isa::mnemonic(text[pc].op)
+                        + " before any definition reaches it";
+                    diags_.push_back(d);
+                }
+            }
+            applyPc(pc, r);
+        }
+    }
+}
+
+void
+Dataflow::runLiveness(const Cfg &cfg)
+{
+    const auto &text = cfg.program().text();
+    const std::size_t nblocks = cfg.blocks().size();
+
+    // Per-block use (read before any local def) and def masks, with
+    // callee summaries folded into Call blocks.
+    std::vector<RegMask> use(nblocks, 0), def(nblocks, 0);
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+        const BasicBlock &b = cfg.blocks()[bi];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc) {
+            UseDef ud = useDef(text[pc]);
+            use[bi] |= ud.uses & ~def[bi];
+            def[bi] |= ud.defs;
+        }
+        RegMask calleeMust = 0, calleeMay = 0;
+        callSummary(cfg, b, funcs_, calleeMust, calleeMay);
+        use[bi] |= calleeMay & ~def[bi];
+        def[bi] |= calleeMust;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t bi = nblocks; bi-- > 0;) {
+            RegMask out = 0;
+            for (int s : cfg.successors(static_cast<int>(bi),
+                                        EdgeView::CallSkip))
+                out |= liveIn_[static_cast<std::size_t>(s)];
+            RegMask inMask = use[bi] | (out & ~def[bi]);
+            if (out != liveOut_[bi] || inMask != liveIn_[bi]) {
+                liveOut_[bi] = out;
+                liveIn_[bi] = inMask;
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace dttsim::analysis

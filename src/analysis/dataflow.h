@@ -1,0 +1,101 @@
+#pragma once
+
+/**
+ * @file
+ * Classic register dataflow over the CFG: reaching definitions and
+ * live registers per basic block, for both register files (dataflow
+ * register numbering: 0..31 = x0..x31, 32..63 = f0..f31).
+ *
+ * Reaching definitions seed every routine entry with pseudo
+ * "uninitialized" definitions — except the registers the runtime
+ * defines there (x0 and sp everywhere; a0/a1 at DTT thread entries,
+ * which receive the trigger address and stored value) — so a use
+ * reached by a pseudo definition is exactly a def-before-use
+ * violation.
+ *
+ * Calls are not edges here (see cfg.h): each called function gets a
+ * must-define summary (registers written on every path to its return)
+ * applied at call sites, and a may-use summary feeding liveness. This
+ * keeps caller contexts from bleeding into one another while still
+ * crediting callee-produced values (the `call netcost -> read a1`
+ * idiom of the workloads).
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/diagnostic.h"
+
+namespace dttsim::analysis {
+
+/** Bitmask over the 64 dataflow registers. */
+using RegMask = std::uint64_t;
+
+/** Use/def sets of one instruction (dataflow register numbers). */
+struct UseDef
+{
+    RegMask uses = 0;
+    RegMask defs = 0;
+};
+
+/** Use/def sets of @p inst (x0 excluded: never undefined, never
+ *  meaningfully live). */
+UseDef useDef(const isa::Inst &inst);
+
+/** Summary of one called function. */
+struct FuncSummary
+{
+    std::uint64_t entryPc = 0;
+    std::vector<int> body;  ///< block ids (CallSkip-reachable)
+    RegMask mustDef = 0;    ///< defined on all paths to the return
+    RegMask mayUse = 0;     ///< may be read before any internal def
+};
+
+/** Reaching definitions + liveness, and the diagnostics they yield. */
+class Dataflow
+{
+  public:
+    explicit Dataflow(const Cfg &cfg);
+
+    /** Def-before-use findings (A002), one per offending (pc, reg). */
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diags_;
+    }
+
+    /** Registers with a reaching uninitialized def at block entry. */
+    RegMask maybeUndefIn(int block) const
+    {
+        return maybeUndefIn_[static_cast<std::size_t>(block)];
+    }
+
+    /** Live registers at block entry / exit. */
+    RegMask liveIn(int block) const
+    {
+        return liveIn_[static_cast<std::size_t>(block)];
+    }
+    RegMask liveOut(int block) const
+    {
+        return liveOut_[static_cast<std::size_t>(block)];
+    }
+
+    /** Summaries of every called function, keyed by entry PC. */
+    const std::map<std::uint64_t, FuncSummary> &functions() const
+    {
+        return funcs_;
+    }
+
+  private:
+    void computeFunctions(const Cfg &cfg);
+    void runReachingDefs(const Cfg &cfg);
+    void runLiveness(const Cfg &cfg);
+
+    std::map<std::uint64_t, FuncSummary> funcs_;
+    std::vector<Diagnostic> diags_;
+    std::vector<RegMask> maybeUndefIn_;
+    std::vector<RegMask> liveIn_, liveOut_;
+};
+
+} // namespace dttsim::analysis

@@ -1,0 +1,128 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dttsim::analysis {
+
+namespace {
+
+const DiagInfo kCatalogue[] = {
+    {"A001", "unreachable-code", Severity::Warning,
+     "dead blocks hide miswired branches and bloat the working set"},
+    {"A002", "use-before-def", Severity::Warning,
+     "reads a register no path has written; simulates as zero but is"
+     " almost always an authoring bug"},
+    {"A003", "bad-target", Severity::Error,
+     "branch/jump/treg target lands outside the program text"},
+    {"A004", "dangling-trigger", Severity::Error,
+     "a triggering store fires a trigger id with no registered thread"
+     " body"},
+    {"A005", "non-terminating-thread", Severity::Error,
+     "a DTT thread body must reach TRET on every path; HALT, a"
+     " top-level return, or an escaping loop wedges the context"},
+    {"A006", "racy-trigger-write", Severity::Error,
+     "the main thread consumes handler-written data without a TWAIT"
+     " fence, breaking silent-store suppression semantics"},
+    {"A007", "fall-off-end", Severity::Error,
+     "execution can run past the last instruction of the text"},
+    {"A008", "redundant-load", Severity::Lint,
+     "reloads an address no intervening instruction can have changed"
+     " (the static analogue of the paper's redundant-load metric)"},
+};
+
+static_assert(sizeof(kCatalogue) / sizeof(kCatalogue[0]) ==
+                  static_cast<std::size_t>(DiagId::NumDiagIds),
+              "diagnostic catalogue out of sync with DiagId");
+
+} // namespace
+
+const DiagInfo &
+diagInfo(DiagId id)
+{
+    auto idx = static_cast<std::size_t>(id);
+    if (idx >= static_cast<std::size_t>(DiagId::NumDiagIds))
+        panic("diagInfo: invalid diagnostic id %zu", idx);
+    return kCatalogue[idx];
+}
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+      case Severity::Lint: return "lint";
+    }
+    return "?";
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d, const isa::Program *prog)
+{
+    const DiagInfo &info = diagInfo(d.id);
+    std::string loc;
+    if (d.pc == kNoPc) {
+        loc = "<program>";
+    } else {
+        loc = strfmt("pc %llu", static_cast<unsigned long long>(d.pc));
+        if (prog != nullptr) {
+            // Nearest preceding text label, if any.
+            const std::string *best = nullptr;
+            std::uint64_t best_pc = 0;
+            for (const auto &[name, pc] : prog->labels()) {
+                if (pc <= d.pc && (best == nullptr || pc >= best_pc)) {
+                    best = &name;
+                    best_pc = pc;
+                }
+            }
+            if (best != nullptr)
+                loc += strfmt(" (%s+%llu)", best->c_str(),
+                              static_cast<unsigned long long>(d.pc
+                                                              - best_pc));
+        }
+    }
+    return strfmt("%s: %s %s [%s] %s", loc.c_str(), info.code,
+                  severityName(d.severity), info.name,
+                  d.message.c_str());
+}
+
+bool
+hasErrors(const std::vector<Diagnostic> &diags)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [](const Diagnostic &d) {
+                           return d.severity == Severity::Error;
+                       });
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diags)
+{
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return static_cast<int>(a.id)
+                             < static_cast<int>(b.id);
+                     });
+}
+
+std::string
+dataflowRegName(int reg)
+{
+    if (reg >= 32)
+        return strfmt("f%d", reg - 32);
+    static const char *const alias[32] = {
+        "zero", "ra", "sp", nullptr, nullptr, "t0", "t1", "t2",
+        "t3", "t4", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s0", "s1", "s2", "s3", "s4", "s5",
+        "s6", "s7", "s8", "s9", "t5", "t6", "t7", "t8",
+    };
+    if (alias[reg] != nullptr)
+        return strfmt("x%d/%s", reg, alias[reg]);
+    return strfmt("x%d", reg);
+}
+
+} // namespace dttsim::analysis

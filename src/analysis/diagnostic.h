@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Diagnostic catalogue of the static analyzer. Every check in the
+ * analysis subsystem reports findings as Diagnostic records carrying a
+ * stable catalogue id (A001..A008), a severity, the anchor PC and a
+ * human-readable message. The catalogue (docs/ANALYSIS.md) is the
+ * contract dttlint and the tests verify against.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace dttsim::analysis {
+
+/** Stable identity of one diagnostic kind. */
+enum class DiagId : std::uint8_t {
+    UnreachableCode,       ///< A001: block unreachable from any root
+    UseBeforeDef,          ///< A002: register may be read before def
+    BadTarget,             ///< A003: control target outside the text
+    DanglingTrigger,       ///< A004: DTT op on an unregistered trigger
+    NonTerminatingThread,  ///< A005: thread body may not reach TRET
+    RacyTriggerWrite,      ///< A006: unfenced read of handler output
+    FallOffEnd,            ///< A007: execution can run off the text end
+    RedundantLoad,         ///< A008: statically redundant load (lint)
+
+    NumDiagIds,
+};
+
+/** How bad a finding is by default. */
+enum class Severity : std::uint8_t {
+    Error,    ///< the program is malformed or races
+    Warning,  ///< almost certainly a bug, but well-defined to simulate
+    Lint,     ///< advisory (redundancy/efficiency finding)
+};
+
+/** Static catalogue properties of one diagnostic kind. */
+struct DiagInfo
+{
+    const char *code;       ///< stable short id, e.g. "A004"
+    const char *name;       ///< kebab-case name, e.g. "dangling-trigger"
+    Severity severity;      ///< default severity
+    const char *rationale;  ///< one-line why-this-matters
+};
+
+/** Catalogue lookup. */
+const DiagInfo &diagInfo(DiagId id);
+
+/** Anchor value for program-level findings with no single PC. */
+inline constexpr std::uint64_t kNoPc = ~std::uint64_t(0);
+
+/** One finding. */
+struct Diagnostic
+{
+    DiagId id = DiagId::NumDiagIds;
+    Severity severity = Severity::Error;
+    std::uint64_t pc = kNoPc;
+    std::string message;
+};
+
+/** Severity name ("error" / "warning" / "lint"). */
+const char *severityName(Severity s);
+
+/**
+ * Render one finding as a single line:
+ * "pc 12 (main+12): A004 error [dangling-trigger] tsd uses ...".
+ * @p prog, when non-null, supplies the label annotation.
+ */
+std::string formatDiagnostic(const Diagnostic &d,
+                             const isa::Program *prog);
+
+/** True if any finding has Severity::Error. */
+bool hasErrors(const std::vector<Diagnostic> &diags);
+
+/** Stable ordering: by pc, then catalogue id. */
+void sortDiagnostics(std::vector<Diagnostic> &diags);
+
+/** Conventional name of dataflow register @p reg (0..31 int,
+ *  32..63 fp), e.g. "x10/a0" or "f3". */
+std::string dataflowRegName(int reg);
+
+} // namespace dttsim::analysis

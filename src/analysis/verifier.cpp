@@ -1,0 +1,512 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <tuple>
+
+#include "analysis/dataflow.h"
+#include "isa/opcodes.h"
+
+namespace dttsim::analysis {
+
+namespace {
+
+using isa::Inst;
+using isa::Opcode;
+
+std::string
+pcStr(std::uint64_t pc)
+{
+    return std::to_string(pc);
+}
+
+Diagnostic
+make(DiagId id, std::uint64_t pc, std::string msg)
+{
+    Diagnostic d;
+    d.id = id;
+    d.severity = diagInfo(id).severity;
+    d.pc = pc;
+    d.message = std::move(msg);
+    return d;
+}
+
+/** Trigger-id bitmask of the tsd/tsw/tsb instructions Full-reachable
+ *  from @p root (used as a callee may-generate summary). */
+std::uint64_t
+mayGenFrom(const Cfg &cfg, int root)
+{
+    std::uint64_t mask = 0;
+    auto seen = cfg.reachable({root}, EdgeView::Full);
+    const auto &text = cfg.program().text();
+    for (std::size_t b = 0; b < seen.size(); ++b) {
+        if (!seen[b])
+            continue;
+        const BasicBlock &blk = cfg.blocks()[b];
+        for (std::uint64_t pc = blk.first; pc <= blk.last; ++pc) {
+            const Inst &inst = text[pc];
+            if (isa::isTStore(inst.op) && inst.trig >= 0
+                && inst.trig < 64)
+                mask |= std::uint64_t(1) << inst.trig;
+        }
+    }
+    return mask;
+}
+
+} // namespace
+
+TriggerFacts
+collectTriggerFacts(const Cfg &cfg, const AccessMap &access)
+{
+    TriggerFacts facts;
+    const auto &text = cfg.program().text();
+
+    for (const auto &[trig, entry] : cfg.handlerEntries()) {
+        int eb = cfg.blockOf(entry);
+        if (eb < 0)
+            continue;
+        auto seen = cfg.reachable({eb}, EdgeView::Full);
+        for (std::size_t b = 0; b < seen.size(); ++b) {
+            if (!seen[b])
+                continue;
+            const BasicBlock &blk = cfg.blocks()[b];
+            for (std::uint64_t pc = blk.first; pc <= blk.last; ++pc) {
+                if (!isa::isStore(text[pc].op))
+                    continue;
+                int chunk = access.chunkAt(pc);
+                if (chunk < 0)
+                    continue;
+                facts.handlerWrites[trig].insert(chunk);
+                facts.writePc.emplace(std::make_pair(trig, chunk), pc);
+            }
+        }
+    }
+
+    auto fromMain = cfg.reachable({cfg.entryBlock()}, EdgeView::Full);
+    auto fromHandlers =
+        cfg.reachable(
+            [&] {
+                std::vector<int> roots;
+                for (const auto &[trig, pc] : cfg.handlerEntries()) {
+                    (void)trig;
+                    roots.push_back(cfg.blockOf(pc));
+                }
+                return roots;
+            }(),
+            EdgeView::Full);
+    facts.handlerOnly.assign(cfg.blocks().size(), false);
+    for (std::size_t b = 0; b < cfg.blocks().size(); ++b)
+        facts.handlerOnly[b] = fromHandlers[b] && !fromMain[b];
+    return facts;
+}
+
+void
+checkTargets(const Cfg &cfg, std::vector<Diagnostic> &out)
+{
+    const auto &text = cfg.program().text();
+    for (std::uint64_t pc : cfg.badTargetPcs()) {
+        const Inst &inst = text[pc];
+        out.push_back(make(
+            DiagId::BadTarget, pc,
+            std::string(isa::mnemonic(inst.op)) + " targets pc "
+                + std::to_string(inst.imm) + ", outside the text (size "
+                + std::to_string(cfg.program().size()) + ")"));
+    }
+}
+
+void
+checkTriggers(const Cfg &cfg, std::vector<Diagnostic> &out)
+{
+    const auto &text = cfg.program().text();
+    std::set<TriggerId> registered;
+    for (const Inst &inst : text)
+        if (inst.op == Opcode::TREG)
+            registered.insert(inst.trig);
+
+    for (std::uint64_t pc = 0; pc < cfg.program().size(); ++pc) {
+        const Inst &inst = text[pc];
+        bool usesTrig = isa::isTStore(inst.op)
+            || inst.op == Opcode::TREG || inst.op == Opcode::TUNREG
+            || inst.op == Opcode::TWAIT || inst.op == Opcode::TCHK
+            || inst.op == Opcode::TCLR;
+        if (!usesTrig)
+            continue;
+        if (inst.trig < 0) {
+            out.push_back(make(DiagId::DanglingTrigger, pc,
+                               std::string(isa::mnemonic(inst.op))
+                                   + " names invalid trigger id "
+                                   + std::to_string(inst.trig)));
+            continue;
+        }
+        if (inst.op == Opcode::TREG || registered.count(inst.trig))
+            continue;
+        if (isa::isTStore(inst.op)) {
+            out.push_back(make(
+                DiagId::DanglingTrigger, pc,
+                std::string(isa::mnemonic(inst.op)) + " fires trigger "
+                    + std::to_string(inst.trig)
+                    + ", but no treg registers a thread body for it"));
+        } else {
+            Diagnostic d = make(
+                DiagId::DanglingTrigger, pc,
+                std::string(isa::mnemonic(inst.op))
+                    + " synchronizes on trigger "
+                    + std::to_string(inst.trig)
+                    + ", which no treg ever registers");
+            d.severity = Severity::Warning;  // a no-op, not a fault
+            out.push_back(d);
+        }
+    }
+}
+
+void
+checkUnreachable(const Cfg &cfg, std::vector<Diagnostic> &out)
+{
+    if (cfg.blocks().empty())
+        return;
+    auto seen = cfg.reachable(cfg.programRoots(), EdgeView::Full);
+    for (std::size_t b = 0; b < seen.size(); ++b) {
+        if (seen[b])
+            continue;
+        const BasicBlock &blk = cfg.blocks()[b];
+        out.push_back(make(
+            DiagId::UnreachableCode, blk.first,
+            "block [" + pcStr(blk.first) + ", " + pcStr(blk.last)
+                + "] is unreachable from the entry and from every "
+                  "registered thread body"));
+    }
+}
+
+void
+checkFallOff(const Cfg &cfg, std::vector<Diagnostic> &out)
+{
+    if (cfg.blocks().empty())
+        return;
+    auto seen = cfg.reachable(cfg.programRoots(), EdgeView::Full);
+    for (std::size_t b = 0; b < seen.size(); ++b) {
+        if (!seen[b])
+            continue;
+        const BasicBlock &blk = cfg.blocks()[b];
+        if (blk.exit == BlockExit::FallOff)
+            out.push_back(make(
+                DiagId::FallOffEnd, blk.last,
+                "execution can fall off the end of the text (no halt, "
+                "tret or jump terminates this path)"));
+    }
+}
+
+namespace {
+
+/** Blocks within @p inSet that can reach a block whose exit satisfies
+ *  @p isExit, via CallSkip edges restricted to @p inSet. */
+std::vector<bool>
+canReach(const Cfg &cfg, const std::vector<bool> &inSet,
+         bool (*isExit)(BlockExit))
+{
+    const std::size_t n = cfg.blocks().size();
+    // Reverse adjacency restricted to the subgraph.
+    std::vector<std::vector<int>> preds(n);
+    std::vector<bool> can(n, false);
+    std::vector<int> stack;
+    for (std::size_t b = 0; b < n; ++b) {
+        if (!inSet[b])
+            continue;
+        if (isExit(cfg.blocks()[b].exit)) {
+            can[b] = true;
+            stack.push_back(static_cast<int>(b));
+        }
+        for (int s : cfg.successors(static_cast<int>(b),
+                                    EdgeView::CallSkip))
+            if (inSet[static_cast<std::size_t>(s)])
+                preds[static_cast<std::size_t>(s)].push_back(
+                    static_cast<int>(b));
+    }
+    while (!stack.empty()) {
+        int b = stack.back();
+        stack.pop_back();
+        for (int p : preds[static_cast<std::size_t>(b)]) {
+            if (!can[static_cast<std::size_t>(p)]) {
+                can[static_cast<std::size_t>(p)] = true;
+                stack.push_back(p);
+            }
+        }
+    }
+    return can;
+}
+
+} // namespace
+
+void
+checkThreadTermination(const Cfg &cfg, std::vector<Diagnostic> &out)
+{
+    // Thread bodies: every path from the entry must end in TRET.
+    for (const auto &[trig, entry] : cfg.handlerEntries()) {
+        int eb = cfg.blockOf(entry);
+        if (eb < 0)
+            continue;
+        auto body = cfg.reachable({eb}, EdgeView::CallSkip);
+        for (std::size_t b = 0; b < body.size(); ++b) {
+            if (!body[b])
+                continue;
+            const BasicBlock &blk = cfg.blocks()[b];
+            if (blk.exit == BlockExit::Halt)
+                out.push_back(make(
+                    DiagId::NonTerminatingThread, blk.last,
+                    "thread body for trigger " + std::to_string(trig)
+                        + " executes halt instead of tret"));
+            else if (blk.exit == BlockExit::Return)
+                out.push_back(make(
+                    DiagId::NonTerminatingThread, blk.last,
+                    "thread body for trigger " + std::to_string(trig)
+                        + " returns via jalr at its top level; a "
+                          "spawned thread has no caller to return to"));
+        }
+        auto reachesTret = canReach(cfg, body, [](BlockExit e) {
+            return e == BlockExit::Tret;
+        });
+        std::uint64_t worst = kNoPc;
+        for (std::size_t b = 0; b < body.size(); ++b) {
+            if (!body[b] || reachesTret[b])
+                continue;
+            const BasicBlock &blk = cfg.blocks()[b];
+            // Halt/Return/FallOff exits already have their own report.
+            if (blk.exit == BlockExit::Halt
+                || blk.exit == BlockExit::Return
+                || blk.exit == BlockExit::FallOff)
+                continue;
+            worst = std::min(worst, blk.first);
+        }
+        if (worst != kNoPc)
+            out.push_back(make(
+                DiagId::NonTerminatingThread, worst,
+                "no path from here reaches tret: the trigger-"
+                    + std::to_string(trig)
+                    + " thread would never terminate"));
+    }
+
+    // Called subroutines must be able to return (or tret, for helpers
+    // only used by thread bodies). A routine with no such exit at all
+    // wedges every caller.
+    for (std::uint64_t entry : cfg.calleeEntries()) {
+        int eb = cfg.blockOf(entry);
+        if (eb < 0)
+            continue;
+        auto body = cfg.reachable({eb}, EdgeView::CallSkip);
+        bool canFinish = false;
+        for (std::size_t b = 0; b < body.size() && !canFinish; ++b)
+            if (body[b]) {
+                BlockExit e = cfg.blocks()[b].exit;
+                canFinish = e == BlockExit::Return
+                    || e == BlockExit::Tret || e == BlockExit::Halt;
+            }
+        if (!canFinish)
+            out.push_back(make(
+                DiagId::NonTerminatingThread, entry,
+                "subroutine called at pc " + pcStr(entry)
+                    + " has no reachable return (jalr/tret/halt): "
+                      "callers can never resume"));
+    }
+}
+
+void
+checkRaces(const Cfg &cfg, const ChunkTable &chunks,
+           const AccessMap &access, const TriggerFacts &facts,
+           std::vector<Diagnostic> &out)
+{
+    if (facts.handlerWrites.empty() || cfg.entryBlock() < 0)
+        return;
+    const auto &text = cfg.program().text();
+    const std::size_t nblocks = cfg.blocks().size();
+
+    // May-generate summaries per callee entry block.
+    std::map<int, std::uint64_t> calleeGen;
+    for (std::uint64_t pc : cfg.calleeEntries()) {
+        int eb = cfg.blockOf(pc);
+        if (eb >= 0)
+            calleeGen.emplace(eb, mayGenFrom(cfg, eb));
+    }
+
+    // Forward may-pending analysis from the entry. Calls carry the
+    // state into the callee; the fall-through additionally assumes
+    // everything the callee may fire is still pending.
+    auto step = [&](const Inst &inst, std::uint64_t pending) {
+        if (isa::isTStore(inst.op) && inst.trig >= 0 && inst.trig < 64)
+            return pending | std::uint64_t(1) << inst.trig;
+        if (inst.op == Opcode::TWAIT && inst.trig >= 0
+            && inst.trig < 64)
+            return pending & ~(std::uint64_t(1) << inst.trig);
+        return pending;
+    };
+    auto walk = [&](int bi, std::uint64_t pending) {
+        const BasicBlock &b =
+            cfg.blocks()[static_cast<std::size_t>(bi)];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc)
+            pending = step(text[pc], pending);
+        return pending;
+    };
+
+    std::vector<std::uint64_t> in(nblocks, 0);
+    std::vector<bool> reached(nblocks, false);
+    std::deque<int> work;
+    std::vector<bool> queued(nblocks, false);
+    auto push = [&](int b) {
+        if (!queued[static_cast<std::size_t>(b)]) {
+            queued[static_cast<std::size_t>(b)] = true;
+            work.push_back(b);
+        }
+    };
+    reached[static_cast<std::size_t>(cfg.entryBlock())] = true;
+    push(cfg.entryBlock());
+
+    auto propagate = [&](int to, std::uint64_t pending) {
+        if (to < 0)
+            return;
+        auto i = static_cast<std::size_t>(to);
+        std::uint64_t merged = in[i] | pending;
+        if (!reached[i] || merged != in[i]) {
+            in[i] = merged;
+            reached[i] = true;
+            push(to);
+        }
+    };
+    while (!work.empty()) {
+        int bi = work.front();
+        work.pop_front();
+        auto i = static_cast<std::size_t>(bi);
+        queued[i] = false;
+        const BasicBlock &b = cfg.blocks()[i];
+        std::uint64_t pout = walk(bi, in[i]);
+        if (b.exit == BlockExit::Call) {
+            propagate(b.succTarget, pout);
+            std::uint64_t gen = 0;
+            if (auto it = calleeGen.find(b.succTarget);
+                it != calleeGen.end())
+                gen = it->second;
+            propagate(b.succFall, pout | gen);
+        } else {
+            for (int s : cfg.successors(bi, EdgeView::Full))
+                propagate(s, pout);
+        }
+    }
+
+    // Report: a load of (or a plain store to) a chunk some pending
+    // trigger's thread body writes, with no twait in between.
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+        if (!reached[bi])
+            continue;
+        const BasicBlock &b = cfg.blocks()[bi];
+        std::uint64_t pending = in[bi];
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc) {
+            const Inst &inst = text[pc];
+            bool isPlainAccess = isa::isLoad(inst.op)
+                || (isa::isStore(inst.op) && !isa::isTStore(inst.op));
+            int chunk = isPlainAccess ? access.chunkAt(pc) : -1;
+            if (chunk >= 0 && pending != 0) {
+                for (const auto &[trig, written] : facts.handlerWrites) {
+                    if (trig < 0 || trig >= 64
+                        || !(pending & std::uint64_t(1) << trig)
+                        || !written.count(chunk))
+                        continue;
+                    auto wp = facts.writePc.find({trig, chunk});
+                    out.push_back(make(
+                        DiagId::RacyTriggerWrite, pc,
+                        std::string(isa::isLoad(inst.op) ? "load from"
+                                                         : "store to")
+                            + " '" + chunks.name(chunk)
+                            + "' races with the trigger-"
+                            + std::to_string(trig)
+                            + " thread (which writes it at pc "
+                            + (wp != facts.writePc.end()
+                                   ? pcStr(wp->second) : "?")
+                            + "); no twait " + std::to_string(trig)
+                            + " fences this path"));
+                    break;  // one report per access
+                }
+            }
+            pending = step(inst, pending);
+        }
+    }
+}
+
+void
+lintRedundantLoads(const Cfg &cfg, const AccessMap &access,
+                   std::vector<Diagnostic> &out)
+{
+    if (cfg.blocks().empty())
+        return;
+    const auto &text = cfg.program().text();
+    auto seen = cfg.reachable(cfg.programRoots(), EdgeView::Full);
+
+    struct Key
+    {
+        int base;
+        std::int64_t imm;
+        Opcode op;
+        bool
+        operator<(const Key &o) const
+        {
+            return std::tie(base, imm, op)
+                < std::tie(o.base, o.imm, o.op);
+        }
+    };
+    struct Prior
+    {
+        std::uint64_t pc;
+        int chunk;
+    };
+
+    for (std::size_t bi = 0; bi < cfg.blocks().size(); ++bi) {
+        if (!seen[bi])
+            continue;
+        const BasicBlock &b = cfg.blocks()[bi];
+        std::map<Key, Prior> live;
+        for (std::uint64_t pc = b.first; pc <= b.last; ++pc) {
+            const Inst &inst = text[pc];
+            if (inst.op == Opcode::TWAIT) {
+                // A fence: thread bodies may have rewritten anything.
+                live.clear();
+                continue;
+            }
+            if (isa::isLoad(inst.op)) {
+                Key k{inst.rs1, inst.imm, inst.op};
+                auto it = live.find(k);
+                if (it != live.end()) {
+                    out.push_back(make(
+                        DiagId::RedundantLoad, pc,
+                        std::string(isa::mnemonic(inst.op))
+                            + " repeats the load at pc "
+                            + pcStr(it->second.pc)
+                            + " with no intervening store; the value "
+                              "is provably the same"));
+                } else {
+                    live.emplace(k, Prior{pc, access.chunkAt(pc)});
+                }
+                if (inst.op != Opcode::FLD) {
+                    // The loaded register may be someone's base.
+                    for (auto i = live.begin(); i != live.end();)
+                        i = i->first.base == inst.rd ? live.erase(i)
+                                                     : std::next(i);
+                }
+                continue;
+            }
+            if (isa::isStore(inst.op)) {
+                int sc = access.chunkAt(pc);
+                for (auto i = live.begin(); i != live.end();) {
+                    bool mayAlias = sc < 0 || i->second.chunk < 0
+                        || i->second.chunk == sc;
+                    i = mayAlias ? live.erase(i) : std::next(i);
+                }
+                continue;
+            }
+            UseDef ud = useDef(inst);
+            if (ud.defs & ((std::uint64_t(1) << 32) - 1)) {
+                for (auto i = live.begin(); i != live.end();)
+                    i = (ud.defs & std::uint64_t(1) << i->first.base)
+                        ? live.erase(i) : std::next(i);
+            }
+        }
+    }
+}
+
+} // namespace dttsim::analysis

@@ -34,6 +34,12 @@ class Options
     /** Double value of --name=value, or fallback. */
     double getDouble(const std::string &name, double fallback) const;
 
+    /** Every parsed option, for tools that reject unknown flags. */
+    const std::map<std::string, std::string> &all() const
+    {
+        return values_;
+    }
+
   private:
     std::map<std::string, std::string> values_;
 };

@@ -282,7 +282,8 @@ OooCore::doCommit()
             bool was_load = di.info.mem.valid && di.info.mem.isLoad;
             bool was_store = di.info.mem.valid && !di.info.mem.isLoad;
             bool was_tret = inst.op == isa::Opcode::TRET;
-            c.rob.pop_front();
+            traceEvent("RET", di);
+            c.rob.pop_front();  // di (and inst) dangle past this point
             --robUsed_;
             --c.robUsed;
             if (was_load) {
@@ -306,7 +307,6 @@ OooCore::doCommit()
                 ++stats_.counter("dttCommitted");
             }
             lastCommit_ = now_;
-            traceEvent("RET", di);
 
             if (was_tret) {
                 // Context is finished; reclaim it.

@@ -114,6 +114,15 @@ needReg(const std::string &s, int line_no)
     return *r;
 }
 
+TriggerId
+needTrig(const std::string &s, int line_no)
+{
+    auto t = static_cast<TriggerId>(parseInt(s, line_no));
+    if (t < 0)
+        fatal("line %d: trigger id must be >= 0, got %d", line_no, t);
+    return t;
+}
+
 /** One instruction awaiting target/symbol resolution in pass 2. */
 struct PendingInst
 {
@@ -130,6 +139,7 @@ assemble(const std::string &source)
 {
     Program prog;
     std::vector<PendingInst> pending;
+    std::vector<int> lineOfPc;  ///< source line of each emitted inst
 
     enum class Section { Text, Data } section = Section::Text;
 
@@ -350,7 +360,7 @@ assemble(const std::string &source)
             mem_operand(1, disp, base);
             inst.imm = disp;
             inst.rs1 = static_cast<std::uint8_t>(base);
-            inst.trig = static_cast<TriggerId>(parseInt(ops[5], line_no));
+            inst.trig = needTrig(ops[5], line_no);
             prog.noteTrigger(inst.trig);
             break;
           }
@@ -377,7 +387,7 @@ assemble(const std::string &source)
             break;
           case Format::TReg:
             need(2);
-            inst.trig = static_cast<TriggerId>(parseInt(ops[0], line_no));
+            inst.trig = needTrig(ops[0], line_no);
             prog.noteTrigger(inst.trig);
             if (isInteger(ops[1])) {
                 inst.imm = parseInt(ops[1], line_no);
@@ -388,13 +398,13 @@ assemble(const std::string &source)
             break;
           case Format::Trig:
             need(1);
-            inst.trig = static_cast<TriggerId>(parseInt(ops[0], line_no));
+            inst.trig = needTrig(ops[0], line_no);
             prog.noteTrigger(inst.trig);
             break;
           case Format::TChk:
             need(2);
             inst.rd = static_cast<std::uint8_t>(needReg(ops[0], line_no));
-            inst.trig = static_cast<TriggerId>(parseInt(ops[1], line_no));
+            inst.trig = needTrig(ops[1], line_no);
             prog.noteTrigger(inst.trig);
             break;
           case Format::None:
@@ -403,6 +413,7 @@ assemble(const std::string &source)
         }
 
         std::uint64_t pc = prog.append(inst);
+        lineOfPc.push_back(line_no);
         if (p.wantsTarget) {
             p.inst = inst;
             pending.push_back(p);
@@ -428,6 +439,24 @@ assemble(const std::string &source)
             fatal("line %d: unresolved symbol '%s'", p.lineNo,
                   p.targetSym.c_str());
         }
+    }
+
+    // Pass 3: every control-transfer and treg target (numeric or
+    // resolved) must land inside the text.
+    for (std::uint64_t pc = 0; pc < prog.size(); ++pc) {
+        const Inst &inst = prog.text()[pc];
+        Format fmt = opInfo(inst.op).format;
+        bool hasTarget = fmt == Format::Branch || fmt == Format::Jump
+            || inst.op == Opcode::TREG;
+        if (!hasTarget)
+            continue;
+        if (inst.imm < 0
+            || inst.imm >= static_cast<std::int64_t>(prog.size()))
+            fatal("line %d: %s target %lld is outside the text "
+                  "(0..%llu)",
+                  lineOfPc[pc], mnemonic(inst.op),
+                  static_cast<long long>(inst.imm),
+                  static_cast<unsigned long long>(prog.size() - 1));
     }
 
     if (prog.hasLabel("main"))

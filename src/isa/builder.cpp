@@ -74,6 +74,29 @@ ProgramBuilder::emit(const Inst &inst)
 {
     if (taken_)
         panic("ProgramBuilder reused after take()");
+    if (inst.rd >= 32 || inst.rs1 >= 32 || inst.rs2 >= 32)
+        fatal("pc %llu: %s names register %d; register files have 32",
+              static_cast<unsigned long long>(prog_.size()),
+              mnemonic(inst.op),
+              inst.rd >= 32 ? inst.rd
+                            : (inst.rs1 >= 32 ? inst.rs1 : inst.rs2));
+    switch (inst.op) {
+      case Opcode::TREG:
+      case Opcode::TUNREG:
+      case Opcode::TSD:
+      case Opcode::TSW:
+      case Opcode::TSB:
+      case Opcode::TWAIT:
+      case Opcode::TCHK:
+      case Opcode::TCLR:
+        if (inst.trig < 0)
+            fatal("pc %llu: %s uses negative trigger id %d",
+                  static_cast<unsigned long long>(prog_.size()),
+                  mnemonic(inst.op), inst.trig);
+        break;
+      default:
+        break;
+    }
     if (inst.trig != invalidTrigger)
         prog_.noteTrigger(inst.trig);
     prog_.append(inst);
@@ -430,6 +453,12 @@ ProgramBuilder::take()
         std::int64_t target = labelPc_[static_cast<std::size_t>(f.labelId)];
         if (target < 0)
             panic("label %d referenced but never bound", f.labelId);
+        if (target >= static_cast<std::int64_t>(prog_.size()))
+            fatal("pc %llu: %s targets pc %lld, past the end of the "
+                  "text (label bound after the last instruction)",
+                  static_cast<unsigned long long>(f.pc),
+                  mnemonic(prog_.text()[f.pc].op),
+                  static_cast<long long>(target));
         prog_.text()[f.pc].imm = target;
     }
     if (prog_.hasLabel("main"))

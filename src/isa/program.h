@@ -91,6 +91,12 @@ class Program
         return textSyms_;
     }
 
+    /** All data symbols (for the static analyzer's chunk table). */
+    const std::map<std::string, Addr> &dataSymbols() const
+    {
+        return dataSyms_;
+    }
+
   private:
     std::vector<Inst> text_;
     std::vector<DataChunk> chunks_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/analyzer.h"
 #include "common/stats.h"
 #include "cpu/executor.h"
 
@@ -66,11 +67,20 @@ adviseTriggers(const isa::Program &prog, std::size_t top_k,
             stores[owner.writerPc].downstreamReads += owner.reads;
     }
 
+    // Static safety verdicts: never recommend converting a store the
+    // analyzer cannot prove safe (racy with an existing thread body,
+    // inside one, or already triggering).
+    analysis::AnalyzeOptions aopts;
+    aopts.lint = false;
+    analysis::AnalysisResult safety = analysis::analyze(prog, aopts);
+
     std::vector<TriggerCandidate> out;
     out.reserve(stores.size());
     for (const auto &[pc, st] : stores) {
         if (st.executions < 8)
             continue;  // noise filter
+        if (!safety.storeSafe(pc))
+            continue;  // statically unsafe to convert
         TriggerCandidate c;
         c.storePc = pc;
         c.executions = st.executions;

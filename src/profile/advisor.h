@@ -55,7 +55,11 @@ enum class AdvisorRanking { TriggerData, RedundantComputation };
 
 /**
  * Rank the static stores of @p prog (run functionally to HALT).
- * Stores executing fewer than 8 times are filtered as noise.
+ * Stores executing fewer than 8 times are filtered as noise, and so
+ * is every store the static analyzer (analysis::analyze) judges
+ * unsafe to convert — stores inside DTT thread bodies, stores to data
+ * an existing thread body also writes, and stores that already
+ * trigger. On a baseline program (no handlers) the filter is a no-op.
  * @param top_k maximum candidates returned (score-descending).
  */
 std::vector<TriggerCandidate>

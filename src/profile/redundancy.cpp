@@ -21,11 +21,15 @@ profileRedundancy(const isa::Program &prog, std::uint64_t max_insts)
             return;
         if (info.mem.isLoad) {
             ++report.loads;
+            PcLoadStats &pcStats = report.perPcLoads[info.pc];
+            ++pcStats.executions;
             auto [it, inserted] =
                 last_loaded.try_emplace(info.mem.addr, info.mem.value);
             if (!inserted) {
-                if (it->second == info.mem.value)
+                if (it->second == info.mem.value) {
                     ++report.redundantLoads;
+                    ++pcStats.redundant;
+                }
                 it->second = info.mem.value;
             }
         } else {

@@ -14,11 +14,19 @@
  */
 
 #include <cstdint>
+#include <map>
 
 #include "common/stats.h"
 #include "isa/program.h"
 
 namespace dttsim::profile {
+
+/** Dynamic behaviour of one static load (keyed by PC). */
+struct PcLoadStats
+{
+    std::uint64_t executions = 0;
+    std::uint64_t redundant = 0;
+};
 
 /** Characterization counters from one functional run. */
 struct RedundancyReport
@@ -28,6 +36,11 @@ struct RedundancyReport
     std::uint64_t redundantLoads = 0;
     std::uint64_t stores = 0;
     std::uint64_t silentStores = 0;
+
+    /** Per static load: how often it ran and how often it fetched a
+     *  value identical to the previous load of that address. Lets
+     *  dttlint cross-check its static redundant-load findings. */
+    std::map<std::uint64_t, PcLoadStats> perPcLoads;
 
     double
     redundantLoadPct() const

@@ -110,6 +110,64 @@ TEST(Advisor, McfTopTriggerIsTheCostUpdateStore)
     EXPECT_GT(elim[0].silentPct, 90.0);
 }
 
+TEST(Advisor, StaticallyUnsafeStoresAreExcluded)
+{
+    // Both loop stores execute 16 times and would pass the noise
+    // filter, but the store to 'shared' writes a chunk the trigger-0
+    // thread body also writes: converting it to a triggering store
+    // would race, so the advisor must never recommend it. The store
+    // to 'priv' is untouched by any handler and stays eligible.
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li s0, 0
+            li s1, 16
+            li a0, trig_a
+            li a1, shared
+            li a2, priv
+            li t0, 7
+        top:
+            sd t0, 0(a1)       # conflicts with the handler's writes
+            sd t0, 0(a2)       # safe
+            tsd s0, 0(a0), 0
+            twait 0
+            ld t1, 0(a1)
+            ld t2, 0(a2)
+            addi s0, s0, 1
+            blt s0, s1, top
+            halt
+        handler:
+            li t5, 1
+            li t6, shared
+            sd t5, 0(t6)
+            tret
+        .data
+        trig_a: .space 8
+        shared: .space 8
+        priv: .space 8
+    )");
+
+    std::uint64_t handlerPc = prog.label("handler");
+    std::vector<std::uint64_t> sdPcs;
+    for (std::uint64_t pc = 0; pc < handlerPc; ++pc)
+        if (prog.text()[pc].op == isa::Opcode::SD)
+            sdPcs.push_back(pc);
+    ASSERT_EQ(sdPcs.size(), 2u);
+    std::uint64_t sharedPc = sdPcs[0];
+    std::uint64_t privPc = sdPcs[1];
+
+    auto ranked = adviseTriggers(prog, 10,
+                                 AdvisorRanking::TriggerData);
+    bool sawShared = false;
+    bool sawPriv = false;
+    for (const TriggerCandidate &c : ranked) {
+        sawShared = sawShared || c.storePc == sharedPc;
+        sawPriv = sawPriv || c.storePc == privPc;
+    }
+    EXPECT_FALSE(sawShared);
+    EXPECT_TRUE(sawPriv);
+}
+
 TEST(Advisor, RankingsAreSorted)
 {
     workloads::WorkloadParams params;

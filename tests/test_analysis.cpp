@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Static-analyzer tests: CFG construction, the dataflow engine, and
+ * one positive (firing) plus one negative (clean) program for every
+ * diagnostic in the catalogue — then the full workload sweep, which
+ * must come back spotless for all 15 workloads in both variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/analyzer.h"
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "profile/redundancy.h"
+#include "workloads/workload.h"
+
+namespace dttsim::analysis {
+namespace {
+
+/** Count findings of one kind. */
+std::size_t
+countDiags(const AnalysisResult &res, DiagId id)
+{
+    return static_cast<std::size_t>(
+        std::count_if(res.diagnostics.begin(), res.diagnostics.end(),
+                      [id](const Diagnostic &d) { return d.id == id; }));
+}
+
+/** gtest-friendly dump of all findings. */
+std::string
+dump(const AnalysisResult &res, const isa::Program &prog)
+{
+    std::string out;
+    for (const Diagnostic &d : res.diagnostics)
+        out += formatDiagnostic(d, &prog) + "\n";
+    return out;
+}
+
+// ---- CFG ------------------------------------------------------------
+
+TEST(Cfg, BlocksEdgesAndRoots)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li t0, 4
+            li t1, 0
+        top:
+            addi t1, t1, 1
+            blt t1, t0, top
+            call fn
+            halt
+        fn:
+            ret
+        handler:
+            tret
+    )");
+    Cfg cfg(prog);
+    ASSERT_GE(cfg.blocks().size(), 5u);
+    EXPECT_EQ(cfg.entryBlock(), cfg.blockOf(prog.entry()));
+    ASSERT_EQ(cfg.handlerEntries().size(), 1u);
+    EXPECT_EQ(cfg.handlerEntries().begin()->first, 0);
+    ASSERT_EQ(cfg.calleeEntries().size(), 1u);
+    EXPECT_TRUE(cfg.badTargetPcs().empty());
+
+    // The branch block has two successors; the call block edges into
+    // the callee only under the Full view.
+    int branchBlock = cfg.blockOf(prog.label("top"));
+    EXPECT_EQ(cfg.successors(branchBlock, EdgeView::Full).size(), 2u);
+    int callBlock = -1;
+    for (std::size_t i = 0; i < cfg.blocks().size(); ++i)
+        if (cfg.blocks()[i].exit == BlockExit::Call)
+            callBlock = static_cast<int>(i);
+    ASSERT_GE(callBlock, 0);
+    EXPECT_EQ(cfg.successors(callBlock, EdgeView::Full).size(), 2u);
+    EXPECT_EQ(cfg.successors(callBlock, EdgeView::CallSkip).size(), 1u);
+}
+
+TEST(Cfg, MalformedProgramStillBuilds)
+{
+    isa::Program prog;  // Program::append is deliberately unvalidated
+    isa::Inst j;
+    j.op = isa::Opcode::JAL;
+    j.rd = 0;
+    j.imm = 99;
+    prog.append(j);
+    Cfg cfg(prog);  // must not throw
+    ASSERT_EQ(cfg.badTargetPcs().size(), 1u);
+    EXPECT_EQ(cfg.badTargetPcs()[0], 0u);
+}
+
+// ---- dataflow -------------------------------------------------------
+
+TEST(Dataflow, CalleeMustDefineCreditsCaller)
+{
+    // a1 is produced by the callee on every path: no use-before-def.
+    isa::Program prog = isa::assemble(R"(
+        main:
+            call fn
+            add t0, a1, a1
+            halt
+        fn:
+            li a1, 5
+            ret
+    )");
+    Cfg cfg(prog);
+    Dataflow df(cfg);
+    EXPECT_TRUE(df.diagnostics().empty());
+    ASSERT_EQ(df.functions().size(), 1u);
+    const FuncSummary &fs = df.functions().begin()->second;
+    EXPECT_TRUE(fs.mustDef & (RegMask(1) << 11));  // a1 = x11
+}
+
+TEST(Dataflow, BranchyCalleeOnlySometimesDefines)
+{
+    // fn defines a1 on one path only: the caller's read must warn.
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li a0, 1
+            call fn
+            add t0, a1, a1
+            halt
+        fn:
+            beqz a0, skip
+            li a1, 5
+        skip:
+            ret
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::UseBeforeDef), 1u)
+        << dump(res, prog);
+}
+
+// ---- A001 unreachable-code ------------------------------------------
+
+TEST(Analyzer, UnreachableCodeFires)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            halt
+            li t0, 1
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::UnreachableCode), 1u)
+        << dump(res, prog);
+}
+
+TEST(Analyzer, HandlerCodeIsNotUnreachable)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 0
+            twait 0
+            halt
+        handler:
+            tret
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_TRUE(res.diagnostics.empty()) << dump(res, prog);
+}
+
+// ---- A002 use-before-def --------------------------------------------
+
+TEST(Analyzer, UseBeforeDefFires)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            add t1, t0, t0
+            halt
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::UseBeforeDef), 1u)
+        << dump(res, prog);
+    EXPECT_EQ(res.diagnostics[0].severity, Severity::Warning);
+}
+
+TEST(Analyzer, DefinedUseIsClean)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li t0, 2
+            add t1, t0, t0
+            halt
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::UseBeforeDef), 0u)
+        << dump(res, prog);
+}
+
+TEST(Analyzer, ThreadEntryArgumentsAreDefined)
+{
+    // a0/a1 are spawn-defined in a thread body; s0 is not.
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 0
+            twait 0
+            halt
+        handler:
+            add t0, a0, a1
+            add t1, s0, s0
+            tret
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::UseBeforeDef), 1u)
+        << dump(res, prog);
+    EXPECT_NE(res.diagnostics[0].message.find("s0"), std::string::npos);
+}
+
+// ---- A003 bad-target ------------------------------------------------
+
+TEST(Analyzer, BadTargetFires)
+{
+    isa::Program prog;
+    isa::Inst j;
+    j.op = isa::Opcode::JAL;
+    j.rd = 0;
+    j.imm = 99;
+    prog.append(j);
+    isa::Inst h;
+    h.op = isa::Opcode::HALT;
+    prog.append(h);
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::BadTarget), 1u)
+        << dump(res, prog);
+    EXPECT_EQ(res.diagnostics[0].severity, Severity::Error);
+    EXPECT_TRUE(res.errors());
+}
+
+TEST(Analyzer, BadTregTargetFires)
+{
+    isa::Program prog;
+    isa::Inst t;
+    t.op = isa::Opcode::TREG;
+    t.trig = 0;
+    t.imm = 42;
+    prog.append(t);
+    isa::Inst h;
+    h.op = isa::Opcode::HALT;
+    prog.append(h);
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::BadTarget), 1u)
+        << dump(res, prog);
+}
+
+// ---- A004 dangling-trigger ------------------------------------------
+
+TEST(Analyzer, DanglingTriggerStoreIsError)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 3
+            halt
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::DanglingTrigger), 1u)
+        << dump(res, prog);
+    EXPECT_EQ(res.diagnostics[0].severity, Severity::Error);
+}
+
+TEST(Analyzer, DanglingTwaitIsWarning)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            twait 4
+            halt
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::DanglingTrigger), 1u)
+        << dump(res, prog);
+    EXPECT_EQ(res.diagnostics[0].severity, Severity::Warning);
+}
+
+TEST(Analyzer, RegisteredTriggerIsClean)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 3, handler
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 3
+            twait 3
+            halt
+        handler:
+            tret
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::DanglingTrigger), 0u)
+        << dump(res, prog);
+}
+
+// ---- A005 non-terminating-thread ------------------------------------
+
+TEST(Analyzer, ThreadBodyHaltIsError)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 0
+            twait 0
+            halt
+        handler:
+            halt
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::NonTerminatingThread), 1u)
+        << dump(res, prog);
+    EXPECT_NE(res.diagnostics[0].message.find("halt"),
+              std::string::npos);
+}
+
+TEST(Analyzer, ThreadBodyInfiniteLoopIsError)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 0
+            twait 0
+            halt
+        handler:
+        spin:
+            j spin
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::NonTerminatingThread), 1u)
+        << dump(res, prog);
+}
+
+TEST(Analyzer, ThreadBodyTopLevelReturnIsError)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 0
+            twait 0
+            halt
+        handler:
+            ret
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::NonTerminatingThread), 1u)
+        << dump(res, prog);
+    EXPECT_NE(res.diagnostics[0].message.find("jalr"),
+              std::string::npos);
+}
+
+TEST(Analyzer, ThreadBodyWithSubroutineIsClean)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, data
+            li t0, 1
+            tsd t0, 0(a0), 0
+            twait 0
+            halt
+        handler:
+            call helper
+            tret
+        helper:
+            li t0, 1
+            ret
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::NonTerminatingThread), 0u)
+        << dump(res, prog);
+}
+
+// ---- A006 racy-trigger-write ----------------------------------------
+
+TEST(Analyzer, UnfencedReadOfThreadOutputIsError)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, trig_a
+            li a1, out
+            li t0, 1
+            tsd t0, 0(a0), 0
+            ld t1, 0(a1)       # races: no twait yet
+            twait 0
+            ld t2, 0(a1)       # fenced: fine
+            halt
+        handler:
+            li t0, 99
+            li t1, out
+            sd t0, 0(t1)
+            tret
+        .data
+        trig_a: .space 8
+        out: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::RacyTriggerWrite), 1u)
+        << dump(res, prog);
+    EXPECT_EQ(res.diagnostics[0].severity, Severity::Error);
+    EXPECT_NE(res.diagnostics[0].message.find("out"),
+              std::string::npos);
+}
+
+TEST(Analyzer, FencedReadIsClean)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, trig_a
+            li a1, out
+            li t0, 1
+            tsd t0, 0(a0), 0
+            twait 0
+            ld t2, 0(a1)
+            halt
+        handler:
+            li t0, 99
+            li t1, out
+            sd t0, 0(t1)
+            tret
+        .data
+        trig_a: .space 8
+        out: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::RacyTriggerWrite), 0u)
+        << dump(res, prog);
+}
+
+TEST(Analyzer, PendingStateFollowsCalls)
+{
+    // The unfenced read happens inside a subroutine called while the
+    // trigger is pending: still a race.
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, trig_a
+            li t0, 1
+            tsd t0, 0(a0), 0
+            call reader
+            twait 0
+            halt
+        reader:
+            li a1, out
+            ld t1, 0(a1)
+            ret
+        handler:
+            li t0, 99
+            li t1, out
+            sd t0, 0(t1)
+            tret
+        .data
+        trig_a: .space 8
+        out: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::RacyTriggerWrite), 1u)
+        << dump(res, prog);
+}
+
+// ---- A007 fall-off-end ----------------------------------------------
+
+TEST(Analyzer, FallOffEndFires)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li t0, 1
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::FallOffEnd), 1u)
+        << dump(res, prog);
+    EXPECT_TRUE(res.errors());
+}
+
+// ---- A008 redundant-load (lint) -------------------------------------
+
+TEST(Analyzer, RedundantLoadLintFires)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li a0, data
+            ld t0, 0(a0)
+            ld t1, 0(a0)
+            halt
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::RedundantLoad), 1u)
+        << dump(res, prog);
+    EXPECT_EQ(res.diagnostics[0].severity, Severity::Lint);
+
+    AnalyzeOptions noLint;
+    noLint.lint = false;
+    EXPECT_EQ(countDiags(analyze(prog, noLint), DiagId::RedundantLoad),
+              0u);
+}
+
+TEST(Analyzer, InterveningStoreSquashesRedundantLoad)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li a0, data
+            li t2, 5
+            ld t0, 0(a0)
+            sd t2, 0(a0)
+            ld t1, 0(a0)
+            halt
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::RedundantLoad), 0u)
+        << dump(res, prog);
+}
+
+TEST(Analyzer, StoreToProvablyDistinctChunkKeepsRedundancy)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li a0, dataA
+            li a1, dataB
+            li t2, 5
+            ld t0, 0(a0)
+            sd t2, 0(a1)       # distinct chunk: cannot alias
+            ld t1, 0(a0)
+            halt
+        .data
+        dataA: .space 8
+        dataB: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_EQ(countDiags(res, DiagId::RedundantLoad), 1u)
+        << dump(res, prog);
+}
+
+TEST(Analyzer, StaticRedundantLoadConfirmedDynamically)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            li a0, data
+            ld t0, 0(a0)
+            ld t1, 0(a0)
+            halt
+        .data
+        data: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    ASSERT_EQ(countDiags(res, DiagId::RedundantLoad), 1u);
+    std::uint64_t pc = res.diagnostics[0].pc;
+
+    // Every execution of a statically-redundant load must also be
+    // dynamically redundant (static implies dynamic, not vice versa).
+    profile::RedundancyReport dyn = profile::profileRedundancy(prog);
+    auto it = dyn.perPcLoads.find(pc);
+    ASSERT_NE(it, dyn.perPcLoads.end());
+    EXPECT_EQ(it->second.executions, 1u);
+    EXPECT_EQ(it->second.redundant, it->second.executions);
+}
+
+// ---- store-safety verdicts ------------------------------------------
+
+TEST(Analyzer, StoreSafetyVerdicts)
+{
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li a0, trig_a
+            li a1, shared
+            li a2, priv
+            li t0, 7
+            sd t0, 0(a1)       # conflicts with the handler's writes
+            sd t0, 0(a2)       # safe
+            tsd t0, 0(a0), 0   # already triggering
+            twait 0
+            halt
+        handler:
+            li t5, 1
+            li t6, shared
+            sd t5, 0(t6)       # inside a thread body
+            tret
+        .data
+        trig_a: .space 8
+        shared: .space 8
+        priv: .space 8
+    )");
+    AnalysisResult res = analyze(prog);
+    EXPECT_TRUE(res.diagnostics.empty()) << dump(res, prog);
+
+    std::vector<std::uint64_t> sdPcs, tsdPcs;
+    for (std::uint64_t pc = 0; pc < prog.size(); ++pc) {
+        if (prog.text()[pc].op == isa::Opcode::SD)
+            sdPcs.push_back(pc);
+        if (prog.text()[pc].op == isa::Opcode::TSD)
+            tsdPcs.push_back(pc);
+    }
+    ASSERT_EQ(sdPcs.size(), 3u);
+    ASSERT_EQ(tsdPcs.size(), 1u);
+
+    EXPECT_FALSE(res.storeSafe(sdPcs[0]));  // writes 'shared'
+    EXPECT_TRUE(res.storeSafe(sdPcs[1]));   // writes 'priv'
+    EXPECT_FALSE(res.storeSafe(sdPcs[2]));  // in the thread body
+    EXPECT_FALSE(res.storeSafe(tsdPcs[0])); // already a tstore
+    EXPECT_NE(res.unsafeStores.at(sdPcs[0]).find("shared"),
+              std::string::npos);
+}
+
+// ---- the sweep: every workload, both variants, zero findings --------
+
+TEST(AnalyzerSweep, AllWorkloadsLintClean)
+{
+    workloads::WorkloadParams params;
+    for (const workloads::Workload *w : workloads::allWorkloads()) {
+        for (auto variant : {workloads::Variant::Baseline,
+                             workloads::Variant::Dtt}) {
+            isa::Program prog = w->build(variant, params);
+            AnalysisResult res = analyze(prog);
+            EXPECT_TRUE(res.diagnostics.empty())
+                << w->info().name << " ("
+                << (variant == workloads::Variant::Baseline
+                        ? "baseline" : "dtt")
+                << "):\n" << dump(res, prog);
+        }
+    }
+}
+
+} // namespace
+} // namespace dttsim::analysis

@@ -198,6 +198,20 @@ TEST(Assembler, Errors)
     EXPECT_THROW(assemble("ld x1, 8 x2"), FatalError);
 }
 
+TEST(Assembler, OutOfRangeTargetRejected)
+{
+    // Numeric branch/jump targets must land inside the text.
+    EXPECT_THROW(assemble("beq x1, x2, 99\n halt"), FatalError);
+    EXPECT_THROW(assemble("jal ra, 7\n halt"), FatalError);
+    EXPECT_THROW(assemble("treg 0, 42\n halt"), FatalError);
+}
+
+TEST(Assembler, NegativeTriggerIdRejected)
+{
+    EXPECT_THROW(assemble("twait -1\n halt"), FatalError);
+    EXPECT_THROW(assemble("tsd x4, 0(x5), -3\n halt"), FatalError);
+}
+
 TEST(Assembler, DisasmRoundTrip)
 {
     const char *src = R"(

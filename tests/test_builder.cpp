@@ -118,6 +118,30 @@ TEST(Builder, ReuseAfterTakePanics)
     EXPECT_THROW(b.nop(), PanicError);
 }
 
+TEST(Builder, OutOfRangeRegisterRejected)
+{
+    ProgramBuilder b;
+    EXPECT_THROW(b.li(x(40), 1), FatalError);
+}
+
+TEST(Builder, NegativeTriggerIdRejected)
+{
+    ProgramBuilder b;
+    EXPECT_THROW(b.twait(-2), FatalError);
+}
+
+TEST(Builder, LabelBoundPastEndRejected)
+{
+    // A label bound after the final instruction resolves to a pc one
+    // past the text: jumping there would fall off the program.
+    ProgramBuilder b;
+    Label end = b.newLabel();
+    b.j(end);
+    b.halt();
+    b.bind(end);
+    EXPECT_THROW(b.take(), FatalError);
+}
+
 TEST(Builder, LoopExecutesCorrectIterationCount)
 {
     // Functional check: sum 0..9 via the loop helper.

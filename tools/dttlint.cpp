@@ -1,0 +1,198 @@
+/**
+ * @file
+ * dttlint — static dataflow verifier for DTT programs.
+ *
+ * Runs the analysis subsystem (src/analysis) over builder workloads
+ * or an assembly file and prints the findings, one line each:
+ *
+ *     pc 42 (handler+3): A005 error [non-terminating-thread] ...
+ *
+ * Usage:
+ *   dttlint [--all | --workload=NAME | --asm=FILE]
+ *           [--variant=baseline|dtt|both] [--werror] [--quiet]
+ *           [--no-lint] [--dynamic] [--list]
+ *
+ * With no selection, --all is implied. Exit status is 1 when any
+ * error-severity finding was reported — or any finding at all under
+ * --werror, which is how the test suite pins "all workloads lint
+ * clean".
+ *
+ * --dynamic additionally runs the functional redundancy profiler and
+ * annotates every static redundant-load finding (A008) with the
+ * measured per-PC redundancy, cross-checking the static claim.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/log.h"
+#include "common/options.h"
+#include "isa/assembler.h"
+#include "profile/redundancy.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace dttsim;
+
+struct LintTotals
+{
+    int programs = 0;
+    int errors = 0;
+    int warnings = 0;
+    int lints = 0;
+};
+
+/** Lint one program; returns the number of findings printed. */
+int
+lintProgram(const std::string &title, const isa::Program &prog,
+            const analysis::AnalyzeOptions &opts, bool quiet,
+            bool dynamic, LintTotals &totals)
+{
+    analysis::AnalysisResult res = analysis::analyze(prog, opts);
+    ++totals.programs;
+
+    profile::RedundancyReport dyn;
+    if (dynamic)
+        dyn = profile::profileRedundancy(prog);
+
+    int shown = 0;
+    for (const analysis::Diagnostic &d : res.diagnostics) {
+        switch (d.severity) {
+          case analysis::Severity::Error:
+            ++totals.errors;
+            break;
+          case analysis::Severity::Warning:
+            ++totals.warnings;
+            break;
+          case analysis::Severity::Lint:
+            ++totals.lints;
+            break;
+        }
+        std::string line = analysis::formatDiagnostic(d, &prog);
+        if (dynamic && d.id == analysis::DiagId::RedundantLoad) {
+            auto it = dyn.perPcLoads.find(d.pc);
+            std::ostringstream os;
+            if (it != dyn.perPcLoads.end() && it->second.executions)
+                os << " [dynamic: " << it->second.redundant << "/"
+                   << it->second.executions << " redundant]";
+            else
+                os << " [dynamic: never executed]";
+            line += os.str();
+        }
+        if (!quiet) {
+            if (shown == 0)
+                std::printf("-- %s\n", title.c_str());
+            std::printf("%s\n", line.c_str());
+        }
+        ++shown;
+    }
+    if (!quiet && shown == 0)
+        std::printf("-- %s: clean\n", title.c_str());
+    return shown;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+
+    if (opts.has("list")) {
+        for (const workloads::Workload *w : workloads::allWorkloads())
+            std::printf("%s\n", w->info().name.c_str());
+        return 0;
+    }
+
+    analysis::AnalyzeOptions aopts;
+    aopts.lint = !opts.has("no-lint");
+    const bool quiet = opts.has("quiet");
+    const bool werror = opts.has("werror");
+    const bool dynamic = opts.has("dynamic");
+
+    LintTotals totals;
+    try {
+        static const char *const known[] = {
+            "all", "workload", "asm", "variant", "werror", "quiet",
+            "no-lint", "dynamic", "list",
+        };
+        for (const auto &[name, value] : opts.all()) {
+            (void)value;
+            bool ok = false;
+            for (const char *k : known)
+                ok = ok || name == k;
+            if (!ok)
+                fatal("unknown option '--%s'", name.c_str());
+        }
+
+        std::string variant = opts.get("variant", "both");
+        if (variant != "baseline" && variant != "dtt"
+            && variant != "both")
+            fatal("bad --variant '%s' (want baseline|dtt|both)",
+                  variant.c_str());
+        std::vector<workloads::Variant> variants;
+        if (variant != "dtt")
+            variants.push_back(workloads::Variant::Baseline);
+        if (variant != "baseline")
+            variants.push_back(workloads::Variant::Dtt);
+
+        if (opts.has("asm")) {
+            isa::Program prog =
+                isa::assemble(readFile(opts.get("asm")));
+            lintProgram(opts.get("asm"), prog, aopts, quiet, dynamic,
+                        totals);
+        } else {
+            std::vector<const workloads::Workload *> selected;
+            if (opts.has("workload")) {
+                selected.push_back(
+                    &workloads::findWorkload(opts.get("workload")));
+            } else {
+                selected = workloads::allWorkloads();
+            }
+            workloads::WorkloadParams params;
+            for (const workloads::Workload *w : selected) {
+                for (workloads::Variant v : variants) {
+                    std::string title = w->info().name
+                        + (v == workloads::Variant::Baseline
+                               ? " (baseline)" : " (dtt)");
+                    lintProgram(title, w->build(v, params), aopts,
+                                quiet, dynamic, totals);
+                }
+            }
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "dttlint: %s\n", e.what());
+        return 2;
+    }
+
+    int total = totals.errors + totals.warnings + totals.lints;
+    if (!quiet || total != 0)
+        std::printf(
+            "dttlint: %d program%s, %d error%s, %d warning%s, "
+            "%d lint%s\n",
+            totals.programs, totals.programs == 1 ? "" : "s",
+            totals.errors, totals.errors == 1 ? "" : "s",
+            totals.warnings, totals.warnings == 1 ? "" : "s",
+            totals.lints, totals.lints == 1 ? "" : "s");
+    if (totals.errors > 0)
+        return 1;
+    if (werror && total > 0)
+        return 1;
+    return 0;
+}
