@@ -7,23 +7,28 @@
  * model (L1 access = 1 unit, L2 = 4, DRAM = 40).
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig10_energy_proxy",
+                      "Figure 10: dynamic-activity (energy) proxy, "
+                      "DTT vs baseline"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
+
+    std::vector<bench::Pair> pairs = h.runPairs(subjects, params);
 
     TextTable t("Figure 10: dynamic-activity proxy (lower is better)");
     t.header({"bench", "uops base", "uops dtt", "mem-units base",
               "mem-units dtt", "activity reduction"});
     std::vector<double> reductions;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        bench::Pair pr = bench::runPair(*w, params);
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const bench::Pair &pr = pairs[i];
         // Total activity: 1 unit per committed uop + memory units.
         std::uint64_t act_base =
             pr.base.totalCommitted + pr.base.activityUnits;
@@ -31,8 +36,9 @@ main(int argc, char **argv)
             pr.dtt.totalCommitted + pr.dtt.activityUnits;
         double red = pct(act_base > act_dtt ? act_base - act_dtt : 0,
                          act_base);
-        reductions.push_back(red);
-        t.row({w->info().name, TextTable::num(pr.base.totalCommitted),
+        reductions.push_back(pr.valid() ? red : std::nan(""));
+        t.row({subjects[i]->info().name,
+               TextTable::num(pr.base.totalCommitted),
                TextTable::num(pr.dtt.totalCommitted),
                TextTable::num(pr.base.activityUnits),
                TextTable::num(pr.dtt.activityUnits),
@@ -41,5 +47,5 @@ main(int argc, char **argv)
     t.row({"average", "", "", "", "",
            TextTable::pctCell(bench::mean(reductions))});
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

@@ -8,40 +8,63 @@
  * recompute; gcc crosses below 1.0 because its trigger rate is huge.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams base_params =
-        bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig11_update_rate",
+                      "Figure 11: DTT speedup vs true-update rate "
+                      "(default subjects: mcf, art, gcc)"});
+    workloads::WorkloadParams base_params = h.params();
 
-    const double rates[] = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+    const std::vector<double> rates = {0.0, 0.1, 0.25, 0.5, 0.75,
+                                       1.0};
     std::vector<const workloads::Workload *> subjects;
-    if (opts.has("workload")) {
-        subjects = bench::workloadsFromOptions(opts);
+    if (h.options().has("workload")) {
+        subjects = h.workloads();
     } else {
         subjects = {&workloads::findWorkload("mcf"),
                     &workloads::findWorkload("art"),
                     &workloads::findWorkload("gcc")};
     }
 
-    TextTable t("Figure 11: speedup vs true-update rate");
-    t.header({"bench", "r=0.00", "r=0.10", "r=0.25", "r=0.50",
-              "r=0.75", "r=1.00"});
+    // Both variants are rebuilt per rate (the update schedule is part
+    // of the generated input), so each rate contributes a distinct
+    // baseline/DTT pair to the batch.
+    std::vector<sim::SimJob> jobs;
     for (const workloads::Workload *w : subjects) {
-        std::vector<std::string> cells{w->info().name};
         for (double rate : rates) {
             workloads::WorkloadParams params = base_params;
             params.updateRate = rate;
-            bench::Pair pr = bench::runPair(*w, params);
-            cells.push_back(TextTable::num(pr.speedup(), 2) + "x");
+            std::string tag = " r=" + TextTable::num(rate, 2);
+            jobs.push_back(h.makeJob(
+                *w, workloads::Variant::Baseline, params,
+                bench::Harness::machineConfig(false),
+                "baseline" + tag));
+            jobs.push_back(h.makeJob(
+                *w, workloads::Variant::Dtt, params,
+                bench::Harness::machineConfig(true), "dtt" + tag));
+        }
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
+
+    TextTable t("Figure 11: speedup vs true-update rate");
+    t.header({"bench", "r=0.00", "r=0.10", "r=0.25", "r=0.50",
+              "r=0.75", "r=1.00"});
+    std::size_t idx = 0;
+    for (const workloads::Workload *w : subjects) {
+        std::vector<std::string> cells{w->info().name};
+        for (std::size_t r = 0; r < rates.size(); ++r) {
+            cells.push_back(bench::speedupCell(bench::speedupOf(
+                results[idx].result, results[idx + 1].result)));
+            idx += 2;
         }
         t.row(cells);
     }
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

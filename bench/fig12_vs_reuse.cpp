@@ -9,61 +9,67 @@
  * redundancy the reuse machine can only accelerate, DTT removes.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig12_vs_reuse",
+                      "Figure 12: speedup over baseline — hardware "
+                      "instruction reuse vs DTT"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
+
+    auto reuse_config = [](int entries) {
+        sim::SimConfig cfg = bench::Harness::machineConfig(false);
+        cfg.core.reuseBuffer = true;
+        cfg.core.reuseEntriesPerPc = entries;
+        return cfg;
+    };
+
+    std::vector<sim::SimJob> jobs;
+    for (const workloads::Workload *w : subjects) {
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params,
+                                 bench::Harness::machineConfig(false)));
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params, reuse_config(8), "reuse-8"));
+        // "Ideal": effectively unbounded per-PC buffers.
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params, reuse_config(1 << 20),
+                                 "reuse-ideal"));
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Dtt, params,
+                                 bench::Harness::machineConfig(true)));
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
 
     TextTable t("Figure 12: speedup over baseline — HW instruction"
                 " reuse vs DTT");
     t.header({"bench", "reuse-8", "ideal reuse", "ideal reused insts",
               "dtt"});
     std::vector<double> r8_s, rinf_s, dtt_s;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        isa::Program base_prog =
-            w->build(workloads::Variant::Baseline, params);
-        sim::SimResult base = sim::runProgram(
-            bench::machineConfig(false), base_prog);
-
-        auto run_reuse = [&](int entries, std::uint64_t *reused) {
-            sim::SimConfig cfg = bench::machineConfig(false);
-            cfg.core.reuseBuffer = true;
-            cfg.core.reuseEntriesPerPc = entries;
-            sim::Simulator s(cfg, base_prog);
-            sim::SimResult r = s.run();
-            if (reused)
-                *reused = s.core().stats().get("reusedInsts");
-            return static_cast<double>(base.cycles)
-                / static_cast<double>(r.cycles);
-        };
-        double r8 = run_reuse(8, nullptr);
-        std::uint64_t reused_inf = 0;
-        // "Ideal": effectively unbounded per-PC buffers.
-        double rinf = run_reuse(1 << 20, &reused_inf);
-
-        sim::SimResult dtt = sim::runProgram(
-            bench::machineConfig(true),
-            w->build(workloads::Variant::Dtt, params));
-        double ds = static_cast<double>(base.cycles)
-            / static_cast<double>(dtt.cycles);
-
-        r8_s.push_back(r8);
-        rinf_s.push_back(rinf);
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const sim::SimResult &base = results[4 * i].result;
+        const sim::SimResult &r8 = results[4 * i + 1].result;
+        const sim::SimResult &rinf = results[4 * i + 2].result;
+        const sim::SimResult &dtt = results[4 * i + 3].result;
+        double s8 = bench::speedupOf(base, r8);
+        double sinf = bench::speedupOf(base, rinf);
+        double ds = bench::speedupOf(base, dtt);
+        r8_s.push_back(s8);
+        rinf_s.push_back(sinf);
         dtt_s.push_back(ds);
-        t.row({w->info().name, TextTable::num(r8, 2) + "x",
-               TextTable::num(rinf, 2) + "x",
-               TextTable::num(reused_inf),
-               TextTable::num(ds, 2) + "x"});
+        t.row({subjects[i]->info().name, bench::speedupCell(s8),
+               bench::speedupCell(sinf),
+               TextTable::num(rinf.reusedInsts),
+               bench::speedupCell(ds)});
     }
-    t.row({"arith-mean", TextTable::num(bench::mean(r8_s), 2) + "x",
-           TextTable::num(bench::mean(rinf_s), 2) + "x", "",
-           TextTable::num(bench::mean(dtt_s), 2) + "x"});
+    t.row({"arith-mean", bench::speedupCell(bench::mean(r8_s)),
+           bench::speedupCell(bench::mean(rinf_s)), "",
+           bench::speedupCell(bench::mean(dtt_s))});
     std::fputs(t.render().c_str(), stdout);
     std::puts("\nRealistic reuse buffers (8 entries/PC) capture almost"
               " none of the array-scale\nredundancy; even *unbounded*"
@@ -71,5 +77,5 @@ main(int argc, char **argv)
               " instructions still consume fetch/issue/commit"
               " bandwidth, which is\nwhy eliminating them with DTTs"
               " wins.");
-    return 0;
+    return h.finish();
 }

@@ -8,39 +8,49 @@
  * and which benchmarks feel it first (high spawn counts: gcc).
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig13_spawn_latency",
+                      "Figure 13: DTT speedup vs context spawn "
+                      "latency"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
 
-    const Cycle latencies[] = {1, 4, 16, 64, 256};
+    const std::vector<Cycle> latencies = {1, 4, 16, 64, 256};
+
+    std::vector<sim::SimJob> jobs;
+    for (const workloads::Workload *w : subjects) {
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params,
+                                 bench::Harness::machineConfig(false)));
+        for (Cycle lat : latencies) {
+            sim::SimConfig cfg = bench::Harness::machineConfig(true);
+            cfg.dtt.spawnLatency = lat;
+            jobs.push_back(h.makeJob(
+                *w, workloads::Variant::Dtt, params, cfg,
+                "dtt lat=" + std::to_string(lat)));
+        }
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
 
     TextTable t("Figure 13: speedup vs context spawn latency");
     t.header({"bench", "lat=1", "lat=4", "lat=16", "lat=64",
               "lat=256"});
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        sim::SimResult base = sim::runProgram(
-            bench::machineConfig(false),
-            w->build(workloads::Variant::Baseline, params));
-        isa::Program dtt_prog =
-            w->build(workloads::Variant::Dtt, params);
-        std::vector<std::string> cells{w->info().name};
-        for (Cycle lat : latencies) {
-            sim::SimConfig cfg = bench::machineConfig(true);
-            cfg.dtt.spawnLatency = lat;
-            sim::SimResult r = sim::runProgram(cfg, dtt_prog);
-            cells.push_back(TextTable::num(
-                static_cast<double>(base.cycles)
-                    / static_cast<double>(r.cycles), 2) + "x");
-        }
+    const std::size_t stride = 1 + latencies.size();
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const sim::SimResult &base = results[i * stride].result;
+        std::vector<std::string> cells{subjects[i]->info().name};
+        for (std::size_t l = 0; l < latencies.size(); ++l)
+            cells.push_back(bench::speedupCell(bench::speedupOf(
+                base, results[i * stride + 1 + l].result)));
         t.row(cells);
     }
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

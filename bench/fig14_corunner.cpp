@@ -10,59 +10,58 @@
  * the co-runners squeezes both machines.
  */
 
-#include "bench_util.h"
-#include "common/log.h"
+#include "harness.h"
 
 using namespace dttsim;
-
-namespace {
-
-Cycle
-runWithCoRunners(const sim::SimConfig &cfg, isa::Program prog,
-                 const std::vector<std::uint64_t> &entries)
-{
-    sim::Simulator s(cfg, std::move(prog));
-    for (std::size_t i = 0; i < entries.size(); ++i)
-        s.core().startCoRunner(static_cast<CtxId>(i + 1), entries[i]);
-    sim::SimResult r = s.run();
-    if (!r.halted)
-        fatal("co-runner experiment did not complete");
-    return r.cycles;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig14_corunner",
+                      "Figure 14: DTT speedup with k SMT co-runner "
+                      "threads occupying spare contexts"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
+
+    const int max_k = 2;
+
+    auto make_corun_job = [&](const workloads::Workload &w,
+                              workloads::Variant variant, int k) {
+        sim::SimJob job = h.makeJob(
+            w, variant, params,
+            bench::Harness::machineConfig(
+                variant == workloads::Variant::Dtt),
+            std::string(variant == workloads::Variant::Dtt
+                            ? "dtt" : "baseline")
+                + " k=" + std::to_string(k));
+        for (int i = 0; i < k; ++i)
+            job.coRunnerEntries.push_back(
+                bench::appendCoRunner(job.program, i));
+        return job;
+    };
+
+    std::vector<sim::SimJob> jobs;
+    for (const workloads::Workload *w : subjects) {
+        for (int k = 0; k <= max_k; ++k) {
+            jobs.push_back(
+                make_corun_job(*w, workloads::Variant::Baseline, k));
+            jobs.push_back(
+                make_corun_job(*w, workloads::Variant::Dtt, k));
+        }
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
 
     TextTable t("Figure 14: DTT speedup with k SMT co-runners"
                 " (4-context core)");
     t.header({"bench", "k=0", "k=1", "k=2"});
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
+    std::size_t idx = 0;
+    for (const workloads::Workload *w : subjects) {
         std::vector<std::string> cells{w->info().name};
-        for (int k = 0; k <= 2; ++k) {
-            isa::Program base_prog =
-                w->build(workloads::Variant::Baseline, params);
-            isa::Program dtt_prog =
-                w->build(workloads::Variant::Dtt, params);
-            std::vector<std::uint64_t> base_entries, dtt_entries;
-            for (int i = 0; i < k; ++i) {
-                base_entries.push_back(
-                    bench::appendCoRunner(base_prog, i));
-                dtt_entries.push_back(
-                    bench::appendCoRunner(dtt_prog, i));
-            }
-            Cycle base = runWithCoRunners(bench::machineConfig(false),
-                                          base_prog, base_entries);
-            Cycle dtt = runWithCoRunners(bench::machineConfig(true),
-                                         dtt_prog, dtt_entries);
-            cells.push_back(TextTable::num(
-                static_cast<double>(base) / static_cast<double>(dtt),
-                2) + "x");
+        for (int k = 0; k <= max_k; ++k) {
+            cells.push_back(bench::speedupCell(bench::speedupOf(
+                results[idx].result, results[idx + 1].result)));
+            idx += 2;
         }
         t.row(cells);
     }
@@ -75,5 +74,5 @@ main(int argc, char **argv)
               " to the\nco-runners for its entire duration, while the"
               " DTT main thread is short and\nits handlers were"
               " sharing the core anyway.");
-    return 0;
+    return h.finish();
 }

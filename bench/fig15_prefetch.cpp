@@ -7,54 +7,61 @@
  * redundancy elimination and latency tolerance are orthogonal.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig15_prefetch",
+                      "Figure 15: next-line prefetch ablation "
+                      "(prefetcher on both machines)"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
+
+    auto config = [](bool dtt, bool pf) {
+        sim::SimConfig cfg = bench::Harness::machineConfig(dtt);
+        cfg.mem.nextLinePrefetch = pf;
+        return cfg;
+    };
+
+    std::vector<sim::SimJob> jobs;
+    for (const workloads::Workload *w : subjects) {
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params, config(false, false),
+                                 "baseline"));
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params, config(false, true),
+                                 "baseline pf"));
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Dtt, params,
+                                 config(true, false), "dtt"));
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Dtt, params,
+                                 config(true, true), "dtt pf"));
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
 
     TextTable t("Figure 15: next-line prefetch ablation");
     t.header({"bench", "base pf-gain", "dtt speedup (no pf)",
               "dtt speedup (pf both)"});
     std::vector<double> no_pf, with_pf;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        isa::Program base_prog =
-            w->build(workloads::Variant::Baseline, params);
-        isa::Program dtt_prog =
-            w->build(workloads::Variant::Dtt, params);
-
-        auto run = [&](bool dtt, bool pf) {
-            sim::SimConfig cfg = bench::machineConfig(dtt);
-            cfg.mem.nextLinePrefetch = pf;
-            return sim::runProgram(cfg, dtt ? dtt_prog : base_prog)
-                .cycles;
-        };
-        Cycle base = run(false, false);
-        Cycle base_pf = run(false, true);
-        Cycle dtt = run(true, false);
-        Cycle dtt_pf = run(true, true);
-
-        double s0 = static_cast<double>(base)
-            / static_cast<double>(dtt);
-        double s1 = static_cast<double>(base_pf)
-            / static_cast<double>(dtt_pf);
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const sim::SimResult &base = results[4 * i].result;
+        const sim::SimResult &base_pf = results[4 * i + 1].result;
+        const sim::SimResult &dtt = results[4 * i + 2].result;
+        const sim::SimResult &dtt_pf = results[4 * i + 3].result;
+        double s0 = bench::speedupOf(base, dtt);
+        double s1 = bench::speedupOf(base_pf, dtt_pf);
         no_pf.push_back(s0);
         with_pf.push_back(s1);
-        t.row({w->info().name,
-               TextTable::num(static_cast<double>(base)
-                                  / static_cast<double>(base_pf), 2)
-                   + "x",
-               TextTable::num(s0, 2) + "x",
-               TextTable::num(s1, 2) + "x"});
+        t.row({subjects[i]->info().name,
+               bench::speedupCell(bench::speedupOf(base, base_pf)),
+               bench::speedupCell(s0), bench::speedupCell(s1)});
     }
     t.row({"arith-mean", "",
-           TextTable::num(bench::mean(no_pf), 2) + "x",
-           TextTable::num(bench::mean(with_pf), 2) + "x"});
+           bench::speedupCell(bench::mean(no_pf)),
+           bench::speedupCell(bench::mean(with_pf))});
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

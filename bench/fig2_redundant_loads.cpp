@@ -7,7 +7,7 @@
  * across the C SPEC suite.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 #include "profile/redundancy.h"
 
 using namespace dttsim;
@@ -15,14 +15,17 @@ using namespace dttsim;
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig2_redundant_loads",
+                      "Figure 2: fraction of loads fetching redundant "
+                      "data (functional profile of the baseline "
+                      "programs)"});
+    workloads::WorkloadParams params = h.params();
 
     TextTable t("Figure 2: redundant loads (baseline programs)");
     t.header({"bench", "loads", "redundant", "redundant %"});
     std::vector<double> pcts;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
+    for (const workloads::Workload *w : h.workloads()) {
         profile::RedundancyReport r = profile::profileRedundancy(
             w->build(workloads::Variant::Baseline, params));
         pcts.push_back(r.redundantLoadPct());
@@ -35,5 +38,5 @@ main(int argc, char **argv)
     std::printf("\npaper anchor: 78%% of all loads fetch redundant "
                 "data (suite average)\nmeasured suite average: "
                 "%.1f%%\n", bench::mean(pcts));
-    return 0;
+    return h.finish();
 }

@@ -7,7 +7,7 @@
  * computation data-triggered threads can eliminate.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 #include "profile/reuse.h"
 
 using namespace dttsim;
@@ -15,16 +15,18 @@ using namespace dttsim;
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig3_redundant_computation",
+                      "Figure 3: redundant (reusable) computation in "
+                      "the baseline programs"});
+    workloads::WorkloadParams params = h.params();
 
     TextTable t("Figure 3: redundant (reusable) computation,"
                 " baseline programs");
     t.header({"bench", "dyn insts", "ceiling %", "ceiling loads %",
               "8-entry buf %"});
     std::vector<double> inf_pcts, inf_load_pcts, buf_pcts;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
+    for (const workloads::Workload *w : h.workloads()) {
         profile::ReuseReport r = profile::profileReuse(
             w->build(workloads::Variant::Baseline, params));
         inf_pcts.push_back(r.reuseInfPct());
@@ -43,5 +45,5 @@ main(int argc, char **argv)
               "memoization (the redundancy pool\nDTTs draw from); the "
               "finite reuse buffer shows why value-locality hardware\n"
               "alone cannot harvest it.");
-    return 0;
+    return h.finish();
 }

@@ -6,7 +6,7 @@
  * fires no thread, eliminating the attached computation entirely.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 #include "profile/redundancy.h"
 
 using namespace dttsim;
@@ -14,14 +14,16 @@ using namespace dttsim;
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig4_silent_stores",
+                      "Figure 4: fraction of stores that are silent "
+                      "(functional profile of the baseline programs)"});
+    workloads::WorkloadParams params = h.params();
 
     TextTable t("Figure 4: silent stores (baseline programs)");
     t.header({"bench", "stores", "silent", "silent %"});
     std::vector<double> pcts;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
+    for (const workloads::Workload *w : h.workloads()) {
         profile::RedundancyReport r = profile::profileRedundancy(
             w->build(workloads::Variant::Baseline, params));
         pcts.push_back(r.silentStorePct());
@@ -31,5 +33,5 @@ main(int argc, char **argv)
     }
     t.row({"average", "", "", TextTable::pctCell(bench::mean(pcts))});
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

@@ -7,15 +7,21 @@
  * Paper anchors: speedups of up to 5.9X; suite average 46%.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig5_speedup",
+                      "Figure 5: speedup of the DTT machine over the "
+                      "baseline machine, per benchmark"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
+
+    std::vector<bench::Pair> pairs = h.runPairs(subjects, params);
 
     TextTable t("Figure 5: DTT speedup over baseline");
     t.header({"bench", "base cycles", "dtt cycles", "base IPC",
@@ -23,26 +29,26 @@ main(int argc, char **argv)
     std::vector<double> speedups;
     double best = 0;
     std::string best_name;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        bench::Pair pr = bench::runPair(*w, params);
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const bench::Pair &pr = pairs[i];
         double s = pr.speedup();
         speedups.push_back(s);
         if (s > best) {
             best = s;
-            best_name = w->info().name;
+            best_name = subjects[i]->info().name;
         }
-        t.row({w->info().name, TextTable::num(pr.base.cycles),
+        t.row({subjects[i]->info().name,
+               TextTable::num(pr.base.cycles),
                TextTable::num(pr.dtt.cycles),
                TextTable::num(pr.base.ipc, 2),
                TextTable::num(pr.dtt.ipc, 2),
                TextTable::num(pr.dtt.dttSpawns),
-               TextTable::num(s, 2) + "x"});
+               bench::speedupCell(s)});
     }
     t.row({"arith-mean", "", "", "", "", "",
-           TextTable::num(bench::mean(speedups), 2) + "x"});
+           bench::speedupCell(bench::mean(speedups))});
     t.row({"geo-mean", "", "", "", "", "",
-           TextTable::num(bench::geomean(speedups), 2) + "x"});
+           bench::speedupCell(bench::geomean(speedups))});
     std::fputs(t.render().c_str(), stdout);
     std::printf("\npaper anchors: up to 5.9X, averaging 46%%\n"
                 "measured: up to %.2fX (%s); average %.0f%% (arith) /"
@@ -50,5 +56,5 @@ main(int argc, char **argv)
                 best, best_name.c_str(),
                 (bench::mean(speedups) - 1.0) * 100.0,
                 (bench::geomean(speedups) - 1.0) * 100.0);
-    return 0;
+    return h.finish();
 }

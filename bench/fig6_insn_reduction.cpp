@@ -6,30 +6,36 @@
  * skipped outright thanks to silent-store suppression).
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig6_insn_reduction",
+                      "Figure 6: committed-instruction reduction, "
+                      "baseline vs DTT"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
+
+    std::vector<bench::Pair> pairs = h.runPairs(subjects, params);
 
     TextTable t("Figure 6: committed instructions, baseline vs DTT");
     t.header({"bench", "baseline", "dtt main", "dtt threads",
               "main reduction", "total reduction"});
     std::vector<double> main_red, total_red;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        bench::Pair pr = bench::runPair(*w, params);
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const bench::Pair &pr = pairs[i];
         double mr = pct(pr.base.totalCommitted - pr.dtt.mainCommitted,
                         pr.base.totalCommitted);
         double tr = pct(pr.base.totalCommitted - pr.dtt.totalCommitted,
                         pr.base.totalCommitted);
-        main_red.push_back(mr);
-        total_red.push_back(tr);
-        t.row({w->info().name, TextTable::num(pr.base.totalCommitted),
+        main_red.push_back(pr.valid() ? mr : std::nan(""));
+        total_red.push_back(pr.valid() ? tr : std::nan(""));
+        t.row({subjects[i]->info().name,
+               TextTable::num(pr.base.totalCommitted),
                TextTable::num(pr.dtt.mainCommitted),
                TextTable::num(pr.dtt.dttCommitted),
                TextTable::pctCell(mr), TextTable::pctCell(tr)});
@@ -38,5 +44,5 @@ main(int argc, char **argv)
            TextTable::pctCell(bench::mean(main_red)),
            TextTable::pctCell(bench::mean(total_red))});
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

@@ -7,38 +7,49 @@
  * triggers.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig7_contexts",
+                      "Figure 7: DTT speedup vs spare SMT contexts"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
 
-    const int dtt_ctxs[] = {1, 2, 3, 7};
+    const std::vector<int> dtt_ctxs = {1, 2, 3, 7};
+
+    // Per workload: one baseline run plus one DTT run per context
+    // count, all submitted as a single engine batch.
+    std::vector<sim::SimJob> jobs;
+    for (const workloads::Workload *w : subjects) {
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params,
+                                 bench::Harness::machineConfig(false)));
+        for (int spare : dtt_ctxs) {
+            sim::SimConfig cfg = bench::Harness::machineConfig(true);
+            cfg.core.numContexts = 1 + spare;
+            jobs.push_back(h.makeJob(
+                *w, workloads::Variant::Dtt, params, cfg,
+                "dtt +" + std::to_string(spare) + "ctx"));
+        }
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
 
     TextTable t("Figure 7: speedup vs spare SMT contexts for DTTs");
     t.header({"bench", "+1 ctx", "+2 ctx", "+3 ctx", "+7 ctx"});
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        sim::SimResult base = sim::runProgram(
-            bench::machineConfig(false),
-            w->build(workloads::Variant::Baseline, params));
-        isa::Program dtt_prog =
-            w->build(workloads::Variant::Dtt, params);
-        std::vector<std::string> cells{w->info().name};
-        for (int spare : dtt_ctxs) {
-            sim::SimConfig cfg = bench::machineConfig(true);
-            cfg.core.numContexts = 1 + spare;
-            sim::SimResult r = sim::runProgram(cfg, dtt_prog);
-            cells.push_back(TextTable::num(
-                static_cast<double>(base.cycles)
-                    / static_cast<double>(r.cycles), 2) + "x");
-        }
+    const std::size_t stride = 1 + dtt_ctxs.size();
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const sim::SimResult &base = results[i * stride].result;
+        std::vector<std::string> cells{subjects[i]->info().name};
+        for (std::size_t c = 0; c < dtt_ctxs.size(); ++c)
+            cells.push_back(bench::speedupCell(bench::speedupOf(
+                base, results[i * stride + 1 + c].result)));
         t.row(cells);
     }
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

@@ -6,19 +6,50 @@
  * queues hurt; low-trigger benchmarks barely notice.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig8_tq_size",
+                      "Figure 8: DTT speedup vs thread-queue size "
+                      "(Stall policy), duplicate squash on and off"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
 
-    const int sizes[] = {1, 2, 4, 8, 16};
+    const std::vector<int> sizes = {1, 2, 4, 8, 16};
+    const bool coalesce_modes[] = {true, false};
 
-    for (bool coalesce : {true, false}) {
+    // One batch for the whole figure: the baseline job of each
+    // workload is submitted once per coalesce mode and deduplicated
+    // by the engine (it used to be re-simulated for 8a and again for
+    // 8b).
+    std::vector<sim::SimJob> jobs;
+    for (bool coalesce : coalesce_modes) {
+        for (const workloads::Workload *w : subjects) {
+            jobs.push_back(h.makeJob(
+                *w, workloads::Variant::Baseline, params,
+                bench::Harness::machineConfig(false)));
+            for (int size : sizes) {
+                sim::SimConfig cfg =
+                    bench::Harness::machineConfig(true);
+                cfg.dtt.threadQueueSize = size;
+                cfg.dtt.coalesce = coalesce;
+                jobs.push_back(h.makeJob(
+                    *w, workloads::Variant::Dtt, params, cfg,
+                    std::string("dtt tq=") + std::to_string(size)
+                        + (coalesce ? " squash" : " no-squash")));
+            }
+        }
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
+
+    const std::size_t stride = 1 + sizes.size();
+    std::size_t idx = 0;
+    for (bool coalesce : coalesce_modes) {
         TextTable t(std::string("Figure 8")
                     + (coalesce ? "a" : "b")
                     + ": speedup vs thread-queue size (Stall policy,"
@@ -26,28 +57,20 @@ main(int argc, char **argv)
                     + (coalesce ? "ON)" : "OFF)"));
         t.header({"bench", "tq=1", "tq=2", "tq=4", "tq=8", "tq=16",
                   "stalls@1"});
-        for (const workloads::Workload *w :
-             bench::workloadsFromOptions(opts)) {
-            sim::SimResult base = sim::runProgram(
-                bench::machineConfig(false),
-                w->build(workloads::Variant::Baseline, params));
-            isa::Program dtt_prog =
-                w->build(workloads::Variant::Dtt, params);
+        for (const workloads::Workload *w : subjects) {
+            const sim::SimResult &base = results[idx].result;
             std::vector<std::string> cells{w->info().name};
             std::uint64_t stalls_at_1 = 0;
-            for (int size : sizes) {
-                sim::SimConfig cfg = bench::machineConfig(true);
-                cfg.dtt.threadQueueSize = size;
-                cfg.dtt.coalesce = coalesce;
-                sim::SimResult r = sim::runProgram(cfg, dtt_prog);
-                if (size == 1)
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                const sim::SimResult &r = results[idx + 1 + s].result;
+                if (sizes[s] == 1)
                     stalls_at_1 = r.tstoreCommitStalls;
-                cells.push_back(TextTable::num(
-                    static_cast<double>(base.cycles)
-                        / static_cast<double>(r.cycles), 2) + "x");
+                cells.push_back(
+                    bench::speedupCell(bench::speedupOf(base, r)));
             }
             cells.push_back(TextTable::num(stalls_at_1));
             t.row(cells);
+            idx += stride;
         }
         std::fputs(t.render().c_str(), stdout);
         std::puts("");
@@ -61,5 +84,5 @@ main(int argc, char **argv)
               "little here because an iteration's updates target\n"
               "distinct addresses; it matters when the same datum is "
               "rewritten in bursts.");
-    return 0;
+    return h.finish();
 }

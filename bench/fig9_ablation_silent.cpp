@@ -7,48 +7,55 @@
  * the two bars is the contribution of redundancy elimination itself.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"fig9_ablation_silent",
+                      "Figure 9: silent-store suppression ablation "
+                      "(on vs off)"});
+    workloads::WorkloadParams params = h.params();
+    std::vector<const workloads::Workload *> subjects = h.workloads();
+
+    sim::SimConfig off_cfg = bench::Harness::machineConfig(true);
+    off_cfg.dtt.silentSuppression = false;
+
+    std::vector<sim::SimJob> jobs;
+    for (const workloads::Workload *w : subjects) {
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
+                                 params,
+                                 bench::Harness::machineConfig(false)));
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Dtt, params,
+                                 bench::Harness::machineConfig(true),
+                                 "dtt suppress-on"));
+        jobs.push_back(h.makeJob(*w, workloads::Variant::Dtt, params,
+                                 off_cfg, "dtt suppress-off"));
+    }
+    std::vector<sim::JobResult> results = h.run(std::move(jobs));
 
     TextTable t("Figure 9: silent-store suppression ablation");
     t.header({"bench", "speedup (on)", "speedup (off)",
               "spawns (on)", "spawns (off)"});
     std::vector<double> on_s, off_s;
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
-        sim::SimResult base = sim::runProgram(
-            bench::machineConfig(false),
-            w->build(workloads::Variant::Baseline, params));
-        isa::Program dtt_prog =
-            w->build(workloads::Variant::Dtt, params);
-
-        sim::SimConfig on = bench::machineConfig(true);
-        sim::SimResult r_on = sim::runProgram(on, dtt_prog);
-
-        sim::SimConfig off = bench::machineConfig(true);
-        off.dtt.silentSuppression = false;
-        sim::SimResult r_off = sim::runProgram(off, dtt_prog);
-
-        double s_on = static_cast<double>(base.cycles)
-            / static_cast<double>(r_on.cycles);
-        double s_off = static_cast<double>(base.cycles)
-            / static_cast<double>(r_off.cycles);
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        const sim::SimResult &base = results[3 * i].result;
+        const sim::SimResult &r_on = results[3 * i + 1].result;
+        const sim::SimResult &r_off = results[3 * i + 2].result;
+        double s_on = bench::speedupOf(base, r_on);
+        double s_off = bench::speedupOf(base, r_off);
         on_s.push_back(s_on);
         off_s.push_back(s_off);
-        t.row({w->info().name, TextTable::num(s_on, 2) + "x",
-               TextTable::num(s_off, 2) + "x",
+        t.row({subjects[i]->info().name, bench::speedupCell(s_on),
+               bench::speedupCell(s_off),
                TextTable::num(r_on.dttSpawns),
                TextTable::num(r_off.dttSpawns)});
     }
-    t.row({"arith-mean", TextTable::num(bench::mean(on_s), 2) + "x",
-           TextTable::num(bench::mean(off_s), 2) + "x", "", ""});
+    t.row({"arith-mean", bench::speedupCell(bench::mean(on_s)),
+           bench::speedupCell(bench::mean(off_s)), "", ""});
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

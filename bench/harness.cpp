@@ -1,0 +1,335 @@
+#include "harness.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace dttsim::bench {
+
+namespace {
+
+/** Flags every harness binary accepts. */
+const std::vector<FlagSpec> &
+engineFlags()
+{
+    static const std::vector<FlagSpec> flags = {
+        {"help", "", "show this flag listing and exit"},
+        {"jobs", "N",
+         "worker threads for the experiment engine "
+         "(default: all hardware threads)"},
+        {"json", "PATH",
+         "write one schema-versioned JSON record per simulated job"},
+    };
+    return flags;
+}
+
+/** Workload-selection/parameter flags. */
+const std::vector<FlagSpec> &
+workloadFlags()
+{
+    static const std::vector<FlagSpec> flags = {
+        {"workload", "NAME",
+         "run only workload NAME (default: the full suite)"},
+        {"seed", "N", "input-generation seed (default 12345)"},
+        {"iters", "N", "outer iterations (default: per-workload)"},
+        {"scale", "N", "working-set size multiplier (default 1)"},
+        {"update-rate", "R",
+         "fraction of trigger-data writes that change the value, "
+         "0..1 (default: per-workload)"},
+    };
+    return flags;
+}
+
+void
+printFlagGroup(const char *title, const std::vector<FlagSpec> &flags)
+{
+    if (flags.empty())
+        return;
+    std::printf("%s:\n", title);
+    for (const FlagSpec &f : flags) {
+        std::string lhs = "--" + f.name;
+        if (!f.valueHint.empty())
+            lhs += "=" + f.valueHint;
+        std::printf("  %-18s %s\n", lhs.c_str(), f.help.c_str());
+    }
+}
+
+} // namespace
+
+double
+speedupOf(const sim::SimResult &base, const sim::SimResult &r)
+{
+    Pair pr{base, r};
+    return pr.speedup();
+}
+
+std::string
+speedupCell(double speedup)
+{
+    return std::isfinite(speedup)
+        ? TextTable::num(speedup, 2) + "x" : std::string("n/a");
+}
+
+double
+mean(const std::vector<double> &vals)
+{
+    double sum = 0;
+    std::size_t n = 0;
+    for (double v : vals) {
+        if (!std::isfinite(v))
+            continue;
+        sum += v;
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+geomean(const std::vector<double> &vals)
+{
+    double log_sum = 0;
+    std::size_t n = 0;
+    for (double v : vals) {
+        if (!std::isfinite(v) || v <= 0)
+            continue;
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+std::uint64_t
+appendCoRunner(isa::Program &prog, int id)
+{
+    constexpr std::int64_t kStride = 4096;
+    constexpr std::int64_t kEntries = 1024;
+    Addr base = prog.allocData(
+        "corunner" + std::to_string(id),
+        static_cast<std::uint64_t>(kStride * kEntries));
+    auto emit = [&](isa::Opcode op, int rd, int rs1, int rs2,
+                    std::int64_t imm) {
+        isa::Inst inst;
+        inst.op = op;
+        inst.rd = static_cast<std::uint8_t>(rd);
+        inst.rs1 = static_cast<std::uint8_t>(rs1);
+        inst.rs2 = static_cast<std::uint8_t>(rs2);
+        inst.imm = imm;
+        return prog.append(inst);
+    };
+    using isa::Opcode;
+    std::uint64_t entry =
+        emit(Opcode::LI, 5, 0, 0, static_cast<std::int64_t>(base));
+    emit(Opcode::LI, 8, 0, 0, 0);
+    std::uint64_t loop =
+        emit(Opcode::LD, 6, 5, 0, 0);
+    emit(Opcode::ADD, 7, 7, 6, 0);
+    emit(Opcode::ADDI, 5, 5, 0, kStride);
+    emit(Opcode::ADDI, 8, 8, 0, 1);
+    emit(Opcode::ANDI, 9, 8, 0, kEntries - 1);
+    emit(Opcode::BNE, 0, 9, 0,
+         static_cast<std::int64_t>(loop));  // rs1=x9 rs2=x0
+    emit(Opcode::LI, 5, 0, 0, static_cast<std::int64_t>(base));
+    emit(Opcode::JAL, 0, 0, 0, static_cast<std::int64_t>(loop));
+    return entry;
+}
+
+Harness::Harness(int argc, const char *const *argv, HarnessSpec spec)
+    : spec_(std::move(spec)), opts_(argc, argv),
+      engine_(static_cast<int>(opts_.getInt("jobs", 0))),
+      jsonPath_(opts_.get("json"))
+{
+    std::vector<const std::vector<FlagSpec> *> groups{&engineFlags()};
+    if (spec_.workloadFlags)
+        groups.push_back(&workloadFlags());
+    groups.push_back(&spec_.extra);
+
+    if (opts_.has("help")) {
+        std::printf("%s — %s\n\nusage: %s [--flag[=value] ...]\n\n",
+                    spec_.binary.c_str(), spec_.description.c_str(),
+                    spec_.binary.c_str());
+        printFlagGroup("common flags", engineFlags());
+        if (spec_.workloadFlags)
+            printFlagGroup("workload flags", workloadFlags());
+        printFlagGroup((spec_.binary + " flags").c_str(),
+                       spec_.extra);
+        std::exit(0);
+    }
+
+    // The dttlint policy: an option we did not declare is a hard
+    // error, not something to silently ignore.
+    for (const auto &[name, value] : opts_.all()) {
+        bool known = false;
+        for (const auto *group : groups)
+            for (const FlagSpec &f : *group)
+                known = known || f.name == name;
+        if (!known) {
+            std::string supported;
+            for (const auto *group : groups)
+                for (const FlagSpec &f : *group)
+                    supported += (supported.empty() ? "--" : ", --")
+                        + f.name;
+            std::fprintf(stderr,
+                         "%s: error: unknown flag '--%s' "
+                         "(supported: %s; see --help)\n",
+                         spec_.binary.c_str(), name.c_str(),
+                         supported.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+Harness::~Harness()
+{
+    // Safety net for binaries that return without calling finish();
+    // exceptions from here would terminate, so swallow them.
+    try {
+        finish();
+    } catch (...) {
+    }
+}
+
+workloads::WorkloadParams
+Harness::params() const
+{
+    workloads::WorkloadParams p;
+    if (!spec_.workloadFlags)
+        return p;
+    p.seed = static_cast<std::uint64_t>(opts_.getInt("seed", 12345));
+    p.iterations = static_cast<int>(opts_.getInt("iters", -1));
+    p.scale = static_cast<int>(opts_.getInt("scale", 1));
+    p.updateRate = opts_.getDouble("update-rate", -1.0);
+    return p;
+}
+
+std::vector<const workloads::Workload *>
+Harness::workloads() const
+{
+    if (spec_.workloadFlags && opts_.has("workload")) {
+        // User error, not an internal bug: report and exit cleanly
+        // (the dttlint convention) rather than aborting.
+        try {
+            return {&workloads::findWorkload(opts_.get("workload"))};
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s: %s\n", spec_.binary.c_str(),
+                         e.what());
+            std::exit(2);
+        }
+    }
+    return workloads::allWorkloads();
+}
+
+sim::SimConfig
+Harness::machineConfig(bool enable_dtt)
+{
+    sim::SimConfig cfg;
+    cfg.enableDtt = enable_dtt;
+    return cfg;  // defaults are the Table 1 machine
+}
+
+sim::SimJob
+Harness::makeJob(const workloads::Workload &w,
+                 workloads::Variant variant,
+                 const workloads::WorkloadParams &params,
+                 sim::SimConfig config, std::string label) const
+{
+    sim::SimJob job;
+    job.workload = w.info().name;
+    job.variant = !label.empty() ? std::move(label)
+        : variant == workloads::Variant::Dtt ? "dtt" : "baseline";
+    job.config = config;
+    job.program = w.build(variant, params);
+    return job;
+}
+
+std::vector<sim::JobResult>
+Harness::run(std::vector<sim::SimJob> jobs)
+{
+    std::vector<sim::JobResult> results = engine_.run(jobs);
+    for (const sim::JobResult &jr : results) {
+        records_.push_back(jr);
+        if (jr.deduplicated)
+            continue;
+        if (!jr.result.halted || jr.result.hitMaxCycles) {
+            ++invalidJobs_;
+            warn("%s: job %s/%s %s (cycles=%llu); its metrics are "
+                 "flagged and excluded from suite means",
+                 spec_.binary.c_str(), jr.workload.c_str(),
+                 jr.variant.c_str(),
+                 jr.result.hitMaxCycles ? "hit the cycle limit"
+                                        : "did not halt",
+                 static_cast<unsigned long long>(jr.result.cycles));
+        }
+    }
+    return results;
+}
+
+std::vector<Pair>
+Harness::runPairs(
+    const std::vector<const workloads::Workload *> &subjects,
+    const workloads::WorkloadParams &params)
+{
+    return runPairs(subjects, params, machineConfig(true));
+}
+
+std::vector<Pair>
+Harness::runPairs(
+    const std::vector<const workloads::Workload *> &subjects,
+    const workloads::WorkloadParams &params,
+    const sim::SimConfig &dtt_config)
+{
+    std::vector<sim::SimJob> jobs;
+    jobs.reserve(subjects.size() * 2);
+    for (const workloads::Workload *w : subjects) {
+        jobs.push_back(makeJob(*w, workloads::Variant::Baseline,
+                               params, machineConfig(false)));
+        jobs.push_back(makeJob(*w, workloads::Variant::Dtt, params,
+                               dtt_config));
+    }
+    std::vector<sim::JobResult> results = run(std::move(jobs));
+    std::vector<Pair> pairs(subjects.size());
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+        pairs[i].base = results[2 * i].result;
+        pairs[i].dtt = results[2 * i + 1].result;
+    }
+    return pairs;
+}
+
+int
+Harness::finish()
+{
+    if (finished_)
+        return invalidJobs_ ? 1 : 0;
+    finished_ = true;
+
+    if (!jsonPath_.empty()) {
+        json::Value doc = json::Value::object();
+        doc.set("schema_version",
+                json::Value(std::uint64_t(sim::kResultsSchemaVersion)));
+        doc.set("binary", json::Value(spec_.binary));
+        doc.set("jobs", json::Value(std::uint64_t(engine_.threads())));
+        json::Value records = json::Value::array();
+        for (const sim::JobResult &jr : records_)
+            records.push(sim::jobResultToJson(jr));
+        doc.set("records", std::move(records));
+
+        std::FILE *f = std::fopen(jsonPath_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr,
+                         "%s: error: cannot write --json file '%s'\n",
+                         spec_.binary.c_str(), jsonPath_.c_str());
+            return 2;
+        }
+        std::string text = doc.dump(2);
+        text += '\n';
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+    }
+    if (invalidJobs_) {
+        warn("%s: %d job(s) timed out or failed to halt; see flags "
+             "above", spec_.binary.c_str(), invalidJobs_);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace dttsim::bench

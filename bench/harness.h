@@ -1,0 +1,198 @@
+#pragma once
+
+/**
+ * @file
+ * The redesigned bench harness API. Every figure/table binary is a
+ * thin `main()` on top of `bench::Harness`, which owns
+ *
+ *  - option parsing with a declared flag set: unknown flags are hard
+ *    errors (the dttlint policy) and `--help` lists every supported
+ *    flag;
+ *  - the Table-1 machine configuration;
+ *  - a `sim::Engine` sized by `--jobs N` (default: all hardware
+ *    threads), so every figure runs its experiment batch in parallel
+ *    with within-batch dedup of identical jobs;
+ *  - the `--json <path>` structured-results emitter: one
+ *    schema-versioned record per executed job (docs/HARNESS.md).
+ *
+ * Pattern:
+ *
+ *     int main(int argc, char **argv) {
+ *         bench::Harness h(argc, argv,
+ *                          {"fig5_speedup", "Figure 5: ..."});
+ *         auto pairs = h.runPairs(h.workloads(), h.params());
+ *         ... render table ...
+ *         return h.finish();
+ *     }
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "isa/program.h"
+#include "sim/engine.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim::bench {
+
+/** One binary-specific flag, for --help and unknown-flag checking. */
+struct FlagSpec
+{
+    std::string name;       ///< without the leading "--"
+    std::string valueHint;  ///< e.g. "N"; empty for boolean flags
+    std::string help;
+};
+
+/** Static description of a bench binary. */
+struct HarnessSpec
+{
+    HarnessSpec(std::string binary_, std::string description_,
+                bool workload_flags = true,
+                std::vector<FlagSpec> extra_ = {})
+        : binary(std::move(binary_)),
+          description(std::move(description_)),
+          workloadFlags(workload_flags), extra(std::move(extra_))
+    {
+    }
+
+    std::string binary;
+    std::string description;
+    /** Accept the workload-selection/parameter flags (--workload,
+     *  --seed, --iters, --scale, --update-rate). Off for binaries
+     *  that do not build workloads (tab1_config). */
+    bool workloadFlags;
+    /** Binary-specific flags beyond the common set. */
+    std::vector<FlagSpec> extra;
+};
+
+/** Result of one baseline-vs-DTT comparison. */
+struct Pair
+{
+    sim::SimResult base;
+    sim::SimResult dtt;
+
+    /** Both runs halted within the cycle budget and made progress.
+     *  Invalid pairs must not enter suite means. */
+    bool
+    valid() const
+    {
+        return base.halted && dtt.halted && !base.hitMaxCycles
+            && !dtt.hitMaxCycles && base.cycles > 0 && dtt.cycles > 0;
+    }
+
+    /** Baseline-over-DTT cycle ratio; quiet NaN when either run is
+     *  invalid, which mean()/geomean() skip and tables flag. */
+    double
+    speedup() const
+    {
+        return valid() ? static_cast<double>(base.cycles)
+                             / static_cast<double>(dtt.cycles)
+                       : std::nan("");
+    }
+};
+
+/** Cycle ratio of two runs; NaN when either is invalid. */
+double speedupOf(const sim::SimResult &base, const sim::SimResult &r);
+
+/** "1.46x", or "n/a" for the NaN of an invalid run. */
+std::string speedupCell(double speedup);
+
+/** Arithmetic mean over the finite entries of @p vals (invalid runs
+ *  contribute NaN and are skipped); 0 when none are finite. */
+double mean(const std::vector<double> &vals);
+
+/** Geometric mean over the finite entries of @p vals. */
+double geomean(const std::vector<double> &vals);
+
+/**
+ * Append an infinite co-running thread to @p prog and return its
+ * entry PC (submitted via SimJob::coRunnerEntries). The co-runner is
+ * a memory-bound pointer walk over a 4 MiB region (mostly cache
+ * misses) — a realistic neighbour whose in-flight loads keep its
+ * ICOUNT high, so it shares fetch the way real co-scheduled programs
+ * do (a cache-resident spin loop would pathologically hog the ICOUNT
+ * fetch slots instead).
+ */
+std::uint64_t appendCoRunner(isa::Program &prog, int id);
+
+/** The redesigned harness every bench binary runs through. */
+class Harness
+{
+  public:
+    /**
+     * Parses argv against the declared flag set. `--help` prints the
+     * flag listing and exits(0); an unknown flag is a hard error
+     * (FatalError) naming the supported flags.
+     */
+    Harness(int argc, const char *const *argv, HarnessSpec spec);
+
+    /** finish() runs late (idempotently) even on early return. */
+    ~Harness();
+
+    const Options &options() const { return opts_; }
+
+    /** Workload parameters from --seed/--iters/--scale/--update-rate. */
+    workloads::WorkloadParams params() const;
+
+    /** Workload subset from --workload=name (default: all). */
+    std::vector<const workloads::Workload *> workloads() const;
+
+    /** Worker threads (--jobs, default 0 = hardware concurrency). */
+    int jobs() const { return engine_.threads(); }
+
+    sim::Engine &engine() { return engine_; }
+
+    /** The simulated machine of Table 1. */
+    static sim::SimConfig machineConfig(bool enable_dtt);
+
+    /** Build a job for @p w's @p variant under @p config. The variant
+     *  label defaults to "baseline"/"dtt"; pass @p label to tag swept
+     *  configs (e.g. "dtt tq=4"). */
+    sim::SimJob makeJob(const workloads::Workload &w,
+                        workloads::Variant variant,
+                        const workloads::WorkloadParams &params,
+                        sim::SimConfig config,
+                        std::string label = "") const;
+
+    /**
+     * Run a batch through the engine. Results come back in
+     * submission order; every record is retained for the --json
+     * emitter, and jobs that timed out or never halted are counted
+     * and flagged by finish().
+     */
+    std::vector<sim::JobResult> run(std::vector<sim::SimJob> jobs);
+
+    /** Baseline-vs-DTT pairs for @p subjects, one engine batch. */
+    std::vector<Pair>
+    runPairs(const std::vector<const workloads::Workload *> &subjects,
+             const workloads::WorkloadParams &params);
+
+    /** Same, with a custom DTT-machine config. */
+    std::vector<Pair>
+    runPairs(const std::vector<const workloads::Workload *> &subjects,
+             const workloads::WorkloadParams &params,
+             const sim::SimConfig &dtt_config);
+
+    /**
+     * Emit the --json results file (if requested), report invalid
+     * jobs on stderr, and return the process exit code. Idempotent;
+     * called by the destructor as a safety net.
+     */
+    int finish();
+
+  private:
+    HarnessSpec spec_;
+    Options opts_;
+    sim::Engine engine_;
+    std::string jsonPath_;
+    std::vector<sim::JobResult> records_;
+    int invalidJobs_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace dttsim::bench

@@ -2,14 +2,22 @@
  * @file
  * Engineering microbenchmarks (google-benchmark): simulator
  * throughput for the functional reference and the cycle-level core,
- * plus the cost of the DTT controller's hot operations.
+ * the cost of the DTT controller's hot operations, and the parallel
+ * experiment engine's batch throughput.
+ *
+ * Flag handling is split: `--benchmark_*` flags go to
+ * google-benchmark, everything else goes through the shared
+ * bench::Harness parser (so unknown flags are hard errors and
+ * `--help` works like every other bench binary).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "core/controller.h"
 #include "cpu/executor.h"
+#include "harness.h"
 #include "mem/hierarchy.h"
+#include "sim/engine.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -77,6 +85,47 @@ BM_OooCoreDtt(benchmark::State &state)
 }
 BENCHMARK(BM_OooCoreDtt)->Unit(benchmark::kMillisecond);
 
+/**
+ * Engine batch throughput vs worker count: the same 8-pair batch
+ * (mcf baseline+DTT at 4 seeds) at 1..N threads. The speedup over
+ * the 1-thread row is the harness-level parallelism every figure
+ * binary now inherits.
+ */
+void
+BM_EngineBatch(benchmark::State &state)
+{
+    const workloads::Workload &mcf = workloads::findWorkload("mcf");
+    std::vector<sim::SimJob> jobs;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        workloads::WorkloadParams p;
+        p.iterations = 2;
+        p.seed = seed;
+        for (auto variant : {workloads::Variant::Baseline,
+                             workloads::Variant::Dtt}) {
+            sim::SimJob job;
+            job.workload = "mcf";
+            job.variant =
+                variant == workloads::Variant::Dtt ? "dtt"
+                                                   : "baseline";
+            job.config.enableDtt =
+                variant == workloads::Variant::Dtt;
+            job.program = mcf.build(variant, p);
+            jobs.push_back(std::move(job));
+        }
+    }
+    std::uint64_t sims = 0;
+    for (auto _ : state) {
+        sim::Engine engine(static_cast<int>(state.range(0)));
+        auto results = engine.run(jobs);
+        sims += results.size();
+        benchmark::DoNotOptimize(results.front().result.cycles);
+    }
+    state.counters["sims/s"] = benchmark::Counter(
+        static_cast<double>(sims), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ControllerTstore(benchmark::State &state)
 {
@@ -109,4 +158,29 @@ BENCHMARK(BM_CacheAccess);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark owns --benchmark_* flags; the shared Harness
+    // parser owns (and hard-errors on) everything else.
+    std::vector<char *> gbench_args{argv[0]};
+    std::vector<const char *> harness_args{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_", 0) == 0)
+            gbench_args.push_back(argv[i]);
+        else
+            harness_args.push_back(argv[i]);
+    }
+    bench::Harness h(
+        static_cast<int>(harness_args.size()), harness_args.data(),
+        {"micro_sim_throughput",
+         "Engineering microbenchmarks (google-benchmark); "
+         "--benchmark_* flags pass through to the benchmark library",
+         /*workload_flags=*/false});
+
+    int gbench_argc = static_cast<int>(gbench_args.size());
+    benchmark::Initialize(&gbench_argc, gbench_args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return h.finish();
+}

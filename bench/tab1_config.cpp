@@ -5,16 +5,19 @@
  * experiment uses.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 
 using namespace dttsim;
 
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    (void)opts;
-    sim::SimConfig cfg = bench::machineConfig(true);
+    bench::Harness h(argc, argv,
+                     {"tab1_config",
+                      "Table 1: the simulated machine configuration "
+                      "(no simulation is run)",
+                      /*workload_flags=*/false});
+    sim::SimConfig cfg = bench::Harness::machineConfig(true);
 
     TextTable t("Table 1: simulated machine configuration");
     t.header({"parameter", "value"});
@@ -76,5 +79,5 @@ main(int argc, char **argv)
         std::to_string(d.spawnLatency) + " cycles");
 
     std::fputs(t.render().c_str(), stdout);
-    return 0;
+    return h.finish();
 }

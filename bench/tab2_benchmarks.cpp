@@ -5,7 +5,7 @@
  * (baseline instruction counts from a functional run).
  */
 
-#include "bench_util.h"
+#include "harness.h"
 #include "cpu/executor.h"
 
 using namespace dttsim;
@@ -13,14 +13,17 @@ using namespace dttsim;
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"tab2_benchmarks",
+                      "Table 2: the benchmark suite (SPEC CPU2000 C "
+                      "analogues) with functional instruction "
+                      "counts"});
+    workloads::WorkloadParams params = h.params();
 
     TextTable t("Table 2: benchmark suite (SPEC CPU2000 C analogues)");
     t.header({"bench", "SPEC", "trigger data", "trigs", "upd-rate",
               "iters", "base dyn insts"});
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
+    for (const workloads::Workload *w : h.workloads()) {
         workloads::WorkloadInfo info = w->info();
         cpu::FunctionalRunner runner(
             w->build(workloads::Variant::Baseline, params));
@@ -37,11 +40,10 @@ main(int argc, char **argv)
     std::fputs(t.render().c_str(), stdout);
     std::puts("");
     std::puts("Kernels:");
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
+    for (const workloads::Workload *w : h.workloads()) {
         workloads::WorkloadInfo info = w->info();
         std::printf("  %-7s %s\n", info.name.c_str(),
                     info.kernelDesc.c_str());
     }
-    return 0;
+    return h.finish();
 }

@@ -16,7 +16,7 @@
  * place triggers automatically.
  */
 
-#include "bench_util.h"
+#include "harness.h"
 #include "isa/disasm.h"
 #include "profile/advisor.h"
 
@@ -25,16 +25,16 @@ using namespace dttsim;
 namespace {
 
 void
-printRanking(const Options &opts,
+printRanking(bench::Harness &h,
              const workloads::WorkloadParams &params,
              profile::AdvisorRanking ranking, const char *title)
 {
     TextTable t(title);
     t.header({"bench", "rank", "pc", "instruction", "execs",
               "silent %", "reads/store"});
-    auto top_k = static_cast<std::size_t>(opts.getInt("top", 3));
-    for (const workloads::Workload *w : bench::workloadsFromOptions(
-             opts)) {
+    auto top_k =
+        static_cast<std::size_t>(h.options().getInt("top", 3));
+    for (const workloads::Workload *w : h.workloads()) {
         isa::Program prog =
             w->build(workloads::Variant::Baseline, params);
         auto candidates = profile::adviseTriggers(prog, top_k,
@@ -59,15 +59,21 @@ printRanking(const Options &opts,
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    workloads::WorkloadParams params = bench::paramsFromOptions(opts);
+    bench::Harness h(argc, argv,
+                     {"tab3_trigger_advisor",
+                      "Table 3: profile-guided trigger-placement "
+                      "rankings over the baseline programs",
+                      /*workload_flags=*/true,
+                      {{"top", "N",
+                        "candidates listed per workload (default 3)"}}});
+    workloads::WorkloadParams params = h.params();
 
-    printRanking(opts, params, profile::AdvisorRanking::TriggerData,
+    printRanking(h, params, profile::AdvisorRanking::TriggerData,
                  "Table 3a: trigger-data candidates (convert these"
                  " stores to tstores)");
-    printRanking(opts, params,
+    printRanking(h, params,
                  profile::AdvisorRanking::RedundantComputation,
                  "Table 3b: redundant-computation sites (absorb into"
                  " DTT handlers)");
-    return 0;
+    return h.finish();
 }

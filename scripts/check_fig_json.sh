@@ -1,0 +1,15 @@
+#!/bin/sh
+# Run a figure binary with --json at tiny scale and validate the
+# emitted file against results schema v1 (docs/HARNESS.md).
+# Usage: scripts/check_fig_json.sh <figure-binary> <check_results_json>
+set -eu
+
+bin="$1"
+validator="$2"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+"$bin" --workload=mcf --iters=2 --scale=1 --jobs=2 --json="$out" \
+    > /dev/null
+"$validator" "$out"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Run every figure/table binary of the evaluation, writing the
+# rendered tables and the schema-versioned JSON records into
+# bench/out/, then validate every JSON file.
+#
+# Usage: scripts/run_all_figures.sh [build-dir] [extra flags...]
+#   e.g. scripts/run_all_figures.sh build --scale=2 --jobs=8
+# Extra flags are passed to every workload-running binary.
+set -eu
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build}"
+if [ $# -gt 0 ]; then
+    shift
+fi
+
+if [ ! -x "$build/bench/fig5_speedup" ]; then
+    echo "run_all_figures: bench binaries not found in $build" \
+         "(build first: cmake --build $build -j)" >&2
+    exit 2
+fi
+
+outdir="$src/bench/out"
+mkdir -p "$outdir"
+
+# tab1_config takes no workload flags; everything else accepts the
+# common set plus the extra flags from the command line.
+echo "== tab1_config"
+"$build/bench/tab1_config" --json="$outdir/tab1_config.json" \
+    | tee "$outdir/tab1_config.txt"
+
+for b in tab2_benchmarks tab3_trigger_advisor \
+         fig2_redundant_loads fig3_redundant_computation \
+         fig4_silent_stores fig5_speedup fig6_insn_reduction \
+         fig7_contexts fig8_tq_size fig9_ablation_silent \
+         fig10_energy_proxy fig11_update_rate fig12_vs_reuse \
+         fig13_spawn_latency fig14_corunner fig15_prefetch; do
+    echo "== $b"
+    "$build/bench/$b" "$@" --json="$outdir/$b.json" \
+        | tee "$outdir/$b.txt"
+done
+
+"$build/tools/check_results_json" "$outdir"/*.json
+echo "run_all_figures: outputs in $outdir"

@@ -1,0 +1,495 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace dttsim::json {
+
+Value
+Value::array()
+{
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+}
+
+bool
+Value::isUint() const
+{
+    switch (type_) {
+      case Type::Uint:
+        return true;
+      case Type::Int:
+        return int_ >= 0;
+      case Type::Double:
+        return double_ >= 0 && std::floor(double_) == double_
+            && double_ <= 18446744073709549568.0;
+      default:
+        return false;
+    }
+}
+
+bool
+Value::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("json: asBool() on a non-bool value");
+    return bool_;
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    if (!isUint())
+        fatal("json: asUint() on a non-unsigned-integer value");
+    switch (type_) {
+      case Type::Uint:
+        return uint_;
+      case Type::Int:
+        return static_cast<std::uint64_t>(int_);
+      default:
+        return static_cast<std::uint64_t>(double_);
+    }
+}
+
+std::int64_t
+Value::asInt() const
+{
+    switch (type_) {
+      case Type::Int:
+        return int_;
+      case Type::Uint:
+        if (uint_ > static_cast<std::uint64_t>(INT64_MAX))
+            fatal("json: asInt() overflow");
+        return static_cast<std::int64_t>(uint_);
+      case Type::Double:
+        if (std::floor(double_) != double_)
+            fatal("json: asInt() on a fractional number");
+        return static_cast<std::int64_t>(double_);
+      default:
+        fatal("json: asInt() on a non-number value");
+    }
+}
+
+double
+Value::asDouble() const
+{
+    switch (type_) {
+      case Type::Uint:
+        return static_cast<double>(uint_);
+      case Type::Int:
+        return static_cast<double>(int_);
+      case Type::Double:
+        return double_;
+      default:
+        fatal("json: asDouble() on a non-number value");
+    }
+}
+
+const std::string &
+Value::asString() const
+{
+    if (type_ != Type::String)
+        fatal("json: asString() on a non-string value");
+    return string_;
+}
+
+void
+Value::push(Value v)
+{
+    if (type_ != Type::Array)
+        fatal("json: push() on a non-array value");
+    array_.push_back(std::move(v));
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    if (type_ != Type::Object)
+        fatal("json: set() on a non-object value");
+    for (auto &m : object_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+std::size_t
+Value::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    fatal("json: size() on a non-aggregate value");
+}
+
+const Value &
+Value::at(std::size_t i) const
+{
+    if (type_ != Type::Array)
+        fatal("json: at() on a non-array value");
+    if (i >= array_.size())
+        fatal("json: index %zu out of range (size %zu)", i,
+              array_.size());
+    return array_[i];
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        fatal("json: find() on a non-object value");
+    for (const auto &m : object_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+const Value &
+Value::get(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (!v)
+        fatal("json: missing required member '%s'", key.c_str());
+    return *v;
+}
+
+namespace {
+
+void
+escapeTo(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[40];
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Uint:
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(uint_));
+        out += buf;
+        break;
+      case Type::Int:
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+      case Type::Double:
+        if (!std::isfinite(double_)) {
+            // JSON has no Inf/NaN; emit null (validators flag it).
+            out += "null";
+            break;
+        }
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        out += buf;
+        break;
+      case Type::String:
+        escapeTo(out, string_);
+        break;
+      case Type::Array:
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty())
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Type::Object:
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            escapeTo(out, object_[i].first);
+            out += indent < 0 ? ":" : ": ";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty())
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a complete document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json: parse error at offset %zu: %s", pos_, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = std::string(w).size();
+        if (s_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    s_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                // ASCII only; anything else becomes '?'. The emitter
+                // never produces non-ASCII escapes.
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        std::size_t start = pos_;
+        bool negative = peek() == '-';
+        if (negative)
+            ++pos_;
+        bool floating = false;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+'
+                       || c == '-') {
+                floating = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        std::string tok = s_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fail("malformed number");
+        if (!floating) {
+            errno = 0;
+            if (negative) {
+                std::int64_t v =
+                    std::strtoll(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return Value(v);
+            } else {
+                std::uint64_t v =
+                    std::strtoull(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return Value(v);
+            }
+        }
+        return Value(std::strtod(tok.c_str(), nullptr));
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{') {
+            ++pos_;
+            Value obj = Value::object();
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return obj;
+            }
+            while (true) {
+                skipWs();
+                std::string key = string();
+                skipWs();
+                expect(':');
+                obj.set(key, value());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return obj;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Value arr = Value::array();
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return arr;
+            }
+            while (true) {
+                arr.push(value());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return arr;
+            }
+        }
+        if (c == '"')
+            return Value(string());
+        if (c == 't' && consumeWord("true"))
+            return Value(true);
+        if (c == 'f' && consumeWord("false"))
+            return Value(false);
+        if (c == 'n' && consumeWord("null"))
+            return Value();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return number();
+        fail("unexpected character at start of value");
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace dttsim::json

@@ -1,0 +1,104 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal JSON document model for the structured-results pipeline:
+ * enough to emit schema-versioned benchmark records and to parse them
+ * back for validation and round-trip tests. Integers are kept as
+ * 64-bit values (not doubles) so simulator counters survive a
+ * dump/parse cycle bit-exactly; object member order is preserved so
+ * emitted files are stable across runs.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dttsim::json {
+
+/** One JSON value (null, bool, number, string, array or object). */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Uint, Int, Double, String, Array, Object };
+
+    Value() = default;
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(std::uint64_t v) : type_(Type::Uint), uint_(v) {}
+    Value(std::int64_t v) : type_(Type::Int), int_(v) {}
+    Value(int v) : type_(Type::Int), int_(v) {}
+    Value(double v) : type_(Type::Double), double_(v) {}
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Value(const char *s) : type_(Type::String), string_(s) {}
+
+    /** Empty-aggregate factories (an empty Value is null, not {}). */
+    static Value array();
+    static Value object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Any numeric type (unsigned, signed or floating). */
+    bool isNumber() const
+    {
+        return type_ == Type::Uint || type_ == Type::Int
+            || type_ == Type::Double;
+    }
+    /** A number with no fractional part that fits std::uint64_t. */
+    bool isUint() const;
+
+    // Accessors; fatal() on type mismatch.
+    bool asBool() const;
+    std::uint64_t asUint() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Append to an array value. */
+    void push(Value v);
+    /** Set (append or overwrite) an object member. */
+    void set(const std::string &key, Value v);
+
+    /** Array/object element count. */
+    std::size_t size() const;
+    /** Array element; fatal() when out of range. */
+    const Value &at(std::size_t i) const;
+    /** Object member or nullptr. */
+    const Value *find(const std::string &key) const;
+    /** Object member; fatal() when missing. */
+    const Value &get(const std::string &key) const;
+
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return object_;
+    }
+
+    /**
+     * Serialize. @p indent < 0 renders compact single-line JSON;
+     * otherwise pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Parse a complete JSON document; throws FatalError on syntax
+     *  errors or trailing garbage. */
+    static Value parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+} // namespace dttsim::json

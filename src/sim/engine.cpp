@@ -1,0 +1,305 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+#include "common/log.h"
+
+namespace dttsim::sim {
+
+namespace {
+
+/** FNV-1a 64-bit, fed field-by-field (never raw structs: padding
+ *  bytes are indeterminate and would break dedup). */
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 1099511628211ull;
+        }
+    }
+
+    template <typename T>
+    void
+    pod(T v)
+    {
+        static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>);
+        bytes(&v, sizeof v);
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+void
+hashConfig(Fnv1a &h, const SimConfig &cfg)
+{
+    const cpu::CoreConfig &c = cfg.core;
+    h.pod(c.numContexts);
+    h.pod(c.fetchWidth);
+    h.pod(c.fetchThreads);
+    h.pod(c.fetchBlockInsts);
+    h.pod(c.frontendDepth);
+    h.pod(c.frontendQSize);
+    h.pod(c.dispatchWidth);
+    h.pod(c.issueWidth);
+    h.pod(c.commitWidth);
+    h.pod(c.robSize);
+    h.pod(c.iqSize);
+    h.pod(c.lqSize);
+    h.pod(c.sqSize);
+    h.pod(c.queueReservePerCtx);
+    h.pod(c.intAlu);
+    h.pod(c.intMulDiv);
+    h.pod(c.fpAlu);
+    h.pod(c.fpMulDiv);
+    h.pod(c.memPorts);
+    h.pod(c.mispredictPenalty);
+    h.pod(c.reuseBuffer);
+    h.pod(c.reuseEntriesPerPc);
+    h.pod(c.bpred.historyBits);
+    h.pod(c.bpred.btbEntries);
+    h.pod(c.bpred.rasEntries);
+    h.pod(c.bpred.numContexts);
+
+    const mem::HierarchyConfig &m = cfg.mem;
+    for (const mem::CacheConfig *cc : {&m.l1i, &m.l1d, &m.l2}) {
+        h.pod(cc->sizeBytes);
+        h.pod(cc->assoc);
+        h.pod(cc->lineBytes);
+        h.pod(cc->hitLatency);
+    }
+    h.pod(m.memLatency);
+    h.pod(m.modelFills);
+    h.pod(m.mshrs);
+    h.pod(m.nextLinePrefetch);
+
+    const dtt::DttConfig &d = cfg.dtt;
+    h.pod(d.maxTriggers);
+    h.pod(d.threadQueueSize);
+    h.pod(d.fullPolicy);
+    h.pod(d.silentSuppression);
+    h.pod(d.coalesce);
+    h.pod(d.serializePerTrigger);
+    h.pod(d.spawnLatency);
+
+    h.pod(cfg.enableDtt);
+    h.pod(cfg.maxCycles);
+}
+
+void
+hashProgram(Fnv1a &h, const isa::Program &prog)
+{
+    h.pod(prog.entry());
+    h.pod(prog.size());
+    for (const isa::Inst &inst : prog.text()) {
+        h.pod(inst.op);
+        h.pod(inst.rd);
+        h.pod(inst.rs1);
+        h.pod(inst.rs2);
+        h.pod(inst.trig);
+        h.pod(inst.imm);
+        h.pod(inst.fimm);
+    }
+    for (const isa::DataChunk &chunk : prog.dataChunks()) {
+        h.pod(chunk.base);
+        h.pod(chunk.bytes.size());
+        h.bytes(chunk.bytes.data(), chunk.bytes.size());
+    }
+    h.pod(prog.dataEnd());
+    h.pod(prog.numTriggers());
+}
+
+JobResult
+executeJob(const SimJob &job)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Simulator simulator(job.config, job.program);
+    for (std::size_t i = 0; i < job.coRunnerEntries.size(); ++i)
+        simulator.core().startCoRunner(static_cast<CtxId>(i + 1),
+                                       job.coRunnerEntries[i]);
+    JobResult jr;
+    jr.workload = job.workload;
+    jr.variant = job.variant;
+    jr.result = simulator.run();
+    jr.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    return jr;
+}
+
+} // namespace
+
+std::string
+jobDigest(const SimJob &job)
+{
+    Fnv1a h;
+    hashConfig(h, job.config);
+    hashProgram(h, job.program);
+    h.pod(job.coRunnerEntries.size());
+    for (std::uint64_t entry : job.coRunnerEntries)
+        h.pod(entry);
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h.value()));
+    return buf;
+}
+
+Engine::Engine(int num_threads)
+{
+    if (num_threads < 0)
+        fatal("Engine: num_threads must be >= 0 (got %d); 0 selects "
+              "the hardware concurrency", num_threads);
+    if (num_threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw ? static_cast<int>(hw) : 1;
+    }
+    numThreads_ = num_threads;
+}
+
+std::vector<JobResult>
+Engine::run(const std::vector<SimJob> &jobs)
+{
+    submitted_ += jobs.size();
+
+    // Deduplicate: the first job with a given digest becomes the
+    // representative; later identical jobs share its execution.
+    std::vector<std::string> digests(jobs.size());
+    std::vector<std::size_t> representative(jobs.size());
+    std::vector<std::size_t> unique;
+    std::map<std::string, std::size_t> byDigest;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        digests[i] = jobDigest(jobs[i]);
+        auto [it, inserted] = byDigest.emplace(digests[i], i);
+        representative[i] = it->second;
+        if (inserted)
+            unique.push_back(i);
+    }
+    executed_ += unique.size();
+
+    // Farm the unique jobs out to the pool. Each simulation is
+    // single-threaded and self-contained, so scheduling order cannot
+    // affect any SimResult — only wall-clock.
+    std::vector<JobResult> executedResults(jobs.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    auto worker = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t u = next.fetch_add(1);
+            if (u >= unique.size())
+                return;
+            std::size_t idx = unique[u];
+            try {
+                executedResults[idx] = executeJob(jobs[idx]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::size_t pool = std::min<std::size_t>(
+        static_cast<std::size_t>(numThreads_), unique.size());
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (std::size_t t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    // Expand to submission order; duplicates copy the representative
+    // but keep their own labels.
+    std::vector<JobResult> results(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobResult &rep = executedResults[representative[i]];
+        results[i] = rep;
+        results[i].workload = jobs[i].workload;
+        results[i].variant = jobs[i].variant;
+        results[i].digest = digests[i];
+        results[i].deduplicated = representative[i] != i;
+    }
+    return results;
+}
+
+// Field lists shared by the JSON writer and reader so the two can
+// never drift apart (the round-trip test locks the schema).
+#define DTTSIM_SIMRESULT_U64_FIELDS(X) \
+    X(cycles) X(mainCommitted) X(dttCommitted) X(totalCommitted) \
+    X(dttSpawns) X(tstores) X(silentSuppressed) X(fired) \
+    X(coalesced) X(dropped) X(tqMaxOccupancy) X(twaitStallCycles) \
+    X(tstoreCommitStalls) X(l1dAccesses) X(l1dMisses) \
+    X(l1iAccesses) X(l1iMisses) X(l2Accesses) X(l2Misses) \
+    X(memAccesses) X(activityUnits) X(condBranches) \
+    X(condMispredicts) X(reusedInsts)
+
+#define DTTSIM_SIMRESULT_BOOL_FIELDS(X) \
+    X(halted) X(hitMaxCycles)
+
+json::Value
+resultToJson(const SimResult &r)
+{
+    json::Value v = json::Value::object();
+#define DTTSIM_PUT_U64(name) \
+    v.set(#name, json::Value(static_cast<std::uint64_t>(r.name)));
+#define DTTSIM_PUT_BOOL(name) v.set(#name, json::Value(r.name));
+    DTTSIM_SIMRESULT_U64_FIELDS(DTTSIM_PUT_U64)
+    v.set("ipc", json::Value(r.ipc));
+    DTTSIM_SIMRESULT_BOOL_FIELDS(DTTSIM_PUT_BOOL)
+#undef DTTSIM_PUT_U64
+#undef DTTSIM_PUT_BOOL
+    return v;
+}
+
+SimResult
+resultFromJson(const json::Value &v)
+{
+    SimResult r;
+#define DTTSIM_GET_U64(name) r.name = v.get(#name).asUint();
+#define DTTSIM_GET_BOOL(name) r.name = v.get(#name).asBool();
+    DTTSIM_SIMRESULT_U64_FIELDS(DTTSIM_GET_U64)
+    r.ipc = v.get("ipc").asDouble();
+    DTTSIM_SIMRESULT_BOOL_FIELDS(DTTSIM_GET_BOOL)
+#undef DTTSIM_GET_U64
+#undef DTTSIM_GET_BOOL
+    return r;
+}
+
+json::Value
+jobResultToJson(const JobResult &jr)
+{
+    json::Value v = json::Value::object();
+    v.set("workload", json::Value(jr.workload));
+    v.set("variant", json::Value(jr.variant));
+    v.set("config_digest", json::Value(jr.digest));
+    v.set("deduplicated", json::Value(jr.deduplicated));
+    v.set("wall_seconds", json::Value(jr.wallSeconds));
+    v.set("result", resultToJson(jr.result));
+    return v;
+}
+
+} // namespace dttsim::sim

@@ -1,0 +1,117 @@
+#pragma once
+
+/**
+ * @file
+ * Parallel experiment engine: a thread-pool scheduler over batches of
+ * simulation jobs. Every figure/table of the evaluation is a batch of
+ * independent (config, program) simulations, so the engine
+ *
+ *  - runs jobs across hardware threads (each job is one single-
+ *    threaded, fully deterministic Simulator instance, so a batch
+ *    produces byte-identical SimResults at any thread count);
+ *  - deduplicates identical jobs within a batch via a config+program
+ *    fingerprint (the baseline run of each workload historically got
+ *    re-simulated by nearly every figure binary; within a batch it
+ *    now runs once and fans out);
+ *  - returns results in submission order, each tagged with the
+ *    fingerprint digest and per-job wall-clock time.
+ *
+ * The JSON helpers at the bottom are the structured-results schema
+ * used by the bench harness's --json emitter (docs/HARNESS.md).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "isa/program.h"
+#include "sim/simulator.h"
+
+namespace dttsim::sim {
+
+/** Version of the JSON record schema emitted for JobResults. */
+inline constexpr int kResultsSchemaVersion = 1;
+
+/** One experiment: a machine configuration plus a program to run. */
+struct SimJob
+{
+    /** Workload name, carried through to reports. */
+    std::string workload;
+    /** Variant label ("baseline", "dtt", "dtt tq=4", ...). */
+    std::string variant;
+
+    SimConfig config;
+    isa::Program program;
+
+    /**
+     * Entry PCs of foreign co-runner threads, started on contexts
+     * 1..N before the run (the Fig. 14 SMT co-scheduling setup).
+     * Part of the job fingerprint.
+     */
+    std::vector<std::uint64_t> coRunnerEntries;
+};
+
+/** Outcome of one submitted job, in submission order. */
+struct JobResult
+{
+    std::string workload;
+    std::string variant;
+    /** 16-hex-digit fingerprint of (config, program, co-runners). */
+    std::string digest;
+    SimResult result;
+    /** Wall-clock seconds of the executing simulation (duplicates
+     *  inherit the representative's time). */
+    double wallSeconds = 0.0;
+    /** True when this job reused another identical job's execution
+     *  instead of simulating again. */
+    bool deduplicated = false;
+};
+
+/**
+ * FNV-1a fingerprint of everything that determines a job's SimResult:
+ * every SimConfig field, the full program image (text, data, entry,
+ * triggers) and the co-runner entries. Labels are excluded — two
+ * figure binaries naming the same experiment differently still dedup.
+ */
+std::string jobDigest(const SimJob &job);
+
+/** Thread-pool experiment scheduler. */
+class Engine
+{
+  public:
+    /** @param num_threads worker count; 0 picks the hardware
+     *  concurrency. */
+    explicit Engine(int num_threads = 0);
+
+    /**
+     * Run a batch. Unique jobs (by jobDigest) are distributed over
+     * the worker pool; duplicates share the representative's result.
+     * Results come back in submission order. Worker exceptions
+     * (e.g. FatalError from an invalid SimConfig) are rethrown here.
+     */
+    std::vector<JobResult> run(const std::vector<SimJob> &jobs);
+
+    int threads() const { return numThreads_; }
+
+    /** Jobs submitted across all run() calls. */
+    std::uint64_t submitted() const { return submitted_; }
+    /** Simulations actually executed (submitted minus dedup hits). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    int numThreads_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/** Serialize every SimResult field (schema in docs/HARNESS.md). */
+json::Value resultToJson(const SimResult &r);
+
+/** Inverse of resultToJson; fatal() on missing/mistyped fields. */
+SimResult resultFromJson(const json::Value &v);
+
+/** One schema record for a finished job. */
+json::Value jobResultToJson(const JobResult &jr);
+
+} // namespace dttsim::sim

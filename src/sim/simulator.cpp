@@ -1,11 +1,156 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace dttsim::sim {
 
+namespace {
+
+void
+checkPositive(std::vector<std::string> &errors, long long v,
+              const char *name, const char *why)
+{
+    if (v < 1)
+        errors.push_back(strfmt("%s must be >= 1 (got %lld): %s",
+                                name, v, why));
+}
+
+void
+checkCache(std::vector<std::string> &errors,
+           const mem::CacheConfig &c)
+{
+    const std::string prefix = "mem." + c.name;
+    checkPositive(errors, static_cast<long long>(c.sizeBytes),
+                  (prefix + ".sizeBytes").c_str(),
+                  "a zero-byte cache cannot hold any line");
+    checkPositive(errors, c.assoc, (prefix + ".assoc").c_str(),
+                  "a set needs at least one way");
+    checkPositive(errors, static_cast<long long>(c.lineBytes),
+                  (prefix + ".lineBytes").c_str(),
+                  "lines must hold at least one byte");
+    if (c.lineBytes != 0 && (c.lineBytes & (c.lineBytes - 1)) != 0)
+        errors.push_back(strfmt(
+            "%s.lineBytes must be a power of two (got %u): address "
+            "decomposition uses bit masks", c.name.c_str(),
+            c.lineBytes));
+    if (c.lineBytes != 0 && c.assoc != 0
+        && c.sizeBytes % (static_cast<std::uint64_t>(c.lineBytes)
+                          * c.assoc) != 0)
+        errors.push_back(strfmt(
+            "%s.sizeBytes (%llu) must be a multiple of lineBytes * "
+            "assoc so the set count is integral", c.name.c_str(),
+            static_cast<unsigned long long>(c.sizeBytes)));
+}
+
+} // namespace
+
+std::vector<std::string>
+SimConfig::validate() const
+{
+    std::vector<std::string> errors;
+
+    if (maxCycles == 0)
+        errors.push_back(
+            "maxCycles must be >= 1 (got 0): a zero cycle budget "
+            "cannot commit any instruction; raise it or drop the "
+            "override to keep the default");
+
+    checkPositive(errors, core.numContexts, "core.numContexts",
+                  "context 0 runs the main thread");
+    checkPositive(errors, core.fetchWidth, "core.fetchWidth",
+                  "the frontend must fetch at least one instruction "
+                  "per cycle");
+    checkPositive(errors, core.fetchThreads, "core.fetchThreads",
+                  "ICOUNT fetch needs at least one context per cycle");
+    checkPositive(errors, core.dispatchWidth, "core.dispatchWidth",
+                  "no instruction could ever reach the backend");
+    checkPositive(errors, core.issueWidth, "core.issueWidth",
+                  "no instruction could ever execute");
+    checkPositive(errors, core.commitWidth, "core.commitWidth",
+                  "no instruction could ever retire");
+    checkPositive(errors, core.robSize, "core.robSize",
+                  "the ROB must hold at least one in-flight "
+                  "instruction");
+    checkPositive(errors, core.iqSize, "core.iqSize",
+                  "the issue queue must hold at least one entry");
+    checkPositive(errors, core.lqSize, "core.lqSize",
+                  "loads could never dispatch");
+    checkPositive(errors, core.sqSize, "core.sqSize",
+                  "stores could never dispatch");
+    if (core.queueReservePerCtx < 0)
+        errors.push_back(strfmt(
+            "core.queueReservePerCtx must be >= 0 (got %d)",
+            core.queueReservePerCtx));
+    else if (core.numContexts > 1) {
+        int reserved = core.queueReservePerCtx
+            * (core.numContexts - 1);
+        int smallest = std::min(std::min(core.robSize, core.iqSize),
+                                std::min(core.lqSize, core.sqSize));
+        if (smallest - reserved < 1)
+            errors.push_back(strfmt(
+                "core.queueReservePerCtx=%d reserves %d entries for "
+                "the other %d contexts, leaving none of the smallest "
+                "shared queue (%d entries) for any single context; "
+                "shrink the reservation or grow the queues",
+                core.queueReservePerCtx, reserved,
+                core.numContexts - 1, smallest));
+    }
+    checkPositive(errors, core.memPorts, "core.memPorts",
+                  "memory operations could never issue");
+    if (core.reuseBuffer)
+        checkPositive(errors, core.reuseEntriesPerPc,
+                      "core.reuseEntriesPerPc",
+                      "an enabled reuse buffer needs capacity");
+
+    checkCache(errors, mem.l1i);
+    checkCache(errors, mem.l1d);
+    checkCache(errors, mem.l2);
+    checkPositive(errors, static_cast<long long>(mem.memLatency),
+                  "mem.memLatency", "DRAM cannot answer in 0 cycles");
+    if (mem.modelFills)
+        checkPositive(errors, mem.mshrs, "mem.mshrs",
+                      "fill modeling needs at least one outstanding-"
+                      "miss register");
+
+    if (enableDtt) {
+        checkPositive(errors, dtt.maxTriggers, "dtt.maxTriggers",
+                      "the thread registry must hold at least one "
+                      "trigger");
+        checkPositive(errors, dtt.threadQueueSize,
+                      "dtt.threadQueueSize",
+                      "a zero-entry thread queue can never spawn a "
+                      "data-triggered thread (use enableDtt=false "
+                      "for the baseline machine)");
+    }
+    return errors;
+}
+
+namespace {
+
+/** Throw FatalError before any component sees an invalid config
+ *  (the hierarchy is built in the member-init list, so validation
+ *  must happen while config_ itself is initialized). */
+const SimConfig &
+validated(const SimConfig &config)
+{
+    std::vector<std::string> errors = config.validate();
+    if (!errors.empty()) {
+        std::string all;
+        for (const std::string &e : errors)
+            all += "\n  - " + e;
+        fatal("invalid SimConfig (%zu problem%s):%s", errors.size(),
+              errors.size() == 1 ? "" : "s", all.c_str());
+    }
+    return config;
+}
+
+} // namespace
+
 Simulator::Simulator(const SimConfig &config, isa::Program prog)
-    : config_(config), prog_(std::move(prog)), hierarchy_(config.mem)
+    : config_(validated(config)), prog_(std::move(prog)),
+      hierarchy_(config.mem)
 {
     if (config_.enableDtt)
         controller_ = std::make_unique<dtt::DttController>(
@@ -17,6 +162,12 @@ Simulator::Simulator(const SimConfig &config, isa::Program prog)
 SimResult
 Simulator::run()
 {
+    if (ran_)
+        panic("Simulator::run() is one-shot: a second run would "
+              "start from the dirty architectural, cache and DTT "
+              "state of the first; construct a fresh Simulator (or "
+              "use sim::runProgram / sim::Engine) per run");
+    ran_ = true;
     cpu::CoreRunResult core_result = core_->run(config_.maxCycles);
 
     SimResult r;
@@ -56,6 +207,7 @@ Simulator::run()
 
     r.condBranches = core_->bpred().stats().get("condBranches");
     r.condMispredicts = core_->bpred().stats().get("condMispredicts");
+    r.reusedInsts = core_->stats().get("reusedInsts");
     return r;
 }
 

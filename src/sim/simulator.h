@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "core/controller.h"
@@ -31,6 +33,16 @@ struct SimConfig
      *  behave as plain stores (the baseline machine). */
     bool enableDtt = true;
     Cycle maxCycles = 1ull << 33;
+
+    /**
+     * Check the configuration for nonsense a simulation would
+     * otherwise silently "run" (zero-entry queues, a zero cycle
+     * budget, pipeline widths of zero, ...). Returns one actionable
+     * message per problem; empty means the machine is simulable.
+     * The Simulator constructor calls this and throws FatalError on
+     * the first invalid config instead of simulating it.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** Flat result record of one simulation. */
@@ -68,16 +80,31 @@ struct SimResult
     // Branches.
     std::uint64_t condBranches = 0;
     std::uint64_t condMispredicts = 0;
+
+    // Instruction-reuse machine (CoreConfig::reuseBuffer).
+    std::uint64_t reusedInsts = 0;
+
+    /** Field-wise equality: the determinism oracle for the parallel
+     *  experiment engine (same job => byte-identical result). */
+    bool operator==(const SimResult &) const = default;
 };
 
 /** One-shot simulator: construct with a config + program, call run(). */
 class Simulator
 {
   public:
-    /** The simulator owns a copy of @p prog (temporaries are safe). */
+    /**
+     * The simulator owns a copy of @p prog (temporaries are safe).
+     * Throws FatalError when config.validate() reports problems.
+     */
     Simulator(const SimConfig &config, isa::Program prog);
 
-    /** Run to main-thread HALT (or the cycle limit). */
+    /**
+     * Run to main-thread HALT (or the cycle limit). One-shot: a
+     * second call throws PanicError instead of re-running on the
+     * dirty architectural/cache state of the first run — construct a
+     * fresh Simulator (or use runProgram / sim::Engine) per run.
+     */
     SimResult run();
 
     cpu::OooCore &core() { return *core_; }
@@ -87,6 +114,7 @@ class Simulator
 
   private:
     SimConfig config_;
+    bool ran_ = false;
     isa::Program prog_;
     mem::Hierarchy hierarchy_;
     std::unique_ptr<dtt::DttController> controller_;

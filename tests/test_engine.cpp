@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Parallel experiment engine tests: determinism across thread counts,
+ * within-batch dedup accounting, fingerprint sensitivity, JSON
+ * round-tripping of SimResults, exception propagation from workers,
+ * and the Simulator hardening that the engine relies on (one-shot
+ * run(), SimConfig::validate()).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sim/engine.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim::sim {
+namespace {
+
+workloads::WorkloadParams
+smallParams(std::uint64_t seed = 1)
+{
+    workloads::WorkloadParams p;
+    p.iterations = 2;
+    p.seed = seed;
+    return p;
+}
+
+SimJob
+makeJob(const std::string &name, workloads::Variant variant,
+        std::uint64_t seed = 1)
+{
+    SimJob job;
+    job.workload = name;
+    job.variant =
+        variant == workloads::Variant::Dtt ? "dtt" : "baseline";
+    job.config.enableDtt = variant == workloads::Variant::Dtt;
+    job.program = workloads::findWorkload(name).build(
+        variant, smallParams(seed));
+    return job;
+}
+
+std::vector<SimJob>
+mixedBatch()
+{
+    std::vector<SimJob> jobs;
+    for (const char *name : {"mcf", "art", "gcc"}) {
+        jobs.push_back(makeJob(name, workloads::Variant::Baseline));
+        jobs.push_back(makeJob(name, workloads::Variant::Dtt));
+    }
+    return jobs;
+}
+
+TEST(Engine, ResultsComeBackInSubmissionOrder)
+{
+    Engine engine(4);
+    std::vector<SimJob> jobs = mixedBatch();
+    std::vector<JobResult> results = engine.run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].workload, jobs[i].workload);
+        EXPECT_EQ(results[i].variant, jobs[i].variant);
+        EXPECT_EQ(results[i].digest, jobDigest(jobs[i]));
+        EXPECT_TRUE(results[i].result.halted);
+    }
+}
+
+TEST(Engine, DeterministicAcrossThreadCounts)
+{
+    std::vector<SimJob> jobs = mixedBatch();
+    std::vector<JobResult> serial = Engine(1).run(jobs);
+    std::vector<JobResult> parallel = Engine(8).run(jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // SimResult::operator== compares every counter; any
+        // scheduling-dependent behaviour would show up here.
+        EXPECT_EQ(serial[i].result, parallel[i].result)
+            << serial[i].workload << "/" << serial[i].variant;
+    }
+}
+
+TEST(Engine, DeduplicatesIdenticalJobsWithinBatch)
+{
+    Engine engine(4);
+    SimJob job = makeJob("mcf", workloads::Variant::Baseline);
+    SimJob relabeled = job;
+    relabeled.variant = "baseline again";  // labels are not hashed
+    std::vector<JobResult> results =
+        engine.run({job, relabeled, job});
+
+    EXPECT_EQ(engine.submitted(), 3u);
+    EXPECT_EQ(engine.executed(), 1u);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].deduplicated);
+    EXPECT_TRUE(results[1].deduplicated);
+    EXPECT_TRUE(results[2].deduplicated);
+    EXPECT_EQ(results[1].variant, "baseline again");
+    EXPECT_EQ(results[0].result, results[1].result);
+    EXPECT_EQ(results[0].result, results[2].result);
+}
+
+TEST(Engine, CountersAccumulateAcrossBatches)
+{
+    Engine engine(2);
+    SimJob job = makeJob("mcf", workloads::Variant::Baseline);
+    engine.run({job, job});
+    engine.run({job});  // dedup is per batch, so this runs again
+    EXPECT_EQ(engine.submitted(), 3u);
+    EXPECT_EQ(engine.executed(), 2u);
+}
+
+TEST(Engine, DigestDistinguishesConfigProgramAndCoRunners)
+{
+    SimJob job = makeJob("mcf", workloads::Variant::Baseline);
+    std::string base = jobDigest(job);
+    EXPECT_EQ(base.size(), 16u);
+
+    SimJob other_config = job;
+    other_config.config.core.robSize += 32;
+    EXPECT_NE(jobDigest(other_config), base);
+
+    SimJob other_program = makeJob("mcf", workloads::Variant::Baseline,
+                                   /*seed=*/2);
+    EXPECT_NE(jobDigest(other_program), base);
+
+    SimJob with_corunner = job;
+    with_corunner.coRunnerEntries.push_back(0);
+    EXPECT_NE(jobDigest(with_corunner), base);
+
+    SimJob relabeled = job;
+    relabeled.workload = "renamed";
+    relabeled.variant = "renamed";
+    EXPECT_EQ(jobDigest(relabeled), base);
+}
+
+TEST(Engine, WorkerExceptionsPropagate)
+{
+    Engine engine(2);
+    SimJob bad = makeJob("mcf", workloads::Variant::Baseline);
+    bad.config.maxCycles = 0;  // rejected by SimConfig::validate()
+    EXPECT_THROW(engine.run({bad}), FatalError);
+}
+
+TEST(EngineJson, SimResultRoundTripsExactly)
+{
+    SimJob job = makeJob("mcf", workloads::Variant::Dtt);
+    SimResult r = runProgram(job.config, job.program);
+    ASSERT_TRUE(r.halted);
+    json::Value doc =
+        json::Value::parse(resultToJson(r).dump(2));
+    EXPECT_EQ(resultFromJson(doc), r);
+}
+
+TEST(EngineJson, JobRecordCarriesSchemaFields)
+{
+    Engine engine(1);
+    std::vector<JobResult> results =
+        engine.run({makeJob("mcf", workloads::Variant::Baseline)});
+    json::Value rec = jobResultToJson(results[0]);
+    EXPECT_EQ(rec.get("workload").asString(), "mcf");
+    EXPECT_EQ(rec.get("variant").asString(), "baseline");
+    EXPECT_EQ(rec.get("config_digest").asString().size(), 16u);
+    EXPECT_FALSE(rec.get("deduplicated").asBool());
+    EXPECT_GE(rec.get("wall_seconds").asDouble(), 0.0);
+    EXPECT_EQ(resultFromJson(rec.get("result")), results[0].result);
+}
+
+TEST(SimulatorHardening, RunIsOneShot)
+{
+    isa::Program p = workloads::findWorkload("mcf").build(
+        workloads::Variant::Baseline, smallParams());
+    SimConfig cfg;
+    cfg.enableDtt = false;
+    Simulator s(cfg, p);
+    EXPECT_TRUE(s.run().halted);
+    EXPECT_THROW(s.run(), PanicError);
+}
+
+TEST(SimulatorHardening, ValidateAcceptsTheTable1Machine)
+{
+    EXPECT_TRUE(SimConfig{}.validate().empty());
+}
+
+TEST(SimulatorHardening, ValidateRejectsBadConfigs)
+{
+    SimConfig cfg;
+    cfg.maxCycles = 0;
+    cfg.dtt.threadQueueSize = 0;
+    cfg.mem.l1d.lineBytes = 48;  // not a power of two
+    std::vector<std::string> errors = cfg.validate();
+    EXPECT_GE(errors.size(), 3u);
+    std::string all;
+    for (const std::string &e : errors)
+        all += e + "\n";
+    // Each message names the offending field so it is actionable.
+    EXPECT_NE(all.find("maxCycles"), std::string::npos);
+    EXPECT_NE(all.find("lineBytes"), std::string::npos);
+    EXPECT_NE(all.find("threadQueueSize"), std::string::npos);
+}
+
+TEST(SimulatorHardening, ConstructorRejectsInvalidConfig)
+{
+    SimConfig cfg;
+    cfg.core.robSize = 0;
+    isa::Program p = workloads::findWorkload("mcf").build(
+        workloads::Variant::Baseline, smallParams());
+    EXPECT_THROW(Simulator(cfg, p), FatalError);
+    EXPECT_THROW(runProgram(cfg, p), FatalError);
+}
+
+} // namespace
+} // namespace dttsim::sim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bench-harness API tests: flag parsing against the declared set,
+ * workload-parameter plumbing, the Table-1 machine config, pair
+ * validity/speedup semantics (NaN for broken runs, skipped by the
+ * means), and the runPairs engine front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness.h"
+
+namespace dttsim::bench {
+namespace {
+
+Harness
+makeHarness(std::vector<const char *> argv,
+            HarnessSpec spec = {"test_bin", "harness under test"})
+{
+    argv.insert(argv.begin(), "test_bin");
+    return Harness(static_cast<int>(argv.size()), argv.data(),
+                   std::move(spec));
+}
+
+TEST(Harness, ParsesCommonAndWorkloadFlags)
+{
+    Harness h = makeHarness({"--jobs=3", "--seed=7", "--iters=4",
+                             "--scale=2", "--update-rate=0.25",
+                             "--workload=mcf"});
+    EXPECT_EQ(h.jobs(), 3);
+    workloads::WorkloadParams p = h.params();
+    EXPECT_EQ(p.seed, 7u);
+    EXPECT_EQ(p.iterations, 4);
+    EXPECT_EQ(p.scale, 2);
+    EXPECT_DOUBLE_EQ(p.updateRate, 0.25);
+    ASSERT_EQ(h.workloads().size(), 1u);
+    EXPECT_EQ(h.workloads()[0]->info().name, "mcf");
+}
+
+TEST(Harness, DefaultsToTheFullSuite)
+{
+    Harness h = makeHarness({});
+    EXPECT_EQ(h.workloads().size(),
+              workloads::allWorkloads().size());
+    EXPECT_GT(h.jobs(), 0);  // 0 resolves to hardware concurrency
+}
+
+TEST(Harness, ExtraFlagsAreAccepted)
+{
+    Harness h = makeHarness(
+        {"--top=5"},
+        {"test_bin", "with extras", true,
+         {{"top", "N", "extra flag"}}});
+    EXPECT_EQ(h.options().getInt("top", 3), 5);
+}
+
+TEST(Harness, MachineConfigMatchesTable1)
+{
+    sim::SimConfig dtt = Harness::machineConfig(true);
+    sim::SimConfig base = Harness::machineConfig(false);
+    EXPECT_TRUE(dtt.enableDtt);
+    EXPECT_FALSE(base.enableDtt);
+    EXPECT_TRUE(dtt.validate().empty());
+    EXPECT_TRUE(base.validate().empty());
+}
+
+TEST(Harness, MakeJobLabels)
+{
+    Harness h = makeHarness({"--iters=2"});
+    const workloads::Workload &mcf = workloads::findWorkload("mcf");
+    sim::SimJob dtt = h.makeJob(mcf, workloads::Variant::Dtt,
+                                h.params(),
+                                Harness::machineConfig(true));
+    EXPECT_EQ(dtt.workload, "mcf");
+    EXPECT_EQ(dtt.variant, "dtt");
+    sim::SimJob swept = h.makeJob(mcf, workloads::Variant::Dtt,
+                                  h.params(),
+                                  Harness::machineConfig(true),
+                                  "dtt tq=4");
+    EXPECT_EQ(swept.variant, "dtt tq=4");
+}
+
+TEST(Harness, RunPairsProducesValidSpeedups)
+{
+    Harness h = makeHarness({"--workload=mcf", "--iters=2",
+                             "--jobs=2"});
+    std::vector<Pair> pairs = h.runPairs(h.workloads(), h.params());
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_TRUE(pairs[0].valid());
+    EXPECT_TRUE(std::isfinite(pairs[0].speedup()));
+    EXPECT_GT(pairs[0].speedup(), 0.0);
+    EXPECT_EQ(h.finish(), 0);
+}
+
+TEST(Pair, InvalidRunsYieldNaNNotZeroDivision)
+{
+    Pair p;  // nothing ran: cycles are 0, halted is false
+    EXPECT_FALSE(p.valid());
+    EXPECT_TRUE(std::isnan(p.speedup()));
+
+    Pair timed_out;
+    timed_out.base.halted = true;
+    timed_out.base.cycles = 100;
+    timed_out.dtt.halted = true;
+    timed_out.dtt.cycles = 50;
+    timed_out.dtt.hitMaxCycles = true;
+    EXPECT_FALSE(timed_out.valid());
+    EXPECT_TRUE(std::isnan(timed_out.speedup()));
+
+    timed_out.dtt.hitMaxCycles = false;
+    EXPECT_TRUE(timed_out.valid());
+    EXPECT_DOUBLE_EQ(timed_out.speedup(), 2.0);
+}
+
+TEST(Pair, MeansSkipInvalidEntries)
+{
+    std::vector<double> vals{2.0, std::nan(""), 8.0};
+    EXPECT_DOUBLE_EQ(mean(vals), 5.0);
+    EXPECT_DOUBLE_EQ(geomean(vals), 4.0);
+    EXPECT_DOUBLE_EQ(mean({std::nan("")}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Pair, SpeedupCellRendersNaNAsNa)
+{
+    EXPECT_EQ(speedupCell(1.455), "1.46x");
+    EXPECT_EQ(speedupCell(std::nan("")), "n/a");
+}
+
+} // namespace
+} // namespace dttsim::bench

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * JSON document-model tests: construction, typed accessors, exact
+ * 64-bit integer round-trips (simulator counters must survive
+ * dump/parse bit-exactly), member-order stability, pretty-printing,
+ * string escaping, and parser error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace dttsim::json {
+namespace {
+
+TEST(Json, BuildsAndDumpsCompactDocuments)
+{
+    Value doc = Value::object();
+    doc.set("name", Value("mcf"));
+    doc.set("cycles", Value(std::uint64_t(145907)));
+    doc.set("valid", Value(true));
+    Value arr = Value::array();
+    arr.push(Value(1));
+    arr.push(Value(2));
+    doc.set("list", std::move(arr));
+    EXPECT_EQ(doc.dump(),
+              "{\"name\":\"mcf\",\"cycles\":145907,\"valid\":true,"
+              "\"list\":[1,2]}");
+}
+
+TEST(Json, MemberOrderIsInsertionOrder)
+{
+    Value doc = Value::object();
+    doc.set("z", Value(1));
+    doc.set("a", Value(2));
+    doc.set("z", Value(3));  // overwrite keeps the original slot
+    EXPECT_EQ(doc.dump(), "{\"z\":3,\"a\":2}");
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.members()[0].first, "z");
+}
+
+TEST(Json, Uint64RoundTripsExactly)
+{
+    const std::uint64_t big =
+        std::numeric_limits<std::uint64_t>::max();
+    Value doc = Value::object();
+    doc.set("v", Value(big));
+    Value parsed = Value::parse(doc.dump());
+    ASSERT_TRUE(parsed.get("v").isUint());
+    EXPECT_EQ(parsed.get("v").asUint(), big);
+}
+
+TEST(Json, SignedAndFloatingNumbers)
+{
+    Value parsed = Value::parse("{\"i\":-42,\"d\":0.5,\"e\":1e3}");
+    EXPECT_EQ(parsed.get("i").asInt(), -42);
+    EXPECT_FALSE(parsed.get("i").isUint());
+    EXPECT_DOUBLE_EQ(parsed.get("d").asDouble(), 0.5);
+    EXPECT_DOUBLE_EQ(parsed.get("e").asDouble(), 1000.0);
+    // Numeric accessors coerce across numeric types only.
+    EXPECT_DOUBLE_EQ(parsed.get("i").asDouble(), -42.0);
+}
+
+TEST(Json, DoubleRoundTripsExactly)
+{
+    const double v = 0.136993807421;
+    Value doc = Value::object();
+    doc.set("v", Value(v));
+    EXPECT_DOUBLE_EQ(Value::parse(doc.dump()).get("v").asDouble(), v);
+}
+
+TEST(Json, StringEscaping)
+{
+    Value doc = Value::object();
+    doc.set("s", Value("a\"b\\c\n\t"));
+    std::string text = doc.dump();
+    EXPECT_EQ(text, "{\"s\":\"a\\\"b\\\\c\\n\\t\"}");
+    EXPECT_EQ(Value::parse(text).get("s").asString(), "a\"b\\c\n\t");
+}
+
+TEST(Json, PrettyPrintIndents)
+{
+    Value doc = Value::object();
+    doc.set("a", Value(1));
+    EXPECT_EQ(doc.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, FindAndGetSemantics)
+{
+    Value doc = Value::object();
+    doc.set("present", Value(1));
+    EXPECT_NE(doc.find("present"), nullptr);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_THROW(doc.get("missing"), FatalError);
+    Value arr = Value::array();
+    arr.push(Value(1));
+    EXPECT_THROW(arr.at(1), FatalError);
+}
+
+TEST(Json, AccessorsRejectWrongTypes)
+{
+    Value v(std::string("text"));
+    EXPECT_THROW(v.asUint(), FatalError);
+    EXPECT_THROW(v.asBool(), FatalError);
+    EXPECT_THROW(Value(true).asString(), FatalError);
+    EXPECT_THROW(Value(-1).asUint(), FatalError);
+}
+
+TEST(Json, ParserRejectsMalformedDocuments)
+{
+    EXPECT_THROW(Value::parse(""), FatalError);
+    EXPECT_THROW(Value::parse("{"), FatalError);
+    EXPECT_THROW(Value::parse("{\"a\":}"), FatalError);
+    EXPECT_THROW(Value::parse("[1,]"), FatalError);
+    EXPECT_THROW(Value::parse("nul"), FatalError);
+    EXPECT_THROW(Value::parse("{} trailing"), FatalError);
+    EXPECT_THROW(Value::parse("\"unterminated"), FatalError);
+}
+
+TEST(Json, ParsesNullsAndNested)
+{
+    Value doc = Value::parse(
+        "{\"a\":null,\"b\":{\"c\":[true,false,null]}}");
+    EXPECT_TRUE(doc.get("a").isNull());
+    const Value &c = doc.get("b").get("c");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_TRUE(c.at(0).asBool());
+    EXPECT_FALSE(c.at(1).asBool());
+    EXPECT_TRUE(c.at(2).isNull());
+}
+
+} // namespace
+} // namespace dttsim::json

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Validator for the bench harness's --json structured-results files
+ * (schema v1, documented in docs/HARNESS.md). Checks the document
+ * shape, field types, digest format and cross-record consistency
+ * (identical digests must carry identical results — the dedup
+ * invariant), then re-parses every result record through
+ * sim::resultFromJson to prove the file round-trips.
+ *
+ *     check_results_json FILE...
+ *
+ * Exit codes: 0 every file valid, 1 validation failure, 2 usage or
+ * I/O error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "sim/engine.h"
+
+using namespace dttsim;
+
+namespace {
+
+int errorCount = 0;
+
+void
+complain(const std::string &file, const std::string &what)
+{
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), what.c_str());
+    ++errorCount;
+}
+
+bool
+isHexDigest(const std::string &s)
+{
+    if (s.size() != 16)
+        return false;
+    for (char c : s)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+void
+checkRecord(const std::string &file, std::size_t idx,
+            const json::Value &rec,
+            std::map<std::string, std::string> &byDigest)
+{
+    const std::string where = "record " + std::to_string(idx);
+    if (!rec.isObject()) {
+        complain(file, where + ": not an object");
+        return;
+    }
+    if (rec.get("workload").asString().empty())
+        complain(file, where + ": empty workload name");
+    if (rec.get("variant").asString().empty())
+        complain(file, where + ": empty variant label");
+
+    const std::string digest = rec.get("config_digest").asString();
+    if (!isHexDigest(digest))
+        complain(file, where + ": config_digest '" + digest
+                 + "' is not 16 lowercase hex digits");
+
+    rec.get("deduplicated").asBool();
+    double wall = rec.get("wall_seconds").asDouble();
+    if (!(std::isfinite(wall) && wall >= 0))
+        complain(file, where + ": wall_seconds is not a finite "
+                 "non-negative number");
+
+    // Round-trip the result payload; fatal() here means a missing or
+    // mistyped field.
+    sim::SimResult r = sim::resultFromJson(rec.get("result"));
+    if (r.totalCommitted != r.mainCommitted + r.dttCommitted)
+        complain(file, where + ": totalCommitted != mainCommitted + "
+                 "dttCommitted");
+    if (r.halted && r.cycles == 0)
+        complain(file, where + ": halted run reports zero cycles");
+    if (r.halted && r.hitMaxCycles)
+        complain(file, where + ": both halted and hitMaxCycles set");
+    if (!std::isfinite(r.ipc) || r.ipc < 0)
+        complain(file, where + ": ipc is not a finite non-negative "
+                 "number");
+
+    // The dedup invariant: one digest, one result.
+    std::string canon = sim::resultToJson(r).dump();
+    auto [it, inserted] = byDigest.emplace(digest, canon);
+    if (!inserted && it->second != canon)
+        complain(file, where + ": records with digest " + digest
+                 + " disagree on the simulation result");
+}
+
+void
+checkFile(const std::string &file)
+{
+    std::ifstream in(file);
+    if (!in) {
+        complain(file, "cannot open");
+        return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    json::Value doc = json::Value::parse(ss.str());
+    if (!doc.isObject()) {
+        complain(file, "top-level value is not an object");
+        return;
+    }
+    std::uint64_t version = doc.get("schema_version").asUint();
+    if (version != static_cast<std::uint64_t>(
+            sim::kResultsSchemaVersion)) {
+        complain(file, "schema_version " + std::to_string(version)
+                 + " != supported version "
+                 + std::to_string(sim::kResultsSchemaVersion));
+        return;
+    }
+    if (doc.get("binary").asString().empty())
+        complain(file, "empty binary name");
+    if (doc.get("jobs").asUint() < 1)
+        complain(file, "jobs must be >= 1");
+
+    const json::Value &records = doc.get("records");
+    if (!records.isArray()) {
+        complain(file, "'records' is not an array");
+        return;
+    }
+    std::map<std::string, std::string> byDigest;
+    for (std::size_t i = 0; i < records.size(); ++i)
+        checkRecord(file, i, records.at(i), byDigest);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: check_results_json FILE...\n"
+                     "validates --json results files against results "
+                     "schema v%d (docs/HARNESS.md)\n",
+                     sim::kResultsSchemaVersion);
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        try {
+            checkFile(argv[i]);
+        } catch (const FatalError &e) {
+            complain(argv[i], e.what());
+        }
+    }
+    if (errorCount > 0) {
+        std::fprintf(stderr, "check_results_json: %d error%s\n",
+                     errorCount, errorCount == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("check_results_json: %d file%s valid\n", argc - 1,
+                argc == 2 ? "" : "s");
+    return 0;
+}
