@@ -251,13 +251,14 @@ Harness::run(std::vector<sim::SimJob> jobs)
             continue;
         if (!jr.result.halted || jr.result.hitMaxCycles) {
             ++invalidJobs_;
-            warn("%s: job %s/%s %s (cycles=%llu); its metrics are "
-                 "flagged and excluded from suite means",
+            warn("%s: job %s/%s ended with %s (cycles=%llu)%s%s; its "
+                 "metrics are flagged and excluded from suite means",
                  spec_.binary.c_str(), jr.workload.c_str(),
                  jr.variant.c_str(),
-                 jr.result.hitMaxCycles ? "hit the cycle limit"
-                                        : "did not halt",
-                 static_cast<unsigned long long>(jr.result.cycles));
+                 haltReasonName(jr.result.haltReason),
+                 static_cast<unsigned long long>(jr.result.cycles),
+                 jr.result.haltDetail.empty() ? "" : ": ",
+                 jr.result.haltDetail.c_str());
         }
     }
     return results;

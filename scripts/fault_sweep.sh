@@ -1,0 +1,39 @@
+#!/bin/sh
+# Robustness sweep: run the fault-smoke test matrix (ctest label) and
+# then fig16_fault_degradation across several fault-plan seeds, with
+# every --json output validated against results schema v1. Exits
+# non-zero on any test failure, any archDigest divergence (fig16
+# returns 1 when a faulted run's memory image differs from the
+# fault-free one) or any schema violation.
+#
+# Usage: scripts/fault_sweep.sh [build-dir] [extra flags...]
+#   e.g. scripts/fault_sweep.sh build --scale=2 --jobs=8
+# Extra flags are passed to the fig16 binary (seeds are swept here).
+set -eu
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build}"
+if [ $# -gt 0 ]; then
+    shift
+fi
+
+if [ ! -x "$build/bench/fig16_fault_degradation" ]; then
+    echo "fault_sweep: $build/bench/fig16_fault_degradation not found" \
+         "(build first: cmake --build $build -j)" >&2
+    exit 2
+fi
+
+echo "== fault-smoke test matrix"
+ctest --test-dir "$build" -L fault-smoke --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)"
+
+outdir="$src/bench/out"
+mkdir -p "$outdir"
+for seed in 1 2 3; do
+    echo "== fig16_fault_degradation --fault-seed=$seed"
+    out="$outdir/fig16_fault_degradation.seed$seed.json"
+    "$build/bench/fig16_fault_degradation" --fault-seed="$seed" "$@" \
+        --json="$out" | tee "$outdir/fig16_fault_degradation.seed$seed.txt"
+    "$build/tools/check_results_json" "$out"
+done
+echo "fault_sweep: all seeds clean; outputs in $outdir"

@@ -34,7 +34,8 @@ for b in tab2_benchmarks tab3_trigger_advisor \
          fig4_silent_stores fig5_speedup fig6_insn_reduction \
          fig7_contexts fig8_tq_size fig9_ablation_silent \
          fig10_energy_proxy fig11_update_rate fig12_vs_reuse \
-         fig13_spawn_latency fig14_corunner fig15_prefetch; do
+         fig13_spawn_latency fig14_corunner fig15_prefetch \
+         fig16_fault_degradation; do
     echo "== $b"
     "$build/bench/$b" "$@" --json="$outdir/$b.json" \
         | tee "$outdir/$b.txt"

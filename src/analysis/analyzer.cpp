@@ -75,6 +75,8 @@ analyze(const isa::Program &prog, const AnalyzeOptions &opts)
                            dataflow.diagnostics().end());
     if (opts.lint)
         lintRedundantLoads(cfg, access, res.diagnostics);
+    if (opts.dropFallback)
+        checkDropFallback(cfg, res.diagnostics);
 
     judgeStores(cfg, chunks, access, facts, res.unsafeStores);
     sortDiagnostics(res.diagnostics);

@@ -21,6 +21,10 @@ namespace dttsim::analysis {
 struct AnalyzeOptions
 {
     bool lint = true;  ///< include advisory findings (A008)
+    /** Opt-in robustness check (A009): flag triggers with no TCHK
+     *  drop fallback. Off by default — programs targeting a Stall
+     *  machine legitimately skip the fallback idiom. */
+    bool dropFallback = false;
 };
 
 /** Everything the analyzer concluded about one program. */

@@ -30,6 +30,11 @@ const DiagInfo kCatalogue[] = {
     {"A008", "redundant-load", Severity::Lint,
      "reloads an address no intervening instruction can have changed"
      " (the static analogue of the paper's redundant-load metric)"},
+    {"A009", "no-drop-fallback", Severity::Warning,
+     "correctness depends on the triggered thread always firing: on a"
+     " Drop-class machine (or under fault injection) a lost firing is"
+     " only recoverable through the TCHK-bit62 -> recompute -> TCLR"
+     " fallback idiom, and this program never reads TCHK"},
 };
 
 static_assert(sizeof(kCatalogue) / sizeof(kCatalogue[0]) ==

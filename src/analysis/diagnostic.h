@@ -27,6 +27,7 @@ enum class DiagId : std::uint8_t {
     RacyTriggerWrite,      ///< A006: unfenced read of handler output
     FallOffEnd,            ///< A007: execution can run off the text end
     RedundantLoad,         ///< A008: statically redundant load (lint)
+    DropFallbackMissing,   ///< A009: TWAIT with no TCHK drop fallback
 
     NumDiagIds,
 };

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "analysis/dataflow.h"
+#include "common/log.h"
 #include "isa/opcodes.h"
 
 namespace dttsim::analysis {
@@ -506,6 +507,47 @@ lintRedundantLoads(const Cfg &cfg, const AccessMap &access,
                         ? live.erase(i) : std::next(i);
             }
         }
+    }
+}
+
+void
+checkDropFallback(const Cfg &cfg, std::vector<Diagnostic> &out)
+{
+    // A trigger whose results the program waits for (TWAIT) but whose
+    // overflow flag it never inspects (no TCHK anywhere) silently
+    // loses work when a firing is dropped: TWAIT is satisfied — the
+    // dropped firing is not pending — yet the handler never ran.
+    struct Facts
+    {
+        bool fires = false;
+        bool checked = false;
+        std::uint64_t firstTwait = kNoPc;
+    };
+    std::map<TriggerId, Facts> byTrigger;
+    const auto &text = cfg.program().text();
+    for (std::uint64_t pc = 0; pc < text.size(); ++pc) {
+        const Inst &inst = text[pc];
+        if (isa::isTStore(inst.op)) {
+            byTrigger[inst.trig].fires = true;
+        } else if (inst.op == Opcode::TCHK) {
+            byTrigger[inst.trig].checked = true;
+        } else if (inst.op == Opcode::TWAIT) {
+            Facts &f = byTrigger[inst.trig];
+            if (f.firstTwait == kNoPc)
+                f.firstTwait = pc;
+        }
+    }
+    for (const auto &[trig, f] : byTrigger) {
+        if (!f.fires || f.checked || f.firstTwait == kNoPc)
+            continue;
+        out.push_back(make(
+            DiagId::DropFallbackMissing, f.firstTwait,
+            strfmt("trigger %d is fired and fenced but its overflow "
+                   "flag is never read: a firing lost to a Drop-class "
+                   "queue policy or fault injection goes unnoticed; "
+                   "add a TCHK bit-62 check with an inline recompute "
+                   "fallback (then TCLR) after this twait",
+                   trig)));
     }
 }
 

@@ -33,4 +33,38 @@ inline constexpr CtxId invalidCtx = -1;
 /** Sentinel for "no trigger attached". */
 inline constexpr TriggerId invalidTrigger = -1;
 
+/**
+ * Why a simulation stopped. Structured so harness tables, the JSON
+ * schema and scripts can tell a clean finish from a hang without
+ * parsing free text:
+ *  - Halted: the main thread committed HALT (the only success);
+ *  - CycleLimit: the run burned its maxCycles budget while still
+ *    committing (e.g. an infinite loop);
+ *  - Deadlock: the forward-progress watchdog saw no commit on any
+ *    context for a full window (livelock/starvation);
+ *  - Diverged: a differential check found the architectural state
+ *    differs from the golden run (set by sim::DiffChecker, never by
+ *    the core itself).
+ */
+enum class HaltReason : std::uint8_t {
+    Halted,
+    CycleLimit,
+    Deadlock,
+    Diverged,
+};
+
+/** Stable short name ("halted"/"cycle-limit"/"deadlock"/"diverged"),
+ *  used by reports and the JSON results schema. */
+constexpr const char *
+haltReasonName(HaltReason r)
+{
+    switch (r) {
+      case HaltReason::Halted: return "halted";
+      case HaltReason::CycleLimit: return "cycle-limit";
+      case HaltReason::Deadlock: return "deadlock";
+      case HaltReason::Diverged: return "diverged";
+    }
+    return "?";
+}
+
 } // namespace dttsim

@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include "common/log.h"
+#include "sim/faultplan.h"
 
 namespace dttsim::dtt {
 
@@ -20,6 +21,13 @@ DttController::DttController(const DttConfig &config, int num_contexts)
     stats_.counter("spawns");
     stats_.counter("staleDiscards");
     stats_.counter("unregisteredFirings");
+    // Degradation-policy and fault-injection accounting.
+    stats_.counter("evictedOldest");
+    stats_.counter("stallBoundedDrops");
+    stats_.counter("faultDropped");
+    stats_.counter("faultEvicted");
+    stats_.counter("faultCoalesced");
+    stats_.counter("faultSquashRequeues");
 }
 
 void
@@ -57,21 +65,99 @@ DttController::onTstoreCommit(TriggerId t, Addr addr,
         return TstoreOutcome::Silent;
     }
 
+    if (plan_ != nullptr) {
+        // Lossy fault: discard the firing as if the queue had
+        // rejected it — the sticky overflow flag is the only record,
+        // exactly what the software fallback idiom recovers from.
+        if (plan_->inject(sim::FaultSite::DropFiring)) {
+            status_.of(t).overflowed = true;
+            consecutiveStalls_ = 0;
+            ++stats_.counter("dropped");
+            ++stats_.counter("faultDropped");
+            return TstoreOutcome::Dropped;
+        }
+        // Transparent fault: coalesce a duplicate (trigger, address)
+        // firing even when the machine config disabled coalescing.
+        // Safe for idempotent handlers; an opportunity exists only
+        // when a duplicate is actually pending.
+        if (plan_->armed(sim::FaultSite::SpuriousCoalesce)
+            && queue_.hasDuplicate(t, addr)
+            && plan_->inject(sim::FaultSite::SpuriousCoalesce)) {
+            queue_.forceCoalesce(PendingThread{t, addr, value});
+            consecutiveStalls_ = 0;
+            ++stats_.counter("coalesced");
+            ++stats_.counter("faultCoalesced");
+            return TstoreOutcome::Coalesced;
+        }
+    }
+
     switch (queue_.push(PendingThread{t, addr, value})) {
       case EnqueueResult::Enqueued:
+        consecutiveStalls_ = 0;
         ++stats_.counter("fired");
+        // Lossy fault: a queue-management bug evicts the oldest
+        // pending entry right after the new one lands.
+        if (plan_ != nullptr && queue_.size() >= 2
+            && plan_->inject(sim::FaultSite::EvictPending)) {
+            PendingThread victim = queue_.evictOldest();
+            status_.of(victim.trig).overflowed = true;
+            ++stats_.counter("dropped");
+            ++stats_.counter("faultEvicted");
+        }
         return TstoreOutcome::Fired;
       case EnqueueResult::Coalesced:
+        consecutiveStalls_ = 0;
         ++stats_.counter("coalesced");
         return TstoreOutcome::Coalesced;
       case EnqueueResult::Full:
-        if (config_.fullPolicy == FullQueuePolicy::Stall) {
+        return onQueueFull(t, addr, value);
+    }
+    panic("unreachable");
+}
+
+TstoreOutcome
+DttController::onQueueFull(TriggerId t, Addr addr, std::uint64_t value)
+{
+    switch (config_.fullPolicy) {
+      case FullQueuePolicy::Stall:
+        ++stats_.counter("stallEvents");
+        return TstoreOutcome::Stall;
+
+      case FullQueuePolicy::StallBounded:
+        if (consecutiveStalls_ < config_.stallBound) {
+            ++consecutiveStalls_;
             ++stats_.counter("stallEvents");
             return TstoreOutcome::Stall;
         }
+        // Bound exhausted: degrade to Drop so a machine with no free
+        // context cannot livelock on a saturated queue.
+        consecutiveStalls_ = 0;
+        ++stats_.counter("stallBoundedDrops");
         status_.of(t).overflowed = true;
         ++stats_.counter("dropped");
         return TstoreOutcome::Dropped;
+
+      case FullQueuePolicy::Drop:
+        consecutiveStalls_ = 0;
+        status_.of(t).overflowed = true;
+        ++stats_.counter("dropped");
+        return TstoreOutcome::Dropped;
+
+      case FullQueuePolicy::DropOldest: {
+        consecutiveStalls_ = 0;
+        PendingThread victim = queue_.evictOldest();
+        status_.of(victim.trig).overflowed = true;
+        ++stats_.counter("dropped");
+        ++stats_.counter("evictedOldest");
+        // The freed slot takes the new firing. push() cannot coalesce
+        // here — a duplicate would have coalesced before Full — and
+        // cannot be Full again.
+        if (queue_.push(PendingThread{t, addr, value})
+            != EnqueueResult::Enqueued)
+            panic("DropOldest: enqueue failed after eviction");
+        ++stats_.counter("fired");
+        return TstoreOutcome::Fired;
+      }
     }
     panic("unreachable");
 }
@@ -144,6 +230,20 @@ void
 DttController::onSpawned(TriggerId t, CtxId ctx)
 {
     status_.markRunning(t, ctx);
+}
+
+void
+DttController::onThreadSquashed(CtxId ctx, Addr addr,
+                                std::uint64_t value)
+{
+    TriggerId t = status_.markDone(ctx);
+    if (!registry_.lookup(t).valid) {
+        // Unregistered since the spawn: the firing is moot.
+        ++stats_.counter("staleDiscards");
+        return;
+    }
+    queue_.unpop(PendingThread{t, addr, value});
+    ++stats_.counter("faultSquashRequeues");
 }
 
 } // namespace dttsim::dtt

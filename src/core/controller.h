@@ -26,6 +26,10 @@
 #include "core/registry.h"
 #include "core/status.h"
 
+namespace dttsim::sim {
+class FaultPlan;
+} // namespace dttsim::sim
+
 namespace dttsim::dtt {
 
 /** Commit-time outcome of a triggering store. */
@@ -104,6 +108,20 @@ class DttController
     /** The core placed the spawned thread on @p ctx. */
     void onSpawned(TriggerId t, CtxId ctx);
 
+    /**
+     * A fault squashed the in-flight thread on @p ctx before TRET.
+     * Marks the context done and re-queues the thread's (addr, value)
+     * work item so no firing is lost. The core has already rolled
+     * back the squashed run's stores (its discarded store buffer),
+     * so the re-run starts from the memory state the original spawn
+     * saw — handlers need not be idempotent under partial execution.
+     */
+    void onThreadSquashed(CtxId ctx, Addr addr, std::uint64_t value);
+
+    // ----- fault injection --------------------------------------------
+    /** Attach the simulation's fault plan (null: no injection). */
+    void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
     // ----- introspection ----------------------------------------------
     const ThreadQueue &queue() const { return queue_; }
     const ThreadRegistry &registry() const { return registry_; }
@@ -114,11 +132,18 @@ class DttController
     const StatGroup &stats() const { return stats_; }
 
   private:
+    /** Full-queue degradation policy dispatch (onTstoreCommit). */
+    TstoreOutcome onQueueFull(TriggerId t, Addr addr,
+                              std::uint64_t value);
+
     DttConfig config_;
     ThreadRegistry registry_;
     ThreadQueue queue_;
     ThreadStatusTable status_;
     StatGroup stats_;
+    sim::FaultPlan *plan_ = nullptr;
+    /** StallBounded: consecutive Stall outcomes so far. */
+    int consecutiveStalls_ = 0;
 };
 
 } // namespace dttsim::dtt

@@ -11,18 +11,49 @@
 
 namespace dttsim::dtt {
 
-/** What a committing triggering store does when the thread queue is
- *  full. */
+/**
+ * What a committing triggering store does when the thread queue is
+ * full. Stall is lossless but can livelock a machine with no spare
+ * context to drain the queue (SimConfig::warnings flags that
+ * combination); the Drop-class policies degrade gracefully but lose
+ * a firing, which is recoverable only by programs using the software
+ * fallback idiom (TCHK bit 62 -> inline recompute -> TCLR).
+ */
 enum class FullQueuePolicy {
     /** Stall the store's commit until a queue slot frees up. */
     Stall,
     /**
-     * Drop the trigger and set the trigger's sticky overflow flag;
-     * software checks it with TCHK after TWAIT and falls back to the
-     * inline recomputation path, clearing the flag with TCLR.
+     * Drop the *new* trigger and set the trigger's sticky overflow
+     * flag; software checks it with TCHK after TWAIT and falls back
+     * to the inline recomputation path, clearing the flag with TCLR.
      */
     Drop,
+    /**
+     * Evict the *oldest* pending entry (setting its trigger's
+     * overflow flag) and enqueue the new firing — fresher work is
+     * likelier to still matter by the time a context frees up.
+     */
+    DropOldest,
+    /**
+     * Stall like Stall, but only for stallBound consecutive
+     * commit-retry cycles; then fall back to Drop so a machine with
+     * no free context cannot livelock on a saturated queue.
+     */
+    StallBounded,
 };
+
+/** Stable policy name for tables and messages. */
+constexpr const char *
+fullQueuePolicyName(FullQueuePolicy p)
+{
+    switch (p) {
+      case FullQueuePolicy::Stall: return "stall";
+      case FullQueuePolicy::Drop: return "drop";
+      case FullQueuePolicy::DropOldest: return "drop-oldest";
+      case FullQueuePolicy::StallBounded: return "stall-bounded";
+    }
+    return "?";
+}
 
 /** DTT hardware parameters. */
 struct DttConfig
@@ -34,6 +65,10 @@ struct DttConfig
     int threadQueueSize = 16;
 
     FullQueuePolicy fullPolicy = FullQueuePolicy::Stall;
+
+    /** StallBounded only: consecutive stalled commit attempts allowed
+     *  before the policy gives up and drops the firing. */
+    int stallBound = 1024;
 
     /**
      * Suppress triggers whose store does not change the value (silent

@@ -15,6 +15,8 @@ ThreadQueue::ThreadQueue(int capacity, bool coalesce)
     stats_.counter("rejects");
     stats_.counter("dequeues");
     stats_.counter("maxOccupancy");
+    stats_.counter("evictions");
+    stats_.counter("unpops");
 }
 
 EnqueueResult
@@ -49,6 +51,64 @@ ThreadQueue::pendingFor(TriggerId t) const
 {
     auto idx = static_cast<std::size_t>(t);
     return idx < perTrigger_.size() ? perTrigger_[idx] : 0;
+}
+
+bool
+ThreadQueue::hasDuplicate(TriggerId t, Addr addr) const
+{
+    for (const auto &e : entries_)
+        if (e.trig == t && e.addr == addr)
+            return true;
+    return false;
+}
+
+void
+ThreadQueue::forceCoalesce(const PendingThread &t)
+{
+    for (auto &e : entries_) {
+        if (e.trig == t.trig && e.addr == t.addr) {
+            e.value = t.value;  // newest value wins
+            ++stats_.counter("coalesces");
+            return;
+        }
+    }
+    panic("forceCoalesce: no pending duplicate for trigger %d", t.trig);
+}
+
+PendingThread
+ThreadQueue::evictOldest()
+{
+    if (entries_.empty())
+        panic("evictOldest from empty thread queue");
+    PendingThread t = entries_.front();
+    entries_.pop_front();
+    --perTrigger_[static_cast<std::size_t>(t.trig)];
+    ++stats_.counter("evictions");
+    return t;
+}
+
+void
+ThreadQueue::unpop(const PendingThread &t)
+{
+    if (coalesce_) {
+        for (auto &e : entries_) {
+            if (e.trig == t.trig && e.addr == t.addr) {
+                // A newer firing for the same datum subsumes the
+                // squashed one (the handler is an idempotent function
+                // of current memory state).
+                ++stats_.counter("coalesces");
+                return;
+            }
+        }
+    }
+    entries_.push_front(t);
+    if (static_cast<std::size_t>(t.trig) >= perTrigger_.size())
+        perTrigger_.resize(static_cast<std::size_t>(t.trig) + 1, 0);
+    ++perTrigger_[static_cast<std::size_t>(t.trig)];
+    ++stats_.counter("unpops");
+    auto &max_occ = stats_.counter("maxOccupancy");
+    if (entries_.size() > max_occ.value())
+        max_occ += entries_.size() - max_occ.value();
 }
 
 PendingThread

@@ -52,6 +52,33 @@ class ThreadQueue
     /** Pending entries for one trigger (O(1)). */
     int pendingFor(TriggerId t) const;
 
+    /** A pending entry with the same (trigger, address) exists. */
+    bool hasDuplicate(TriggerId t, Addr addr) const;
+
+    /**
+     * Coalesce @p t into its pending duplicate regardless of the
+     * configured coalesce mode (the SpuriousCoalesce fault site).
+     * @pre hasDuplicate(t.trig, t.addr).
+     */
+    void forceCoalesce(const PendingThread &t);
+
+    /**
+     * Remove and return the oldest entry. @pre !empty(). Used by the
+     * DropOldest degradation policy and the EvictPending fault site;
+     * the caller owns the consequences (sticky overflow flag).
+     */
+    PendingThread evictOldest();
+
+    /**
+     * Re-insert a previously dequeued entry at the front ("un-pop"),
+     * used when a fault squashes an in-flight thread and its work
+     * item must go back. Coalesces into a matching pending duplicate
+     * when the coalesce mode allows; otherwise inserts even past
+     * capacity — the entry held a slot when it was dequeued, so
+     * re-insertion reclaims it rather than losing the work.
+     */
+    void unpop(const PendingThread &t);
+
     /** Remove and return the oldest entry. @pre !empty(). */
     PendingThread pop();
 

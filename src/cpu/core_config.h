@@ -8,6 +8,7 @@
  * approximate the era's 4-context SMT research configurations.
  */
 
+#include "common/types.h"
 #include "cpu/bpred.h"
 
 namespace dttsim::cpu {
@@ -54,6 +55,17 @@ struct CoreConfig
     /** Extra redirect cycles after a mispredicted branch resolves
      *  (refill is additionally paid through frontendDepth). */
     int mispredictPenalty = 3;
+
+    /**
+     * Forward-progress watchdog: when no context commits for this
+     * many consecutive cycles the run stops with HaltReason::Deadlock
+     * (and a per-context state dump) instead of burning the rest of
+     * the maxCycles budget. 0 disables the watchdog. The default sits
+     * orders of magnitude above any legitimate no-commit window
+     * (DRAM-latency chains, spawn initialization, I-cache refills are
+     * all worth hundreds of cycles at most).
+     */
+    Cycle watchdogWindow = 100000;
 
     /**
      * Hardware instruction reuse (Sodani/Sohi-style) — the

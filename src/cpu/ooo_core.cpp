@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "isa/disasm.h"
 #include "isa/operands.h"
+#include "sim/faultplan.h"
 
 namespace dttsim::cpu {
 
@@ -102,6 +103,8 @@ OooCore::OooCore(const CoreConfig &config, const isa::Program &prog,
     stats_.counter("spawns");
     stats_.counter("reusedInsts");
     stats_.counter("coRunnerCommitted");
+    stats_.counter("faultDeniedSpawnCycles");
+    stats_.counter("faultSquashedThreads");
 }
 
 const ArchState &
@@ -440,6 +443,15 @@ OooCore::doSpawn()
 {
     if (controller_ == nullptr)
         return;
+    // Transparent fault: the spawn arbiter denies every context
+    // allocation this cycle; pending threads just wait a cycle
+    // longer. At rate 1.0 this starves the queue outright (the
+    // watchdog's Deadlock case).
+    if (plan_ != nullptr && !controller_->queue().empty()
+        && plan_->inject(sim::FaultSite::DenySpawn)) {
+        ++stats_.counter("faultDeniedSpawnCycles");
+        return;
+    }
     for (int ctx = 1; ctx < config_.numContexts; ++ctx) {
         CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
         if (c.active || c.isCoRunner)
@@ -460,6 +472,17 @@ OooCore::doSpawn()
                   nullptr);
         bpred_.resetContext(ctx);
         controller_->onSpawned(req.trig, ctx);
+        // Remember the work item so a fault squash can requeue it.
+        c.spawnTrig = req.trig;
+        c.spawnAddr = req.addr;
+        c.spawnValue = req.value;
+        c.squashArmed = false;
+        c.undoLog.clear();
+        if (plan_ != nullptr
+            && plan_->inject(sim::FaultSite::SquashThread)) {
+            c.squashArmed = true;
+            c.squashAt = c.fetchReady + plan_->squashDelay();
+        }
         if (trace_ != nullptr)
             std::fprintf(trace_,
                          "%8llu SPW c%d trigger %d entry %llu"
@@ -574,6 +597,14 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
                 ++stats_.counter("reusedInsts");
         }
 
+        // A squash-armed thread journals its stores' pre-images so
+        // the squash can discard them like an uncommitted store
+        // buffer (execution is functional at fetch, so the writes
+        // are already in memory by now).
+        if (c.squashArmed && info.mem.valid && !info.mem.isLoad)
+            c.undoLog.push_back(StoreUndo{
+                info.mem.addr, info.mem.size, info.mem.oldValue});
+
         if (info.isTstore && controller_)
             controller_->onTstoreFetched(inst.trig);
 
@@ -611,8 +642,83 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
 }
 
 void
+OooCore::applyFaultSquashes()
+{
+    for (int ctx = 1; ctx < config_.numContexts; ++ctx) {
+        CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+        if (!c.squashArmed || now_ < c.squashAt)
+            continue;
+        c.squashArmed = false;
+        if (!c.active || c.isCoRunner) {
+            // Thread retired before the squash landed: its writes
+            // are architecturally committed, keep them.
+            c.undoLog.clear();
+            continue;
+        }
+        squashContext(static_cast<CtxId>(ctx));
+    }
+}
+
+void
+OooCore::squashContext(CtxId ctx)
+{
+    CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+    // Discard the thread's store buffer: roll its writes back in
+    // reverse order so the re-run starts from the memory state the
+    // original spawn saw. Without this, a partially executed
+    // non-idempotent handler (e.g. ammp's delta-maintained stripe
+    // accumulators) corrupts state the re-run cannot repair.
+    for (auto it = c.undoLog.rbegin(); it != c.undoLog.rend(); ++it)
+        memory_.write(it->addr, it->size, it->oldValue);
+    c.undoLog.clear();
+    // Balance the fetch-time inflight count of every uncommitted
+    // triggering store, or TWAIT would wait on it forever. This
+    // covers a commit-stalled tstore at the ROB head too.
+    if (controller_ != nullptr) {
+        for (const DynInst &di : c.frontend)
+            if (di.info.isTstore)
+                controller_->onTstoreDone(di.info.inst.trig);
+        for (const DynInst &di : c.rob)
+            if (di.info.isTstore)
+                controller_->onTstoreDone(di.info.inst.trig);
+    }
+    // Purge the context's instructions from the shared structures
+    // before clearing the deques that own them. Dependence edges
+    // never cross contexts (lastWriter is per-context), so no stale
+    // consumer pointer can survive in another context.
+    std::erase_if(iq_, [ctx](DynInst *d) { return d->ctx == ctx; });
+    for (auto &slot : wheel_)
+        std::erase_if(slot,
+                      [ctx](DynInst *d) { return d->ctx == ctx; });
+    robUsed_ -= c.robUsed;
+    iqUsed_ -= c.iqUsed;
+    lqUsed_ -= c.lqUsed;
+    sqUsed_ -= c.sqUsed;
+    c.robUsed = c.iqUsed = c.lqUsed = c.sqUsed = 0;
+    c.frontend.clear();
+    c.rob.clear();
+    std::fill(&c.lastWriter[0][0], &c.lastWriter[0][0] + 64, nullptr);
+    c.active = false;
+    c.fetchStopped = false;
+    c.fetchBlockedOnBranch = false;
+    c.twaitBlocked = false;
+    c.curFetchLine = ~0ull;
+    if (trace_ != nullptr)
+        std::fprintf(trace_, "%8llu SQU c%d trigger %d (fault)\n",
+                     static_cast<unsigned long long>(now_), ctx,
+                     c.spawnTrig);
+    ++stats_.counter("faultSquashedThreads");
+    if (controller_ != nullptr)
+        controller_->onThreadSquashed(ctx, c.spawnAddr, c.spawnValue);
+}
+
+void
 OooCore::tick()
 {
+    if (plan_ != nullptr) {
+        plan_->onCycle(now_);
+        applyFaultSquashes();
+    }
     std::fill(std::begin(fuUsed_), std::end(fuUsed_), 0);
     doComplete();
     doCommit();
@@ -625,7 +731,12 @@ OooCore::tick()
     ++now_;
     ++stats_.counter("cycles");
 
-    if (now_ - lastCommit_ > kWatchdog) {
+    // Forward-progress watchdog: convert a silent livelock (e.g. a
+    // commit-stalled tstore on a Stall-policy machine with no context
+    // free to drain the queue) into a structured Deadlock halt with a
+    // per-context state dump instead of burning the maxCycles budget.
+    if (config_.watchdogWindow > 0 && !deadlocked_
+        && now_ - lastCommit_ > config_.watchdogWindow) {
         std::string state;
         for (int ctx = 0; ctx < config_.numContexts; ++ctx) {
             const CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
@@ -636,16 +747,18 @@ OooCore::tick()
                 c.rob.size(), c.frontend.size(),
                 c.twaitBlocked ? 1 : 0);
         }
-        panic("no commit for %llu cycles at cycle %llu:%s",
-              static_cast<unsigned long long>(kWatchdog),
-              static_cast<unsigned long long>(now_), state.c_str());
+        deadlocked_ = true;
+        deadlockDetail_ = strfmt(
+            "no commit for %llu cycles at cycle %llu:%s",
+            static_cast<unsigned long long>(config_.watchdogWindow),
+            static_cast<unsigned long long>(now_), state.c_str());
     }
 }
 
 CoreRunResult
 OooCore::run(Cycle max_cycles)
 {
-    while (!halted_ && now_ < max_cycles)
+    while (!halted_ && !deadlocked_ && now_ < max_cycles)
         tick();
 
     CoreRunResult r;
@@ -654,7 +767,10 @@ OooCore::run(Cycle max_cycles)
     r.dttCommitted = dttCommitted_;
     r.dttSpawns = dttSpawns_;
     r.halted = halted_;
-    r.hitMaxCycles = !halted_;
+    r.hitMaxCycles = !halted_ && !deadlocked_;
+    r.reason = halted_ ? HaltReason::Halted
+        : deadlocked_ ? HaltReason::Deadlock : HaltReason::CycleLimit;
+    r.detail = deadlockDetail_;
     return r;
 }
 

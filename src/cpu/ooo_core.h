@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include <memory>
@@ -38,6 +39,10 @@
 #include "isa/program.h"
 #include "mem/hierarchy.h"
 #include "mem/memory.h"
+
+namespace dttsim::sim {
+class FaultPlan;
+} // namespace dttsim::sim
 
 namespace dttsim::cpu {
 
@@ -74,6 +79,9 @@ struct CoreRunResult
     std::uint64_t dttSpawns = 0;
     bool halted = false;   ///< main thread reached HALT
     bool hitMaxCycles = false;
+    HaltReason reason = HaltReason::CycleLimit;
+    /** Per-context state dump when reason == Deadlock. */
+    std::string detail;
 };
 
 /** The SMT out-of-order timing core. */
@@ -126,7 +134,20 @@ class OooCore
     std::uint64_t mainCommitted() const { return mainCommitted_; }
     std::uint64_t dttCommitted() const { return dttCommitted_; }
 
+    /** Attach the simulation's fault plan (null: no injection). */
+    void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
   private:
+    /** One pre-store memory value, for rolling back a squashed
+     *  thread's writes (execute-at-fetch makes stores visible early;
+     *  a real squash discards the uncommitted store buffer). */
+    struct StoreUndo
+    {
+        Addr addr = 0;
+        int size = 0;
+        std::uint64_t oldValue = 0;
+    };
+
     struct CtxState
     {
         bool active = false;
@@ -148,6 +169,17 @@ class OooCore
         int iqUsed = 0;
         int lqUsed = 0;
         int sqUsed = 0;
+        // Spawn provenance + pending fault squash (fault injection).
+        TriggerId spawnTrig = invalidTrigger;
+        Addr spawnAddr = 0;
+        std::uint64_t spawnValue = 0;
+        bool squashArmed = false;
+        Cycle squashAt = 0;
+        /** Stores executed while squashArmed, in program order;
+         *  replayed backwards on squash so partial handler runs
+         *  leave no trace (handlers need not be idempotent under
+         *  partial execution — e.g. delta-maintained accumulators). */
+        std::vector<StoreUndo> undoLog;
     };
 
     void traceEvent(const char *stage, const DynInst &di,
@@ -158,6 +190,13 @@ class OooCore
     void doDispatch();
     void doSpawn();
     void doFetch();
+    /** Execute fault squashes whose delay elapsed this cycle. */
+    void applyFaultSquashes();
+    /** Kill the DTT thread on @p ctx mid-flight: roll back its
+     *  journaled stores (the discarded store buffer), purge its
+     *  instructions, and requeue its work item with the controller
+     *  so the handler re-runs from the pre-spawn memory state. */
+    void squashContext(CtxId ctx);
     void fetchFrom(CtxId ctx, int &budget);
     int icount(const CtxState &c) const;
     /** Per-context allocation ceiling for a shared queue. */
@@ -212,8 +251,9 @@ class OooCore
     std::uint64_t dttCommitted_ = 0;
     std::uint64_t dttSpawns_ = 0;
     StatGroup stats_;
-
-    static constexpr Cycle kWatchdog = 1000000;
+    sim::FaultPlan *plan_ = nullptr;
+    bool deadlocked_ = false;
+    std::string deadlockDetail_;
 };
 
 } // namespace dttsim::cpu

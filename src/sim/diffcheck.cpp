@@ -1,0 +1,161 @@
+#include "sim/diffcheck.h"
+
+#include "common/log.h"
+#include "sim/engine.h"
+
+namespace dttsim::sim {
+
+namespace {
+
+/** Name of the greatest data symbol at or below @p addr (the data
+ *  object a divergent byte belongs to), or "?" outside all symbols. */
+std::string
+enclosingSymbol(const isa::Program &prog, Addr addr)
+{
+    std::string best = "?";
+    Addr bestBase = 0;
+    for (const auto &[name, base] : prog.dataSymbols()) {
+        if (base <= addr && (best == "?" || base >= bestBase)) {
+            best = name;
+            bestBase = base;
+        }
+    }
+    return best;
+}
+
+/** Describe the last fault injected before the divergence showed. */
+std::string
+lastFaultDescription(const Simulator &sim)
+{
+    const FaultPlan *plan = sim.faultPlan();
+    if (plan == nullptr || plan->trace().empty())
+        return "no fault was injected";
+    const FaultEvent &e = plan->trace().back();
+    return strfmt("last injected fault: %s #%llu at cycle %llu",
+                  faultSiteName(e.site),
+                  static_cast<unsigned long long>(e.index),
+                  static_cast<unsigned long long>(e.cycle));
+}
+
+} // namespace
+
+const DiffChecker::Golden &
+DiffChecker::goldenFor(const SimConfig &config,
+                       const isa::Program &program)
+{
+    SimConfig clean = config;
+    clean.fault = FaultConfig{};
+
+    SimJob job;
+    job.config = clean;
+    job.program = program;
+    const std::string digest = jobDigest(job);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(digest);
+        if (it != cache_.end())
+            return it->second;
+    }
+
+    // Run outside the lock: goldens for different machines may be
+    // produced concurrently. A racing duplicate run is wasted work
+    // but harmless — the simulator is deterministic, so both compute
+    // the same golden.
+    Simulator sim(clean, program);
+    Golden g;
+    g.result = sim.run();
+    if (!g.result.halted)
+        fatal("differential check: the fault-free golden run did not "
+              "halt (%s)%s%s — fix the program or the machine config "
+              "before injecting faults",
+              haltReasonName(g.result.haltReason),
+              g.result.haltDetail.empty() ? "" : ": ",
+              g.result.haltDetail.c_str());
+    for (Addr a = isa::kDataBase; a < program.dataEnd(); ++a)
+        g.image.push_back(sim.core().memory().read8(a));
+    const cpu::ArchState &arch = sim.core().archState(0);
+    for (int i = 1; i < 32; ++i)
+        g.xregs.push_back(arch.getX(i));
+    for (int i = 0; i < 32; ++i)
+        g.fregs.push_back(arch.getF(i));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++goldenRuns_;
+    return cache_.emplace(digest, std::move(g)).first->second;
+}
+
+DiffReport
+DiffChecker::check(const SimConfig &config, const isa::Program &program,
+                   bool compare_regs)
+{
+    const Golden &golden = goldenFor(config, program);
+
+    Simulator sim(config, program);
+    DiffReport rep;
+    rep.faulted = sim.run();
+
+    auto fail = [&](std::string why) {
+        rep.ok = false;
+        rep.detail = std::move(why);
+        rep.faulted.halted = false;
+        rep.faulted.hitMaxCycles = false;
+        rep.faulted.haltReason = HaltReason::Diverged;
+        rep.faulted.haltDetail = rep.detail;
+        return rep;
+    };
+
+    if (!rep.faulted.halted)
+        return fail(strfmt(
+            "faulted run did not halt (%s)%s%s; %s",
+            haltReasonName(rep.faulted.haltReason),
+            rep.faulted.haltDetail.empty() ? "" : ": ",
+            rep.faulted.haltDetail.c_str(),
+            lastFaultDescription(sim).c_str()));
+
+    // Memory image: byte-wise, reporting the first divergent address.
+    for (Addr a = isa::kDataBase; a < program.dataEnd(); ++a) {
+        std::uint8_t got = sim.core().memory().read8(a);
+        std::uint8_t want =
+            golden.image[static_cast<std::size_t>(a - isa::kDataBase)];
+        if (got != want)
+            return fail(strfmt(
+                "memory diverged at 0x%llx (in %s): golden 0x%02x, "
+                "faulted 0x%02x, after %llu injected fault%s; %s",
+                static_cast<unsigned long long>(a),
+                enclosingSymbol(program, a).c_str(), want, got,
+                static_cast<unsigned long long>(
+                    rep.faulted.faultsInjected),
+                rep.faulted.faultsInjected == 1 ? "" : "s",
+                lastFaultDescription(sim).c_str()));
+    }
+
+    if (compare_regs) {
+        const cpu::ArchState &arch = sim.core().archState(0);
+        for (int i = 1; i < 32; ++i) {
+            std::uint64_t got = arch.getX(i);
+            std::uint64_t want =
+                golden.xregs[static_cast<std::size_t>(i - 1)];
+            if (got != want)
+                return fail(strfmt(
+                    "register x%d diverged: golden 0x%llx, faulted "
+                    "0x%llx; %s", i,
+                    static_cast<unsigned long long>(want),
+                    static_cast<unsigned long long>(got),
+                    lastFaultDescription(sim).c_str()));
+        }
+        for (int i = 0; i < 32; ++i) {
+            double got = arch.getF(i);
+            double want = golden.fregs[static_cast<std::size_t>(i)];
+            if (got != want)
+                return fail(strfmt(
+                    "register f%d diverged: golden %g, faulted %g; %s",
+                    i, want, got, lastFaultDescription(sim).c_str()));
+        }
+    }
+
+    rep.ok = true;
+    return rep;
+}
+
+} // namespace dttsim::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * Differential-correctness checker for fault-injected simulations.
+ *
+ * A fault-injected run is architecturally correct when it ends with
+ * the same data-segment image (and, optionally, the same main-thread
+ * registers) as the fault-free run of the same program on the same
+ * machine. DttController faults at *transparent* sites (deny-spawn,
+ * squash-with-requeue, spurious-coalesce) must always pass this check
+ * for well-formed DTT programs; *lossy* sites (drop-firing,
+ * evict-pending) pass only for programs using the TCHK-bit62
+ * software-fallback idiom. A divergence is reported as a hard
+ * structured failure naming the first divergent location and the
+ * fault that preceded it, and the faulted result is rewritten to
+ * HaltReason::Diverged.
+ *
+ * Golden (fault-free) runs are cached by job digest, so sweeping many
+ * {seed, rate, siteMask} points over one program pays for the golden
+ * run once. The cache is mutex-guarded: check() may be called from
+ * concurrent sweep threads.
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/simulator.h"
+
+namespace dttsim::sim {
+
+/** Outcome of one differential check. */
+struct DiffReport
+{
+    /** Faulted run halted and matched the golden run. */
+    bool ok = false;
+    /** The faulted run's result; on divergence haltReason is
+     *  rewritten to Diverged and haltDetail names the divergence. */
+    SimResult faulted;
+    /** Human-readable failure description (empty when ok). */
+    std::string detail;
+};
+
+/** Compares fault-injected runs against cached fault-free goldens. */
+class DiffChecker
+{
+  public:
+    /**
+     * Run @p config (which should have fault injection enabled —
+     * a fault-free config trivially passes against itself) and
+     * compare against the fault-free golden of the same machine.
+     * @param compare_regs also require context-0 x1..x31 and f0..f31
+     *        to match. Disable for programs whose fallback path is
+     *        *expected* to leave different temporaries behind.
+     */
+    DiffReport check(const SimConfig &config,
+                     const isa::Program &program,
+                     bool compare_regs = true);
+
+    /** Golden runs executed so far (cache misses). */
+    std::uint64_t goldenRuns() const { return goldenRuns_; }
+
+  private:
+    struct Golden
+    {
+        SimResult result;
+        std::vector<std::uint8_t> image;  ///< [kDataBase, dataEnd)
+        std::vector<std::uint64_t> xregs; ///< ctx0 x1..x31
+        std::vector<double> fregs;        ///< ctx0 f0..f31
+    };
+
+    const Golden &goldenFor(const SimConfig &config,
+                            const isa::Program &program);
+
+    std::mutex mutex_;
+    std::map<std::string, Golden> cache_;  ///< by fault-free digest
+    std::uint64_t goldenRuns_ = 0;
+};
+
+} // namespace dttsim::sim

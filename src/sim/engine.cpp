@@ -69,6 +69,7 @@ hashConfig(Fnv1a &h, const SimConfig &cfg)
     h.pod(c.fpMulDiv);
     h.pod(c.memPorts);
     h.pod(c.mispredictPenalty);
+    h.pod(c.watchdogWindow);
     h.pod(c.reuseBuffer);
     h.pod(c.reuseEntriesPerPc);
     h.pod(c.bpred.historyBits);
@@ -92,6 +93,7 @@ hashConfig(Fnv1a &h, const SimConfig &cfg)
     h.pod(d.maxTriggers);
     h.pod(d.threadQueueSize);
     h.pod(d.fullPolicy);
+    h.pod(d.stallBound);
     h.pod(d.silentSuppression);
     h.pod(d.coalesce);
     h.pod(d.serializePerTrigger);
@@ -99,6 +101,10 @@ hashConfig(Fnv1a &h, const SimConfig &cfg)
 
     h.pod(cfg.enableDtt);
     h.pod(cfg.maxCycles);
+
+    h.pod(cfg.fault.seed);
+    h.pod(cfg.fault.rate);
+    h.pod(cfg.fault.siteMask);
 }
 
 void
@@ -255,7 +261,8 @@ Engine::run(const std::vector<SimJob> &jobs)
     X(tstoreCommitStalls) X(l1dAccesses) X(l1dMisses) \
     X(l1iAccesses) X(l1iMisses) X(l2Accesses) X(l2Misses) \
     X(memAccesses) X(activityUnits) X(condBranches) \
-    X(condMispredicts) X(reusedInsts)
+    X(condMispredicts) X(reusedInsts) X(archDigest) \
+    X(faultsInjected) X(faultFingerprint)
 
 #define DTTSIM_SIMRESULT_BOOL_FIELDS(X) \
     X(halted) X(hitMaxCycles)
@@ -270,6 +277,9 @@ resultToJson(const SimResult &r)
     DTTSIM_SIMRESULT_U64_FIELDS(DTTSIM_PUT_U64)
     v.set("ipc", json::Value(r.ipc));
     DTTSIM_SIMRESULT_BOOL_FIELDS(DTTSIM_PUT_BOOL)
+    v.set("haltReason",
+          json::Value(std::string(haltReasonName(r.haltReason))));
+    v.set("haltDetail", json::Value(r.haltDetail));
 #undef DTTSIM_PUT_U64
 #undef DTTSIM_PUT_BOOL
     return v;
@@ -284,6 +294,23 @@ resultFromJson(const json::Value &v)
     DTTSIM_SIMRESULT_U64_FIELDS(DTTSIM_GET_U64)
     r.ipc = v.get("ipc").asDouble();
     DTTSIM_SIMRESULT_BOOL_FIELDS(DTTSIM_GET_BOOL)
+    {
+        const std::string name = v.get("haltReason").asString();
+        bool known = false;
+        for (HaltReason hr : {HaltReason::Halted, HaltReason::CycleLimit,
+                              HaltReason::Deadlock,
+                              HaltReason::Diverged}) {
+            if (name == haltReasonName(hr)) {
+                r.haltReason = hr;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            fatal("unknown haltReason \"%s\" in result JSON",
+                  name.c_str());
+        r.haltDetail = v.get("haltDetail").asString();
+    }
 #undef DTTSIM_GET_U64
 #undef DTTSIM_GET_BOOL
     return r;

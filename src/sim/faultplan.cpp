@@ -1,0 +1,100 @@
+#include "sim/faultplan.h"
+
+#include "common/log.h"
+
+namespace dttsim::sim {
+
+namespace {
+
+/** splitmix64 finalizer: the per-decision hash. Counter-based (not a
+ *  sequential stream) so site A's decisions never depend on how many
+ *  draws site B made — cross-site interleaving cannot perturb the
+ *  plan. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from a hash value. */
+double
+toUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::DropFiring: return "drop-firing";
+      case FaultSite::EvictPending: return "evict-pending";
+      case FaultSite::DenySpawn: return "deny-spawn";
+      case FaultSite::SquashThread: return "squash-thread";
+      case FaultSite::SpuriousCoalesce: return "spurious-coalesce";
+      case FaultSite::NumSites: break;
+    }
+    return "?";
+}
+
+FaultPlan::FaultPlan(const FaultConfig &config) : config_(config)
+{
+    if (config_.rate < 0.0 || config_.rate > 1.0)
+        fatal("fault rate must be in [0, 1] (got %g)", config_.rate);
+    if ((config_.siteMask & ~kAllFaultSites) != 0)
+        fatal("fault siteMask 0x%x names unknown sites (valid bits: "
+              "0x%x)", config_.siteMask, kAllFaultSites);
+}
+
+bool
+FaultPlan::inject(FaultSite s)
+{
+    if (!armed(s))
+        return false;
+    auto si = static_cast<std::size_t>(s);
+    std::uint64_t idx = counters_[si]++;
+    // Decorrelate the site streams by folding the site id into the
+    // seed with a large odd constant.
+    std::uint64_t h = mix(config_.seed
+                          ^ (static_cast<std::uint64_t>(si) + 1)
+                              * 0xd1342543de82ef95ull
+                          ^ idx * 0x2545f4914f6cdd1dull);
+    if (toUnit(h) >= config_.rate)
+        return false;
+    trace_.push_back(FaultEvent{s, idx, now_});
+    return true;
+}
+
+Cycle
+FaultPlan::squashDelay()
+{
+    std::uint64_t h = mix(config_.seed
+                          ^ 0xa24baed4963ee407ull
+                          ^ delayCounter_++ * 0x9fb21c651e98df25ull);
+    return 1 + (h % 48);
+}
+
+std::uint64_t
+FaultPlan::fingerprint() const
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    auto feed = [&hash](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xff;
+            hash *= 1099511628211ull;
+        }
+    };
+    for (const FaultEvent &e : trace_) {
+        feed(static_cast<std::uint64_t>(e.site));
+        feed(e.index);
+        feed(e.cycle);
+    }
+    return hash;
+}
+
+} // namespace dttsim::sim

@@ -1,0 +1,154 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic fault-injection plan for the DTT microarchitecture.
+ *
+ * The DTT correctness claim (Tseng & Tullsen, HPCA'11) is that
+ * triggered threads are a *performance* mechanism: a firing may be
+ * dropped, delayed, coalesced or squashed mid-flight and the
+ * program's architectural result must not change (drops are the one
+ * exception — they are recoverable only through the software
+ * fallback idiom: TCHK bit 62 -> inline recompute -> TCLR). A
+ * FaultPlan perturbs exactly these events so the differential
+ * checker (sim/diffcheck.h) can exercise the claim under adversity.
+ *
+ * Reproducibility contract: every decision is a pure function of
+ * {seed, site, per-site opportunity counter} — independent of wall
+ * clock, thread scheduling and of what the *other* sites decided —
+ * so the same {seed, rate, siteMask} replays the identical fault
+ * trace, and the trace fingerprint is stable whether the job runs
+ * under Engine --jobs 1 or --jobs 8.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dttsim::sim {
+
+/**
+ * Where a fault can strike. Two classes:
+ *
+ *  - *transparent* sites only delay or redo work (a squashed
+ *    thread's stores are rolled back before its work item is
+ *    requeued, so even partial handler runs leave no trace); any
+ *    well-formed DTT program (handlers a function of current memory,
+ *    TWAIT-fenced consumers) tolerates them at any rate < 1 with an
+ *    unchanged architectural result;
+ *  - *lossy* sites discard a firing outright; they additionally set
+ *    the trigger's sticky overflow flag, so only programs using the
+ *    software fallback idiom recover (tools/dttlint's
+ *    no-drop-fallback diagnostic flags programs that do not).
+ */
+enum class FaultSite : std::uint8_t {
+    DropFiring,       ///< lossy: discard a firing at tstore commit
+    EvictPending,     ///< lossy: evict the oldest pending TQ entry
+    DenySpawn,        ///< transparent: spawn port busy this cycle
+    SquashThread,     ///< transparent: kill an in-flight thread; the
+                      ///  controller requeues its work item
+    SpuriousCoalesce, ///< transparent: force-coalesce a duplicate
+                      ///  (trigger, address) firing even when the
+                      ///  machine config disabled coalescing
+
+    NumSites,
+};
+
+/** Stable kebab-case site name for traces and messages. */
+const char *faultSiteName(FaultSite s);
+
+/** Mask bit of one site. */
+constexpr std::uint32_t
+faultSiteBit(FaultSite s)
+{
+    return 1u << static_cast<unsigned>(s);
+}
+
+/** Sites safe for any well-formed DTT program (no fallback needed). */
+inline constexpr std::uint32_t kTransparentSites =
+    faultSiteBit(FaultSite::DenySpawn)
+    | faultSiteBit(FaultSite::SquashThread)
+    | faultSiteBit(FaultSite::SpuriousCoalesce);
+
+/** Sites that discard work; require the TCHK/TCLR fallback idiom. */
+inline constexpr std::uint32_t kLossySites =
+    faultSiteBit(FaultSite::DropFiring)
+    | faultSiteBit(FaultSite::EvictPending);
+
+inline constexpr std::uint32_t kAllFaultSites =
+    kTransparentSites | kLossySites;
+
+/** What to inject. Part of SimConfig (and the Engine job digest). */
+struct FaultConfig
+{
+    /** Plan seed; same seed + rate + mask replays the same trace. */
+    std::uint64_t seed = 0;
+
+    /** Per-opportunity injection probability, 0..1. */
+    double rate = 0.0;
+
+    /** OR of faultSiteBit() values; 0 disables injection. */
+    std::uint32_t siteMask = 0;
+
+    bool enabled() const { return rate > 0.0 && siteMask != 0; }
+};
+
+/** One applied fault, in application order. */
+struct FaultEvent
+{
+    FaultSite site = FaultSite::NumSites;
+    std::uint64_t index = 0;  ///< per-site opportunity counter value
+    Cycle cycle = 0;          ///< core cycle when applied
+};
+
+/**
+ * The live plan: DttController and OooCore hold a pointer and ask it
+ * at each opportunity. One plan serves exactly one Simulator run.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultConfig &config);
+
+    const FaultConfig &config() const { return config_; }
+
+    /** Core tick hook: timestamps subsequently applied faults. */
+    void onCycle(Cycle now) { now_ = now; }
+
+    /** Site enabled in the mask (cheap pre-check for callers that
+     *  must do work before drawing). */
+    bool
+    armed(FaultSite s) const
+    {
+        return config_.rate > 0.0
+            && (config_.siteMask & faultSiteBit(s)) != 0;
+    }
+
+    /**
+     * One opportunity at @p s: draws the site's next decision and
+     * records an event when it injects. Unarmed sites return false
+     * without consuming a draw.
+     */
+    bool inject(FaultSite s);
+
+    /** Extra cycles an armed squash waits after spawn (1..48; its own
+     *  deterministic stream). */
+    Cycle squashDelay();
+
+    std::uint64_t injected() const { return trace_.size(); }
+    const std::vector<FaultEvent> &trace() const { return trace_; }
+
+    /** FNV-1a over the applied-event trace: the replay oracle. */
+    std::uint64_t fingerprint() const;
+
+  private:
+    FaultConfig config_;
+    Cycle now_ = 0;
+    std::uint64_t counters_[static_cast<std::size_t>(
+        FaultSite::NumSites)] = {};
+    std::uint64_t delayCounter_ = 0;
+    std::vector<FaultEvent> trace_;
+};
+
+} // namespace dttsim::sim

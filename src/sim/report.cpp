@@ -25,7 +25,9 @@ formatResult(const SimResult &r)
     appendRow(t, "main insts", r.mainCommitted);
     appendRow(t, "dtt insts", r.dttCommitted);
     t.row({"ipc", TextTable::num(r.ipc, 3)});
-    t.row({"halted", r.halted ? "yes" : "no"});
+    t.row({"halt reason", haltReasonName(r.haltReason)});
+    if (r.faultsInjected > 0)
+        appendRow(t, "faults injected", r.faultsInjected);
     appendRow(t, "tstores", r.tstores);
     appendRow(t, "silent suppressed", r.silentSuppressed);
     appendRow(t, "threads fired", r.fired);

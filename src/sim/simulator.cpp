@@ -123,8 +123,44 @@ SimConfig::validate() const
                       "a zero-entry thread queue can never spawn a "
                       "data-triggered thread (use enableDtt=false "
                       "for the baseline machine)");
+        if (dtt.fullPolicy == dtt::FullQueuePolicy::StallBounded)
+            checkPositive(errors, dtt.stallBound, "dtt.stallBound",
+                          "a zero bound makes StallBounded an "
+                          "ill-defined Drop; use Drop directly");
     }
+
+    if (!(fault.rate >= 0.0 && fault.rate <= 1.0))
+        errors.push_back(strfmt(
+            "fault.rate must be in [0, 1] (got %g): it is a "
+            "per-opportunity injection probability", fault.rate));
+    if ((fault.siteMask & ~kAllFaultSites) != 0)
+        errors.push_back(strfmt(
+            "fault.siteMask has unknown site bits 0x%x (valid mask "
+            "0x%x)", fault.siteMask & ~kAllFaultSites,
+            kAllFaultSites));
+    if (fault.enabled() && !enableDtt)
+        errors.push_back(
+            "fault injection targets the DTT machinery and needs "
+            "enableDtt=true; the baseline machine has no fault "
+            "sites");
     return errors;
+}
+
+std::vector<std::string>
+SimConfig::warnings() const
+{
+    std::vector<std::string> out;
+    if (enableDtt && dtt.fullPolicy == dtt::FullQueuePolicy::Stall
+        && core.numContexts < 2)
+        out.push_back(strfmt(
+            "dtt.fullPolicy=stall with core.numContexts=%d: no "
+            "context can ever drain the thread queue, so a full "
+            "queue livelocks the committing tstore (the watchdog "
+            "will end the run with a Deadlock halt after %llu "
+            "commit-free cycles); use >= 2 contexts or the "
+            "stall-bounded/drop policies", core.numContexts,
+            static_cast<unsigned long long>(core.watchdogWindow)));
+    return out;
 }
 
 namespace {
@@ -152,11 +188,18 @@ Simulator::Simulator(const SimConfig &config, isa::Program prog)
     : config_(validated(config)), prog_(std::move(prog)),
       hierarchy_(config.mem)
 {
+    for (const std::string &w : config_.warnings())
+        warn("%s", w.c_str());
     if (config_.enableDtt)
         controller_ = std::make_unique<dtt::DttController>(
             config_.dtt, config_.core.numContexts);
     core_ = std::make_unique<cpu::OooCore>(
         config_.core, prog_, hierarchy_, controller_.get());
+    if (config_.fault.enabled()) {
+        plan_ = std::make_unique<FaultPlan>(config_.fault);
+        controller_->setFaultPlan(plan_.get());
+        core_->setFaultPlan(plan_.get());
+    }
 }
 
 SimResult
@@ -181,6 +224,8 @@ Simulator::run()
         : 0.0;
     r.halted = core_result.halted;
     r.hitMaxCycles = core_result.hitMaxCycles;
+    r.haltReason = core_result.reason;
+    r.haltDetail = core_result.detail;
     r.dttSpawns = core_result.dttSpawns;
 
     if (controller_) {
@@ -208,6 +253,13 @@ Simulator::run()
     r.condBranches = core_->bpred().stats().get("condBranches");
     r.condMispredicts = core_->bpred().stats().get("condMispredicts");
     r.reusedInsts = core_->stats().get("reusedInsts");
+
+    r.archDigest = memoryDigest(core_->memory(), isa::kDataBase,
+                                prog_.dataEnd());
+    if (plan_) {
+        r.faultsInjected = plan_->injected();
+        r.faultFingerprint = plan_->fingerprint();
+    }
     return r;
 }
 
@@ -216,6 +268,25 @@ runProgram(const SimConfig &config, const isa::Program &prog)
 {
     Simulator simulator(config, prog);
     return simulator.run();
+}
+
+std::uint64_t
+memoryDigest(mem::Memory &memory, Addr begin, Addr end)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto eat = [&h](std::uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    Addr a = begin;
+    for (; a + 8 <= end; a += 8) {
+        std::uint64_t w = memory.read64(a);
+        for (int i = 0; i < 8; ++i)
+            eat(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+    for (; a < end; ++a)
+        eat(memory.read8(a));
+    return h;
 }
 
 } // namespace dttsim::sim

@@ -20,6 +20,7 @@
 #include "cpu/ooo_core.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
+#include "sim/faultplan.h"
 
 namespace dttsim::sim {
 
@@ -33,6 +34,8 @@ struct SimConfig
      *  behave as plain stores (the baseline machine). */
     bool enableDtt = true;
     Cycle maxCycles = 1ull << 33;
+    /** Fault injection into the DTT machinery (off by default). */
+    FaultConfig fault;
 
     /**
      * Check the configuration for nonsense a simulation would
@@ -43,6 +46,14 @@ struct SimConfig
      * the first invalid config instead of simulating it.
      */
     std::vector<std::string> validate() const;
+
+    /**
+     * Legal-but-hazardous combinations (e.g. the Stall policy on a
+     * machine with no context to ever drain the queue — a documented
+     * livelock the watchdog converts into a Deadlock halt). The
+     * Simulator constructor prints these via warn() and proceeds.
+     */
+    std::vector<std::string> warnings() const;
 };
 
 /** Flat result record of one simulation. */
@@ -55,6 +66,12 @@ struct SimResult
     double ipc = 0.0;
     bool halted = false;
     bool hitMaxCycles = false;
+    /** Why the run ended. Invariants: Halted <=> halted, CycleLimit
+     *  <=> hitMaxCycles; Deadlock (watchdog) and Diverged (set by the
+     *  DiffChecker, never by the simulator) imply neither. */
+    HaltReason haltReason = HaltReason::CycleLimit;
+    /** Deadlock: per-context state dump. Diverged: first divergence. */
+    std::string haltDetail;
 
     // DTT activity.
     std::uint64_t dttSpawns = 0;
@@ -84,6 +101,17 @@ struct SimResult
     // Instruction-reuse machine (CoreConfig::reuseBuffer).
     std::uint64_t reusedInsts = 0;
 
+    /** FNV-1a digest of the final data-segment image — the cheap
+     *  architectural-correctness oracle the differential checker and
+     *  fig16 compare across fault/policy variants of one program. */
+    std::uint64_t archDigest = 0;
+
+    // Fault injection (zero when SimConfig::fault is off).
+    std::uint64_t faultsInjected = 0;
+    /** Digest of the injected-fault trace {site, index, cycle}: equal
+     *  config => equal fingerprint, however the jobs were scheduled. */
+    std::uint64_t faultFingerprint = 0;
+
     /** Field-wise equality: the determinism oracle for the parallel
      *  experiment engine (same job => byte-identical result). */
     bool operator==(const SimResult &) const = default;
@@ -111,6 +139,8 @@ class Simulator
     mem::Hierarchy &hierarchy() { return hierarchy_; }
     /** Null when enableDtt is false. */
     dtt::DttController *controller() { return controller_.get(); }
+    /** Null unless SimConfig::fault is enabled. */
+    const FaultPlan *faultPlan() const { return plan_.get(); }
 
   private:
     SimConfig config_;
@@ -119,9 +149,14 @@ class Simulator
     mem::Hierarchy hierarchy_;
     std::unique_ptr<dtt::DttController> controller_;
     std::unique_ptr<cpu::OooCore> core_;
+    std::unique_ptr<FaultPlan> plan_;
 };
 
 /** Convenience: build, run, return the result. */
 SimResult runProgram(const SimConfig &config, const isa::Program &prog);
+
+/** FNV-1a over memory bytes [begin, end) — archDigest's definition,
+ *  exposed so the differential checker can digest golden images. */
+std::uint64_t memoryDigest(mem::Memory &memory, Addr begin, Addr end);
 
 } // namespace dttsim::sim

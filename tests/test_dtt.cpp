@@ -192,6 +192,33 @@ TEST(Controller, DropPolicySetsOverflow)
     EXPECT_FALSE(c.chk(0) & (std::int64_t(1) << 62));
 }
 
+TEST(Controller, OverflowFlagIsStickyAcrossRepeatedDrops)
+{
+    DttConfig cfg = smallConfig();
+    cfg.threadQueueSize = 1;
+    cfg.coalesce = false;
+    cfg.fullPolicy = FullQueuePolicy::Drop;
+    DttController c(cfg, 4);
+    c.onTregCommit(0, 50);
+    EXPECT_EQ(c.onTstoreCommit(0, 0, 1, false),
+              TstoreOutcome::Fired);
+    // Queue exhausted: every further firing drops; the sticky
+    // overflow flag is a single bit that latches on the first drop
+    // and stays set — not a counter, not toggled per drop.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(c.onTstoreCommit(0, 8 * (i + 1), 2 + i, false),
+                  TstoreOutcome::Dropped);
+        EXPECT_TRUE(c.chk(0) & (std::int64_t(1) << 62));
+    }
+    EXPECT_EQ(c.stats().get("dropped"), 4u);
+    // TCLR rearms the latch: clear, then one more drop re-sets it.
+    c.onTclrCommit(0);
+    EXPECT_FALSE(c.chk(0) & (std::int64_t(1) << 62));
+    EXPECT_EQ(c.onTstoreCommit(0, 48, 9, false),
+              TstoreOutcome::Dropped);
+    EXPECT_TRUE(c.chk(0) & (std::int64_t(1) << 62));
+}
+
 TEST(Controller, WaitSatisfiedTracksAllThreeSources)
 {
     DttController c(smallConfig(), 4);

@@ -133,6 +133,39 @@ TEST(Engine, DigestDistinguishesConfigProgramAndCoRunners)
     EXPECT_EQ(jobDigest(relabeled), base);
 }
 
+TEST(Engine, DigestCoversFaultAndDegradationKnobs)
+{
+    // Every knob that changes simulated behaviour must perturb the
+    // job digest, or the engine's dedup would reuse a result from a
+    // differently-faulted machine.
+    SimJob job = makeJob("mcf", workloads::Variant::Dtt);
+    std::string base = jobDigest(job);
+
+    SimJob j = job;
+    j.config.fault.seed = 1;
+    EXPECT_NE(jobDigest(j), base);
+
+    j = job;
+    j.config.fault.rate = 0.25;
+    EXPECT_NE(jobDigest(j), base);
+
+    j = job;
+    j.config.fault.siteMask = kTransparentSites;
+    EXPECT_NE(jobDigest(j), base);
+
+    j = job;
+    j.config.dtt.stallBound += 1;
+    EXPECT_NE(jobDigest(j), base);
+
+    j = job;
+    j.config.core.watchdogWindow += 1;
+    EXPECT_NE(jobDigest(j), base);
+
+    j = job;
+    j.config.dtt.fullPolicy = dtt::FullQueuePolicy::DropOldest;
+    EXPECT_NE(jobDigest(j), base);
+}
+
 TEST(Engine, WorkerExceptionsPropagate)
 {
     Engine engine(2);

@@ -110,6 +110,78 @@ TEST(DropPolicy, DropsAreCounted)
     EXPECT_GT(r.dropped + r.coalesced, 0u);
 }
 
+TEST(DropPolicy, TchkBit62ReachesSoftwareAfterDrop)
+{
+    // End-to-end: the value TCHK materializes into a register after a
+    // drop carries bit 62, and the program's fallback branch actually
+    // takes — observed by storing the TCHK value and a branch marker.
+    isa::Program prog = isa::assemble(R"(
+main:
+    treg 0, handler
+    li  a0, buf
+    li  s0, 1
+    tsd s0, 0(a0), 0
+    addi s0, s0, 1
+    tsd s0, 8(a0), 0      # tq=1, coalesce off: this firing drops
+    addi s0, s0, 1
+    tsd s0, 16(a0), 0     # and so does this one
+    twait 0
+    tchk t0, 0
+    li   t1, chkval
+    sd   t0, 0(t1)
+    li   t1, 1
+    slli t1, t1, 62
+    and  t1, t0, t1
+    beqz t1, done
+    li   t2, 1
+    li   t1, tookfb
+    sd   t2, 0(t1)
+    tclr 0
+done:
+    halt
+handler:
+    tret
+    .data
+buf:    .space 24
+chkval: .space 8
+tookfb: .space 8
+)");
+    sim::SimConfig cfg;
+    cfg.dtt.threadQueueSize = 1;
+    cfg.dtt.coalesce = false;
+    cfg.dtt.fullPolicy = dtt::FullQueuePolicy::Drop;
+    sim::Simulator s(cfg, prog);
+    sim::SimResult r = s.run();
+    ASSERT_TRUE(r.halted);
+    EXPECT_GT(r.dropped, 0u);
+    std::uint64_t chkval =
+        s.core().memory().read64(prog.dataSymbol("chkval"));
+    EXPECT_TRUE(chkval & (1ull << 62)) << "chkval=" << chkval;
+    EXPECT_EQ(s.core().memory().read64(prog.dataSymbol("tookfb")),
+              1u);
+}
+
+TEST(DropPolicy, TwaitReleasesAfterFallbackRedoesDroppedWork)
+{
+    // TWAIT only fences hardware-tracked work: dropped firings leave
+    // no queue entry, no running thread and no in-flight tstore, so
+    // the fence must release (bounded run, Halted reason) and the
+    // software fallback redoes the lost computation afterwards.
+    isa::Program prog = isa::assemble(kDropProgram);
+    sim::SimConfig cfg;
+    cfg.dtt.threadQueueSize = 1;
+    cfg.dtt.coalesce = false;
+    cfg.dtt.fullPolicy = dtt::FullQueuePolicy::Drop;
+    cfg.maxCycles = 1ull << 22;
+    sim::Simulator s(cfg, prog);
+    sim::SimResult r = s.run();
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(r.haltReason, HaltReason::Halted);
+    EXPECT_GT(r.dropped, 0u);
+    EXPECT_EQ(s.core().memory().read64(prog.dataSymbol("result")),
+              24u);
+}
+
 // ----- machine-config sweep against the functional reference --------
 
 struct MachineVariant

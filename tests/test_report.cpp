@@ -35,8 +35,8 @@ TEST(Report, FormatResultContainsHeadlineMetrics)
     EXPECT_NE(s.find("tstores"), std::string::npos);
     EXPECT_NE(s.find("spawns"), std::string::npos);
     EXPECT_NE(s.find("ipc"), std::string::npos);
+    EXPECT_NE(s.find("halt reason"), std::string::npos);
     EXPECT_NE(s.find("halted"), std::string::npos);
-    EXPECT_NE(s.find("yes"), std::string::npos);
 }
 
 TEST(Report, ComparisonIncludesSpeedup)

@@ -84,6 +84,15 @@ checkRecord(const std::string &file, std::size_t idx,
         complain(file, where + ": halted run reports zero cycles");
     if (r.halted && r.hitMaxCycles)
         complain(file, where + ": both halted and hitMaxCycles set");
+    // haltReason must agree with the legacy booleans: Halted <=>
+    // halted, CycleLimit <=> hitMaxCycles, Deadlock/Diverged neither.
+    // (resultFromJson already rejected unknown reason names.)
+    if ((r.haltReason == HaltReason::Halted) != r.halted)
+        complain(file, where + ": haltReason disagrees with the "
+                 "halted flag");
+    if ((r.haltReason == HaltReason::CycleLimit) != r.hitMaxCycles)
+        complain(file, where + ": haltReason disagrees with the "
+                 "hitMaxCycles flag");
     if (!std::isfinite(r.ipc) || r.ipc < 0)
         complain(file, where + ": ipc is not a finite non-negative "
                  "number");

@@ -10,12 +10,18 @@
  * Usage:
  *   dttlint [--all | --workload=NAME | --asm=FILE]
  *           [--variant=baseline|dtt|both] [--werror] [--quiet]
- *           [--no-lint] [--dynamic] [--list]
+ *           [--no-lint] [--wdrop-fallback] [--dynamic] [--list]
  *
  * With no selection, --all is implied. Exit status is 1 when any
  * error-severity finding was reported — or any finding at all under
  * --werror, which is how the test suite pins "all workloads lint
  * clean".
+ *
+ * --wdrop-fallback opts into the A009 robustness check: triggers the
+ * program fires and fences (TWAIT) without ever reading TCHK, i.e.
+ * programs whose correctness depends on the thread always firing.
+ * Opt-in because programs targeting a Stall-policy machine
+ * legitimately skip the fallback idiom.
  *
  * --dynamic additionally runs the functional redundancy profiler and
  * annotates every static redundant-load finding (A008) with the
@@ -122,6 +128,7 @@ main(int argc, char **argv)
 
     analysis::AnalyzeOptions aopts;
     aopts.lint = !opts.has("no-lint");
+    aopts.dropFallback = opts.has("wdrop-fallback");
     const bool quiet = opts.has("quiet");
     const bool werror = opts.has("werror");
     const bool dynamic = opts.has("dynamic");
@@ -130,7 +137,7 @@ main(int argc, char **argv)
     try {
         static const char *const known[] = {
             "all", "workload", "asm", "variant", "werror", "quiet",
-            "no-lint", "dynamic", "list",
+            "no-lint", "wdrop-fallback", "dynamic", "list",
         };
         for (const auto &[name, value] : opts.all()) {
             (void)value;
