@@ -81,11 +81,20 @@ main(int argc, char **argv)
     int diverged = 0;
     for (std::size_t wi = 0; wi < subjects.size(); ++wi) {
         const std::size_t base_idx = wi * stride;
+        // Jobs that never produced a simulation (worker error,
+        // deadline) carry a sanitized payload whose archDigest is
+        // meaningless; the harness already flagged them and forces a
+        // nonzero exit, so they are excluded here rather than
+        // reported as false divergences.
+        if (results[base_idx + 1].status != sim::JobStatus::Ok)
+            continue;
         const std::uint64_t want =
             results[base_idx + 1].result.archDigest;
         for (std::size_t j = 2; j <= policies.size() * rates.size();
              ++j) {
             const sim::JobResult &jr = results[base_idx + j];
+            if (jr.status != sim::JobStatus::Ok)
+                continue;
             if (jr.result.archDigest != want) {
                 ++diverged;
                 std::fprintf(stderr,

@@ -19,8 +19,91 @@ engineFlags()
          "(default: all hardware threads)"},
         {"json", "PATH",
          "write one schema-versioned JSON record per simulated job"},
+        {"cache", "MODE",
+         "persistent result cache: off (default), ro (warm-start "
+         "only), rw (warm-start and persist)"},
+        {"cache-dir", "PATH",
+         "result-cache directory (default: bench/out/cache)"},
+        {"resume", "MANIFEST",
+         "resume a killed sweep from its cache MANIFEST (implies "
+         "--cache=rw with that directory); only incomplete jobs "
+         "re-execute and the merged --json output is byte-identical "
+         "to an uninterrupted run"},
+        {"retries", "N",
+         "re-execute a job whose worker threw up to N more times, "
+         "with exponential backoff (default 0)"},
+        {"job-deadline", "SECONDS",
+         "per-job wall-clock deadline; a runaway simulation is "
+         "cancelled and recorded as status=timeout (default: none)"},
     };
     return flags;
+}
+
+/** Default cache directory, next to the other bench outputs. */
+constexpr const char *kDefaultCacheDir = "bench/out/cache";
+
+/**
+ * Build the result store from --cache/--cache-dir/--resume before
+ * the engine is constructed (it keeps a raw pointer). A bad mode
+ * spelling is a usage error: report and exit 2, the flag-policy
+ * convention.
+ */
+std::unique_ptr<sim::ResultStore>
+makeStore(const Options &opts, const std::string &binary)
+{
+    std::string dir = opts.get("cache-dir", kDefaultCacheDir);
+    sim::ResultStore::Mode mode = sim::ResultStore::Mode::Off;
+
+    if (opts.has("cache")) {
+        std::optional<sim::ResultStore::Mode> m =
+            sim::ResultStore::parseMode(opts.get("cache"));
+        if (!m) {
+            std::fprintf(stderr,
+                         "%s: error: --cache=%s is not one of "
+                         "off/ro/rw (see --help)\n",
+                         binary.c_str(), opts.get("cache").c_str());
+            std::exit(2);
+        }
+        mode = *m;
+    }
+    if (opts.has("resume")) {
+        // --resume=DIR/MANIFEST (or just DIR) points the rw cache at
+        // a previous run's store; resume then falls out of the
+        // digest-keyed warm start.
+        std::string manifest = opts.get("resume");
+        if (manifest.empty()) {
+            std::fprintf(stderr,
+                         "%s: error: --resume needs a MANIFEST path "
+                         "(see --help)\n", binary.c_str());
+            std::exit(2);
+        }
+        std::string::size_type slash = manifest.rfind('/');
+        std::string base =
+            slash == std::string::npos ? manifest
+                                       : manifest.substr(slash + 1);
+        if (base == "MANIFEST")
+            dir = slash == std::string::npos ? "."
+                                             : manifest.substr(0, slash);
+        else
+            dir = manifest;
+        mode = sim::ResultStore::Mode::ReadWrite;
+    }
+    if (mode == sim::ResultStore::Mode::Off)
+        return nullptr;
+    return std::make_unique<sim::ResultStore>(dir, mode);
+}
+
+/** Engine supervision policy from the parsed flags. */
+sim::EngineConfig
+makeEngineConfig(const Options &opts, sim::ResultStore *store)
+{
+    sim::EngineConfig cfg;
+    cfg.numThreads = static_cast<int>(opts.getInt("jobs", 0));
+    cfg.maxAttempts = 1 + static_cast<int>(opts.getInt("retries", 0));
+    cfg.retryBackoffSeconds = 0.05;
+    cfg.jobDeadlineSeconds = opts.getDouble("job-deadline", 0.0);
+    cfg.store = store;
+    return cfg;
 }
 
 /** Workload-selection/parameter flags. */
@@ -135,7 +218,8 @@ appendCoRunner(isa::Program &prog, int id)
 
 Harness::Harness(int argc, const char *const *argv, HarnessSpec spec)
     : spec_(std::move(spec)), opts_(argc, argv),
-      engine_(static_cast<int>(opts_.getInt("jobs", 0))),
+      store_(makeStore(opts_, spec_.binary)),
+      engine_(makeEngineConfig(opts_, store_.get())),
       jsonPath_(opts_.get("json"))
 {
     std::vector<const std::vector<FlagSpec> *> groups{&engineFlags()};
@@ -249,7 +333,10 @@ Harness::run(std::vector<sim::SimJob> jobs)
         records_.push_back(jr);
         if (jr.deduplicated)
             continue;
-        if (!jr.result.halted || jr.result.hitMaxCycles) {
+        switch (jr.status) {
+        case sim::JobStatus::Ok:
+            break;
+        case sim::JobStatus::Failed:
             ++invalidJobs_;
             warn("%s: job %s/%s ended with %s (cycles=%llu)%s%s; its "
                  "metrics are flagged and excluded from suite means",
@@ -259,6 +346,24 @@ Harness::run(std::vector<sim::SimJob> jobs)
                  static_cast<unsigned long long>(jr.result.cycles),
                  jr.result.haltDetail.empty() ? "" : ": ",
                  jr.result.haltDetail.c_str());
+            break;
+        case sim::JobStatus::Error:
+            ++invalidJobs_;
+            warn("%s: job %s/%s failed after %d attempt%s (%s: %s); "
+                 "the rest of the batch completed and this job "
+                 "renders as n/a",
+                 spec_.binary.c_str(), jr.workload.c_str(),
+                 jr.variant.c_str(), jr.attempts,
+                 jr.attempts == 1 ? "" : "s", jr.error.kind.c_str(),
+                 jr.error.message.c_str());
+            break;
+        case sim::JobStatus::Timeout:
+            ++invalidJobs_;
+            warn("%s: job %s/%s cancelled: %s; the rest of the batch "
+                 "completed and this job renders as n/a",
+                 spec_.binary.c_str(), jr.workload.c_str(),
+                 jr.variant.c_str(), jr.error.message.c_str());
+            break;
         }
     }
     return results;
@@ -313,7 +418,11 @@ Harness::finish()
             records.push(sim::jobResultToJson(jr));
         doc.set("records", std::move(records));
 
-        std::FILE *f = std::fopen(jsonPath_.c_str(), "w");
+        // Atomic tmp + rename: a reader (or a crash mid-write) sees
+        // either the previous complete document or the new one,
+        // never a torn file — the property resume relies on.
+        const std::string tmp = jsonPath_ + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
         if (!f) {
             std::fprintf(stderr,
                          "%s: error: cannot write --json file '%s'\n",
@@ -322,12 +431,42 @@ Harness::finish()
         }
         std::string text = doc.dump(2);
         text += '\n';
-        std::fwrite(text.data(), 1, text.size(), f);
-        std::fclose(f);
+        bool ok =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size()
+            && std::fflush(f) == 0;
+        ok = (std::fclose(f) == 0) && ok;
+        if (!ok || std::rename(tmp.c_str(), jsonPath_.c_str()) != 0) {
+            std::remove(tmp.c_str());
+            std::fprintf(stderr,
+                         "%s: error: cannot write --json file '%s'\n",
+                         spec_.binary.c_str(), jsonPath_.c_str());
+            return 2;
+        }
     }
+
+    // Resilience summary (stderr, so tables stay clean): how much
+    // work the cache saved and what the retry layer spent.
+    if (store_ != nullptr || engine_.retries() > 0) {
+        double wall = 0.0;
+        for (const sim::JobResult &jr : records_)
+            if (!jr.deduplicated && !jr.cached)
+                wall += jr.wallSeconds;
+        std::fprintf(
+            stderr,
+            "%s: %llu submitted, %llu executed, %llu cache hit(s), "
+            "%llu retrie(s), %.2fs simulated wall time%s%s\n",
+            spec_.binary.c_str(),
+            static_cast<unsigned long long>(engine_.submitted()),
+            static_cast<unsigned long long>(engine_.executed()),
+            static_cast<unsigned long long>(engine_.cacheHits()),
+            static_cast<unsigned long long>(engine_.retries()),
+            wall, store_ != nullptr ? "; cache " : "",
+            store_ != nullptr ? store_->dir().c_str() : "");
+    }
+
     if (invalidJobs_) {
-        warn("%s: %d job(s) timed out or failed to halt; see flags "
-             "above", spec_.binary.c_str(), invalidJobs_);
+        warn("%s: %d job(s) failed, timed out or never halted; see "
+             "flags above", spec_.binary.c_str(), invalidJobs_);
         return 1;
     }
     return 0;

@@ -9,11 +9,17 @@
  *    errors (the dttlint policy) and `--help` lists every supported
  *    flag;
  *  - the Table-1 machine configuration;
- *  - a `sim::Engine` sized by `--jobs N` (default: all hardware
- *    threads), so every figure runs its experiment batch in parallel
- *    with within-batch dedup of identical jobs;
+ *  - a supervised `sim::Engine` sized by `--jobs N` (default: all
+ *    hardware threads), so every figure runs its experiment batch in
+ *    parallel with within-batch dedup of identical jobs, crash-
+ *    isolated failures (`--retries`, `--job-deadline`) and an
+ *    optional persistent result cache (`--cache {off,ro,rw}`,
+ *    `--cache-dir`, `--resume MANIFEST`) for cross-binary warm
+ *    starts and kill/resume sweeps;
  *  - the `--json <path>` structured-results emitter: one
- *    schema-versioned record per executed job (docs/HARNESS.md).
+ *    schema-versioned record per executed job (docs/HARNESS.md),
+ *    written atomically (tmp + rename) and fully deterministic, so
+ *    a resumed sweep merges to byte-identical output.
  *
  * Pattern:
  *
@@ -28,6 +34,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +42,7 @@
 #include "common/table.h"
 #include "isa/program.h"
 #include "sim/engine.h"
+#include "sim/resultstore.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -147,6 +155,10 @@ class Harness
 
     sim::Engine &engine() { return engine_; }
 
+    /** The persistent result cache (--cache/--cache-dir/--resume);
+     *  nullptr when caching is off. */
+    const sim::ResultStore *store() const { return store_.get(); }
+
     /** The simulated machine of Table 1. */
     static sim::SimConfig machineConfig(bool enable_dtt);
 
@@ -162,8 +174,9 @@ class Harness
     /**
      * Run a batch through the engine. Results come back in
      * submission order; every record is retained for the --json
-     * emitter, and jobs that timed out or never halted are counted
-     * and flagged by finish().
+     * emitter, and any job that did not end JobStatus::Ok (threw,
+     * timed out, never halted) is counted and flagged by finish() —
+     * the batch itself always completes.
      */
     std::vector<sim::JobResult> run(std::vector<sim::SimJob> jobs);
 
@@ -188,6 +201,8 @@ class Harness
   private:
     HarnessSpec spec_;
     Options opts_;
+    /** Declared before engine_: the engine holds a raw pointer. */
+    std::unique_ptr<sim::ResultStore> store_;
     sim::Engine engine_;
     std::string jsonPath_;
     std::vector<sim::JobResult> records_;

@@ -1,8 +1,8 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Run a figure binary with --json at tiny scale and validate the
-# emitted file against results schema v1 (docs/HARNESS.md).
+# emitted file against results schema v2 (docs/HARNESS.md).
 # Usage: scripts/check_fig_json.sh <figure-binary> <check_results_json>
-set -eu
+set -euo pipefail
 
 bin="$1"
 validator="$2"

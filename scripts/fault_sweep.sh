@@ -1,15 +1,19 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Robustness sweep: run the fault-smoke test matrix (ctest label) and
 # then fig16_fault_degradation across several fault-plan seeds, with
-# every --json output validated against results schema v1. Exits
+# every --json output validated against results schema v2. Exits
 # non-zero on any test failure, any archDigest divergence (fig16
 # returns 1 when a faulted run's memory image differs from the
 # fault-free one) or any schema violation.
 #
+# The seeds share a persistent result cache (rw at bench/out/cache),
+# so re-running a killed sweep re-executes only the incomplete jobs;
+# pass --resume=PATH/MANIFEST to resume from a specific cache.
+#
 # Usage: scripts/fault_sweep.sh [build-dir] [extra flags...]
 #   e.g. scripts/fault_sweep.sh build --scale=2 --jobs=8
 # Extra flags are passed to the fig16 binary (seeds are swept here).
-set -eu
+set -euo pipefail
 
 src="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$src/build}"
@@ -29,11 +33,17 @@ ctest --test-dir "$build" -L fault-smoke --output-on-failure \
 
 outdir="$src/bench/out"
 mkdir -p "$outdir"
+cache=(--cache=rw --cache-dir="$outdir/cache")
+outs=()
 for seed in 1 2 3; do
     echo "== fig16_fault_degradation --fault-seed=$seed"
     out="$outdir/fig16_fault_degradation.seed$seed.json"
-    "$build/bench/fig16_fault_degradation" --fault-seed="$seed" "$@" \
-        --json="$out" | tee "$outdir/fig16_fault_degradation.seed$seed.txt"
-    "$build/tools/check_results_json" "$out"
+    "$build/bench/fig16_fault_degradation" --fault-seed="$seed" \
+        "${cache[@]}" "$@" --json="$out" \
+        | tee "$outdir/fig16_fault_degradation.seed$seed.txt"
+    outs+=("$out")
 done
+# Final pass over every document at once, so cross-seed output also
+# proves schema-valid together, not just file by file.
+"$build/tools/check_results_json" "${outs[@]}"
 echo "fault_sweep: all seeds clean; outputs in $outdir"

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Kill/resume acceptance check for the resilient experiment engine:
+#
+#  1. run fig5_speedup uninterrupted -> reference --json document;
+#  2. start the same sweep with a fresh rw result cache, SIGKILL it
+#     as soon as the first completed job has been persisted;
+#  3. re-invoke with --resume=<cache>/MANIFEST and assert that
+#       - only the incomplete jobs re-execute (>= 1 cache hit),
+#       - the merged --json output is byte-identical to the
+#         uninterrupted run's,
+#       - the rendered table is identical,
+#       - the document validates against results schema v2.
+#
+# Usage: scripts/resume_smoke.sh [build-dir]
+set -euo pipefail
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build}"
+bin="$build/bench/fig5_speedup"
+validator="$build/tools/check_results_json"
+
+if [ ! -x "$bin" ] || [ ! -x "$validator" ]; then
+    echo "resume_smoke: $bin or $validator not found" \
+         "(build first: cmake --build $build -j)" >&2
+    exit 2
+fi
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+# Big enough that the kill lands mid-sweep with --jobs=1 (~24 jobs,
+# a few hundred ms each), small enough to stay a smoke test.
+args=(--iters=6 --scale=2 --jobs=1)
+
+echo "== reference (uninterrupted) run"
+"$bin" "${args[@]}" --json="$tmp/ref.json" > "$tmp/ref.txt"
+
+echo "== interrupted run (SIGKILL after the first cached job)"
+"$bin" "${args[@]}" --json="$tmp/int.json" \
+    --cache=rw --cache-dir="$tmp/cache" \
+    > "$tmp/int-first.txt" 2> "$tmp/int-first.err" &
+pid=$!
+# The store fsyncs each record as the job finishes, so one line in a
+# segment means one durable result. Poll for it, then kill -9.
+for _ in $(seq 1 600); do
+    if [ -n "$(cat "$tmp/cache"/seg-*.jsonl 2>/dev/null)" ]; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "resume_smoke: sweep finished before it could be" \
+             "killed; retune --iters/--scale" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+if [ -e "$tmp/int.json" ]; then
+    echo "resume_smoke: killed run left a --json file; the kill" \
+         "landed too late to exercise resume" >&2
+    exit 1
+fi
+cached_before="$(cat "$tmp/cache"/seg-*.jsonl | wc -l)"
+echo "   killed with $cached_before job(s) durable in the cache"
+
+echo "== resumed run"
+"$bin" "${args[@]}" --json="$tmp/int.json" \
+    --resume="$tmp/cache/MANIFEST" \
+    > "$tmp/int.txt" 2> "$tmp/int.err"
+
+grep -q "cache hit" "$tmp/int.err" || {
+    echo "resume_smoke: resumed run reported no cache summary" >&2
+    cat "$tmp/int.err" >&2
+    exit 1
+}
+
+echo "== comparing outputs"
+cmp "$tmp/ref.json" "$tmp/int.json" || {
+    echo "resume_smoke: resumed --json differs from the" \
+         "uninterrupted run's (byte-identity violated)" >&2
+    exit 1
+}
+diff -u "$tmp/ref.txt" "$tmp/int.txt" || {
+    echo "resume_smoke: resumed table differs from the" \
+         "uninterrupted run's" >&2
+    exit 1
+}
+"$validator" "$tmp/ref.json" "$tmp/int.json"
+
+echo "resume_smoke: PASS (killed at $cached_before durable jobs," \
+     "resumed to byte-identical output)"

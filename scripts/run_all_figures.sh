@@ -1,12 +1,18 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Run every figure/table binary of the evaluation, writing the
 # rendered tables and the schema-versioned JSON records into
 # bench/out/, then validate every JSON file.
 #
+# The workload binaries share a persistent result cache (rw at
+# bench/out/cache), so identical jobs run once across the whole sweep
+# and a killed invocation of this script resumes from the completed
+# simulations when re-run. Pass --resume=PATH/MANIFEST (or any other
+# harness flag) after the build dir to resume from a specific cache.
+#
 # Usage: scripts/run_all_figures.sh [build-dir] [extra flags...]
 #   e.g. scripts/run_all_figures.sh build --scale=2 --jobs=8
 # Extra flags are passed to every workload-running binary.
-set -eu
+set -euo pipefail
 
 src="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$src/build}"
@@ -23,6 +29,10 @@ fi
 outdir="$src/bench/out"
 mkdir -p "$outdir"
 
+# Default cache placement; an explicit --resume/--cache/--cache-dir
+# in the extra flags overrides it (the harness takes the last value).
+cache=(--cache=rw --cache-dir="$outdir/cache")
+
 # tab1_config takes no workload flags; everything else accepts the
 # common set plus the extra flags from the command line.
 echo "== tab1_config"
@@ -37,9 +47,9 @@ for b in tab2_benchmarks tab3_trigger_advisor \
          fig13_spawn_latency fig14_corunner fig15_prefetch \
          fig16_fault_degradation; do
     echo "== $b"
-    "$build/bench/$b" "$@" --json="$outdir/$b.json" \
+    "$build/bench/$b" "${cache[@]}" "$@" --json="$outdir/$b.json" \
         | tee "$outdir/$b.txt"
 done
 
 "$build/tools/check_results_json" "$outdir"/*.json
-echo "run_all_figures: outputs in $outdir"
+echo "run_all_figures: outputs in $outdir (cache: $outdir/cache)"

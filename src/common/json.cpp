@@ -492,4 +492,19 @@ Value::parse(const std::string &text)
     return Parser(text).document();
 }
 
+std::optional<Value>
+Value::tryParse(const std::string &text, std::string *error)
+{
+    // The recoverable entry point for data we do not control (e.g.
+    // result-cache records on disk, which a crash can truncate): a
+    // malformed document becomes a skippable error, not a fatal().
+    try {
+        return Parser(text).document();
+    } catch (const FatalError &e) {
+        if (error != nullptr)
+            *error = e.what();
+        return std::nullopt;
+    }
+}
+
 } // namespace dttsim::json

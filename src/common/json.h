@@ -11,6 +11,7 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,6 +88,16 @@ class Value
     /** Parse a complete JSON document; throws FatalError on syntax
      *  errors or trailing garbage. */
     static Value parse(const std::string &text);
+
+    /**
+     * Recoverable variant of parse() for documents the process does
+     * not control (result-cache records, resumed manifests): returns
+     * nullopt and fills @p error instead of raising, so a corrupt
+     * record can be skipped with a warning rather than killing the
+     * run.
+     */
+    static std::optional<Value> tryParse(const std::string &text,
+                                         std::string *error = nullptr);
 
   private:
     void dumpTo(std::string &out, int indent, int depth) const;

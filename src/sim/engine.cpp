@@ -11,6 +11,7 @@
 #include <type_traits>
 
 #include "common/log.h"
+#include "sim/resultstore.h"
 
 namespace dttsim::sim {
 
@@ -130,24 +131,49 @@ hashProgram(Fnv1a &h, const isa::Program &prog)
     h.pod(prog.numTriggers());
 }
 
-JobResult
-executeJob(const SimJob &job)
+/** One simulation attempt; may throw, may be deadline-cancelled. */
+SimResult
+simulateOnce(const SimJob &job, double deadline_seconds,
+             bool *cancelled)
 {
-    auto t0 = std::chrono::steady_clock::now();
     Simulator simulator(job.config, job.program);
     for (std::size_t i = 0; i < job.coRunnerEntries.size(); ++i)
         simulator.core().startCoRunner(static_cast<CtxId>(i + 1),
                                        job.coRunnerEntries[i]);
-    JobResult jr;
-    jr.workload = job.workload;
-    jr.variant = job.variant;
-    jr.result = simulator.run();
-    jr.wallSeconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0).count();
-    return jr;
+    return simulator.run(deadline_seconds, cancelled);
+}
+
+/** Classify a completed (non-thrown, non-cancelled) simulation. */
+JobStatus
+statusOf(const SimResult &r)
+{
+    return r.halted && !r.hitMaxCycles ? JobStatus::Ok
+                                       : JobStatus::Failed;
 }
 
 } // namespace
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Error: return "error";
+    case JobStatus::Timeout: return "timeout";
+    }
+    return "?";
+}
+
+std::optional<JobStatus>
+jobStatusFromName(const std::string &name)
+{
+    for (JobStatus s : {JobStatus::Ok, JobStatus::Failed,
+                        JobStatus::Error, JobStatus::Timeout})
+        if (name == jobStatusName(s))
+            return s;
+    return std::nullopt;
+}
 
 std::string
 jobDigest(const SimJob &job)
@@ -165,15 +191,36 @@ jobDigest(const SimJob &job)
 }
 
 Engine::Engine(int num_threads)
+    : Engine(EngineConfig{num_threads, 1, 0.0, 0.0, nullptr})
 {
-    if (num_threads < 0)
-        fatal("Engine: num_threads must be >= 0 (got %d); 0 selects "
-              "the hardware concurrency", num_threads);
-    if (num_threads == 0) {
+}
+
+Engine::Engine(const EngineConfig &config) : config_(config)
+{
+    if (config_.numThreads < 0)
+        fatal("Engine: numThreads must be >= 0 (got %d); 0 selects "
+              "the hardware concurrency", config_.numThreads);
+    if (config_.numThreads == 0) {
         unsigned hw = std::thread::hardware_concurrency();
-        num_threads = hw ? static_cast<int>(hw) : 1;
+        config_.numThreads = hw ? static_cast<int>(hw) : 1;
     }
-    numThreads_ = num_threads;
+    if (config_.maxAttempts < 1)
+        fatal("Engine: maxAttempts must be >= 1 (got %d); the first "
+              "execution is attempt 1", config_.maxAttempts);
+    if (config_.retryBackoffSeconds < 0)
+        fatal("Engine: retryBackoffSeconds must be >= 0 (got %g)",
+              config_.retryBackoffSeconds);
+    if (config_.jobDeadlineSeconds < 0)
+        fatal("Engine: jobDeadlineSeconds must be >= 0 (got %g); 0 "
+              "disables the per-job deadline",
+              config_.jobDeadlineSeconds);
+}
+
+void
+Engine::setExecuteOverrideForTest(
+    std::function<SimResult(const SimJob &, int attempt)> fn)
+{
+    executeOverride_ = std::move(fn);
 }
 
 std::vector<JobResult>
@@ -194,37 +241,125 @@ Engine::run(const std::vector<SimJob> &jobs)
         if (inserted)
             unique.push_back(i);
     }
-    executed_ += unique.size();
 
-    // Farm the unique jobs out to the pool. Each simulation is
-    // single-threaded and self-contained, so scheduling order cannot
-    // affect any SimResult — only wall-clock.
+    // Warm start: unique jobs whose digest is already in the
+    // persistent store skip execution entirely, inheriting the
+    // original run's result, wall time and attempt count — this is
+    // both the cross-binary dedup and the checkpoint/resume path.
+    ResultStore *store =
+        config_.store != nullptr && config_.store->readable()
+            ? config_.store : nullptr;
     std::vector<JobResult> executedResults(jobs.size());
+    std::vector<std::size_t> pending;
+    for (std::size_t idx : unique) {
+        if (store != nullptr) {
+            if (std::optional<ResultStore::Record> rec =
+                    store->lookup(digests[idx])) {
+                JobResult &jr = executedResults[idx];
+                jr.result = rec->result;
+                jr.status = rec->status;
+                jr.attempts = rec->attempts;
+                jr.wallSeconds = rec->wallSeconds;
+                jr.cached = true;
+                ++cacheHits_;
+                continue;
+            }
+        }
+        pending.push_back(idx);
+    }
+    executed_ += pending.size();
+
+    // Farm the pending jobs out to the pool. Each simulation is
+    // single-threaded and self-contained, so scheduling order cannot
+    // affect any SimResult — only wall-clock. Failures are isolated:
+    // a thrown attempt is retried up to maxAttempts times with
+    // exponential backoff, then recorded as a structured Error; a
+    // deadline cancellation becomes a Timeout. Nothing a job does
+    // aborts the rest of the batch.
     std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr firstError;
-    std::mutex errorMutex;
+    std::atomic<std::uint64_t> retried{0};
+
+    auto attemptOnce = [&](const SimJob &job, int attempt,
+                           bool *cancelled) {
+        if (executeOverride_)
+            return executeOverride_(job, attempt);
+        return simulateOnce(job, config_.jobDeadlineSeconds,
+                            cancelled);
+    };
 
     auto worker = [&]() {
-        while (!failed.load(std::memory_order_relaxed)) {
+        for (;;) {
             std::size_t u = next.fetch_add(1);
-            if (u >= unique.size())
+            if (u >= pending.size())
                 return;
-            std::size_t idx = unique[u];
-            try {
-                executedResults[idx] = executeJob(jobs[idx]);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (!firstError)
-                    firstError = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                return;
+            std::size_t idx = pending[u];
+            JobResult &jr = executedResults[idx];
+            auto t0 = std::chrono::steady_clock::now();
+            for (int attempt = 1;; ++attempt) {
+                jr.attempts = attempt;
+                bool cancelled = false;
+                try {
+                    jr.result = attemptOnce(jobs[idx], attempt,
+                                            &cancelled);
+                    if (cancelled) {
+                        // Sanitize: the partial counters of a
+                        // cancelled run depend on host timing, so
+                        // they must not reach the deterministic
+                        // results document.
+                        jr.status = JobStatus::Timeout;
+                        jr.error = {"deadline", strfmt(
+                            "wall-clock deadline of %gs exceeded",
+                            config_.jobDeadlineSeconds)};
+                        jr.result = SimResult{};
+                        jr.result.hitMaxCycles = true;
+                        jr.result.haltReason = HaltReason::CycleLimit;
+                        jr.result.haltDetail =
+                            "cancelled: " + jr.error.message;
+                    } else {
+                        jr.status = statusOf(jr.result);
+                        jr.error = {};
+                    }
+                    break;
+                } catch (const FatalError &e) {
+                    jr.error = {"FatalError", e.what()};
+                } catch (const PanicError &e) {
+                    jr.error = {"PanicError", e.what()};
+                } catch (const std::exception &e) {
+                    jr.error = {"exception", e.what()};
+                } catch (...) {
+                    jr.error = {"unknown", "non-std exception"};
+                }
+                if (attempt >= config_.maxAttempts) {
+                    jr.status = JobStatus::Error;
+                    jr.result = SimResult{};
+                    jr.result.hitMaxCycles = true;
+                    jr.result.haltReason = HaltReason::CycleLimit;
+                    jr.result.haltDetail =
+                        "not simulated: " + jr.error.message;
+                    break;
+                }
+                retried.fetch_add(1, std::memory_order_relaxed);
+                double backoff = config_.retryBackoffSeconds
+                    * static_cast<double>(1ull << (attempt - 1));
+                if (backoff > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(backoff));
             }
+            jr.wallSeconds = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0).count();
+            // Persist as soon as the job completes (not at batch
+            // end), so a killed sweep resumes from every finished
+            // simulation. Only deterministic outcomes are cached.
+            if (store != nullptr && store->writable()
+                && (jr.status == JobStatus::Ok
+                    || jr.status == JobStatus::Failed))
+                store->put({digests[idx], jr.status, jr.attempts,
+                            jr.wallSeconds, jr.result});
         }
     };
 
     std::size_t pool = std::min<std::size_t>(
-        static_cast<std::size_t>(numThreads_), unique.size());
+        static_cast<std::size_t>(config_.numThreads), pending.size());
     if (pool <= 1) {
         worker();
     } else {
@@ -235,8 +370,7 @@ Engine::run(const std::vector<SimJob> &jobs)
         for (std::thread &t : threads)
             t.join();
     }
-    if (firstError)
-        std::rethrow_exception(firstError);
+    retries_ += retried.load();
 
     // Expand to submission order; duplicates copy the representative
     // but keep their own labels.
@@ -285,46 +419,103 @@ resultToJson(const SimResult &r)
     return v;
 }
 
+std::optional<SimResult>
+tryResultFromJson(const json::Value &v, std::string *error)
+{
+    auto fail = [&](const std::string &what)
+        -> std::optional<SimResult> {
+        if (error != nullptr)
+            *error = what;
+        return std::nullopt;
+    };
+    if (!v.isObject())
+        return fail("result is not an object");
+
+    SimResult r;
+#define DTTSIM_GET_U64(name) \
+    { \
+        const json::Value *f = v.find(#name); \
+        if (f == nullptr || !f->isUint()) \
+            return fail("result." #name \
+                        " missing or not an unsigned integer"); \
+        r.name = f->asUint(); \
+    }
+#define DTTSIM_GET_BOOL(name) \
+    { \
+        const json::Value *f = v.find(#name); \
+        if (f == nullptr || !f->isBool()) \
+            return fail("result." #name " missing or not a bool"); \
+        r.name = f->asBool(); \
+    }
+    DTTSIM_SIMRESULT_U64_FIELDS(DTTSIM_GET_U64)
+    DTTSIM_SIMRESULT_BOOL_FIELDS(DTTSIM_GET_BOOL)
+#undef DTTSIM_GET_U64
+#undef DTTSIM_GET_BOOL
+
+    const json::Value *ipc = v.find("ipc");
+    if (ipc == nullptr || !ipc->isNumber())
+        return fail("result.ipc missing or not a number");
+    r.ipc = ipc->asDouble();
+
+    const json::Value *reason = v.find("haltReason");
+    if (reason == nullptr || !reason->isString())
+        return fail("result.haltReason missing or not a string");
+    bool known = false;
+    for (HaltReason hr : {HaltReason::Halted, HaltReason::CycleLimit,
+                          HaltReason::Deadlock, HaltReason::Diverged}) {
+        if (reason->asString() == haltReasonName(hr)) {
+            r.haltReason = hr;
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        return fail("unknown haltReason \"" + reason->asString()
+                    + "\" in result JSON");
+
+    const json::Value *detail = v.find("haltDetail");
+    if (detail == nullptr || !detail->isString())
+        return fail("result.haltDetail missing or not a string");
+    r.haltDetail = detail->asString();
+    return r;
+}
+
 SimResult
 resultFromJson(const json::Value &v)
 {
-    SimResult r;
-#define DTTSIM_GET_U64(name) r.name = v.get(#name).asUint();
-#define DTTSIM_GET_BOOL(name) r.name = v.get(#name).asBool();
-    DTTSIM_SIMRESULT_U64_FIELDS(DTTSIM_GET_U64)
-    r.ipc = v.get("ipc").asDouble();
-    DTTSIM_SIMRESULT_BOOL_FIELDS(DTTSIM_GET_BOOL)
-    {
-        const std::string name = v.get("haltReason").asString();
-        bool known = false;
-        for (HaltReason hr : {HaltReason::Halted, HaltReason::CycleLimit,
-                              HaltReason::Deadlock,
-                              HaltReason::Diverged}) {
-            if (name == haltReasonName(hr)) {
-                r.haltReason = hr;
-                known = true;
-                break;
-            }
-        }
-        if (!known)
-            fatal("unknown haltReason \"%s\" in result JSON",
-                  name.c_str());
-        r.haltDetail = v.get("haltDetail").asString();
-    }
-#undef DTTSIM_GET_U64
-#undef DTTSIM_GET_BOOL
-    return r;
+    // The strict path (check_results_json): same decoding, but a
+    // malformed record is a hard validation failure.
+    std::string error;
+    std::optional<SimResult> r = tryResultFromJson(v, &error);
+    if (!r)
+        fatal("%s", error.c_str());
+    return *r;
 }
 
 json::Value
 jobResultToJson(const JobResult &jr)
 {
+    // Schema v2. Deliberately free of wall-clock measurements: the
+    // emitted document is a pure function of the submitted jobs, so
+    // a resumed sweep's merged output is byte-identical to an
+    // uninterrupted run's (timings live in the result cache and the
+    // stderr summary instead).
     json::Value v = json::Value::object();
     v.set("workload", json::Value(jr.workload));
     v.set("variant", json::Value(jr.variant));
     v.set("config_digest", json::Value(jr.digest));
     v.set("deduplicated", json::Value(jr.deduplicated));
-    v.set("wall_seconds", json::Value(jr.wallSeconds));
+    v.set("status",
+          json::Value(std::string(jobStatusName(jr.status))));
+    v.set("attempts",
+          json::Value(static_cast<std::uint64_t>(jr.attempts)));
+    if (jr.status == JobStatus::Error
+        || jr.status == JobStatus::Timeout) {
+        json::Value e = json::Value::object();
+        e.set("kind", json::Value(jr.error.kind));
+        e.set("message", json::Value(jr.error.message));
+        v.set("error", std::move(e));
+    }
     v.set("result", resultToJson(jr.result));
     return v;
 }

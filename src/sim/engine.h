@@ -2,9 +2,9 @@
 
 /**
  * @file
- * Parallel experiment engine: a thread-pool scheduler over batches of
- * simulation jobs. Every figure/table of the evaluation is a batch of
- * independent (config, program) simulations, so the engine
+ * Parallel experiment engine: a supervised thread-pool scheduler over
+ * batches of simulation jobs. Every figure/table of the evaluation is
+ * a batch of independent (config, program) simulations, so the engine
  *
  *  - runs jobs across hardware threads (each job is one single-
  *    threaded, fully deterministic Simulator instance, so a batch
@@ -13,14 +13,26 @@
  *    fingerprint (the baseline run of each workload historically got
  *    re-simulated by nearly every figure binary; within a batch it
  *    now runs once and fans out);
+ *  - isolates failures: a worker exception or a run that never halts
+ *    becomes a structured per-job status (JobStatus + JobError) in
+ *    the results instead of aborting the batch, with configurable
+ *    bounded retry (exponential backoff) for transient host failures
+ *    and a per-job wall-clock deadline that cancels runaway
+ *    simulations;
+ *  - warm-starts from a persistent, digest-keyed ResultStore
+ *    (src/sim/resultstore.h) so completed simulations survive a
+ *    killed process and are shared across figure binaries;
  *  - returns results in submission order, each tagged with the
- *    fingerprint digest and per-job wall-clock time.
+ *    fingerprint digest, per-job wall-clock time, attempt count and
+ *    status.
  *
  * The JSON helpers at the bottom are the structured-results schema
  * used by the bench harness's --json emitter (docs/HARNESS.md).
  */
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,8 +42,10 @@
 
 namespace dttsim::sim {
 
+class ResultStore;
+
 /** Version of the JSON record schema emitted for JobResults. */
-inline constexpr int kResultsSchemaVersion = 1;
+inline constexpr int kResultsSchemaVersion = 2;
 
 /** One experiment: a machine configuration plus a program to run. */
 struct SimJob
@@ -52,6 +66,46 @@ struct SimJob
     std::vector<std::uint64_t> coRunnerEntries;
 };
 
+/**
+ * How a job ended. `Ok` and `Failed` are deterministic simulation
+ * outcomes (cacheable); `Error` and `Timeout` are host-level events
+ * (never cached, re-executed on resume).
+ */
+enum class JobStatus
+{
+    /** Simulated to a clean halt. */
+    Ok,
+    /** Simulated to completion but did not halt cleanly: cycle
+     *  limit, watchdog Deadlock or differential-checker Diverged —
+     *  result.haltReason says which. */
+    Failed,
+    /** The worker threw (every configured attempt); the result
+     *  payload is the default SimResult and `error` says what. */
+    Error,
+    /** The per-job wall-clock deadline cancelled the run; the result
+     *  payload is a sanitized cycle-limit record. */
+    Timeout,
+};
+
+/** Schema name of a status: "ok", "failed", "error", "timeout". */
+const char *jobStatusName(JobStatus s);
+
+/** Inverse of jobStatusName(); nullopt for an unknown name. */
+std::optional<JobStatus> jobStatusFromName(const std::string &name);
+
+/** Structured description of a job failure (status Error/Timeout). */
+struct JobError
+{
+    /** What threw: "FatalError", "PanicError", "exception",
+     *  "unknown" — or "deadline" for a Timeout. */
+    std::string kind;
+    /** The exception's what() text, or the deadline description. */
+    std::string message;
+
+    bool empty() const { return kind.empty() && message.empty(); }
+    bool operator==(const JobError &) const = default;
+};
+
 /** Outcome of one submitted job, in submission order. */
 struct JobResult
 {
@@ -60,12 +114,24 @@ struct JobResult
     /** 16-hex-digit fingerprint of (config, program, co-runners). */
     std::string digest;
     SimResult result;
+    /** How the job ended; anything but Ok makes the harness exit
+     *  nonzero, but never aborts the rest of the batch. */
+    JobStatus status = JobStatus::Ok;
+    /** Populated when status is Error or Timeout. */
+    JobError error;
+    /** Execution attempts consumed (>= 1; > 1 means retries). */
+    int attempts = 1;
     /** Wall-clock seconds of the executing simulation (duplicates
-     *  inherit the representative's time). */
+     *  and cache hits inherit the original execution's time). */
     double wallSeconds = 0.0;
     /** True when this job reused another identical job's execution
-     *  instead of simulating again. */
+     *  from the same batch instead of simulating again. */
     bool deduplicated = false;
+    /** True when the result was warm-started from the persistent
+     *  ResultStore instead of simulating (not serialized: a resumed
+     *  sweep's merged JSON is byte-identical to an uninterrupted
+     *  one). */
+    bool cached = false;
 };
 
 /**
@@ -76,7 +142,27 @@ struct JobResult
  */
 std::string jobDigest(const SimJob &job);
 
-/** Thread-pool experiment scheduler. */
+/** Supervision policy for the engine. */
+struct EngineConfig
+{
+    /** Worker count; 0 picks the hardware concurrency. */
+    int numThreads = 0;
+    /** Executions per job before giving up on a thrown exception
+     *  (1 = no retry). Deterministic simulation outcomes (Failed)
+     *  and deadline cancellations are never retried. */
+    int maxAttempts = 1;
+    /** Sleep before the first retry; doubles per further retry. */
+    double retryBackoffSeconds = 0.0;
+    /** Per-job wall-clock deadline in seconds; 0 disables. Checked
+     *  at the commit-progress watchdog cadence, so a runaway
+     *  simulation is cancelled within one watchdog window. */
+    double jobDeadlineSeconds = 0.0;
+    /** Persistent digest-keyed result cache; nullptr (or a store in
+     *  Mode::Off) disables warm-starting. Not owned. */
+    ResultStore *store = nullptr;
+};
+
+/** Supervised thread-pool experiment scheduler. */
 class Engine
 {
   public:
@@ -84,34 +170,68 @@ class Engine
      *  concurrency. */
     explicit Engine(int num_threads = 0);
 
+    /** Full supervision policy (threads, retry, deadline, cache). */
+    explicit Engine(const EngineConfig &config);
+
     /**
-     * Run a batch. Unique jobs (by jobDigest) are distributed over
+     * Run a batch. Unique jobs (by jobDigest) are warm-started from
+     * the ResultStore when possible, the rest are distributed over
      * the worker pool; duplicates share the representative's result.
-     * Results come back in submission order. Worker exceptions
-     * (e.g. FatalError from an invalid SimConfig) are rethrown here.
+     * Results come back in submission order. A worker exception is
+     * captured as a per-job JobStatus::Error record — it never
+     * aborts the remaining jobs and is never rethrown here.
      */
     std::vector<JobResult> run(const std::vector<SimJob> &jobs);
 
-    int threads() const { return numThreads_; }
+    int threads() const { return config_.numThreads; }
 
     /** Jobs submitted across all run() calls. */
     std::uint64_t submitted() const { return submitted_; }
-    /** Simulations actually executed (submitted minus dedup hits). */
+    /** Simulations actually executed (submitted minus within-batch
+     *  dedup hits minus ResultStore warm starts). */
     std::uint64_t executed() const { return executed_; }
+    /** Jobs warm-started from the persistent ResultStore. */
+    std::uint64_t cacheHits() const { return cacheHits_; }
+    /** Extra execution attempts spent on retries. */
+    std::uint64_t retries() const { return retries_; }
+
+    /**
+     * Test seam: replace the Simulator invocation so tests can
+     * inject transient host failures (throw for the first N
+     * attempts, then return a result). The hook receives the job and
+     * the 1-based attempt number. Production code never sets this.
+     */
+    void setExecuteOverrideForTest(
+        std::function<SimResult(const SimJob &, int attempt)> fn);
 
   private:
-    int numThreads_;
+    EngineConfig config_;
     std::uint64_t submitted_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t retries_ = 0;
+    std::function<SimResult(const SimJob &, int attempt)>
+        executeOverride_;
 };
 
 /** Serialize every SimResult field (schema in docs/HARNESS.md). */
 json::Value resultToJson(const SimResult &r);
 
-/** Inverse of resultToJson; fatal() on missing/mistyped fields. */
+/**
+ * Inverse of resultToJson. The recoverable path: a missing or
+ * mistyped field returns nullopt and fills @p error with the field
+ * name, so a corrupt cache record is skipped with a warning instead
+ * of killing the process.
+ */
+std::optional<SimResult> tryResultFromJson(const json::Value &v,
+                                           std::string *error = nullptr);
+
+/** Strict inverse of resultToJson: fatal() on missing/mistyped
+ *  fields (the check_results_json validation path). */
 SimResult resultFromJson(const json::Value &v);
 
-/** One schema record for a finished job. */
+/** One schema-v2 record for a finished job (status, attempts, error
+ *  when failed, and the result payload; see docs/HARNESS.md). */
 json::Value jobResultToJson(const JobResult &jr);
 
 } // namespace dttsim::sim

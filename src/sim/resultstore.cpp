@@ -1,0 +1,326 @@
+#include "sim/resultstore.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace dttsim::sim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** fsync an open stdio stream. */
+bool
+syncStream(std::FILE *f)
+{
+    return std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+}
+
+/** fsync a directory so a rename into it is durable. */
+void
+syncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+const char *
+ResultStore::modeName(Mode m)
+{
+    switch (m) {
+    case Mode::Off: return "off";
+    case Mode::ReadOnly: return "ro";
+    case Mode::ReadWrite: return "rw";
+    }
+    return "?";
+}
+
+std::optional<ResultStore::Mode>
+ResultStore::parseMode(const std::string &name)
+{
+    for (Mode m : {Mode::Off, Mode::ReadOnly, Mode::ReadWrite})
+        if (name == modeName(m))
+            return m;
+    return std::nullopt;
+}
+
+json::Value
+storeRecordToJson(const ResultStore::Record &rec)
+{
+    json::Value v = json::Value::object();
+    v.set("digest", json::Value(rec.digest));
+    v.set("status", json::Value(std::string(jobStatusName(rec.status))));
+    v.set("attempts",
+          json::Value(static_cast<std::uint64_t>(rec.attempts)));
+    v.set("wall_seconds", json::Value(rec.wallSeconds));
+    v.set("result", resultToJson(rec.result));
+    return v;
+}
+
+std::optional<ResultStore::Record>
+tryStoreRecordFromJson(const json::Value &v, std::string *error)
+{
+    auto fail = [&](const char *what) -> std::optional<ResultStore::Record> {
+        if (error != nullptr)
+            *error = what;
+        return std::nullopt;
+    };
+    if (!v.isObject())
+        return fail("record is not an object");
+
+    ResultStore::Record rec;
+    const json::Value *digest = v.find("digest");
+    if (digest == nullptr || !digest->isString()
+        || digest->asString().empty())
+        return fail("'digest' missing or not a string");
+    rec.digest = digest->asString();
+
+    const json::Value *status = v.find("status");
+    if (status == nullptr || !status->isString())
+        return fail("'status' missing or not a string");
+    std::optional<JobStatus> st = jobStatusFromName(status->asString());
+    if (!st)
+        return fail("'status' names an unknown job status");
+    rec.status = *st;
+
+    const json::Value *attempts = v.find("attempts");
+    if (attempts == nullptr || !attempts->isUint()
+        || attempts->asUint() < 1)
+        return fail("'attempts' missing or not a positive integer");
+    rec.attempts = static_cast<int>(attempts->asUint());
+
+    const json::Value *wall = v.find("wall_seconds");
+    if (wall == nullptr || !wall->isNumber())
+        return fail("'wall_seconds' missing or not a number");
+    rec.wallSeconds = wall->asDouble();
+
+    const json::Value *result = v.find("result");
+    if (result == nullptr)
+        return fail("'result' missing");
+    std::string result_error;
+    std::optional<SimResult> r = tryResultFromJson(*result, &result_error);
+    if (!r) {
+        if (error != nullptr)
+            *error = result_error;
+        return std::nullopt;
+    }
+    rec.result = *r;
+    return rec;
+}
+
+ResultStore::ResultStore(std::string dir, Mode mode)
+    : dir_(std::move(dir)), mode_(mode)
+{
+    if (mode_ == Mode::Off)
+        return;
+    if (writable()) {
+        std::error_code ec;
+        fs::create_directories(dir_, ec);
+        if (ec)
+            warn("result cache: cannot create '%s': %s; caching "
+                 "disabled for this run",
+                 dir_.c_str(), ec.message().c_str());
+    }
+    load();
+}
+
+ResultStore::~ResultStore()
+{
+    if (segment_ != nullptr) {
+        syncStream(segment_);
+        std::fclose(segment_);
+    }
+}
+
+std::string
+ResultStore::manifestPath() const
+{
+    return dir_ + "/MANIFEST";
+}
+
+void
+ResultStore::load()
+{
+    std::ifstream manifest(manifestPath());
+    if (!manifest)
+        return;  // empty store: first run, or a fresh directory
+    std::string text((std::istreambuf_iterator<char>(manifest)),
+                     std::istreambuf_iterator<char>());
+
+    std::string error;
+    std::optional<json::Value> doc = json::Value::tryParse(text, &error);
+    if (!doc || !doc->isObject() || doc->find("segments") == nullptr
+        || !doc->get("segments").isArray()) {
+        warn("result cache: %s is corrupt (%s); starting from an "
+             "empty cache",
+             manifestPath().c_str(),
+             error.empty() ? "unexpected shape" : error.c_str());
+        return;
+    }
+
+    const json::Value &segments = doc->get("segments");
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (!segments.at(i).isString()) {
+            warn("result cache: %s: segment %zu is not a string; "
+                 "skipped", manifestPath().c_str(), i);
+            continue;
+        }
+        const std::string name = segments.at(i).asString();
+        const std::string path = dir_ + "/" + name;
+        std::ifstream seg(path);
+        if (!seg) {
+            warn("result cache: segment '%s' listed in MANIFEST is "
+                 "missing; its records will be re-executed",
+                 path.c_str());
+            continue;
+        }
+        segments_.push_back(name);
+        ++segmentsLoaded_;
+        std::string line;
+        for (std::size_t lineno = 1; std::getline(seg, line); ++lineno) {
+            if (line.empty())
+                continue;
+            std::optional<json::Value> v =
+                json::Value::tryParse(line, &error);
+            std::optional<Record> rec;
+            if (v)
+                rec = tryStoreRecordFromJson(*v, &error);
+            if (!rec) {
+                // A torn tail line after a SIGKILL lands here: the
+                // record degrades to one re-executed job.
+                warn("result cache: %s:%zu: skipping corrupt record "
+                     "(%s)", path.c_str(), lineno, error.c_str());
+                ++corrupt_;
+                continue;
+            }
+            byDigest_.emplace(rec->digest, std::move(*rec));
+        }
+    }
+}
+
+bool
+ResultStore::writeManifest(const std::vector<std::string> &segments)
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema_version",
+            json::Value(static_cast<std::uint64_t>(
+                kResultsSchemaVersion)));
+    json::Value segs = json::Value::array();
+    for (const std::string &s : segments)
+        segs.push(json::Value(s));
+    doc.set("segments", std::move(segs));
+
+    const std::string tmp = manifestPath() + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::string text = doc.dump(2);
+    text += '\n';
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size()
+        && syncStream(f);
+    ok = (std::fclose(f) == 0) && ok;
+    // The atomic publish: readers see either the old or the new
+    // manifest, never a torn one.
+    ok = ok && std::rename(tmp.c_str(), manifestPath().c_str()) == 0;
+    if (ok)
+        syncDir(dir_);
+    else
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+bool
+ResultStore::openSegment()
+{
+    // A name unique across processes (and across pid reuse): probe
+    // with "wx" so two concurrent writers never share a segment.
+    const unsigned pid = static_cast<unsigned>(::getpid());
+    for (unsigned k = 0; k < 1000; ++k) {
+        std::string name = strfmt("seg-%u-%u.jsonl", pid, k);
+        std::string path = dir_ + "/" + name;
+        std::FILE *f = std::fopen(path.c_str(), "wx");
+        if (f == nullptr) {
+            if (errno == EEXIST)
+                continue;
+            warn("result cache: cannot create segment '%s': %s; "
+                 "new results will not be persisted",
+                 path.c_str(), std::strerror(errno));
+            return false;
+        }
+        // Register before the first record: the loader tolerates an
+        // empty or torn segment, while an unregistered one would
+        // silently lose every record it holds.
+        std::vector<std::string> all = segments_;
+        all.push_back(name);
+        if (!writeManifest(all)) {
+            warn("result cache: cannot publish '%s' in %s; new "
+                 "results will not be persisted",
+                 name.c_str(), manifestPath().c_str());
+            std::fclose(f);
+            std::remove(path.c_str());
+            return false;
+        }
+        segments_ = std::move(all);
+        segment_ = f;
+        return true;
+    }
+    warn("result cache: exhausted segment names in '%s'", dir_.c_str());
+    return false;
+}
+
+std::optional<ResultStore::Record>
+ResultStore::lookup(const std::string &digest) const
+{
+    if (!readable())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = byDigest_.find(digest);
+    if (it == byDigest_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResultStore::put(const Record &rec)
+{
+    if (!writable())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (byDigest_.count(rec.digest) != 0)
+        return;  // already durable; keep the store append-only
+    if (segment_ == nullptr && !openSegment()) {
+        // Creation failed (and warned) — remember the record in
+        // memory so at least this process keeps its dedup.
+        byDigest_.emplace(rec.digest, rec);
+        return;
+    }
+    std::string line = storeRecordToJson(rec).dump();
+    line += '\n';
+    if (std::fwrite(line.data(), 1, line.size(), segment_)
+            != line.size()
+        || !syncStream(segment_))
+        warn("result cache: short write to segment in '%s': %s",
+             dir_.c_str(), std::strerror(errno));
+    byDigest_.emplace(rec.digest, rec);
+}
+
+std::size_t
+ResultStore::records() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return byDigest_.size();
+}
+
+} // namespace dttsim::sim

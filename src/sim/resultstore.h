@@ -1,0 +1,133 @@
+#pragma once
+
+/**
+ * @file
+ * Persistent, digest-keyed simulation-result cache: the durability
+ * layer under sim::Engine that makes long sweeps crash-safe and
+ * figure binaries warm-startable across processes.
+ *
+ * On-disk layout (one directory, default bench/out/cache/):
+ *
+ *     MANIFEST        {"schema_version": 2, "segments": [...]}
+ *     seg-*.jsonl     one JSON record per line, append-only
+ *
+ * Durability contract:
+ *
+ *  - every record append is flushed and fsync'd before put()
+ *    returns, so a SIGKILL loses at most the torn tail line of the
+ *    current segment;
+ *  - the MANIFEST is rewritten atomically (tmp file + fsync +
+ *    rename) whenever a new segment is registered — a crash mid-
+ *    rewrite leaves the previous MANIFEST intact, and stray
+ *    *.tmp / unregistered segment files are ignored on load;
+ *  - corrupt or truncated records are skipped with a warning on
+ *    load (json::Value::tryParse + sim::tryResultFromJson), never a
+ *    fatal(): a damaged cache degrades to re-execution, it does not
+ *    kill the sweep.
+ *
+ * Records are keyed by sim::jobDigest(), which fingerprints every
+ * behaviour-relevant field of the job, so a hit is valid across
+ * binaries and process lifetimes (cross-binary dedup). Only
+ * deterministic simulation outcomes (JobStatus::Ok / Failed) are
+ * stored; host-level Error/Timeout outcomes are always re-executed.
+ */
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "sim/engine.h"
+
+namespace dttsim::sim {
+
+/** Append-only JSONL result cache under one directory. */
+class ResultStore
+{
+  public:
+    enum class Mode
+    {
+        Off,       ///< no reads, no writes (a null store)
+        ReadOnly,  ///< warm-start from existing records; never write
+        ReadWrite, ///< warm-start and persist new results
+    };
+
+    /** "off", "ro", "rw" — the --cache flag spelling. */
+    static const char *modeName(Mode m);
+    /** Inverse of modeName(); nullopt for an unknown spelling. */
+    static std::optional<Mode> parseMode(const std::string &name);
+
+    /** One cached execution. */
+    struct Record
+    {
+        std::string digest;
+        JobStatus status = JobStatus::Ok;
+        int attempts = 1;
+        double wallSeconds = 0.0;
+        SimResult result;
+    };
+
+    /**
+     * Open (and for ReadWrite, create) the store at @p dir and load
+     * every record reachable from the MANIFEST. A missing directory
+     * or MANIFEST is an empty store, not an error; corrupt records
+     * are skipped and counted.
+     */
+    ResultStore(std::string dir, Mode mode);
+
+    /** Seals the current segment (flush + fsync). */
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    Mode mode() const { return mode_; }
+    bool readable() const { return mode_ != Mode::Off; }
+    bool writable() const { return mode_ == Mode::ReadWrite; }
+    const std::string &dir() const { return dir_; }
+    std::string manifestPath() const;
+
+    /** Cached record for @p digest, or nullopt. Thread-safe. */
+    std::optional<Record> lookup(const std::string &digest) const;
+
+    /**
+     * Persist one record (ReadWrite only; otherwise a no-op). The
+     * line is flushed and fsync'd before returning. A digest already
+     * in the store is not re-appended. Thread-safe: workers call
+     * this as jobs finish, so a kill -9 mid-batch keeps every job
+     * completed so far.
+     */
+    void put(const Record &rec);
+
+    /** Records loaded from disk plus records appended this run. */
+    std::size_t records() const;
+    /** Records skipped as corrupt/truncated during load. */
+    std::size_t corruptRecords() const { return corrupt_; }
+    /** Segment files successfully opened during load. */
+    std::size_t segmentsLoaded() const { return segmentsLoaded_; }
+
+  private:
+    void load();
+    bool openSegment();
+    bool writeManifest(const std::vector<std::string> &segments);
+
+    std::string dir_;
+    Mode mode_;
+    mutable std::mutex mutex_;
+    std::map<std::string, Record> byDigest_;
+    std::vector<std::string> segments_;
+    std::FILE *segment_ = nullptr;
+    std::size_t corrupt_ = 0;
+    std::size_t segmentsLoaded_ = 0;
+};
+
+/** One cache record as a compact JSONL line (without newline). */
+json::Value storeRecordToJson(const ResultStore::Record &rec);
+
+/** Recoverable inverse of storeRecordToJson: nullopt + @p error on
+ *  a missing/mistyped field (the corrupt-record skip path). */
+std::optional<ResultStore::Record>
+tryStoreRecordFromJson(const json::Value &v, std::string *error = nullptr);
+
+} // namespace dttsim::sim

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.h"
 
@@ -203,7 +204,7 @@ Simulator::Simulator(const SimConfig &config, isa::Program prog)
 }
 
 SimResult
-Simulator::run()
+Simulator::run(double wall_deadline_seconds, bool *cancelled)
 {
     if (ran_)
         panic("Simulator::run() is one-shot: a second run would "
@@ -211,7 +212,41 @@ Simulator::run()
               "state of the first; construct a fresh Simulator (or "
               "use sim::runProgram / sim::Engine) per run");
     ran_ = true;
-    cpu::CoreRunResult core_result = core_->run(config_.maxCycles);
+    if (cancelled != nullptr)
+        *cancelled = false;
+
+    cpu::CoreRunResult core_result;
+    bool deadline_hit = false;
+    if (wall_deadline_seconds <= 0.0) {
+        core_result = core_->run(config_.maxCycles);
+    } else {
+        // Slice the run at the commit-progress watchdog cadence and
+        // check the wall clock between slices: a runaway simulation
+        // (one that commits happily forever, which the in-sim
+        // watchdog by design never trips on) is cancelled within
+        // one window of the deadline. Slicing never changes the
+        // simulated behaviour — the core loop just re-enters.
+        const Cycle slice = config_.core.watchdogWindow > 0
+            ? config_.core.watchdogWindow : Cycle(100000);
+        const auto deadline = std::chrono::steady_clock::now()
+            + std::chrono::duration<double>(wall_deadline_seconds);
+        Cycle target = 0;
+        do {
+            target = std::min(config_.maxCycles, target + slice);
+            core_result = core_->run(target);
+        } while (core_result.hitMaxCycles && target < config_.maxCycles
+                 && !(deadline_hit =
+                          std::chrono::steady_clock::now() >= deadline));
+        if (deadline_hit) {
+            core_result.detail = strfmt(
+                "cancelled after %llu cycles: wall-clock deadline of "
+                "%gs exceeded",
+                static_cast<unsigned long long>(core_result.cycles),
+                wall_deadline_seconds);
+            if (cancelled != nullptr)
+                *cancelled = true;
+        }
+    }
 
     SimResult r;
     r.cycles = core_result.cycles;

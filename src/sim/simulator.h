@@ -132,8 +132,20 @@ class Simulator
      * second call throws PanicError instead of re-running on the
      * dirty architectural/cache state of the first run — construct a
      * fresh Simulator (or use runProgram / sim::Engine) per run.
+     *
+     * @param wall_deadline_seconds when > 0, a wall-clock budget for
+     *     this run: the core executes in commit-progress-watchdog-
+     *     sized slices and a run still going when the budget expires
+     *     is cancelled, coming back as a cycle-limit result whose
+     *     haltDetail names the deadline. Checked only between
+     *     slices, so determinism is untouched while the run is
+     *     within budget.
+     * @param cancelled set true iff the deadline fired (so the
+     *     engine can distinguish a Timeout from a genuine cycle-
+     *     limit halt).
      */
-    SimResult run();
+    SimResult run(double wall_deadline_seconds = 0.0,
+                  bool *cancelled = nullptr);
 
     cpu::OooCore &core() { return *core_; }
     mem::Hierarchy &hierarchy() { return hierarchy_; }

@@ -2,15 +2,22 @@
  * @file
  * Parallel experiment engine tests: determinism across thread counts,
  * within-batch dedup accounting, fingerprint sensitivity, JSON
- * round-tripping of SimResults, exception propagation from workers,
- * and the Simulator hardening that the engine relies on (one-shot
- * run(), SimConfig::validate()).
+ * round-tripping of SimResults, the resilience layer (crash-isolated
+ * failures, bounded retry, wall-clock deadlines, ResultStore warm
+ * starts / resume), and the Simulator hardening that the engine
+ * relies on (one-shot run(), SimConfig::validate()).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
 #include "common/log.h"
+#include "isa/builder.h"
 #include "sim/engine.h"
+#include "sim/resultstore.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -166,12 +173,207 @@ TEST(Engine, DigestCoversFaultAndDegradationKnobs)
     EXPECT_NE(jobDigest(j), base);
 }
 
-TEST(Engine, WorkerExceptionsPropagate)
+SimJob
+throwingJob()
 {
-    Engine engine(2);
     SimJob bad = makeJob("mcf", workloads::Variant::Baseline);
+    bad.variant = "broken";
     bad.config.maxCycles = 0;  // rejected by SimConfig::validate()
-    EXPECT_THROW(engine.run({bad}), FatalError);
+    return bad;
+}
+
+/** A program that never halts: the deadline-cancellation subject. */
+SimJob
+runawayJob()
+{
+    using namespace isa::regs;
+    isa::ProgramBuilder b;
+    isa::Label top = b.newLabel();
+    b.bind(top);
+    b.addi(t0, t0, 1);
+    b.j(top);
+    SimJob job;
+    job.workload = "runaway";
+    job.variant = "baseline";
+    job.config.enableDtt = false;
+    job.program = b.take();
+    return job;
+}
+
+std::string
+tempCacheDir()
+{
+    char tmpl[] = "/tmp/dttsim-engine-test-XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir;
+}
+
+TEST(EngineResilience, WorkerExceptionIsIsolated)
+{
+    // A throwing job must not abort the batch: it becomes a
+    // structured Error record and the other jobs still complete.
+    Engine engine(2);
+    SimJob good = makeJob("art", workloads::Variant::Dtt);
+    std::vector<JobResult> results =
+        engine.run({throwingJob(), good});
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Error);
+    EXPECT_EQ(results[0].error.kind, "FatalError");
+    EXPECT_NE(results[0].error.message.find("maxCycles"),
+              std::string::npos);
+    EXPECT_EQ(results[0].attempts, 1);
+    // The sanitized payload keeps the schema invariants (a non-halt
+    // with CycleLimit reason) so downstream consumers stay valid.
+    EXPECT_FALSE(results[0].result.halted);
+    EXPECT_TRUE(results[0].result.hitMaxCycles);
+
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    EXPECT_TRUE(results[1].result.halted);
+    EXPECT_TRUE(results[1].error.empty());
+}
+
+TEST(EngineResilience, RetryIsBoundedAndDeterministic)
+{
+    EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.maxAttempts = 3;
+    cfg.retryBackoffSeconds = 0.0;
+    Engine serial(cfg);
+    cfg.numThreads = 8;
+    Engine parallel(cfg);
+
+    std::vector<SimJob> jobs = mixedBatch();
+    jobs.insert(jobs.begin() + 1, throwingJob());
+    std::vector<JobResult> a = serial.run(jobs);
+    std::vector<JobResult> b = parallel.run(jobs);
+
+    // A deterministic fatal() fails every attempt, then gives up.
+    EXPECT_EQ(a[1].status, JobStatus::Error);
+    EXPECT_EQ(a[1].attempts, 3);
+    EXPECT_EQ(serial.retries(), 2u);
+
+    // Supervision must not perturb determinism across thread counts.
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].status, b[i].status) << i;
+        EXPECT_EQ(a[i].error, b[i].error) << i;
+        EXPECT_EQ(a[i].attempts, b[i].attempts) << i;
+        EXPECT_EQ(a[i].result, b[i].result) << i;
+    }
+}
+
+TEST(EngineResilience, TransientFailureRecoversViaRetry)
+{
+    EngineConfig cfg;
+    cfg.numThreads = 2;
+    cfg.maxAttempts = 3;
+    cfg.retryBackoffSeconds = 0.0;
+    Engine engine(cfg);
+    engine.setExecuteOverrideForTest(
+        [](const SimJob &job, int attempt) {
+            if (attempt < 3)
+                throw std::runtime_error("transient host failure");
+            return runProgram(job.config, job.program);
+        });
+
+    std::vector<JobResult> results =
+        engine.run({makeJob("mcf", workloads::Variant::Baseline)});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_EQ(results[0].attempts, 3);
+    EXPECT_TRUE(results[0].result.halted);
+    EXPECT_TRUE(results[0].error.empty());
+    EXPECT_EQ(engine.retries(), 2u);
+}
+
+TEST(EngineResilience, DeadlineCancelsRunawayJob)
+{
+    EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.jobDeadlineSeconds = 0.25;
+    Engine engine(cfg);
+
+    std::vector<JobResult> results = engine.run({runawayJob()});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Timeout);
+    EXPECT_EQ(results[0].error.kind, "deadline");
+    EXPECT_EQ(results[0].attempts, 1);  // timeouts are not retried
+    EXPECT_FALSE(results[0].result.halted);
+    EXPECT_TRUE(results[0].result.hitMaxCycles);
+}
+
+TEST(EngineResilience, WarmCacheExecutesZeroJobs)
+{
+    std::string dir = tempCacheDir();
+    std::vector<SimJob> jobs = mixedBatch();
+    // One deterministic non-clean end: Failed outcomes are cacheable
+    // too (re-running them would reproduce the same cycle-limit).
+    jobs.push_back(makeJob("mcf", workloads::Variant::Baseline));
+    jobs.back().variant = "truncated";
+    jobs.back().config.maxCycles = 100;
+
+    std::vector<JobResult> cold, warm;
+    {
+        ResultStore store(dir, ResultStore::Mode::ReadWrite);
+        EngineConfig cfg;
+        cfg.numThreads = 4;
+        cfg.store = &store;
+        Engine engine(cfg);
+        cold = engine.run(jobs);
+        EXPECT_EQ(engine.executed(), 7u);
+        EXPECT_EQ(engine.cacheHits(), 0u);
+        EXPECT_EQ(cold.back().status, JobStatus::Failed);
+    }
+    {
+        // A second engine (a different process, in real sweeps)
+        // warm-starts every job from the persistent store.
+        ResultStore store(dir, ResultStore::Mode::ReadWrite);
+        EXPECT_EQ(store.records(), 7u);
+        EngineConfig cfg;
+        cfg.numThreads = 4;
+        cfg.store = &store;
+        Engine engine(cfg);
+        warm = engine.run(jobs);
+        EXPECT_EQ(engine.executed(), 0u);
+        EXPECT_EQ(engine.cacheHits(), 7u);
+    }
+
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].result, warm[i].result) << i;
+        EXPECT_EQ(cold[i].status, warm[i].status) << i;
+        EXPECT_EQ(cold[i].deduplicated, warm[i].deduplicated) << i;
+        if (!warm[i].deduplicated) {
+            EXPECT_TRUE(warm[i].cached) << i;
+        }
+        // Byte-identical serialization: the resume acceptance
+        // criterion at record granularity.
+        EXPECT_EQ(jobResultToJson(cold[i]).dump(2),
+                  jobResultToJson(warm[i]).dump(2)) << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(EngineResilience, HostErrorsAreNeverCached)
+{
+    std::string dir = tempCacheDir();
+    for (int pass = 0; pass < 2; ++pass) {
+        ResultStore store(dir, ResultStore::Mode::ReadWrite);
+        EngineConfig cfg;
+        cfg.numThreads = 1;
+        cfg.store = &store;
+        Engine engine(cfg);
+        std::vector<JobResult> results = engine.run({throwingJob()});
+        EXPECT_EQ(results[0].status, JobStatus::Error);
+        // Re-executed on every pass: an Error outcome may be
+        // transient, so it must never be served from the cache.
+        EXPECT_EQ(engine.executed(), 1u) << "pass " << pass;
+        EXPECT_EQ(engine.cacheHits(), 0u) << "pass " << pass;
+        EXPECT_EQ(store.records(), 0u) << "pass " << pass;
+    }
+    std::filesystem::remove_all(dir);
 }
 
 TEST(EngineJson, SimResultRoundTripsExactly)
@@ -194,8 +396,55 @@ TEST(EngineJson, JobRecordCarriesSchemaFields)
     EXPECT_EQ(rec.get("variant").asString(), "baseline");
     EXPECT_EQ(rec.get("config_digest").asString().size(), 16u);
     EXPECT_FALSE(rec.get("deduplicated").asBool());
-    EXPECT_GE(rec.get("wall_seconds").asDouble(), 0.0);
+    EXPECT_EQ(rec.get("status").asString(), "ok");
+    EXPECT_EQ(rec.get("attempts").asUint(), 1u);
+    // Schema v2 drops wall-clock fields: the document must be a pure
+    // function of the jobs so kill/resume merges byte-identically.
+    EXPECT_EQ(rec.find("wall_seconds"), nullptr);
+    EXPECT_EQ(rec.find("error"), nullptr);  // only on error/timeout
     EXPECT_EQ(resultFromJson(rec.get("result")), results[0].result);
+}
+
+TEST(EngineJson, ErrorRecordCarriesStructuredError)
+{
+    Engine engine(1);
+    std::vector<JobResult> results = engine.run({throwingJob()});
+    json::Value rec = jobResultToJson(results[0]);
+    EXPECT_EQ(rec.get("status").asString(), "error");
+    EXPECT_EQ(rec.get("error").get("kind").asString(), "FatalError");
+    EXPECT_NE(rec.get("error").get("message").asString().find(
+                  "maxCycles"),
+              std::string::npos);
+}
+
+TEST(EngineJson, TryResultFromJsonRecoversFromCorruptRecords)
+{
+    json::Value good = resultToJson(SimResult{});
+    std::string error;
+    EXPECT_TRUE(tryResultFromJson(good, &error));
+
+    json::Value notObject(std::uint64_t(7));
+    EXPECT_FALSE(tryResultFromJson(notObject, &error));
+
+    json::Value mistyped = resultToJson(SimResult{});
+    mistyped.set("cycles", json::Value(std::string("many")));
+    EXPECT_FALSE(tryResultFromJson(mistyped, &error));
+    EXPECT_NE(error.find("cycles"), std::string::npos);
+    EXPECT_THROW(resultFromJson(mistyped), FatalError);
+
+    json::Value badReason = resultToJson(SimResult{});
+    badReason.set("haltReason", json::Value(std::string("Shrugged")));
+    EXPECT_FALSE(tryResultFromJson(badReason, &error));
+    EXPECT_NE(error.find("haltReason"), std::string::npos);
+}
+
+TEST(EngineJson, StatusNamesRoundTrip)
+{
+    for (JobStatus s : {JobStatus::Ok, JobStatus::Failed,
+                        JobStatus::Error, JobStatus::Timeout})
+        EXPECT_EQ(jobStatusFromName(jobStatusName(s)), s);
+    EXPECT_FALSE(jobStatusFromName("crashed"));
+    EXPECT_FALSE(jobStatusFromName(""));
 }
 
 TEST(SimulatorHardening, RunIsOneShot)

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 
 #include "harness.h"
 
@@ -127,6 +129,80 @@ TEST(Pair, SpeedupCellRendersNaNAsNa)
 {
     EXPECT_EQ(speedupCell(1.455), "1.46x");
     EXPECT_EQ(speedupCell(std::nan("")), "n/a");
+}
+
+TEST(HarnessResilience, FailedJobFlowsToNaAndNonzeroExit)
+{
+    // Regression for the crash-isolation contract end to end: one
+    // broken job must not abort the batch, must render as n/a in
+    // pair arithmetic, and must turn the exit code nonzero.
+    Harness h = makeHarness({"--iters=2", "--jobs=2"});
+    const workloads::Workload &mcf = workloads::findWorkload("mcf");
+    sim::SimJob good = h.makeJob(mcf, workloads::Variant::Dtt,
+                                 h.params(),
+                                 Harness::machineConfig(true));
+    sim::SimJob bad = h.makeJob(mcf, workloads::Variant::Baseline,
+                                h.params(),
+                                Harness::machineConfig(false));
+    bad.config.maxCycles = 0;  // worker throws in SimConfig::validate
+
+    std::vector<sim::JobResult> results = h.run({bad, good});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, sim::JobStatus::Error);
+    EXPECT_EQ(results[1].status, sim::JobStatus::Ok);
+
+    Pair p{results[0].result, results[1].result};
+    EXPECT_FALSE(p.valid());
+    EXPECT_TRUE(std::isnan(p.speedup()));
+    EXPECT_EQ(speedupCell(p.speedup()), "n/a");
+    EXPECT_EQ(h.finish(), 1);
+}
+
+TEST(HarnessResilience, CacheFlagsBuildTheStore)
+{
+    char tmpl[] = "/tmp/dttsim-harness-test-XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    std::string cacheFlag = std::string("--cache-dir=") + dir;
+
+    {
+        Harness off = makeHarness({"--iters=2"});
+        EXPECT_EQ(off.store(), nullptr);  // caching is opt-in
+    }
+    {
+        Harness ro = makeHarness({"--cache=ro", cacheFlag.c_str()});
+        ASSERT_NE(ro.store(), nullptr);
+        EXPECT_FALSE(ro.store()->writable());
+        EXPECT_EQ(ro.store()->dir(), dir);
+    }
+    {
+        Harness rw = makeHarness({"--cache=rw", cacheFlag.c_str(),
+                                  "--workload=mcf", "--iters=2",
+                                  "--jobs=2"});
+        ASSERT_NE(rw.store(), nullptr);
+        EXPECT_TRUE(rw.store()->writable());
+        rw.runPairs(rw.workloads(), rw.params());
+        EXPECT_EQ(rw.store()->records(), 2u);
+        EXPECT_EQ(rw.finish(), 0);
+    }
+    {
+        // --resume=DIR/MANIFEST is sugar for --cache=rw at DIR; with
+        // every job already cached the engine executes nothing.
+        std::string resumeFlag =
+            std::string("--resume=") + dir + "/MANIFEST";
+        Harness resumed = makeHarness({resumeFlag.c_str(),
+                                       "--workload=mcf", "--iters=2",
+                                       "--jobs=2"});
+        ASSERT_NE(resumed.store(), nullptr);
+        EXPECT_TRUE(resumed.store()->writable());
+        EXPECT_EQ(resumed.store()->dir(), dir);
+        EXPECT_EQ(resumed.store()->records(), 2u);
+        resumed.runPairs(resumed.workloads(), resumed.params());
+        EXPECT_EQ(resumed.engine().executed(), 0u);
+        EXPECT_EQ(resumed.engine().cacheHits(), 2u);
+        EXPECT_EQ(resumed.finish(), 0);
+    }
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

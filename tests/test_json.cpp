@@ -121,6 +121,23 @@ TEST(Json, ParserRejectsMalformedDocuments)
     EXPECT_THROW(Value::parse("\"unterminated"), FatalError);
 }
 
+TEST(Json, TryParseRecoversInsteadOfThrowing)
+{
+    // The result-cache load path: a torn JSONL tail line must come
+    // back as nullopt + a diagnostic, never a FatalError.
+    std::string error;
+    std::optional<Value> ok =
+        Value::tryParse("{\"a\": [1, 2]}", &error);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(ok->get("a").size(), 2u);
+
+    EXPECT_FALSE(Value::tryParse("", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(Value::tryParse("{\"digest\": \"ab\", \"sta", &error));
+    EXPECT_FALSE(Value::tryParse("{} trailing", &error));
+    EXPECT_FALSE(Value::tryParse("not json", nullptr));  // error optional
+}
+
 TEST(Json, ParsesNullsAndNested)
 {
     Value doc = Value::parse(

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Persistent result-cache tests: round-trip across reopen, the
+ * corrupt-record skip path (garbage lines, torn tails), the
+ * crash-simulation cases for the atomic MANIFEST rewrite (stray
+ * *.tmp files, unregistered segments), mode enforcement, and the
+ * record JSON codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sim/resultstore.h"
+#include "workloads/workload.h"
+
+namespace dttsim::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory, removed on scope exit. */
+struct TempDir
+{
+    TempDir()
+    {
+        char tmpl[] = "/tmp/dttsim-store-test-XXXXXX";
+        const char *d = mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        path = d;
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string path;
+};
+
+SimResult
+sampleResult(std::uint64_t salt)
+{
+    workloads::WorkloadParams params;
+    params.iterations = 2;
+    params.seed = salt;
+    SimConfig cfg;
+    cfg.enableDtt = false;
+    isa::Program p = workloads::findWorkload("mcf").build(
+        workloads::Variant::Baseline, params);
+    return runProgram(cfg, p);
+}
+
+ResultStore::Record
+sampleRecord(const std::string &digest, std::uint64_t salt = 1)
+{
+    ResultStore::Record rec;
+    rec.digest = digest;
+    rec.status = JobStatus::Ok;
+    rec.attempts = 2;
+    rec.wallSeconds = 0.125;
+    rec.result = sampleResult(salt);
+    return rec;
+}
+
+void
+appendLine(const std::string &file, const std::string &line)
+{
+    std::ofstream out(file, std::ios::app);
+    out << line << "\n";
+}
+
+TEST(ResultStore, ModeNamesRoundTrip)
+{
+    for (ResultStore::Mode m :
+         {ResultStore::Mode::Off, ResultStore::Mode::ReadOnly,
+          ResultStore::Mode::ReadWrite})
+        EXPECT_EQ(ResultStore::parseMode(ResultStore::modeName(m)), m);
+    EXPECT_FALSE(ResultStore::parseMode("read-write"));
+    EXPECT_FALSE(ResultStore::parseMode(""));
+}
+
+TEST(ResultStore, MissingDirectoryIsAnEmptyStore)
+{
+    TempDir tmp;
+    ResultStore store(tmp.path + "/does-not-exist",
+                      ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(store.records(), 0u);
+    EXPECT_EQ(store.corruptRecords(), 0u);
+    EXPECT_FALSE(store.lookup("0123456789abcdef"));
+}
+
+TEST(ResultStore, RecordsRoundTripAcrossReopen)
+{
+    TempDir tmp;
+    ResultStore::Record a = sampleRecord("00000000000000aa", 1);
+    ResultStore::Record b = sampleRecord("00000000000000bb", 2);
+    b.status = JobStatus::Failed;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(a);
+        store.put(b);
+        store.put(a);  // duplicate digest: not re-appended
+        EXPECT_EQ(store.records(), 2u);
+    }
+    ResultStore store(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(store.records(), 2u);
+    EXPECT_EQ(store.segmentsLoaded(), 1u);
+    EXPECT_EQ(store.corruptRecords(), 0u);
+
+    std::optional<ResultStore::Record> got = store.lookup(a.digest);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->result, a.result);
+    EXPECT_EQ(got->status, JobStatus::Ok);
+    EXPECT_EQ(got->attempts, 2);
+    EXPECT_DOUBLE_EQ(got->wallSeconds, 0.125);
+
+    got = store.lookup(b.digest);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->status, JobStatus::Failed);
+    EXPECT_EQ(got->result, b.result);
+}
+
+TEST(ResultStore, CorruptLinesAreSkippedNotFatal)
+{
+    TempDir tmp;
+    std::string segment;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+        for (const fs::directory_entry &e :
+             fs::directory_iterator(tmp.path))
+            if (e.path().extension() == ".jsonl")
+                segment = e.path().string();
+    }
+    ASSERT_FALSE(segment.empty());
+
+    // Inject every corruption class a kill -9 or bitrot can leave:
+    // non-JSON garbage, a well-formed record with a mistyped field,
+    // and a torn (truncated) tail line without a newline.
+    appendLine(segment, "this is not json");
+    appendLine(segment,
+               "{\"digest\": \"00000000000000bb\", \"status\": "
+               "\"ok\", \"attempts\": 0}");
+    {
+        std::ofstream out(segment, std::ios::app);
+        out << "{\"digest\": \"00000000000000cc\", \"sta";
+    }
+
+    ResultStore store(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(store.records(), 1u);
+    EXPECT_EQ(store.corruptRecords(), 3u);
+    EXPECT_TRUE(store.lookup("00000000000000aa"));
+    EXPECT_FALSE(store.lookup("00000000000000bb"));
+    EXPECT_FALSE(store.lookup("00000000000000cc"));
+}
+
+TEST(ResultStore, CrashArtifactsAreIgnoredOnLoad)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+    }
+    // A crash between segment creation and MANIFEST rewrite leaves a
+    // stray MANIFEST.tmp and possibly an unregistered segment; both
+    // must be invisible to the next load.
+    appendLine(tmp.path + "/MANIFEST.tmp", "{\"torn\": tru");
+    {
+        std::ofstream out(tmp.path + "/seg-99999-0.jsonl");
+        out << storeRecordToJson(
+                   sampleRecord("00000000000000dd", 3)).dump()
+            << "\n";
+    }
+    appendLine(tmp.path + "/seg-99999-1.jsonl.tmp", "{}");
+
+    ResultStore store(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(store.records(), 1u);
+    EXPECT_TRUE(store.lookup("00000000000000aa"));
+    // Not in the MANIFEST, so not loaded: durability comes from the
+    // manifest registration happening before the first record write.
+    EXPECT_FALSE(store.lookup("00000000000000dd"));
+}
+
+TEST(ResultStore, CorruptManifestDegradesToEmptyStore)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+    }
+    std::ofstream(tmp.path + "/MANIFEST") << "{\"segments\": tru";
+    ResultStore store(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(store.records(), 0u);
+}
+
+TEST(ResultStore, ReadOnlyStoreNeverWrites)
+{
+    TempDir tmp;
+    ResultStore store(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_FALSE(store.writable());
+    store.put(sampleRecord("00000000000000aa", 1));
+    EXPECT_EQ(store.records(), 0u);
+    EXPECT_FALSE(fs::exists(store.manifestPath()));
+}
+
+TEST(ResultStore, OffStoreIsInert)
+{
+    TempDir tmp;
+    ResultStore store(tmp.path, ResultStore::Mode::Off);
+    EXPECT_FALSE(store.readable());
+    store.put(sampleRecord("00000000000000aa", 1));
+    EXPECT_FALSE(store.lookup("00000000000000aa"));
+    EXPECT_FALSE(fs::exists(store.manifestPath()));
+}
+
+TEST(ResultStoreJson, RecordCodecRoundTripsAndRejectsCorruption)
+{
+    ResultStore::Record rec = sampleRecord("00000000000000aa", 1);
+    rec.status = JobStatus::Failed;
+    json::Value v = storeRecordToJson(rec);
+
+    std::string error;
+    std::optional<ResultStore::Record> back =
+        tryStoreRecordFromJson(v, &error);
+    ASSERT_TRUE(back) << error;
+    EXPECT_EQ(back->digest, rec.digest);
+    EXPECT_EQ(back->status, rec.status);
+    EXPECT_EQ(back->attempts, rec.attempts);
+    EXPECT_DOUBLE_EQ(back->wallSeconds, rec.wallSeconds);
+    EXPECT_EQ(back->result, rec.result);
+
+    json::Value badStatus = storeRecordToJson(rec);
+    badStatus.set("status", json::Value(std::string("crashed")));
+    EXPECT_FALSE(tryStoreRecordFromJson(badStatus, &error));
+    EXPECT_NE(error.find("status"), std::string::npos);
+
+    json::Value badAttempts = storeRecordToJson(rec);
+    badAttempts.set("attempts", json::Value(std::uint64_t(0)));
+    EXPECT_FALSE(tryStoreRecordFromJson(badAttempts, &error));
+    EXPECT_NE(error.find("attempts"), std::string::npos);
+}
+
+} // namespace
+} // namespace dttsim::sim

@@ -1,11 +1,15 @@
 /**
  * @file
  * Validator for the bench harness's --json structured-results files
- * (schema v1, documented in docs/HARNESS.md). Checks the document
- * shape, field types, digest format and cross-record consistency
- * (identical digests must carry identical results — the dedup
- * invariant), then re-parses every result record through
- * sim::resultFromJson to prove the file round-trips.
+ * (schema v2, documented in docs/HARNESS.md). Checks the document
+ * shape, field types, digest format, per-job status/attempts
+ * consistency (unknown status names are rejected; attempts >= 1;
+ * a status=ok record must be a clean halt) and cross-record
+ * consistency (identical digests must carry identical results and
+ * status — the dedup invariant), then re-parses every result record
+ * through sim::resultFromJson — the strict path, which fatal()s on
+ * malformed records where the cache loader would skip-and-warn — to
+ * prove the file round-trips.
  *
  *     check_results_json FILE...
  *
@@ -17,6 +21,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -69,14 +74,45 @@ checkRecord(const std::string &file, std::size_t idx,
                  + "' is not 16 lowercase hex digits");
 
     rec.get("deduplicated").asBool();
-    double wall = rec.get("wall_seconds").asDouble();
-    if (!(std::isfinite(wall) && wall >= 0))
-        complain(file, where + ": wall_seconds is not a finite "
-                 "non-negative number");
+
+    // Schema v2: per-job supervision outcome.
+    const std::string statusName = rec.get("status").asString();
+    std::optional<sim::JobStatus> status =
+        sim::jobStatusFromName(statusName);
+    if (!status)
+        complain(file, where + ": unknown status '" + statusName
+                 + "' (expected ok/failed/error/timeout)");
+    const json::Value &attempts = rec.get("attempts");
+    if (!attempts.isUint() || attempts.asUint() < 1)
+        complain(file, where + ": attempts must be an integer >= 1");
+
+    const json::Value *error = rec.find("error");
+    bool failedHost = status
+        && (*status == sim::JobStatus::Error
+            || *status == sim::JobStatus::Timeout);
+    if (failedHost) {
+        if (error == nullptr || !error->isObject())
+            complain(file, where + ": status '" + statusName
+                     + "' requires an 'error' object");
+        else if (error->get("kind").asString().empty()
+                 || error->get("message").asString().empty())
+            complain(file, where + ": 'error' needs non-empty kind "
+                     "and message");
+    } else if (error != nullptr) {
+        complain(file, where + ": 'error' is only valid for status "
+                 "error/timeout");
+    }
 
     // Round-trip the result payload; fatal() here means a missing or
     // mistyped field.
     sim::SimResult r = sim::resultFromJson(rec.get("result"));
+    if (status && *status == sim::JobStatus::Ok
+        && (!r.halted || r.hitMaxCycles))
+        complain(file, where + ": status 'ok' but the result is not "
+                 "a clean halt");
+    if (status && *status != sim::JobStatus::Ok && r.halted)
+        complain(file, where + ": status '" + statusName
+                 + "' contradicts a cleanly halted result");
     if (r.totalCommitted != r.mainCommitted + r.dttCommitted)
         complain(file, where + ": totalCommitted != mainCommitted + "
                  "dttCommitted");
@@ -97,12 +133,12 @@ checkRecord(const std::string &file, std::size_t idx,
         complain(file, where + ": ipc is not a finite non-negative "
                  "number");
 
-    // The dedup invariant: one digest, one result.
-    std::string canon = sim::resultToJson(r).dump();
+    // The dedup invariant: one digest, one result (and one status).
+    std::string canon = statusName + "|" + sim::resultToJson(r).dump();
     auto [it, inserted] = byDigest.emplace(digest, canon);
     if (!inserted && it->second != canon)
         complain(file, where + ": records with digest " + digest
-                 + " disagree on the simulation result");
+                 + " disagree on the simulation result or status");
 }
 
 void
