@@ -21,7 +21,8 @@ engineFlags()
          "write one schema-versioned JSON record per simulated job"},
         {"cache", "MODE",
          "persistent result cache: off (default), ro (warm-start "
-         "only), rw (warm-start and persist)"},
+         "only), rw (warm-start and persist), clear (drop every "
+         "cached record, then behave like rw)"},
         {"cache-dir", "PATH",
          "result-cache directory (default: bench/out/cache)"},
         {"resume", "MANIFEST",
@@ -31,7 +32,10 @@ engineFlags()
          "to an uninterrupted run"},
         {"retries", "N",
          "re-execute a job whose worker threw up to N more times, "
-         "with exponential backoff (default 0)"},
+         "with jittered exponential backoff (default 0)"},
+        {"retry-on", "WHAT",
+         "also spend retry attempts on WHAT=timeout (deadline "
+         "cancellations); by default only thrown workers retry"},
         {"job-deadline", "SECONDS",
          "per-job wall-clock deadline; a runaway simulation is "
          "cancelled and recorded as status=timeout (default: none)"},
@@ -53,18 +57,27 @@ makeStore(const Options &opts, const std::string &binary)
 {
     std::string dir = opts.get("cache-dir", kDefaultCacheDir);
     sim::ResultStore::Mode mode = sim::ResultStore::Mode::Off;
+    bool clearFirst = false;
 
     if (opts.has("cache")) {
-        std::optional<sim::ResultStore::Mode> m =
-            sim::ResultStore::parseMode(opts.get("cache"));
-        if (!m) {
-            std::fprintf(stderr,
-                         "%s: error: --cache=%s is not one of "
-                         "off/ro/rw (see --help)\n",
-                         binary.c_str(), opts.get("cache").c_str());
-            std::exit(2);
+        if (opts.get("cache") == "clear") {
+            // Cache-lifecycle escape hatch: start this run from an
+            // empty store but keep persisting (rw semantics).
+            mode = sim::ResultStore::Mode::ReadWrite;
+            clearFirst = true;
+        } else {
+            std::optional<sim::ResultStore::Mode> m =
+                sim::ResultStore::parseMode(opts.get("cache"));
+            if (!m) {
+                std::fprintf(stderr,
+                             "%s: error: --cache=%s is not one of "
+                             "off/ro/rw/clear (see --help)\n",
+                             binary.c_str(),
+                             opts.get("cache").c_str());
+                std::exit(2);
+            }
+            mode = *m;
         }
-        mode = *m;
     }
     if (opts.has("resume")) {
         // --resume=DIR/MANIFEST (or just DIR) points the rw cache at
@@ -90,7 +103,13 @@ makeStore(const Options &opts, const std::string &binary)
     }
     if (mode == sim::ResultStore::Mode::Off)
         return nullptr;
-    return std::make_unique<sim::ResultStore>(dir, mode);
+    auto store = std::make_unique<sim::ResultStore>(dir, mode);
+    if (clearFirst && !store->clear())
+        std::fprintf(stderr,
+                     "%s: warning: --cache=clear could not empty "
+                     "'%s'; continuing with the existing records\n",
+                     binary.c_str(), dir.c_str());
+    return store;
 }
 
 /** Engine supervision policy from the parsed flags. */
@@ -102,6 +121,16 @@ makeEngineConfig(const Options &opts, sim::ResultStore *store)
     cfg.maxAttempts = 1 + static_cast<int>(opts.getInt("retries", 0));
     cfg.retryBackoffSeconds = 0.05;
     cfg.jobDeadlineSeconds = opts.getDouble("job-deadline", 0.0);
+    if (opts.has("retry-on")) {
+        if (opts.get("retry-on") != "timeout") {
+            std::fprintf(stderr,
+                         "error: --retry-on=%s is not supported "
+                         "(only --retry-on=timeout; see --help)\n",
+                         opts.get("retry-on").c_str());
+            std::exit(2);
+        }
+        cfg.retryTimeouts = true;
+    }
     cfg.store = store;
     return cfg;
 }

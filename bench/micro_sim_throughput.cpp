@@ -3,21 +3,41 @@
  * Engineering microbenchmarks (google-benchmark): simulator
  * throughput for the functional reference and the cycle-level core,
  * the cost of the DTT controller's hot operations, and the parallel
- * experiment engine's batch throughput.
+ * experiment engine's batch throughput with the result cache cold
+ * and warm.
  *
  * Flag handling is split: `--benchmark_*` flags go to
  * google-benchmark, everything else goes through the shared
  * bench::Harness parser (so unknown flags are hard errors and
  * `--help` works like every other bench binary).
+ *
+ * `--bench-json=PATH` additionally writes a machine-readable
+ * BENCH_sim.json performance summary (schema v1, docs/PERFORMANCE.md)
+ * with one record per throughput benchmark: inst/s for the
+ * functional, OoO-baseline and OoO-DTT simulators, and jobs/s for the
+ * engine with a cold and a warm result cache at each worker count.
+ * Rates in the summary are computed from the raw work counters over
+ * wall-clock time (not google-benchmark's CPU-time rates), so the
+ * multi-threaded engine rows measure what a sweep user experiences.
+ * Validate with tools/check_bench_json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
 #include "core/controller.h"
 #include "cpu/executor.h"
 #include "harness.h"
 #include "mem/hierarchy.h"
 #include "sim/engine.h"
+#include "sim/resultstore.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -47,6 +67,8 @@ BM_FunctionalRunner(benchmark::State &state)
     }
     state.counters["inst/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["insts"] =
+        benchmark::Counter(static_cast<double>(insts));
 }
 BENCHMARK(BM_FunctionalRunner)->Unit(benchmark::kMillisecond);
 
@@ -64,6 +86,8 @@ BM_OooCore(benchmark::State &state)
     }
     state.counters["inst/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["insts"] =
+        benchmark::Counter(static_cast<double>(insts));
 }
 BENCHMARK(BM_OooCore)->Unit(benchmark::kMillisecond);
 
@@ -82,17 +106,15 @@ BM_OooCoreDtt(benchmark::State &state)
     }
     state.counters["inst/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["insts"] =
+        benchmark::Counter(static_cast<double>(insts));
 }
 BENCHMARK(BM_OooCoreDtt)->Unit(benchmark::kMillisecond);
 
-/**
- * Engine batch throughput vs worker count: the same 8-pair batch
- * (mcf baseline+DTT at 4 seeds) at 1..N threads. The speedup over
- * the 1-thread row is the harness-level parallelism every figure
- * binary now inherits.
- */
-void
-BM_EngineBatch(benchmark::State &state)
+/** The shared engine batch: mcf baseline+DTT at 4 seeds (8 unique
+ *  jobs — the seed is part of the digest, so nothing dedups). */
+std::vector<sim::SimJob>
+engineJobs()
 {
     const workloads::Workload &mcf = workloads::findWorkload("mcf");
     std::vector<sim::SimJob> jobs;
@@ -113,6 +135,19 @@ BM_EngineBatch(benchmark::State &state)
             jobs.push_back(std::move(job));
         }
     }
+    return jobs;
+}
+
+/**
+ * Engine batch throughput vs worker count: the same 8-pair batch
+ * (mcf baseline+DTT at 4 seeds) at 1..N threads. The speedup over
+ * the 1-thread row is the harness-level parallelism every figure
+ * binary now inherits.
+ */
+void
+BM_EngineBatch(benchmark::State &state)
+{
+    std::vector<sim::SimJob> jobs = engineJobs();
     std::uint64_t sims = 0;
     for (auto _ : state) {
         sim::Engine engine(static_cast<int>(state.range(0)));
@@ -124,7 +159,97 @@ BM_EngineBatch(benchmark::State &state)
         static_cast<double>(sims), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/** A throwaway ResultStore directory, removed on destruction. */
+struct ScratchDir
+{
+    std::string path;
+
+    ScratchDir()
+    {
+        char tmpl[] = "/tmp/dttsim-bench-cache-XXXXXX";
+        const char *d = mkdtemp(tmpl);
+        path = d != nullptr ? d : "/tmp/dttsim-bench-cache";
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+/**
+ * Engine batch with a cold persistent cache: every iteration clears
+ * the store (outside the timed region), so all 8 jobs execute and
+ * persist (append + group-committed fsync). This is the first run of
+ * a sweep; the delta vs BM_EngineBatch is the durability overhead.
+ */
+void
+BM_EngineColdCache(benchmark::State &state)
+{
+    std::vector<sim::SimJob> jobs = engineJobs();
+    ScratchDir dir;
+    sim::ResultStore store(dir.path,
+                           sim::ResultStore::Mode::ReadWrite);
+    std::uint64_t sims = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        store.clear();
+        state.ResumeTiming();
+        sim::EngineConfig cfg;
+        cfg.numThreads = static_cast<int>(state.range(0));
+        cfg.store = &store;
+        sim::Engine engine(cfg);
+        auto results = engine.run(jobs);
+        sims += results.size();
+        benchmark::DoNotOptimize(results.front().result.cycles);
+    }
+    state.counters["jobs/s"] = benchmark::Counter(
+        static_cast<double>(sims), benchmark::Counter::kIsRate);
+    state.counters["jobs"] =
+        benchmark::Counter(static_cast<double>(sims));
+}
+BENCHMARK(BM_EngineColdCache)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/**
+ * Engine batch with a warm persistent cache: the store is populated
+ * once before timing, so every job warm-starts from a digest lookup
+ * without simulating. This is every figure binary after the first in
+ * a sweep — the case the parallel in-worker lookup path serves — and
+ * should scale with the worker count.
+ */
+void
+BM_EngineWarmCache(benchmark::State &state)
+{
+    std::vector<sim::SimJob> jobs = engineJobs();
+    ScratchDir dir;
+    sim::ResultStore store(dir.path,
+                           sim::ResultStore::Mode::ReadWrite);
+    {
+        sim::EngineConfig cfg;
+        cfg.store = &store;
+        sim::Engine warmup(cfg);
+        warmup.run(jobs);
+    }
+    std::uint64_t sims = 0;
+    for (auto _ : state) {
+        sim::EngineConfig cfg;
+        cfg.numThreads = static_cast<int>(state.range(0));
+        cfg.store = &store;
+        sim::Engine engine(cfg);
+        auto results = engine.run(jobs);
+        sims += results.size();
+        benchmark::DoNotOptimize(results.front().result.cycles);
+    }
+    state.counters["jobs/s"] = benchmark::Counter(
+        static_cast<double>(sims), benchmark::Counter::kIsRate);
+    state.counters["jobs"] =
+        benchmark::Counter(static_cast<double>(sims));
+}
+BENCHMARK(BM_EngineWarmCache)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_ControllerTstore(benchmark::State &state)
@@ -156,6 +281,138 @@ BM_CacheAccess(benchmark::State &state)
 }
 BENCHMARK(BM_CacheAccess);
 
+/** One finished (non-aggregate) benchmark run, as captured for the
+ *  --bench-json emitter. */
+struct CapturedRun
+{
+    std::string name;       ///< e.g. "BM_EngineWarmCache/4"
+    double realSeconds = 0; ///< wall-clock total across iterations
+    std::uint64_t iterations = 0;
+    std::map<std::string, double> counters;
+};
+
+/** ConsoleReporter that also records every iteration run, so the
+ *  summary emitter works from the same numbers the console shows. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<CapturedRun> runs;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration
+                || run.error_occurred)
+                continue;
+            CapturedRun c;
+            c.name = run.benchmark_name();
+            c.realSeconds = run.real_accumulated_time;
+            c.iterations =
+                static_cast<std::uint64_t>(run.iterations);
+            for (const auto &[key, counter] : run.counters)
+                c.counters[key] = counter.value;
+            runs.push_back(std::move(c));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
+/** Keep in sync with tools/check_bench_json.cpp and the schema
+ *  description in docs/PERFORMANCE.md. */
+constexpr std::uint64_t kBenchSchemaVersion = 1;
+
+/** Schema row derived from one captured google-benchmark run, keyed
+ *  by the benchmark function's name. */
+struct RowSpec
+{
+    const char *benchmark; ///< captured name up to the first '/'
+    const char *name;      ///< schema name
+    const char *metric;    ///< "inst_per_sec" or "jobs_per_sec"
+    const char *work;      ///< raw-total counter to rate over time
+    bool threaded;         ///< Arg() is a worker count
+};
+
+constexpr RowSpec kRows[] = {
+    {"BM_FunctionalRunner", "functional", "inst_per_sec", "insts",
+     false},
+    {"BM_OooCore", "ooo_baseline", "inst_per_sec", "insts", false},
+    {"BM_OooCoreDtt", "ooo_dtt", "inst_per_sec", "insts", false},
+    {"BM_EngineColdCache", "engine_cold", "jobs_per_sec", "jobs",
+     true},
+    {"BM_EngineWarmCache", "engine_warm", "jobs_per_sec", "jobs",
+     true},
+};
+
+/** Write the BENCH_sim.json summary (atomic tmp + rename). */
+bool
+writeBenchJson(const std::string &path,
+               const std::vector<CapturedRun> &runs)
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema_version", kBenchSchemaVersion);
+    doc.set("binary", "micro_sim_throughput");
+    json::Value records = json::Value::array();
+
+    for (const CapturedRun &run : runs) {
+        const std::string base =
+            run.name.substr(0, run.name.find('/'));
+        const RowSpec *row = nullptr;
+        for (const RowSpec &r : kRows)
+            if (base == r.benchmark)
+                row = &r;
+        if (row == nullptr)
+            continue; // not part of the summary schema
+        auto work = run.counters.find(row->work);
+        if (work == run.counters.end() || run.realSeconds <= 0.0) {
+            std::fprintf(stderr,
+                         "bench-json: skipping %s (no %s counter or "
+                         "zero elapsed time)\n",
+                         run.name.c_str(), row->work);
+            continue;
+        }
+        json::Value rec = json::Value::object();
+        rec.set("name", row->name);
+        if (row->threaded) {
+            // "BM_EngineWarmCache/4" — the Arg() is the worker count.
+            std::size_t slash = run.name.find('/');
+            std::uint64_t threads =
+                slash == std::string::npos
+                    ? 1
+                    : std::strtoull(run.name.c_str() + slash + 1,
+                                    nullptr, 10);
+            rec.set("threads", threads);
+        }
+        rec.set("metric", row->metric);
+        rec.set("value", work->second / run.realSeconds);
+        rec.set("seconds", run.realSeconds);
+        rec.set("iterations", run.iterations);
+        records.push(std::move(rec));
+    }
+    doc.set("benchmarks", std::move(records));
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench-json: cannot open %s\n",
+                     tmp.c_str());
+        return false;
+    }
+    const std::string text = doc.dump(2) + "\n";
+    bool ok = std::fwrite(text.data(), 1, text.size(), f)
+        == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    ok = ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) {
+        std::fprintf(stderr, "bench-json: failed to write %s\n",
+                     path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::printf("bench-json: wrote %s\n", path.c_str());
+    return true;
+}
+
 } // namespace
 
 int
@@ -176,11 +433,20 @@ main(int argc, char **argv)
         {"micro_sim_throughput",
          "Engineering microbenchmarks (google-benchmark); "
          "--benchmark_* flags pass through to the benchmark library",
-         /*workload_flags=*/false});
+         /*workload_flags=*/false,
+         {{"bench-json", "PATH",
+           "write a machine-readable BENCH_sim.json performance "
+           "summary (schema v1, docs/PERFORMANCE.md) to PATH"}}});
 
     int gbench_argc = static_cast<int>(gbench_args.size());
     benchmark::Initialize(&gbench_argc, gbench_args.data());
-    benchmark::RunSpecifiedBenchmarks();
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+
+    const std::string benchJson = h.options().get("bench-json");
+    if (!benchJson.empty()
+        && !writeBenchJson(benchJson, reporter.runs))
+        return 1;
     return h.finish();
 }

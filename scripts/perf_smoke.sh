@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The benchmark half of the performance gate (`ctest -L perf-smoke`
+# runs this plus the golden-digest determinism tests): run the
+# simulator-throughput microbenchmarks at small scale, emit the
+# machine-readable BENCH_sim.json summary, and validate it against
+# bench schema v1 (docs/PERFORMANCE.md).
+#
+# Usage: scripts/perf_smoke.sh [build-dir] [out.json]
+#   e.g. scripts/perf_smoke.sh build bench/out/BENCH_sim.json
+set -euo pipefail
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build}"
+out="${2:-$src/bench/out/BENCH_sim.json}"
+
+if [ ! -x "$build/bench/micro_sim_throughput" ]; then
+    echo "perf_smoke: micro_sim_throughput not found in $build" \
+         "(build first: cmake --build $build -j)" >&2
+    exit 2
+fi
+
+mkdir -p "$(dirname "$out")"
+
+# Only the benchmarks the summary schema covers; BM_OooCore also
+# matches BM_OooCoreDtt. The small min_time keeps this a smoke gate —
+# use the defaults (no filter, no min_time) for quotable numbers.
+"$build/bench/micro_sim_throughput" \
+    --benchmark_filter='BM_FunctionalRunner|BM_OooCore|BM_EngineColdCache|BM_EngineWarmCache' \
+    --benchmark_min_time=0.02s \
+    --bench-json="$out"
+
+"$build/tools/check_bench_json" "$out"
+echo "perf_smoke: summary at $out"

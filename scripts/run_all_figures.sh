@@ -33,6 +33,11 @@ mkdir -p "$outdir"
 # in the extra flags overrides it (the harness takes the last value).
 cache=(--cache=rw --cache-dir="$outdir/cache")
 
+# All hardware threads by default — the engine parallelizes each
+# figure's batch, so the sweep should too. An explicit --jobs in the
+# extra flags overrides this (last value wins).
+jobs=(--jobs="$(nproc)")
+
 # tab1_config takes no workload flags; everything else accepts the
 # common set plus the extra flags from the command line.
 echo "== tab1_config"
@@ -47,7 +52,8 @@ for b in tab2_benchmarks tab3_trigger_advisor \
          fig13_spawn_latency fig14_corunner fig15_prefetch \
          fig16_fault_degradation; do
     echo "== $b"
-    "$build/bench/$b" "${cache[@]}" "$@" --json="$outdir/$b.json" \
+    "$build/bench/$b" "${cache[@]}" "${jobs[@]}" "$@" \
+        --json="$outdir/$b.json" \
         | tee "$outdir/$b.txt"
 done
 

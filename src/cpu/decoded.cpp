@@ -1,0 +1,80 @@
+#include "cpu/decoded.h"
+
+#include "isa/opcodes.h"
+#include "isa/operands.h"
+
+namespace dttsim::cpu {
+
+int
+poolOfFu(isa::FuClass fu)
+{
+    switch (fu) {
+      case isa::FuClass::IntAlu:
+      case isa::FuClass::Branch:
+      case isa::FuClass::Dtt:
+        return 0;
+      case isa::FuClass::IntMul:
+      case isa::FuClass::IntDiv:
+        return 1;
+      case isa::FuClass::FpAdd:
+        return 2;
+      case isa::FuClass::FpMul:
+      case isa::FuClass::FpDiv:
+        return 3;
+      case isa::FuClass::Mem:
+        return 4;
+    }
+    return 0;
+}
+
+namespace {
+
+/** Instructions the hardware reuse buffer may bypass: loads and
+ *  multi-cycle arithmetic. Stores must still write, control must
+ *  still steer, DTT ops must still reach the controller. */
+bool
+reuseEligible(const isa::Inst &inst)
+{
+    if (isa::isStore(inst.op) || isa::isControl(inst.op))
+        return false;
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    if (info.fu == isa::FuClass::Dtt)
+        return false;
+    return isa::isLoad(inst.op) || info.latency > 1;
+}
+
+} // namespace
+
+std::vector<DecodedInst>
+decodeProgram(const isa::Program &prog)
+{
+    std::vector<DecodedInst> decoded(prog.size());
+    for (std::uint64_t pc = 0; pc < prog.size(); ++pc) {
+        const isa::Inst &inst = prog.at(pc);
+        const isa::OpInfo &info = isa::opInfo(inst.op);
+        DecodedInst &d = decoded[pc];
+        d.latency = info.latency;
+        d.pool = static_cast<std::uint8_t>(poolOfFu(info.fu));
+        isa::forEachSource(inst, [&](bool is_fp, int idx) {
+            if (d.numSrc < 2) {
+                d.src[d.numSrc].fp = is_fp;
+                d.src[d.numSrc].idx = static_cast<std::uint8_t>(idx);
+                ++d.numSrc;
+            }
+        });
+        bool is_fp;
+        int idx;
+        if (isa::destReg(inst, is_fp, idx)) {
+            d.hasDest = true;
+            d.destFp = is_fp;
+            d.destIdx = static_cast<std::uint8_t>(idx);
+        }
+        d.reuseEligible = reuseEligible(inst);
+        d.isTwait = inst.op == isa::Opcode::TWAIT;
+        d.stopsFetch = inst.op == isa::Opcode::TRET
+            || inst.op == isa::Opcode::HALT;
+    }
+    return decoded;
+}
+
+} // namespace dttsim::cpu

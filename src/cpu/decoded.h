@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Pre-decoded static instruction properties, built once per
+ * isa::Program and indexed by pc. The timing core's per-cycle loops
+ * (fetch, dispatch dependence linking, issue) consult this dense
+ * array instead of re-running the opInfo() / forEachSource() /
+ * destReg() switch dispatch for every dynamic instruction — decode
+ * work is proportional to the static program, not to the dynamic
+ * instruction count (see docs/PERFORMANCE.md).
+ *
+ * The decode is purely a cache of static facts: source lists keep
+ * forEachSource()'s exact order and duplicates, and the destination
+ * obeys destReg()'s x0 rule, so consumers see identical semantics.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace dttsim::cpu {
+
+/** Static per-pc facts used by the core's per-cycle loops. */
+struct DecodedInst
+{
+    /** One source register operand, in forEachSource() order. */
+    struct Src
+    {
+        bool fp = false;
+        std::uint8_t idx = 0;
+    };
+
+    Cycle latency = 1;             ///< opInfo().latency
+    std::uint8_t pool = 0;         ///< issue pool (see poolOfFu)
+    std::uint8_t numSrc = 0;
+    Src src[2];
+    bool hasDest = false;          ///< destReg() returned true
+    bool destFp = false;
+    std::uint8_t destIdx = 0;
+    bool reuseEligible = false;    ///< may hit the HW reuse buffer
+    bool isTwait = false;
+    bool stopsFetch = false;       ///< TRET or HALT
+};
+
+/** Map an FU class onto one of the 5 configured issue pools. */
+int poolOfFu(isa::FuClass fu);
+
+/** Decode every static instruction of @p prog (indexed by pc). */
+std::vector<DecodedInst> decodeProgram(const isa::Program &prog);
+
+} // namespace dttsim::cpu

@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal power-of-two ring buffer used for the per-context frontend
+ * and ROB queues. Unlike std::deque, a ring performs zero heap
+ * traffic in steady state: capacity is reserved once (queue sizes are
+ * bounded by the core config) and push/pop cycle through it. Growth
+ * is still supported as a safety net for unusual configurations.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace dttsim::cpu {
+
+/** FIFO ring with O(1) indexed access from the front. */
+template <typename T>
+class InstRing
+{
+  public:
+    /** Pre-size to at least @p capacity slots (rounded to pow2). */
+    void
+    reserve(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        if (cap > buf_.size())
+            regrow(cap);
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    void
+    push_back(T v)
+    {
+        if (count_ == buf_.size())
+            regrow(buf_.empty() ? 2 : buf_.size() * 2);
+        buf_[(head_ + count_) & mask_] = v;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_[(head_ + count_ - 1) & mask_]; }
+
+    /** @p i-th element counted from the front (0 == front()). */
+    T &at(std::size_t i) { return buf_[(head_ + i) & mask_]; }
+    const T &at(std::size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void
+    regrow(std::size_t cap)
+    {
+        std::vector<T> bigger(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = buf_[(head_ + i) & mask_];
+        buf_ = std::move(bigger);
+        mask_ = cap - 1;
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace dttsim::cpu

@@ -1,6 +1,7 @@
 #include "cpu/ooo_core.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/log.h"
@@ -11,46 +12,6 @@
 namespace dttsim::cpu {
 
 namespace {
-
-/** Map an FU class onto one of the 5 configured issue pools. */
-int
-poolOf(isa::FuClass fu)
-{
-    switch (fu) {
-      case isa::FuClass::IntAlu:
-      case isa::FuClass::Branch:
-      case isa::FuClass::Dtt:
-        return 0;
-      case isa::FuClass::IntMul:
-      case isa::FuClass::IntDiv:
-        return 1;
-      case isa::FuClass::FpAdd:
-        return 2;
-      case isa::FuClass::FpMul:
-      case isa::FuClass::FpDiv:
-        return 3;
-      case isa::FuClass::Mem:
-        return 4;
-    }
-    return 0;
-}
-
-using isa::destReg;
-using isa::forEachSource;
-
-/** Instructions the hardware reuse buffer may bypass: loads and
- *  multi-cycle arithmetic. Stores must still write, control must
- *  still steer, DTT ops must still reach the controller. */
-bool
-reuseEligible(const isa::Inst &inst)
-{
-    if (isa::isStore(inst.op) || isa::isControl(inst.op))
-        return false;
-    const isa::OpInfo &info = isa::opInfo(inst.op);
-    if (info.fu == isa::FuClass::Dtt)
-        return false;
-    return isa::isLoad(inst.op) || info.latency > 1;
-}
 
 std::uint64_t
 fpBits(double d)
@@ -89,22 +50,61 @@ OooCore::OooCore(const CoreConfig &config, const isa::Program &prog,
     main.active = true;
     main.arch.reset(prog_.entry(), stackFor(0));
 
-    stats_.counter("cycles");
-    stats_.counter("fetched");
-    stats_.counter("committed");
-    stats_.counter("mainCommitted");
-    stats_.counter("dttCommitted");
-    stats_.counter("twaitStallCycles");
-    stats_.counter("tstoreCommitStalls");
-    stats_.counter("robFullStalls");
-    stats_.counter("iqFullStalls");
-    stats_.counter("lsqFullStalls");
-    stats_.counter("icacheBlockCycles");
-    stats_.counter("spawns");
-    stats_.counter("reusedInsts");
-    stats_.counter("coRunnerCommitted");
+    cntCycles_ = &stats_.counter("cycles");
+    cntFetched_ = &stats_.counter("fetched");
+    cntCommitted_ = &stats_.counter("committed");
+    cntMainCommitted_ = &stats_.counter("mainCommitted");
+    cntDttCommitted_ = &stats_.counter("dttCommitted");
+    cntTwaitStalls_ = &stats_.counter("twaitStallCycles");
+    cntTstoreStalls_ = &stats_.counter("tstoreCommitStalls");
+    cntRobFull_ = &stats_.counter("robFullStalls");
+    cntIqFull_ = &stats_.counter("iqFullStalls");
+    cntLsqFull_ = &stats_.counter("lsqFullStalls");
+    cntIcacheBlock_ = &stats_.counter("icacheBlockCycles");
+    cntSpawns_ = &stats_.counter("spawns");
+    cntReused_ = &stats_.counter("reusedInsts");
+    cntCoRunnerCommitted_ = &stats_.counter("coRunnerCommitted");
     stats_.counter("faultDeniedSpawnCycles");
     stats_.counter("faultSquashedThreads");
+
+    decoded_ = decodeProgram(prog_);
+    fetchLineShift_ = static_cast<std::uint32_t>(std::countr_zero(
+        std::uint64_t(hierarchy_.config().l1i.lineBytes)));
+    fuLimit_[0] = config_.intAlu;
+    fuLimit_[1] = config_.intMulDiv;
+    fuLimit_[2] = config_.fpAlu;
+    fuLimit_[3] = config_.fpMulDiv;
+    fuLimit_[4] = config_.memPorts;
+    for (CtxState &c : ctxs_) {
+        c.frontend.reserve(
+            static_cast<std::size_t>(config_.frontendQSize));
+        c.rob.reserve(static_cast<std::size_t>(config_.robSize));
+    }
+}
+
+DynInst *
+OooCore::allocInst()
+{
+    DynInst *di;
+    if (!freeInsts_.empty()) {
+        di = freeInsts_.back();
+        freeInsts_.pop_back();
+    } else {
+        instPool_.emplace_back();
+        di = &instPool_.back();
+    }
+    di->seq = 0;
+    di->ctx = 0;
+    di->fetchCycle = 0;
+    di->depCount = 0;
+    di->dispatched = false;
+    di->issued = false;
+    di->completed = false;
+    di->blocksFetchOnComplete = false;
+    di->reused = false;
+    di->completeCycle = 0;
+    di->consumers.clear();  // keeps capacity for the next tenant
+    return di;
 }
 
 const ArchState &
@@ -141,18 +141,9 @@ OooCore::scheduleCompletion(DynInst &di, Cycle when)
 }
 
 bool
-OooCore::takeFuSlot(isa::FuClass fu)
+OooCore::takeFuSlot(int pool)
 {
-    int pool = poolOf(fu);
-    int limit = 0;
-    switch (pool) {
-      case 0: limit = config_.intAlu; break;
-      case 1: limit = config_.intMulDiv; break;
-      case 2: limit = config_.fpAlu; break;
-      case 3: limit = config_.fpMulDiv; break;
-      case 4: limit = config_.memPorts; break;
-    }
-    if (fuUsed_[pool] >= limit)
+    if (fuUsed_[pool] >= fuLimit_[pool])
         return false;
     ++fuUsed_[pool];
     return true;
@@ -210,11 +201,10 @@ OooCore::doComplete()
 void
 OooCore::releaseCommittedWriter(CtxState &c, const DynInst &di)
 {
-    bool is_fp;
-    int idx;
-    if (destReg(di.info.inst, is_fp, idx)
-        && c.lastWriter[is_fp ? 1 : 0][idx] == &di)
-        c.lastWriter[is_fp ? 1 : 0][idx] = nullptr;
+    const DecodedInst &d = decoded_[di.info.pc];
+    if (d.hasDest
+        && c.lastWriter[d.destFp ? 1 : 0][d.destIdx] == &di)
+        c.lastWriter[d.destFp ? 1 : 0][d.destIdx] = nullptr;
 }
 
 void
@@ -226,7 +216,7 @@ OooCore::doCommit()
         auto ci = static_cast<std::size_t>((rrCommit_ + k) % n);
         CtxState &c = ctxs_[ci];
         while (budget > 0 && !c.rob.empty()) {
-            DynInst &di = c.rob.front();
+            DynInst &di = *c.rob.front();
             if (!di.completed)
                 break;
             const isa::Inst &inst = di.info.inst;
@@ -236,7 +226,7 @@ OooCore::doCommit()
                     inst.trig, di.info.mem.addr, di.info.mem.value,
                     di.info.silent);
                 if (outcome == dtt::TstoreOutcome::Stall) {
-                    ++stats_.counter("tstoreCommitStalls");
+                    ++*cntTstoreStalls_;
                     traceEvent("TQS", di, "thread queue full");
                     break;  // retry next cycle
                 }
@@ -286,7 +276,8 @@ OooCore::doCommit()
             bool was_store = di.info.mem.valid && !di.info.mem.isLoad;
             bool was_tret = inst.op == isa::Opcode::TRET;
             traceEvent("RET", di);
-            c.rob.pop_front();  // di (and inst) dangle past this point
+            c.rob.pop_front();
+            freeInst(&di);  // di (and inst) dangle past this point
             --robUsed_;
             --c.robUsed;
             if (was_load) {
@@ -299,15 +290,15 @@ OooCore::doCommit()
             }
             --budget;
             ++c.committed;
-            ++stats_.counter("committed");
+            ++*cntCommitted_;
             if (ci == 0) {
                 ++mainCommitted_;
-                ++stats_.counter("mainCommitted");
+                ++*cntMainCommitted_;
             } else if (c.isCoRunner) {
-                ++stats_.counter("coRunnerCommitted");
+                ++*cntCoRunnerCommitted_;
             } else {
                 ++dttCommitted_;
-                ++stats_.counter("dttCommitted");
+                ++*cntDttCommitted_;
             }
             lastCommit_ = now_;
 
@@ -336,14 +327,13 @@ OooCore::doIssue()
             break;
         if (di->issued || di->depCount > 0)
             continue;
-        const isa::Inst &inst = di->info.inst;
-        const isa::OpInfo &info = isa::opInfo(inst.op);
+        const DecodedInst &dec = decoded_[di->info.pc];
         // Reuse hits read the reuse buffer instead of executing:
         // single-cycle on an ALU slot, no D-cache access.
-        isa::FuClass fu = di->reused ? isa::FuClass::IntAlu : info.fu;
-        if (!takeFuSlot(fu))
+        int pool = di->reused ? 0 : dec.pool;
+        if (!takeFuSlot(pool))
             continue;
-        Cycle lat = info.latency;
+        Cycle lat;
         if (di->reused)
             lat = 1;
         else if (di->info.mem.valid && di->info.mem.isLoad)
@@ -351,6 +341,8 @@ OooCore::doIssue()
                                         now_);
         else if (di->info.mem.valid)
             lat = 1;  // store: AGU only; cache written at commit
+        else
+            lat = dec.latency;
         if (lat < 1)
             lat = 1;
         di->issued = true;
@@ -372,18 +364,18 @@ OooCore::doDispatch()
         auto ci = static_cast<std::size_t>((rrDispatch_ + k) % n);
         CtxState &c = ctxs_[ci];
         while (budget > 0 && !c.frontend.empty()) {
-            DynInst &head = c.frontend.front();
+            DynInst &head = *c.frontend.front();
             if (head.fetchCycle
                 + static_cast<Cycle>(config_.frontendDepth) > now_)
                 break;
             if (robUsed_ >= config_.robSize
                 || c.robUsed >= ctxCap(config_.robSize)) {
-                ++stats_.counter("robFullStalls");
+                ++*cntRobFull_;
                 break;
             }
             if (iqUsed_ >= config_.iqSize
                 || c.iqUsed >= ctxCap(config_.iqSize)) {
-                ++stats_.counter("iqFullStalls");
+                ++*cntIqFull_;
                 break;
             }
             bool is_load = head.info.mem.valid && head.info.mem.isLoad;
@@ -392,12 +384,12 @@ OooCore::doDispatch()
                              || c.lqUsed >= ctxCap(config_.lqSize)))
                 || (is_store && (sqUsed_ >= config_.sqSize
                                  || c.sqUsed >= ctxCap(config_.sqSize)))) {
-                ++stats_.counter("lsqFullStalls");
+                ++*cntLsqFull_;
                 break;
             }
-            c.rob.push_back(std::move(head));
+            c.rob.push_back(&head);
             c.frontend.pop_front();
-            DynInst &di = c.rob.back();
+            DynInst &di = head;
             di.dispatched = true;
             ++robUsed_;
             ++iqUsed_;
@@ -423,19 +415,20 @@ OooCore::doDispatch()
 void
 OooCore::linkDependencies(CtxState &c, DynInst &di)
 {
-    forEachSource(di.info.inst, [&](bool is_fp, int idx) {
+    const DecodedInst &d = decoded_[di.info.pc];
+    for (int s = 0; s < d.numSrc; ++s) {
+        bool is_fp = d.src[s].fp;
+        int idx = d.src[s].idx;
         if (!is_fp && idx == 0)
-            return;  // x0
+            continue;  // x0
         DynInst *producer = c.lastWriter[is_fp ? 1 : 0][idx];
         if (producer != nullptr && !producer->completed) {
             ++di.depCount;
             producer->consumers.push_back(&di);
         }
-    });
-    bool is_fp;
-    int idx;
-    if (destReg(di.info.inst, is_fp, idx))
-        c.lastWriter[is_fp ? 1 : 0][idx] = &di;
+    }
+    if (d.hasDest)
+        c.lastWriter[d.destFp ? 1 : 0][d.destIdx] = &di;
 }
 
 void
@@ -492,7 +485,7 @@ OooCore::doSpawn()
                          static_cast<unsigned long long>(req.entryPc),
                          static_cast<unsigned long long>(req.addr));
         ++dttSpawns_;
-        ++stats_.counter("spawns");
+        ++*cntSpawns_;
     }
 }
 
@@ -500,7 +493,8 @@ void
 OooCore::doFetch()
 {
     // Gather fetchable contexts, unblocking satisfied TWAITs.
-    std::vector<int> candidates;
+    std::vector<int> &candidates = fetchCandidates_;
+    candidates.clear();
     for (int ctx = 0; ctx < config_.numContexts; ++ctx) {
         CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
         if (!c.active || c.fetchStopped || c.fetchBlockedOnBranch)
@@ -548,20 +542,20 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
         std::uint64_t pc = c.arch.pc;
 
         // I-cache: probe on each new line.
-        std::uint64_t line = pcToAddr(pc)
-            / hierarchy_.config().l1i.lineBytes;
+        std::uint64_t line = pcToAddr(pc) >> fetchLineShift_;
         if (line != c.curFetchLine) {
             Cycle lat = hierarchy_.accessInst(pcToAddr(pc), now_);
             c.curFetchLine = line;
             if (lat > hierarchy_.l1i().hitLatency()) {
                 c.fetchReady = now_ + lat;
-                ++stats_.counter("icacheBlockCycles");
+                ++*cntIcacheBlock_;
                 return;
             }
         }
 
         const isa::Inst &inst = prog_.at(pc);
-        if (inst.op == isa::Opcode::TWAIT && controller_
+        const DecodedInst &dec = decoded_[pc];
+        if (dec.isTwait && controller_
             && !controller_->waitSatisfied(inst.trig)) {
             c.twaitBlocked = true;
             c.twaitTrig = inst.trig;
@@ -570,19 +564,18 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
 
         // Hardware-reuse machine: capture source values pre-execute.
         ReuseProbe probe;
-        bool try_reuse = reuse_ != nullptr && reuseEligible(inst);
+        bool try_reuse = reuse_ != nullptr && dec.reuseEligible;
         if (try_reuse) {
-            forEachSource(inst, [&](bool is_fp, int idx) {
-                if (probe.numSrc < 2)
-                    probe.src[probe.numSrc++] = is_fp
-                        ? fpBits(c.arch.getF(idx))
-                        : c.arch.getX(idx);
-            });
+            for (int s = 0; s < dec.numSrc; ++s)
+                probe.src[probe.numSrc++] = dec.src[s].fp
+                    ? fpBits(c.arch.getF(dec.src[s].idx))
+                    : c.arch.getX(dec.src[s].idx);
         }
 
         StepInfo info = step(c.arch, memory_, prog_, &fetchHooks_);
 
-        DynInst di;
+        DynInst *dip = allocInst();
+        DynInst &di = *dip;
         di.seq = nextSeq_++;
         di.ctx = ctx;
         di.info = info;
@@ -594,7 +587,7 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
             probe.memValue = info.mem.value;
             di.reused = reuse_->lookupInsert(pc, probe);
             if (di.reused)
-                ++stats_.counter("reusedInsts");
+                ++*cntReused_;
         }
 
         // A squash-armed thread journals its stores' pre-images so
@@ -621,13 +614,12 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
         }
 
         traceEvent("FET", di, mispredicted ? "mispredict" : "");
-        c.frontend.push_back(std::move(di));
+        c.frontend.push_back(dip);
         --budget;
         ++c.fetched;
-        ++stats_.counter("fetched");
+        ++*cntFetched_;
 
-        if (inst.op == isa::Opcode::TRET
-            || inst.op == isa::Opcode::HALT) {
+        if (dec.stopsFetch) {
             c.fetchStopped = true;
             return;
         }
@@ -675,16 +667,20 @@ OooCore::squashContext(CtxId ctx)
     // triggering store, or TWAIT would wait on it forever. This
     // covers a commit-stalled tstore at the ROB head too.
     if (controller_ != nullptr) {
-        for (const DynInst &di : c.frontend)
+        for (std::size_t i = 0; i < c.frontend.size(); ++i) {
+            const DynInst &di = *c.frontend.at(i);
             if (di.info.isTstore)
                 controller_->onTstoreDone(di.info.inst.trig);
-        for (const DynInst &di : c.rob)
+        }
+        for (std::size_t i = 0; i < c.rob.size(); ++i) {
+            const DynInst &di = *c.rob.at(i);
             if (di.info.isTstore)
                 controller_->onTstoreDone(di.info.inst.trig);
+        }
     }
     // Purge the context's instructions from the shared structures
-    // before clearing the deques that own them. Dependence edges
-    // never cross contexts (lastWriter is per-context), so no stale
+    // before recycling them into the arena. Dependence edges never
+    // cross contexts (lastWriter is per-context), so no stale
     // consumer pointer can survive in another context.
     std::erase_if(iq_, [ctx](DynInst *d) { return d->ctx == ctx; });
     for (auto &slot : wheel_)
@@ -695,6 +691,10 @@ OooCore::squashContext(CtxId ctx)
     lqUsed_ -= c.lqUsed;
     sqUsed_ -= c.sqUsed;
     c.robUsed = c.iqUsed = c.lqUsed = c.sqUsed = 0;
+    for (std::size_t i = 0; i < c.frontend.size(); ++i)
+        freeInst(c.frontend.at(i));
+    for (std::size_t i = 0; i < c.rob.size(); ++i)
+        freeInst(c.rob.at(i));
     c.frontend.clear();
     c.rob.clear();
     std::fill(&c.lastWriter[0][0], &c.lastWriter[0][0] + 64, nullptr);
@@ -727,9 +727,9 @@ OooCore::tick()
     doSpawn();
     doFetch();
     if (ctxs_[0].twaitBlocked)
-        ++stats_.counter("twaitStallCycles");
+        ++*cntTwaitStalls_;
     ++now_;
-    ++stats_.counter("cycles");
+    ++*cntCycles_;
 
     // Forward-progress watchdog: convert a silent livelock (e.g. a
     // commit-stalled tstore on a Stall-policy machine with no context

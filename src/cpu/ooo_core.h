@@ -35,7 +35,9 @@
 #include "cpu/arch_state.h"
 #include "cpu/bpred.h"
 #include "cpu/core_config.h"
+#include "cpu/decoded.h"
 #include "cpu/executor.h"
+#include "cpu/inst_ring.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
 #include "mem/memory.h"
@@ -159,8 +161,8 @@ class OooCore
         Cycle fetchReady = 0;
         std::uint64_t curFetchLine = ~0ull;
         ArchState arch;
-        std::deque<DynInst> frontend;  ///< fetched, not dispatched
-        std::deque<DynInst> rob;       ///< dispatched, not committed
+        InstRing<DynInst *> frontend;  ///< fetched, not dispatched
+        InstRing<DynInst *> rob;       ///< dispatched, not committed
         DynInst *lastWriter[2][32] = {};  ///< [int=0/fp=1][reg]
         std::uint64_t fetched = 0;
         std::uint64_t committed = 0;
@@ -203,8 +205,12 @@ class OooCore
     int ctxCap(int total_size) const;
     void linkDependencies(CtxState &c, DynInst &di);
     void scheduleCompletion(DynInst &di, Cycle when);
-    bool takeFuSlot(isa::FuClass fu);
+    bool takeFuSlot(int pool);
     void releaseCommittedWriter(CtxState &c, const DynInst &di);
+    /** Take a recycled (or fresh) DynInst from the arena. */
+    DynInst *allocInst();
+    /** Return a retired/squashed DynInst to the arena. */
+    void freeInst(DynInst *di) { freeInsts_.push_back(di); }
 
     /** Fetch-time hook adapter: only TCHK reads the controller; all
      *  state-changing DTT events are deferred to commit. */
@@ -239,6 +245,19 @@ class OooCore
     int lqUsed_ = 0;
     int sqUsed_ = 0;
     int fuUsed_[5] = {};            ///< per FU pool, this cycle
+    int fuLimit_[5] = {};           ///< per FU pool, from config
+
+    /** Static decode cache, indexed by pc (see cpu/decoded.h). */
+    std::vector<DecodedInst> decoded_;
+    /** In-flight instruction arena: storage is a deque so pointers
+     *  stay stable; retired instructions return to freeInsts_ with
+     *  their consumers capacity intact, so the per-cycle loop makes
+     *  no heap allocations in steady state. */
+    std::deque<DynInst> instPool_;
+    std::vector<DynInst *> freeInsts_;
+    /** Per-cycle fetch candidate scratch (reused, never freed). */
+    std::vector<int> fetchCandidates_;
+    std::uint32_t fetchLineShift_ = 6;  ///< log2(l1i lineBytes)
 
     Cycle now_ = 0;
     SeqNum nextSeq_ = 0;
@@ -251,6 +270,23 @@ class OooCore
     std::uint64_t dttCommitted_ = 0;
     std::uint64_t dttSpawns_ = 0;
     StatGroup stats_;
+    // Hot-path counters resolved once at construction; StatGroup's
+    // string-keyed lookup is too slow for per-event increments, and
+    // its map nodes are stable so the pointers stay valid.
+    Counter *cntCycles_ = nullptr;
+    Counter *cntFetched_ = nullptr;
+    Counter *cntCommitted_ = nullptr;
+    Counter *cntMainCommitted_ = nullptr;
+    Counter *cntDttCommitted_ = nullptr;
+    Counter *cntCoRunnerCommitted_ = nullptr;
+    Counter *cntTwaitStalls_ = nullptr;
+    Counter *cntTstoreStalls_ = nullptr;
+    Counter *cntRobFull_ = nullptr;
+    Counter *cntIqFull_ = nullptr;
+    Counter *cntLsqFull_ = nullptr;
+    Counter *cntIcacheBlock_ = nullptr;
+    Counter *cntSpawns_ = nullptr;
+    Counter *cntReused_ = nullptr;
     sim::FaultPlan *plan_ = nullptr;
     bool deadlocked_ = false;
     std::string deadlockDetail_;

@@ -7,7 +7,12 @@
 namespace dttsim::mem {
 
 Cache::Cache(const CacheConfig &config)
-    : config_(config), stats_(config.name)
+    : config_(config), stats_(config.name),
+      accesses_(&stats_.counter("accesses")),
+      hits_(&stats_.counter("hits")),
+      misses_(&stats_.counter("misses")),
+      evictions_(&stats_.counter("evictions")),
+      writebacks_(&stats_.counter("writebacks"))
 {
     if (config_.lineBytes == 0
         || (config_.lineBytes & (config_.lineBytes - 1)) != 0)
@@ -25,19 +30,14 @@ Cache::Cache(const CacheConfig &config)
               config_.name.c_str(), numSets_);
     lineShift_ = static_cast<std::uint32_t>(
         std::countr_zero(std::uint64_t(config_.lineBytes)));
+    setMask_ = numSets_ - 1;
     lines_.resize(std::size_t(numSets_) * config_.assoc);
-
-    stats_.counter("accesses");
-    stats_.counter("hits");
-    stats_.counter("misses");
-    stats_.counter("evictions");
-    stats_.counter("writebacks");
 }
 
 std::uint64_t
 Cache::setIndex(Addr addr) const
 {
-    return (addr >> lineShift_) & (numSets_ - 1);
+    return (addr >> lineShift_) & setMask_;
 }
 
 std::uint64_t
@@ -49,7 +49,7 @@ Cache::tagOf(Addr addr) const
 CacheAccess
 Cache::access(Addr addr, bool is_write)
 {
-    ++stats_.counter("accesses");
+    ++*accesses_;
     std::uint64_t set = setIndex(addr);
     std::uint64_t tag = tagOf(addr);
     Line *ways = &lines_[set * config_.assoc];
@@ -61,7 +61,7 @@ Cache::access(Addr addr, bool is_write)
         if (line.valid && line.tag == tag) {
             line.lru = ++lruClock_;
             line.dirty = line.dirty || is_write;
-            ++stats_.counter("hits");
+            ++*hits_;
             result.hit = true;
             return result;
         }
@@ -74,11 +74,11 @@ Cache::access(Addr addr, bool is_write)
         }
     }
 
-    ++stats_.counter("misses");
+    ++*misses_;
     if (victim->valid) {
-        ++stats_.counter("evictions");
+        ++*evictions_;
         if (victim->dirty) {
-            ++stats_.counter("writebacks");
+            ++*writebacks_;
             result.writebackVictim = true;
         }
     }

@@ -39,6 +39,14 @@ class Cache
   public:
     explicit Cache(const CacheConfig &config);
 
+    // Movable (the cached counter pointers below stay valid: moving a
+    // StatGroup moves its map's nodes without relocating them), but
+    // not copyable — a copy's pointers would alias the source's stats.
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+    Cache(Cache &&) = default;
+    Cache &operator=(Cache &&) = default;
+
     /**
      * Look up @p addr; on miss, fill the line (evicting LRU).
      * @param is_write marks the line dirty on hit or fill.
@@ -79,9 +87,18 @@ class Cache
     CacheConfig config_;
     std::uint32_t numSets_;
     std::uint32_t lineShift_;
+    std::uint64_t setMask_;    ///< numSets_ - 1 (power-of-two sets)
     std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
     std::uint64_t lruClock_ = 0;
     StatGroup stats_;
+    // Hot-path counters resolved once at construction (StatGroup's
+    // string-keyed lookup is far too slow for the per-access path;
+    // map nodes are stable so the pointers live as long as stats_).
+    Counter *accesses_;
+    Counter *hits_;
+    Counter *misses_;
+    Counter *evictions_;
+    Counter *writebacks_;
 };
 
 } // namespace dttsim::mem

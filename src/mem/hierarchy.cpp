@@ -1,6 +1,7 @@
 #include "mem/hierarchy.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.h"
 
@@ -14,6 +15,8 @@ Hierarchy::Hierarchy(const HierarchyConfig &config)
         fatal("hierarchy requires a uniform line size across levels");
     if (config_.mshrs < 1)
         fatal("hierarchy needs at least one MSHR per level");
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(std::uint64_t(config_.l2.lineBytes)));
 }
 
 Cycle
@@ -51,7 +54,7 @@ Hierarchy::l2Latency(std::uint64_t line, Cycle now)
 {
     Cycle lat = l2_.hitLatency();
     // Tag lookup uses the line's byte address.
-    Addr addr = line * config_.l2.lineBytes;
+    Addr addr = line << lineShift_;
     CacheAccess l2 = l2_.access(addr, false);
     if (l2.hit)
         return lat;
@@ -74,7 +77,7 @@ Hierarchy::l2Latency(std::uint64_t line, Cycle now)
 Cycle
 Hierarchy::accessData(Addr addr, bool is_write, Cycle now)
 {
-    std::uint64_t line = addr / config_.l1d.lineBytes;
+    std::uint64_t line = addr >> lineShift_;
     Cycle lat = l1d_.hitLatency();
     CacheAccess l1 = l1d_.access(addr, is_write);
     if (l1.hit) {
@@ -101,7 +104,7 @@ Hierarchy::accessData(Addr addr, bool is_write, Cycle now)
     if (config_.nextLinePrefetch) {
         // Pull the next line toward L2 (tag install + fill timing).
         std::uint64_t next_line = line + 1;
-        Addr next_addr = next_line * config_.l1d.lineBytes;
+        Addr next_addr = next_line << lineShift_;
         if (!l2_.contains(next_addr)
             && (!config_.modelFills
                 || l2Fills_.pendingFor(next_line, now) == 0)) {
@@ -115,7 +118,7 @@ Hierarchy::accessData(Addr addr, bool is_write, Cycle now)
 Cycle
 Hierarchy::accessInst(Addr addr, Cycle now)
 {
-    std::uint64_t line = addr / config_.l1i.lineBytes;
+    std::uint64_t line = addr >> lineShift_;
     Cycle lat = l1i_.hitLatency();
     CacheAccess l1 = l1i_.access(addr, false);
     if (l1.hit) {

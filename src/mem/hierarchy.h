@@ -101,6 +101,7 @@ class Hierarchy
     Cycle l2Latency(std::uint64_t line, Cycle now);
 
     HierarchyConfig config_;
+    std::uint32_t lineShift_;  ///< log2(lineBytes), uniform per level
     Cache l1i_;
     Cache l1d_;
     Cache l2_;

@@ -1,6 +1,7 @@
 #include "mem/memory.h"
 
 #include <cstring>
+#include <utility>
 
 #include "common/log.h"
 
@@ -11,35 +12,141 @@ namespace {
 /** All-zero page returned for reads of untouched memory. */
 const Memory::Page kZeroPage{};
 
+/** Initial flat-index capacity (slots; power of two). */
+constexpr std::size_t kInitialIndexSize = 64;
+
 } // namespace
 
-const std::uint8_t *
-Memory::pageFor(Addr a) const
+Memory::Memory()
+    : index_(kInitialIndexSize), indexMask_(kInitialIndexSize - 1)
 {
-    auto it = pages_.find(a >> kPageBits);
-    return it == pages_.end() ? kZeroPage.data() : it->second->data();
+}
+
+Memory::Memory(Memory &&other) noexcept
+    : pages_(std::move(other.pages_)),
+      index_(std::move(other.index_)),
+      indexMask_(other.indexMask_),
+      lastReadPage_(other.lastReadPage_),
+      lastReadData_(other.lastReadData_),
+      lastWritePage_(other.lastWritePage_),
+      lastWriteData_(other.lastWriteData_)
+{
+    // The moved-from object no longer owns the pages its caches point
+    // at; reset it to a valid empty memory.
+    other.index_.assign(kInitialIndexSize, Slot{});
+    other.indexMask_ = kInitialIndexSize - 1;
+    other.lastReadPage_ = ~0ull;
+    other.lastReadData_ = nullptr;
+    other.lastWritePage_ = ~0ull;
+    other.lastWriteData_ = nullptr;
+}
+
+Memory &
+Memory::operator=(Memory &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    pages_ = std::move(other.pages_);
+    index_ = std::move(other.index_);
+    indexMask_ = other.indexMask_;
+    lastReadPage_ = other.lastReadPage_;
+    lastReadData_ = other.lastReadData_;
+    lastWritePage_ = other.lastWritePage_;
+    lastWriteData_ = other.lastWriteData_;
+    other.index_.assign(kInitialIndexSize, Slot{});
+    other.indexMask_ = kInitialIndexSize - 1;
+    other.lastReadPage_ = ~0ull;
+    other.lastReadData_ = nullptr;
+    other.lastWritePage_ = ~0ull;
+    other.lastWriteData_ = nullptr;
+    return *this;
+}
+
+const std::uint8_t *
+Memory::lookupPage(std::uint64_t pn) const
+{
+    std::size_t i = hashPage(pn, indexMask_);
+    for (;; i = (i + 1) & indexMask_) {
+        const Slot &s = index_[i];
+        if (s.data == nullptr)
+            break;  // untouched page: reads as zero
+        if (s.pageNum == pn) {
+            lastReadPage_ = pn;
+            lastReadData_ = s.data;
+            return s.data;
+        }
+    }
+    lastReadPage_ = pn;
+    lastReadData_ = kZeroPage.data();
+    return kZeroPage.data();
 }
 
 std::uint8_t *
-Memory::pageForWrite(Addr a)
+Memory::lookupPageForWrite(std::uint64_t pn)
 {
-    auto &slot = pages_[a >> kPageBits];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
+    std::size_t i = hashPage(pn, indexMask_);
+    for (;; i = (i + 1) & indexMask_) {
+        Slot &s = index_[i];
+        if (s.data == nullptr)
+            break;
+        if (s.pageNum == pn) {
+            lastWritePage_ = pn;
+            lastWriteData_ = s.data;
+            return s.data;
+        }
     }
-    return slot->data();
+    return allocatePage(pn);
 }
 
-std::uint8_t
-Memory::read8(Addr a) const
+std::uint8_t *
+Memory::allocatePage(std::uint64_t pn)
 {
-    return pageFor(a)[a & (kPageSize - 1)];
+    pages_.push_back(std::make_unique<Page>());
+    std::uint8_t *data = pages_.back()->data();
+    std::memset(data, 0, kPageSize);
+
+    if ((pages_.size() + 1) * 4 > index_.size() * 3)
+        grow();
+    std::size_t i = hashPage(pn, indexMask_);
+    while (index_[i].data != nullptr)
+        i = (i + 1) & indexMask_;
+    index_[i] = Slot{pn, data};
+
+    lastWritePage_ = pn;
+    lastWriteData_ = data;
+    // A read of this page may be cached as the zero page; refresh so
+    // the next read sees the freshly allocated backing store.
+    lastReadPage_ = pn;
+    lastReadData_ = data;
+    return data;
+}
+
+void
+Memory::grow()
+{
+    std::vector<Slot> bigger(index_.size() * 2);
+    std::size_t mask = bigger.size() - 1;
+    for (const Slot &s : index_) {
+        if (s.data == nullptr)
+            continue;
+        std::size_t i = hashPage(s.pageNum, mask);
+        while (bigger[i].data != nullptr)
+            i = (i + 1) & mask;
+        bigger[i] = s;
+    }
+    index_ = std::move(bigger);
+    indexMask_ = mask;
 }
 
 std::uint32_t
 Memory::read32(Addr a) const
 {
+    std::uint64_t off = a & (kPageSize - 1);
+    if (off + 4 <= kPageSize) {
+        std::uint32_t v;
+        std::memcpy(&v, pageFor(a) + off, 4);
+        return v;
+    }
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i)
         v |= std::uint32_t(read8(a + std::uint64_t(i))) << (8 * i);
@@ -72,14 +179,13 @@ Memory::readDouble(Addr a) const
 }
 
 void
-Memory::write8(Addr a, std::uint8_t v)
-{
-    pageForWrite(a)[a & (kPageSize - 1)] = v;
-}
-
-void
 Memory::write32(Addr a, std::uint32_t v)
 {
+    std::uint64_t off = a & (kPageSize - 1);
+    if (off + 4 <= kPageSize) {
+        std::memcpy(pageForWrite(a) + off, &v, 4);
+        return;
+    }
     for (int i = 0; i < 4; ++i)
         write8(a + std::uint64_t(i), std::uint8_t(v >> (8 * i)));
 }
@@ -129,8 +235,19 @@ Memory::write(Addr a, int size, std::uint64_t v)
 void
 Memory::writeBytes(Addr a, const std::uint8_t *src, std::uint64_t n)
 {
-    for (std::uint64_t i = 0; i < n; ++i)
-        write8(a + i, src[i]);
+    // Page-at-a-time memcpy (program loading writes whole data
+    // segments; byte-wise write8 was a measurable startup cost for
+    // scaled working sets).
+    while (n > 0) {
+        std::uint64_t off = a & (kPageSize - 1);
+        std::uint64_t chunk = kPageSize - off;
+        if (chunk > n)
+            chunk = n;
+        std::memcpy(pageForWrite(a) + off, src, chunk);
+        a += chunk;
+        src += chunk;
+        n -= chunk;
+    }
 }
 
 } // namespace dttsim::mem

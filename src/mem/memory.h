@@ -6,12 +6,20 @@
  * on first touch; untouched memory reads as zero. This is the single
  * functional store shared by all hardware contexts (main thread and
  * data-triggered threads communicate through it).
+ *
+ * Hot-path design (docs/PERFORMANCE.md): every access first probes a
+ * one-entry last-page translation cache (separate read and write
+ * entries, like a µTLB), and on miss falls back to a flat
+ * open-addressed page index (power-of-two sized, linear probing)
+ * instead of a node-based std::unordered_map. Pages themselves are
+ * heap-allocated once and never move, so cached pointers stay valid
+ * across index growth.
  */
 
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 
@@ -24,18 +32,28 @@ class Memory
     static constexpr std::uint64_t kPageBits = 12;
     static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
 
-    Memory() = default;
+    Memory();
     Memory(const Memory &) = delete;
     Memory &operator=(const Memory &) = delete;
-    Memory(Memory &&) = default;
-    Memory &operator=(Memory &&) = default;
+    Memory(Memory &&other) noexcept;
+    Memory &operator=(Memory &&other) noexcept;
 
-    std::uint8_t read8(Addr a) const;
+    std::uint8_t
+    read8(Addr a) const
+    {
+        return pageFor(a)[a & (kPageSize - 1)];
+    }
+
     std::uint32_t read32(Addr a) const;
     std::uint64_t read64(Addr a) const;
     double readDouble(Addr a) const;
 
-    void write8(Addr a, std::uint8_t v);
+    void
+    write8(Addr a, std::uint8_t v)
+    {
+        pageForWrite(a)[a & (kPageSize - 1)] = v;
+    }
+
     void write32(Addr a, std::uint32_t v);
     void write64(Addr a, std::uint64_t v);
     void writeDouble(Addr a, double v);
@@ -54,10 +72,59 @@ class Memory
     using Page = std::array<std::uint8_t, kPageSize>;
 
   private:
-    const std::uint8_t *pageFor(Addr a) const;
-    std::uint8_t *pageForWrite(Addr a);
+    /** One slot of the flat page index: data == nullptr means empty. */
+    struct Slot
+    {
+        std::uint64_t pageNum = 0;
+        std::uint8_t *data = nullptr;
+    };
 
-    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    /**
+     * Translation for @p a: the last-read-page cache first, then the
+     * flat index; untouched pages resolve to the shared zero page.
+     */
+    const std::uint8_t *
+    pageFor(Addr a) const
+    {
+        std::uint64_t pn = a >> kPageBits;
+        if (pn == lastReadPage_)
+            return lastReadData_;
+        return lookupPage(pn);
+    }
+
+    /** Same for writes, allocating the page on first touch. */
+    std::uint8_t *
+    pageForWrite(Addr a)
+    {
+        std::uint64_t pn = a >> kPageBits;
+        if (pn == lastWritePage_)
+            return lastWriteData_;
+        return lookupPageForWrite(pn);
+    }
+
+    const std::uint8_t *lookupPage(std::uint64_t pn) const;
+    std::uint8_t *lookupPageForWrite(std::uint64_t pn);
+    std::uint8_t *allocatePage(std::uint64_t pn);
+    void grow();
+
+    static std::size_t
+    hashPage(std::uint64_t pn, std::size_t mask)
+    {
+        // Fibonacci hashing: pages cluster (text, data, stacks), so
+        // spread the low bits across the table.
+        return static_cast<std::size_t>(
+                   (pn * 0x9e3779b97f4a7c15ull) >> 40) & mask;
+    }
+
+    std::vector<std::unique_ptr<Page>> pages_;  ///< ownership; stable
+    std::vector<Slot> index_;                   ///< open-addressed
+    std::size_t indexMask_ = 0;
+
+    // One-entry translation caches (read side is logically const).
+    mutable std::uint64_t lastReadPage_ = ~0ull;
+    mutable const std::uint8_t *lastReadData_ = nullptr;
+    std::uint64_t lastWritePage_ = ~0ull;
+    std::uint8_t *lastWriteData_ = nullptr;
 };
 
 } // namespace dttsim::mem

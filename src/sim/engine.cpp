@@ -190,8 +190,28 @@ jobDigest(const SimJob &job)
     return buf;
 }
 
+double
+retryDelaySeconds(double base_seconds, int attempt,
+                  std::uint64_t seed)
+{
+    double backoff = base_seconds
+        * static_cast<double>(1ull << (attempt - 1));
+    // splitmix64 of (seed, attempt): cheap, stateless, and good
+    // enough to decorrelate jobs that fail at the same attempt.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull
+        * static_cast<std::uint64_t>(attempt);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    // Jitter factor in [1.0, 1.5).
+    double frac = static_cast<double>(z >> 11)
+        / static_cast<double>(1ull << 53);
+    return backoff * (1.0 + 0.5 * frac);
+}
+
 Engine::Engine(int num_threads)
-    : Engine(EngineConfig{num_threads, 1, 0.0, 0.0, nullptr})
+    : Engine(EngineConfig{.numThreads = num_threads,
+                          .maxAttempts = 1})
 {
 }
 
@@ -220,6 +240,17 @@ void
 Engine::setExecuteOverrideForTest(
     std::function<SimResult(const SimJob &, int attempt)> fn)
 {
+    executeOverride_ = [fn = std::move(fn)](const SimJob &job,
+                                            int attempt, bool *) {
+        return fn(job, attempt);
+    };
+}
+
+void
+Engine::setExecuteOverrideForTest(
+    std::function<SimResult(const SimJob &, int attempt,
+                            bool *cancelled)> fn)
+{
     executeOverride_ = std::move(fn);
 }
 
@@ -228,61 +259,73 @@ Engine::run(const std::vector<SimJob> &jobs)
 {
     submitted_ += jobs.size();
 
+    // Phase 1 — fingerprint every job across the pool. jobDigest
+    // hashes the whole program image, so on a warm sweep (everything
+    // cached) digesting used to dominate the main thread; each digest
+    // is a pure function of its own job, so the fan-out is trivially
+    // deterministic.
+    std::vector<std::string> digests(jobs.size());
+    {
+        std::atomic<std::size_t> nextDigest{0};
+        auto digestWorker = [&]() {
+            for (;;) {
+                std::size_t i = nextDigest.fetch_add(1);
+                if (i >= jobs.size())
+                    return;
+                digests[i] = jobDigest(jobs[i]);
+            }
+        };
+        std::size_t pool = std::min<std::size_t>(
+            static_cast<std::size_t>(config_.numThreads),
+            jobs.size());
+        if (pool <= 1) {
+            digestWorker();
+        } else {
+            std::vector<std::thread> threads;
+            threads.reserve(pool);
+            for (std::size_t t = 0; t < pool; ++t)
+                threads.emplace_back(digestWorker);
+            for (std::thread &t : threads)
+                t.join();
+        }
+    }
+
     // Deduplicate: the first job with a given digest becomes the
     // representative; later identical jobs share its execution.
-    std::vector<std::string> digests(jobs.size());
     std::vector<std::size_t> representative(jobs.size());
     std::vector<std::size_t> unique;
     std::map<std::string, std::size_t> byDigest;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        digests[i] = jobDigest(jobs[i]);
         auto [it, inserted] = byDigest.emplace(digests[i], i);
         representative[i] = it->second;
         if (inserted)
             unique.push_back(i);
     }
 
-    // Warm start: unique jobs whose digest is already in the
-    // persistent store skip execution entirely, inheriting the
-    // original run's result, wall time and attempt count — this is
-    // both the cross-binary dedup and the checkpoint/resume path.
+    // Phase 2 — run the unique jobs on the pool. The warm-start
+    // lookup happens inside the workers (the store's read side is a
+    // shared lock), so a mostly-cached sweep scales with --jobs
+    // instead of serializing every digest probe on the main thread.
+    // Each simulation is single-threaded and self-contained, so
+    // scheduling order cannot affect any SimResult — only wall-clock.
+    // Failures are isolated: a thrown attempt is retried up to
+    // maxAttempts times with jittered exponential backoff, then
+    // recorded as a structured Error; a deadline cancellation becomes
+    // a Timeout (retried only with retryTimeouts). Nothing a job does
+    // aborts the rest of the batch.
     ResultStore *store =
         config_.store != nullptr && config_.store->readable()
             ? config_.store : nullptr;
     std::vector<JobResult> executedResults(jobs.size());
-    std::vector<std::size_t> pending;
-    for (std::size_t idx : unique) {
-        if (store != nullptr) {
-            if (std::optional<ResultStore::Record> rec =
-                    store->lookup(digests[idx])) {
-                JobResult &jr = executedResults[idx];
-                jr.result = rec->result;
-                jr.status = rec->status;
-                jr.attempts = rec->attempts;
-                jr.wallSeconds = rec->wallSeconds;
-                jr.cached = true;
-                ++cacheHits_;
-                continue;
-            }
-        }
-        pending.push_back(idx);
-    }
-    executed_ += pending.size();
-
-    // Farm the pending jobs out to the pool. Each simulation is
-    // single-threaded and self-contained, so scheduling order cannot
-    // affect any SimResult — only wall-clock. Failures are isolated:
-    // a thrown attempt is retried up to maxAttempts times with
-    // exponential backoff, then recorded as a structured Error; a
-    // deadline cancellation becomes a Timeout. Nothing a job does
-    // aborts the rest of the batch.
     std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> retried{0};
+    std::atomic<std::uint64_t> warmHits{0};
+    std::atomic<std::uint64_t> executed{0};
 
     auto attemptOnce = [&](const SimJob &job, int attempt,
                            bool *cancelled) {
         if (executeOverride_)
-            return executeOverride_(job, attempt);
+            return executeOverride_(job, attempt, cancelled);
         return simulateOnce(job, config_.jobDeadlineSeconds,
                             cancelled);
     };
@@ -290,36 +333,69 @@ Engine::run(const std::vector<SimJob> &jobs)
     auto worker = [&]() {
         for (;;) {
             std::size_t u = next.fetch_add(1);
-            if (u >= pending.size())
+            if (u >= unique.size())
                 return;
-            std::size_t idx = pending[u];
+            std::size_t idx = unique[u];
             JobResult &jr = executedResults[idx];
+            // Warm start: a digest already in the persistent store
+            // skips execution entirely, inheriting the original
+            // run's result, wall time and attempt count — this is
+            // both the cross-binary dedup and the checkpoint/resume
+            // path.
+            if (store != nullptr) {
+                if (std::optional<ResultStore::Record> rec =
+                        store->lookup(digests[idx])) {
+                    jr.result = rec->result;
+                    jr.status = rec->status;
+                    jr.attempts = rec->attempts;
+                    jr.wallSeconds = rec->wallSeconds;
+                    jr.cached = true;
+                    warmHits.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+            }
+            executed.fetch_add(1, std::memory_order_relaxed);
+            std::uint64_t jitterSeed = 0;
+            for (char ch : digests[idx])
+                jitterSeed = (jitterSeed
+                              ^ static_cast<unsigned char>(ch))
+                    * 1099511628211ull;
             auto t0 = std::chrono::steady_clock::now();
             for (int attempt = 1;; ++attempt) {
                 jr.attempts = attempt;
                 bool cancelled = false;
+                bool retryThis = false;
                 try {
                     jr.result = attemptOnce(jobs[idx], attempt,
                                             &cancelled);
                     if (cancelled) {
-                        // Sanitize: the partial counters of a
-                        // cancelled run depend on host timing, so
-                        // they must not reach the deterministic
-                        // results document.
-                        jr.status = JobStatus::Timeout;
                         jr.error = {"deadline", strfmt(
                             "wall-clock deadline of %gs exceeded",
                             config_.jobDeadlineSeconds)};
-                        jr.result = SimResult{};
-                        jr.result.hitMaxCycles = true;
-                        jr.result.haltReason = HaltReason::CycleLimit;
-                        jr.result.haltDetail =
-                            "cancelled: " + jr.error.message;
+                        if (config_.retryTimeouts
+                            && attempt < config_.maxAttempts) {
+                            // Opt-in --retry-on=timeout: burn an
+                            // attempt and back off like a thrown one.
+                            retryThis = true;
+                        } else {
+                            // Sanitize: the partial counters of a
+                            // cancelled run depend on host timing, so
+                            // they must not reach the deterministic
+                            // results document.
+                            jr.status = JobStatus::Timeout;
+                            jr.result = SimResult{};
+                            jr.result.hitMaxCycles = true;
+                            jr.result.haltReason =
+                                HaltReason::CycleLimit;
+                            jr.result.haltDetail =
+                                "cancelled: " + jr.error.message;
+                            break;
+                        }
                     } else {
                         jr.status = statusOf(jr.result);
                         jr.error = {};
+                        break;
                     }
-                    break;
                 } catch (const FatalError &e) {
                     jr.error = {"FatalError", e.what()};
                 } catch (const PanicError &e) {
@@ -329,7 +405,7 @@ Engine::run(const std::vector<SimJob> &jobs)
                 } catch (...) {
                     jr.error = {"unknown", "non-std exception"};
                 }
-                if (attempt >= config_.maxAttempts) {
+                if (!retryThis && attempt >= config_.maxAttempts) {
                     jr.status = JobStatus::Error;
                     jr.result = SimResult{};
                     jr.result.hitMaxCycles = true;
@@ -339,8 +415,8 @@ Engine::run(const std::vector<SimJob> &jobs)
                     break;
                 }
                 retried.fetch_add(1, std::memory_order_relaxed);
-                double backoff = config_.retryBackoffSeconds
-                    * static_cast<double>(1ull << (attempt - 1));
+                double backoff = retryDelaySeconds(
+                    config_.retryBackoffSeconds, attempt, jitterSeed);
                 if (backoff > 0)
                     std::this_thread::sleep_for(
                         std::chrono::duration<double>(backoff));
@@ -359,7 +435,7 @@ Engine::run(const std::vector<SimJob> &jobs)
     };
 
     std::size_t pool = std::min<std::size_t>(
-        static_cast<std::size_t>(config_.numThreads), pending.size());
+        static_cast<std::size_t>(config_.numThreads), unique.size());
     if (pool <= 1) {
         worker();
     } else {
@@ -371,6 +447,8 @@ Engine::run(const std::vector<SimJob> &jobs)
             t.join();
     }
     retries_ += retried.load();
+    cacheHits_ += warmHits.load();
+    executed_ += executed.load();
 
     // Expand to submission order; duplicates copy the representative
     // but keep their own labels.

@@ -142,6 +142,18 @@ struct JobResult
  */
 std::string jobDigest(const SimJob &job);
 
+/**
+ * Backoff before retry number @p attempt (1-based attempt that just
+ * failed): `base * 2^(attempt-1)`, stretched by a deterministic
+ * jitter in [1.0, 1.5) derived from (@p seed, @p attempt). Pure
+ * function of its arguments — no wall clock, no global RNG — so a
+ * rerun of the same batch sleeps identically, but two jobs that fail
+ * for the same cause fan out instead of hammering the host in
+ * lockstep.
+ */
+double retryDelaySeconds(double base_seconds, int attempt,
+                         std::uint64_t seed);
+
 /** Supervision policy for the engine. */
 struct EngineConfig
 {
@@ -149,10 +161,20 @@ struct EngineConfig
     int numThreads = 0;
     /** Executions per job before giving up on a thrown exception
      *  (1 = no retry). Deterministic simulation outcomes (Failed)
-     *  and deadline cancellations are never retried. */
+     *  are never retried; deadline cancellations are retried only
+     *  when retryTimeouts is set. */
     int maxAttempts = 1;
-    /** Sleep before the first retry; doubles per further retry. */
+    /** Base sleep before the first retry; doubles per further retry
+     *  and is spread by a deterministic per-job jitter (see
+     *  retryDelaySeconds) so a batch of same-cause failures does not
+     *  retry in lockstep. */
     double retryBackoffSeconds = 0.0;
+    /** Also retry deadline cancellations (--retry-on=timeout): a
+     *  cancelled attempt consumes an attempt and backs off like a
+     *  thrown one. Off by default — a deterministic runaway will
+     *  time out again, so retrying it only helps when the deadline
+     *  loss was host noise (an overloaded box). */
+    bool retryTimeouts = false;
     /** Per-job wall-clock deadline in seconds; 0 disables. Checked
      *  at the commit-progress watchdog cadence, so a runaway
      *  simulation is cancelled within one watchdog window. */
@@ -204,13 +226,20 @@ class Engine
     void setExecuteOverrideForTest(
         std::function<SimResult(const SimJob &, int attempt)> fn);
 
+    /** Same seam with deadline control: setting *cancelled simulates
+     *  a wall-clock cancellation (the retry-on-timeout tests). */
+    void setExecuteOverrideForTest(
+        std::function<SimResult(const SimJob &, int attempt,
+                                bool *cancelled)> fn);
+
   private:
     EngineConfig config_;
     std::uint64_t submitted_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t retries_ = 0;
-    std::function<SimResult(const SimJob &, int attempt)>
+    std::function<SimResult(const SimJob &, int attempt,
+                            bool *cancelled)>
         executeOverride_;
 };
 

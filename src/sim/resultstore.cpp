@@ -285,7 +285,7 @@ ResultStore::lookup(const std::string &digest) const
 {
     if (!readable())
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = byDigest_.find(digest);
     if (it == byDigest_.end())
         return std::nullopt;
@@ -297,30 +297,158 @@ ResultStore::put(const Record &rec)
 {
     if (!writable())
         return;
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (byDigest_.count(rec.digest) != 0)
-        return;  // already durable; keep the store append-only
-    if (segment_ == nullptr && !openSegment()) {
-        // Creation failed (and warned) — remember the record in
-        // memory so at least this process keeps its dedup.
+    std::uint64_t mySeq;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        if (byDigest_.count(rec.digest) != 0)
+            return;  // already durable; keep the store append-only
+        if (segment_ == nullptr && !openSegment()) {
+            // Creation failed (and warned) — remember the record in
+            // memory so at least this process keeps its dedup.
+            byDigest_.emplace(rec.digest, rec);
+            return;
+        }
+        std::string line = storeRecordToJson(rec).dump();
+        line += '\n';
+        if (std::fwrite(line.data(), 1, line.size(), segment_)
+                != line.size())
+            warn("result cache: short write to segment in '%s': %s",
+                 dir_.c_str(), std::strerror(errno));
         byDigest_.emplace(rec.digest, rec);
-        return;
+        mySeq = ++writeSeq_;
     }
-    std::string line = storeRecordToJson(rec).dump();
-    line += '\n';
-    if (std::fwrite(line.data(), 1, line.size(), segment_)
-            != line.size()
-        || !syncStream(segment_))
-        warn("result cache: short write to segment in '%s': %s",
+    // Group commit: the record must be durable before returning, but
+    // one fsync covers every line written before it started, so
+    // workers queued behind a sync in flight usually find their line
+    // already on disk and skip their own.
+    std::lock_guard<std::mutex> sync(syncMutex_);
+    if (durableSeq_ >= mySeq)
+        return;  // an overlapping fsync already covered our line
+    std::FILE *f;
+    std::uint64_t cover;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        f = segment_;
+        cover = writeSeq_;
+    }
+    if (f != nullptr && !syncStream(f))
+        warn("result cache: fsync failed for segment in '%s': %s",
              dir_.c_str(), std::strerror(errno));
-    byDigest_.emplace(rec.digest, rec);
+    durableSeq_ = cover;
 }
 
 std::size_t
 ResultStore::records() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return byDigest_.size();
+}
+
+std::size_t
+ResultStore::segmentCount() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return segments_.size();
+}
+
+void
+ResultStore::removeSegments(const std::vector<std::string> &names)
+{
+    for (const std::string &name : names)
+        std::remove((dir_ + "/" + name).c_str());
+    syncDir(dir_);
+}
+
+std::optional<std::size_t>
+ResultStore::compact()
+{
+    if (!writable())
+        return std::nullopt;
+    std::lock_guard<std::mutex> sync(syncMutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+
+    // Seal the active segment; every record it held is in byDigest_.
+    if (segment_ != nullptr) {
+        syncStream(segment_);
+        std::fclose(segment_);
+        segment_ = nullptr;
+    }
+
+    // Write the whole index into one fresh segment ("c" namespace so
+    // the probe cannot collide with openSegment's own counter).
+    const unsigned pid = static_cast<unsigned>(::getpid());
+    std::string name;
+    std::FILE *f = nullptr;
+    for (unsigned k = 0; k < 1000 && f == nullptr; ++k) {
+        name = strfmt("seg-%u-c%u.jsonl", pid, k);
+        f = std::fopen((dir_ + "/" + name).c_str(), "wx");
+        if (f == nullptr && errno != EEXIST)
+            break;
+    }
+    if (f == nullptr) {
+        warn("result cache: compact: cannot create a segment in "
+             "'%s': %s", dir_.c_str(), std::strerror(errno));
+        return std::nullopt;
+    }
+    bool ok = true;
+    for (const auto &[digest, rec] : byDigest_) {
+        std::string line = storeRecordToJson(rec).dump();
+        line += '\n';
+        ok = ok && std::fwrite(line.data(), 1, line.size(), f)
+            == line.size();
+    }
+    ok = ok && syncStream(f);
+    if (!ok) {
+        warn("result cache: compact: short write in '%s': %s; "
+             "keeping the existing segments", dir_.c_str(),
+             std::strerror(errno));
+        std::fclose(f);
+        std::remove((dir_ + "/" + name).c_str());
+        return std::nullopt;
+    }
+
+    // One atomic publish switches the MANIFEST from the old segment
+    // set to the single compacted one; a crash before the rename
+    // leaves the old set fully intact (the orphaned new segment is
+    // ignored on load).
+    if (!writeManifest({name})) {
+        warn("result cache: compact: cannot publish '%s' in %s; "
+             "keeping the existing segments", name.c_str(),
+             manifestPath().c_str());
+        std::fclose(f);
+        std::remove((dir_ + "/" + name).c_str());
+        return std::nullopt;
+    }
+    std::vector<std::string> retired = std::move(segments_);
+    segments_ = {name};
+    segment_ = f;  // future puts append to the compacted segment
+    durableSeq_ = writeSeq_;
+    removeSegments(retired);
+    return byDigest_.size();
+}
+
+bool
+ResultStore::clear()
+{
+    if (!writable())
+        return false;
+    std::lock_guard<std::mutex> sync(syncMutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (segment_ != nullptr) {
+        std::fclose(segment_);
+        segment_ = nullptr;
+    }
+    if (!writeManifest(std::vector<std::string>{})) {
+        warn("result cache: clear: cannot publish an empty MANIFEST "
+             "in '%s'", dir_.c_str());
+        return false;
+    }
+    std::vector<std::string> retired = std::move(segments_);
+    segments_.clear();
+    byDigest_.clear();
+    durableSeq_ = writeSeq_;
+    removeSegments(retired);
+    return true;
 }
 
 } // namespace dttsim::sim

@@ -15,7 +15,10 @@
  *
  *  - every record append is flushed and fsync'd before put()
  *    returns, so a SIGKILL loses at most the torn tail line of the
- *    current segment;
+ *    current segment. Syncs are group-committed: concurrent workers
+ *    write their lines under the index lock but share fsync batches
+ *    (one fsync covers every line written before it), so durability
+ *    cost amortizes across the pool without weakening the contract;
  *  - the MANIFEST is rewritten atomically (tmp file + fsync +
  *    rename) whenever a new segment is registered — a crash mid-
  *    rewrite leaves the previous MANIFEST intact, and stray
@@ -36,6 +39,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "sim/engine.h"
@@ -106,15 +110,48 @@ class ResultStore
     std::size_t corruptRecords() const { return corrupt_; }
     /** Segment files successfully opened during load. */
     std::size_t segmentsLoaded() const { return segmentsLoaded_; }
+    /** Segment files currently registered in the MANIFEST. */
+    std::size_t segmentCount() const;
+
+    /**
+     * Rewrite every record into one fresh segment and retire the
+     * rest (ReadWrite only): a long-lived cache accretes one
+     * `seg-<pid>-*.jsonl` per writing process, and loading many
+     * small segments is slower than one big one. The new MANIFEST is
+     * published with a single atomic rewrite — a crash before the
+     * rename leaves the old segment set fully intact — and the old
+     * segment files are unlinked only after the publish succeeds.
+     * @return number of records compacted, or nullopt on I/O error
+     *         (the store is left on its previous segment set).
+     */
+    std::optional<std::size_t> compact();
+
+    /**
+     * Drop every record and segment (ReadWrite only): publishes an
+     * empty MANIFEST atomically, then unlinks the retired segment
+     * files. The in-memory index is cleared too, so subsequent
+     * lookups miss and subsequent puts start a fresh segment.
+     * @return true when the empty manifest was published.
+     */
+    bool clear();
 
   private:
     void load();
     bool openSegment();
     bool writeManifest(const std::vector<std::string> &segments);
+    void removeSegments(const std::vector<std::string> &names);
 
     std::string dir_;
     Mode mode_;
-    mutable std::mutex mutex_;
+    /** Guards the index + segment list: shared for lookups (engine
+     *  workers probe concurrently on warm sweeps), exclusive for
+     *  mutation. */
+    mutable std::shared_mutex mutex_;
+    /** Serializes fsync batches (see put()); always acquired after
+     *  mutex_ is released, never while holding it. */
+    std::mutex syncMutex_;
+    std::uint64_t writeSeq_ = 0;    ///< lines written (under mutex_)
+    std::uint64_t durableSeq_ = 0;  ///< lines fsync'd (under syncMutex_)
     std::map<std::string, Record> byDigest_;
     std::vector<std::string> segments_;
     std::FILE *segment_ = nullptr;

@@ -304,6 +304,83 @@ TEST(EngineResilience, DeadlineCancelsRunawayJob)
     EXPECT_TRUE(results[0].result.hitMaxCycles);
 }
 
+TEST(EngineResilience, RetryDelayIsJitteredAndDeterministic)
+{
+    // Pure function of (base, attempt, seed): a rerun of the same
+    // batch sleeps identically.
+    const double base = 0.5;
+    for (int attempt = 1; attempt <= 4; ++attempt) {
+        double lo = base * static_cast<double>(1ull << (attempt - 1));
+        double d1 = retryDelaySeconds(base, attempt, 0x1234);
+        double d2 = retryDelaySeconds(base, attempt, 0x1234);
+        EXPECT_EQ(d1, d2);
+        // Exponential base stretched by jitter in [1.0, 1.5).
+        EXPECT_GE(d1, lo) << "attempt " << attempt;
+        EXPECT_LT(d1, 1.5 * lo) << "attempt " << attempt;
+    }
+    // Two jobs failing for the same cause at the same attempt fan
+    // out instead of hammering the host in lockstep.
+    EXPECT_NE(retryDelaySeconds(base, 1, 1),
+              retryDelaySeconds(base, 1, 2));
+    // Jitter scales the backoff, never adds to it: a zero base stays
+    // an immediate retry.
+    EXPECT_EQ(retryDelaySeconds(0.0, 3, 99), 0.0);
+}
+
+TEST(EngineResilience, RetryOnTimeoutRecoversTransientCancellation)
+{
+    EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.maxAttempts = 3;
+    cfg.retryTimeouts = true;  // --retry-on=timeout
+    cfg.jobDeadlineSeconds = 0.25;
+    Engine engine(cfg);
+    engine.setExecuteOverrideForTest(
+        [](const SimJob &job, int attempt, bool *cancelled) {
+            // Host noise: the first two attempts blow the deadline,
+            // the third completes.
+            if (attempt < 3) {
+                *cancelled = true;
+                return SimResult{};
+            }
+            return runProgram(job.config, job.program);
+        });
+
+    std::vector<JobResult> results =
+        engine.run({makeJob("mcf", workloads::Variant::Baseline)});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_EQ(results[0].attempts, 3);
+    EXPECT_TRUE(results[0].result.halted);
+    EXPECT_TRUE(results[0].error.empty());
+    EXPECT_EQ(engine.retries(), 2u);
+}
+
+TEST(EngineResilience, RetryOnTimeoutExhaustionStaysTimeout)
+{
+    EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.maxAttempts = 2;
+    cfg.retryTimeouts = true;
+    cfg.jobDeadlineSeconds = 0.25;
+    Engine engine(cfg);
+    engine.setExecuteOverrideForTest(
+        [](const SimJob &, int, bool *cancelled) {
+            *cancelled = true;  // every attempt blows the deadline
+            return SimResult{};
+        });
+
+    std::vector<JobResult> results =
+        engine.run({makeJob("mcf", workloads::Variant::Baseline)});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Timeout);
+    EXPECT_EQ(results[0].error.kind, "deadline");
+    EXPECT_EQ(results[0].attempts, 2);  // the one retry was consumed
+    EXPECT_FALSE(results[0].result.halted);
+    EXPECT_TRUE(results[0].result.hitMaxCycles);
+    EXPECT_EQ(engine.retries(), 1u);
+}
+
 TEST(EngineResilience, WarmCacheExecutesZeroJobs)
 {
     std::string dir = tempCacheDir();

@@ -215,6 +215,121 @@ TEST(ResultStore, OffStoreIsInert)
     EXPECT_FALSE(fs::exists(store.manifestPath()));
 }
 
+/** Segment files currently on disk (the *.jsonl census). */
+std::size_t
+segmentFilesOnDisk(const std::string &dir)
+{
+    std::size_t n = 0;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir))
+        if (e.path().extension() == ".jsonl")
+            ++n;
+    return n;
+}
+
+TEST(ResultStore, CompactMergesSegmentsIntoOne)
+{
+    TempDir tmp;
+    // Three writer lifetimes → three segments, the way a sweep of
+    // figure binaries accretes them.
+    const char *digests[] = {"00000000000000a1", "00000000000000a2",
+                             "00000000000000a3"};
+    for (int i = 0; i < 3; ++i) {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord(digests[i],
+                               static_cast<std::uint64_t>(i + 1)));
+    }
+
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    EXPECT_EQ(store.records(), 3u);
+    EXPECT_EQ(store.segmentCount(), 3u);
+    EXPECT_EQ(store.segmentsLoaded(), 3u);
+
+    std::optional<std::size_t> n = store.compact();
+    ASSERT_TRUE(n);
+    EXPECT_EQ(*n, 3u);
+    EXPECT_EQ(store.segmentCount(), 1u);
+    EXPECT_EQ(store.records(), 3u);
+    // The retired segment files are gone; only the compacted one
+    // remains on disk.
+    EXPECT_EQ(segmentFilesOnDisk(tmp.path), 1u);
+    for (const char *d : digests)
+        EXPECT_TRUE(store.lookup(d)) << d;
+
+    // The store stays writable after compacting: new records append
+    // to the compacted segment.
+    store.put(sampleRecord("00000000000000ff", 9));
+    EXPECT_EQ(store.records(), 4u);
+    EXPECT_EQ(store.segmentCount(), 1u);
+}
+
+TEST(ResultStore, CompactedStoreReloadsIntact)
+{
+    TempDir tmp;
+    ResultStore::Record a = sampleRecord("00000000000000a1", 1);
+    ResultStore::Record b = sampleRecord("00000000000000a2", 2);
+    b.status = JobStatus::Failed;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(a);
+    }
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(b);
+        ASSERT_TRUE(store.compact());
+    }
+    ResultStore reload(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(reload.records(), 2u);
+    EXPECT_EQ(reload.segmentsLoaded(), 1u);
+    EXPECT_EQ(reload.corruptRecords(), 0u);
+    std::optional<ResultStore::Record> got = reload.lookup(a.digest);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->result, a.result);
+    got = reload.lookup(b.digest);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->status, JobStatus::Failed);
+    EXPECT_EQ(got->result, b.result);
+}
+
+TEST(ResultStore, CompactRequiresWritableStore)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000a1", 1));
+    }
+    ResultStore ro(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_FALSE(ro.compact());
+    EXPECT_FALSE(ro.clear());
+    EXPECT_EQ(ro.records(), 1u);
+    EXPECT_EQ(segmentFilesOnDisk(tmp.path), 1u);
+}
+
+TEST(ResultStore, ClearDropsEverythingButStaysUsable)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000a1", 1));
+        store.put(sampleRecord("00000000000000a2", 2));
+    }
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    EXPECT_EQ(store.records(), 2u);
+    EXPECT_TRUE(store.clear());
+    EXPECT_EQ(store.records(), 0u);
+    EXPECT_EQ(store.segmentCount(), 0u);
+    EXPECT_FALSE(store.lookup("00000000000000a1"));
+    EXPECT_EQ(segmentFilesOnDisk(tmp.path), 0u);
+
+    // Still usable: the next put opens a fresh segment.
+    store.put(sampleRecord("00000000000000ee", 5));
+    EXPECT_EQ(store.records(), 1u);
+
+    ResultStore reload(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(reload.records(), 1u);
+    EXPECT_TRUE(reload.lookup("00000000000000ee"));
+    EXPECT_FALSE(reload.lookup("00000000000000a1"));
+}
+
 TEST(ResultStoreJson, RecordCodecRoundTripsAndRejectsCorruption)
 {
     ResultStore::Record rec = sampleRecord("00000000000000aa", 1);

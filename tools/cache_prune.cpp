@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Result-cache maintenance: compact a ResultStore directory's many
+ * per-process `seg-*.jsonl` segments into one, or drop the cache
+ * entirely. A long-lived cache accretes one segment per writing
+ * process (each figure binary, each resume), and loading hundreds of
+ * small files is measurably slower than one compacted segment; the
+ * record set itself is unchanged.
+ *
+ *     cache_prune [--dir=PATH] [--clear] [--dry-run]
+ *
+ * Default mode compacts: every record reachable from the MANIFEST is
+ * rewritten into a single fresh segment, the MANIFEST is republished
+ * with one atomic rename, and the retired segment files are unlinked.
+ * A crash at any point leaves a loadable store (the old MANIFEST and
+ * segments stay intact until the publish succeeds).
+ *
+ * --clear empties the store instead (atomic empty-MANIFEST publish,
+ * then unlink). --dry-run reports what would happen and touches
+ * nothing.
+ *
+ * Exit codes: 0 success, 1 maintenance failed, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/resultstore.h"
+
+using namespace dttsim;
+
+namespace {
+
+constexpr const char *kDefaultCacheDir = "bench/out/cache";
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--dir=PATH] [--clear] [--dry-run]\n"
+                 "  --dir=PATH  cache directory (default %s)\n"
+                 "  --clear     drop every record instead of "
+                 "compacting\n"
+                 "  --dry-run   report, but modify nothing\n",
+                 argv0, kDefaultCacheDir);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = kDefaultCacheDir;
+    bool clear = false;
+    bool dryRun = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--dir=", 6) == 0) {
+            dir = arg + 6;
+        } else if (std::strcmp(arg, "--clear") == 0) {
+            clear = true;
+        } else if (std::strcmp(arg, "--dry-run") == 0) {
+            dryRun = true;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        }
+    }
+
+    sim::ResultStore store(dir, sim::ResultStore::Mode::ReadWrite);
+    std::printf("%s: %zu records in %zu segment(s)",
+                dir.c_str(), store.records(), store.segmentCount());
+    if (store.corruptRecords() > 0)
+        std::printf(" (%zu corrupt records skipped)",
+                    store.corruptRecords());
+    std::printf("\n");
+
+    if (dryRun) {
+        std::printf("dry run: would %s\n",
+                    clear ? "clear the store"
+                          : "compact into one segment");
+        return 0;
+    }
+
+    if (clear) {
+        if (!store.clear()) {
+            std::fprintf(stderr, "%s: clear failed\n", dir.c_str());
+            return 1;
+        }
+        std::printf("cleared: 0 records, 0 segments\n");
+        return 0;
+    }
+
+    std::optional<std::size_t> n = store.compact();
+    if (!n) {
+        std::fprintf(stderr, "%s: compact failed\n", dir.c_str());
+        return 1;
+    }
+    std::printf("compacted: %zu records in 1 segment\n", *n);
+    return 0;
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Validator for the BENCH_sim.json performance summaries emitted by
+ * `micro_sim_throughput --bench-json=PATH` (schema v1, documented in
+ * docs/PERFORMANCE.md). Checks the document shape, that every record
+ * carries a known benchmark name with the right metric family, that
+ * rates/times are finite and positive, that (name, threads) pairs are
+ * unique, and that the summary is complete: the three simulator
+ * throughput rows (functional, ooo_baseline, ooo_dtt) plus at least
+ * one cold-cache and one warm-cache engine row.
+ *
+ *     check_bench_json FILE...
+ *
+ * Exit codes: 0 every file valid, 1 validation failure, 2 usage or
+ * I/O error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/log.h"
+
+using namespace dttsim;
+
+namespace {
+
+/** Keep in sync with the emitter in bench/micro_sim_throughput.cpp
+ *  and the schema description in docs/PERFORMANCE.md. */
+constexpr std::uint64_t kBenchSchemaVersion = 1;
+
+int errorCount = 0;
+
+void
+complain(const std::string &file, const std::string &what)
+{
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), what.c_str());
+    ++errorCount;
+}
+
+/** Expected metric for each benchmark name; empty = unknown name. */
+std::string
+metricFor(const std::string &name)
+{
+    if (name == "functional" || name == "ooo_baseline"
+        || name == "ooo_dtt")
+        return "inst_per_sec";
+    if (name == "engine_cold" || name == "engine_warm")
+        return "jobs_per_sec";
+    return "";
+}
+
+void
+checkRecord(const std::string &file, std::size_t idx,
+            const json::Value &rec,
+            std::set<std::string> &seenKeys,
+            std::set<std::string> &seenNames)
+{
+    const std::string where = "benchmark " + std::to_string(idx);
+    if (!rec.isObject()) {
+        complain(file, where + ": not an object");
+        return;
+    }
+
+    const std::string name = rec.get("name").asString();
+    const std::string expectMetric = metricFor(name);
+    if (expectMetric.empty()) {
+        complain(file, where + ": unknown benchmark name '" + name
+                 + "' (expected functional/ooo_baseline/ooo_dtt/"
+                 "engine_cold/engine_warm)");
+        return;
+    }
+    seenNames.insert(name);
+
+    const std::string metric = rec.get("metric").asString();
+    if (metric != expectMetric)
+        complain(file, where + ": metric '" + metric + "' but '"
+                 + name + "' reports " + expectMetric);
+
+    const double value = rec.get("value").asDouble();
+    if (!std::isfinite(value) || value <= 0.0)
+        complain(file, where + ": value must be a finite positive "
+                 "rate");
+    const double seconds = rec.get("seconds").asDouble();
+    if (!std::isfinite(seconds) || seconds <= 0.0)
+        complain(file, where + ": seconds must be finite and "
+                 "positive");
+    const json::Value &iters = rec.get("iterations");
+    if (!iters.isUint() || iters.asUint() < 1)
+        complain(file, where + ": iterations must be an integer "
+                 ">= 1");
+
+    // Engine rows are parameterized by worker count; simulator
+    // throughput rows are single-threaded by construction.
+    const json::Value *threads = rec.find("threads");
+    std::string key = name;
+    if (expectMetric == "jobs_per_sec") {
+        if (threads == nullptr || !threads->isUint()
+            || threads->asUint() < 1)
+            complain(file, where + ": '" + name + "' requires an "
+                     "integer 'threads' >= 1");
+        else
+            key += "/" + std::to_string(threads->asUint());
+    } else if (threads != nullptr) {
+        complain(file, where + ": 'threads' is only valid on engine "
+                 "benchmarks");
+    }
+
+    if (!seenKeys.insert(key).second)
+        complain(file, where + ": duplicate benchmark '" + key + "'");
+}
+
+void
+checkFile(const std::string &file)
+{
+    std::ifstream in(file);
+    if (!in) {
+        complain(file, "cannot open");
+        return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    json::Value doc = json::Value::parse(ss.str());
+    if (!doc.isObject()) {
+        complain(file, "top-level value is not an object");
+        return;
+    }
+    std::uint64_t version = doc.get("schema_version").asUint();
+    if (version != kBenchSchemaVersion) {
+        complain(file, "schema_version " + std::to_string(version)
+                 + " != supported version "
+                 + std::to_string(kBenchSchemaVersion));
+        return;
+    }
+    if (doc.get("binary").asString().empty())
+        complain(file, "empty binary name");
+
+    const json::Value &benchmarks = doc.get("benchmarks");
+    if (!benchmarks.isArray() || benchmarks.size() == 0) {
+        complain(file, "'benchmarks' is not a non-empty array");
+        return;
+    }
+    std::set<std::string> seenKeys;
+    std::set<std::string> seenNames;
+    for (std::size_t i = 0; i < benchmarks.size(); ++i)
+        checkRecord(file, i, benchmarks.at(i), seenKeys, seenNames);
+
+    // Completeness: a summary missing a row (a filtered benchmark
+    // run, a renamed benchmark) must not pass as a perf record.
+    for (const char *required :
+         {"functional", "ooo_baseline", "ooo_dtt", "engine_cold",
+          "engine_warm"})
+        if (seenNames.count(required) == 0)
+            complain(file, std::string("missing required benchmark '")
+                     + required + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: check_bench_json FILE...\n"
+                     "validates --bench-json summaries against bench "
+                     "schema v%llu (docs/PERFORMANCE.md)\n",
+                     static_cast<unsigned long long>(
+                         kBenchSchemaVersion));
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        try {
+            checkFile(argv[i]);
+        } catch (const FatalError &e) {
+            complain(argv[i], e.what());
+        }
+    }
+    if (errorCount > 0) {
+        std::fprintf(stderr, "check_bench_json: %d error%s\n",
+                     errorCount, errorCount == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("check_bench_json: %d file%s valid\n", argc - 1,
+                argc == 2 ? "" : "s");
+    return 0;
+}
