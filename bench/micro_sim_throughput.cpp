@@ -111,6 +111,36 @@ BM_OooCoreDtt(benchmark::State &state)
 }
 BENCHMARK(BM_OooCoreDtt)->Unit(benchmark::kMillisecond);
 
+/**
+ * The cycle-level core with the shadow-memory redundancy profiler
+ * attached to its commit stream (SimConfig::shadowProfile). The
+ * delta vs BM_OooCore is the whole profiling overhead — the
+ * acceptance bound is <= 3x (docs/SHADOW.md tracks the measured
+ * ratio).
+ */
+void
+BM_ShadowProfile(benchmark::State &state)
+{
+    isa::Program prog = mcfBaseline();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SimConfig cfg;
+        cfg.enableDtt = false;
+        cfg.shadowProfile = true;
+        sim::Simulator simulator(cfg, prog);
+        sim::SimResult r = simulator.run();
+        insts += r.totalCommitted;
+        benchmark::DoNotOptimize(
+            simulator.shadowReport().redundantLoads);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["insts"] =
+        benchmark::Counter(static_cast<double>(insts));
+}
+BENCHMARK(BM_ShadowProfile)->Unit(benchmark::kMillisecond);
+
 /** The shared engine batch: mcf baseline+DTT at 4 seeds (8 unique
  *  jobs — the seed is part of the digest, so nothing dedups). */
 std::vector<sim::SimJob>
@@ -338,6 +368,8 @@ constexpr RowSpec kRows[] = {
      false},
     {"BM_OooCore", "ooo_baseline", "inst_per_sec", "insts", false},
     {"BM_OooCoreDtt", "ooo_dtt", "inst_per_sec", "insts", false},
+    {"BM_ShadowProfile", "ooo_shadow", "inst_per_sec", "insts",
+     false},
     {"BM_EngineColdCache", "engine_cold", "jobs_per_sec", "jobs",
      true},
     {"BM_EngineWarmCache", "engine_warm", "jobs_per_sec", "jobs",

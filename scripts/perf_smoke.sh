@@ -25,7 +25,7 @@ mkdir -p "$(dirname "$out")"
 # matches BM_OooCoreDtt. The small min_time keeps this a smoke gate —
 # use the defaults (no filter, no min_time) for quotable numbers.
 "$build/bench/micro_sim_throughput" \
-    --benchmark_filter='BM_FunctionalRunner|BM_OooCore|BM_EngineColdCache|BM_EngineWarmCache' \
+    --benchmark_filter='BM_FunctionalRunner|BM_OooCore|BM_ShadowProfile|BM_EngineColdCache|BM_EngineWarmCache' \
     --benchmark_min_time=0.02s \
     --bench-json="$out"
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The analysis half of the static/dynamic cross-validation gate
+# (`ctest -L analysis-smoke` runs this plus tests/test_shadow): run
+# the combined dttlint --shadow pipeline — static analysis, shadow-
+# memory dynamic profile, CrossChecker agreement report — over every
+# workload in both variants at smoke scale, emit the machine-readable
+# findings document (lint schema v1, docs/ANALYSIS.md), and validate
+# it with check_lint_json. A plain (no --shadow) document is produced
+# and validated too, so both document shapes stay covered.
+#
+# Usage: scripts/shadow_smoke.sh [build-dir] [out-dir]
+#   e.g. scripts/shadow_smoke.sh build bench/out
+set -euo pipefail
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build}"
+outdir="${2:-$src/bench/out}"
+
+for bin in tools/dttlint tools/check_lint_json; do
+    if [ ! -x "$build/$bin" ]; then
+        echo "shadow_smoke: $build/$bin not found" \
+             "(build first: cmake --build $build -j)" >&2
+        exit 2
+    fi
+done
+
+mkdir -p "$outdir"
+
+# Small --iterations/--scale keep the dynamic profile a smoke gate;
+# the full-size profile is what bench/ and the advisor use.
+echo "== dttlint --shadow (all workloads, both variants)"
+"$build/tools/dttlint" --all --variant=both --shadow --quiet \
+    --iterations=2 --scale=2 --json="$outdir/LINT_shadow.json"
+
+echo "== dttlint (static only)"
+"$build/tools/dttlint" --all --variant=both --quiet \
+    --json="$outdir/LINT_static.json"
+
+# One pass over both documents: the shadow document must carry a
+# per-program shadow profile + agreement report, the static one none.
+"$build/tools/check_lint_json" "$outdir/LINT_shadow.json" \
+    "$outdir/LINT_static.json"
+echo "shadow_smoke: documents valid; outputs in $outdir"

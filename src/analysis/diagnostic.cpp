@@ -35,6 +35,18 @@ const DiagInfo kCatalogue[] = {
      " Drop-class machine (or under fault injection) a lost firing is"
      " only recoverable through the TCHK-bit62 -> recompute -> TCLR"
      " fallback idiom, and this program never reads TCHK"},
+    {"A010", "dynamic-redundant-load", Severity::Lint,
+     "the shadow profiler measured this load as mostly redundant but"
+     " the static lint missed it — cross-block or data-dependent"
+     " redundancy only visible at run time"},
+    {"A011", "stale-static-finding", Severity::Lint,
+     "an A008 redundant-load claim anchors an instruction that never"
+     " commits dynamically, so the static finding is unverifiable on"
+     " this input"},
+    {"A012", "silent-store-trigger-candidate", Severity::Lint,
+     "a hot, mostly-silent store the analyzer can prove safe to"
+     " convert into a triggering store — the automatic DTT"
+     " opportunity the paper's Fig. 2 metric points at"},
 };
 
 static_assert(sizeof(kCatalogue) / sizeof(kCatalogue[0]) ==

@@ -28,6 +28,9 @@ enum class DiagId : std::uint8_t {
     FallOffEnd,            ///< A007: execution can run off the text end
     RedundantLoad,         ///< A008: statically redundant load (lint)
     DropFallbackMissing,   ///< A009: TWAIT with no TCHK drop fallback
+    DynamicRedundantLoad,  ///< A010: hot dynamic redundancy, no A008
+    StaleStaticFinding,    ///< A011: A008 site never executes
+    SilentStoreTriggerCandidate,  ///< A012: mostly-silent safe store
 
     NumDiagIds,
 };

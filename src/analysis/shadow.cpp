@@ -1,0 +1,333 @@
+#include "analysis/shadow.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace dttsim::analysis {
+
+// --------------------------------------------------------------------
+// ShadowMemory
+
+ShadowMemory::ShadowMemory()
+{
+    index_.resize(64);
+    indexMask_ = index_.size() - 1;
+}
+
+ShadowMemory::Cell *
+ShadowMemory::lookupPage(std::uint64_t pn)
+{
+    std::size_t i = hashPage(pn, indexMask_);
+    while (index_[i].cells != nullptr) {
+        if (index_[i].pageNum == pn) {
+            lastPage_ = pn;
+            lastCells_ = index_[i].cells;
+            return lastCells_;
+        }
+        i = (i + 1) & indexMask_;
+    }
+    return allocatePage(pn);
+}
+
+ShadowMemory::Cell *
+ShadowMemory::allocatePage(std::uint64_t pn)
+{
+    if (pages_.size() + 1 > (index_.size() * 7) / 10)
+        grow();
+    pages_.push_back(std::make_unique<Page>());
+    Cell *cells = pages_.back()->data();
+
+    std::size_t i = hashPage(pn, indexMask_);
+    while (index_[i].cells != nullptr)
+        i = (i + 1) & indexMask_;
+    index_[i] = {pn, cells};
+
+    lastPage_ = pn;
+    lastCells_ = cells;
+    return cells;
+}
+
+void
+ShadowMemory::grow()
+{
+    std::vector<Slot> old = std::move(index_);
+    index_.assign(old.size() * 2, Slot{});
+    indexMask_ = index_.size() - 1;
+    for (const Slot &s : old) {
+        if (s.cells == nullptr)
+            continue;
+        std::size_t i = hashPage(s.pageNum, indexMask_);
+        while (index_[i].cells != nullptr)
+            i = (i + 1) & indexMask_;
+        index_[i] = s;
+    }
+}
+
+LoadClass
+ShadowMemory::load(std::uint64_t pc, Addr addr, int size,
+                   std::uint64_t value, ByteAttribution *sourced)
+{
+    const auto pc32 = static_cast<std::uint32_t>(pc);
+    bool redundant = true;
+    for (int i = 0; i < size; ++i) {
+        const Addr a = addr + static_cast<Addr>(i);
+        Cell &c = pageFor(a)[a & (kPageSize - 1)];
+        const auto b = static_cast<std::uint8_t>(value >> (8 * i));
+        if ((c.flags & kLoadValid) == 0 || c.loadValue != b)
+            redundant = false;
+        c.loadValue = b;
+        c.flags |= kLoadValid;
+        if ((c.flags & kWritten) != 0) {
+            if (sourced != nullptr)
+                sourced->credit(c.writerPc);
+            c.flags |= kReadSinceWrite;
+        }
+        c.lastWidth = static_cast<std::uint8_t>(size);
+        c.readerPc = pc32;
+    }
+    return redundant ? LoadClass::Redundant : LoadClass::Fresh;
+}
+
+StoreClass
+ShadowMemory::store(std::uint64_t pc, Addr addr, int size,
+                    std::uint64_t value, std::uint64_t old_value,
+                    ByteAttribution *killed)
+{
+    const auto pc32 = static_cast<std::uint32_t>(pc);
+    bool silent = true;
+    for (int i = 0; i < size; ++i) {
+        const Addr a = addr + static_cast<Addr>(i);
+        Cell &c = pageFor(a)[a & (kPageSize - 1)];
+        const auto nv = static_cast<std::uint8_t>(value >> (8 * i));
+        const auto ov = static_cast<std::uint8_t>(old_value >> (8 * i));
+        if (nv != ov)
+            silent = false;
+        if ((c.flags & kWritten) != 0
+            && (c.flags & kReadSinceWrite) == 0 && killed != nullptr)
+            killed->credit(c.writerPc);
+        // Note: loadValue/kLoadValid are deliberately untouched — a
+        // load is redundant relative to the *previous load* of the
+        // byte; an intervening store shows up through the value
+        // comparison (a silent store preserves redundancy, a
+        // value-changing one breaks it).
+        c.writerPc = pc32;
+        c.flags |= kWritten;
+        c.flags = static_cast<std::uint8_t>(c.flags & ~kReadSinceWrite);
+        c.lastWidth = static_cast<std::uint8_t>(size);
+    }
+    return silent ? StoreClass::Silent : StoreClass::Live;
+}
+
+// --------------------------------------------------------------------
+// Reports
+
+int
+valueRunBucket(std::uint64_t len)
+{
+    int b = 0;
+    while (len > 1 && b < kValueRunBuckets - 1) {
+        len >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+double
+ShadowReport::redundantLoadPct() const
+{
+    return loads != 0 ? 100.0 * static_cast<double>(redundantLoads)
+            / static_cast<double>(loads)
+                      : 0.0;
+}
+
+double
+ShadowReport::silentStorePct() const
+{
+    return stores != 0 ? 100.0 * static_cast<double>(silentStores)
+            / static_cast<double>(stores)
+                       : 0.0;
+}
+
+double
+AgreementReport::precision() const
+{
+    return staticSites != 0
+        ? static_cast<double>(agree) / static_cast<double>(staticSites)
+        : 1.0;
+}
+
+double
+AgreementReport::recall() const
+{
+    return dynamicSites != 0
+        ? static_cast<double>(agree)
+            / static_cast<double>(dynamicSites)
+        : 1.0;
+}
+
+// --------------------------------------------------------------------
+// Suppressions
+
+Suppressions
+Suppressions::parse(const std::string &text)
+{
+    Suppressions s;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments and surrounding whitespace.
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        std::size_t e = line.find_last_not_of(" \t\r");
+        line = line.substr(b, e - b + 1);
+
+        std::size_t c1 = line.find(':');
+        std::size_t c2 = line.rfind(':');
+        if (c1 == std::string::npos || c2 == c1)
+            fatal("suppressions line %d: want CODE:PROGRAM:PC, got "
+                  "'%s'", lineno, line.c_str());
+        std::string code = line.substr(0, c1);
+        std::string program = line.substr(c1 + 1, c2 - c1 - 1);
+        std::string pcText = line.substr(c2 + 1);
+        if (code.empty() || program.empty() || pcText.empty())
+            fatal("suppressions line %d: empty field in '%s'", lineno,
+                  line.c_str());
+        std::uint64_t pc = 0;
+        for (char ch : pcText) {
+            if (ch < '0' || ch > '9')
+                fatal("suppressions line %d: pc '%s' is not a "
+                      "decimal integer", lineno, pcText.c_str());
+            pc = pc * 10 + static_cast<std::uint64_t>(ch - '0');
+        }
+        s.add(code, program, pc);
+    }
+    return s;
+}
+
+std::string
+Suppressions::format() const
+{
+    std::ostringstream os;
+    for (const auto &[code, program, pc] : records_)
+        os << code << ":" << program << ":" << pc << "\n";
+    return os.str();
+}
+
+void
+Suppressions::add(const std::string &code, const std::string &program,
+                  std::uint64_t pc)
+{
+    records_.emplace(code, program, pc);
+}
+
+bool
+Suppressions::matches(const std::string &code,
+                      const std::string &program,
+                      std::uint64_t pc) const
+{
+    return records_.count({code, program, pc}) != 0
+        || records_.count({code, "*", pc}) != 0;
+}
+
+// --------------------------------------------------------------------
+// CrossChecker
+
+AgreementReport
+CrossChecker::run(const AnalysisResult &statics,
+                  const ShadowReport &dynamic,
+                  const Suppressions &suppressions,
+                  const std::string &program_name,
+                  std::vector<Diagnostic> &out) const
+{
+    AgreementReport agg;
+
+    // The static lint's claims: A008 anchor PCs.
+    std::set<std::uint64_t> staticPcs;
+    for (const Diagnostic &d : statics.diagnostics)
+        if (d.id == DiagId::RedundantLoad && d.pc != kNoPc)
+            staticPcs.insert(d.pc);
+    agg.staticSites = staticPcs.size();
+
+    auto emit = [&](DiagId id, std::uint64_t pc,
+                    const std::string &msg) {
+        const std::string code = diagInfo(id).code;
+        if (suppressions.matches(code, program_name, pc)) {
+            ++agg.suppressed;
+            return;
+        }
+        out.push_back({id, diagInfo(id).severity, pc, msg});
+    };
+
+    // Dynamic ground truth: hot load sites that are mostly redundant.
+    for (const auto &[pc, site] : dynamic.sites) {
+        if (site.isLoad) {
+            if (site.executions < config_.minExecutions
+                || site.redundantFrac() < config_.redundantFrac)
+                continue;
+            ++agg.dynamicSites;
+            if (staticPcs.count(pc) != 0) {
+                ++agg.agree;
+            } else {
+                ++agg.dynamicOnly;
+                emit(DiagId::DynamicRedundantLoad, pc,
+                     strfmt("load is %llu/%llu redundant at run time "
+                            "but carries no A008 finding (cross-block "
+                            "or data-dependent redundancy the static "
+                            "lint cannot see)",
+                            static_cast<unsigned long long>(
+                                site.redundant),
+                            static_cast<unsigned long long>(
+                                site.executions)));
+            }
+        } else {
+            if (site.executions < config_.minExecutions
+                || site.silentFrac() < config_.silentFrac
+                || !statics.storeSafe(pc))
+                continue;
+            ++agg.triggerCandidates;
+            emit(DiagId::SilentStoreTriggerCandidate, pc,
+                 strfmt("store is %llu/%llu silent and statically "
+                        "safe to convert: a prime triggering-store "
+                        "candidate (%llu bytes read downstream)",
+                        static_cast<unsigned long long>(site.silent),
+                        static_cast<unsigned long long>(
+                            site.executions),
+                        static_cast<unsigned long long>(
+                            site.downstreamReadBytes)));
+        }
+    }
+
+    // The static lint's misses and stale claims.
+    for (std::uint64_t pc : staticPcs) {
+        auto it = dynamic.sites.find(pc);
+        const bool executed =
+            it != dynamic.sites.end() && it->second.executions != 0;
+        const bool confirmed = executed && it->second.isLoad
+            && it->second.executions >= config_.minExecutions
+            && it->second.redundantFrac() >= config_.redundantFrac;
+        if (confirmed)
+            continue;
+        ++agg.staticOnly;
+        if (!executed) {
+            ++agg.staticNeverExecuted;
+            emit(DiagId::StaleStaticFinding, pc,
+                 "A008 redundant-load finding anchors an instruction "
+                 "that never commits dynamically (dead path or "
+                 "unreached input regime) — the static claim is "
+                 "unverifiable on this run");
+        }
+    }
+
+    sortDiagnostics(out);
+    return agg;
+}
+
+} // namespace dttsim::analysis

@@ -1,0 +1,431 @@
+#pragma once
+
+/**
+ * @file
+ * Shadow-memory redundancy analyzer — the dynamic counterpart of the
+ * static A008 redundant-load lint, built valgrind-style: every
+ * architectural byte is mirrored by a shadow cell remembering the
+ * value it held at its last committed load, its last writer PC, its
+ * last reader PC, and the width of the access that touched it.
+ * Classification is exact at byte granularity, so overlapping and
+ * partial-width accesses (a byte store inside a previously-loaded
+ * word, mixed 4/8-byte loads of the same address) are handled
+ * correctly — the width-blindness of the original
+ * profile::profileRedundancy map is gone.
+ *
+ * Definitions (docs/SHADOW.md):
+ *  - a load is *redundant* when every byte it reads was previously
+ *    loaded and still compares equal to the value that load returned
+ *    (the paper's Fig. 2 metric, byte-exact);
+ *  - a store is *silent* when every byte it writes equals the byte
+ *    already present;
+ *  - a store byte is *dead* when the next store overwrites it before
+ *    any load reads it (attributed to the overwritten writer's PC,
+ *    with a killer edge to the overwriting PC), and *dead-at-exit*
+ *    when the run ends without it ever being read.
+ *
+ * On top of the per-PC site map, CrossChecker joins the dynamic
+ * verdicts against the static verifier's A008 findings and emits the
+ * A010/A011/A012 catalogue diagnostics plus an agreement report
+ * (precision/recall of the static lint against dynamic ground
+ * truth). Suppressions carry per-PC mute records across runs.
+ */
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace dttsim::analysis {
+
+/** Dynamic classification of one committed load. */
+enum class LoadClass : std::uint8_t { Fresh, Redundant };
+
+/** Dynamic classification of one committed store. */
+enum class StoreClass : std::uint8_t { Live, Silent };
+
+/** Sentinel: no PC has touched this shadow cell yet. */
+inline constexpr std::uint32_t kNoShadowPc = ~std::uint32_t(0);
+
+/**
+ * Per-event attribution produced alongside a load/store
+ * classification: which earlier store sites sourced the bytes a load
+ * read, and which earlier store sites a store killed unread. Both
+ * lists are bounded by the access width (at most 8 bytes, so at most
+ * 8 distinct sites) — no allocation on the hot path.
+ */
+struct ByteAttribution
+{
+    struct Edge
+    {
+        std::uint32_t pc = kNoShadowPc;  ///< the earlier writer site
+        std::uint8_t bytes = 0;          ///< bytes attributed to it
+    };
+
+    std::array<Edge, 8> edges{};
+    int count = 0;
+
+    void
+    credit(std::uint32_t pc, std::uint8_t n = 1)
+    {
+        for (int i = 0; i < count; ++i) {
+            if (edges[static_cast<std::size_t>(i)].pc == pc) {
+                edges[static_cast<std::size_t>(i)].bytes =
+                    static_cast<std::uint8_t>(
+                        edges[static_cast<std::size_t>(i)].bytes + n);
+                return;
+            }
+        }
+        edges[static_cast<std::size_t>(count++)] = {pc, n};
+    }
+
+    void clear() { count = 0; }
+};
+
+/**
+ * Paged shadow state mirroring the architectural memory, with the
+ * same page geometry as mem::Memory and the same lazy allocation
+ * policy: a shadow page materializes the first time a classified
+ * access touches it, through a one-entry last-page cache backed by a
+ * flat open-addressed index (Fibonacci hash, linear probing).
+ *
+ * The analyzer holds no global or thread-local state — every
+ * instance is independent, so concurrent profiling runs (one
+ * ShadowMemory per job) are deterministic at any thread count.
+ */
+class ShadowMemory
+{
+  public:
+    static constexpr std::uint64_t kPageBits = 12;
+    static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+
+    /** One mirrored architectural byte (12 bytes of shadow). */
+    struct Cell
+    {
+        std::uint8_t loadValue = 0;  ///< byte value at the last load
+        std::uint8_t flags = 0;      ///< kLoadValid | kWritten | ...
+        std::uint8_t lastWidth = 0;  ///< width of the last access
+        std::uint32_t writerPc = kNoShadowPc;
+        std::uint32_t readerPc = kNoShadowPc;
+    };
+
+    static constexpr std::uint8_t kLoadValid = 1u << 0;
+    static constexpr std::uint8_t kWritten = 1u << 1;
+    static constexpr std::uint8_t kReadSinceWrite = 1u << 2;
+
+    ShadowMemory();
+    ShadowMemory(const ShadowMemory &) = delete;
+    ShadowMemory &operator=(const ShadowMemory &) = delete;
+
+    /**
+     * Classify a committed load of @p size bytes at @p addr that
+     * returned @p value (little-endian byte order, as the executor
+     * reports it). Store sites whose bytes the load consumed are
+     * credited through @p sourced (pass null to skip attribution).
+     */
+    LoadClass load(std::uint64_t pc, Addr addr, int size,
+                   std::uint64_t value,
+                   ByteAttribution *sourced = nullptr);
+
+    /**
+     * Classify a committed store of @p size bytes at @p addr writing
+     * @p value over @p old_value. Writer sites whose bytes this store
+     * overwrote before any load read them are reported through
+     * @p killed (pass null to skip attribution).
+     */
+    StoreClass store(std::uint64_t pc, Addr addr, int size,
+                     std::uint64_t value, std::uint64_t old_value,
+                     ByteAttribution *killed = nullptr);
+
+    /**
+     * End-of-run sweep: report every byte still written-but-unread as
+     * dead-at-exit, attributed to its writer site via @p callback
+     * (writer pc, byte count; PC-ordered for determinism).
+     * Idempotent — the swept bytes are marked read.
+     */
+    template <typename Fn>
+    void
+    finalizeDead(Fn &&callback)
+    {
+        std::map<std::uint32_t, std::uint64_t> dead;
+        for (auto &page : pages_) {
+            for (Cell &c : *page) {
+                if ((c.flags & kWritten) != 0
+                    && (c.flags & kReadSinceWrite) == 0) {
+                    ++dead[c.writerPc];
+                    c.flags |= kReadSinceWrite;
+                }
+            }
+        }
+        for (const auto &[pc, bytes] : dead)
+            callback(pc, bytes);
+    }
+
+    /** Shadow pages currently materialized. */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+    /** Direct cell inspection (tests). The cell is materialized. */
+    const Cell &cellAt(Addr a) { return pageFor(a)[a & (kPageSize - 1)]; }
+
+  private:
+    using Page = std::array<Cell, kPageSize>;
+
+    struct Slot
+    {
+        std::uint64_t pageNum = 0;
+        Cell *cells = nullptr;
+    };
+
+    Cell *
+    pageFor(Addr a)
+    {
+        std::uint64_t pn = a >> kPageBits;
+        if (pn == lastPage_)
+            return lastCells_;
+        return lookupPage(pn);
+    }
+
+    Cell *lookupPage(std::uint64_t pn);
+    Cell *allocatePage(std::uint64_t pn);
+    void grow();
+
+    static std::size_t
+    hashPage(std::uint64_t pn, std::size_t mask)
+    {
+        return static_cast<std::size_t>(
+                   (pn * 0x9e3779b97f4a7c15ull) >> 40) & mask;
+    }
+
+    std::vector<std::unique_ptr<Page>> pages_;
+    std::vector<Slot> index_;
+    std::size_t indexMask_ = 0;
+    std::uint64_t lastPage_ = ~0ull;
+    Cell *lastCells_ = nullptr;
+};
+
+/** Number of log2 buckets in the per-site value-locality histogram. */
+inline constexpr int kValueRunBuckets = 8;
+
+/**
+ * Dynamic behaviour of one static load or store site (keyed by PC).
+ * Counts are event-granular where the event is unambiguous
+ * (executions, redundant, silent) and byte-granular where a single
+ * event can split across sites (dead bytes, killer edges, downstream
+ * reads) — see docs/SHADOW.md.
+ */
+struct RedundancySite
+{
+    std::uint64_t pc = 0;
+    bool isLoad = false;
+    std::uint8_t width = 0;  ///< widest access committed at this site
+
+    std::uint64_t executions = 0;
+    std::uint64_t redundant = 0;  ///< loads: redundant executions
+    std::uint64_t silent = 0;     ///< stores: silent executions
+
+    /** Stores only: bytes this site wrote that a later store killed
+     *  unread, and bytes never read by the end of the run. */
+    std::uint64_t deadBytes = 0;
+    std::uint64_t deadAtExitBytes = 0;
+    /** Stores only: bytes this site wrote that later loads consumed
+     *  (the downstream-read mass the trigger advisor scores on). */
+    std::uint64_t downstreamReadBytes = 0;
+
+    /**
+     * Value-locality histogram: completed runs of identical access
+     * values at this site, bucketed by log2(run length) (bucket k
+     * holds runs of 2^k .. 2^(k+1)-1 accesses; the last bucket is
+     * open-ended). Long runs mean the site's value rarely changes —
+     * exactly the locality a data-triggered thread exploits.
+     */
+    std::array<std::uint64_t, kValueRunBuckets> valueRuns{};
+
+    /** Stores only: killer edges — overwriting PC -> bytes of this
+     *  site's output it killed unread. */
+    std::map<std::uint64_t, std::uint64_t> killers;
+
+    double
+    redundantFrac() const
+    {
+        return executions != 0
+            ? static_cast<double>(redundant)
+                / static_cast<double>(executions)
+            : 0.0;
+    }
+
+    double
+    silentFrac() const
+    {
+        return executions != 0
+            ? static_cast<double>(silent)
+                / static_cast<double>(executions)
+            : 0.0;
+    }
+
+    bool operator==(const RedundancySite &) const = default;
+};
+
+/** Histogram bucket for a completed same-value run of @p len >= 1
+ *  accesses: floor(log2(len)), clamped to the open-ended last
+ *  bucket. */
+int valueRunBucket(std::uint64_t len);
+
+/**
+ * Transient per-site state feeding RedundancySite::valueRuns: call
+ * note() with each committed access value and flush() at end of run
+ * to close the final run. Kept outside RedundancySite so reports
+ * stay pure value types that compare with ==.
+ */
+struct ValueRunTracker
+{
+    std::uint64_t lastValue = 0;
+    std::uint64_t runLength = 0;
+
+    void
+    note(RedundancySite &site, std::uint64_t value)
+    {
+        if (runLength != 0 && value == lastValue) {
+            ++runLength;
+            return;
+        }
+        flush(site);
+        lastValue = value;
+        runLength = 1;
+    }
+
+    void
+    flush(RedundancySite &site)
+    {
+        if (runLength == 0)
+            return;
+        ++site.valueRuns[static_cast<std::size_t>(
+            valueRunBucket(runLength))];
+        runLength = 0;
+    }
+};
+
+/** Whole-run shadow profile: totals plus the per-PC site map. */
+struct ShadowReport
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t redundantLoads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t silentStores = 0;
+    std::uint64_t deadStoreBytes = 0;
+    std::uint64_t deadAtExitBytes = 0;
+
+    /** Per-PC records, PC-ordered (deterministic iteration). */
+    std::map<std::uint64_t, RedundancySite> sites;
+
+    double redundantLoadPct() const;
+    double silentStorePct() const;
+
+    bool operator==(const ShadowReport &) const = default;
+};
+
+/**
+ * Per-PC suppression records, valgrind-style: known-benign sites a
+ * cross-check run should keep quiet about. The text format is one
+ * record per line — `CODE:PROGRAM:PC` (e.g. `A012:mcf (baseline):41`)
+ * with `*` matching any program, blank lines and `#` comments
+ * ignored — and round-trips through parse()/format().
+ */
+class Suppressions
+{
+  public:
+    /** Parse the text format; malformed lines raise FatalError with
+     *  the 1-based line number. */
+    static Suppressions parse(const std::string &text);
+
+    /** Serialize in parse()able form (records sorted, stable). */
+    std::string format() const;
+
+    void add(const std::string &code, const std::string &program,
+             std::uint64_t pc);
+
+    /** True when a record mutes diagnostic @p code at @p pc in
+     *  @p program (exact program match or a `*` record). */
+    bool matches(const std::string &code, const std::string &program,
+                 std::uint64_t pc) const;
+
+    std::size_t size() const { return records_.size(); }
+    bool operator==(const Suppressions &) const = default;
+
+  private:
+    /** (code, program, pc) */
+    std::set<std::tuple<std::string, std::string, std::uint64_t>>
+        records_;
+};
+
+/** Thresholds for the static/dynamic join. */
+struct CrossCheckConfig
+{
+    /** Sites executing fewer times are ignored as noise (A010/A012
+     *  hotness floor, mirroring the advisor's filter). */
+    std::uint64_t minExecutions = 16;
+    /** A load site is dynamic ground truth when at least this
+     *  fraction of its executions were redundant. */
+    double redundantFrac = 0.5;
+    /** A store site is an A012 candidate when at least this fraction
+     *  of its executions were silent. */
+    double silentFrac = 0.5;
+};
+
+/** The static-vs-dynamic agreement summary for one program. */
+struct AgreementReport
+{
+    std::uint64_t staticSites = 0;   ///< A008 findings
+    std::uint64_t dynamicSites = 0;  ///< hot dynamically-redundant loads
+    std::uint64_t agree = 0;         ///< flagged by both
+    std::uint64_t staticOnly = 0;    ///< A008 not confirmed dynamically
+    std::uint64_t staticNeverExecuted = 0;  ///< subset of staticOnly
+    std::uint64_t dynamicOnly = 0;   ///< dynamic sites the lint missed
+    std::uint64_t triggerCandidates = 0;    ///< A012 sites
+    std::uint64_t suppressed = 0;    ///< findings muted by records
+
+    /** Of the static lint's claims, the fraction dynamically
+     *  confirmed (1.0 when it made none). */
+    double precision() const;
+    /** Of the dynamically-redundant hot sites, the fraction the
+     *  static lint found (1.0 when there were none). */
+    double recall() const;
+
+    bool operator==(const AgreementReport &) const = default;
+};
+
+/**
+ * The cross-validation pass: join a dynamic ShadowReport against the
+ * static verifier's findings for the same program and emit the
+ * A010/A011/A012 catalogue diagnostics (appended to @p out in stable
+ * order) plus the agreement report. @p program_name keys the
+ * suppression lookup.
+ */
+class CrossChecker
+{
+  public:
+    explicit CrossChecker(const CrossCheckConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    AgreementReport run(const AnalysisResult &statics,
+                        const ShadowReport &dynamic,
+                        const Suppressions &suppressions,
+                        const std::string &program_name,
+                        std::vector<Diagnostic> &out) const;
+
+  private:
+    CrossCheckConfig config_;
+};
+
+} // namespace dttsim::analysis

@@ -53,6 +53,25 @@ class DttHooks
     virtual void tclr(TriggerId t) { (void)t; }
 };
 
+struct StepInfo;
+
+/**
+ * Commit-time observation hook: a core calls onCommit() for every
+ * instruction it retires, in per-context program order. Declared here
+ * (not in profile/) so cores can carry the hook without depending on
+ * any profiler; the canonical implementation is
+ * profile::ShadowProfiler. Cores keep the pointer null by default —
+ * the disabled cost is one branch per commit.
+ */
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+
+    /** @p ctx is the committing hardware context (0 = main thread). */
+    virtual void onCommit(const StepInfo &info, CtxId ctx) = 0;
+};
+
 /** Memory side-effects of one executed instruction. */
 struct MemEffect
 {

@@ -271,6 +271,10 @@ OooCore::doCommit()
                 break;
             }
 
+            if (commitObserver_ != nullptr)
+                commitObserver_->onCommit(di.info,
+                                          static_cast<CtxId>(ci));
+
             releaseCommittedWriter(c, di);
             bool was_load = di.info.mem.valid && di.info.mem.isLoad;
             bool was_store = di.info.mem.valid && !di.info.mem.isLoad;

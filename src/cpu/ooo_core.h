@@ -139,6 +139,17 @@ class OooCore
     /** Attach the simulation's fault plan (null: no injection). */
     void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
 
+    /**
+     * Attach a commit-time observer (null: detach). Called for every
+     * retired instruction in per-context program order; costs one
+     * predictable branch per commit when detached, so the default
+     * path stays byte-identical in timing and results.
+     */
+    void setCommitObserver(CommitObserver *obs)
+    {
+        commitObserver_ = obs;
+    }
+
   private:
     /** One pre-store memory value, for rolling back a squashed
      *  thread's writes (execute-at-fetch makes stores visible early;
@@ -288,6 +299,7 @@ class OooCore
     Counter *cntSpawns_ = nullptr;
     Counter *cntReused_ = nullptr;
     sim::FaultPlan *plan_ = nullptr;
+    CommitObserver *commitObserver_ = nullptr;
     bool deadlocked_ = false;
     std::string deadlockDetail_;
 };

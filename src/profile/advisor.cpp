@@ -6,10 +6,34 @@
 #include "analysis/analyzer.h"
 #include "common/stats.h"
 #include "cpu/executor.h"
+#include "profile/shadowprof.h"
 
 namespace dttsim::profile {
 
 namespace {
+
+/**
+ * Deterministic ranking: presort by PC, then a stable sort on the
+ * score alone — equal-score candidates keep ascending-PC order on
+ * every platform regardless of how the accumulation map iterated.
+ */
+template <typename Key>
+void
+rankCandidates(std::vector<TriggerCandidate> &out, Key key,
+               std::size_t top_k)
+{
+    std::sort(out.begin(), out.end(),
+              [](const TriggerCandidate &a, const TriggerCandidate &b) {
+                  return a.storePc < b.storePc;
+              });
+    std::stable_sort(
+        out.begin(), out.end(),
+        [&](const TriggerCandidate &a, const TriggerCandidate &b) {
+            return key(a) > key(b);
+        });
+    if (out.size() > top_k)
+        out.resize(top_k);
+}
 
 /** Per-static-store accumulators. */
 struct StoreStats
@@ -33,6 +57,10 @@ std::vector<TriggerCandidate>
 adviseTriggers(const isa::Program &prog, std::size_t top_k,
                AdvisorRanking ranking, std::uint64_t max_insts)
 {
+    if (ranking == AdvisorRanking::ShadowProfile)
+        return adviseFromShadow(profileShadow(prog, max_insts), prog,
+                                top_k);
+
     std::unordered_map<std::uint64_t, StoreStats> stores;
     std::unordered_map<Addr, AddrState> owners;
 
@@ -100,18 +128,53 @@ adviseTriggers(const isa::Program &prog, std::size_t top_k,
             static_cast<double>(st.silent) * c.meanReadsPerStore;
         out.push_back(c);
     }
-    auto key = [ranking](const TriggerCandidate &c) {
-        return ranking == AdvisorRanking::TriggerData
-            ? c.triggerScore : c.eliminationScore;
-    };
-    std::sort(out.begin(), out.end(),
-              [&](const TriggerCandidate &a, const TriggerCandidate &b) {
-                  if (key(a) != key(b))
-                      return key(a) > key(b);
-                  return a.storePc < b.storePc;
-              });
-    if (out.size() > top_k)
-        out.resize(top_k);
+    rankCandidates(out,
+                   [ranking](const TriggerCandidate &c) {
+                       return ranking == AdvisorRanking::TriggerData
+                           ? c.triggerScore : c.eliminationScore;
+                   },
+                   top_k);
+    return out;
+}
+
+std::vector<TriggerCandidate>
+adviseFromShadow(const analysis::ShadowReport &shadow,
+                 const isa::Program &prog, std::size_t top_k)
+{
+    analysis::AnalyzeOptions aopts;
+    aopts.lint = false;
+    analysis::AnalysisResult safety = analysis::analyze(prog, aopts);
+
+    std::vector<TriggerCandidate> out;
+    for (const auto &[pc, site] : shadow.sites) {
+        if (site.isLoad)
+            continue;
+        if (site.executions < 8)
+            continue;  // noise filter (as adviseTriggers)
+        if (!safety.storeSafe(pc))
+            continue;  // statically unsafe to convert
+        TriggerCandidate c;
+        c.storePc = pc;
+        c.executions = site.executions;
+        c.silent = site.silent;
+        // Byte mass -> access events, normalized by the site's width.
+        c.downstreamReads = site.width != 0
+            ? site.downstreamReadBytes / site.width
+            : 0;
+        c.silentPct = pct(site.silent, site.executions);
+        c.meanReadsPerStore =
+            static_cast<double>(c.downstreamReads)
+            / static_cast<double>(site.executions);
+        c.triggerScore = site.silentFrac() * c.meanReadsPerStore;
+        c.eliminationScore =
+            static_cast<double>(site.silent) * c.meanReadsPerStore;
+        out.push_back(c);
+    }
+    rankCandidates(out,
+                   [](const TriggerCandidate &c) {
+                       return c.triggerScore;
+                   },
+                   top_k);
     return out;
 }
 

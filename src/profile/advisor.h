@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/shadow.h"
 #include "isa/program.h"
 
 namespace dttsim::profile {
@@ -50,8 +51,19 @@ struct TriggerCandidate
     double eliminationScore = 0.0;
 };
 
-/** Which score orders the returned ranking. */
-enum class AdvisorRanking { TriggerData, RedundantComputation };
+/**
+ * Which score orders the returned ranking. ShadowProfile ranks by
+ * triggerScore like TriggerData but measures through the shadow
+ * profiler's byte-granular site map instead of the legacy
+ * address-ownership walk — exact under overlapping and partial-width
+ * accesses, and the end-to-end automatic path (shadow profile ->
+ * candidate ranking) the ROADMAP asks for.
+ */
+enum class AdvisorRanking {
+    TriggerData,
+    RedundantComputation,
+    ShadowProfile,
+};
 
 /**
  * Rank the static stores of @p prog (run functionally to HALT).
@@ -66,5 +78,17 @@ std::vector<TriggerCandidate>
 adviseTriggers(const isa::Program &prog, std::size_t top_k = 10,
                AdvisorRanking ranking = AdvisorRanking::TriggerData,
                std::uint64_t max_insts = 1ull << 32);
+
+/**
+ * Rank trigger candidates from an existing shadow profile of @p prog
+ * (see profile::profileShadow). Applies the same noise (executions
+ * < 8) and static-safety filters as adviseTriggers; downstream reads
+ * are derived from the site's byte-granular downstreamReadBytes
+ * normalized by its access width. Candidates are returned
+ * triggerScore-descending with a deterministic PC tie-break.
+ */
+std::vector<TriggerCandidate>
+adviseFromShadow(const analysis::ShadowReport &shadow,
+                 const isa::Program &prog, std::size_t top_k = 10);
 
 } // namespace dttsim::profile

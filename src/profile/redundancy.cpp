@@ -1,44 +1,34 @@
 #include "profile/redundancy.h"
 
-#include <unordered_map>
-
-#include "cpu/executor.h"
+#include "profile/shadowprof.h"
 
 namespace dttsim::profile {
 
 RedundancyReport
 profileRedundancy(const isa::Program &prog, std::uint64_t max_insts)
 {
-    RedundancyReport report;
-    std::unordered_map<Addr, std::uint64_t> last_loaded;
-
+    // Classification runs on byte-granular shadow cells (see
+    // docs/SHADOW.md), so overlapping and partial-width accesses — a
+    // byte store inside a previously-loaded word, mixed-width loads
+    // of one address — classify exactly. The legacy per-address
+    // value map this replaces treated such accesses as unrelated.
+    ShadowProfiler prof;
     cpu::FunctionalRunner runner(prog);
-    runner.setObserver([&](const cpu::StepInfo &info, int depth) {
-        if (depth != 0)
-            return;  // classify the main thread only
-        ++report.instructions;
-        if (!info.mem.valid)
-            return;
-        if (info.mem.isLoad) {
-            ++report.loads;
-            PcLoadStats &pcStats = report.perPcLoads[info.pc];
-            ++pcStats.executions;
-            auto [it, inserted] =
-                last_loaded.try_emplace(info.mem.addr, info.mem.value);
-            if (!inserted) {
-                if (it->second == info.mem.value) {
-                    ++report.redundantLoads;
-                    ++pcStats.redundant;
-                }
-                it->second = info.mem.value;
-            }
-        } else {
-            ++report.stores;
-            if (info.mem.oldValue == info.mem.value)
-                ++report.silentStores;
-        }
+    runner.setObserver([&prof](const cpu::StepInfo &info, int depth) {
+        prof.observeStep(info, depth);
     });
     runner.run(max_insts);
+    const analysis::ShadowReport &shadow = prof.report();
+
+    RedundancyReport report;
+    report.instructions = shadow.instructions;
+    report.loads = shadow.loads;
+    report.redundantLoads = shadow.redundantLoads;
+    report.stores = shadow.stores;
+    report.silentStores = shadow.silentStores;
+    for (const auto &[pc, site] : shadow.sites)
+        if (site.isLoad)
+            report.perPcLoads[pc] = {site.executions, site.redundant};
     return report;
 }
 

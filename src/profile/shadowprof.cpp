@@ -1,0 +1,101 @@
+#include "profile/shadowprof.h"
+
+#include <algorithm>
+
+namespace dttsim::profile {
+
+analysis::RedundancySite &
+ShadowProfiler::site(std::uint64_t pc, bool is_load, int width)
+{
+    analysis::RedundancySite &s = report_.sites[pc];
+    if (s.executions == 0) {
+        s.pc = pc;
+        s.isLoad = is_load;
+    }
+    s.width = std::max(s.width, static_cast<std::uint8_t>(width));
+    return s;
+}
+
+void
+ShadowProfiler::onCommit(const cpu::StepInfo &info, CtxId ctx)
+{
+    if (mainOnly_ && ctx != 0)
+        return;
+    ++report_.instructions;
+    if (!info.mem.valid)
+        return;
+
+    const cpu::MemEffect &m = info.mem;
+    if (m.isLoad) {
+        ++report_.loads;
+        analysis::RedundancySite &s = site(info.pc, true, m.size);
+        ++s.executions;
+        runs_[info.pc].note(s, m.value);
+
+        analysis::ByteAttribution sourced;
+        if (shadow_.load(info.pc, m.addr, m.size, m.value, &sourced)
+            == analysis::LoadClass::Redundant) {
+            ++report_.redundantLoads;
+            ++s.redundant;
+        }
+        // Credit the store sites whose output this load consumed.
+        for (int i = 0; i < sourced.count; ++i) {
+            const auto &e =
+                sourced.edges[static_cast<std::size_t>(i)];
+            if (e.pc != analysis::kNoShadowPc)
+                report_.sites[e.pc].downstreamReadBytes += e.bytes;
+        }
+        return;
+    }
+
+    ++report_.stores;
+    analysis::RedundancySite &s = site(info.pc, false, m.size);
+    ++s.executions;
+    runs_[info.pc].note(s, m.value);
+
+    analysis::ByteAttribution killed;
+    if (shadow_.store(info.pc, m.addr, m.size, m.value, m.oldValue,
+                      &killed)
+        == analysis::StoreClass::Silent) {
+        ++report_.silentStores;
+        ++s.silent;
+    }
+    // Bytes this store overwrote before any load read them: dead at
+    // the victim site, with a killer edge back to us.
+    for (int i = 0; i < killed.count; ++i) {
+        const auto &e = killed.edges[static_cast<std::size_t>(i)];
+        if (e.pc == analysis::kNoShadowPc)
+            continue;
+        analysis::RedundancySite &victim = report_.sites[e.pc];
+        victim.deadBytes += e.bytes;
+        victim.killers[info.pc] += e.bytes;
+        report_.deadStoreBytes += e.bytes;
+    }
+}
+
+const analysis::ShadowReport &
+ShadowProfiler::report()
+{
+    for (auto &[pc, tracker] : runs_)
+        tracker.flush(report_.sites[pc]);
+    shadow_.finalizeDead([this](std::uint32_t pc,
+                                std::uint64_t bytes) {
+        report_.sites[pc].deadAtExitBytes += bytes;
+        report_.deadAtExitBytes += bytes;
+    });
+    return report_;
+}
+
+analysis::ShadowReport
+profileShadow(const isa::Program &prog, std::uint64_t max_insts)
+{
+    ShadowProfiler prof;
+    cpu::FunctionalRunner runner(prog);
+    runner.setObserver([&prof](const cpu::StepInfo &info, int depth) {
+        prof.observeStep(info, depth);
+    });
+    runner.run(max_insts);
+    return prof.report();
+}
+
+} // namespace dttsim::profile

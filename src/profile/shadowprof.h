@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Shadow-memory profiler: feeds committed loads and stores into
+ * analysis::ShadowMemory and accumulates the per-PC RedundancySite
+ * map. One class, two mouths — it is a cpu::CommitObserver (attach
+ * to an OooCore for timing-accurate commit-order profiling) and a
+ * functional-runner observer (profileShadow() for the fast path the
+ * advisor and dttlint use). Both orders classify identically for the
+ * main thread because OooCore commits in per-context program order.
+ *
+ * The profiler is self-contained — no globals, no thread-locals — so
+ * any number of instances can run concurrently (one per engine job)
+ * with deterministic, thread-count-independent reports.
+ */
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/shadow.h"
+#include "cpu/executor.h"
+#include "isa/program.h"
+
+namespace dttsim::profile {
+
+/** Accumulates a ShadowReport from committed instructions. */
+class ShadowProfiler : public cpu::CommitObserver
+{
+  public:
+    /** @p main_only restricts classification to context 0 (the main
+     *  thread), matching the functional profiler's convention; pass
+     *  false to profile DTT handler contexts too. */
+    explicit ShadowProfiler(bool main_only = true)
+        : mainOnly_(main_only)
+    {
+    }
+
+    /** Commit hook (timing core path). */
+    void onCommit(const cpu::StepInfo &info, CtxId ctx) override;
+
+    /** Functional-runner observer adapter: @p depth 0 is the main
+     *  thread, >0 a handler nesting level. */
+    void
+    observeStep(const cpu::StepInfo &info, int depth)
+    {
+        onCommit(info, static_cast<CtxId>(depth));
+    }
+
+    /**
+     * Finalize and return the report: flushes open value runs and
+     * sweeps the shadow for dead-at-exit bytes. Idempotent; the
+     * profiler keeps accepting commits afterwards (later reports
+     * re-finalize over the extended run).
+     */
+    const analysis::ShadowReport &report();
+
+  private:
+    analysis::RedundancySite &site(std::uint64_t pc, bool is_load,
+                                   int width);
+
+    bool mainOnly_;
+    analysis::ShadowMemory shadow_;
+    analysis::ShadowReport report_;
+    std::map<std::uint64_t, analysis::ValueRunTracker> runs_;
+};
+
+/**
+ * Functionally execute @p prog (inline-DTT semantics) and return its
+ * shadow profile, classifying the main thread only.
+ */
+analysis::ShadowReport profileShadow(const isa::Program &prog,
+                                     std::uint64_t max_insts
+                                     = 1ull << 32);
+
+} // namespace dttsim::profile

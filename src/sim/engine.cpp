@@ -106,6 +106,8 @@ hashConfig(Fnv1a &h, const SimConfig &cfg)
     h.pod(cfg.fault.seed);
     h.pod(cfg.fault.rate);
     h.pod(cfg.fault.siteMask);
+
+    h.pod(cfg.shadowProfile);
 }
 
 void

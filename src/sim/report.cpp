@@ -97,4 +97,99 @@ formatDetailedStats(Simulator &simulator)
     return os.str();
 }
 
+json::Value
+shadowReportToJson(const analysis::ShadowReport &r,
+                   std::uint64_t min_executions)
+{
+    json::Value doc = json::Value::object();
+    doc.set("instructions", r.instructions);
+    doc.set("loads", r.loads);
+    doc.set("redundant_loads", r.redundantLoads);
+    doc.set("stores", r.stores);
+    doc.set("silent_stores", r.silentStores);
+    doc.set("dead_store_bytes", r.deadStoreBytes);
+    doc.set("dead_at_exit_bytes", r.deadAtExitBytes);
+
+    json::Value sites = json::Value::array();
+    for (const auto &[pc, s] : r.sites) {
+        if (s.executions < min_executions)
+            continue;
+        json::Value site = json::Value::object();
+        site.set("pc", pc);
+        site.set("kind", s.isLoad ? "load" : "store");
+        site.set("width", static_cast<std::uint64_t>(s.width));
+        site.set("executions", s.executions);
+        if (s.isLoad) {
+            site.set("redundant", s.redundant);
+        } else {
+            site.set("silent", s.silent);
+            site.set("dead_bytes", s.deadBytes);
+            site.set("dead_at_exit_bytes", s.deadAtExitBytes);
+            site.set("downstream_read_bytes", s.downstreamReadBytes);
+            if (!s.killers.empty()) {
+                json::Value killers = json::Value::array();
+                for (const auto &[killer, bytes] : s.killers) {
+                    json::Value edge = json::Value::object();
+                    edge.set("pc", killer);
+                    edge.set("bytes", bytes);
+                    killers.push(std::move(edge));
+                }
+                site.set("killers", std::move(killers));
+            }
+        }
+        json::Value runs = json::Value::array();
+        for (std::uint64_t n : s.valueRuns)
+            runs.push(n);
+        site.set("value_runs", std::move(runs));
+        sites.push(std::move(site));
+    }
+    doc.set("sites", std::move(sites));
+    return doc;
+}
+
+json::Value
+agreementToJson(const analysis::AgreementReport &a)
+{
+    json::Value doc = json::Value::object();
+    doc.set("static_sites", a.staticSites);
+    doc.set("dynamic_sites", a.dynamicSites);
+    doc.set("agree", a.agree);
+    doc.set("static_only", a.staticOnly);
+    doc.set("static_never_executed", a.staticNeverExecuted);
+    doc.set("dynamic_only", a.dynamicOnly);
+    doc.set("trigger_candidates", a.triggerCandidates);
+    doc.set("suppressed", a.suppressed);
+    doc.set("precision", a.precision());
+    doc.set("recall", a.recall());
+    return doc;
+}
+
+std::string
+formatAgreement(const analysis::ShadowReport &r,
+                const analysis::AgreementReport &a)
+{
+    TextTable t("static vs dynamic redundancy");
+    t.header({"metric", "value"});
+    appendRow(t, "committed insts", r.instructions);
+    t.row({"redundant loads",
+           TextTable::num(r.redundantLoads) + " / "
+               + TextTable::num(r.loads)});
+    t.row({"silent stores",
+           TextTable::num(r.silentStores) + " / "
+               + TextTable::num(r.stores)});
+    appendRow(t, "dead store bytes", r.deadStoreBytes);
+    appendRow(t, "dead at exit bytes", r.deadAtExitBytes);
+    appendRow(t, "A008 static sites", a.staticSites);
+    appendRow(t, "dynamic hot sites", a.dynamicSites);
+    appendRow(t, "agree", a.agree);
+    appendRow(t, "static only", a.staticOnly);
+    appendRow(t, "  never executed", a.staticNeverExecuted);
+    appendRow(t, "dynamic only", a.dynamicOnly);
+    appendRow(t, "trigger candidates", a.triggerCandidates);
+    appendRow(t, "suppressed", a.suppressed);
+    t.row({"precision", TextTable::num(a.precision(), 3)});
+    t.row({"recall", TextTable::num(a.recall(), 3)});
+    return t.render();
+}
+
 } // namespace dttsim::sim

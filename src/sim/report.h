@@ -10,6 +10,8 @@
 
 #include <string>
 
+#include "analysis/shadow.h"
+#include "common/json.h"
 #include "sim/simulator.h"
 
 namespace dttsim::sim {
@@ -23,5 +25,21 @@ std::string formatComparison(const SimResult &baseline,
 
 /** Render every component stat group of a finished simulator. */
 std::string formatDetailedStats(Simulator &simulator);
+
+/**
+ * Shadow-profile JSON (part of the dttlint --json document, lint
+ * schema v1 — docs/SHADOW.md): run totals plus the per-PC site map,
+ * PC-ordered. Sites below @p min_executions are elided to keep
+ * documents proportional to the interesting sites, not the text.
+ */
+json::Value shadowReportToJson(const analysis::ShadowReport &report,
+                               std::uint64_t min_executions = 1);
+
+/** Static-vs-dynamic agreement JSON (lint schema v1). */
+json::Value agreementToJson(const analysis::AgreementReport &a);
+
+/** Render the headline shadow metrics + agreement as text. */
+std::string formatAgreement(const analysis::ShadowReport &report,
+                            const analysis::AgreementReport &a);
 
 } // namespace dttsim::sim

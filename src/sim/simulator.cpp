@@ -201,6 +201,18 @@ Simulator::Simulator(const SimConfig &config, isa::Program prog)
         controller_->setFaultPlan(plan_.get());
         core_->setFaultPlan(plan_.get());
     }
+    if (config_.shadowProfile) {
+        shadowProf_ = std::make_unique<profile::ShadowProfiler>();
+        core_->setCommitObserver(shadowProf_.get());
+    }
+}
+
+const analysis::ShadowReport &
+Simulator::shadowReport()
+{
+    if (!shadowProf_)
+        panic("shadowReport() without SimConfig::shadowProfile");
+    return shadowProf_->report();
 }
 
 SimResult

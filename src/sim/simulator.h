@@ -20,6 +20,7 @@
 #include "cpu/ooo_core.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
+#include "profile/shadowprof.h"
 #include "sim/faultplan.h"
 
 namespace dttsim::sim {
@@ -36,6 +37,13 @@ struct SimConfig
     Cycle maxCycles = 1ull << 33;
     /** Fault injection into the DTT machinery (off by default). */
     FaultConfig fault;
+    /**
+     * Attach a shadow-memory redundancy profiler to the core's
+     * commit stream (docs/SHADOW.md). Pure observation: SimResult is
+     * byte-identical with the flag on or off — the profile comes
+     * back separately through Simulator::shadowReport().
+     */
+    bool shadowProfile = false;
 
     /**
      * Check the configuration for nonsense a simulation would
@@ -154,6 +162,13 @@ class Simulator
     /** Null unless SimConfig::fault is enabled. */
     const FaultPlan *faultPlan() const { return plan_.get(); }
 
+    /**
+     * The commit-order shadow profile of the run (finalized on each
+     * call; see profile::ShadowProfiler::report). Panics unless
+     * SimConfig::shadowProfile was set.
+     */
+    const analysis::ShadowReport &shadowReport();
+
   private:
     SimConfig config_;
     bool ran_ = false;
@@ -162,6 +177,7 @@ class Simulator
     std::unique_ptr<dtt::DttController> controller_;
     std::unique_ptr<cpu::OooCore> core_;
     std::unique_ptr<FaultPlan> plan_;
+    std::unique_ptr<profile::ShadowProfiler> shadowProf_;
 };
 
 /** Convenience: build, run, return the result. */

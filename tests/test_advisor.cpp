@@ -168,6 +168,63 @@ TEST(Advisor, StaticallyUnsafeStoresAreExcluded)
     EXPECT_TRUE(sawPriv);
 }
 
+TEST(Advisor, ShadowProfileAgreesWithHandAnnotatedMcfTrigger)
+{
+    // Acceptance pin for the shadow-profile ranking: on mcf it must
+    // auto-select the very store the hand-written DTT variant
+    // instruments — the same site the TriggerData ranking picks.
+    workloads::WorkloadParams params;
+    params.iterations = 6;
+    isa::Program prog = workloads::mcfWorkload().build(
+        workloads::Variant::Baseline, params);
+
+    auto byTrig = adviseTriggers(prog, 1, AdvisorRanking::TriggerData);
+    auto byShadow = adviseTriggers(prog, 1,
+                                   AdvisorRanking::ShadowProfile);
+    ASSERT_EQ(byTrig.size(), 1u);
+    ASSERT_EQ(byShadow.size(), 1u);
+    EXPECT_EQ(byShadow[0].storePc, byTrig[0].storePc);
+    EXPECT_EQ(byShadow[0].executions, 6u * 8u);
+    EXPECT_GT(byShadow[0].meanReadsPerStore, 2.0);
+    EXPECT_GT(byShadow[0].silentPct, 50.0);
+}
+
+TEST(Advisor, TiedScoresBreakByAscendingPc)
+{
+    // Two stores with byte-identical behaviour (both silent after
+    // iteration 1, both re-read twice) score equally; the ranking
+    // must then order them by program counter, not by map/hash
+    // iteration order. Regression pin for deterministic advice.
+    isa::Program prog = isa::assemble(R"(
+        li s0, 0
+        li s1, 16
+        li a0, dataA
+        li a1, dataB
+        li t0, 7
+    top:
+        sd t0, 0(a0)
+        sd t0, 0(a1)
+        ld t1, 0(a0)
+        ld t1, 0(a0)
+        ld t2, 0(a1)
+        ld t2, 0(a1)
+        addi s0, s0, 1
+        blt s0, s1, top
+        halt
+        .data
+    dataA: .space 8
+    dataB: .space 8
+    )");
+
+    for (AdvisorRanking ranking : {AdvisorRanking::TriggerData,
+                                   AdvisorRanking::ShadowProfile}) {
+        auto ranked = adviseTriggers(prog, 5, ranking);
+        ASSERT_EQ(ranked.size(), 2u);
+        EXPECT_EQ(ranked[0].triggerScore, ranked[1].triggerScore);
+        EXPECT_LT(ranked[0].storePc, ranked[1].storePc);
+    }
+}
+
 TEST(Advisor, RankingsAreSorted)
 {
     workloads::WorkloadParams params;

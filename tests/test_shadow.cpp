@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Shadow-memory analyzer tests: cell-level classification semantics
+ * (redundant vs fresh loads, silent vs dead stores, partial-width
+ * overlap, page-boundary straddling), profiler-level site accounting
+ * (killer edges, downstream reads, value-locality runs), the
+ * static/dynamic cross-checker (A010/A011/A012 + agreement
+ * arithmetic), suppression-record round-trips, determinism under
+ * concurrent profiling, and the commit-hook equivalence between the
+ * OOO core and the functional reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/shadow.h"
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "profile/redundancy.h"
+#include "profile/shadowprof.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim {
+namespace {
+
+using analysis::LoadClass;
+using analysis::ShadowMemory;
+using analysis::StoreClass;
+
+// ------------------------------------------------------------------
+// Cell-level semantics
+
+TEST(ShadowMemory, FirstLoadFreshRepeatRedundant)
+{
+    ShadowMemory shadow;
+    EXPECT_EQ(shadow.load(1, 0x100, 8, 42), LoadClass::Fresh);
+    EXPECT_EQ(shadow.load(1, 0x100, 8, 42), LoadClass::Redundant);
+    EXPECT_EQ(shadow.load(2, 0x100, 8, 42), LoadClass::Redundant);
+}
+
+TEST(ShadowMemory, ValueChangeBreaksRedundancySilentStoreDoesNot)
+{
+    ShadowMemory shadow;
+    shadow.load(1, 0x100, 8, 7);
+    // Silent store: the next load still matches its predecessor.
+    EXPECT_EQ(shadow.store(2, 0x100, 8, 7, 7), StoreClass::Silent);
+    EXPECT_EQ(shadow.load(1, 0x100, 8, 7), LoadClass::Redundant);
+    // Value-changing store: the next load is fresh, the one after
+    // redundant again.
+    EXPECT_EQ(shadow.store(2, 0x100, 8, 9, 7), StoreClass::Live);
+    EXPECT_EQ(shadow.load(1, 0x100, 8, 9), LoadClass::Fresh);
+    EXPECT_EQ(shadow.load(1, 0x100, 8, 9), LoadClass::Redundant);
+}
+
+TEST(ShadowMemory, PartialWidthOverlapIsByteExact)
+{
+    ShadowMemory shadow;
+    shadow.load(1, 0x200, 8, 0);
+    // A one-byte store inside the loaded word: only byte 3 changes.
+    shadow.store(2, 0x203, 1, 0x63, 0);
+    EXPECT_EQ(shadow.load(1, 0x200, 8, 0x63ull << 24),
+              LoadClass::Fresh);
+    EXPECT_EQ(shadow.load(1, 0x200, 8, 0x63ull << 24),
+              LoadClass::Redundant);
+    // A narrower reload of untouched bytes is redundant.
+    EXPECT_EQ(shadow.load(3, 0x204, 4, 0), LoadClass::Redundant);
+}
+
+TEST(ShadowMemory, DeadStoreAttributionAndDownstreamCredit)
+{
+    ShadowMemory shadow;
+    analysis::ByteAttribution killed;
+
+    // Store at pc 10, overwritten unread by pc 11: 8 dead bytes.
+    shadow.store(10, 0x300, 8, 1, 0);
+    shadow.store(11, 0x300, 8, 2, 1, &killed);
+    ASSERT_EQ(killed.count, 1);
+    EXPECT_EQ(killed.edges[0].pc, 10u);
+    EXPECT_EQ(killed.edges[0].bytes, 8);
+
+    // A load between stores consumes the bytes: no kill, and the
+    // writer is credited as the source.
+    analysis::ByteAttribution sourced;
+    shadow.load(12, 0x300, 8, 2, &sourced);
+    ASSERT_EQ(sourced.count, 1);
+    EXPECT_EQ(sourced.edges[0].pc, 11u);
+    EXPECT_EQ(sourced.edges[0].bytes, 8);
+    killed.clear();
+    shadow.store(13, 0x300, 8, 3, 2, &killed);
+    EXPECT_EQ(killed.count, 0);
+}
+
+TEST(ShadowMemory, PartiallyReadStoreKillsOnlyUnreadBytes)
+{
+    ShadowMemory shadow;
+    shadow.store(10, 0x400, 8, 5, 0);
+    shadow.load(11, 0x400, 4, 5);  // reads the low half only
+    analysis::ByteAttribution killed;
+    shadow.store(12, 0x400, 8, 6, 5, &killed);
+    ASSERT_EQ(killed.count, 1);
+    EXPECT_EQ(killed.edges[0].pc, 10u);
+    EXPECT_EQ(killed.edges[0].bytes, 4);  // the unread high half
+}
+
+TEST(ShadowMemory, PageBoundaryStraddle)
+{
+    ShadowMemory shadow;
+    const Addr addr = ShadowMemory::kPageSize - 4;  // 4 bytes each side
+    EXPECT_EQ(shadow.load(1, addr, 8, 77), LoadClass::Fresh);
+    EXPECT_EQ(shadow.pagesAllocated(), 2u);
+    EXPECT_EQ(shadow.load(1, addr, 8, 77), LoadClass::Redundant);
+    // A store on the far side of the boundary breaks it again.
+    shadow.store(2, addr + 6, 1, 0xff, 0);
+    EXPECT_EQ(shadow.load(1, addr, 8, 77 | (0xffull << 48)),
+              LoadClass::Fresh);
+}
+
+TEST(ShadowMemory, FinalizeDeadSweepsUnreadBytesOnce)
+{
+    ShadowMemory shadow;
+    shadow.store(21, 0x500, 8, 1, 0);
+    shadow.store(22, 0x600, 4, 2, 0);
+    shadow.load(23, 0x600, 4, 2);  // pc 22's bytes get read
+
+    std::map<std::uint32_t, std::uint64_t> dead;
+    shadow.finalizeDead([&](std::uint32_t pc, std::uint64_t bytes) {
+        dead[pc] += bytes;
+    });
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[21], 8u);
+
+    // Idempotent: a second sweep reports nothing.
+    dead.clear();
+    shadow.finalizeDead([&](std::uint32_t pc, std::uint64_t bytes) {
+        dead[pc] += bytes;
+    });
+    EXPECT_TRUE(dead.empty());
+}
+
+TEST(ShadowMemory, ValueRunBuckets)
+{
+    EXPECT_EQ(analysis::valueRunBucket(1), 0);
+    EXPECT_EQ(analysis::valueRunBucket(2), 1);
+    EXPECT_EQ(analysis::valueRunBucket(3), 1);
+    EXPECT_EQ(analysis::valueRunBucket(4), 2);
+    EXPECT_EQ(analysis::valueRunBucket(255), 7);
+    EXPECT_EQ(analysis::valueRunBucket(1ull << 40),
+              analysis::kValueRunBuckets - 1);
+}
+
+// ------------------------------------------------------------------
+// Profiler-level accounting
+
+TEST(ShadowProfiler, CountsRepeatLoadsAsRedundant)
+{
+    isa::Program prog = isa::assemble(R"(
+        li a0, data
+        ld t0, 0(a0)
+        ld t0, 0(a0)
+        ld t0, 0(a0)
+        ld t0, 0(a0)
+        ld t0, 0(a0)
+        halt
+        .data
+    data: .space 8
+    )");
+    analysis::ShadowReport r = profile::profileShadow(prog);
+    EXPECT_EQ(r.loads, 5u);
+    EXPECT_EQ(r.redundantLoads, 4u);
+}
+
+TEST(ShadowProfiler, MixedWidthReloadIsRedundant)
+{
+    // The legacy address-keyed profiler compared the 8-byte value of
+    // the ld against the 4-byte value of the lw and misclassified
+    // the lw as fresh whenever the high bytes were nonzero. The
+    // byte-granular cells classify it exactly.
+    isa::Program prog = isa::assemble(R"(
+        li a0, data
+        li t3, 171
+        sb t3, 7(a0)
+        li t2, 4660
+        sw t2, 0(a0)
+        ld t0, 0(a0)
+        lw t1, 0(a0)
+        halt
+        .data
+    data: .space 8
+    )");
+    profile::RedundancyReport r = profile::profileRedundancy(prog);
+    EXPECT_EQ(r.loads, 2u);
+    EXPECT_EQ(r.redundantLoads, 1u);  // the lw
+}
+
+TEST(ShadowProfiler, SiteAccountingOnHandBuiltLoop)
+{
+    // Store A rewrites 7 every iteration (silent after the first)
+    // and is read twice; store B counts up (silent only on the first
+    // iteration, which writes 0 over zeroed memory) and its value is
+    // overwritten unread every iteration (dead).
+    isa::Program prog = isa::assemble(R"(
+        li s0, 0
+        li s1, 16
+        li a0, dataA
+        li a1, dataB
+        li t0, 7
+    top:
+        sd t0, 0(a0)
+        sd s0, 0(a1)
+        ld t1, 0(a0)
+        ld t2, 0(a0)
+        addi s0, s0, 1
+        blt s0, s1, top
+        halt
+        .data
+    dataA: .space 8
+    dataB: .space 8
+    )");
+    analysis::ShadowReport r = profile::profileShadow(prog);
+
+    std::uint64_t sdA = 0, sdB = 0, ld1 = 0;
+    for (std::uint64_t pc = 0; pc < prog.text().size(); ++pc) {
+        if (prog.text()[pc].op == isa::Opcode::SD)
+            (sdA == 0 ? sdA : sdB) = pc;
+        if (prog.text()[pc].op == isa::Opcode::LD && ld1 == 0)
+            ld1 = pc;
+    }
+    ASSERT_NE(sdA, 0u);
+    ASSERT_NE(sdB, 0u);
+
+    const analysis::RedundancySite &a = r.sites.at(sdA);
+    EXPECT_FALSE(a.isLoad);
+    EXPECT_EQ(a.executions, 16u);
+    EXPECT_EQ(a.silent, 15u);
+    EXPECT_EQ(a.width, 8u);
+    EXPECT_EQ(a.downstreamReadBytes, 16u * 2u * 8u);
+    EXPECT_EQ(a.deadBytes, 0u);
+    // One long same-value run of 16 stores: bucket log2(16) = 4.
+    EXPECT_EQ(a.valueRuns[4], 1u);
+
+    const analysis::RedundancySite &b = r.sites.at(sdB);
+    EXPECT_EQ(b.executions, 16u);
+    EXPECT_EQ(b.silent, 1u);  // 0 written over zeroed memory
+    // 15 overwrites kill the previous value unread; the final value
+    // dies at exit.
+    EXPECT_EQ(b.deadBytes, 15u * 8u);
+    EXPECT_EQ(b.deadAtExitBytes, 8u);
+    ASSERT_EQ(b.killers.size(), 1u);
+    EXPECT_EQ(b.killers.begin()->first, sdB);
+    EXPECT_EQ(b.killers.begin()->second, 15u * 8u);
+    // 16 one-long runs (the value changes every store).
+    EXPECT_EQ(b.valueRuns[0], 16u);
+
+    const analysis::RedundancySite &l = r.sites.at(ld1);
+    EXPECT_TRUE(l.isLoad);
+    EXPECT_EQ(l.executions, 16u);
+    EXPECT_EQ(l.redundant, 15u);  // fresh once, then the silent
+                                  // stores keep it redundant
+    EXPECT_EQ(r.deadStoreBytes, 15u * 8u);
+    // dataB's final value is never read; dataA's is (by the lds).
+    EXPECT_EQ(r.deadAtExitBytes, 8u);
+}
+
+TEST(ShadowProfiler, HandlerInstructionsAreNotClassified)
+{
+    // Inline-DTT functional execution reports handler steps at depth
+    // > 0; the profiler must ignore them (main-thread convention).
+    isa::Program prog = isa::assemble(R"(
+        main:
+            treg 0, handler
+            li s0, 0
+            li s1, 12
+            li a0, trig
+        top:
+            tsd s0, 0(a0), 0
+            twait 0
+            addi s0, s0, 1
+            blt s0, s1, top
+            halt
+        handler:
+            li t5, out
+            li t6, 1
+            sd t6, 0(t5)
+            ld t6, 0(t5)
+            tret
+        .data
+        trig: .space 8
+        out: .space 8
+    )");
+    analysis::ShadowReport r = profile::profileShadow(prog);
+    std::uint64_t handlerPc = prog.label("handler");
+    for (const auto &[pc, site] : r.sites)
+        EXPECT_LT(pc, handlerPc) << "handler site " << pc
+                                 << " leaked into the profile";
+}
+
+TEST(ShadowProfiler, DeterministicAcrossConcurrentInstances)
+{
+    workloads::WorkloadParams params;
+    params.iterations = 2;
+    isa::Program prog = workloads::mcfWorkload().build(
+        workloads::Variant::Baseline, params);
+
+    const analysis::ShadowReport reference =
+        profile::profileShadow(prog);
+    ASSERT_FALSE(reference.sites.empty());
+
+    // No globals, no thread-locals: eight concurrent profilers must
+    // produce byte-identical reports (the --jobs 8 regime of the
+    // experiment engine).
+    std::vector<analysis::ShadowReport> reports(8);
+    std::vector<std::thread> threads;
+    for (auto &slot : reports)
+        threads.emplace_back([&prog, &slot] {
+            slot = profile::profileShadow(prog);
+        });
+    for (auto &t : threads)
+        t.join();
+    for (const analysis::ShadowReport &r : reports)
+        EXPECT_TRUE(r == reference);
+}
+
+// ------------------------------------------------------------------
+// Cross-checker
+
+analysis::RedundancySite
+loadSite(std::uint64_t pc, std::uint64_t execs, std::uint64_t red)
+{
+    analysis::RedundancySite s;
+    s.pc = pc;
+    s.isLoad = true;
+    s.width = 8;
+    s.executions = execs;
+    s.redundant = red;
+    return s;
+}
+
+analysis::RedundancySite
+storeSite(std::uint64_t pc, std::uint64_t execs, std::uint64_t silent)
+{
+    analysis::RedundancySite s;
+    s.pc = pc;
+    s.isLoad = false;
+    s.width = 8;
+    s.executions = execs;
+    s.silent = silent;
+    return s;
+}
+
+analysis::Diagnostic
+a008At(std::uint64_t pc)
+{
+    return {analysis::DiagId::RedundantLoad, analysis::Severity::Lint,
+            pc, "test"};
+}
+
+bool
+hasDiag(const std::vector<analysis::Diagnostic> &diags,
+        analysis::DiagId id, std::uint64_t pc)
+{
+    for (const analysis::Diagnostic &d : diags)
+        if (d.id == id && d.pc == pc)
+            return true;
+    return false;
+}
+
+TEST(CrossChecker, EmitsA010ForDynamicOnlyHotSite)
+{
+    analysis::AnalysisResult statics;  // no A008 findings
+    analysis::ShadowReport dyn;
+    dyn.sites[5] = loadSite(5, 100, 90);
+    dyn.sites[6] = loadSite(6, 100, 10);  // below redundantFrac
+    dyn.sites[7] = loadSite(7, 4, 4);     // below minExecutions
+
+    std::vector<analysis::Diagnostic> out;
+    analysis::AgreementReport a = analysis::CrossChecker().run(
+        statics, dyn, {}, "prog", out);
+    EXPECT_EQ(a.dynamicSites, 1u);
+    EXPECT_EQ(a.dynamicOnly, 1u);
+    EXPECT_EQ(a.agree, 0u);
+    EXPECT_TRUE(hasDiag(out,
+                        analysis::DiagId::DynamicRedundantLoad, 5));
+    EXPECT_FALSE(hasDiag(out,
+                         analysis::DiagId::DynamicRedundantLoad, 6));
+    EXPECT_FALSE(hasDiag(out,
+                         analysis::DiagId::DynamicRedundantLoad, 7));
+}
+
+TEST(CrossChecker, EmitsA011ForNeverExecutedStaticFinding)
+{
+    analysis::AnalysisResult statics;
+    statics.diagnostics.push_back(a008At(7));
+    statics.diagnostics.push_back(a008At(9));
+    analysis::ShadowReport dyn;
+    dyn.sites[9] = loadSite(9, 50, 48);  // pc 9 confirmed; pc 7 dead
+
+    std::vector<analysis::Diagnostic> out;
+    analysis::AgreementReport a = analysis::CrossChecker().run(
+        statics, dyn, {}, "prog", out);
+    EXPECT_EQ(a.staticSites, 2u);
+    EXPECT_EQ(a.agree, 1u);
+    EXPECT_EQ(a.staticOnly, 1u);
+    EXPECT_EQ(a.staticNeverExecuted, 1u);
+    EXPECT_TRUE(hasDiag(out,
+                        analysis::DiagId::StaleStaticFinding, 7));
+    EXPECT_DOUBLE_EQ(a.precision(), 0.5);
+    EXPECT_DOUBLE_EQ(a.recall(), 1.0);
+}
+
+TEST(CrossChecker, EmitsA012OnlyForSafeSilentStores)
+{
+    analysis::AnalysisResult statics;
+    statics.unsafeStores[11] = "writes handler output";
+    analysis::ShadowReport dyn;
+    dyn.sites[10] = storeSite(10, 100, 80);  // safe, mostly silent
+    dyn.sites[11] = storeSite(11, 100, 80);  // statically unsafe
+    dyn.sites[12] = storeSite(12, 100, 10);  // rarely silent
+
+    std::vector<analysis::Diagnostic> out;
+    analysis::AgreementReport a = analysis::CrossChecker().run(
+        statics, dyn, {}, "prog", out);
+    EXPECT_EQ(a.triggerCandidates, 1u);
+    EXPECT_TRUE(hasDiag(
+        out, analysis::DiagId::SilentStoreTriggerCandidate, 10));
+    EXPECT_FALSE(hasDiag(
+        out, analysis::DiagId::SilentStoreTriggerCandidate, 11));
+    EXPECT_FALSE(hasDiag(
+        out, analysis::DiagId::SilentStoreTriggerCandidate, 12));
+}
+
+TEST(CrossChecker, SuppressionsMuteAndAreCounted)
+{
+    analysis::AnalysisResult statics;
+    analysis::ShadowReport dyn;
+    dyn.sites[5] = loadSite(5, 100, 90);
+    dyn.sites[10] = storeSite(10, 100, 80);
+
+    analysis::Suppressions sup;
+    sup.add("A010", "prog", 5);
+    sup.add("A012", "*", 10);  // wildcard program
+
+    std::vector<analysis::Diagnostic> out;
+    analysis::AgreementReport a = analysis::CrossChecker().run(
+        statics, dyn, sup, "prog", out);
+    EXPECT_EQ(a.suppressed, 2u);
+    EXPECT_TRUE(out.empty());
+    // The counters still see the sites — suppression mutes output,
+    // not measurement.
+    EXPECT_EQ(a.dynamicOnly, 1u);
+    EXPECT_EQ(a.triggerCandidates, 1u);
+}
+
+TEST(Suppressions, FormatParseRoundTrip)
+{
+    analysis::Suppressions sup;
+    sup.add("A010", "mcf (baseline)", 41);
+    sup.add("A012", "*", 7);
+    sup.add("A011", "gzip (dtt)", 123);
+
+    analysis::Suppressions back =
+        analysis::Suppressions::parse(sup.format());
+    EXPECT_TRUE(back == sup);
+    EXPECT_TRUE(back.matches("A010", "mcf (baseline)", 41));
+    EXPECT_TRUE(back.matches("A012", "anything", 7));
+    EXPECT_FALSE(back.matches("A010", "mcf (dtt)", 41));
+}
+
+TEST(Suppressions, ParserSkipsCommentsRejectsMalformed)
+{
+    analysis::Suppressions sup = analysis::Suppressions::parse(
+        "# header comment\n"
+        "\n"
+        "A010:mcf (baseline):41  # trailing comment\n");
+    EXPECT_EQ(sup.size(), 1u);
+    EXPECT_TRUE(sup.matches("A010", "mcf (baseline)", 41));
+
+    EXPECT_THROW(analysis::Suppressions::parse("A010:no-pc-field\n"),
+                 FatalError);
+    EXPECT_THROW(analysis::Suppressions::parse("A010:p:12x\n"),
+                 FatalError);
+}
+
+// ------------------------------------------------------------------
+// Commit-hook integration
+
+TEST(ShadowSim, CommitOrderProfileMatchesFunctionalReference)
+{
+    workloads::WorkloadParams params;
+    params.iterations = 2;
+    isa::Program prog = workloads::gzipWorkload().build(
+        workloads::Variant::Baseline, params);
+
+    sim::SimConfig cfg;
+    cfg.enableDtt = false;
+    cfg.shadowProfile = true;
+    sim::Simulator simulator(cfg, prog);
+    simulator.run();
+
+    // Context 0 commits in program order, so the commit-stream
+    // profile must equal the functional reference exactly.
+    EXPECT_TRUE(simulator.shadowReport()
+                == profile::profileShadow(prog));
+}
+
+TEST(ShadowSim, ProfilingIsPureObservation)
+{
+    workloads::WorkloadParams params;
+    params.iterations = 2;
+    isa::Program prog = workloads::mcfWorkload().build(
+        workloads::Variant::Dtt, params);
+
+    sim::SimConfig cfg;
+    sim::SimResult plain = sim::runProgram(cfg, prog);
+
+    cfg.shadowProfile = true;
+    sim::Simulator shadowed(cfg, prog);
+    sim::SimResult observed = shadowed.run();
+    EXPECT_TRUE(observed == plain);
+    EXPECT_GT(shadowed.shadowReport().instructions, 0u);
+}
+
+} // namespace
+} // namespace dttsim

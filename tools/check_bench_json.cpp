@@ -48,7 +48,7 @@ std::string
 metricFor(const std::string &name)
 {
     if (name == "functional" || name == "ooo_baseline"
-        || name == "ooo_dtt")
+        || name == "ooo_dtt" || name == "ooo_shadow")
         return "inst_per_sec";
     if (name == "engine_cold" || name == "engine_warm")
         return "jobs_per_sec";
@@ -72,7 +72,7 @@ checkRecord(const std::string &file, std::size_t idx,
     if (expectMetric.empty()) {
         complain(file, where + ": unknown benchmark name '" + name
                  + "' (expected functional/ooo_baseline/ooo_dtt/"
-                 "engine_cold/engine_warm)");
+                 "ooo_shadow/engine_cold/engine_warm)");
         return;
     }
     seenNames.insert(name);
@@ -154,8 +154,8 @@ checkFile(const std::string &file)
     // Completeness: a summary missing a row (a filtered benchmark
     // run, a renamed benchmark) must not pass as a perf record.
     for (const char *required :
-         {"functional", "ooo_baseline", "ooo_dtt", "engine_cold",
-          "engine_warm"})
+         {"functional", "ooo_baseline", "ooo_dtt", "ooo_shadow",
+          "engine_cold", "engine_warm"})
         if (seenNames.count(required) == 0)
             complain(file, std::string("missing required benchmark '")
                      + required + "'");

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Validator for dttlint's --json findings documents (lint schema v1,
+ * documented in docs/ANALYSIS.md). Checks the document shape, that
+ * every diagnostic carries a catalogue code/name/severity triple that
+ * matches the built-in catalogue, that per-program shadow profiles
+ * are internally consistent (redundant <= executions, site kinds
+ * well-formed, totals >= per-site sums of elided maps), that
+ * agreement reports balance (agree + static_only == static_sites,
+ * precision/recall in [0,1] and consistent with the counters), and
+ * that the document totals equal the per-program severity counts.
+ *
+ *     check_lint_json FILE...
+ *
+ * Exit codes: 0 every file valid, 1 validation failure, 2 usage or
+ * I/O error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "analysis/shadow.h"
+#include "common/json.h"
+#include "common/log.h"
+
+using namespace dttsim;
+
+namespace {
+
+/** Keep in sync with the emitter in tools/dttlint.cpp. */
+constexpr std::uint64_t kLintSchemaVersion = 1;
+
+int errorCount = 0;
+
+void
+complain(const std::string &file, const std::string &what)
+{
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), what.c_str());
+    ++errorCount;
+}
+
+/** code -> (name, severity) from the built-in catalogue. */
+const std::map<std::string, std::pair<std::string, std::string>> &
+catalogue()
+{
+    static const auto table = [] {
+        std::map<std::string, std::pair<std::string, std::string>> t;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(analysis::DiagId::NumDiagIds);
+             ++i) {
+            const analysis::DiagInfo &info =
+                analysis::diagInfo(static_cast<analysis::DiagId>(i));
+            t[info.code] = {info.name,
+                            analysis::severityName(info.severity)};
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+checkDiagnostic(const std::string &file, const std::string &where,
+                const json::Value &d,
+                std::map<std::string, std::uint64_t> &severities)
+{
+    if (!d.isObject()) {
+        complain(file, where + ": not an object");
+        return;
+    }
+    const std::string code = d.get("code").asString();
+    auto it = catalogue().find(code);
+    if (it == catalogue().end()) {
+        complain(file, where + ": unknown catalogue code '" + code
+                 + "'");
+        return;
+    }
+    if (d.get("name").asString() != it->second.first)
+        complain(file, where + ": name '" + d.get("name").asString()
+                 + "' does not match catalogue entry " + code + " ("
+                 + it->second.first + ")");
+    const std::string sev = d.get("severity").asString();
+    if (sev != it->second.second)
+        complain(file, where + ": severity '" + sev + "' does not "
+                 "match catalogue default for " + code + " ("
+                 + it->second.second + ")");
+    else
+        ++severities[sev];
+    if (d.get("message").asString().empty())
+        complain(file, where + ": empty message");
+    const json::Value *pc = d.find("pc");
+    if (pc != nullptr && !pc->isUint())
+        complain(file, where + ": 'pc', when present, must be an "
+                 "unsigned integer");
+}
+
+void
+checkShadow(const std::string &file, const std::string &where,
+            const json::Value &s)
+{
+    if (!s.isObject()) {
+        complain(file, where + ": not an object");
+        return;
+    }
+    const std::uint64_t loads = s.get("loads").asUint();
+    const std::uint64_t redundant = s.get("redundant_loads").asUint();
+    const std::uint64_t stores = s.get("stores").asUint();
+    const std::uint64_t silent = s.get("silent_stores").asUint();
+    const std::uint64_t insts = s.get("instructions").asUint();
+    s.get("dead_store_bytes").asUint();
+    s.get("dead_at_exit_bytes").asUint();
+    if (redundant > loads)
+        complain(file, where + ": redundant_loads > loads");
+    if (silent > stores)
+        complain(file, where + ": silent_stores > stores");
+    if (loads + stores > insts)
+        complain(file, where + ": loads + stores > instructions");
+
+    const json::Value &sites = s.get("sites");
+    if (!sites.isArray()) {
+        complain(file, where + ": 'sites' is not an array");
+        return;
+    }
+    std::uint64_t lastPc = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        const std::string sw =
+            where + " site " + std::to_string(i);
+        const json::Value &site = sites.at(i);
+        if (!site.isObject()) {
+            complain(file, sw + ": not an object");
+            continue;
+        }
+        const std::uint64_t pc = site.get("pc").asUint();
+        if (!first && pc <= lastPc)
+            complain(file, sw + ": sites must be strictly "
+                     "PC-ordered");
+        first = false;
+        lastPc = pc;
+        const std::uint64_t execs = site.get("executions").asUint();
+        if (execs < 1)
+            complain(file, sw + ": a reported site must have "
+                     "executed");
+        const std::uint64_t width = site.get("width").asUint();
+        if (width < 1 || width > 8)
+            complain(file, sw + ": width must be 1..8 bytes");
+        const std::string kind = site.get("kind").asString();
+        if (kind == "load") {
+            if (site.get("redundant").asUint() > execs)
+                complain(file, sw + ": redundant > executions");
+        } else if (kind == "store") {
+            if (site.get("silent").asUint() > execs)
+                complain(file, sw + ": silent > executions");
+            site.get("dead_bytes").asUint();
+            site.get("dead_at_exit_bytes").asUint();
+            site.get("downstream_read_bytes").asUint();
+        } else {
+            complain(file, sw + ": kind '" + kind
+                     + "' is neither load nor store");
+        }
+        const json::Value &runs = site.get("value_runs");
+        if (!runs.isArray()
+            || runs.size()
+                   != static_cast<std::size_t>(
+                       analysis::kValueRunBuckets))
+            complain(file, sw + ": value_runs must hold "
+                     + std::to_string(analysis::kValueRunBuckets)
+                     + " buckets");
+    }
+}
+
+void
+checkAgreement(const std::string &file, const std::string &where,
+               const json::Value &a)
+{
+    if (!a.isObject()) {
+        complain(file, where + ": not an object");
+        return;
+    }
+    const std::uint64_t staticSites = a.get("static_sites").asUint();
+    const std::uint64_t dynamicSites =
+        a.get("dynamic_sites").asUint();
+    const std::uint64_t agree = a.get("agree").asUint();
+    const std::uint64_t staticOnly = a.get("static_only").asUint();
+    const std::uint64_t neverExec =
+        a.get("static_never_executed").asUint();
+    const std::uint64_t dynamicOnly = a.get("dynamic_only").asUint();
+    a.get("trigger_candidates").asUint();
+    a.get("suppressed").asUint();
+
+    if (agree + staticOnly != staticSites)
+        complain(file, where + ": agree + static_only != "
+                 "static_sites");
+    if (agree + dynamicOnly != dynamicSites)
+        complain(file, where + ": agree + dynamic_only != "
+                 "dynamic_sites");
+    if (neverExec > staticOnly)
+        complain(file, where + ": static_never_executed > "
+                 "static_only");
+
+    auto checkRate = [&](const char *name, std::uint64_t num,
+                         std::uint64_t den) {
+        const double v = a.get(name).asDouble();
+        if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
+            complain(file, where + ": " + name + " outside [0, 1]");
+            return;
+        }
+        const double expect = den != 0
+            ? static_cast<double>(num) / static_cast<double>(den)
+            : 1.0;
+        if (std::fabs(v - expect) > 1e-9)
+            complain(file, where + ": " + name + " inconsistent "
+                     "with its counters");
+    };
+    checkRate("precision", agree, staticSites);
+    checkRate("recall", agree, dynamicSites);
+}
+
+void
+checkFile(const std::string &file)
+{
+    std::ifstream in(file);
+    if (!in) {
+        complain(file, "cannot open");
+        return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    json::Value doc = json::Value::parse(ss.str());
+    if (!doc.isObject()) {
+        complain(file, "top-level value is not an object");
+        return;
+    }
+    std::uint64_t version = doc.get("schema_version").asUint();
+    if (version != kLintSchemaVersion) {
+        complain(file, "schema_version " + std::to_string(version)
+                 + " != supported version "
+                 + std::to_string(kLintSchemaVersion));
+        return;
+    }
+    if (doc.get("binary").asString().empty())
+        complain(file, "empty binary name");
+    const bool shadow = doc.get("shadow").asBool();
+
+    const json::Value &programs = doc.get("programs");
+    if (!programs.isArray()) {
+        complain(file, "'programs' is not an array");
+        return;
+    }
+    std::map<std::string, std::uint64_t> severities;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const std::string where = "program " + std::to_string(i);
+        const json::Value &prog = programs.at(i);
+        if (!prog.isObject()) {
+            complain(file, where + ": not an object");
+            continue;
+        }
+        if (prog.get("name").asString().empty())
+            complain(file, where + ": empty program name");
+        const json::Value &diags = prog.get("diagnostics");
+        if (!diags.isArray()) {
+            complain(file, where + ": 'diagnostics' is not an array");
+            continue;
+        }
+        for (std::size_t j = 0; j < diags.size(); ++j)
+            checkDiagnostic(file,
+                            where + " diagnostic "
+                                + std::to_string(j),
+                            diags.at(j), severities);
+        // A shadow document carries the profile + agreement on every
+        // program; a plain document on none.
+        const json::Value *sh = prog.find("shadow");
+        const json::Value *ag = prog.find("agreement");
+        if (shadow) {
+            if (sh == nullptr || ag == nullptr) {
+                complain(file, where + ": shadow document lacks "
+                         "'shadow'/'agreement'");
+                continue;
+            }
+            checkShadow(file, where + " shadow", *sh);
+            checkAgreement(file, where + " agreement", *ag);
+        } else if (sh != nullptr || ag != nullptr) {
+            complain(file, where + ": shadow payload in a document "
+                     "with shadow=false");
+        }
+    }
+
+    // The totals must balance the per-diagnostic counts.
+    const json::Value &totals = doc.get("totals");
+    if (!totals.isObject()) {
+        complain(file, "'totals' is not an object");
+        return;
+    }
+    if (totals.get("programs").asUint() != programs.size())
+        complain(file, "totals.programs != |programs|");
+    totals.get("suppressed").asUint();
+    for (const char *sev : {"error", "warning", "lint"}) {
+        const std::string key = std::string(sev) + "s";
+        if (totals.get(key).asUint() != severities[sev])
+            complain(file, "totals." + key + " does not match the "
+                     "per-program diagnostics");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: check_lint_json FILE...\n"
+                     "validates dttlint --json documents against lint "
+                     "schema v%llu (docs/ANALYSIS.md)\n",
+                     static_cast<unsigned long long>(
+                         kLintSchemaVersion));
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        try {
+            checkFile(argv[i]);
+        } catch (const FatalError &e) {
+            complain(argv[i], e.what());
+        }
+    }
+    if (errorCount > 0) {
+        std::fprintf(stderr, "check_lint_json: %d error%s\n",
+                     errorCount, errorCount == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("check_lint_json: %d file%s valid\n", argc - 1,
+                argc == 2 ? "" : "s");
+    return 0;
+}

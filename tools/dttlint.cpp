@@ -10,7 +10,9 @@
  * Usage:
  *   dttlint [--all | --workload=NAME | --asm=FILE]
  *           [--variant=baseline|dtt|both] [--werror] [--quiet]
- *           [--no-lint] [--wdrop-fallback] [--dynamic] [--list]
+ *           [--no-lint] [--wdrop-fallback] [--dynamic] [--shadow]
+ *           [--json=PATH] [--suppressions=FILE] [--iterations=N]
+ *           [--scale=N] [--list]
  *
  * With no selection, --all is implied. Exit status is 1 when any
  * error-severity finding was reported — or any finding at all under
@@ -26,6 +28,19 @@
  * --dynamic additionally runs the functional redundancy profiler and
  * annotates every static redundant-load finding (A008) with the
  * measured per-PC redundancy, cross-checking the static claim.
+ *
+ * --shadow runs the full shadow-memory pipeline (docs/SHADOW.md):
+ * static analysis + byte-granular dynamic profile, joined by
+ * analysis::CrossChecker into the A010/A011/A012 findings and a
+ * per-program agreement report (precision/recall of the static A008
+ * lint against dynamic ground truth). --suppressions=FILE mutes
+ * known-benign cross-check findings (CODE:PROGRAM:PC records).
+ *
+ * --json=PATH writes the machine-readable findings document (lint
+ * schema v1, validated by tools/check_lint_json) so CI can diff
+ * findings instead of scraping text. --iterations/--scale forward
+ * workload generation knobs, letting smoke runs keep the dynamic
+ * profile small.
  */
 
 #include <cstdio>
@@ -35,15 +50,22 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/shadow.h"
+#include "common/json.h"
 #include "common/log.h"
 #include "common/options.h"
 #include "isa/assembler.h"
 #include "profile/redundancy.h"
+#include "profile/shadowprof.h"
+#include "sim/report.h"
 #include "workloads/workload.h"
 
 namespace {
 
 using namespace dttsim;
+
+/** Keep in sync with tools/check_lint_json.cpp and docs/ANALYSIS.md. */
+constexpr std::uint64_t kLintSchemaVersion = 1;
 
 struct LintTotals
 {
@@ -51,20 +73,57 @@ struct LintTotals
     int errors = 0;
     int warnings = 0;
     int lints = 0;
+    int suppressed = 0;
 };
+
+struct LintOptions
+{
+    analysis::AnalyzeOptions analyze;
+    bool quiet = false;
+    bool dynamic = false;
+    bool shadow = false;
+    analysis::Suppressions suppressions;
+};
+
+json::Value
+diagnosticToJson(const analysis::Diagnostic &d)
+{
+    const analysis::DiagInfo &info = analysis::diagInfo(d.id);
+    json::Value rec = json::Value::object();
+    rec.set("code", info.code);
+    rec.set("name", info.name);
+    rec.set("severity", analysis::severityName(d.severity));
+    if (d.pc != analysis::kNoPc)
+        rec.set("pc", d.pc);
+    rec.set("message", d.message);
+    return rec;
+}
 
 /** Lint one program; returns the number of findings printed. */
 int
 lintProgram(const std::string &title, const isa::Program &prog,
-            const analysis::AnalyzeOptions &opts, bool quiet,
-            bool dynamic, LintTotals &totals)
+            const LintOptions &lopts, LintTotals &totals,
+            json::Value *json_programs)
 {
-    analysis::AnalysisResult res = analysis::analyze(prog, opts);
+    analysis::AnalysisResult res = analysis::analyze(prog,
+                                                     lopts.analyze);
     ++totals.programs;
 
     profile::RedundancyReport dyn;
-    if (dynamic)
+    if (lopts.dynamic)
         dyn = profile::profileRedundancy(prog);
+
+    // The shadow pipeline: dynamic profile + cross-validation,
+    // appending A010/A011/A012 to the static findings.
+    analysis::ShadowReport shadow;
+    analysis::AgreementReport agreement;
+    if (lopts.shadow) {
+        shadow = profile::profileShadow(prog);
+        analysis::CrossChecker checker;
+        agreement = checker.run(res, shadow, lopts.suppressions,
+                                title, res.diagnostics);
+        totals.suppressed += static_cast<int>(agreement.suppressed);
+    }
 
     int shown = 0;
     for (const analysis::Diagnostic &d : res.diagnostics) {
@@ -80,7 +139,8 @@ lintProgram(const std::string &title, const isa::Program &prog,
             break;
         }
         std::string line = analysis::formatDiagnostic(d, &prog);
-        if (dynamic && d.id == analysis::DiagId::RedundantLoad) {
+        if (lopts.dynamic
+            && d.id == analysis::DiagId::RedundantLoad) {
             auto it = dyn.perPcLoads.find(d.pc);
             std::ostringstream os;
             if (it != dyn.perPcLoads.end() && it->second.executions)
@@ -90,15 +150,34 @@ lintProgram(const std::string &title, const isa::Program &prog,
                 os << " [dynamic: never executed]";
             line += os.str();
         }
-        if (!quiet) {
+        if (!lopts.quiet) {
             if (shown == 0)
                 std::printf("-- %s\n", title.c_str());
             std::printf("%s\n", line.c_str());
         }
         ++shown;
     }
-    if (!quiet && shown == 0)
+    if (!lopts.quiet && shown == 0)
         std::printf("-- %s: clean\n", title.c_str());
+    if (lopts.shadow && !lopts.quiet)
+        std::printf("%s",
+                    sim::formatAgreement(shadow, agreement).c_str());
+
+    if (json_programs != nullptr) {
+        json::Value rec = json::Value::object();
+        rec.set("name", title);
+        json::Value diags = json::Value::array();
+        for (const analysis::Diagnostic &d : res.diagnostics)
+            diags.push(diagnosticToJson(d));
+        rec.set("diagnostics", std::move(diags));
+        if (lopts.shadow) {
+            // Elide single-shot sites: the document should scale
+            // with the interesting sites, not the program text.
+            rec.set("shadow", sim::shadowReportToJson(shadow, 2));
+            rec.set("agreement", sim::agreementToJson(agreement));
+        }
+        json_programs->push(std::move(rec));
+    }
     return shown;
 }
 
@@ -126,18 +205,22 @@ main(int argc, char **argv)
         return 0;
     }
 
-    analysis::AnalyzeOptions aopts;
-    aopts.lint = !opts.has("no-lint");
-    aopts.dropFallback = opts.has("wdrop-fallback");
-    const bool quiet = opts.has("quiet");
+    LintOptions lopts;
+    lopts.analyze.lint = !opts.has("no-lint");
+    lopts.analyze.dropFallback = opts.has("wdrop-fallback");
+    lopts.quiet = opts.has("quiet");
+    lopts.dynamic = opts.has("dynamic");
+    lopts.shadow = opts.has("shadow");
     const bool werror = opts.has("werror");
-    const bool dynamic = opts.has("dynamic");
 
     LintTotals totals;
+    json::Value jsonPrograms = json::Value::array();
+    const bool wantJson = opts.has("json");
     try {
         static const char *const known[] = {
             "all", "workload", "asm", "variant", "werror", "quiet",
-            "no-lint", "wdrop-fallback", "dynamic", "list",
+            "no-lint", "wdrop-fallback", "dynamic", "shadow", "json",
+            "suppressions", "iterations", "scale", "list",
         };
         for (const auto &[name, value] : opts.all()) {
             (void)value;
@@ -147,6 +230,10 @@ main(int argc, char **argv)
             if (!ok)
                 fatal("unknown option '--%s'", name.c_str());
         }
+
+        if (opts.has("suppressions"))
+            lopts.suppressions = analysis::Suppressions::parse(
+                readFile(opts.get("suppressions")));
 
         std::string variant = opts.get("variant", "both");
         if (variant != "baseline" && variant != "dtt"
@@ -162,8 +249,8 @@ main(int argc, char **argv)
         if (opts.has("asm")) {
             isa::Program prog =
                 isa::assemble(readFile(opts.get("asm")));
-            lintProgram(opts.get("asm"), prog, aopts, quiet, dynamic,
-                        totals);
+            lintProgram(opts.get("asm"), prog, lopts, totals,
+                        wantJson ? &jsonPrograms : nullptr);
         } else {
             std::vector<const workloads::Workload *> selected;
             if (opts.has("workload")) {
@@ -173,15 +260,42 @@ main(int argc, char **argv)
                 selected = workloads::allWorkloads();
             }
             workloads::WorkloadParams params;
+            params.iterations =
+                static_cast<int>(opts.getInt("iterations", -1));
+            params.scale = static_cast<int>(opts.getInt("scale", -1));
             for (const workloads::Workload *w : selected) {
                 for (workloads::Variant v : variants) {
                     std::string title = w->info().name
                         + (v == workloads::Variant::Baseline
                                ? " (baseline)" : " (dtt)");
-                    lintProgram(title, w->build(v, params), aopts,
-                                quiet, dynamic, totals);
+                    lintProgram(title, w->build(v, params), lopts,
+                                totals,
+                                wantJson ? &jsonPrograms : nullptr);
                 }
             }
+        }
+
+        if (wantJson) {
+            json::Value doc = json::Value::object();
+            doc.set("schema_version", kLintSchemaVersion);
+            doc.set("binary", "dttlint");
+            doc.set("shadow", lopts.shadow);
+            json::Value t = json::Value::object();
+            t.set("programs",
+                  static_cast<std::uint64_t>(totals.programs));
+            t.set("errors", static_cast<std::uint64_t>(totals.errors));
+            t.set("warnings",
+                  static_cast<std::uint64_t>(totals.warnings));
+            t.set("lints", static_cast<std::uint64_t>(totals.lints));
+            t.set("suppressed",
+                  static_cast<std::uint64_t>(totals.suppressed));
+            doc.set("totals", std::move(t));
+            doc.set("programs", std::move(jsonPrograms));
+            const std::string path = opts.get("json");
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot write '%s'", path.c_str());
+            out << doc.dump(2) << "\n";
         }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "dttlint: %s\n", e.what());
@@ -189,14 +303,17 @@ main(int argc, char **argv)
     }
 
     int total = totals.errors + totals.warnings + totals.lints;
-    if (!quiet || total != 0)
+    if (!lopts.quiet || total != 0)
         std::printf(
             "dttlint: %d program%s, %d error%s, %d warning%s, "
-            "%d lint%s\n",
+            "%d lint%s%s\n",
             totals.programs, totals.programs == 1 ? "" : "s",
             totals.errors, totals.errors == 1 ? "" : "s",
             totals.warnings, totals.warnings == 1 ? "" : "s",
-            totals.lints, totals.lints == 1 ? "" : "s");
+            totals.lints, totals.lints == 1 ? "" : "s",
+            totals.suppressed > 0
+                ? strfmt(" (%d suppressed)", totals.suppressed).c_str()
+                : "");
     if (totals.errors > 0)
         return 1;
     if (werror && total > 0)
