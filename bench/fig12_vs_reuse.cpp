@@ -1,81 +1,202 @@
 /**
  * @file
- * Figure 12 — DTT vs hardware instruction reuse: the value-locality
- * comparison the paper draws against reuse/memoization hardware.
- * Instruction reuse can bypass the *execution* of a redundant
- * instruction (and its D-cache access), but the instruction still
- * flows through fetch, rename, issue and commit; data-triggered
- * threads eliminate the instructions altogether, so most of the
- * redundancy the reuse machine can only accelerate, DTT removes.
+ * Figure 12 — the redundancy-elimination head-to-head: data-triggered
+ * threads vs speculative-precomputation helper threads vs a
+ * computation-reuse machine, all three behind the pluggable
+ * cpu::Accelerator interface on the same Table-1 core, over the full
+ * workload suite and under each family's transparent fault sites.
+ *
+ * The mechanisms attack the same redundancy differently:
+ *
+ *  - DTT (--accel=dtt) runs the handler only when the trigger data
+ *    actually changed (silent-store suppression) — redundant work is
+ *    *eliminated*;
+ *  - SP (--accel=sp) dispatches the precompute slice on *every*
+ *    triggering store, changed or not — redundant work is *hidden*
+ *    but still executed, and still consumes fetch/issue/commit
+ *    bandwidth on a helper context;
+ *  - reuse (--accel=reuse) bypasses execution of individually
+ *    redundant instructions at fetch — but they still flow through
+ *    the front end and commit, so the win is capped by execution
+ *    latency alone.
+ *
+ * Each family is also swept under its own transparent fault sites
+ * (DTT: deny-spawn/squash/spurious-coalesce; SP: deny-spawn/squash;
+ * reuse: table flush), and every faulted run's archDigest must match
+ * its family's fault-free run — divergence makes the binary exit
+ * nonzero.
  */
 
 #include "harness.h"
 
+#include "common/log.h"
+
 using namespace dttsim;
+
+namespace {
+
+struct Family
+{
+    cpu::AccelKind kind;
+    workloads::Variant variant;
+    std::uint32_t transparentMask;
+    const char *name;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    bench::Harness h(argc, argv,
-                     {"fig12_vs_reuse",
-                      "Figure 12: speedup over baseline — hardware "
-                      "instruction reuse vs DTT"});
+    bench::Harness h(
+        argc, argv,
+        {"fig12_vs_reuse",
+         "Figure 12: DTT vs speculative precomputation vs "
+         "computation reuse, per-family fault matrix",
+         true,
+         {{"fault-seed", "N", "base seed of the fault plan "
+                              "(default 7)"}}});
     workloads::WorkloadParams params = h.params();
     std::vector<const workloads::Workload *> subjects = h.workloads();
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(h.options().getInt("fault-seed", 7));
 
-    auto reuse_config = [](int entries) {
-        sim::SimConfig cfg = bench::Harness::machineConfig(false);
-        cfg.core.reuseBuffer = true;
-        cfg.core.reuseEntriesPerPc = entries;
-        return cfg;
+    const std::vector<Family> families = {
+        {cpu::AccelKind::Dtt, workloads::Variant::Dtt,
+         sim::faultSiteBit(sim::FaultSite::DenySpawn)
+             | sim::faultSiteBit(sim::FaultSite::SquashThread)
+             | sim::faultSiteBit(sim::FaultSite::SpuriousCoalesce),
+         "dtt"},
+        {cpu::AccelKind::Sp, workloads::Variant::Dtt,
+         sim::faultSiteBit(sim::FaultSite::DenySpawn)
+             | sim::faultSiteBit(sim::FaultSite::SquashThread),
+         "sp"},
+        {cpu::AccelKind::Reuse, workloads::Variant::Baseline,
+         sim::faultSiteBit(sim::FaultSite::FlushReuseTable),
+         "reuse"},
     };
+    const std::vector<double> rates = {0.0, 0.2, 0.5};
 
     std::vector<sim::SimJob> jobs;
     for (const workloads::Workload *w : subjects) {
-        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
-                                 params,
-                                 bench::Harness::machineConfig(false)));
-        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
-                                 params, reuse_config(8), "reuse-8"));
-        // "Ideal": effectively unbounded per-PC buffers.
-        jobs.push_back(h.makeJob(*w, workloads::Variant::Baseline,
-                                 params, reuse_config(1 << 20),
-                                 "reuse-ideal"));
-        jobs.push_back(h.makeJob(*w, workloads::Variant::Dtt, params,
-                                 bench::Harness::machineConfig(true)));
+        jobs.push_back(h.makeJob(
+            *w, workloads::Variant::Baseline, params,
+            bench::Harness::machineConfig(cpu::AccelKind::None)));
+        for (const Family &f : families) {
+            for (double rate : rates) {
+                sim::SimConfig cfg =
+                    bench::Harness::machineConfig(f.kind);
+                cfg.fault.seed = fault_seed;
+                cfg.fault.rate = rate;
+                cfg.fault.siteMask =
+                    rate > 0.0 ? f.transparentMask : 0u;
+                jobs.push_back(h.makeJob(
+                    *w, f.variant, params, cfg,
+                    rate > 0.0 ? strfmt("%s rate=%g", f.name, rate)
+                               : std::string(f.name)));
+            }
+        }
     }
     std::vector<sim::JobResult> results = h.run(std::move(jobs));
 
-    TextTable t("Figure 12: speedup over baseline — HW instruction"
-                " reuse vs DTT");
-    t.header({"bench", "reuse-8", "ideal reuse", "ideal reused insts",
-              "dtt"});
-    std::vector<double> r8_s, rinf_s, dtt_s;
-    for (std::size_t i = 0; i < subjects.size(); ++i) {
-        const sim::SimResult &base = results[4 * i].result;
-        const sim::SimResult &r8 = results[4 * i + 1].result;
-        const sim::SimResult &rinf = results[4 * i + 2].result;
-        const sim::SimResult &dtt = results[4 * i + 3].result;
-        double s8 = bench::speedupOf(base, r8);
-        double sinf = bench::speedupOf(base, rinf);
-        double ds = bench::speedupOf(base, dtt);
-        r8_s.push_back(s8);
-        rinf_s.push_back(sinf);
-        dtt_s.push_back(ds);
-        t.row({subjects[i]->info().name, bench::speedupCell(s8),
-               bench::speedupCell(sinf),
-               TextTable::num(rinf.reusedInsts),
-               bench::speedupCell(ds)});
+    // Differential correctness, per family: transparent faults may
+    // cost cycles but never change the architectural result, so every
+    // faulted run must reproduce its family's fault-free archDigest.
+    // (Families are compared within themselves, not across: DTT/SP
+    // run the trigger-annotated program variant, reuse the plain
+    // one.) Non-Ok jobs carry sanitized payloads and are already
+    // flagged by the harness, so they are skipped here.
+    const std::size_t stride = 1 + families.size() * rates.size();
+    int diverged = 0;
+    for (std::size_t wi = 0; wi < subjects.size(); ++wi) {
+        for (std::size_t fi = 0; fi < families.size(); ++fi) {
+            const std::size_t ref_idx =
+                wi * stride + 1 + fi * rates.size();
+            if (results[ref_idx].status != sim::JobStatus::Ok)
+                continue;
+            const std::uint64_t want =
+                results[ref_idx].result.archDigest;
+            for (std::size_t ri = 1; ri < rates.size(); ++ri) {
+                const sim::JobResult &jr = results[ref_idx + ri];
+                if (jr.status != sim::JobStatus::Ok)
+                    continue;
+                if (jr.result.archDigest != want) {
+                    ++diverged;
+                    std::fprintf(
+                        stderr,
+                        "DIVERGED: %s/%s archDigest %016llx != "
+                        "fault-free %016llx\n",
+                        jr.workload.c_str(), jr.variant.c_str(),
+                        static_cast<unsigned long long>(
+                            jr.result.archDigest),
+                        static_cast<unsigned long long>(want));
+                }
+            }
+        }
     }
-    t.row({"arith-mean", bench::speedupCell(bench::mean(r8_s)),
-           bench::speedupCell(bench::mean(rinf_s)), "",
-           bench::speedupCell(bench::mean(dtt_s))});
+
+    TextTable t("Figure 12: speedup over baseline — DTT vs "
+                "speculative precomputation vs computation reuse");
+    std::vector<std::string> head{"bench"};
+    for (const Family &f : families)
+        head.push_back(f.name);
+    for (const Family &f : families)
+        head.push_back(strfmt("%s@%g", f.name, rates.back()));
+    head.push_back("reused insts");
+    t.header(head);
+
+    std::vector<std::vector<double>> clean_s(families.size());
+    std::vector<std::vector<double>> fault_s(families.size());
+    for (std::size_t wi = 0; wi < subjects.size(); ++wi) {
+        const sim::SimResult &base = results[wi * stride].result;
+        std::vector<std::string> cells{subjects[wi]->info().name};
+        for (std::size_t fi = 0; fi < families.size(); ++fi) {
+            const sim::SimResult &r =
+                results[wi * stride + 1 + fi * rates.size()].result;
+            double s = bench::speedupOf(base, r);
+            clean_s[fi].push_back(s);
+            cells.push_back(bench::speedupCell(s));
+        }
+        for (std::size_t fi = 0; fi < families.size(); ++fi) {
+            const sim::SimResult &r =
+                results[wi * stride + 1 + fi * rates.size()
+                        + rates.size() - 1]
+                    .result;
+            double s = bench::speedupOf(base, r);
+            fault_s[fi].push_back(s);
+            cells.push_back(bench::speedupCell(s));
+        }
+        const sim::SimResult &reuse_r =
+            results[wi * stride + 1 + 2 * rates.size()].result;
+        cells.push_back(TextTable::num(reuse_r.reusedInsts));
+        t.row(cells);
+    }
+    std::vector<std::string> foot{"geomean"};
+    for (std::size_t fi = 0; fi < families.size(); ++fi)
+        foot.push_back(bench::speedupCell(bench::geomean(clean_s[fi])));
+    for (std::size_t fi = 0; fi < families.size(); ++fi)
+        foot.push_back(bench::speedupCell(bench::geomean(fault_s[fi])));
+    foot.push_back("");
+    t.row(foot);
     std::fputs(t.render().c_str(), stdout);
-    std::puts("\nRealistic reuse buffers (8 entries/PC) capture almost"
-              " none of the array-scale\nredundancy; even *unbounded*"
-              " reuse only bypasses execution latency — the\nredundant"
-              " instructions still consume fetch/issue/commit"
-              " bandwidth, which is\nwhy eliminating them with DTTs"
-              " wins.");
-    return h.finish();
+
+    std::printf("\narchDigest check: %d divergence%s across %zu "
+                "workloads x %zu families x %zu rates\n\n",
+                diverged, diverged == 1 ? "" : "s", subjects.size(),
+                families.size(), rates.size());
+    std::puts(
+        "Finding: the three mechanisms rank by how much of the "
+        "redundant work they\nremove. Computation reuse bypasses "
+        "execution latency only — the redundant\ninstructions still "
+        "consume fetch/issue/commit bandwidth, so it barely moves.\n"
+        "Speculative precomputation hides handler latency on a spare "
+        "context but\nfires on every triggering store (no silent-"
+        "store suppression), so it trails\nDTT wherever the update "
+        "rate is low. DTT eliminates the redundant work\n"
+        "outright, and all three degrade gracefully — never "
+        "incorrectly, as the\narchDigest check proves — under their "
+        "transparent fault sites.");
+
+    int rc = h.finish();
+    return diverged > 0 ? 1 : rc;
 }

@@ -39,8 +39,50 @@ engineFlags()
         {"job-deadline", "SECONDS",
          "per-job wall-clock deadline; a runaway simulation is "
          "cancelled and recorded as status=timeout (default: none)"},
+        {"accel", "KIND",
+         "accelerator on the accelerated machine: none, dtt "
+         "(default), sp, reuse (docs/ACCELERATORS.md)"},
+        {"dtt", "", "(deprecated) alias for --accel=dtt"},
+        {"no-dtt", "", "(deprecated) alias for --accel=none"},
     };
     return flags;
+}
+
+/** --accel / legacy --dtt/--no-dtt resolution (exit 2 on misuse). */
+cpu::AccelKind
+parseAccel(const Options &opts, const std::string &binary)
+{
+    cpu::AccelKind kind = cpu::AccelKind::Dtt;
+    if (opts.has("dtt") && opts.has("no-dtt")) {
+        std::fprintf(stderr,
+                     "%s: error: --dtt and --no-dtt conflict (both "
+                     "are deprecated; use --accel, see --help)\n",
+                     binary.c_str());
+        std::exit(2);
+    }
+    if (opts.has("dtt") || opts.has("no-dtt")) {
+        // Deprecation shim: accepted, mapped, and nagged on stderr so
+        // scripted callers migrate without breaking today.
+        const bool dtt = opts.has("dtt");
+        std::fprintf(stderr,
+                     "%s: warning: %s is deprecated; use --accel=%s\n",
+                     binary.c_str(), dtt ? "--dtt" : "--no-dtt",
+                     dtt ? "dtt" : "none");
+        kind = dtt ? cpu::AccelKind::Dtt : cpu::AccelKind::None;
+    }
+    if (opts.has("accel")) {
+        std::optional<cpu::AccelKind> k =
+            cpu::accelKindFromName(opts.get("accel"));
+        if (!k) {
+            std::fprintf(stderr,
+                         "%s: error: --accel=%s is not one of "
+                         "none/dtt/sp/reuse (see --help)\n",
+                         binary.c_str(), opts.get("accel").c_str());
+            std::exit(2);
+        }
+        kind = *k;
+    }
+    return kind;
 }
 
 /** Default cache directory, next to the other bench outputs. */
@@ -249,7 +291,8 @@ Harness::Harness(int argc, const char *const *argv, HarnessSpec spec)
     : spec_(std::move(spec)), opts_(argc, argv),
       store_(makeStore(opts_, spec_.binary)),
       engine_(makeEngineConfig(opts_, store_.get())),
-      jsonPath_(opts_.get("json"))
+      jsonPath_(opts_.get("json")),
+      accel_(parseAccel(opts_, spec_.binary))
 {
     std::vector<const std::vector<FlagSpec> *> groups{&engineFlags()};
     if (spec_.workloadFlags)
@@ -332,11 +375,18 @@ Harness::workloads() const
 }
 
 sim::SimConfig
-Harness::machineConfig(bool enable_dtt)
+Harness::machineConfig(cpu::AccelKind kind)
 {
     sim::SimConfig cfg;
-    cfg.enableDtt = enable_dtt;
+    cfg.accel = kind;
     return cfg;  // defaults are the Table 1 machine
+}
+
+sim::SimConfig
+Harness::machineConfig(bool enable_dtt)
+{
+    return machineConfig(enable_dtt ? cpu::AccelKind::Dtt
+                                    : cpu::AccelKind::None);
 }
 
 sim::SimJob
@@ -403,22 +453,34 @@ Harness::runPairs(
     const std::vector<const workloads::Workload *> &subjects,
     const workloads::WorkloadParams &params)
 {
-    return runPairs(subjects, params, machineConfig(true));
+    return runPairs(subjects, params, machineConfig(accel_));
 }
 
 std::vector<Pair>
 Harness::runPairs(
     const std::vector<const workloads::Workload *> &subjects,
     const workloads::WorkloadParams &params,
-    const sim::SimConfig &dtt_config)
+    const sim::SimConfig &accel_config)
 {
+    // DTT and SP machines consume the trigger-annotated build (SP
+    // treats triggering stores as slice tokens); reuse and none run
+    // the plain build. Labels keep the historical "dtt" spelling for
+    // the default machine so archived JSON diffs clean.
+    const cpu::AccelKind kind = accel_config.accel;
+    const workloads::Variant accel_variant =
+        kind == cpu::AccelKind::Dtt || kind == cpu::AccelKind::Sp
+        ? workloads::Variant::Dtt : workloads::Variant::Baseline;
+    const std::string accel_label =
+        kind == cpu::AccelKind::Dtt ? "" : cpu::accelKindName(kind);
+
     std::vector<sim::SimJob> jobs;
     jobs.reserve(subjects.size() * 2);
     for (const workloads::Workload *w : subjects) {
         jobs.push_back(makeJob(*w, workloads::Variant::Baseline,
-                               params, machineConfig(false)));
-        jobs.push_back(makeJob(*w, workloads::Variant::Dtt, params,
-                               dtt_config));
+                               params,
+                               machineConfig(cpu::AccelKind::None)));
+        jobs.push_back(makeJob(*w, accel_variant, params,
+                               accel_config, accel_label));
     }
     std::vector<sim::JobResult> results = run(std::move(jobs));
     std::vector<Pair> pairs(subjects.size());

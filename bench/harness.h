@@ -153,13 +153,23 @@ class Harness
     /** Worker threads (--jobs, default 0 = hardware concurrency). */
     int jobs() const { return engine_.threads(); }
 
+    /** Accelerator selected by --accel={none,dtt,sp,reuse} for the
+     *  accelerated leg of comparisons (default: dtt, the paper's
+     *  machine). An unknown value exits 2 at parse time. */
+    cpu::AccelKind accel() const { return accel_; }
+
     sim::Engine &engine() { return engine_; }
 
     /** The persistent result cache (--cache/--cache-dir/--resume);
      *  nullptr when caching is off. */
     const sim::ResultStore *store() const { return store_.get(); }
 
-    /** The simulated machine of Table 1. */
+    /** The simulated machine of Table 1, carrying @p kind as its
+     *  accelerator. */
+    static sim::SimConfig machineConfig(cpu::AccelKind kind);
+
+    /** @deprecated Pre-accelerator-interface spelling; forwards to
+     *  machineConfig(Dtt/None). New code names the AccelKind. */
     static sim::SimConfig machineConfig(bool enable_dtt);
 
     /** Build a job for @p w's @p variant under @p config. The variant
@@ -180,16 +190,21 @@ class Harness
      */
     std::vector<sim::JobResult> run(std::vector<sim::SimJob> jobs);
 
-    /** Baseline-vs-DTT pairs for @p subjects, one engine batch. */
+    /** Baseline-vs-accelerated pairs for @p subjects, one engine
+     *  batch. The accelerated leg is the --accel machine (default:
+     *  the paper's DTT machine). */
     std::vector<Pair>
     runPairs(const std::vector<const workloads::Workload *> &subjects,
              const workloads::WorkloadParams &params);
 
-    /** Same, with a custom DTT-machine config. */
+    /** Same, with a custom accelerated-machine config; its
+     *  config.accel picks the program variant (DTT/SP run the
+     *  trigger-annotated build, reuse/none run the plain build) and
+     *  the default record label. */
     std::vector<Pair>
     runPairs(const std::vector<const workloads::Workload *> &subjects,
              const workloads::WorkloadParams &params,
-             const sim::SimConfig &dtt_config);
+             const sim::SimConfig &accel_config);
 
     /**
      * Emit the --json results file (if requested), report invalid
@@ -205,6 +220,7 @@ class Harness
     std::unique_ptr<sim::ResultStore> store_;
     sim::Engine engine_;
     std::string jsonPath_;
+    cpu::AccelKind accel_ = cpu::AccelKind::Dtt;
     std::vector<sim::JobResult> records_;
     int invalidJobs_ = 0;
     bool finished_ = false;

@@ -79,7 +79,7 @@ BM_OooCore(benchmark::State &state)
     std::uint64_t insts = 0;
     for (auto _ : state) {
         sim::SimConfig cfg;
-        cfg.enableDtt = false;
+        cfg.accel = cpu::AccelKind::None;
         sim::SimResult r = sim::runProgram(cfg, prog);
         insts += r.totalCommitted;
         benchmark::DoNotOptimize(r.cycles);
@@ -125,7 +125,7 @@ BM_ShadowProfile(benchmark::State &state)
     std::uint64_t insts = 0;
     for (auto _ : state) {
         sim::SimConfig cfg;
-        cfg.enableDtt = false;
+        cfg.accel = cpu::AccelKind::None;
         cfg.shadowProfile = true;
         sim::Simulator simulator(cfg, prog);
         sim::SimResult r = simulator.run();
@@ -159,8 +159,10 @@ engineJobs()
             job.variant =
                 variant == workloads::Variant::Dtt ? "dtt"
                                                    : "baseline";
-            job.config.enableDtt =
-                variant == workloads::Variant::Dtt;
+            job.config.accel =
+                variant == workloads::Variant::Dtt
+                    ? cpu::AccelKind::Dtt
+                    : cpu::AccelKind::None;
             job.program = mcf.build(variant, p);
             jobs.push_back(std::move(job));
         }

@@ -46,7 +46,7 @@ main(int argc, char **argv)
         opts.getInt("spawn-latency", 4));
 
     sim::SimConfig base_cfg = cfg;
-    base_cfg.enableDtt = false;
+    base_cfg.accel = cpu::AccelKind::None;
     sim::SimResult base = sim::runProgram(
         base_cfg, w.build(workloads::Variant::Baseline, params));
 

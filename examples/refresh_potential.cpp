@@ -119,7 +119,7 @@ main(int argc, char **argv)
 
     const workloads::Workload &mcf = workloads::findWorkload("mcf");
     sim::SimConfig base_cfg;
-    base_cfg.enableDtt = false;
+    base_cfg.accel = cpu::AccelKind::None;
     sim::SimResult base = sim::runProgram(
         base_cfg, mcf.build(workloads::Variant::Baseline, params));
     sim::SimResult dtt = sim::runProgram(

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# The end-to-end half of the accelerator-interface gate
+# (`ctest -L accel-smoke` runs this plus tests/test_accel_conformance):
+# sweep the harness-wide --accel flag over every accelerator kind,
+# running the full 15-workload suite per kind at smoke scale, emit the
+# structured-results document for each (results schema v3,
+# docs/HARNESS.md), and validate every document with
+# check_results_json. The deprecated --no-dtt shim is exercised once
+# to keep the mapping covered, and an unknown --accel value must
+# exit 2.
+#
+# Usage: scripts/accel_smoke.sh [build-dir] [out-dir]
+#   e.g. scripts/accel_smoke.sh build bench/out
+set -euo pipefail
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build}"
+outdir="${2:-$src/bench/out}"
+
+for bin in bench/fig5_speedup tools/check_results_json; do
+    if [ ! -x "$build/$bin" ]; then
+        echo "accel_smoke: $build/$bin not found" \
+             "(build first: cmake --build $build -j)" >&2
+        exit 2
+    fi
+done
+
+mkdir -p "$outdir"
+
+# Small --iters keeps this a smoke gate; every kind still covers the
+# whole suite so a workload that only breaks under one accelerator
+# cannot hide.
+docs=()
+for kind in none dtt sp reuse; do
+    echo "== fig5_speedup --accel=$kind (all workloads)"
+    "$build/bench/fig5_speedup" --accel="$kind" --iters=2 \
+        --json="$outdir/ACCEL_$kind.json" > /dev/null
+    docs+=("$outdir/ACCEL_$kind.json")
+done
+
+echo "== deprecated shim --no-dtt still maps (and warns)"
+shim_err="$outdir/ACCEL_shim.stderr"
+"$build/bench/fig5_speedup" --no-dtt --workload=mcf --iters=2 \
+    --json="$outdir/ACCEL_shim.json" > /dev/null 2> "$shim_err"
+grep -q "deprecated" "$shim_err" || {
+    echo "accel_smoke: --no-dtt did not warn about deprecation" >&2
+    exit 1
+}
+docs+=("$outdir/ACCEL_shim.json")
+
+echo "== unknown --accel value must exit 2"
+if "$build/bench/fig5_speedup" --accel=gpu > /dev/null 2>&1; then
+    echo "accel_smoke: --accel=gpu unexpectedly succeeded" >&2
+    exit 1
+fi
+
+"$build/tools/check_results_json" "${docs[@]}"
+echo "accel_smoke: documents valid; outputs in $outdir"

@@ -1,0 +1,69 @@
+#include "accel/dtt_accel.h"
+
+#include "sim/faultplan.h"
+
+namespace dttsim::accel {
+
+DttAccel::DttAccel(const dtt::DttConfig &config, int num_contexts)
+    : Accelerator(cpu::AccelKind::Dtt, "accel"),
+      config_(config),
+      numContexts_(num_contexts),
+      ctrl_(std::make_unique<dtt::DttController>(config, num_contexts))
+{
+    stats().counter("faultDeniedSpawnCycles");
+}
+
+void
+DttAccel::reset()
+{
+    Accelerator::reset();
+    ctrl_ = std::make_unique<dtt::DttController>(config_, numContexts_);
+    ctrl_->setFaultPlan(plan());
+}
+
+void
+DttAccel::setFaultPlan(sim::FaultPlan *plan)
+{
+    Accelerator::setFaultPlan(plan);
+    ctrl_->setFaultPlan(plan);
+}
+
+bool
+DttAccel::tstoreCommit(TriggerId t, Addr addr, std::uint64_t value,
+                       bool silent)
+{
+    dtt::TstoreOutcome outcome =
+        ctrl_->onTstoreCommit(t, addr, value, silent);
+    if (outcome == dtt::TstoreOutcome::Stall)
+        return true;
+    // The fetched tstore retires with any non-stall outcome.
+    ctrl_->onTstoreDone(t);
+    return false;
+}
+
+void
+DttAccel::tick()
+{
+    // Transparent fault: the spawn arbiter denies every context
+    // allocation this cycle; pending threads just wait a cycle
+    // longer. At rate 1.0 this starves the queue outright (the
+    // watchdog's Deadlock case).
+    if (plan() != nullptr && !ctrl_->queue().empty()
+        && plan()->inject(sim::FaultSite::DenySpawn)) {
+        ++stats().counter("faultDeniedSpawnCycles");
+        return;
+    }
+    cpu::AccelPort &p = port();
+    for (CtxId ctx = 1; ctx < p.numContexts(); ++ctx) {
+        if (!p.contextFree(ctx))
+            continue;
+        dtt::SpawnRequest req = ctrl_->takeSpawn();
+        if (!req.valid)
+            return;
+        p.startThread(ctx, req.trig, req.entryPc, req.addr, req.value,
+                      config_.spawnLatency);
+        ctrl_->onSpawned(req.trig, ctx);
+    }
+}
+
+} // namespace dttsim::accel

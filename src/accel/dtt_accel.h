@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * The data-triggered-threads accelerator: the paper's machine behind
+ * the cpu::Accelerator interface. A thin event adapter over
+ * dtt::DttController — the controller keeps the policy (trigger
+ * evaluation, silent-store suppression, coalescing, full-queue
+ * handling, TWAIT/TCHK), this class maps core events onto it and
+ * owns the spawn arbitration loop that used to live in the core.
+ */
+
+#include <memory>
+
+#include "core/controller.h"
+#include "core/dtt_config.h"
+#include "cpu/accelerator.h"
+
+namespace dttsim::accel {
+
+/** DTT control unit as a pluggable accelerator. */
+class DttAccel final : public cpu::Accelerator
+{
+  public:
+    DttAccel(const dtt::DttConfig &config, int num_contexts);
+
+    /** The wrapped control unit (never null). Re-fetch after reset():
+     *  reset() reconstructs the controller. */
+    dtt::DttController *controller() { return ctrl_.get(); }
+    const dtt::DttController *controller() const { return ctrl_.get(); }
+
+    const dtt::DttConfig &config() const { return config_; }
+
+    // ----- lifecycle --------------------------------------------------
+    void reset() override;
+    void setFaultPlan(sim::FaultPlan *plan) override;
+
+    // ----- commit-time events -----------------------------------------
+    void
+    tregCommit(TriggerId t, std::uint64_t entry_pc) override
+    {
+        ctrl_->onTregCommit(t, entry_pc);
+    }
+
+    void tunregCommit(TriggerId t) override { ctrl_->onTunregCommit(t); }
+
+    void tclrCommit(TriggerId t) override { ctrl_->onTclrCommit(t); }
+
+    bool tstoreCommit(TriggerId t, Addr addr, std::uint64_t value,
+                      bool silent) override;
+
+    void tstoreDone(TriggerId t) override { ctrl_->onTstoreDone(t); }
+
+    void tretCommit(CtxId ctx) override { ctrl_->onTretCommit(ctx); }
+
+    // ----- fetch-time events ------------------------------------------
+    void
+    tstoreFetched(TriggerId t) override
+    {
+        ctrl_->onTstoreFetched(t);
+    }
+
+    bool
+    waitSatisfied(TriggerId t) const override
+    {
+        return ctrl_->waitSatisfied(t);
+    }
+
+    std::int64_t chk(TriggerId t) const override { return ctrl_->chk(t); }
+
+    // ----- cycle hook --------------------------------------------------
+    void tick() override;
+
+    // ----- fault interaction -------------------------------------------
+    void
+    threadSquashed(CtxId ctx, Addr addr, std::uint64_t value) override
+    {
+        ctrl_->onThreadSquashed(ctx, addr, value);
+    }
+
+  private:
+    dtt::DttConfig config_;
+    int numContexts_;
+    std::unique_ptr<dtt::DttController> ctrl_;
+};
+
+} // namespace dttsim::accel

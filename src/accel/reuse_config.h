@@ -1,0 +1,21 @@
+#pragma once
+
+/**
+ * @file
+ * Configuration of the computation-reuse accelerator
+ * (reuse::ReuseUnit): ReuseSense-style per-static-instruction reuse
+ * buffers served through the core's fetch-probe hook.
+ */
+
+namespace dttsim::reuse {
+
+/** Reuse-unit hardware parameters. */
+struct ReuseConfig
+{
+    /** LRU entries per static instruction. 8 matches the in-core
+     *  comparison machine (CoreConfig::reuseEntriesPerPc default);
+     *  very large values approximate the ideal-reuse limit. */
+    int entriesPerPc = 8;
+};
+
+} // namespace dttsim::reuse

@@ -1,0 +1,57 @@
+#include "accel/reuse_unit.h"
+
+#include "sim/faultplan.h"
+
+namespace dttsim::reuse {
+
+ReuseUnit::ReuseUnit(const ReuseConfig &config)
+    : Accelerator(cpu::AccelKind::Reuse, "accel"),
+      config_(config),
+      snoop_(stats().counter("snoopedStores"))
+{
+    stats().counter("probes");
+    stats().counter("hits");
+    stats().counter("faultTableFlushes");
+}
+
+void
+ReuseUnit::attach(cpu::AccelPort &port)
+{
+    Accelerator::attach(port);
+    if (table_ == nullptr)
+        table_ = std::make_unique<ReuseBufferSet>(
+            port.programSize(), config_.entriesPerPc);
+}
+
+void
+ReuseUnit::reset()
+{
+    Accelerator::reset();
+    // A non-null table implies attach() ran; before that there is
+    // nothing to rebuild (and no port to size a table from).
+    if (table_ != nullptr)
+        table_ = std::make_unique<ReuseBufferSet>(
+            port().programSize(), config_.entriesPerPc);
+}
+
+bool
+ReuseUnit::fetchProbe(std::uint64_t pc, const ReuseProbe &probe)
+{
+    ++stats().counter("probes");
+    if (!table_->lookupInsert(pc, probe))
+        return false;
+    // Transparent fault: a spurious invalidation wipes the whole
+    // table on what would have been a hit. Purely a timing event —
+    // the instruction just executes normally.
+    if (plan() != nullptr
+        && plan()->inject(sim::FaultSite::FlushReuseTable)) {
+        table_ = std::make_unique<ReuseBufferSet>(
+            port().programSize(), config_.entriesPerPc);
+        ++stats().counter("faultTableFlushes");
+        return false;
+    }
+    ++stats().counter("hits");
+    return true;
+}
+
+} // namespace dttsim::reuse

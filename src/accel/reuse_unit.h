@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Computation-reuse accelerator: the ReuseSense-style comparison
+ * machine of the paper's Fig. 12, behind the cpu::Accelerator
+ * interface. Built on the shared per-PC reuse buffers
+ * (common/reuse_buffer.h); with ReuseConfig::entriesPerPc equal to
+ * CoreConfig::reuseEntriesPerPc it reproduces the legacy in-core
+ * machine (CoreConfig::reuseBuffer) result for result.
+ *
+ * The unit spawns no helper threads: it serves the core's fetch
+ * probe (a hit bypasses execution — single-cycle ALU-slot issue, no
+ * D-cache access) and observes the commit stream only to count the
+ * store traffic its invalidation port would have to snoop. Entries
+ * are validated by value (ReuseProbe::memValue), so a conflicting
+ * store makes the entry miss rather than serve stale data.
+ */
+
+#include <memory>
+
+#include "accel/reuse_config.h"
+#include "common/reuse_buffer.h"
+#include "cpu/accelerator.h"
+#include "cpu/executor.h"
+
+namespace dttsim::reuse {
+
+/** The computation-reuse unit as a pluggable accelerator. */
+class ReuseUnit final : public cpu::Accelerator
+{
+  public:
+    explicit ReuseUnit(const ReuseConfig &config);
+
+    const ReuseConfig &config() const { return config_; }
+
+    // ----- lifecycle --------------------------------------------------
+    void attach(cpu::AccelPort &port) override;
+    void reset() override;
+
+    // ----- fetch probe -------------------------------------------------
+    bool wantsFetchProbe() const override { return true; }
+    bool fetchProbe(std::uint64_t pc, const ReuseProbe &probe) override;
+
+    // ----- reporting ----------------------------------------------------
+    cpu::CommitObserver *commitObserver() override { return &snoop_; }
+
+  private:
+    /** Commit-stream tap: counts the stores the unit's invalidation
+     *  port snoops. Pure accounting — entries are value-validated,
+     *  so no state changes here. */
+    class StoreSnoop final : public cpu::CommitObserver
+    {
+      public:
+        explicit StoreSnoop(Counter &counter) : counter_(counter) {}
+        void
+        onCommit(const cpu::StepInfo &info, CtxId ctx) override
+        {
+            (void)ctx;
+            if (info.mem.valid && !info.mem.isLoad)
+                ++counter_;
+        }
+      private:
+        Counter &counter_;
+    };
+
+    ReuseConfig config_;
+    StoreSnoop snoop_;
+    std::unique_ptr<ReuseBufferSet> table_;
+};
+
+} // namespace dttsim::reuse

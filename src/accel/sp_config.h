@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Configuration of the speculative-precomputation accelerator
+ * (sp::PrecomputeUnit): token-based slice triggering in the style of
+ * helper-thread prefetching frameworks. A committing triggering store
+ * emits a *token*; each token runs the trigger's precompute slice on
+ * a free SMT context.
+ */
+
+#include "common/types.h"
+
+namespace dttsim::sp {
+
+/** Precompute-unit hardware parameters. */
+struct SpConfig
+{
+    /** Static trigger table size (slice registry entries). */
+    int maxTriggers = 64;
+
+    /** Token queue capacity (pending precompute slices). */
+    int tokenQueueSize = 16;
+
+    /**
+     * Skip-one-slice policy: when a token arrives and the token queue
+     * is full (every context busy and the backlog saturated), discard
+     * the token and set the trigger's sticky overflow flag instead of
+     * stalling the store's commit.
+     *
+     * This is *lossy*: a skipped slice never runs, so only programs
+     * using the software fallback idiom (TCHK bit 62 -> inline
+     * recompute -> TCLR) keep their architectural results. The
+     * default is the lossless stall policy precisely because the
+     * builder workloads rely on slices always running.
+     */
+    bool skipWhenBusy = false;
+
+    /**
+     * Dispatch a token only when no slice of the *same* trigger is
+     * running (slices of different triggers still run concurrently),
+     * mirroring the DTT machine's per-trigger serialization so the
+     * same workload programs behave under both accelerators.
+     */
+    bool serializePerTrigger = true;
+
+    /** Cycles to initialize a hardware context at slice dispatch. */
+    Cycle spawnLatency = 4;
+};
+
+} // namespace dttsim::sp

@@ -1,0 +1,198 @@
+#include "accel/sp_unit.h"
+
+#include "common/log.h"
+#include "sim/faultplan.h"
+
+namespace dttsim::sp {
+
+PrecomputeUnit::PrecomputeUnit(const SpConfig &config, int num_contexts)
+    : Accelerator(cpu::AccelKind::Sp, "accel"),
+      config_(config),
+      numContexts_(num_contexts),
+      st_(std::make_unique<State>(config, num_contexts))
+{
+    stats().counter("tokens");
+    stats().counter("enqueued");
+    stats().counter("skippedSlices");
+    stats().counter("stallEvents");
+    stats().counter("spawns");
+    stats().counter("staleDiscards");
+    stats().counter("unregisteredTokens");
+    stats().counter("faultDroppedTokens");
+    stats().counter("faultSquashRequeues");
+    stats().counter("faultDeniedSpawnCycles");
+}
+
+void
+PrecomputeUnit::reset()
+{
+    Accelerator::reset();
+    st_ = std::make_unique<State>(config_, numContexts_);
+}
+
+void
+PrecomputeUnit::tregCommit(TriggerId t, std::uint64_t entry_pc)
+{
+    st_->registry.install(t, entry_pc);
+}
+
+void
+PrecomputeUnit::tunregCommit(TriggerId t)
+{
+    st_->registry.remove(t);
+}
+
+void
+PrecomputeUnit::tclrCommit(TriggerId t)
+{
+    st_->status.of(t).overflowed = false;
+}
+
+bool
+PrecomputeUnit::tstoreCommit(TriggerId t, Addr addr,
+                             std::uint64_t value, bool silent)
+{
+    // Precomputation has no notion of a redundant store: every
+    // committing triggering store emits a token, silent or not.
+    (void)silent;
+    ++stats().counter("tokens");
+
+    if (!st_->registry.lookup(t).valid) {
+        // A token with no registered slice (e.g. before TREG) is
+        // legal and does nothing.
+        ++stats().counter("unregisteredTokens");
+        tstoreDone(t);
+        return false;
+    }
+    // Lossy fault: the token is lost in flight; the sticky overflow
+    // flag is the only record, exactly what the software fallback
+    // idiom recovers from.
+    if (plan() != nullptr
+        && plan()->inject(sim::FaultSite::DropToken)) {
+        st_->status.of(t).overflowed = true;
+        ++stats().counter("faultDroppedTokens");
+        tstoreDone(t);
+        return false;
+    }
+
+    switch (st_->queue.push(dtt::PendingThread{t, addr, value})) {
+      case dtt::EnqueueResult::Enqueued:
+      case dtt::EnqueueResult::Coalesced:  // unreachable: coalesce off
+        ++stats().counter("enqueued");
+        tstoreDone(t);
+        return false;
+      case dtt::EnqueueResult::Full:
+        if (config_.skipWhenBusy) {
+            // Skip-one-slice: the backlog is saturated, drop this
+            // slice and flag the trigger for the software fallback.
+            st_->status.of(t).overflowed = true;
+            ++stats().counter("skippedSlices");
+            tstoreDone(t);
+            return false;
+        }
+        ++stats().counter("stallEvents");
+        return true;  // stall the store's commit
+    }
+    panic("unreachable");
+}
+
+void
+PrecomputeUnit::tstoreDone(TriggerId t)
+{
+    auto &s = st_->status.of(t);
+    if (s.inflightTstores <= 0)
+        panic("tstore inflight underflow for trigger %d", t);
+    --s.inflightTstores;
+}
+
+void
+PrecomputeUnit::tretCommit(CtxId ctx)
+{
+    st_->status.markDone(ctx);
+}
+
+void
+PrecomputeUnit::tstoreFetched(TriggerId t)
+{
+    ++st_->status.of(t).inflightTstores;
+}
+
+bool
+PrecomputeUnit::waitSatisfied(TriggerId t) const
+{
+    const dtt::TriggerStatus &s = st_->status.of(t);
+    return st_->queue.pendingFor(t) == 0 && s.running == 0
+        && s.inflightTstores == 0;
+}
+
+std::int64_t
+PrecomputeUnit::chk(TriggerId t) const
+{
+    const dtt::TriggerStatus &s = st_->status.of(t);
+    std::int64_t outstanding = st_->queue.pendingFor(t) + s.running
+        + s.inflightTstores;
+    if (s.overflowed)
+        outstanding |= std::int64_t(1) << 62;
+    return outstanding;
+}
+
+void
+PrecomputeUnit::tick()
+{
+    // Transparent fault: the dispatch port is busy this cycle;
+    // pending tokens just wait a cycle longer.
+    if (plan() != nullptr && !st_->queue.empty()
+        && plan()->inject(sim::FaultSite::DenySpawn)) {
+        ++stats().counter("faultDeniedSpawnCycles");
+        return;
+    }
+    cpu::AccelPort &p = port();
+    for (CtxId ctx = 1; ctx < p.numContexts(); ++ctx) {
+        if (!p.contextFree(ctx))
+            continue;
+        // Take the oldest dispatchable token, discarding tokens whose
+        // slice was unregistered after the token was emitted.
+        dtt::PendingThread token;
+        const dtt::RegistryEntry *entry = nullptr;
+        while (!st_->queue.empty()) {
+            std::optional<dtt::PendingThread> picked =
+                st_->queue.popFirst([&](const dtt::PendingThread &tk) {
+                    if (!config_.serializePerTrigger)
+                        return true;
+                    return st_->status.of(tk.trig).running == 0;
+                });
+            if (!picked)
+                return;  // all pending triggers busy
+            const dtt::RegistryEntry &e =
+                st_->registry.lookup(picked->trig);
+            if (!e.valid) {
+                ++stats().counter("staleDiscards");
+                continue;
+            }
+            token = *picked;
+            entry = &e;
+            break;
+        }
+        if (entry == nullptr)
+            return;  // queue drained
+        ++stats().counter("spawns");
+        p.startThread(ctx, token.trig, entry->entryPc, token.addr,
+                      token.value, config_.spawnLatency);
+        st_->status.markRunning(token.trig, ctx);
+    }
+}
+
+void
+PrecomputeUnit::threadSquashed(CtxId ctx, Addr addr,
+                               std::uint64_t value)
+{
+    TriggerId t = st_->status.markDone(ctx);
+    if (!st_->registry.lookup(t).valid) {
+        ++stats().counter("staleDiscards");
+        return;
+    }
+    st_->queue.unpop(dtt::PendingThread{t, addr, value});
+    ++stats().counter("faultSquashRequeues");
+}
+
+} // namespace dttsim::sp

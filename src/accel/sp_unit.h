@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * Speculative-precomputation accelerator: triggering stores emit
+ * tokens, each token dispatches the trigger's precompute slice onto a
+ * free SMT context. Contrast with the DTT machine (accel/dtt_accel.h):
+ *
+ *  - no silent-store suppression — precomputation fires on *every*
+ *    triggering store, redundant or not (the redundancy-elimination
+ *    comparison point of the paper's Fig. 12);
+ *  - no duplicate coalescing — every token is one slice run;
+ *  - full token queue: stall the store (lossless default) or skip the
+ *    slice (SpConfig::skipWhenBusy, lossy opt-in).
+ *
+ * The slice registry, token queue and status table reuse the DTT
+ * building blocks (core/registry.h, core/queue.h, core/status.h);
+ * TWAIT/TCHK read the same outstanding-work formula so Variant::Dtt
+ * programs run unmodified under --accel=sp.
+ */
+
+#include <memory>
+
+#include "accel/sp_config.h"
+#include "core/queue.h"
+#include "core/registry.h"
+#include "core/status.h"
+#include "cpu/accelerator.h"
+
+namespace dttsim::sp {
+
+/** The token-based precompute unit as a pluggable accelerator. */
+class PrecomputeUnit final : public cpu::Accelerator
+{
+  public:
+    PrecomputeUnit(const SpConfig &config, int num_contexts);
+
+    const SpConfig &config() const { return config_; }
+    const dtt::ThreadQueue &tokenQueue() const { return st_->queue; }
+
+    // ----- lifecycle --------------------------------------------------
+    void reset() override;
+
+    // ----- commit-time events -----------------------------------------
+    void tregCommit(TriggerId t, std::uint64_t entry_pc) override;
+    void tunregCommit(TriggerId t) override;
+    void tclrCommit(TriggerId t) override;
+    bool tstoreCommit(TriggerId t, Addr addr, std::uint64_t value,
+                      bool silent) override;
+    void tstoreDone(TriggerId t) override;
+    void tretCommit(CtxId ctx) override;
+
+    // ----- fetch-time events ------------------------------------------
+    void tstoreFetched(TriggerId t) override;
+    bool waitSatisfied(TriggerId t) const override;
+    std::int64_t chk(TriggerId t) const override;
+
+    // ----- cycle hook --------------------------------------------------
+    void tick() override;
+
+    // ----- fault interaction -------------------------------------------
+    void threadSquashed(CtxId ctx, Addr addr,
+                        std::uint64_t value) override;
+
+  private:
+    /** The resettable machine state (reset() reconstructs it). */
+    struct State
+    {
+        State(const SpConfig &config, int num_contexts)
+            : registry(config.maxTriggers),
+              queue(config.tokenQueueSize, /*coalesce=*/false),
+              status(config.maxTriggers, num_contexts)
+        {
+        }
+        dtt::ThreadRegistry registry;
+        dtt::ThreadQueue queue;
+        dtt::ThreadStatusTable status;
+    };
+
+    SpConfig config_;
+    int numContexts_;
+    std::unique_ptr<State> st_;
+};
+
+} // namespace dttsim::sp

@@ -1,0 +1,56 @@
+#include "cpu/accelerator.h"
+
+#include "common/log.h"
+
+namespace dttsim::cpu {
+
+const char *
+accelKindName(AccelKind k)
+{
+    switch (k) {
+    case AccelKind::None: return "none";
+    case AccelKind::Dtt: return "dtt";
+    case AccelKind::Sp: return "sp";
+    case AccelKind::Reuse: return "reuse";
+    }
+    return "?";
+}
+
+std::optional<AccelKind>
+accelKindFromName(const std::string &name)
+{
+    for (AccelKind k : {AccelKind::None, AccelKind::Dtt, AccelKind::Sp,
+                        AccelKind::Reuse})
+        if (name == accelKindName(k))
+            return k;
+    return std::nullopt;
+}
+
+void
+Accelerator::attach(AccelPort &port)
+{
+    if (port_ == &port)
+        return;  // idempotent re-attach
+    if (port_ != nullptr)
+        fatal("%s accelerator already attached to another core; "
+              "construct one accelerator per core",
+              accelKindName(kind_));
+    port_ = &port;
+}
+
+void
+Accelerator::reset()
+{
+    stats_.reset();
+}
+
+AccelPort &
+Accelerator::port() const
+{
+    if (port_ == nullptr)
+        panic("%s accelerator used before attach()",
+              accelKindName(kind_));
+    return *port_;
+}
+
+} // namespace dttsim::cpu

@@ -1,0 +1,245 @@
+#pragma once
+
+/**
+ * @file
+ * The pluggable accelerator interface of the timing core. A core owns
+ * at most one Accelerator; the paper's DTT control unit is the first
+ * implementation (accel::DttAccel), with speculative-precomputation
+ * (sp::PrecomputeUnit) and computation-reuse (reuse::ReuseUnit)
+ * siblings behind the same API (docs/ACCELERATORS.md).
+ *
+ * The split of responsibilities:
+ *
+ *  - the *core* keeps everything that touches pipeline state: fetch,
+ *    context setup on spawn (startThread), squash/rollback mechanics,
+ *    and the commit loop;
+ *  - the *accelerator* keeps the policy: what a triggering store
+ *    means, when a helper thread spawns, what TWAIT/TCHK read, and
+ *    which fault sites apply to it.
+ *
+ * Every hook has a default that reproduces the accelerator-less
+ * (baseline) machine, so a null Accelerator* and AccelKind::None are
+ * the same machine by construction.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/reuse_buffer.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace dttsim::sim {
+class FaultPlan;
+} // namespace dttsim::sim
+
+namespace dttsim::cpu {
+
+class CommitObserver;
+
+/** Which accelerator a machine carries. Part of SimConfig and of the
+ *  engine job digest (a DTT result must never be cache-shared with an
+ *  SP or reuse result). */
+enum class AccelKind : std::uint8_t {
+    None,   ///< baseline: DTT opcodes are no-ops, no helper threads
+    Dtt,    ///< data-triggered threads (Tseng & Tullsen, HPCA'11)
+    Sp,     ///< speculative-precomputation helper threads (token based)
+    Reuse,  ///< computation-reuse unit (ReuseSense-style)
+};
+
+/** Stable lowercase name: "none", "dtt", "sp", "reuse". */
+const char *accelKindName(AccelKind k);
+
+/** Inverse of accelKindName(); nullopt for an unknown name. */
+std::optional<AccelKind> accelKindFromName(const std::string &name);
+
+/**
+ * What an accelerator may ask of the core it is attached to.
+ * Implemented by cpu::OooCore. The port deliberately exposes spawn
+ * mechanics only: an accelerator can place a helper thread on a free
+ * context, but squash/rollback stays core-side (the core owns the
+ * store-undo journal).
+ */
+class AccelPort
+{
+  public:
+    virtual ~AccelPort() = default;
+
+    /** Current core cycle. */
+    virtual Cycle now() const = 0;
+
+    /** Hardware contexts (context 0 is the main thread). */
+    virtual int numContexts() const = 0;
+
+    /** Context @p ctx (1..numContexts-1) is idle and not reserved by
+     *  a co-runner, i.e. available for a helper thread. */
+    virtual bool contextFree(CtxId ctx) const = 0;
+
+    /**
+     * Place a helper thread on free context @p ctx: architectural
+     * reset to @p entry_pc with (a0, a1) = (@p addr, @p value), fetch
+     * eligible after @p spawn_latency cycles. The core records
+     * (@p trig, @p addr, @p value) as spawn provenance so a fault
+     * squash can report the work item back via
+     * Accelerator::threadSquashed().
+     */
+    virtual void startThread(CtxId ctx, TriggerId trig,
+                             std::uint64_t entry_pc, Addr addr,
+                             std::uint64_t value,
+                             Cycle spawn_latency) = 0;
+
+    /** Static instruction count of the loaded program (reuse-buffer
+     *  sizing). */
+    virtual std::size_t programSize() const = 0;
+};
+
+/**
+ * One accelerator attached to the core. Lifecycle: construct from its
+ * config block, attach() (the core constructor does this), run;
+ * reset() returns it to the just-constructed state so one instance
+ * can serve several runs in tests.
+ *
+ * Event defaults are the baseline machine: triggering stores never
+ * stall or fire, TWAIT never blocks, TCHK reads 0, no thread ever
+ * spawns, no fetch probe is served.
+ */
+class Accelerator
+{
+  public:
+    Accelerator(AccelKind kind, const char *stat_group)
+        : kind_(kind), stats_(stat_group)
+    {
+    }
+    virtual ~Accelerator() = default;
+
+    AccelKind kind() const { return kind_; }
+
+    // ----- lifecycle --------------------------------------------------
+    /**
+     * Bind to the core. Called by the core constructor. Re-attaching
+     * the same port is a no-op (idempotent); attaching a second port
+     * is a fatal error — construct one accelerator per core.
+     */
+    virtual void attach(AccelPort &port);
+
+    /** Return to the just-constructed state (registries, queues and
+     *  stats cleared; port binding and fault plan kept). */
+    virtual void reset();
+
+    // ----- commit-time events from the core ---------------------------
+    /** TREG committed: register handler @p entry_pc for @p t. */
+    virtual void tregCommit(TriggerId t, std::uint64_t entry_pc)
+    {
+        (void)t; (void)entry_pc;
+    }
+
+    /** TUNREG committed. */
+    virtual void tunregCommit(TriggerId t) { (void)t; }
+
+    /** TCLR committed: clear @p t's sticky overflow flag. */
+    virtual void tclrCommit(TriggerId t) { (void)t; }
+
+    /**
+     * A triggering store committed. @p silent means the store did not
+     * change memory. @return true to stall the commit (the core
+     * retries the same store next cycle); on any non-stall outcome
+     * the accelerator must also retire the in-flight tstore it saw at
+     * tstoreFetched().
+     */
+    virtual bool tstoreCommit(TriggerId t, Addr addr,
+                              std::uint64_t value, bool silent)
+    {
+        (void)t; (void)addr; (void)value; (void)silent;
+        return false;
+    }
+
+    /** An in-flight tstore left the pipeline without committing (the
+     *  core squashed its context). */
+    virtual void tstoreDone(TriggerId t) { (void)t; }
+
+    /** TRET committed on @p ctx: the helper thread finished. */
+    virtual void tretCommit(CtxId ctx) { (void)ctx; }
+
+    // Plain load/instruction commit events are delivered through the
+    // core's CommitObserver fan-out (commitObserver() below), not as
+    // virtuals here: an accelerator that does not observe the commit
+    // stream must not pay a call per retired instruction.
+
+    // ----- fetch-time events ------------------------------------------
+    /** A tstore for @p t entered the pipeline. */
+    virtual void tstoreFetched(TriggerId t) { (void)t; }
+
+    /** TWAIT condition for @p t (true: do not block fetch). */
+    virtual bool waitSatisfied(TriggerId t) const
+    {
+        (void)t;
+        return true;
+    }
+
+    /** TCHK value for @p t (bit 62: sticky overflow flag). */
+    virtual std::int64_t chk(TriggerId t) const
+    {
+        (void)t;
+        return 0;
+    }
+
+    /**
+     * Accelerator wants a ReuseProbe for every reuse-eligible fetched
+     * instruction. Queried once at attach time and cached by the core
+     * — the answer must not change over a run.
+     */
+    virtual bool wantsFetchProbe() const { return false; }
+
+    /** Serve a fetch probe; true means the instruction's execution is
+     *  bypassed (reuse hit: 1-cycle ALU-slot issue, no D-cache
+     *  access). Only called when wantsFetchProbe(). */
+    virtual bool fetchProbe(std::uint64_t pc, const ReuseProbe &probe)
+    {
+        (void)pc; (void)probe;
+        return false;
+    }
+
+    // ----- cycle hook --------------------------------------------------
+    /** Called once per core cycle in the spawn stage: occupy free SMT
+     *  contexts via AccelPort::startThread(). */
+    virtual void tick() {}
+
+    // ----- fault interaction -------------------------------------------
+    /**
+     * A fault squashed the helper thread on @p ctx before TRET. The
+     * core already rolled the thread's stores back; (@p addr,
+     * @p value) is the spawn's work item, so a lossless accelerator
+     * requeues it here.
+     */
+    virtual void threadSquashed(CtxId ctx, Addr addr,
+                                std::uint64_t value)
+    {
+        (void)ctx; (void)addr; (void)value;
+    }
+
+    /** Attach the simulation's fault plan (null: no injection). */
+    virtual void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
+    // ----- reporting ----------------------------------------------------
+    /** Commit-stream observer to register with the core's fan-out
+     *  list, or null. Queried once at simulator construction. */
+    virtual CommitObserver *commitObserver() { return nullptr; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  protected:
+    /** The bound core; fatal if called before attach(). */
+    AccelPort &port() const;
+
+    sim::FaultPlan *plan() const { return plan_; }
+
+  private:
+    AccelKind kind_;
+    AccelPort *port_ = nullptr;
+    sim::FaultPlan *plan_ = nullptr;
+    StatGroup stats_;
+};
+
+} // namespace dttsim::cpu

@@ -24,18 +24,17 @@ fpBits(double d)
 } // namespace
 
 OooCore::OooCore(const CoreConfig &config, const isa::Program &prog,
-                 mem::Hierarchy &hierarchy,
-                 dtt::DttController *controller)
+                 mem::Hierarchy &hierarchy, Accelerator *accel)
     : config_(config),
       prog_(prog),
       hierarchy_(hierarchy),
-      controller_(controller),
+      accel_(accel),
       bpred_([&] {
           BpredConfig b = config.bpred;
           b.numContexts = config.numContexts;
           return b;
       }()),
-      fetchHooks_(controller),
+      fetchHooks_(accel),
       ctxs_(static_cast<std::size_t>(config.numContexts)),
       wheel_(kWheelSize),
       stats_("core")
@@ -45,6 +44,11 @@ OooCore::OooCore(const CoreConfig &config, const isa::Program &prog,
     if (config_.reuseBuffer)
         reuse_ = std::make_unique<ReuseBufferSet>(
             prog_.size(), config_.reuseEntriesPerPc);
+    if (accel_ != nullptr) {
+        accel_->attach(*this);
+        // Legacy in-core reuse buffer wins when both are configured.
+        accelProbe_ = reuse_ == nullptr && accel_->wantsFetchProbe();
+    }
     loadData(prog_, memory_);
     CtxState &main = ctxs_[0];
     main.active = true;
@@ -64,7 +68,6 @@ OooCore::OooCore(const CoreConfig &config, const isa::Program &prog,
     cntSpawns_ = &stats_.counter("spawns");
     cntReused_ = &stats_.counter("reusedInsts");
     cntCoRunnerCommitted_ = &stats_.counter("coRunnerCommitted");
-    stats_.counter("faultDeniedSpawnCycles");
     stats_.counter("faultSquashedThreads");
 
     decoded_ = decodeProgram(prog_);
@@ -221,40 +224,38 @@ OooCore::doCommit()
                 break;
             const isa::Inst &inst = di.info.inst;
 
-            if (di.info.isTstore && controller_) {
-                auto outcome = controller_->onTstoreCommit(
-                    inst.trig, di.info.mem.addr, di.info.mem.value,
-                    di.info.silent);
-                if (outcome == dtt::TstoreOutcome::Stall) {
+            if (di.info.isTstore && accel_) {
+                if (accel_->tstoreCommit(inst.trig, di.info.mem.addr,
+                                         di.info.mem.value,
+                                         di.info.silent)) {
                     ++*cntTstoreStalls_;
                     traceEvent("TQS", di, "thread queue full");
                     break;  // retry next cycle
                 }
-                controller_->onTstoreDone(inst.trig);
             }
             if (di.info.mem.valid && !di.info.mem.isLoad)
                 hierarchy_.accessData(di.info.mem.addr, true, now_);
 
             switch (inst.op) {
               case isa::Opcode::TREG:
-                if (controller_)
-                    controller_->onTregCommit(
+                if (accel_)
+                    accel_->tregCommit(
                         inst.trig,
                         static_cast<std::uint64_t>(inst.imm));
                 break;
               case isa::Opcode::TUNREG:
-                if (controller_)
-                    controller_->onTunregCommit(inst.trig);
+                if (accel_)
+                    accel_->tunregCommit(inst.trig);
                 break;
               case isa::Opcode::TCLR:
-                if (controller_)
-                    controller_->onTclrCommit(inst.trig);
+                if (accel_)
+                    accel_->tclrCommit(inst.trig);
                 break;
               case isa::Opcode::TRET:
                 if (ci == 0)
                     fatal("TRET committed by the main thread");
-                if (controller_)
-                    controller_->onTretCommit(static_cast<CtxId>(ci));
+                if (accel_)
+                    accel_->tretCommit(static_cast<CtxId>(ci));
                 break;
               case isa::Opcode::HALT:
                 if (ci == 0) {
@@ -271,9 +272,9 @@ OooCore::doCommit()
                 break;
             }
 
-            if (commitObserver_ != nullptr)
-                commitObserver_->onCommit(di.info,
-                                          static_cast<CtxId>(ci));
+            if (!commitObservers_.empty())
+                for (CommitObserver *obs : commitObservers_)
+                    obs->onCommit(di.info, static_cast<CtxId>(ci));
 
             releaseCommittedWriter(c, di);
             bool was_load = di.info.mem.valid && di.info.mem.isLoad;
@@ -435,62 +436,53 @@ OooCore::linkDependencies(CtxState &c, DynInst &di)
         c.lastWriter[d.destFp ? 1 : 0][d.destIdx] = &di;
 }
 
-void
-OooCore::doSpawn()
+bool
+OooCore::contextFree(CtxId ctx) const
 {
-    if (controller_ == nullptr)
-        return;
-    // Transparent fault: the spawn arbiter denies every context
-    // allocation this cycle; pending threads just wait a cycle
-    // longer. At rate 1.0 this starves the queue outright (the
-    // watchdog's Deadlock case).
-    if (plan_ != nullptr && !controller_->queue().empty()
-        && plan_->inject(sim::FaultSite::DenySpawn)) {
-        ++stats_.counter("faultDeniedSpawnCycles");
-        return;
+    const CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+    return !c.active && !c.isCoRunner;
+}
+
+void
+OooCore::startThread(CtxId ctx, TriggerId trig, std::uint64_t entry_pc,
+                     Addr addr, std::uint64_t value, Cycle spawn_latency)
+{
+    CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
+    if (c.active || c.isCoRunner)
+        panic("startThread on occupied context %d", ctx);
+    c.active = true;
+    c.fetchStopped = false;
+    c.fetchBlockedOnBranch = false;
+    c.twaitBlocked = false;
+    c.curFetchLine = ~0ull;
+    c.arch.reset(entry_pc, stackFor(ctx));
+    c.arch.setX(10, addr);   // a0
+    c.arch.setX(11, value);  // a1
+    c.fetchReady = now_ + spawn_latency;
+    std::fill(&c.lastWriter[0][0], &c.lastWriter[0][0] + 64,
+              nullptr);
+    bpred_.resetContext(ctx);
+    // Remember the work item so a fault squash can requeue it.
+    c.spawnTrig = trig;
+    c.spawnAddr = addr;
+    c.spawnValue = value;
+    c.squashArmed = false;
+    c.undoLog.clear();
+    if (plan_ != nullptr
+        && plan_->inject(sim::FaultSite::SquashThread)) {
+        c.squashArmed = true;
+        c.squashAt = c.fetchReady + plan_->squashDelay();
     }
-    for (int ctx = 1; ctx < config_.numContexts; ++ctx) {
-        CtxState &c = ctxs_[static_cast<std::size_t>(ctx)];
-        if (c.active || c.isCoRunner)
-            continue;
-        dtt::SpawnRequest req = controller_->takeSpawn();
-        if (!req.valid)
-            return;
-        c.active = true;
-        c.fetchStopped = false;
-        c.fetchBlockedOnBranch = false;
-        c.twaitBlocked = false;
-        c.curFetchLine = ~0ull;
-        c.arch.reset(req.entryPc, stackFor(ctx));
-        c.arch.setX(10, req.addr);   // a0
-        c.arch.setX(11, req.value);  // a1
-        c.fetchReady = now_ + controller_->config().spawnLatency;
-        std::fill(&c.lastWriter[0][0], &c.lastWriter[0][0] + 64,
-                  nullptr);
-        bpred_.resetContext(ctx);
-        controller_->onSpawned(req.trig, ctx);
-        // Remember the work item so a fault squash can requeue it.
-        c.spawnTrig = req.trig;
-        c.spawnAddr = req.addr;
-        c.spawnValue = req.value;
-        c.squashArmed = false;
-        c.undoLog.clear();
-        if (plan_ != nullptr
-            && plan_->inject(sim::FaultSite::SquashThread)) {
-            c.squashArmed = true;
-            c.squashAt = c.fetchReady + plan_->squashDelay();
-        }
-        if (trace_ != nullptr)
-            std::fprintf(trace_,
-                         "%8llu SPW c%d trigger %d entry %llu"
-                         " addr 0x%llx\n",
-                         static_cast<unsigned long long>(now_), ctx,
-                         req.trig,
-                         static_cast<unsigned long long>(req.entryPc),
-                         static_cast<unsigned long long>(req.addr));
-        ++dttSpawns_;
-        ++*cntSpawns_;
-    }
+    if (trace_ != nullptr)
+        std::fprintf(trace_,
+                     "%8llu SPW c%d trigger %d entry %llu"
+                     " addr 0x%llx\n",
+                     static_cast<unsigned long long>(now_), ctx,
+                     trig,
+                     static_cast<unsigned long long>(entry_pc),
+                     static_cast<unsigned long long>(addr));
+    ++dttSpawns_;
+    ++*cntSpawns_;
 }
 
 void
@@ -504,7 +496,7 @@ OooCore::doFetch()
         if (!c.active || c.fetchStopped || c.fetchBlockedOnBranch)
             continue;
         if (c.twaitBlocked) {
-            if (controller_ && controller_->waitSatisfied(c.twaitTrig))
+            if (accel_ && accel_->waitSatisfied(c.twaitTrig))
                 c.twaitBlocked = false;
             else
                 continue;
@@ -559,16 +551,18 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
 
         const isa::Inst &inst = prog_.at(pc);
         const DecodedInst &dec = decoded_[pc];
-        if (dec.isTwait && controller_
-            && !controller_->waitSatisfied(inst.trig)) {
+        if (dec.isTwait && accel_
+            && !accel_->waitSatisfied(inst.trig)) {
             c.twaitBlocked = true;
             c.twaitTrig = inst.trig;
             return;
         }
 
-        // Hardware-reuse machine: capture source values pre-execute.
+        // Hardware-reuse machine (in-core buffer or reuse-unit
+        // accelerator): capture source values pre-execute.
         ReuseProbe probe;
-        bool try_reuse = reuse_ != nullptr && dec.reuseEligible;
+        bool try_reuse =
+            (reuse_ != nullptr || accelProbe_) && dec.reuseEligible;
         if (try_reuse) {
             for (int s = 0; s < dec.numSrc; ++s)
                 probe.src[probe.numSrc++] = dec.src[s].fp
@@ -589,7 +583,9 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
             probe.hasMem = info.mem.valid;
             probe.addr = info.mem.addr;
             probe.memValue = info.mem.value;
-            di.reused = reuse_->lookupInsert(pc, probe);
+            di.reused = reuse_ != nullptr
+                ? reuse_->lookupInsert(pc, probe)
+                : accel_->fetchProbe(pc, probe);
             if (di.reused)
                 ++*cntReused_;
         }
@@ -602,8 +598,8 @@ OooCore::fetchFrom(CtxId ctx, int &budget)
             c.undoLog.push_back(StoreUndo{
                 info.mem.addr, info.mem.size, info.mem.oldValue});
 
-        if (info.isTstore && controller_)
-            controller_->onTstoreFetched(inst.trig);
+        if (info.isTstore && accel_)
+            accel_->tstoreFetched(inst.trig);
 
         bool mispredicted = false;
         if (info.isControl) {
@@ -670,16 +666,16 @@ OooCore::squashContext(CtxId ctx)
     // Balance the fetch-time inflight count of every uncommitted
     // triggering store, or TWAIT would wait on it forever. This
     // covers a commit-stalled tstore at the ROB head too.
-    if (controller_ != nullptr) {
+    if (accel_ != nullptr) {
         for (std::size_t i = 0; i < c.frontend.size(); ++i) {
             const DynInst &di = *c.frontend.at(i);
             if (di.info.isTstore)
-                controller_->onTstoreDone(di.info.inst.trig);
+                accel_->tstoreDone(di.info.inst.trig);
         }
         for (std::size_t i = 0; i < c.rob.size(); ++i) {
             const DynInst &di = *c.rob.at(i);
             if (di.info.isTstore)
-                controller_->onTstoreDone(di.info.inst.trig);
+                accel_->tstoreDone(di.info.inst.trig);
         }
     }
     // Purge the context's instructions from the shared structures
@@ -712,8 +708,8 @@ OooCore::squashContext(CtxId ctx)
                      static_cast<unsigned long long>(now_), ctx,
                      c.spawnTrig);
     ++stats_.counter("faultSquashedThreads");
-    if (controller_ != nullptr)
-        controller_->onThreadSquashed(ctx, c.spawnAddr, c.spawnValue);
+    if (accel_ != nullptr)
+        accel_->threadSquashed(ctx, c.spawnAddr, c.spawnValue);
 }
 
 void
@@ -728,7 +724,8 @@ OooCore::tick()
     doCommit();
     doIssue();
     doDispatch();
-    doSpawn();
+    if (accel_ != nullptr)
+        accel_->tick();
     doFetch();
     if (ctxs_[0].twaitBlocked)
         ++*cntTwaitStalls_;

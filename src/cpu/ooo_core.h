@@ -3,8 +3,9 @@
 /**
  * @file
  * Cycle-level SMT out-of-order core. Context 0 runs the main thread;
- * contexts 1..N-1 are spawned on demand by the DttController with
- * pending data-triggered threads. The model:
+ * contexts 1..N-1 are occupied on demand by the attached accelerator
+ * (cpu/accelerator.h) with pending helper threads — data-triggered
+ * threads on the DTT machine. The model:
  *
  *  - ICOUNT fetch policy over active contexts, I-cache timing, gshare
  *    branch prediction (mispredicted branches stall the context's
@@ -15,9 +16,10 @@
  *    separately through dispatch/issue/commit resource accounting;
  *  - shared ROB/IQ/LQ/SQ occupancy, pooled functional units, loads
  *    probe the data cache at issue, stores write it at commit;
- *  - DTT semantics: triggering stores evaluate their trigger at
- *    commit (silent-store suppression), TWAIT gates fetch of the
- *    waiting context, TRET frees the context at commit.
+ *  - accelerator semantics: triggering stores evaluate their trigger
+ *    at commit (the accelerator may stall the commit), TWAIT gates
+ *    fetch of the waiting context on the accelerator's wait
+ *    condition, TRET frees the context at commit.
  */
 
 #include <cstdint>
@@ -31,7 +33,7 @@
 #include "common/reuse_buffer.h"
 #include "common/stats.h"
 #include "common/types.h"
-#include "core/controller.h"
+#include "cpu/accelerator.h"
 #include "cpu/arch_state.h"
 #include "cpu/bpred.h"
 #include "cpu/core_config.h"
@@ -87,19 +89,20 @@ struct CoreRunResult
 };
 
 /** The SMT out-of-order timing core. */
-class OooCore
+class OooCore : public AccelPort
 {
   public:
     /**
      * @param config core parameters.
      * @param prog program image (shared text for all contexts).
      * @param hierarchy cache timing model.
-     * @param controller DTT control unit (may be null to run the
+     * @param accel the attached accelerator (may be null to run the
      *        program as a plain single/multi-context core; DTT
-     *        opcodes then behave as no-ops and never trigger).
+     *        opcodes then behave as no-ops and never trigger). The
+     *        constructor calls accel->attach(*this).
      */
     OooCore(const CoreConfig &config, const isa::Program &prog,
-            mem::Hierarchy &hierarchy, dtt::DttController *controller);
+            mem::Hierarchy &hierarchy, Accelerator *accel);
 
     /** Run until the main thread halts or @p max_cycles elapse. */
     CoreRunResult run(Cycle max_cycles = 1ull << 40);
@@ -117,8 +120,16 @@ class OooCore
     void tick();
 
     bool halted() const { return halted_; }
-    Cycle now() const { return now_; }
     mem::Memory &memory() { return memory_; }
+
+    // ----- AccelPort (the accelerator's view of this core) ----------
+    Cycle now() const override { return now_; }
+    int numContexts() const override { return config_.numContexts; }
+    bool contextFree(CtxId ctx) const override;
+    void startThread(CtxId ctx, TriggerId trig, std::uint64_t entry_pc,
+                     Addr addr, std::uint64_t value,
+                     Cycle spawn_latency) override;
+    std::size_t programSize() const override { return prog_.size(); }
 
     /**
      * Enable a per-event pipeline trace (fetch/dispatch/issue/
@@ -140,14 +151,17 @@ class OooCore
     void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
 
     /**
-     * Attach a commit-time observer (null: detach). Called for every
-     * retired instruction in per-context program order; costs one
-     * predictable branch per commit when detached, so the default
-     * path stays byte-identical in timing and results.
+     * Append a commit-time observer to the fan-out list (null is
+     * ignored). Each observer is called for every retired instruction
+     * in per-context program order, in registration order; with the
+     * list empty the commit loop costs one predictable branch per
+     * commit, so the default path stays byte-identical in timing and
+     * results.
      */
-    void setCommitObserver(CommitObserver *obs)
+    void addCommitObserver(CommitObserver *obs)
     {
-        commitObserver_ = obs;
+        if (obs != nullptr)
+            commitObservers_.push_back(obs);
     }
 
   private:
@@ -201,14 +215,14 @@ class OooCore
     void doCommit();
     void doIssue();
     void doDispatch();
-    void doSpawn();
     void doFetch();
     /** Execute fault squashes whose delay elapsed this cycle. */
     void applyFaultSquashes();
-    /** Kill the DTT thread on @p ctx mid-flight: roll back its
+    /** Kill the helper thread on @p ctx mid-flight: roll back its
      *  journaled stores (the discarded store buffer), purge its
-     *  instructions, and requeue its work item with the controller
-     *  so the handler re-runs from the pre-spawn memory state. */
+     *  instructions, and report the work item to the accelerator so
+     *  a lossless one requeues it and the handler re-runs from the
+     *  pre-spawn memory state. */
     void squashContext(CtxId ctx);
     void fetchFrom(CtxId ctx, int &budget);
     int icount(const CtxState &c) const;
@@ -223,29 +237,33 @@ class OooCore
     /** Return a retired/squashed DynInst to the arena. */
     void freeInst(DynInst *di) { freeInsts_.push_back(di); }
 
-    /** Fetch-time hook adapter: only TCHK reads the controller; all
+    /** Fetch-time hook adapter: only TCHK reads the accelerator; all
      *  state-changing DTT events are deferred to commit. */
     class FetchHooks : public DttHooks
     {
       public:
-        explicit FetchHooks(dtt::DttController *ctrl) : ctrl_(ctrl) {}
+        explicit FetchHooks(Accelerator *accel) : accel_(accel) {}
         std::int64_t
         chk(TriggerId t) override
         {
-            return ctrl_ ? ctrl_->chk(t) : 0;
+            return accel_ ? accel_->chk(t) : 0;
         }
       private:
-        dtt::DttController *ctrl_;
+        Accelerator *accel_;
     };
 
     CoreConfig config_;
     const isa::Program &prog_;
     mem::Hierarchy &hierarchy_;
-    dtt::DttController *controller_;
+    Accelerator *accel_;
     mem::Memory memory_;
     Bpred bpred_;
     FetchHooks fetchHooks_;
     std::unique_ptr<ReuseBufferSet> reuse_;  ///< null unless enabled
+    /** accel_ wants a fetch probe per reuse-eligible instruction
+     *  (cached at construction; the legacy in-core reuse_ buffer
+     *  takes precedence when both are configured). */
+    bool accelProbe_ = false;
 
     std::vector<CtxState> ctxs_;
     std::vector<DynInst *> iq_;     ///< dispatch order
@@ -299,7 +317,7 @@ class OooCore
     Counter *cntSpawns_ = nullptr;
     Counter *cntReused_ = nullptr;
     sim::FaultPlan *plan_ = nullptr;
-    CommitObserver *commitObserver_ = nullptr;
+    std::vector<CommitObserver *> commitObservers_;
     bool deadlocked_ = false;
     std::string deadlockDetail_;
 };

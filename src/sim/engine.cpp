@@ -100,7 +100,16 @@ hashConfig(Fnv1a &h, const SimConfig &cfg)
     h.pod(d.serializePerTrigger);
     h.pod(d.spawnLatency);
 
-    h.pod(cfg.enableDtt);
+    const sp::SpConfig &s = cfg.sp;
+    h.pod(s.maxTriggers);
+    h.pod(s.tokenQueueSize);
+    h.pod(s.skipWhenBusy);
+    h.pod(s.serializePerTrigger);
+    h.pod(s.spawnLatency);
+
+    h.pod(cfg.reuse.entriesPerPc);
+
+    h.pod(cfg.accel);
     h.pod(cfg.maxCycles);
 
     h.pod(cfg.fault.seed);
@@ -460,6 +469,7 @@ Engine::run(const std::vector<SimJob> &jobs)
         results[i] = rep;
         results[i].workload = jobs[i].workload;
         results[i].variant = jobs[i].variant;
+        results[i].accel = cpu::accelKindName(jobs[i].config.accel);
         results[i].digest = digests[i];
         results[i].deduplicated = representative[i] != i;
     }
@@ -575,7 +585,7 @@ resultFromJson(const json::Value &v)
 json::Value
 jobResultToJson(const JobResult &jr)
 {
-    // Schema v2. Deliberately free of wall-clock measurements: the
+    // Schema v3. Deliberately free of wall-clock measurements: the
     // emitted document is a pure function of the submitted jobs, so
     // a resumed sweep's merged output is byte-identical to an
     // uninterrupted run's (timings live in the result cache and the
@@ -583,6 +593,7 @@ jobResultToJson(const JobResult &jr)
     json::Value v = json::Value::object();
     v.set("workload", json::Value(jr.workload));
     v.set("variant", json::Value(jr.variant));
+    v.set("accel", json::Value(jr.accel));
     v.set("config_digest", json::Value(jr.digest));
     v.set("deduplicated", json::Value(jr.deduplicated));
     v.set("status",

@@ -44,8 +44,11 @@ namespace dttsim::sim {
 
 class ResultStore;
 
-/** Version of the JSON record schema emitted for JobResults. */
-inline constexpr int kResultsSchemaVersion = 2;
+/** Version of the JSON record schema emitted for JobResults.
+ *  v3 added the per-record "accel" field (cpu::accelKindName of the
+ *  job's SimConfig::accel); tools/check_results_json still accepts
+ *  archived v2 documents, where the field is absent. */
+inline constexpr int kResultsSchemaVersion = 3;
 
 /** One experiment: a machine configuration plus a program to run. */
 struct SimJob
@@ -111,6 +114,8 @@ struct JobResult
 {
     std::string workload;
     std::string variant;
+    /** Accelerator name of the job's machine (accelKindName). */
+    std::string accel;
     /** 16-hex-digit fingerprint of (config, program, co-runners). */
     std::string digest;
     SimResult result;

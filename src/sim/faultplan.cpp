@@ -37,6 +37,8 @@ faultSiteName(FaultSite s)
       case FaultSite::DenySpawn: return "deny-spawn";
       case FaultSite::SquashThread: return "squash-thread";
       case FaultSite::SpuriousCoalesce: return "spurious-coalesce";
+      case FaultSite::DropToken: return "drop-token";
+      case FaultSite::FlushReuseTable: return "flush-reuse-table";
       case FaultSite::NumSites: break;
     }
     return "?";

@@ -51,6 +51,11 @@ enum class FaultSite : std::uint8_t {
     SpuriousCoalesce, ///< transparent: force-coalesce a duplicate
                       ///  (trigger, address) firing even when the
                       ///  machine config disabled coalescing
+    DropToken,        ///< lossy: discard an SP slice token at tstore
+                      ///  commit (sp::PrecomputeUnit only)
+    FlushReuseTable,  ///< transparent: invalidate the reuse unit's
+                      ///  whole table on a hit, forcing re-execution
+                      ///  (reuse::ReuseUnit only; timing-only)
 
     NumSites,
 };
@@ -65,16 +70,21 @@ faultSiteBit(FaultSite s)
     return 1u << static_cast<unsigned>(s);
 }
 
-/** Sites safe for any well-formed DTT program (no fallback needed). */
+/** Sites safe for any well-formed DTT program (no fallback needed).
+ *  FlushReuseTable is transparent by construction: a reuse hit only
+ *  short-circuits timing, never architectural state, so flushing the
+ *  table merely costs cycles. */
 inline constexpr std::uint32_t kTransparentSites =
     faultSiteBit(FaultSite::DenySpawn)
     | faultSiteBit(FaultSite::SquashThread)
-    | faultSiteBit(FaultSite::SpuriousCoalesce);
+    | faultSiteBit(FaultSite::SpuriousCoalesce)
+    | faultSiteBit(FaultSite::FlushReuseTable);
 
 /** Sites that discard work; require the TCHK/TCLR fallback idiom. */
 inline constexpr std::uint32_t kLossySites =
     faultSiteBit(FaultSite::DropFiring)
-    | faultSiteBit(FaultSite::EvictPending);
+    | faultSiteBit(FaultSite::EvictPending)
+    | faultSiteBit(FaultSite::DropToken);
 
 inline constexpr std::uint32_t kAllFaultSites =
     kTransparentSites | kLossySites;

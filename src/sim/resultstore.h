@@ -8,7 +8,7 @@
  *
  * On-disk layout (one directory, default bench/out/cache/):
  *
- *     MANIFEST        {"schema_version": 2, "segments": [...]}
+ *     MANIFEST        {"schema_version": 3, "segments": [...]}
  *     seg-*.jsonl     one JSON record per line, append-only
  *
  * Durability contract:

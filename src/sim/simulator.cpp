@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "accel/dtt_accel.h"
+#include "accel/reuse_unit.h"
+#include "accel/sp_unit.h"
 #include "common/log.h"
 
 namespace dttsim::sim {
@@ -115,20 +118,33 @@ SimConfig::validate() const
                       "fill modeling needs at least one outstanding-"
                       "miss register");
 
-    if (enableDtt) {
+    if (accel == cpu::AccelKind::Dtt) {
         checkPositive(errors, dtt.maxTriggers, "dtt.maxTriggers",
                       "the thread registry must hold at least one "
                       "trigger");
         checkPositive(errors, dtt.threadQueueSize,
                       "dtt.threadQueueSize",
                       "a zero-entry thread queue can never spawn a "
-                      "data-triggered thread (use enableDtt=false "
-                      "for the baseline machine)");
+                      "data-triggered thread (use accel=None for "
+                      "the baseline machine)");
         if (dtt.fullPolicy == dtt::FullQueuePolicy::StallBounded)
             checkPositive(errors, dtt.stallBound, "dtt.stallBound",
                           "a zero bound makes StallBounded an "
                           "ill-defined Drop; use Drop directly");
     }
+    if (accel == cpu::AccelKind::Sp) {
+        checkPositive(errors, sp.maxTriggers, "sp.maxTriggers",
+                      "the slice registry must hold at least one "
+                      "trigger");
+        checkPositive(errors, sp.tokenQueueSize, "sp.tokenQueueSize",
+                      "a zero-entry token queue can never dispatch a "
+                      "precompute slice (use accel=None for the "
+                      "baseline machine)");
+    }
+    if (accel == cpu::AccelKind::Reuse)
+        checkPositive(errors, reuse.entriesPerPc, "reuse.entriesPerPc",
+                      "the reuse unit needs per-PC capacity (use "
+                      "accel=None for the baseline machine)");
 
     if (!(fault.rate >= 0.0 && fault.rate <= 1.0))
         errors.push_back(strfmt(
@@ -139,10 +155,10 @@ SimConfig::validate() const
             "fault.siteMask has unknown site bits 0x%x (valid mask "
             "0x%x)", fault.siteMask & ~kAllFaultSites,
             kAllFaultSites));
-    if (fault.enabled() && !enableDtt)
+    if (fault.enabled() && accel == cpu::AccelKind::None)
         errors.push_back(
-            "fault injection targets the DTT machinery and needs "
-            "enableDtt=true; the baseline machine has no fault "
+            "fault injection targets the accelerator machinery and "
+            "needs accel != None; the baseline machine has no fault "
             "sites");
     return errors;
 }
@@ -151,7 +167,8 @@ std::vector<std::string>
 SimConfig::warnings() const
 {
     std::vector<std::string> out;
-    if (enableDtt && dtt.fullPolicy == dtt::FullQueuePolicy::Stall
+    if (accel == cpu::AccelKind::Dtt
+        && dtt.fullPolicy == dtt::FullQueuePolicy::Stall
         && core.numContexts < 2)
         out.push_back(strfmt(
             "dtt.fullPolicy=stall with core.numContexts=%d: no "
@@ -161,6 +178,21 @@ SimConfig::warnings() const
             "commit-free cycles); use >= 2 contexts or the "
             "stall-bounded/drop policies", core.numContexts,
             static_cast<unsigned long long>(core.watchdogWindow)));
+    if (accel == cpu::AccelKind::Sp && !sp.skipWhenBusy
+        && core.numContexts < 2)
+        out.push_back(strfmt(
+            "accel=sp with core.numContexts=%d: no context can ever "
+            "drain the token queue, so a full queue livelocks the "
+            "committing tstore (the watchdog will end the run with a "
+            "Deadlock halt after %llu commit-free cycles); use >= 2 "
+            "contexts or sp.skipWhenBusy", core.numContexts,
+            static_cast<unsigned long long>(core.watchdogWindow)));
+    if (accel == cpu::AccelKind::Sp && sp.skipWhenBusy)
+        out.push_back(
+            "sp.skipWhenBusy=true skips precompute slices when the "
+            "token queue is full; architectural results are preserved "
+            "only by programs using the software fallback idiom "
+            "(TCHK bit 62 -> inline recompute -> TCLR)");
     return out;
 }
 
@@ -191,20 +223,44 @@ Simulator::Simulator(const SimConfig &config, isa::Program prog)
 {
     for (const std::string &w : config_.warnings())
         warn("%s", w.c_str());
-    if (config_.enableDtt)
-        controller_ = std::make_unique<dtt::DttController>(
+    switch (config_.accel) {
+      case cpu::AccelKind::None:
+        break;
+      case cpu::AccelKind::Dtt: {
+        auto dtt_accel = std::make_unique<accel::DttAccel>(
             config_.dtt, config_.core.numContexts);
+        controller_ = dtt_accel->controller();
+        accel_ = std::move(dtt_accel);
+        break;
+      }
+      case cpu::AccelKind::Sp: {
+        auto sp_unit = std::make_unique<sp::PrecomputeUnit>(
+            config_.sp, config_.core.numContexts);
+        spUnit_ = sp_unit.get();
+        accel_ = std::move(sp_unit);
+        break;
+      }
+      case cpu::AccelKind::Reuse: {
+        auto reuse_unit =
+            std::make_unique<reuse::ReuseUnit>(config_.reuse);
+        reuseUnit_ = reuse_unit.get();
+        accel_ = std::move(reuse_unit);
+        break;
+      }
+    }
     core_ = std::make_unique<cpu::OooCore>(
-        config_.core, prog_, hierarchy_, controller_.get());
+        config_.core, prog_, hierarchy_, accel_.get());
     if (config_.fault.enabled()) {
         plan_ = std::make_unique<FaultPlan>(config_.fault);
-        controller_->setFaultPlan(plan_.get());
+        accel_->setFaultPlan(plan_.get());
         core_->setFaultPlan(plan_.get());
     }
     if (config_.shadowProfile) {
         shadowProf_ = std::make_unique<profile::ShadowProfiler>();
-        core_->setCommitObserver(shadowProf_.get());
+        core_->addCommitObserver(shadowProf_.get());
     }
+    if (accel_ != nullptr)
+        core_->addCommitObserver(accel_->commitObserver());
 }
 
 const analysis::ShadowReport &
@@ -275,7 +331,7 @@ Simulator::run(double wall_deadline_seconds, bool *cancelled)
     r.haltDetail = core_result.detail;
     r.dttSpawns = core_result.dttSpawns;
 
-    if (controller_) {
+    if (controller_ != nullptr) {
         const auto &ds = controller_->stats();
         r.tstores = ds.get("tstores");
         r.silentSuppressed = ds.get("silentSuppressed");
@@ -284,6 +340,18 @@ Simulator::run(double wall_deadline_seconds, bool *cancelled)
         r.dropped = ds.get("dropped");
         r.tqMaxOccupancy =
             controller_->queue().stats().get("maxOccupancy");
+    } else if (spUnit_ != nullptr) {
+        // The token vocabulary maps onto the same record: a token is
+        // a firing, a skipped/fault-dropped slice is a drop. SP has
+        // no silent-store suppression and no coalescing, so those
+        // stay zero.
+        const auto &ss = spUnit_->stats();
+        r.tstores = ss.get("tokens");
+        r.fired = ss.get("enqueued");
+        r.dropped = ss.get("skippedSlices")
+            + ss.get("faultDroppedTokens");
+        r.tqMaxOccupancy =
+            spUnit_->tokenQueue().stats().get("maxOccupancy");
     }
     r.twaitStallCycles = core_->stats().get("twaitStallCycles");
     r.tstoreCommitStalls = core_->stats().get("tstoreCommitStalls");

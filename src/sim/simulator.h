@@ -3,8 +3,10 @@
 /**
  * @file
  * Simulator facade: wires the OOO SMT core, the cache hierarchy and
- * the DTT controller together, runs a program to completion and
- * returns a flat result record the benchmark harness consumes.
+ * the configured accelerator (DTT controller, precompute unit or
+ * reuse unit — docs/ACCELERATORS.md) together, runs a program to
+ * completion and returns a flat result record the benchmark harness
+ * consumes.
  */
 
 #include <cstdint>
@@ -13,15 +15,25 @@
 #include <string>
 #include <vector>
 
+#include "accel/reuse_config.h"
+#include "accel/sp_config.h"
 #include "common/types.h"
 #include "core/controller.h"
 #include "core/dtt_config.h"
+#include "cpu/accelerator.h"
 #include "cpu/core_config.h"
 #include "cpu/ooo_core.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
 #include "profile/shadowprof.h"
 #include "sim/faultplan.h"
+
+namespace dttsim::sp {
+class PrecomputeUnit;
+} // namespace dttsim::sp
+namespace dttsim::reuse {
+class ReuseUnit;
+} // namespace dttsim::reuse
 
 namespace dttsim::sim {
 
@@ -30,12 +42,19 @@ struct SimConfig
 {
     cpu::CoreConfig core;
     mem::HierarchyConfig mem;
+    /** Which accelerator the machine carries. None is the baseline
+     *  machine: no helper threads, triggering stores behave as plain
+     *  stores and the DTT opcodes are no-ops. */
+    cpu::AccelKind accel = cpu::AccelKind::Dtt;
+    /** DTT controller parameters (used only when accel == Dtt). */
     dtt::DttConfig dtt;
-    /** When false, the DTT controller is absent: triggering stores
-     *  behave as plain stores (the baseline machine). */
-    bool enableDtt = true;
+    /** Precompute-unit parameters (used only when accel == Sp). */
+    sp::SpConfig sp;
+    /** Reuse-unit parameters (used only when accel == Reuse). */
+    reuse::ReuseConfig reuse;
     Cycle maxCycles = 1ull << 33;
-    /** Fault injection into the DTT machinery (off by default). */
+    /** Fault injection into the accelerator machinery (off by
+     *  default; requires accel != None). */
     FaultConfig fault;
     /**
      * Attach a shadow-memory redundancy profiler to the core's
@@ -157,8 +176,10 @@ class Simulator
 
     cpu::OooCore &core() { return *core_; }
     mem::Hierarchy &hierarchy() { return hierarchy_; }
-    /** Null when enableDtt is false. */
-    dtt::DttController *controller() { return controller_.get(); }
+    /** The attached accelerator; null when accel == None. */
+    cpu::Accelerator *accelerator() { return accel_.get(); }
+    /** The DTT control unit; null unless accel == Dtt. */
+    dtt::DttController *controller() { return controller_; }
     /** Null unless SimConfig::fault is enabled. */
     const FaultPlan *faultPlan() const { return plan_.get(); }
 
@@ -174,7 +195,12 @@ class Simulator
     bool ran_ = false;
     isa::Program prog_;
     mem::Hierarchy hierarchy_;
-    std::unique_ptr<dtt::DttController> controller_;
+    std::unique_ptr<cpu::Accelerator> accel_;
+    // Typed views into accel_ for stats mapping; at most one is
+    // non-null, matching config_.accel.
+    dtt::DttController *controller_ = nullptr;
+    sp::PrecomputeUnit *spUnit_ = nullptr;
+    reuse::ReuseUnit *reuseUnit_ = nullptr;
     std::unique_ptr<cpu::OooCore> core_;
     std::unique_ptr<FaultPlan> plan_;
     std::unique_ptr<profile::ShadowProfiler> shadowProf_;

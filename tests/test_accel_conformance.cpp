@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Accelerator-interface conformance suite, run against all three
+ * implementations (accel::DttAccel, sp::PrecomputeUnit,
+ * reuse::ReuseUnit):
+ *
+ *  - lifecycle: attach is idempotent on the same port and fatal on a
+ *    second port; reset returns the unit to its just-constructed
+ *    state;
+ *  - determinism: a batch of accelerated jobs produces byte-identical
+ *    results under Engine --jobs 1 and --jobs 8;
+ *  - fault transparency: each accelerator's transparent fault sites
+ *    leave the architectural result untouched at any rate;
+ *  - equivalence pins: the refactored DTT path is byte-identical to
+ *    the golden table (tests/test_golden_digests.cpp runs the full
+ *    table; here we pin run-to-run stability), and the reuse unit is
+ *    byte-identical to the legacy in-core reuse buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "accel/dtt_accel.h"
+#include "accel/reuse_unit.h"
+#include "accel/sp_unit.h"
+#include "common/log.h"
+#include "sim/engine.h"
+#include "sim/faultplan.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim {
+namespace {
+
+workloads::WorkloadParams
+smallParams()
+{
+    workloads::WorkloadParams params;
+    params.iterations = 2;
+    return params;
+}
+
+// ----- a minimal port: what a fourth accelerator's tests would use ----
+
+class FakePort final : public cpu::AccelPort
+{
+  public:
+    struct Spawn
+    {
+        CtxId ctx;
+        TriggerId trig;
+        std::uint64_t entryPc;
+        Addr addr;
+        std::uint64_t value;
+        Cycle latency;
+    };
+
+    Cycle now() const override { return now_; }
+    int numContexts() const override { return 4; }
+
+    bool
+    contextFree(CtxId ctx) const override
+    {
+        return free_[static_cast<std::size_t>(ctx)];
+    }
+
+    void
+    startThread(CtxId ctx, TriggerId trig, std::uint64_t entry_pc,
+                Addr addr, std::uint64_t value,
+                Cycle spawn_latency) override
+    {
+        free_[static_cast<std::size_t>(ctx)] = false;
+        spawns.push_back({ctx, trig, entry_pc, addr, value,
+                          spawn_latency});
+    }
+
+    std::size_t programSize() const override { return 64; }
+
+    void release(CtxId ctx) { free_[static_cast<std::size_t>(ctx)] = true; }
+
+    std::vector<Spawn> spawns;
+    Cycle now_ = 0;
+
+  private:
+    bool free_[4] = {false, true, true, true};  // ctx 0 = main thread
+};
+
+std::vector<std::unique_ptr<cpu::Accelerator>>
+allAccelerators()
+{
+    std::vector<std::unique_ptr<cpu::Accelerator>> v;
+    v.push_back(
+        std::make_unique<accel::DttAccel>(dtt::DttConfig{}, 4));
+    v.push_back(
+        std::make_unique<sp::PrecomputeUnit>(sp::SpConfig{}, 4));
+    v.push_back(
+        std::make_unique<reuse::ReuseUnit>(reuse::ReuseConfig{}));
+    return v;
+}
+
+// ----- naming ---------------------------------------------------------
+
+TEST(AccelKind, NamesRoundTrip)
+{
+    using cpu::AccelKind;
+    for (AccelKind k : {AccelKind::None, AccelKind::Dtt,
+                        AccelKind::Sp, AccelKind::Reuse})
+        EXPECT_EQ(cpu::accelKindFromName(cpu::accelKindName(k)), k);
+    EXPECT_EQ(cpu::accelKindFromName("gpu"), std::nullopt);
+    EXPECT_EQ(cpu::accelKindFromName(""), std::nullopt);
+}
+
+// ----- lifecycle: attach ----------------------------------------------
+
+TEST(AccelConformance, AttachIsIdempotentOnTheSamePort)
+{
+    for (auto &a : allAccelerators()) {
+        FakePort port;
+        a->attach(port);
+        EXPECT_NO_THROW(a->attach(port))
+            << cpu::accelKindName(a->kind());
+    }
+}
+
+TEST(AccelConformance, AttachingASecondPortIsFatal)
+{
+    for (auto &a : allAccelerators()) {
+        FakePort first, second;
+        a->attach(first);
+        EXPECT_THROW(a->attach(second), FatalError)
+            << cpu::accelKindName(a->kind());
+    }
+}
+
+TEST(AccelConformance, PortUseBeforeAttachPanics)
+{
+    // tick() is the first hook that needs the port on every
+    // implementation that spawns; the reuse unit has no spawn loop,
+    // so its unattached tick() is legitimately a no-op.
+    accel::DttAccel dtt(dtt::DttConfig{}, 4);
+    sp::PrecomputeUnit sp(sp::SpConfig{}, 4);
+    dtt.controller()->onTregCommit(0, 0x40);
+    dtt.controller()->onTstoreCommit(0, 0x100, 1, false);
+    sp.tregCommit(0, 0x40);
+    sp.tstoreFetched(0);
+    sp.tstoreCommit(0, 0x100, 1, false);
+    EXPECT_THROW(dtt.tick(), PanicError);
+    EXPECT_THROW(sp.tick(), PanicError);
+}
+
+// ----- lifecycle: reset -----------------------------------------------
+
+TEST(AccelConformance, ResetRestoresConstructedState)
+{
+    // Drive each unit to visibly dirty state through the public event
+    // API, reset, and check the observable state is as-constructed.
+    {
+        accel::DttAccel a(dtt::DttConfig{}, 4);
+        FakePort port;
+        a.attach(port);
+        a.tregCommit(0, 0x40);
+        a.tstoreFetched(0);
+        a.tstoreCommit(0, 0x100, 7, /*silent=*/false);
+        EXPECT_FALSE(a.waitSatisfied(0));
+        EXPECT_NE(a.chk(0), 0);
+        a.reset();
+        EXPECT_TRUE(a.waitSatisfied(0));
+        EXPECT_EQ(a.chk(0), 0);
+        EXPECT_TRUE(a.controller()->queue().empty());
+        a.tick();  // port binding survives reset
+        EXPECT_TRUE(port.spawns.empty());
+    }
+    {
+        sp::PrecomputeUnit a(sp::SpConfig{}, 4);
+        FakePort port;
+        a.attach(port);
+        a.tregCommit(0, 0x40);
+        a.tstoreFetched(0);
+        a.tstoreCommit(0, 0x100, 7, /*silent=*/false);
+        EXPECT_FALSE(a.waitSatisfied(0));
+        EXPECT_EQ(a.tokenQueue().size(), 1);
+        a.reset();
+        EXPECT_TRUE(a.waitSatisfied(0));
+        EXPECT_EQ(a.chk(0), 0);
+        EXPECT_TRUE(a.tokenQueue().empty());
+        EXPECT_EQ(a.stats().counter("tokens").value(), 0u);
+        a.tick();
+        EXPECT_TRUE(port.spawns.empty());
+    }
+    {
+        reuse::ReuseUnit a(reuse::ReuseConfig{});
+        FakePort port;
+        a.attach(port);
+        ReuseProbe probe;
+        probe.numSrc = 1;
+        probe.src[0] = 5;
+        EXPECT_FALSE(a.fetchProbe(3, probe));
+        EXPECT_TRUE(a.fetchProbe(3, probe));  // warmed: hit
+        a.reset();
+        EXPECT_FALSE(a.fetchProbe(3, probe));  // cold again
+        EXPECT_EQ(a.stats().counter("hits").value(), 0u);
+    }
+    {
+        // reset() before attach() must not blow up on any unit.
+        for (auto &a : allAccelerators())
+            EXPECT_NO_THROW(a->reset())
+                << cpu::accelKindName(a->kind());
+    }
+}
+
+// ----- SP unit semantics ----------------------------------------------
+
+TEST(SpUnit, DispatchesTokensAndSerializesPerTrigger)
+{
+    sp::PrecomputeUnit a(sp::SpConfig{}, 4);
+    FakePort port;
+    a.attach(port);
+    a.tregCommit(0, 0x40);
+
+    // Two tokens for one trigger: serialization dispatches one slice
+    // at a time even with three free contexts.
+    for (int i = 0; i < 2; ++i) {
+        a.tstoreFetched(0);
+        EXPECT_FALSE(a.tstoreCommit(0, 0x100 + 8 * i, 1, false));
+    }
+    a.tick();
+    ASSERT_EQ(port.spawns.size(), 1u);
+    EXPECT_EQ(port.spawns[0].ctx, 1);
+    EXPECT_EQ(port.spawns[0].entryPc, 0x40u);
+    EXPECT_EQ(port.spawns[0].addr, 0x100u);
+    a.tick();  // trigger still running: nothing new dispatches
+    EXPECT_EQ(port.spawns.size(), 1u);
+    EXPECT_FALSE(a.waitSatisfied(0));
+
+    a.tretCommit(1);
+    port.release(1);
+    a.tick();
+    ASSERT_EQ(port.spawns.size(), 2u);
+    EXPECT_EQ(port.spawns[1].addr, 0x108u);
+    a.tretCommit(port.spawns[1].ctx);
+    EXPECT_TRUE(a.waitSatisfied(0));
+}
+
+TEST(SpUnit, EveryTokenFiresEvenWhenSilent)
+{
+    // The defining contrast with DTT: no silent-store suppression.
+    sp::PrecomputeUnit a(sp::SpConfig{}, 4);
+    FakePort port;
+    a.attach(port);
+    a.tregCommit(0, 0x40);
+    a.tstoreFetched(0);
+    EXPECT_FALSE(a.tstoreCommit(0, 0x100, 1, /*silent=*/true));
+    EXPECT_EQ(a.tokenQueue().size(), 1);
+    EXPECT_EQ(a.stats().counter("enqueued").value(), 1u);
+}
+
+TEST(SpUnit, FullQueueStallsByDefaultAndSkipsWhenOptedIn)
+{
+    sp::SpConfig cfg;
+    cfg.tokenQueueSize = 1;
+    {
+        sp::PrecomputeUnit a(cfg, 4);
+        FakePort port;
+        a.attach(port);
+        a.tregCommit(0, 0x40);
+        a.tstoreFetched(0);
+        EXPECT_FALSE(a.tstoreCommit(0, 0x100, 1, false));
+        a.tstoreFetched(0);
+        // Lossless default: the second token stalls its store...
+        EXPECT_TRUE(a.tstoreCommit(0, 0x108, 2, false));
+        EXPECT_EQ(a.stats().counter("stallEvents").value(), 1u);
+        // ...and no overflow flag is raised.
+        EXPECT_EQ(a.chk(0) >> 62, 0);
+    }
+    {
+        sp::SpConfig lossy = cfg;
+        lossy.skipWhenBusy = true;
+        sp::PrecomputeUnit a(lossy, 4);
+        FakePort port;
+        a.attach(port);
+        a.tregCommit(0, 0x40);
+        a.tstoreFetched(0);
+        EXPECT_FALSE(a.tstoreCommit(0, 0x100, 1, false));
+        a.tstoreFetched(0);
+        // Skip-one-slice: never stalls, raises the sticky overflow
+        // flag for the software fallback idiom.
+        EXPECT_FALSE(a.tstoreCommit(0, 0x108, 2, false));
+        EXPECT_EQ(a.stats().counter("skippedSlices").value(), 1u);
+        EXPECT_NE(a.chk(0) & (std::int64_t(1) << 62), 0);
+        a.tclrCommit(0);
+        EXPECT_EQ(a.chk(0) & (std::int64_t(1) << 62), 0);
+    }
+}
+
+TEST(SpUnit, DropTokenFaultIsLossyAndFlagged)
+{
+    sim::FaultConfig fc;
+    fc.seed = 1;
+    fc.rate = 1.0;
+    fc.siteMask = sim::faultSiteBit(sim::FaultSite::DropToken);
+    sim::FaultPlan plan(fc);
+
+    sp::PrecomputeUnit a(sp::SpConfig{}, 4);
+    FakePort port;
+    a.attach(port);
+    a.setFaultPlan(&plan);
+    a.tregCommit(0, 0x40);
+    a.tstoreFetched(0);
+    EXPECT_FALSE(a.tstoreCommit(0, 0x100, 1, false));
+    EXPECT_TRUE(a.tokenQueue().empty());  // token lost in flight
+    EXPECT_EQ(a.stats().counter("faultDroppedTokens").value(), 1u);
+    EXPECT_NE(a.chk(0) & (std::int64_t(1) << 62), 0);
+}
+
+// ----- simulator wiring -----------------------------------------------
+
+TEST(AccelConformance, SimulatorExposesTheConfiguredAccelerator)
+{
+    isa::Program p = workloads::findWorkload("mcf").build(
+        workloads::Variant::Dtt, smallParams());
+    for (cpu::AccelKind k :
+         {cpu::AccelKind::None, cpu::AccelKind::Dtt, cpu::AccelKind::Sp,
+          cpu::AccelKind::Reuse}) {
+        sim::SimConfig cfg;
+        cfg.accel = k;
+        sim::Simulator s(cfg, p);
+        if (k == cpu::AccelKind::None) {
+            EXPECT_EQ(s.accelerator(), nullptr);
+        } else {
+            ASSERT_NE(s.accelerator(), nullptr);
+            EXPECT_EQ(s.accelerator()->kind(), k);
+        }
+        EXPECT_EQ(s.controller() != nullptr, k == cpu::AccelKind::Dtt);
+    }
+}
+
+// ----- determinism across engine thread counts ------------------------
+
+TEST(AccelConformance, DeterministicUnderJobs1And8)
+{
+    const char *names[] = {"mcf", "equake", "twolf"};
+    std::vector<sim::SimJob> jobs;
+    for (const char *name : names) {
+        const workloads::Workload &w = workloads::findWorkload(name);
+        for (cpu::AccelKind k : {cpu::AccelKind::Dtt, cpu::AccelKind::Sp,
+                                 cpu::AccelKind::Reuse}) {
+            sim::SimJob job;
+            job.workload = name;
+            job.variant = cpu::accelKindName(k);
+            job.config.accel = k;
+            job.program = w.build(k == cpu::AccelKind::Reuse
+                                      ? workloads::Variant::Baseline
+                                      : workloads::Variant::Dtt,
+                                  smallParams());
+            jobs.push_back(std::move(job));
+        }
+    }
+    std::vector<sim::JobResult> serial = sim::Engine(1).run(jobs);
+    std::vector<sim::JobResult> parallel = sim::Engine(8).run(jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].status, sim::JobStatus::Ok);
+        EXPECT_TRUE(serial[i].result == parallel[i].result)
+            << jobs[i].workload << "/" << jobs[i].variant;
+        EXPECT_EQ(serial[i].digest, parallel[i].digest);
+        EXPECT_EQ(serial[i].accel, parallel[i].accel);
+    }
+}
+
+// ----- fault-site rollback transparency -------------------------------
+
+TEST(AccelConformance, SpTransparentSitesPreserveArchState)
+{
+    // DenySpawn delays dispatch; SquashThread kills a running slice
+    // whose stores the core rolls back and whose token the unit
+    // requeues. Neither may change the architectural result. (The
+    // DTT equivalent runs in test_faults.cpp's transparent matrix.)
+    for (const char *name : {"mcf", "equake"}) {
+        isa::Program p = workloads::findWorkload(name).build(
+            workloads::Variant::Dtt, smallParams());
+        sim::SimConfig clean;
+        clean.accel = cpu::AccelKind::Sp;
+        sim::SimResult ref = sim::runProgram(clean, p);
+        ASSERT_TRUE(ref.halted);
+
+        sim::SimConfig faulted = clean;
+        faulted.fault.seed = 99;
+        faulted.fault.rate = 0.3;
+        faulted.fault.siteMask =
+            sim::faultSiteBit(sim::FaultSite::DenySpawn)
+            | sim::faultSiteBit(sim::FaultSite::SquashThread);
+        sim::SimResult r = sim::runProgram(faulted, p);
+        ASSERT_TRUE(r.halted) << name;
+        EXPECT_GT(r.faultsInjected, 0u) << name;
+        EXPECT_EQ(r.archDigest, ref.archDigest) << name;
+    }
+}
+
+TEST(AccelConformance, ReuseTableFlushIsTimingOnly)
+{
+    for (const char *name : {"mcf", "equake"}) {
+        isa::Program p = workloads::findWorkload(name).build(
+            workloads::Variant::Baseline, smallParams());
+        sim::SimConfig clean;
+        clean.accel = cpu::AccelKind::Reuse;
+        sim::SimResult ref = sim::runProgram(clean, p);
+        ASSERT_TRUE(ref.halted);
+
+        sim::SimConfig faulted = clean;
+        faulted.fault.seed = 99;
+        faulted.fault.rate = 0.5;
+        faulted.fault.siteMask =
+            sim::faultSiteBit(sim::FaultSite::FlushReuseTable);
+        sim::SimResult r = sim::runProgram(faulted, p);
+        ASSERT_TRUE(r.halted) << name;
+        EXPECT_EQ(r.archDigest, ref.archDigest) << name;
+        // Flush-on-hit only converts hits back into executions: the
+        // committed instruction stream is identical.
+        EXPECT_EQ(r.totalCommitted, ref.totalCommitted) << name;
+        EXPECT_LE(r.reusedInsts, ref.reusedInsts) << name;
+    }
+}
+
+// ----- equivalence pins -----------------------------------------------
+
+TEST(AccelConformance, DttRunsAreStableAcrossRepetition)
+{
+    // The golden table (test_golden_digests.cpp) pins the refactored
+    // DTT path against pre-refactor digests; this pins run-to-run.
+    isa::Program p = workloads::findWorkload("mcf").build(
+        workloads::Variant::Dtt, smallParams());
+    sim::SimConfig cfg;  // accel defaults to Dtt
+    sim::SimResult a = sim::runProgram(cfg, p);
+    sim::SimResult b = sim::runProgram(cfg, p);
+    ASSERT_TRUE(a.halted);
+    EXPECT_TRUE(a == b);
+    EXPECT_GT(a.dttSpawns, 0u);
+}
+
+TEST(AccelConformance, SpPreservesTheDttArchitecturalResult)
+{
+    // Variant::Dtt programs run unmodified under --accel=sp and must
+    // reach the same final memory image: precomputation changes when
+    // handlers run, never what the program computes.
+    for (const char *name : {"mcf", "twolf"}) {
+        isa::Program p = workloads::findWorkload(name).build(
+            workloads::Variant::Dtt, smallParams());
+        sim::SimConfig dtt_cfg;
+        sim::SimConfig sp_cfg;
+        sp_cfg.accel = cpu::AccelKind::Sp;
+        sim::SimResult dtt_r = sim::runProgram(dtt_cfg, p);
+        sim::SimResult sp_r = sim::runProgram(sp_cfg, p);
+        ASSERT_TRUE(dtt_r.halted);
+        ASSERT_TRUE(sp_r.halted);
+        EXPECT_EQ(dtt_r.archDigest, sp_r.archDigest) << name;
+        // SP fires on silent stores too, so it never fires less.
+        EXPECT_GE(sp_r.fired, dtt_r.fired) << name;
+    }
+}
+
+TEST(AccelConformance, ReuseUnitMatchesTheLegacyInCoreBuffer)
+{
+    // The pluggable reuse unit must be byte-identical to the legacy
+    // CoreConfig::reuseBuffer machine it replaces (same table
+    // geometry, same probe points, same hit timing).
+    for (const workloads::Workload *w : workloads::allWorkloads()) {
+        isa::Program p =
+            w->build(workloads::Variant::Baseline, smallParams());
+        sim::SimConfig legacy;
+        legacy.accel = cpu::AccelKind::None;
+        legacy.core.reuseBuffer = true;
+        legacy.core.reuseEntriesPerPc = 8;
+        sim::SimConfig unit;
+        unit.accel = cpu::AccelKind::Reuse;
+        unit.reuse.entriesPerPc = 8;
+        sim::SimResult a = sim::runProgram(legacy, p);
+        sim::SimResult b = sim::runProgram(unit, p);
+        ASSERT_TRUE(a.halted) << w->info().name;
+        EXPECT_EQ(a.cycles, b.cycles) << w->info().name;
+        EXPECT_EQ(a.reusedInsts, b.reusedInsts) << w->info().name;
+        EXPECT_EQ(a.archDigest, b.archDigest) << w->info().name;
+        EXPECT_EQ(a.totalCommitted, b.totalCommitted)
+            << w->info().name;
+    }
+}
+
+// ----- config validation ----------------------------------------------
+
+TEST(AccelConformance, ValidateRejectsNonsenseAccelConfigs)
+{
+    isa::Program p = workloads::findWorkload("mcf").build(
+        workloads::Variant::Dtt, smallParams());
+    {
+        sim::SimConfig cfg;
+        cfg.accel = cpu::AccelKind::Sp;
+        cfg.sp.tokenQueueSize = 0;
+        EXPECT_FALSE(cfg.validate().empty());
+        EXPECT_THROW(sim::Simulator(cfg, p), FatalError);
+    }
+    {
+        sim::SimConfig cfg;
+        cfg.accel = cpu::AccelKind::Sp;
+        cfg.sp.maxTriggers = 0;
+        EXPECT_FALSE(cfg.validate().empty());
+    }
+    {
+        sim::SimConfig cfg;
+        cfg.accel = cpu::AccelKind::Reuse;
+        cfg.reuse.entriesPerPc = 0;
+        EXPECT_FALSE(cfg.validate().empty());
+    }
+    {
+        // Fault injection needs an accelerator to inject into.
+        sim::SimConfig cfg;
+        cfg.accel = cpu::AccelKind::None;
+        cfg.fault.rate = 0.5;
+        cfg.fault.siteMask = sim::kTransparentSites;
+        EXPECT_FALSE(cfg.validate().empty());
+    }
+}
+
+} // namespace
+} // namespace dttsim

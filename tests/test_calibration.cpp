@@ -24,7 +24,7 @@ speedupOf(const std::string &name, int iterations)
     workloads::WorkloadParams p;
     p.iterations = iterations;
     sim::SimConfig base_cfg;
-    base_cfg.enableDtt = false;
+    base_cfg.accel = cpu::AccelKind::None;
     sim::SimResult base = sim::runProgram(
         base_cfg, w.build(workloads::Variant::Baseline, p));
     sim::SimResult dtt = sim::runProgram(

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "accel/dtt_accel.h"
 #include "common/log.h"
 #include "core/controller.h"
 #include "cpu/executor.h"
@@ -322,15 +323,15 @@ runDtt(const std::string &src, DttConfig dcfg = DttConfig{},
     prog = isa::assemble(src);
     static mem::Hierarchy hierarchy{mem::HierarchyConfig{}};
     hierarchy = mem::Hierarchy{mem::HierarchyConfig{}};
-    static DttController controller{dcfg, 4};
-    controller = DttController{dcfg, ccfg.numContexts};
-    cpu::OooCore core(ccfg, prog, hierarchy, &controller);
+    static std::unique_ptr<accel::DttAccel> accel;
+    accel = std::make_unique<accel::DttAccel>(dcfg, ccfg.numContexts);
+    cpu::OooCore core(ccfg, prog, hierarchy, accel.get());
     cpu::CoreRunResult r = core.run(5'000'000);
     EXPECT_TRUE(r.halted);
     E2E e;
     e.result = r;
     e.out = core.memory().read64(prog.dataSymbol("out"));
-    e.controller = &controller;
+    e.controller = accel->controller();
     return e;
 }
 

@@ -200,7 +200,7 @@ TEST(CoreEdge, IcountPolicySharesFetchFairly)
     prog.append(jal);
 
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     cfg.core.fetchWidth = 2;
     sim::Simulator s(cfg, prog);
     s.core().startCoRunner(1, spin);

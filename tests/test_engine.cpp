@@ -41,7 +41,8 @@ makeJob(const std::string &name, workloads::Variant variant,
     job.workload = name;
     job.variant =
         variant == workloads::Variant::Dtt ? "dtt" : "baseline";
-    job.config.enableDtt = variant == workloads::Variant::Dtt;
+    job.config.accel = variant == workloads::Variant::Dtt
+        ? cpu::AccelKind::Dtt : cpu::AccelKind::None;
     job.program = workloads::findWorkload(name).build(
         variant, smallParams(seed));
     return job;
@@ -195,7 +196,7 @@ runawayJob()
     SimJob job;
     job.workload = "runaway";
     job.variant = "baseline";
-    job.config.enableDtt = false;
+    job.config.accel = cpu::AccelKind::None;
     job.program = b.take();
     return job;
 }
@@ -529,7 +530,7 @@ TEST(SimulatorHardening, RunIsOneShot)
     isa::Program p = workloads::findWorkload("mcf").build(
         workloads::Variant::Baseline, smallParams());
     SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     Simulator s(cfg, p);
     EXPECT_TRUE(s.run().halted);
     EXPECT_THROW(s.run(), PanicError);

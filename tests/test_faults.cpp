@@ -497,7 +497,7 @@ TEST(FaultConfigValidation, RejectsBadRateMaskAndBaselineFaults)
     EXPECT_FALSE(cfg.validate().empty());
 
     cfg = sim::SimConfig{};
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     cfg.fault.rate = 0.5;
     cfg.fault.siteMask = sim::kAllFaultSites;
     EXPECT_FALSE(cfg.validate().empty());

@@ -60,12 +60,42 @@ TEST(Harness, ExtraFlagsAreAccepted)
 
 TEST(Harness, MachineConfigMatchesTable1)
 {
-    sim::SimConfig dtt = Harness::machineConfig(true);
-    sim::SimConfig base = Harness::machineConfig(false);
-    EXPECT_TRUE(dtt.enableDtt);
-    EXPECT_FALSE(base.enableDtt);
+    sim::SimConfig dtt = Harness::machineConfig(cpu::AccelKind::Dtt);
+    sim::SimConfig base =
+        Harness::machineConfig(cpu::AccelKind::None);
+    EXPECT_EQ(dtt.accel, cpu::AccelKind::Dtt);
+    EXPECT_EQ(base.accel, cpu::AccelKind::None);
     EXPECT_TRUE(dtt.validate().empty());
     EXPECT_TRUE(base.validate().empty());
+    // The deprecated bool spelling forwards to the AccelKind one.
+    EXPECT_EQ(Harness::machineConfig(true).accel,
+              cpu::AccelKind::Dtt);
+    EXPECT_EQ(Harness::machineConfig(false).accel,
+              cpu::AccelKind::None);
+}
+
+TEST(Harness, AccelFlagSelectsTheAcceleratedMachine)
+{
+    EXPECT_EQ(makeHarness({}).accel(), cpu::AccelKind::Dtt);
+    EXPECT_EQ(makeHarness({"--accel=sp"}).accel(),
+              cpu::AccelKind::Sp);
+    EXPECT_EQ(makeHarness({"--accel=reuse"}).accel(),
+              cpu::AccelKind::Reuse);
+    EXPECT_EQ(makeHarness({"--accel=none"}).accel(),
+              cpu::AccelKind::None);
+    // Deprecated shims map onto the new flag (and warn on stderr).
+    EXPECT_EQ(makeHarness({"--no-dtt"}).accel(),
+              cpu::AccelKind::None);
+    EXPECT_EQ(makeHarness({"--dtt"}).accel(), cpu::AccelKind::Dtt);
+    // An explicit --accel wins over a shim.
+    EXPECT_EQ(makeHarness({"--no-dtt", "--accel=sp"}).accel(),
+              cpu::AccelKind::Sp);
+}
+
+TEST(Harness, UnknownAccelValueExits2)
+{
+    EXPECT_EXIT(makeHarness({"--accel=gpu"}),
+                testing::ExitedWithCode(2), "--accel=gpu");
 }
 
 TEST(Harness, MakeJobLabels)

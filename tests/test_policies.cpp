@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "accel/dtt_accel.h"
 #include "common/log.h"
 #include "cpu/executor.h"
 #include "isa/assembler.h"
@@ -289,13 +290,14 @@ TEST(Serialization, SameTriggerNeverConcurrent)
     )");
     mem::Hierarchy hierarchy{mem::HierarchyConfig{}};
     dtt::DttConfig dcfg;
-    dtt::DttController ctrl(dcfg, 4);
-    cpu::OooCore core(cpu::CoreConfig{}, prog, hierarchy, &ctrl);
+    accel::DttAccel accel(dcfg, 4);
+    cpu::OooCore core(cpu::CoreConfig{}, prog, hierarchy, &accel);
     int max_running = 0;
     for (int i = 0; i < 200000 && !core.halted(); ++i) {
         core.tick();
-        max_running = std::max(max_running,
-                               ctrl.statusTable().of(0).running);
+        max_running = std::max(
+            max_running,
+            accel.controller()->statusTable().of(0).running);
     }
     ASSERT_TRUE(core.halted());
     EXPECT_EQ(max_running, 1);
@@ -328,13 +330,14 @@ TEST(Serialization, DisabledAllowsConcurrency)
     mem::Hierarchy hierarchy{mem::HierarchyConfig{}};
     dtt::DttConfig dcfg;
     dcfg.serializePerTrigger = false;
-    dtt::DttController ctrl(dcfg, 4);
-    cpu::OooCore core(cpu::CoreConfig{}, prog, hierarchy, &ctrl);
+    accel::DttAccel accel(dcfg, 4);
+    cpu::OooCore core(cpu::CoreConfig{}, prog, hierarchy, &accel);
     int max_running = 0;
     for (int i = 0; i < 200000 && !core.halted(); ++i) {
         core.tick();
-        max_running = std::max(max_running,
-                               ctrl.statusTable().of(0).running);
+        max_running = std::max(
+            max_running,
+            accel.controller()->statusTable().of(0).running);
     }
     ASSERT_TRUE(core.halted());
     EXPECT_GT(max_running, 1);
@@ -399,7 +402,7 @@ TEST(CoRunner, SlowsTheMainThread)
     // (on the wide default core a 1-IPC dependence-bound loop shares
     // happily with a tiny spinner).
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     cfg.core.fetchWidth = 2;
     cfg.core.fetchThreads = 2;
     cfg.core.issueWidth = 1;
@@ -440,7 +443,7 @@ TEST(CoRunner, MayHaltWithoutEndingSimulation)
     halt_inst.op = isa::Opcode::HALT;
     std::uint64_t entry = prog.append(halt_inst);
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     sim::Simulator s(cfg, prog);
     s.core().startCoRunner(1, entry);
     sim::SimResult r = s.run();

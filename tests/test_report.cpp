@@ -43,7 +43,7 @@ TEST(Report, ComparisonIncludesSpeedup)
 {
     isa::Program prog = isa::assemble(kProgram);
     SimConfig base_cfg;
-    base_cfg.enableDtt = false;
+    base_cfg.accel = cpu::AccelKind::None;
     SimResult base = runProgram(base_cfg, prog);
     SimResult dtt = runProgram(SimConfig{}, prog);
     std::string s = formatComparison(base, dtt);
@@ -68,7 +68,7 @@ TEST(Report, DetailedStatsCoverAllComponents)
 TEST(Report, DetailedStatsWithoutController)
 {
     SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     Simulator s(cfg, isa::assemble(kProgram));
     s.run();
     std::string text = formatDetailedStats(s);

@@ -46,7 +46,7 @@ sampleResult(std::uint64_t salt)
     params.iterations = 2;
     params.seed = salt;
     SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     isa::Program p = workloads::findWorkload("mcf").build(
         workloads::Variant::Baseline, params);
     return runProgram(cfg, p);

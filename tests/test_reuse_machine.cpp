@@ -67,7 +67,7 @@ runWith(const isa::Program &prog, bool reuse,
         const isa::Program *syms = nullptr)
 {
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     cfg.core.reuseBuffer = reuse;
     sim::Simulator s(cfg, prog);
     sim::SimResult r = s.run();
@@ -137,7 +137,7 @@ TEST(ReuseMachine, CountsReusedInstructions)
         halt
     )");
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     cfg.core.reuseBuffer = true;
     sim::Simulator s(cfg, prog);
     s.run();
@@ -163,7 +163,7 @@ TEST(ReuseMachine, StoresAndBranchesNeverReused)
     buf: .space 8
     )");
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     cfg.core.reuseBuffer = true;
     sim::Simulator s(cfg, prog);
     s.run();

@@ -495,7 +495,7 @@ TEST(ShadowSim, CommitOrderProfileMatchesFunctionalReference)
         workloads::Variant::Baseline, params);
 
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     cfg.shadowProfile = true;
     sim::Simulator simulator(cfg, prog);
     simulator.run();

@@ -1,7 +1,7 @@
 /**
  * @file
  * Simulator-facade tests: wiring, result-record population, the
- * enableDtt switch, and the cycle guard.
+ * accelerator-kind switch, and the cycle guard.
  */
 
 #include <gtest/gtest.h>
@@ -53,7 +53,7 @@ TEST(Simulator, EnableDttFalseGivesBaselineMachine)
 {
     isa::Program p = isa::assemble(kDttProgram);
     SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     Simulator s(cfg, p);
     EXPECT_EQ(s.controller(), nullptr);
     SimResult r = s.run();

@@ -77,7 +77,7 @@ TEST_P(WorkloadSuite, SimulatorMatchesFunctional_Baseline)
     std::uint64_t want = functionalChecksum(base, nullptr, nullptr);
 
     sim::SimConfig cfg;
-    cfg.enableDtt = false;
+    cfg.accel = cpu::AccelKind::None;
     sim::Simulator s(cfg, base);
     sim::SimResult r = s.run();
     ASSERT_TRUE(r.halted);

@@ -1,12 +1,14 @@
 /**
  * @file
  * Validator for the bench harness's --json structured-results files
- * (schema v2, documented in docs/HARNESS.md). Checks the document
- * shape, field types, digest format, per-job status/attempts
- * consistency (unknown status names are rejected; attempts >= 1;
- * a status=ok record must be a clean halt) and cross-record
- * consistency (identical digests must carry identical results and
- * status — the dedup invariant), then re-parses every result record
+ * (schema v3, documented in docs/HARNESS.md; archived v2 documents —
+ * which predate the per-record "accel" field — are still accepted).
+ * Checks the document shape, field types, digest format, per-record
+ * accelerator name (v3), per-job status/attempts consistency
+ * (unknown status names are rejected; attempts >= 1; a status=ok
+ * record must be a clean halt) and cross-record consistency
+ * (identical digests must carry identical results and status — the
+ * dedup invariant), then re-parses every result record
  * through sim::resultFromJson — the strict path, which fatal()s on
  * malformed records where the cache loader would skip-and-warn — to
  * prove the file round-trips.
@@ -27,6 +29,7 @@
 
 #include "common/json.h"
 #include "common/log.h"
+#include "cpu/accelerator.h"
 #include "sim/engine.h"
 
 using namespace dttsim;
@@ -55,7 +58,7 @@ isHexDigest(const std::string &s)
 
 void
 checkRecord(const std::string &file, std::size_t idx,
-            const json::Value &rec,
+            std::uint64_t version, const json::Value &rec,
             std::map<std::string, std::string> &byDigest)
 {
     const std::string where = "record " + std::to_string(idx);
@@ -67,6 +70,19 @@ checkRecord(const std::string &file, std::size_t idx,
         complain(file, where + ": empty workload name");
     if (rec.get("variant").asString().empty())
         complain(file, where + ": empty variant label");
+
+    // Schema v3: every record names its machine's accelerator. v2
+    // predates the field — absent is fine there, present is not.
+    const json::Value *accel = rec.find("accel");
+    if (version >= 3) {
+        if (accel == nullptr
+            || !cpu::accelKindFromName(accel->asString()))
+            complain(file, where + ": 'accel' must be one of "
+                     "none/dtt/sp/reuse in schema v3");
+    } else if (accel != nullptr) {
+        complain(file, where + ": 'accel' is a schema v3 field; this "
+                 "document declares v" + std::to_string(version));
+    }
 
     const std::string digest = rec.get("config_digest").asString();
     if (!isHexDigest(digest))
@@ -158,11 +174,13 @@ checkFile(const std::string &file)
         return;
     }
     std::uint64_t version = doc.get("schema_version").asUint();
-    if (version != static_cast<std::uint64_t>(
-            sim::kResultsSchemaVersion)) {
+    if (version != 2
+        && version != static_cast<std::uint64_t>(
+               sim::kResultsSchemaVersion)) {
         complain(file, "schema_version " + std::to_string(version)
-                 + " != supported version "
-                 + std::to_string(sim::kResultsSchemaVersion));
+                 + " is neither the current version "
+                 + std::to_string(sim::kResultsSchemaVersion)
+                 + " nor the archived version 2");
         return;
     }
     if (doc.get("binary").asString().empty())
@@ -177,7 +195,7 @@ checkFile(const std::string &file)
     }
     std::map<std::string, std::string> byDigest;
     for (std::size_t i = 0; i < records.size(); ++i)
-        checkRecord(file, i, records.at(i), byDigest);
+        checkRecord(file, i, version, records.at(i), byDigest);
 }
 
 } // namespace
