@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "net/client.h"
 
 namespace dttsim::bench {
 
@@ -39,6 +40,26 @@ engineFlags()
         {"job-deadline", "SECONDS",
          "per-job wall-clock deadline; a runaway simulation is "
          "cancelled and recorded as status=timeout (default: none)"},
+        {"workers", "HOST:PORT[,...]",
+         "farm unique jobs out to dttworkerd daemons; a worker that "
+         "dies mid-sweep degrades to local execution with no job "
+         "lost (docs/HARNESS.md, Distributed sweeps)"},
+        {"worker-window", "N",
+         "jobs kept in flight per worker (default 4)"},
+        {"worker-deadline", "SECONDS",
+         "give up on a silent worker after this long per request "
+         "(default 600)"},
+        {"claims", "MODE",
+         "on (default) lets concurrent processes sharing --cache-dir "
+         "claim in-flight digests so each simulates once; off "
+         "disables claim files"},
+        {"claim-deadline", "SECONDS",
+         "in-flight claim lease; a claim older than this from a "
+         "dead process is taken over (default 300)"},
+        {"provenance", "",
+         "record which worker executed each job in the --json "
+         "records (off by default: provenance breaks byte-identity "
+         "with local runs)"},
         {"accel", "KIND",
          "accelerator on the accelerated machine: none, dtt "
          "(default), sp, reuse (docs/ACCELERATORS.md)"},
@@ -173,6 +194,37 @@ makeEngineConfig(const Options &opts, sim::ResultStore *store)
         }
         cfg.retryTimeouts = true;
     }
+    if (opts.has("workers")) {
+        // Validate the whole list at parse time (exit 2 on a bad
+        // spec) but hand the engine the raw specs: they double as
+        // the provenance labels.
+        std::string err;
+        std::optional<std::vector<net::Endpoint>> eps =
+            net::parseEndpointList(opts.get("workers"), &err);
+        if (!eps) {
+            std::fprintf(stderr, "error: --workers: %s (see --help)\n",
+                         err.c_str());
+            std::exit(2);
+        }
+        for (const net::Endpoint &ep : *eps)
+            cfg.workers.push_back(ep.spec());
+    }
+    cfg.workerWindow =
+        static_cast<int>(opts.getInt("worker-window", 4));
+    cfg.workerRequestSeconds =
+        opts.getDouble("worker-deadline", 600.0);
+    if (opts.has("claims")) {
+        const std::string mode = opts.get("claims");
+        if (mode != "on" && mode != "off") {
+            std::fprintf(stderr,
+                         "error: --claims=%s is not on/off "
+                         "(see --help)\n", mode.c_str());
+            std::exit(2);
+        }
+        cfg.claimInFlight = mode == "on";
+    }
+    cfg.claimDeadlineSeconds =
+        opts.getDouble("claim-deadline", 300.0);
     cfg.store = store;
     return cfg;
 }
@@ -408,6 +460,17 @@ std::vector<sim::JobResult>
 Harness::run(std::vector<sim::SimJob> jobs)
 {
     std::vector<sim::JobResult> results = engine_.run(jobs);
+    // Provenance is opt-in: without --provenance the worker label is
+    // stripped so a distributed sweep's --json document stays
+    // byte-identical to a local run's; with it, locally executed
+    // jobs are labelled "local" so every v3 record carries the field.
+    const bool provenance = opts_.has("provenance");
+    for (sim::JobResult &jr : results) {
+        if (!provenance)
+            jr.worker.clear();
+        else if (jr.worker.empty())
+            jr.worker = "local";
+    }
     for (const sim::JobResult &jr : results) {
         records_.push_back(jr);
         if (jr.deduplicated)
@@ -553,6 +616,21 @@ Harness::finish()
             static_cast<unsigned long long>(engine_.retries()),
             wall, store_ != nullptr ? "; cache " : "",
             store_ != nullptr ? store_->dir().c_str() : "");
+    }
+    if (engine_.remoteExecuted() > 0 || engine_.workersLost() > 0
+        || engine_.claimWaits() > 0
+        || (store_ != nullptr && store_->staleClaimsTaken() > 0)) {
+        std::fprintf(
+            stderr,
+            "%s: fabric: %llu executed remotely, %llu worker(s) "
+            "lost, %llu claim wait(s), %llu stale claim(s) taken "
+            "over\n",
+            spec_.binary.c_str(),
+            static_cast<unsigned long long>(engine_.remoteExecuted()),
+            static_cast<unsigned long long>(engine_.workersLost()),
+            static_cast<unsigned long long>(engine_.claimWaits()),
+            static_cast<unsigned long long>(
+                store_ != nullptr ? store_->staleClaimsTaken() : 0));
     }
 
     if (invalidJobs_) {

@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Chaos acceptance check for the distributed sweep fabric:
+#
+#  1. run fig5_speedup uninterrupted and locally -> reference --json
+#     document (and a cache full of the sweep's digests);
+#  2. start two dttworkerd daemons on ephemeral localhost ports,
+#     forge a stale claim (dead holder, expired deadline) for one of
+#     the sweep's real digests in a fresh cache dir;
+#  3. run the same sweep with --workers over both daemons, SIGKILL
+#     one daemon as soon as the first result is durable;
+#  4. assert the sweep still exits 0, took over the stale claim,
+#     and produced --json output byte-identical to the local run,
+#     validated by check_results_json;
+#  5. re-run warm with --provenance and validate the worker-labelled
+#     document too.
+#
+# Usage: scripts/fabric_smoke.sh [build-dir] [scratch-dir]
+set -euo pipefail
+
+src="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$src/build}"
+bin="$build/bench/fig5_speedup"
+workerd="$build/tools/dttworkerd"
+validator="$build/tools/check_results_json"
+
+if [ ! -x "$bin" ] || [ ! -x "$workerd" ] || [ ! -x "$validator" ]; then
+    echo "fabric_smoke: $bin, $workerd or $validator not found" \
+         "(build first: cmake --build $build -j)" >&2
+    exit 2
+fi
+
+tmp="${2:-$(mktemp -d)}"
+mkdir -p "$tmp"
+rm -rf "$tmp/cache" "$tmp"/*.json "$tmp"/*.txt "$tmp"/*.err \
+    "$tmp"/worker*.out
+wa="" wb="" sweep=""
+cleanup() {
+    for p in "$wa" "$wb" "$sweep"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# Sized like resume_smoke: enough jobs (~24, a few hundred ms each)
+# that the SIGKILL lands mid-sweep, small enough for a smoke test.
+args=(--iters=6 --scale=2)
+
+echo "== reference (local, uninterrupted) run"
+"$bin" "${args[@]}" --jobs=2 --json="$tmp/ref.json" \
+    --cache=rw --cache-dir="$tmp/refcache" > "$tmp/ref.txt"
+
+start_worker() { # $1 = output file; echoes pid, port in globals
+    "$workerd" --port=0 --jobs=2 > "$1" 2>&1 &
+    local pid=$!
+    local port=""
+    for _ in $(seq 1 100); do
+        port="$(sed -n 's/^dttworkerd: listening on //p' "$1")"
+        [ -n "$port" ] && break
+        sleep 0.05
+    done
+    if [ -z "$port" ]; then
+        echo "fabric_smoke: daemon failed to start ($1)" >&2
+        exit 1
+    fi
+    echo "$pid $port"
+}
+
+echo "== starting two worker daemons"
+read -r wa porta <<< "$(start_worker "$tmp/workerA.out")"
+read -r wb portb <<< "$(start_worker "$tmp/workerB.out")"
+echo "   workers on ports $porta (A) and $portb (B)"
+
+echo "== injecting a stale claim for a real digest"
+digest="$(sed -n 's/.*"digest": *"\([0-9a-f]\{16\}\)".*/\1/p' \
+    "$tmp/refcache"/seg-*.jsonl | head -1)"
+if [ -z "$digest" ]; then
+    echo "fabric_smoke: could not extract a digest from the" \
+         "reference cache" >&2
+    exit 1
+fi
+mkdir -p "$tmp/cache/claims"
+printf '{"pid": 999999999, "host": "long-gone-host", "token": 7, "deadline_unix": 10}' \
+    > "$tmp/cache/claims/$digest.claim"
+echo "   stale claim forged for digest $digest"
+
+echo "== distributed sweep (worker A will be SIGKILLed mid-run)"
+"$bin" "${args[@]}" --jobs=2 --json="$tmp/fab.json" \
+    --cache=rw --cache-dir="$tmp/cache" \
+    --workers="127.0.0.1:$porta,127.0.0.1:$portb" \
+    --worker-deadline=60 \
+    > "$tmp/fab.txt" 2> "$tmp/fab.err" &
+sweep=$!
+# One '\n'-terminated line in a cache segment = one durable result:
+# the sweep is genuinely mid-flight, so the kill is mid-run.
+for _ in $(seq 1 600); do
+    if [ -n "$(cat "$tmp/cache"/seg-*.jsonl 2>/dev/null)" ]; then
+        break
+    fi
+    if ! kill -0 "$sweep" 2>/dev/null; then
+        break
+    fi
+    sleep 0.05
+done
+if kill -0 "$sweep" 2>/dev/null; then
+    kill -9 "$wa" 2>/dev/null || true
+    echo "   worker A ($wa) SIGKILLed"
+fi
+wa=""
+wait "$sweep" || {
+    echo "fabric_smoke: distributed sweep failed" >&2
+    cat "$tmp/fab.err" >&2
+    exit 1
+}
+sweep=""
+
+echo "== checking chaos handling"
+grep -q "stale claim" "$tmp/fab.err" || {
+    echo "fabric_smoke: the forged stale claim was never taken over" >&2
+    cat "$tmp/fab.err" >&2
+    exit 1
+}
+
+echo "== comparing outputs"
+cmp "$tmp/ref.json" "$tmp/fab.json" || {
+    echo "fabric_smoke: distributed --json differs from the local" \
+         "run's (byte-identity violated)" >&2
+    exit 1
+}
+diff -u "$tmp/ref.txt" "$tmp/fab.txt" || {
+    echo "fabric_smoke: distributed table differs from the local" \
+         "run's" >&2
+    exit 1
+}
+"$validator" "$tmp/ref.json" "$tmp/fab.json"
+
+echo "== provenance run (worker B, warm cache)"
+"$bin" "${args[@]}" --jobs=2 --json="$tmp/prov.json" \
+    --cache=rw --cache-dir="$tmp/cache" \
+    --workers="127.0.0.1:$portb" --provenance \
+    > /dev/null 2> "$tmp/prov.err"
+"$validator" "$tmp/prov.json"
+grep -q '"worker"' "$tmp/prov.json" || {
+    echo "fabric_smoke: --provenance emitted no worker fields" >&2
+    exit 1
+}
+
+kill "$wb" 2>/dev/null || true
+wait "$wb" 2>/dev/null || true
+wb=""
+
+echo "fabric_smoke: PASS (worker killed mid-sweep, stale claim taken" \
+     "over, merged output byte-identical to the local run)"

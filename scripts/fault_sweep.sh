@@ -46,4 +46,19 @@ done
 # Final pass over every document at once, so cross-seed output also
 # proves schema-valid together, not just file by file.
 "$build/tools/check_results_json" "${outs[@]}"
+
+# Host-level failure gate: a record still status=error or
+# status=timeout after the retry budget means the sweep did not
+# actually measure that point — fail loudly instead of letting a
+# partially simulated figure pass.
+bad=0
+for out in "${outs[@]}"; do
+    hits="$(grep -cE '"status": *"(error|timeout)"' "$out" || true)"
+    if [ "$hits" -gt 0 ]; then
+        echo "fault_sweep: $out has $hits job(s) that ended in" \
+             "error/timeout after retries" >&2
+        bad=1
+    fi
+done
+[ "$bad" -eq 0 ] || exit 1
 echo "fault_sweep: all seeds clean; outputs in $outdir"

@@ -9,7 +9,12 @@
 #       - the merged --json output is byte-identical to the
 #         uninterrupted run's,
 #       - the rendered table is identical,
-#       - the document validates against results schema v2.
+#       - the document validates against results schema v2;
+#  4. multi-process chaos: run two instances of the sweep
+#     concurrently against one shared fresh cache and assert that
+#     digest claim files kept them from duplicating simulations
+#     (combined executions < 2x the unique jobs) while both emitted
+#     byte-identical documents.
 #
 # Usage: scripts/resume_smoke.sh [build-dir]
 set -euo pipefail
@@ -94,5 +99,39 @@ diff -u "$tmp/ref.txt" "$tmp/int.txt" || {
 }
 "$validator" "$tmp/ref.json" "$tmp/int.json"
 
+echo "== two processes racing on one shared cache"
+unique="$(cat "$tmp/cache"/seg-*.jsonl | wc -l)"
+"$bin" "${args[@]}" --json="$tmp/race1.json" \
+    --cache=rw --cache-dir="$tmp/racecache" \
+    > "$tmp/race1.txt" 2> "$tmp/race1.err" &
+p1=$!
+"$bin" "${args[@]}" --json="$tmp/race2.json" \
+    --cache=rw --cache-dir="$tmp/racecache" \
+    > "$tmp/race2.txt" 2> "$tmp/race2.err" &
+p2=$!
+wait "$p1"
+wait "$p2"
+
+for f in race1 race2; do
+    cmp "$tmp/ref.json" "$tmp/$f.json" || {
+        echo "resume_smoke: concurrent run $f's --json differs from" \
+             "the uninterrupted run's (byte-identity violated)" >&2
+        exit 1
+    }
+done
+"$validator" "$tmp/race1.json" "$tmp/race2.json"
+
+# The claim files are what keep the two processes from simulating
+# every digest twice: combined executions must come in under 2x.
+ex1="$(sed -n 's/.*submitted, \([0-9]*\) executed.*/\1/p' "$tmp/race1.err")"
+ex2="$(sed -n 's/.*submitted, \([0-9]*\) executed.*/\1/p' "$tmp/race2.err")"
+total=$((ex1 + ex2))
+if [ "$total" -ge $((2 * unique)) ]; then
+    echo "resume_smoke: claim files saved no work ($ex1 + $ex2" \
+         "executions for $unique unique jobs)" >&2
+    exit 1
+fi
+
 echo "resume_smoke: PASS (killed at $cached_before durable jobs," \
-     "resumed to byte-identical output)"
+     "resumed to byte-identical output; race ran $total/$((2 * unique))" \
+     "executions for $unique unique jobs)"

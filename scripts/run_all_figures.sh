@@ -38,6 +38,16 @@ cache=(--cache=rw --cache-dir="$outdir/cache")
 # extra flags overrides this (last value wins).
 jobs=(--jobs="$(nproc)")
 
+# Opt-in distributed sweep: DTTSIM_WORKERS=host:port[,host:port...]
+# farms unique jobs out to running dttworkerd daemons (the harness
+# degrades to local execution if a worker dies; output stays
+# byte-identical either way — docs/HARNESS.md, Distributed sweeps).
+workers=()
+if [ -n "${DTTSIM_WORKERS:-}" ]; then
+    workers=(--workers="$DTTSIM_WORKERS")
+    echo "== distributed sweep over workers: $DTTSIM_WORKERS"
+fi
+
 # tab1_config takes no workload flags; everything else accepts the
 # common set plus the extra flags from the command line.
 echo "== tab1_config"
@@ -52,7 +62,8 @@ for b in tab2_benchmarks tab3_trigger_advisor \
          fig13_spawn_latency fig14_corunner fig15_prefetch \
          fig16_fault_degradation; do
     echo "== $b"
-    "$build/bench/$b" "${cache[@]}" "${jobs[@]}" "$@" \
+    "$build/bench/$b" "${cache[@]}" "${jobs[@]}" \
+        ${workers[@]+"${workers[@]}"} "$@" \
         --json="$outdir/$b.json" \
         | tee "$outdir/$b.txt"
 done

@@ -85,6 +85,20 @@ class Program
     int numTriggers() const { return numTriggers_; }
     void noteTrigger(TriggerId t);
 
+    /**
+     * Replace the data segment wholesale: pre-built chunks plus the
+     * next free data address. The wire-deserialization path
+     * (net::trySimJobFromJson) rebuilding a program image a remote
+     * client assembled; symbol tables are not part of the image a
+     * simulation consumes, so they stay empty.
+     */
+    void
+    restoreDataLayout(std::vector<DataChunk> chunks, Addr data_end)
+    {
+        chunks_ = std::move(chunks);
+        nextData_ = data_end;
+    }
+
     /** All text labels (for disassembly annotation). */
     const std::map<std::string, std::uint64_t> &labels() const
     {

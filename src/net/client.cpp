@@ -1,0 +1,117 @@
+#include "net/client.h"
+
+namespace dttsim::net {
+
+std::optional<Endpoint>
+parseEndpoint(const std::string &spec, std::string *error)
+{
+    auto bad = [&](const std::string &what) -> std::optional<Endpoint> {
+        if (error != nullptr)
+            *error = what;
+        return std::nullopt;
+    };
+    // Split on the *last* colon so a future [v6]:port form has a
+    // place to land; bare IPv6 addresses are not supported today.
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0
+        || colon + 1 == spec.size())
+        return bad("worker '" + spec + "' is not host:port");
+    Endpoint ep;
+    ep.host = spec.substr(0, colon);
+    const std::string portStr = spec.substr(colon + 1);
+    for (char c : portStr)
+        if (c < '0' || c > '9')
+            return bad("worker '" + spec + "' has a non-numeric port");
+    try {
+        ep.port = std::stoi(portStr);
+    } catch (const std::exception &) {
+        return bad("worker '" + spec + "' has an out-of-range port");
+    }
+    if (ep.port < 1 || ep.port > 65535)
+        return bad("worker '" + spec
+                   + "' port out of range (1..65535)");
+    return ep;
+}
+
+std::optional<std::vector<Endpoint>>
+parseEndpointList(const std::string &csv, std::string *error)
+{
+    std::vector<Endpoint> endpoints;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        std::string item = csv.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (!item.empty()) {
+            std::optional<Endpoint> ep = parseEndpoint(item, error);
+            if (!ep)
+                return std::nullopt;
+            endpoints.push_back(std::move(*ep));
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (endpoints.empty()) {
+        if (error != nullptr)
+            *error = "empty worker list";
+        return std::nullopt;
+    }
+    return endpoints;
+}
+
+std::unique_ptr<WorkerClient>
+WorkerClient::connect(const Endpoint &endpoint, double timeout_seconds,
+                      std::string *error)
+{
+    std::optional<TcpStream> stream = TcpStream::connect(
+        endpoint.host, endpoint.port, timeout_seconds, error);
+    if (!stream)
+        return nullptr;
+    if (!stream->writeLine(helloMessage("dttsim").dump())) {
+        if (error != nullptr)
+            *error = "handshake write failed";
+        return nullptr;
+    }
+    std::string line;
+    if (!stream->readLine(&line, timeout_seconds, error))
+        return nullptr;
+    std::optional<json::Value> v = json::Value::tryParse(line, error);
+    if (!v)
+        return nullptr;
+    std::optional<std::string> peer =
+        checkHello(*v, "hello-ok", error);
+    if (!peer)
+        return nullptr;
+    return std::unique_ptr<WorkerClient>(
+        new WorkerClient(std::move(*stream), std::move(*peer)));
+}
+
+bool
+WorkerClient::sendJob(std::uint64_t id, const sim::SimJob &job,
+                      const std::string &digest,
+                      const RetryPolicy &policy)
+{
+    return stream_.writeLine(
+        jobMessage(id, job, digest, policy).dump());
+}
+
+bool
+WorkerClient::recvResult(WireResult *out, double timeout_seconds,
+                         std::string *error)
+{
+    std::string line;
+    if (!stream_.readLine(&line, timeout_seconds, error))
+        return false;
+    std::optional<json::Value> v = json::Value::tryParse(line, error);
+    if (!v)
+        return false;
+    std::optional<WireResult> wr = tryWireResultFromJson(*v, error);
+    if (!wr)
+        return false;
+    *out = std::move(*wr);
+    return true;
+}
+
+} // namespace dttsim::net

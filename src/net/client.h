@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Client side of the sweep fabric: endpoint parsing for the harness's
+ * `--workers host:port,...` flag and a WorkerClient wrapping one
+ * connected, handshaken daemon session.
+ *
+ * The connect-time hello exchange doubles as the per-worker health
+ * check: an endpoint that cannot complete it within the timeout is
+ * treated as down and the sweep proceeds without it. All failures are
+ * return values — the dispatcher turns them into requeue-and-degrade,
+ * never into a crash.
+ */
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace dttsim::net {
+
+/** A "host:port" worker address. */
+struct Endpoint
+{
+    std::string host;
+    int port = 0;
+
+    std::string spec() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+};
+
+/** Parse "host:port"; nullopt + @p error on a malformed spec. */
+std::optional<Endpoint> parseEndpoint(const std::string &spec,
+                                      std::string *error);
+
+/** Parse a comma-separated endpoint list (the --workers flag);
+ *  empty + @p error when any element is malformed. */
+std::optional<std::vector<Endpoint>>
+parseEndpointList(const std::string &csv, std::string *error);
+
+/** One connected worker-daemon session (jobs may be pipelined). */
+class WorkerClient
+{
+  public:
+    /** Connect + hello handshake within @p timeout_seconds; the
+     *  health check. nullptr + @p error on any failure. */
+    static std::unique_ptr<WorkerClient>
+    connect(const Endpoint &endpoint, double timeout_seconds,
+            std::string *error);
+
+    /** Send one job message. @return false on a write error (the
+     *  worker is gone; requeue the job). */
+    bool sendJob(std::uint64_t id, const sim::SimJob &job,
+                 const std::string &digest, const RetryPolicy &policy);
+
+    /** Read the next reply within @p timeout_seconds. @return false
+     *  on timeout/EOF/garbage (treat the worker as lost). */
+    bool recvResult(WireResult *out, double timeout_seconds,
+                    std::string *error);
+
+    /** The daemon's self-reported name from the handshake. */
+    const std::string &peerName() const { return peerName_; }
+
+  private:
+    WorkerClient(TcpStream stream, std::string peer)
+        : stream_(std::move(stream)), peerName_(std::move(peer))
+    {
+    }
+
+    TcpStream stream_;
+    std::string peerName_;
+};
+
+} // namespace dttsim::net

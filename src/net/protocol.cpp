@@ -1,0 +1,771 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "cpu/accelerator.h"
+#include "isa/opcodes.h"
+
+namespace dttsim::net {
+
+namespace {
+
+using json::Value;
+
+std::uint64_t
+bitsOfDouble(double d)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof u);
+    return u;
+}
+
+double
+doubleFromBits(std::uint64_t u)
+{
+    double d;
+    std::memcpy(&d, &u, sizeof d);
+    return d;
+}
+
+bool
+fail(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what;
+    return false;
+}
+
+bool
+getInt(const Value &o, const char *key, int *out, std::string *error)
+{
+    const Value *f = o.find(key);
+    if (f == nullptr || !f->isNumber())
+        return fail(error, std::string("'") + key
+                    + "' missing or not a number");
+    *out = static_cast<int>(f->asInt());
+    return true;
+}
+
+bool
+getU64(const Value &o, const char *key, std::uint64_t *out,
+       std::string *error)
+{
+    const Value *f = o.find(key);
+    if (f == nullptr || !f->isUint())
+        return fail(error, std::string("'") + key
+                    + "' missing or not an unsigned integer");
+    *out = f->asUint();
+    return true;
+}
+
+bool
+getBool(const Value &o, const char *key, bool *out, std::string *error)
+{
+    const Value *f = o.find(key);
+    if (f == nullptr || !f->isBool())
+        return fail(error, std::string("'") + key
+                    + "' missing or not a bool");
+    *out = f->asBool();
+    return true;
+}
+
+bool
+getStr(const Value &o, const char *key, std::string *out,
+       std::string *error)
+{
+    const Value *f = o.find(key);
+    if (f == nullptr || !f->isString())
+        return fail(error, std::string("'") + key
+                    + "' missing or not a string");
+    *out = f->asString();
+    return true;
+}
+
+const Value *
+getObj(const Value &o, const char *key, std::string *error)
+{
+    const Value *f = o.find(key);
+    if (f == nullptr || !f->isObject()) {
+        fail(error, std::string("'") + key
+             + "' missing or not an object");
+        return nullptr;
+    }
+    return f;
+}
+
+std::string
+hexEncode(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+hexDecode(const std::string &hex, std::vector<std::uint8_t> *out,
+          std::string *error)
+{
+    if (hex.size() % 2 != 0)
+        return fail(error, "odd-length hex data");
+    auto nib = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    out->clear();
+    out->reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nib(hex[i]);
+        int lo = nib(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return fail(error, "non-hex character in data");
+        out->push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
+// Shared field lists keep the writer and the reader mechanically in
+// sync — the same X-macro emits both sides, mirroring how engine.cpp
+// locks the SimResult schema. Every field sim::jobDigest hashes is
+// listed here (the daemon-side digest check enforces it end to end).
+
+#define DTTSIM_NET_CORE_INT(X) \
+    X(numContexts) X(fetchWidth) X(fetchThreads) X(fetchBlockInsts) \
+    X(frontendDepth) X(frontendQSize) X(dispatchWidth) X(issueWidth) \
+    X(commitWidth) X(robSize) X(iqSize) X(lqSize) X(sqSize) \
+    X(queueReservePerCtx) X(intAlu) X(intMulDiv) X(fpAlu) \
+    X(fpMulDiv) X(memPorts) X(mispredictPenalty) X(reuseEntriesPerPc)
+
+#define DTTSIM_NET_BPRED_INT(X) \
+    X(historyBits) X(btbEntries) X(rasEntries) X(numContexts)
+
+#define DTTSIM_NET_DTT_INT(X) \
+    X(maxTriggers) X(threadQueueSize) X(stallBound)
+
+#define DTTSIM_NET_DTT_BOOL(X) \
+    X(silentSuppression) X(coalesce) X(serializePerTrigger)
+
+#define DTTSIM_NET_SP_INT(X) X(maxTriggers) X(tokenQueueSize)
+
+#define DTTSIM_NET_SP_BOOL(X) X(skipWhenBusy) X(serializePerTrigger)
+
+#define PUT_INT(name) v.set(#name, Value(s.name));
+#define PUT_U64(name) \
+    v.set(#name, Value(static_cast<std::uint64_t>(s.name)));
+#define PUT_BOOL(name) v.set(#name, Value(s.name));
+#define GET_INT(name) \
+    if (!getInt(o, #name, &s.name, error)) \
+        return false;
+#define GET_U64(name) \
+    { \
+        std::uint64_t u; \
+        if (!getU64(o, #name, &u, error)) \
+            return false; \
+        s.name = static_cast<decltype(s.name)>(u); \
+    }
+#define GET_BOOL(name) \
+    if (!getBool(o, #name, &s.name, error)) \
+        return false;
+
+Value
+bpredToJson(const cpu::BpredConfig &s)
+{
+    Value v = Value::object();
+    DTTSIM_NET_BPRED_INT(PUT_INT)
+    return v;
+}
+
+bool
+bpredFromJson(const Value &o, cpu::BpredConfig &s, std::string *error)
+{
+    DTTSIM_NET_BPRED_INT(GET_INT)
+    return true;
+}
+
+Value
+coreToJson(const cpu::CoreConfig &s)
+{
+    Value v = Value::object();
+    DTTSIM_NET_CORE_INT(PUT_INT)
+    PUT_U64(watchdogWindow)
+    PUT_BOOL(reuseBuffer)
+    v.set("bpred", bpredToJson(s.bpred));
+    return v;
+}
+
+bool
+coreFromJson(const Value &o, cpu::CoreConfig &s, std::string *error)
+{
+    DTTSIM_NET_CORE_INT(GET_INT)
+    GET_U64(watchdogWindow)
+    GET_BOOL(reuseBuffer)
+    const Value *bv = getObj(o, "bpred", error);
+    if (bv == nullptr || !bpredFromJson(*bv, s.bpred, error))
+        return false;
+    return true;
+}
+
+Value
+cacheToJson(const mem::CacheConfig &s)
+{
+    // CacheConfig::name is stats labelling, not simulation behaviour
+    // (and not digest-hashed) — the receiver keeps its level default.
+    Value v = Value::object();
+    PUT_U64(sizeBytes)
+    PUT_U64(assoc)
+    PUT_U64(lineBytes)
+    PUT_U64(hitLatency)
+    return v;
+}
+
+bool
+cacheFromJson(const Value &o, mem::CacheConfig &s, std::string *error)
+{
+    GET_U64(sizeBytes)
+    GET_U64(assoc)
+    GET_U64(lineBytes)
+    GET_U64(hitLatency)
+    return true;
+}
+
+Value
+memToJson(const mem::HierarchyConfig &s)
+{
+    Value v = Value::object();
+    v.set("l1i", cacheToJson(s.l1i));
+    v.set("l1d", cacheToJson(s.l1d));
+    v.set("l2", cacheToJson(s.l2));
+    PUT_U64(memLatency)
+    PUT_BOOL(modelFills)
+    PUT_INT(mshrs)
+    PUT_BOOL(nextLinePrefetch)
+    return v;
+}
+
+bool
+memFromJson(const Value &o, mem::HierarchyConfig &s, std::string *error)
+{
+    for (auto [key, cc] : {std::pair{"l1i", &s.l1i},
+                           std::pair{"l1d", &s.l1d},
+                           std::pair{"l2", &s.l2}}) {
+        const Value *cv = getObj(o, key, error);
+        if (cv == nullptr || !cacheFromJson(*cv, *cc, error))
+            return false;
+    }
+    GET_U64(memLatency)
+    GET_BOOL(modelFills)
+    GET_INT(mshrs)
+    GET_BOOL(nextLinePrefetch)
+    return true;
+}
+
+Value
+dttToJson(const dtt::DttConfig &s)
+{
+    Value v = Value::object();
+    DTTSIM_NET_DTT_INT(PUT_INT)
+    v.set("fullPolicy", Value(static_cast<std::uint64_t>(
+        s.fullPolicy)));
+    DTTSIM_NET_DTT_BOOL(PUT_BOOL)
+    PUT_U64(spawnLatency)
+    return v;
+}
+
+bool
+dttFromJson(const Value &o, dtt::DttConfig &s, std::string *error)
+{
+    DTTSIM_NET_DTT_INT(GET_INT)
+    std::uint64_t policy;
+    if (!getU64(o, "fullPolicy", &policy, error))
+        return false;
+    if (policy > static_cast<std::uint64_t>(
+            dtt::FullQueuePolicy::StallBounded))
+        return fail(error, "'fullPolicy' out of range");
+    s.fullPolicy = static_cast<dtt::FullQueuePolicy>(policy);
+    DTTSIM_NET_DTT_BOOL(GET_BOOL)
+    GET_U64(spawnLatency)
+    return true;
+}
+
+Value
+spToJson(const sp::SpConfig &s)
+{
+    Value v = Value::object();
+    DTTSIM_NET_SP_INT(PUT_INT)
+    DTTSIM_NET_SP_BOOL(PUT_BOOL)
+    PUT_U64(spawnLatency)
+    return v;
+}
+
+bool
+spFromJson(const Value &o, sp::SpConfig &s, std::string *error)
+{
+    DTTSIM_NET_SP_INT(GET_INT)
+    DTTSIM_NET_SP_BOOL(GET_BOOL)
+    GET_U64(spawnLatency)
+    return true;
+}
+
+Value
+configToJson(const sim::SimConfig &cfg)
+{
+    Value v = Value::object();
+    v.set("core", coreToJson(cfg.core));
+    v.set("mem", memToJson(cfg.mem));
+    v.set("accel", Value(std::string(cpu::accelKindName(cfg.accel))));
+    v.set("dtt", dttToJson(cfg.dtt));
+    v.set("sp", spToJson(cfg.sp));
+    {
+        Value rv = Value::object();
+        rv.set("entriesPerPc", Value(cfg.reuse.entriesPerPc));
+        v.set("reuse", std::move(rv));
+    }
+    v.set("maxCycles", Value(static_cast<std::uint64_t>(
+        cfg.maxCycles)));
+    {
+        Value fv = Value::object();
+        fv.set("seed", Value(cfg.fault.seed));
+        // Bit pattern, not decimal text: the rate feeds the job
+        // digest as raw bytes, so the round-trip must be bit-exact
+        // even for values %.17g would normalize.
+        fv.set("rateBits", Value(bitsOfDouble(cfg.fault.rate)));
+        fv.set("siteMask", Value(static_cast<std::uint64_t>(
+            cfg.fault.siteMask)));
+        v.set("fault", std::move(fv));
+    }
+    v.set("shadowProfile", Value(cfg.shadowProfile));
+    return v;
+}
+
+bool
+configFromJson(const Value &o, sim::SimConfig &cfg, std::string *error)
+{
+    const Value *core = getObj(o, "core", error);
+    if (core == nullptr || !coreFromJson(*core, cfg.core, error))
+        return false;
+    const Value *memv = getObj(o, "mem", error);
+    if (memv == nullptr || !memFromJson(*memv, cfg.mem, error))
+        return false;
+    std::string accel;
+    if (!getStr(o, "accel", &accel, error))
+        return false;
+    std::optional<cpu::AccelKind> kind = cpu::accelKindFromName(accel);
+    if (!kind)
+        return fail(error, "unknown accel '" + accel + "'");
+    cfg.accel = *kind;
+    const Value *dttv = getObj(o, "dtt", error);
+    if (dttv == nullptr || !dttFromJson(*dttv, cfg.dtt, error))
+        return false;
+    const Value *spv = getObj(o, "sp", error);
+    if (spv == nullptr || !spFromJson(*spv, cfg.sp, error))
+        return false;
+    const Value *rv = getObj(o, "reuse", error);
+    if (rv == nullptr
+        || !getInt(*rv, "entriesPerPc", &cfg.reuse.entriesPerPc,
+                   error))
+        return false;
+    std::uint64_t maxCycles;
+    if (!getU64(o, "maxCycles", &maxCycles, error))
+        return false;
+    cfg.maxCycles = maxCycles;
+    const Value *fv = getObj(o, "fault", error);
+    if (fv == nullptr)
+        return false;
+    std::uint64_t rateBits, siteMask;
+    if (!getU64(*fv, "seed", &cfg.fault.seed, error)
+        || !getU64(*fv, "rateBits", &rateBits, error)
+        || !getU64(*fv, "siteMask", &siteMask, error))
+        return false;
+    cfg.fault.rate = doubleFromBits(rateBits);
+    cfg.fault.siteMask = static_cast<std::uint32_t>(siteMask);
+    if (!getBool(o, "shadowProfile", &cfg.shadowProfile, error))
+        return false;
+    return true;
+}
+
+Value
+programToJson(const isa::Program &prog)
+{
+    Value v = Value::object();
+    v.set("entry", Value(prog.entry()));
+    Value text = Value::array();
+    for (const isa::Inst &inst : prog.text()) {
+        // One compact array per instruction; fimm travels as its
+        // IEEE-754 bit pattern (digest bit-exactness, see file
+        // comment in protocol.h).
+        Value iv = Value::array();
+        iv.push(Value(std::string(isa::mnemonic(inst.op))));
+        iv.push(Value(static_cast<std::uint64_t>(inst.rd)));
+        iv.push(Value(static_cast<std::uint64_t>(inst.rs1)));
+        iv.push(Value(static_cast<std::uint64_t>(inst.rs2)));
+        iv.push(Value(static_cast<std::int64_t>(inst.trig)));
+        iv.push(Value(inst.imm));
+        iv.push(Value(bitsOfDouble(inst.fimm)));
+        text.push(std::move(iv));
+    }
+    v.set("text", std::move(text));
+    Value data = Value::array();
+    for (const isa::DataChunk &chunk : prog.dataChunks()) {
+        Value cv = Value::object();
+        cv.set("base", Value(chunk.base));
+        cv.set("hex", Value(hexEncode(chunk.bytes)));
+        data.push(std::move(cv));
+    }
+    v.set("data", std::move(data));
+    v.set("dataEnd", Value(prog.dataEnd()));
+    v.set("numTriggers", Value(prog.numTriggers()));
+    return v;
+}
+
+bool
+programFromJson(const Value &o, isa::Program &prog, std::string *error)
+{
+    const Value *text = o.find("text");
+    if (text == nullptr || !text->isArray())
+        return fail(error, "'text' missing or not an array");
+    for (std::size_t i = 0; i < text->size(); ++i) {
+        const Value &iv = text->at(i);
+        if (!iv.isArray() || iv.size() != 7)
+            return fail(error, "instruction is not a 7-element array");
+        if (!iv.at(0).isString())
+            return fail(error, "instruction mnemonic is not a string");
+        isa::Inst inst;
+        inst.op = isa::parseMnemonic(iv.at(0).asString());
+        if (inst.op == isa::Opcode::NumOpcodes)
+            return fail(error, "unknown mnemonic '"
+                        + iv.at(0).asString() + "'");
+        for (int k = 1; k <= 3; ++k)
+            if (!iv.at(k).isUint() || iv.at(k).asUint() > 0xff)
+                return fail(error, "instruction register out of range");
+        inst.rd = static_cast<std::uint8_t>(iv.at(1).asUint());
+        inst.rs1 = static_cast<std::uint8_t>(iv.at(2).asUint());
+        inst.rs2 = static_cast<std::uint8_t>(iv.at(3).asUint());
+        if (!iv.at(4).isNumber() || !iv.at(5).isNumber()
+            || !iv.at(6).isUint())
+            return fail(error, "instruction operand field mistyped");
+        inst.trig = static_cast<TriggerId>(iv.at(4).asInt());
+        inst.imm = iv.at(5).asInt();
+        inst.fimm = doubleFromBits(iv.at(6).asUint());
+        prog.append(inst);
+        if (inst.trig >= 0)
+            prog.noteTrigger(inst.trig);
+    }
+    std::uint64_t entry;
+    if (!getU64(o, "entry", &entry, error))
+        return false;
+    prog.setEntry(entry);
+    const Value *data = o.find("data");
+    if (data == nullptr || !data->isArray())
+        return fail(error, "'data' missing or not an array");
+    std::vector<isa::DataChunk> chunks;
+    for (std::size_t i = 0; i < data->size(); ++i) {
+        const Value &cv = data->at(i);
+        if (!cv.isObject())
+            return fail(error, "data chunk is not an object");
+        isa::DataChunk chunk;
+        if (!getU64(cv, "base", &chunk.base, error))
+            return false;
+        std::string hex;
+        if (!getStr(cv, "hex", &hex, error)
+            || !hexDecode(hex, &chunk.bytes, error))
+            return false;
+        chunks.push_back(std::move(chunk));
+    }
+    std::uint64_t dataEnd;
+    if (!getU64(o, "dataEnd", &dataEnd, error))
+        return false;
+    prog.restoreDataLayout(std::move(chunks), dataEnd);
+    int numTriggers;
+    if (!getInt(o, "numTriggers", &numTriggers, error))
+        return false;
+    // noteTrigger in the text loop gets us most of the way; the
+    // explicit count covers triggers registered without a text use.
+    if (numTriggers > 0)
+        prog.noteTrigger(numTriggers - 1);
+    if (prog.numTriggers() != numTriggers)
+        return fail(error, "'numTriggers' below the text's trigger "
+                           "usage");
+    return true;
+}
+
+#undef PUT_INT
+#undef PUT_U64
+#undef PUT_BOOL
+#undef GET_INT
+#undef GET_U64
+#undef GET_BOOL
+
+} // namespace
+
+json::Value
+helloMessage(const std::string &name)
+{
+    Value v = Value::object();
+    v.set("type", Value("hello"));
+    v.set("proto", Value(static_cast<std::uint64_t>(
+        kProtocolVersion)));
+    v.set("name", Value(name));
+    return v;
+}
+
+json::Value
+helloOkMessage(const std::string &name)
+{
+    Value v = Value::object();
+    v.set("type", Value("hello-ok"));
+    v.set("proto", Value(static_cast<std::uint64_t>(
+        kProtocolVersion)));
+    v.set("name", Value(name));
+    return v;
+}
+
+std::optional<std::string>
+checkHello(const json::Value &v, const std::string &expect_type,
+           std::string *error)
+{
+    auto bad = [&](const std::string &what)
+        -> std::optional<std::string> {
+        fail(error, what);
+        return std::nullopt;
+    };
+    if (!v.isObject())
+        return bad("handshake message is not an object");
+    std::string type;
+    if (!getStr(v, "type", &type, error))
+        return std::nullopt;
+    if (type != expect_type)
+        return bad("expected '" + expect_type + "' handshake, got '"
+                   + type + "'");
+    std::uint64_t proto;
+    if (!getU64(v, "proto", &proto, error))
+        return std::nullopt;
+    if (proto != static_cast<std::uint64_t>(kProtocolVersion))
+        return bad("protocol version mismatch (peer "
+                   + std::to_string(proto) + ", ours "
+                   + std::to_string(kProtocolVersion) + ")");
+    std::string name;
+    if (!getStr(v, "name", &name, error))
+        return std::nullopt;
+    return name;
+}
+
+json::Value
+simJobToJson(const sim::SimJob &job)
+{
+    Value v = Value::object();
+    v.set("workload", Value(job.workload));
+    v.set("variant", Value(job.variant));
+    v.set("config", configToJson(job.config));
+    v.set("program", programToJson(job.program));
+    Value co = Value::array();
+    for (std::uint64_t entry : job.coRunnerEntries)
+        co.push(Value(entry));
+    v.set("coRunnerEntries", std::move(co));
+    return v;
+}
+
+std::optional<sim::SimJob>
+trySimJobFromJson(const json::Value &v, std::string *error)
+{
+    if (!v.isObject()) {
+        fail(error, "job is not an object");
+        return std::nullopt;
+    }
+    sim::SimJob job;
+    if (!getStr(v, "workload", &job.workload, error)
+        || !getStr(v, "variant", &job.variant, error))
+        return std::nullopt;
+    const Value *cfg = getObj(v, "config", error);
+    if (cfg == nullptr || !configFromJson(*cfg, job.config, error))
+        return std::nullopt;
+    const Value *prog = getObj(v, "program", error);
+    if (prog == nullptr || !programFromJson(*prog, job.program, error))
+        return std::nullopt;
+    const Value *co = v.find("coRunnerEntries");
+    if (co == nullptr || !co->isArray()) {
+        fail(error, "'coRunnerEntries' missing or not an array");
+        return std::nullopt;
+    }
+    for (std::size_t i = 0; i < co->size(); ++i) {
+        if (!co->at(i).isUint()) {
+            fail(error, "co-runner entry is not an unsigned integer");
+            return std::nullopt;
+        }
+        job.coRunnerEntries.push_back(co->at(i).asUint());
+    }
+    return job;
+}
+
+json::Value
+jobMessage(std::uint64_t id, const sim::SimJob &job,
+           const std::string &digest, const RetryPolicy &policy)
+{
+    Value v = Value::object();
+    v.set("type", Value("job"));
+    v.set("id", Value(id));
+    v.set("digest", Value(digest));
+    {
+        Value p = Value::object();
+        p.set("maxAttempts", Value(static_cast<std::uint64_t>(
+            policy.maxAttempts)));
+        p.set("retryBackoffSeconds",
+              Value(policy.retryBackoffSeconds));
+        p.set("retryTimeouts", Value(policy.retryTimeouts));
+        p.set("jobDeadlineSeconds",
+              Value(policy.jobDeadlineSeconds));
+        v.set("policy", std::move(p));
+    }
+    v.set("job", simJobToJson(job));
+    return v;
+}
+
+std::optional<JobRequest>
+tryJobRequestFromJson(const json::Value &v, std::string *error)
+{
+    if (!v.isObject()) {
+        fail(error, "job message is not an object");
+        return std::nullopt;
+    }
+    JobRequest req;
+    std::string type;
+    if (!getStr(v, "type", &type, error))
+        return std::nullopt;
+    if (type != "job") {
+        fail(error, "expected a 'job' message, got '" + type + "'");
+        return std::nullopt;
+    }
+    if (!getU64(v, "id", &req.id, error)
+        || !getStr(v, "digest", &req.digest, error))
+        return std::nullopt;
+    const Value *p = getObj(v, "policy", error);
+    if (p == nullptr)
+        return std::nullopt;
+    std::uint64_t attempts;
+    if (!getU64(*p, "maxAttempts", &attempts, error))
+        return std::nullopt;
+    req.policy.maxAttempts = static_cast<int>(attempts);
+    const Value *backoff = p->find("retryBackoffSeconds");
+    const Value *deadline = p->find("jobDeadlineSeconds");
+    if (backoff == nullptr || !backoff->isNumber()
+        || deadline == nullptr || !deadline->isNumber()) {
+        fail(error, "policy seconds fields missing or mistyped");
+        return std::nullopt;
+    }
+    req.policy.retryBackoffSeconds = backoff->asDouble();
+    req.policy.jobDeadlineSeconds = deadline->asDouble();
+    if (!getBool(*p, "retryTimeouts", &req.policy.retryTimeouts,
+                 error))
+        return std::nullopt;
+    const Value *jv = getObj(v, "job", error);
+    if (jv == nullptr)
+        return std::nullopt;
+    std::optional<sim::SimJob> job = trySimJobFromJson(*jv, error);
+    if (!job)
+        return std::nullopt;
+    req.job = std::move(*job);
+    return req;
+}
+
+json::Value
+resultMessage(std::uint64_t id, const std::string &digest,
+              const sim::JobResult &jr)
+{
+    Value v = Value::object();
+    v.set("type", Value("result"));
+    v.set("id", Value(id));
+    v.set("digest", Value(digest));
+    v.set("status", Value(std::string(
+        sim::jobStatusName(jr.status))));
+    v.set("attempts", Value(static_cast<std::uint64_t>(
+        jr.attempts)));
+    v.set("wall_seconds", Value(jr.wallSeconds));
+    if (!jr.error.empty()) {
+        Value e = Value::object();
+        e.set("kind", Value(jr.error.kind));
+        e.set("message", Value(jr.error.message));
+        v.set("error", std::move(e));
+    }
+    v.set("result", sim::resultToJson(jr.result));
+    return v;
+}
+
+json::Value
+errorMessage(std::uint64_t id, const std::string &message)
+{
+    Value v = Value::object();
+    v.set("type", Value("error"));
+    v.set("id", Value(id));
+    v.set("message", Value(message));
+    return v;
+}
+
+std::optional<WireResult>
+tryWireResultFromJson(const json::Value &v, std::string *error)
+{
+    auto bad = [&](const std::string &what)
+        -> std::optional<WireResult> {
+        fail(error, what);
+        return std::nullopt;
+    };
+    if (!v.isObject())
+        return bad("reply is not an object");
+    WireResult wr;
+    std::string type;
+    if (!getStr(v, "type", &type, error))
+        return std::nullopt;
+    if (type == "error") {
+        wr.ok = false;
+        if (!getU64(v, "id", &wr.id, error)
+            || !getStr(v, "message", &wr.message, error))
+            return std::nullopt;
+        return wr;
+    }
+    if (type != "result")
+        return bad("expected a 'result' reply, got '" + type + "'");
+    wr.ok = true;
+    if (!getU64(v, "id", &wr.id, error)
+        || !getStr(v, "digest", &wr.digest, error))
+        return std::nullopt;
+    std::string status;
+    if (!getStr(v, "status", &status, error))
+        return std::nullopt;
+    std::optional<sim::JobStatus> st = sim::jobStatusFromName(status);
+    if (!st)
+        return bad("unknown status '" + status + "'");
+    wr.status = *st;
+    std::uint64_t attempts;
+    if (!getU64(v, "attempts", &attempts, error) || attempts < 1)
+        return std::nullopt;
+    wr.attempts = static_cast<int>(attempts);
+    const Value *wall = v.find("wall_seconds");
+    if (wall == nullptr || !wall->isNumber())
+        return bad("'wall_seconds' missing or not a number");
+    wr.wallSeconds = wall->asDouble();
+    if (const Value *e = v.find("error")) {
+        if (!e->isObject())
+            return bad("'error' is not an object");
+        if (!getStr(*e, "kind", &wr.error.kind, error)
+            || !getStr(*e, "message", &wr.error.message, error))
+            return std::nullopt;
+    }
+    const Value *rv = v.find("result");
+    if (rv == nullptr)
+        return bad("'result' missing");
+    std::optional<sim::SimResult> r =
+        sim::tryResultFromJson(*rv, error);
+    if (!r)
+        return std::nullopt;
+    wr.result = *r;
+    return wr;
+}
+
+} // namespace dttsim::net

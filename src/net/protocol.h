@@ -1,0 +1,126 @@
+#pragma once
+
+/**
+ * @file
+ * Wire protocol of the distributed sweep fabric: line-delimited JSON
+ * messages between the harness's remote dispatcher (net::WorkerClient)
+ * and the worker daemon (net::WorkerServer / tools/dttworkerd).
+ *
+ * One message per line, each a JSON object with a "type" member:
+ *
+ *     client -> server   {"type":"hello","proto":1,"name":...}
+ *     server -> client   {"type":"hello-ok","proto":1,"name":...}
+ *     client -> server   {"type":"job","id":N,"digest":...,
+ *                         "policy":{...},"job":{...}}
+ *     server -> client   {"type":"result","id":N,"digest":...,
+ *                         "status":...,"attempts":N,
+ *                         "wall_seconds":...,["error":{...},]
+ *                         "result":{...}}
+ *     server -> client   {"type":"error","id":N,"message":...}
+ *
+ * Jobs are pipelined: the client may have several "job" messages in
+ * flight (its backpressure window); the server replies in completion
+ * order and the client matches replies by id.
+ *
+ * Determinism contract: the SimJob codec is *bit-exact* — doubles
+ * that feed the job digest (Inst::fimm, FaultConfig::rate) travel as
+ * raw IEEE-754 bit patterns, and every field enumerated by
+ * sim::jobDigest round-trips, so the digest the daemon recomputes
+ * from the deserialized job equals the client's. Both sides check it
+ * (the "digest" echo in the result message); a mismatch means the
+ * codec and the digest drifted apart, and the client falls back to
+ * local execution rather than trusting the record.
+ *
+ * The retry policy rides inside the job message so a remote attempt
+ * count matches what a local run of the same sweep would record —
+ * required for merged output to stay byte-identical to a local run.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "sim/engine.h"
+
+namespace dttsim::net {
+
+/** Protocol version; bumped on any incompatible message change.
+ *  hello/hello-ok exchange it and mismatches refuse the session. */
+inline constexpr int kProtocolVersion = 1;
+
+/** Supervision policy shipped with each job so the daemon retries
+ *  exactly like a local engine would (attempt counts are part of the
+ *  emitted records). */
+struct RetryPolicy
+{
+    int maxAttempts = 1;
+    double retryBackoffSeconds = 0.0;
+    bool retryTimeouts = false;
+    double jobDeadlineSeconds = 0.0;
+};
+
+/** A decoded "job" message. */
+struct JobRequest
+{
+    std::uint64_t id = 0;
+    /** Client-side jobDigest — the daemon recomputes and must match. */
+    std::string digest;
+    sim::SimJob job;
+    RetryPolicy policy;
+};
+
+/** A decoded "result" or "error" reply. */
+struct WireResult
+{
+    std::uint64_t id = 0;
+    /** True for "result"; false for "error" (daemon-level reject —
+     *  message says why, the payload fields are meaningless). */
+    bool ok = false;
+    std::string message;
+    std::string digest;
+    sim::JobStatus status = sim::JobStatus::Error;
+    int attempts = 1;
+    double wallSeconds = 0.0;
+    sim::JobError error;
+    sim::SimResult result;
+};
+
+// --- handshake ---
+
+json::Value helloMessage(const std::string &name);
+json::Value helloOkMessage(const std::string &name);
+
+/** Validate a hello/hello-ok of @p expect_type; returns the peer's
+ *  name, or nullopt + @p error (bad type, version mismatch). */
+std::optional<std::string> checkHello(const json::Value &v,
+                                      const std::string &expect_type,
+                                      std::string *error);
+
+// --- jobs ---
+
+json::Value jobMessage(std::uint64_t id, const sim::SimJob &job,
+                       const std::string &digest,
+                       const RetryPolicy &policy);
+
+std::optional<JobRequest> tryJobRequestFromJson(const json::Value &v,
+                                                std::string *error);
+
+// --- replies ---
+
+json::Value resultMessage(std::uint64_t id, const std::string &digest,
+                          const sim::JobResult &jr);
+
+json::Value errorMessage(std::uint64_t id, const std::string &message);
+
+std::optional<WireResult> tryWireResultFromJson(const json::Value &v,
+                                                std::string *error);
+
+// --- SimJob codec (exposed for the round-trip tests) ---
+
+json::Value simJobToJson(const sim::SimJob &job);
+
+std::optional<sim::SimJob> trySimJobFromJson(const json::Value &v,
+                                             std::string *error);
+
+} // namespace dttsim::net

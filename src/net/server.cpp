@@ -1,0 +1,214 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+
+#include "common/log.h"
+#include "sim/resultstore.h"
+
+namespace dttsim::net {
+
+namespace {
+
+/** The exact string TcpStream::readLine reports on deadline expiry —
+ *  the reader loop uses it to tell "idle poll tick" from "peer went
+ *  away". */
+constexpr const char *kTimeoutError = "read timed out";
+
+} // namespace
+
+WorkerServer::WorkerServer(ServerConfig config)
+    : config_(std::move(config))
+{
+    config_.jobs = std::max(1, config_.jobs);
+    config_.maxQueue = std::max(1, config_.maxQueue);
+}
+
+WorkerServer::~WorkerServer()
+{
+    stop();
+}
+
+bool
+WorkerServer::start(std::string *error)
+{
+    listener_ = TcpListener::bind(config_.bindHost, config_.port,
+                                  error);
+    if (!listener_)
+        return false;
+    running_ = true;
+    return true;
+}
+
+int
+WorkerServer::port() const
+{
+    return listener_ ? listener_->port() : 0;
+}
+
+void
+WorkerServer::serveForever()
+{
+    while (running_) {
+        std::optional<TcpStream> conn = listener_->accept(0.25);
+        if (!conn)
+            continue;
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        threads_.emplace_back(
+            [this, s = std::move(*conn)]() mutable {
+                serveConnection(std::move(s));
+            });
+    }
+}
+
+void
+WorkerServer::stop()
+{
+    running_ = false;
+    if (listener_)
+        listener_->close();
+    std::vector<std::thread> drain;
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        drain.swap(threads_);
+    }
+    for (std::thread &t : drain)
+        if (t.joinable())
+            t.join();
+}
+
+void
+WorkerServer::serveConnection(TcpStream stream)
+{
+    std::string line, err;
+    if (!stream.readLine(&line, 10.0, &err))
+        return;
+    std::optional<json::Value> hello =
+        json::Value::tryParse(line, &err);
+    if (!hello) {
+        stream.writeLine(
+            errorMessage(0, "unparsable handshake: " + err).dump());
+        return;
+    }
+    std::optional<std::string> peer =
+        checkHello(*hello, "hello", &err);
+    if (!peer) {
+        stream.writeLine(errorMessage(0, err).dump());
+        return;
+    }
+    if (!stream.writeLine(helloOkMessage(config_.name).dump()))
+        return;
+
+    // Bounded decoded-job queue: the backpressure point. Executors
+    // drain it; the reader blocks when it is full, which stops
+    // reading the socket, which fills the TCP window, which pauses
+    // the client's dispatcher.
+    std::deque<JobRequest> queue;
+    std::mutex m;
+    std::condition_variable cvFull, cvEmpty;
+    bool done = false;
+    std::mutex writeMutex;  // executors interleave whole reply lines
+
+    auto writeReply = [&](const json::Value &msg) {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        return stream.writeLine(msg.dump());
+    };
+
+    auto executor = [&]() {
+        for (;;) {
+            JobRequest req;
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cvEmpty.wait(lock,
+                             [&] { return !queue.empty() || done; });
+                if (queue.empty())
+                    return;
+                req = std::move(queue.front());
+                queue.pop_front();
+            }
+            cvFull.notify_one();
+
+            // Codec-integrity gate: the digest we compute over the
+            // deserialized job must equal the client's, or the wire
+            // codec and the digest have drifted — refuse rather than
+            // let a mislabeled record into a shared cache.
+            std::string digest = sim::jobDigest(req.job);
+            if (digest != req.digest) {
+                writeReply(errorMessage(
+                    req.id,
+                    "digest mismatch (client " + req.digest
+                        + ", daemon " + digest
+                        + "): protocol codec drift, refusing to "
+                          "execute"));
+                continue;
+            }
+            // The client's retry policy rides with the job so the
+            // attempts field in the record matches what a local run
+            // would have written (byte-identity of merged output).
+            sim::EngineConfig ec;
+            ec.numThreads = 1;
+            ec.maxAttempts = std::max(1, req.policy.maxAttempts);
+            ec.retryBackoffSeconds =
+                std::max(0.0, req.policy.retryBackoffSeconds);
+            ec.retryTimeouts = req.policy.retryTimeouts;
+            ec.jobDeadlineSeconds =
+                std::max(0.0, req.policy.jobDeadlineSeconds);
+            ec.store = config_.store;
+            sim::Engine engine(ec);
+            std::vector<sim::JobResult> results =
+                engine.run({req.job});
+            jobsExecuted_.fetch_add(1, std::memory_order_relaxed);
+            if (!writeReply(resultMessage(req.id, digest,
+                                          results.at(0))))
+                return;  // client gone; drain and exit
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(config_.jobs));
+    for (int i = 0; i < config_.jobs; ++i)
+        pool.emplace_back(executor);
+
+    for (;;) {
+        err.clear();
+        if (!stream.readLine(&line, 0.5, &err)) {
+            if (err == kTimeoutError && running_)
+                continue;  // idle tick; keep the session open
+            break;         // EOF, error, or shutdown
+        }
+        std::optional<json::Value> msg =
+            json::Value::tryParse(line, &err);
+        std::optional<JobRequest> req;
+        if (msg)
+            req = tryJobRequestFromJson(*msg, &err);
+        if (!req) {
+            // A malformed line means the framing is gone; reply once
+            // and drop the session (the client degrades to local).
+            writeReply(errorMessage(0, "bad job message: " + err));
+            break;
+        }
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cvFull.wait(lock, [&] {
+                return queue.size()
+                           < static_cast<std::size_t>(config_.maxQueue)
+                    || !running_;
+            });
+            if (!running_)
+                break;
+            queue.push_back(std::move(*req));
+        }
+        cvEmpty.notify_one();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        done = true;
+    }
+    cvEmpty.notify_all();
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace dttsim::net

@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * Server side of the sweep fabric: the engine behind tools/dttworkerd.
+ * Accepts connections, handshakes, then executes pipelined job
+ * messages through a supervised sim::Engine and streams result
+ * records back.
+ *
+ * Threading model: one accept loop; per connection, the connection
+ * thread reads and decodes job lines into a *bounded* queue and a
+ * small executor pool drains it. The bound is the backpressure
+ * mechanism — when executors fall behind, the reader blocks, the TCP
+ * window fills, and the client's dispatcher stops sending (its own
+ * in-flight window is bounded too), so a flood of jobs degrades to
+ * steady streaming instead of unbounded daemon memory.
+ *
+ * The daemon recomputes sim::jobDigest over every deserialized job
+ * and refuses to execute on a mismatch with the client's digest (an
+ * "error" reply) — the codec-integrity check that keeps a drifted
+ * binary from poisoning a shared cache.
+ */
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace dttsim::sim {
+class ResultStore;
+} // namespace dttsim::sim
+
+namespace dttsim::net {
+
+/** Daemon configuration (tools/dttworkerd's flags). */
+struct ServerConfig
+{
+    /** Bind address; loopback by default — exposing a daemon beyond
+     *  the host is an explicit decision (--bind). */
+    std::string bindHost = "127.0.0.1";
+    /** Listen port; 0 picks an ephemeral port (read back via
+     *  port()). */
+    int port = 0;
+    /** Concurrent job executions per connection. */
+    int jobs = 1;
+    /** Decoded jobs buffered per connection before the reader blocks
+     *  (the backpressure bound). */
+    int maxQueue = 32;
+    /** Self-reported name in the hello-ok handshake. */
+    std::string name = "dttworkerd";
+    /** Optional daemon-side result cache (warm starts across
+     *  sessions); not owned, may be null. */
+    sim::ResultStore *store = nullptr;
+};
+
+/** The worker daemon's accept/execute engine. */
+class WorkerServer
+{
+  public:
+    explicit WorkerServer(ServerConfig config);
+    ~WorkerServer();
+
+    WorkerServer(const WorkerServer &) = delete;
+    WorkerServer &operator=(const WorkerServer &) = delete;
+
+    /** Bind + listen. @return false + @p error on failure. */
+    bool start(std::string *error);
+
+    /** The bound port (valid after start()). */
+    int port() const;
+
+    /** Accept-and-serve until stop(). Blocks the calling thread. */
+    void serveForever();
+
+    /** Stop accepting, drain connections, join threads. Safe from
+     *  another thread (tests) or a signal-triggered flag check. */
+    void stop();
+
+    /** Jobs executed since start (all connections). */
+    std::uint64_t jobsExecuted() const { return jobsExecuted_; }
+
+  private:
+    void serveConnection(TcpStream stream);
+
+    ServerConfig config_;
+    std::optional<TcpListener> listener_;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> jobsExecuted_{0};
+    std::mutex threadsMutex_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace dttsim::net

@@ -1,0 +1,337 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace dttsim::net {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what;
+}
+
+/** Remaining milliseconds until @p deadline (clamped to [0, INT_MAX]). */
+int
+remainingMs(std::chrono::steady_clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now()).count();
+    if (left < 0)
+        return 0;
+    if (left > 1'000'000'000)
+        return 1'000'000'000;
+    return static_cast<int>(left);
+}
+
+bool
+setNonBlocking(int fd, bool on)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+} // namespace
+
+TcpStream::~TcpStream()
+{
+    close();
+}
+
+TcpStream::TcpStream(TcpStream &&other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_))
+{
+    other.fd_ = -1;
+}
+
+TcpStream &
+TcpStream::operator=(TcpStream &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buf_ = std::move(other.buf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+TcpStream::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+std::optional<TcpStream>
+TcpStream::connect(const std::string &host, int port,
+                   double timeout_seconds, std::string *error)
+{
+    auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    std::string portStr = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), portStr.c_str(), &hints, &res);
+    if (rc != 0) {
+        setError(error, "resolve " + host + ": " + gai_strerror(rc));
+        return std::nullopt;
+    }
+
+    std::string lastErr = "no addresses";
+    for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0) {
+            lastErr = std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        // Non-blocking connect so the timeout is ours, not the
+        // kernel's (minutes of SYN retries would stall a sweep).
+        if (!setNonBlocking(fd, true)) {
+            lastErr = std::string("fcntl: ") + std::strerror(errno);
+            ::close(fd);
+            continue;
+        }
+        rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (rc != 0 && errno != EINPROGRESS) {
+            lastErr = std::string("connect: ") + std::strerror(errno);
+            ::close(fd);
+            continue;
+        }
+        if (rc != 0) {
+            pollfd pf{fd, POLLOUT, 0};
+            rc = ::poll(&pf, 1, remainingMs(deadline));
+            if (rc <= 0) {
+                lastErr = rc == 0 ? "connect timed out"
+                    : std::string("poll: ") + std::strerror(errno);
+                ::close(fd);
+                continue;
+            }
+            int soErr = 0;
+            socklen_t len = sizeof soErr;
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len)
+                    != 0 || soErr != 0) {
+                lastErr = std::string("connect: ")
+                    + std::strerror(soErr ? soErr : errno);
+                ::close(fd);
+                continue;
+            }
+        }
+        setNonBlocking(fd, false);
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        ::freeaddrinfo(res);
+        return TcpStream(fd);
+    }
+    ::freeaddrinfo(res);
+    setError(error, lastErr);
+    return std::nullopt;
+}
+
+bool
+TcpStream::writeLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string out = line;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+TcpStream::readLine(std::string *line, double timeout_seconds,
+                    std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "stream closed");
+        return false;
+    }
+    auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+    for (;;) {
+        std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line->assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        pollfd pf{fd_, POLLIN, 0};
+        int rc = ::poll(&pf, 1, remainingMs(deadline));
+        if (rc == 0) {
+            setError(error, "read timed out");
+            return false;
+        }
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, std::string("poll: ")
+                     + std::strerror(errno));
+            return false;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n == 0) {
+            setError(error, "connection closed by peer");
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, std::string("recv: ")
+                     + std::strerror(errno));
+            return false;
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+TcpListener::TcpListener(TcpListener &&other) noexcept
+    : fd_(other.fd_), port_(other.port_)
+{
+    other.fd_ = -1;
+    other.port_ = 0;
+}
+
+TcpListener &
+TcpListener::operator=(TcpListener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+        other.port_ = 0;
+    }
+    return *this;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::optional<TcpListener>
+TcpListener::bind(const std::string &host, int port,
+                  std::string *error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, std::string("socket: ") + std::strerror(errno));
+        return std::nullopt;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        setError(error, "bad bind address '" + host
+                 + "' (IPv4 dotted quad expected)");
+        ::close(fd);
+        return std::nullopt;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr)
+            != 0) {
+        setError(error, std::string("bind: ") + std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+    if (::listen(fd, 64) != 0) {
+        setError(error, std::string("listen: ") + std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+    // Read the port back: bind(0) means the kernel picked one.
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len)
+            != 0) {
+        setError(error, std::string("getsockname: ")
+                 + std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+    TcpListener l;
+    l.fd_ = fd;
+    l.port_ = ntohs(bound.sin_port);
+    return l;
+}
+
+std::optional<TcpStream>
+TcpListener::accept(double timeout_seconds)
+{
+    if (fd_ < 0)
+        return std::nullopt;
+    auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+    for (;;) {
+        pollfd pf{fd_, POLLIN, 0};
+        int rc = ::poll(&pf, 1, remainingMs(deadline));
+        if (rc == 0)
+            return std::nullopt;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return std::nullopt;
+        }
+        int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof one);
+        return TcpStream(conn);
+    }
+}
+
+} // namespace dttsim::net

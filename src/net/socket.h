@@ -1,0 +1,104 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal blocking-with-deadline TCP transport for the distributed
+ * sweep fabric (docs/HARNESS.md "Distributed sweeps"): a listener and
+ * a buffered line-oriented stream, nothing more. Built directly on
+ * POSIX sockets — the protocol above it is line-delimited JSON, so
+ * the transport only needs connect/accept with timeouts, readLine
+ * with a deadline, and writeLine.
+ *
+ * Every operation reports failure by return value (plus an error
+ * string); nothing here throws or fatal()s — a dead worker is a
+ * routine event the dispatcher degrades around, not a crash.
+ */
+
+#include <optional>
+#include <string>
+
+namespace dttsim::net {
+
+/** One connected TCP byte stream with buffered line reads. */
+class TcpStream
+{
+  public:
+    TcpStream() = default;
+    ~TcpStream();
+    TcpStream(TcpStream &&other) noexcept;
+    TcpStream &operator=(TcpStream &&other) noexcept;
+    TcpStream(const TcpStream &) = delete;
+    TcpStream &operator=(const TcpStream &) = delete;
+
+    /**
+     * Connect to @p host:@p port (name resolution via getaddrinfo)
+     * within @p timeout_seconds. nullopt + @p error on failure.
+     */
+    static std::optional<TcpStream> connect(const std::string &host,
+                                            int port,
+                                            double timeout_seconds,
+                                            std::string *error);
+
+    bool open() const { return fd_ >= 0; }
+
+    /**
+     * Write @p line plus a trailing newline, fully. SIGPIPE is
+     * suppressed (a peer that died becomes a false return, not a
+     * process kill). @return false on any error or short write.
+     */
+    bool writeLine(const std::string &line);
+
+    /**
+     * Read one '\n'-terminated line (newline stripped) within
+     * @p timeout_seconds. @return false on timeout, EOF, or error;
+     * @p error (optional) says which.
+     */
+    bool readLine(std::string *line, double timeout_seconds,
+                  std::string *error = nullptr);
+
+    void close();
+
+  private:
+    friend class TcpListener;
+    explicit TcpStream(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    std::string buf_;  ///< bytes received past the last line
+};
+
+/** A listening TCP socket (IPv4, loopback by default). */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+    TcpListener(TcpListener &&other) noexcept;
+    TcpListener &operator=(TcpListener &&other) noexcept;
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind @p host:@p port and listen. @p port 0 picks an ephemeral
+     * port — read it back with port() (how the smoke tests run
+     * parallel daemons without coordinating port numbers).
+     */
+    static std::optional<TcpListener> bind(const std::string &host,
+                                           int port,
+                                           std::string *error);
+
+    bool open() const { return fd_ >= 0; }
+    /** The bound port (the kernel's pick when bind() got 0). */
+    int port() const { return port_; }
+
+    /** Accept one connection; nullopt on timeout or closed listener
+     *  (the accept loop polls so stop() can interrupt it). */
+    std::optional<TcpStream> accept(double timeout_seconds);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    int port_ = 0;
+};
+
+} // namespace dttsim::net

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -11,6 +13,7 @@
 #include <type_traits>
 
 #include "common/log.h"
+#include "net/client.h"
 #include "sim/resultstore.h"
 
 namespace dttsim::sim {
@@ -221,8 +224,12 @@ retryDelaySeconds(double base_seconds, int attempt,
 }
 
 Engine::Engine(int num_threads)
-    : Engine(EngineConfig{.numThreads = num_threads,
-                          .maxAttempts = 1})
+    : Engine([num_threads] {
+          EngineConfig c;
+          c.numThreads = num_threads;
+          c.maxAttempts = 1;
+          return c;
+      }())
 {
 }
 
@@ -313,25 +320,149 @@ Engine::run(const std::vector<SimJob> &jobs)
             unique.push_back(i);
     }
 
-    // Phase 2 — run the unique jobs on the pool. The warm-start
-    // lookup happens inside the workers (the store's read side is a
-    // shared lock), so a mostly-cached sweep scales with --jobs
-    // instead of serializing every digest probe on the main thread.
-    // Each simulation is single-threaded and self-contained, so
-    // scheduling order cannot affect any SimResult — only wall-clock.
-    // Failures are isolated: a thrown attempt is retried up to
-    // maxAttempts times with jittered exponential backoff, then
-    // recorded as a structured Error; a deadline cancellation becomes
-    // a Timeout (retried only with retryTimeouts). Nothing a job does
-    // aborts the rest of the batch.
+    // Phase 2 — drain the unique jobs through a shared work queue.
+    // The warm-start lookup happens inside the consumers (the store's
+    // read side is a shared lock), so a mostly-cached sweep scales
+    // with --jobs instead of serializing every digest probe on the
+    // main thread. Each simulation is single-threaded and self-
+    // contained, so scheduling order cannot affect any SimResult —
+    // only wall-clock. Failures are isolated: a thrown attempt is
+    // retried up to maxAttempts times with jittered exponential
+    // backoff, then recorded as a structured Error; a deadline
+    // cancellation becomes a Timeout (retried only with
+    // retryTimeouts). Nothing a job does aborts the rest of the
+    // batch.
+    //
+    // The queue (rather than an atomic cursor) exists for the fabric:
+    // remote dispatcher threads pull from the same queue as the local
+    // pool, and a worker that dies mid-job pushes its in-flight jobs
+    // back for anyone else to finish — graceful degradation with no
+    // job lost and no record duplicated (put() is digest-idempotent).
     ResultStore *store =
         config_.store != nullptr && config_.store->readable()
             ? config_.store : nullptr;
+    const bool claims = store != nullptr && store->writable()
+        && config_.claimInFlight;
+    if (claims)
+        store->setClaimDeadline(config_.claimDeadlineSeconds);
+
     std::vector<JobResult> executedResults(jobs.size());
-    std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> retried{0};
     std::atomic<std::uint64_t> warmHits{0};
     std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> remote{0};
+    std::atomic<std::uint64_t> lostWorkers{0};
+    std::atomic<std::uint64_t> claimWaited{0};
+
+    std::mutex qm;
+    std::condition_variable qcv;
+    std::deque<std::size_t> queue(unique.size());
+    for (std::size_t u = 0; u < unique.size(); ++u)
+        queue[u] = u;
+    std::size_t unresolved = unique.size();
+
+    auto finishOne = [&]() {
+        std::lock_guard<std::mutex> lock(qm);
+        --unresolved;
+        qcv.notify_all();
+    };
+    auto requeue = [&](const std::vector<std::size_t> &us) {
+        std::lock_guard<std::mutex> lock(qm);
+        for (std::size_t u : us)
+            queue.push_back(u);
+        qcv.notify_all();
+    };
+    auto tryPop = [&](std::size_t *u) {
+        std::lock_guard<std::mutex> lock(qm);
+        if (queue.empty())
+            return false;
+        *u = queue.front();
+        queue.pop_front();
+        return true;
+    };
+    // Blocks until an item is available or every job is resolved
+    // (an empty queue alone is not the end: a dying worker may still
+    // push its in-flight jobs back).
+    auto popBlocking = [&](std::size_t *u) {
+        std::unique_lock<std::mutex> lock(qm);
+        qcv.wait(lock,
+                 [&] { return !queue.empty() || unresolved == 0; });
+        if (queue.empty())
+            return false;
+        *u = queue.front();
+        queue.pop_front();
+        return true;
+    };
+
+    auto adopt = [&](JobResult &jr, const ResultStore::Record &rec) {
+        jr.result = rec.result;
+        jr.status = rec.status;
+        jr.attempts = rec.attempts;
+        jr.wallSeconds = rec.wallSeconds;
+        jr.error = {};
+        jr.cached = true;
+        warmHits.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // Decide how one popped job gets its result: a warm start from
+    // the store, adoption of another process's in-flight execution
+    // (claim wait), or execution here (with the claim held when the
+    // store supports claims). Returns true when jr is already final.
+    auto resolveToCached = [&](std::size_t idx, JobResult &jr,
+                               bool *claimed) {
+        *claimed = false;
+        if (store != nullptr) {
+            if (std::optional<ResultStore::Record> rec =
+                    store->lookup(digests[idx])) {
+                adopt(jr, *rec);
+                return true;
+            }
+        }
+        if (!claims)
+            return false;
+        bool waited = false;
+        for (;;) {
+            ResultStore::ClaimOutcome outcome =
+                store->tryClaim(digests[idx]);
+            if (outcome == ResultStore::ClaimOutcome::Unsupported)
+                break;
+            if (outcome == ResultStore::ClaimOutcome::Acquired) {
+                // Won-after-finish race: the previous holder may
+                // have published its record and released between our
+                // lookup and our claim — never re-execute a digest
+                // that is already durable.
+                store->refresh();
+                if (std::optional<ResultStore::Record> rec =
+                        store->lookup(digests[idx])) {
+                    store->releaseClaim(digests[idx]);
+                    adopt(jr, *rec);
+                    if (waited)
+                        claimWaited.fetch_add(
+                            1, std::memory_order_relaxed);
+                    return true;
+                }
+                *claimed = true;
+                break;
+            }
+            // Busy: a live process is executing this digest right
+            // now. Poll for its record instead of duplicating the
+            // simulation; a holder that dies is taken over by
+            // tryClaim (pid probe / deadline) on a later iteration.
+            waited = true;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            store->refresh();
+            if (std::optional<ResultStore::Record> rec =
+                    store->lookup(digests[idx])) {
+                adopt(jr, *rec);
+                claimWaited.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+        if (waited)
+            claimWaited.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
 
     auto attemptOnce = [&](const SimJob &job, int attempt,
                            bool *cancelled) {
@@ -341,125 +472,290 @@ Engine::run(const std::vector<SimJob> &jobs)
                             cancelled);
     };
 
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t u = next.fetch_add(1);
-            if (u >= unique.size())
-                return;
-            std::size_t idx = unique[u];
-            JobResult &jr = executedResults[idx];
-            // Warm start: a digest already in the persistent store
-            // skips execution entirely, inheriting the original
-            // run's result, wall time and attempt count — this is
-            // both the cross-binary dedup and the checkpoint/resume
-            // path.
-            if (store != nullptr) {
-                if (std::optional<ResultStore::Record> rec =
-                        store->lookup(digests[idx])) {
-                    jr.result = rec->result;
-                    jr.status = rec->status;
-                    jr.attempts = rec->attempts;
-                    jr.wallSeconds = rec->wallSeconds;
-                    jr.cached = true;
-                    warmHits.fetch_add(1, std::memory_order_relaxed);
-                    continue;
-                }
-            }
-            executed.fetch_add(1, std::memory_order_relaxed);
-            std::uint64_t jitterSeed = 0;
-            for (char ch : digests[idx])
-                jitterSeed = (jitterSeed
-                              ^ static_cast<unsigned char>(ch))
-                    * 1099511628211ull;
-            auto t0 = std::chrono::steady_clock::now();
-            for (int attempt = 1;; ++attempt) {
-                jr.attempts = attempt;
-                bool cancelled = false;
-                bool retryThis = false;
-                try {
-                    jr.result = attemptOnce(jobs[idx], attempt,
-                                            &cancelled);
-                    if (cancelled) {
-                        jr.error = {"deadline", strfmt(
-                            "wall-clock deadline of %gs exceeded",
-                            config_.jobDeadlineSeconds)};
-                        if (config_.retryTimeouts
-                            && attempt < config_.maxAttempts) {
-                            // Opt-in --retry-on=timeout: burn an
-                            // attempt and back off like a thrown one.
-                            retryThis = true;
-                        } else {
-                            // Sanitize: the partial counters of a
-                            // cancelled run depend on host timing, so
-                            // they must not reach the deterministic
-                            // results document.
-                            jr.status = JobStatus::Timeout;
-                            jr.result = SimResult{};
-                            jr.result.hitMaxCycles = true;
-                            jr.result.haltReason =
-                                HaltReason::CycleLimit;
-                            jr.result.haltDetail =
-                                "cancelled: " + jr.error.message;
-                            break;
-                        }
+    auto executeLocal = [&](std::size_t idx, JobResult &jr) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t jitterSeed = 0;
+        for (char ch : digests[idx])
+            jitterSeed = (jitterSeed
+                          ^ static_cast<unsigned char>(ch))
+                * 1099511628211ull;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int attempt = 1;; ++attempt) {
+            jr.attempts = attempt;
+            bool cancelled = false;
+            bool retryThis = false;
+            try {
+                jr.result = attemptOnce(jobs[idx], attempt,
+                                        &cancelled);
+                if (cancelled) {
+                    jr.error = {"deadline", strfmt(
+                        "wall-clock deadline of %gs exceeded",
+                        config_.jobDeadlineSeconds)};
+                    if (config_.retryTimeouts
+                        && attempt < config_.maxAttempts) {
+                        // Opt-in --retry-on=timeout: burn an
+                        // attempt and back off like a thrown one.
+                        retryThis = true;
                     } else {
-                        jr.status = statusOf(jr.result);
-                        jr.error = {};
+                        // Sanitize: the partial counters of a
+                        // cancelled run depend on host timing, so
+                        // they must not reach the deterministic
+                        // results document.
+                        jr.status = JobStatus::Timeout;
+                        jr.result = SimResult{};
+                        jr.result.hitMaxCycles = true;
+                        jr.result.haltReason =
+                            HaltReason::CycleLimit;
+                        jr.result.haltDetail =
+                            "cancelled: " + jr.error.message;
                         break;
                     }
-                } catch (const FatalError &e) {
-                    jr.error = {"FatalError", e.what()};
-                } catch (const PanicError &e) {
-                    jr.error = {"PanicError", e.what()};
-                } catch (const std::exception &e) {
-                    jr.error = {"exception", e.what()};
-                } catch (...) {
-                    jr.error = {"unknown", "non-std exception"};
-                }
-                if (!retryThis && attempt >= config_.maxAttempts) {
-                    jr.status = JobStatus::Error;
-                    jr.result = SimResult{};
-                    jr.result.hitMaxCycles = true;
-                    jr.result.haltReason = HaltReason::CycleLimit;
-                    jr.result.haltDetail =
-                        "not simulated: " + jr.error.message;
+                } else {
+                    jr.status = statusOf(jr.result);
+                    jr.error = {};
                     break;
                 }
-                retried.fetch_add(1, std::memory_order_relaxed);
-                double backoff = retryDelaySeconds(
-                    config_.retryBackoffSeconds, attempt, jitterSeed);
-                if (backoff > 0)
-                    std::this_thread::sleep_for(
-                        std::chrono::duration<double>(backoff));
+            } catch (const FatalError &e) {
+                jr.error = {"FatalError", e.what()};
+            } catch (const PanicError &e) {
+                jr.error = {"PanicError", e.what()};
+            } catch (const std::exception &e) {
+                jr.error = {"exception", e.what()};
+            } catch (...) {
+                jr.error = {"unknown", "non-std exception"};
             }
-            jr.wallSeconds = std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0).count();
-            // Persist as soon as the job completes (not at batch
-            // end), so a killed sweep resumes from every finished
-            // simulation. Only deterministic outcomes are cached.
-            if (store != nullptr && store->writable()
-                && (jr.status == JobStatus::Ok
-                    || jr.status == JobStatus::Failed))
-                store->put({digests[idx], jr.status, jr.attempts,
-                            jr.wallSeconds, jr.result});
+            if (!retryThis && attempt >= config_.maxAttempts) {
+                jr.status = JobStatus::Error;
+                jr.result = SimResult{};
+                jr.result.hitMaxCycles = true;
+                jr.result.haltReason = HaltReason::CycleLimit;
+                jr.result.haltDetail =
+                    "not simulated: " + jr.error.message;
+                break;
+            }
+            retried.fetch_add(1, std::memory_order_relaxed);
+            double backoff = retryDelaySeconds(
+                config_.retryBackoffSeconds, attempt, jitterSeed);
+            if (backoff > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+        }
+        jr.wallSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+    };
+
+    // Persist as soon as the job completes (not at batch end), so a
+    // killed sweep resumes from every finished simulation. Only
+    // deterministic outcomes are cached. put() before releaseClaim:
+    // a waiter that sees the claim vanish must find the record.
+    auto persist = [&](std::size_t idx, const JobResult &jr,
+                       bool claimed) {
+        if (store != nullptr && store->writable()
+            && (jr.status == JobStatus::Ok
+                || jr.status == JobStatus::Failed))
+            store->put({digests[idx], jr.status, jr.attempts,
+                        jr.wallSeconds, 0, 0, jr.result});
+        if (claimed)
+            store->releaseClaim(digests[idx]);
+    };
+
+    auto localWorker = [&]() {
+        std::size_t u;
+        while (popBlocking(&u)) {
+            std::size_t idx = unique[u];
+            JobResult &jr = executedResults[idx];
+            bool claimed = false;
+            if (!resolveToCached(idx, jr, &claimed)) {
+                executeLocal(idx, jr);
+                persist(idx, jr, claimed);
+            }
+            finishOne();
         }
     };
 
-    std::size_t pool = std::min<std::size_t>(
-        static_cast<std::size_t>(config_.numThreads), unique.size());
-    if (pool <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(pool);
-        for (std::size_t t = 0; t < pool; ++t)
-            threads.emplace_back(worker);
-        for (std::thread &t : threads)
-            t.join();
+    // One dispatcher thread per remote worker endpoint: connect with
+    // bounded retry/backoff (the hello handshake is the health
+    // check), then keep up to workerWindow jobs pipelined. Any
+    // failure — unreachable, protocol violation, silence past the
+    // request deadline, death mid-job — demotes the worker and
+    // requeues its in-flight jobs; the sweep always completes from
+    // the local pool alone.
+    auto dispatcher = [&](const std::string &spec) {
+        std::string err;
+        std::optional<net::Endpoint> ep =
+            net::parseEndpoint(spec, &err);
+        if (!ep) {
+            warn("engine: %s", err.c_str());
+            lostWorkers.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        Fnv1a seedHash;
+        seedHash.bytes(spec.data(), spec.size());
+        const std::uint64_t seed = seedHash.value();
+        const int maxConnect = std::max(1, config_.workerAttempts);
+        std::unique_ptr<net::WorkerClient> client;
+        for (int attempt = 1; attempt <= maxConnect; ++attempt) {
+            client = net::WorkerClient::connect(*ep, 10.0, &err);
+            if (client)
+                break;
+            if (attempt < maxConnect)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(retryDelaySeconds(
+                        config_.workerBackoffSeconds, attempt,
+                        seed)));
+        }
+        if (!client) {
+            warn("engine: worker %s unreachable after %d attempt(s) "
+                 "(%s); continuing without it",
+                 spec.c_str(), maxConnect, err.c_str());
+            lostWorkers.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+
+        const net::RetryPolicy policy{
+            config_.maxAttempts, config_.retryBackoffSeconds,
+            config_.retryTimeouts, config_.jobDeadlineSeconds};
+        const std::size_t window = static_cast<std::size_t>(
+            std::max(1, config_.workerWindow));
+        struct InFlight
+        {
+            std::size_t u;
+            bool claimed;
+        };
+        std::map<std::uint64_t, InFlight> inflight;
+        std::uint64_t nextId = 1;
+        bool lost = false;
+        std::string why;
+
+        auto abandon = [&](std::uint64_t id, bool executeHere) {
+            // The daemon rejected this job (codec drift, decode
+            // failure): release its claim and put it back for the
+            // local pool.
+            auto it = inflight.find(id);
+            if (it == inflight.end())
+                return;
+            if (it->second.claimed)
+                store->releaseClaim(digests[unique[it->second.u]]);
+            if (executeHere)
+                requeue({it->second.u});
+            inflight.erase(it);
+        };
+
+        while (!lost) {
+            while (inflight.size() < window) {
+                std::size_t u;
+                if (!tryPop(&u))
+                    break;
+                std::size_t idx = unique[u];
+                JobResult &jr = executedResults[idx];
+                bool claimed = false;
+                if (resolveToCached(idx, jr, &claimed)) {
+                    finishOne();
+                    continue;
+                }
+                std::uint64_t id = nextId++;
+                if (!client->sendJob(id, jobs[idx], digests[idx],
+                                     policy)) {
+                    if (claimed)
+                        store->releaseClaim(digests[idx]);
+                    requeue({u});
+                    lost = true;
+                    why = "send failed";
+                    break;
+                }
+                inflight.emplace(id, InFlight{u, claimed});
+            }
+            if (lost)
+                break;
+            if (inflight.empty()) {
+                std::unique_lock<std::mutex> lock(qm);
+                if (unresolved == 0)
+                    break;
+                if (queue.empty())
+                    qcv.wait_for(lock,
+                                 std::chrono::milliseconds(50));
+                continue;
+            }
+            net::WireResult wr;
+            if (!client->recvResult(&wr, config_.workerRequestSeconds,
+                                    &err)) {
+                lost = true;
+                why = err;
+                break;
+            }
+            auto it = inflight.find(wr.id);
+            if (it == inflight.end()) {
+                lost = true;
+                why = "reply for unknown job id";
+                break;
+            }
+            std::size_t idx = unique[it->second.u];
+            if (!wr.ok || wr.digest != digests[idx]) {
+                warn("engine: worker %s rejected job %s (%s); "
+                     "executing locally",
+                     spec.c_str(), digests[idx].c_str(),
+                     wr.ok ? "digest mismatch"
+                           : wr.message.c_str());
+                abandon(wr.id, true);
+                continue;
+            }
+            JobResult &jr = executedResults[idx];
+            jr.status = wr.status;
+            jr.attempts = wr.attempts;
+            jr.wallSeconds = wr.wallSeconds;
+            jr.error = wr.error;
+            jr.result = wr.result;
+            jr.worker = spec;
+            executed.fetch_add(1, std::memory_order_relaxed);
+            remote.fetch_add(1, std::memory_order_relaxed);
+            if (wr.attempts > 1)
+                retried.fetch_add(
+                    static_cast<std::uint64_t>(wr.attempts - 1),
+                    std::memory_order_relaxed);
+            persist(idx, jr, it->second.claimed);
+            inflight.erase(it);
+            finishOne();
+        }
+        if (lost) {
+            lostWorkers.fetch_add(1, std::memory_order_relaxed);
+            warn("engine: worker %s lost mid-sweep (%s); "
+                 "re-dispatching %zu in-flight job(s)",
+                 spec.c_str(), why.c_str(), inflight.size());
+            std::vector<std::size_t> back;
+            back.reserve(inflight.size());
+            for (const auto &[id, item] : inflight) {
+                if (item.claimed)
+                    store->releaseClaim(digests[unique[item.u]]);
+                back.push_back(item.u);
+            }
+            requeue(back);
+        }
+    };
+
+    if (!unique.empty()) {
+        std::size_t pool = std::min<std::size_t>(
+            static_cast<std::size_t>(config_.numThreads),
+            unique.size());
+        if (config_.workers.empty() && pool <= 1) {
+            localWorker();
+        } else {
+            std::vector<std::thread> threads;
+            threads.reserve(pool + config_.workers.size());
+            for (std::size_t t = 0; t < std::max<std::size_t>(
+                     pool, 1); ++t)
+                threads.emplace_back(localWorker);
+            for (const std::string &spec : config_.workers)
+                threads.emplace_back(dispatcher, spec);
+            for (std::thread &t : threads)
+                t.join();
+        }
     }
     retries_ += retried.load();
     cacheHits_ += warmHits.load();
     executed_ += executed.load();
+    remoteExecuted_ += remote.load();
+    workersLost_ += lostWorkers.load();
+    claimWaits_ += claimWaited.load();
 
     // Expand to submission order; duplicates copy the representative
     // but keep their own labels.
@@ -594,6 +890,11 @@ jobResultToJson(const JobResult &jr)
     v.set("workload", json::Value(jr.workload));
     v.set("variant", json::Value(jr.variant));
     v.set("accel", json::Value(jr.accel));
+    // Provenance is opt-in (harness --provenance): by default the
+    // field is absent so a distributed sweep's document stays
+    // byte-identical to a purely local run's.
+    if (!jr.worker.empty())
+        v.set("worker", json::Value(jr.worker));
     v.set("config_digest", json::Value(jr.digest));
     v.set("deduplicated", json::Value(jr.deduplicated));
     v.set("status",

@@ -47,7 +47,10 @@ class ResultStore;
 /** Version of the JSON record schema emitted for JobResults.
  *  v3 added the per-record "accel" field (cpu::accelKindName of the
  *  job's SimConfig::accel); tools/check_results_json still accepts
- *  archived v2 documents, where the field is absent. */
+ *  archived v2 documents, where the field is absent. Within v3 the
+ *  "worker" provenance field is *optional* (emitted only under the
+ *  harness's --provenance flag, since provenance varies run to run
+ *  and would break distributed-vs-local byte-identity). */
 inline constexpr int kResultsSchemaVersion = 3;
 
 /** One experiment: a machine configuration plus a program to run. */
@@ -137,6 +140,11 @@ struct JobResult
      *  sweep's merged JSON is byte-identical to an uninterrupted
      *  one). */
     bool cached = false;
+    /** Provenance: the "host:port" endpoint that executed the job
+     *  remotely; empty for local execution, cache hits and claim
+     *  adoptions. Serialized only when the harness opts in
+     *  (--provenance) — see kResultsSchemaVersion. */
+    std::string worker;
 };
 
 /**
@@ -187,6 +195,37 @@ struct EngineConfig
     /** Persistent digest-keyed result cache; nullptr (or a store in
      *  Mode::Off) disables warm-starting. Not owned. */
     ResultStore *store = nullptr;
+
+    // --- distributed sweep fabric (docs/HARNESS.md) ---
+
+    /** Claim in-flight digests in the (writable) store so concurrent
+     *  processes sharing a cache directory never duplicate work: a
+     *  job whose digest another live process holds waits for that
+     *  process's record instead of re-executing. No-op without a
+     *  writable store. */
+    bool claimInFlight = true;
+    /** Seconds a claim stays valid before any process may take it
+     *  over (keep above the longest expected job; a kill -9'd
+     *  claimant is taken over immediately on the same host via a pid
+     *  probe, and after this deadline from anywhere). */
+    double claimDeadlineSeconds = 300.0;
+    /** Remote worker endpoints ("host:port"); empty runs everything
+     *  locally. Each endpoint gets a dispatcher thread that feeds it
+     *  pipelined jobs; a worker that dies mid-job is dropped and its
+     *  in-flight jobs re-dispatch locally (no job lost, no record
+     *  duplicated). */
+    std::vector<std::string> workers;
+    /** In-flight jobs per worker (the client-side backpressure
+     *  window; the daemon bounds its decoded queue too). */
+    int workerWindow = 4;
+    /** Connection attempts per worker before declaring it down. */
+    int workerAttempts = 3;
+    /** Base backoff between worker connection attempts; doubled per
+     *  attempt with the deterministic retryDelaySeconds jitter. */
+    double workerBackoffSeconds = 0.1;
+    /** Per-reply deadline: a worker silent for this long mid-job is
+     *  treated as lost (keep above jobDeadlineSeconds). */
+    double workerRequestSeconds = 600.0;
 };
 
 /** Supervised thread-pool experiment scheduler. */
@@ -221,6 +260,13 @@ class Engine
     std::uint64_t cacheHits() const { return cacheHits_; }
     /** Extra execution attempts spent on retries. */
     std::uint64_t retries() const { return retries_; }
+    /** Executions that ran on a remote worker (subset of executed). */
+    std::uint64_t remoteExecuted() const { return remoteExecuted_; }
+    /** Workers that went down (unreachable or lost mid-sweep). */
+    std::uint64_t workersLost() const { return workersLost_; }
+    /** Jobs that waited on (or adopted the result of) another
+     *  process's in-flight claim instead of duplicating work. */
+    std::uint64_t claimWaits() const { return claimWaits_; }
 
     /**
      * Test seam: replace the Simulator invocation so tests can
@@ -243,6 +289,9 @@ class Engine
     std::uint64_t executed_ = 0;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t retries_ = 0;
+    std::uint64_t remoteExecuted_ = 0;
+    std::uint64_t workersLost_ = 0;
+    std::uint64_t claimWaits_ = 0;
     std::function<SimResult(const SimJob &, int attempt,
                             bool *cancelled)>
         executeOverride_;

@@ -1,12 +1,17 @@
 #include "sim/resultstore.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <random>
+#include <thread>
 
 #include "common/log.h"
 
@@ -32,6 +37,142 @@ syncDir(const std::string &dir)
         return;
     ::fsync(fd);
     ::close(fd);
+}
+
+std::uint64_t
+nowUnix()
+{
+    return static_cast<std::uint64_t>(std::time(nullptr));
+}
+
+/** Random per-process token: segment nonce + claim ownership. Not a
+ *  simulation RNG — never touches determinism — so wall clock and
+ *  random_device are fine (and wanted) here. */
+std::uint64_t
+makeToken()
+{
+    std::random_device rd;
+    std::uint64_t t = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    t ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    t ^= static_cast<std::uint64_t>(::getpid()) << 17;
+    return t ? t : 1;
+}
+
+std::string
+hostName()
+{
+    char buf[256] = {0};
+    if (::gethostname(buf, sizeof buf - 1) != 0)
+        return "?";
+    return buf;
+}
+
+/** Atomically write @p text to @p path (unique tmp + fsync + rename
+ *  + dirsync). @p unique disambiguates concurrent writers' tmps. */
+bool
+atomicWrite(const std::string &dir, const std::string &path,
+            const std::string &text, std::uint64_t unique)
+{
+    const std::string tmp =
+        strfmt("%s.tmp.%u.%llx", path.c_str(),
+               static_cast<unsigned>(::getpid()),
+               static_cast<unsigned long long>(unique));
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size()
+        && syncStream(f);
+    ok = (std::fclose(f) == 0) && ok;
+    ok = ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (ok)
+        syncDir(dir);
+    else
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+/**
+ * Acquire the directory's MANIFEST.lock (O_CREAT|O_EXCL), the mutual
+ * exclusion for manifest/HITS publishes across processes. Stale-safe:
+ * a lock from a dead same-host process, or older than 30 s, is taken
+ * over — a publish takes milliseconds, so an old lock is a corpse.
+ * Returns false after ~2 s of contention (callers degrade to an
+ * unmerged publish with a warning rather than losing the record).
+ */
+bool
+acquireDirLock(const std::string &dir, const std::string &host)
+{
+    const std::string path = dir + "/MANIFEST.lock";
+    for (int tries = 0; tries < 400; ++tries) {
+        int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                        0644);
+        if (fd >= 0) {
+            std::string body = strfmt(
+                "%ld %s\n", static_cast<long>(::getpid()),
+                host.c_str());
+            (void)!::write(fd, body.data(), body.size());
+            ::close(fd);
+            return true;
+        }
+        if (errno != EEXIST)
+            return false;
+        // Stale-holder checks: same-host dead pid, or just old.
+        bool stale = false;
+        {
+            std::ifstream in(path);
+            long pid = 0;
+            std::string h;
+            if (in >> pid >> h) {
+                if (h == host && pid > 0 && ::kill(pid, 0) == -1
+                    && errno == ESRCH)
+                    stale = true;
+            }
+        }
+        if (!stale) {
+            std::error_code ec;
+            auto mtime = fs::last_write_time(path, ec);
+            if (!ec
+                && fs::file_time_type::clock::now() - mtime
+                       > std::chrono::seconds(30))
+                stale = true;
+        }
+        if (stale) {
+            ::unlink(path.c_str());
+            continue;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+}
+
+void
+releaseDirLock(const std::string &dir)
+{
+    ::unlink((dir + "/MANIFEST.lock").c_str());
+}
+
+/** Segment names listed by the on-disk MANIFEST (empty on any
+ *  parse problem — callers fall back to their in-memory view). */
+std::vector<std::string>
+diskManifestSegments(const std::string &manifest_path)
+{
+    std::vector<std::string> names;
+    std::ifstream in(manifest_path);
+    if (!in)
+        return names;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::optional<json::Value> doc = json::Value::tryParse(text);
+    if (!doc || !doc->isObject())
+        return names;
+    const json::Value *segs = doc->find("segments");
+    if (segs == nullptr || !segs->isArray())
+        return names;
+    for (std::size_t i = 0; i < segs->size(); ++i)
+        if (segs->at(i).isString())
+            names.push_back(segs->at(i).asString());
+    return names;
 }
 
 } // namespace
@@ -65,6 +206,8 @@ storeRecordToJson(const ResultStore::Record &rec)
     v.set("attempts",
           json::Value(static_cast<std::uint64_t>(rec.attempts)));
     v.set("wall_seconds", json::Value(rec.wallSeconds));
+    if (rec.createdUnix != 0)
+        v.set("created_unix", json::Value(rec.createdUnix));
     v.set("result", resultToJson(rec.result));
     return v;
 }
@@ -106,6 +249,15 @@ tryStoreRecordFromJson(const json::Value &v, std::string *error)
         return fail("'wall_seconds' missing or not a number");
     rec.wallSeconds = wall->asDouble();
 
+    // Aging metadata is optional: records written before the fabric
+    // work have no timestamp and age as "oldest".
+    const json::Value *created = v.find("created_unix");
+    if (created != nullptr) {
+        if (!created->isUint())
+            return fail("'created_unix' is not an unsigned integer");
+        rec.createdUnix = created->asUint();
+    }
+
     const json::Value *result = v.find("result");
     if (result == nullptr)
         return fail("'result' missing");
@@ -121,7 +273,8 @@ tryStoreRecordFromJson(const json::Value &v, std::string *error)
 }
 
 ResultStore::ResultStore(std::string dir, Mode mode)
-    : dir_(std::move(dir)), mode_(mode)
+    : dir_(std::move(dir)), mode_(mode), token_(makeToken()),
+      host_(hostName())
 {
     if (mode_ == Mode::Off)
         return;
@@ -134,10 +287,20 @@ ResultStore::ResultStore(std::string dir, Mode mode)
                  dir_.c_str(), ec.message().c_str());
     }
     load();
+    loadHits();
 }
 
 ResultStore::~ResultStore()
 {
+    std::vector<std::string> held;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        held.assign(ownClaims_.begin(), ownClaims_.end());
+        ownClaims_.clear();
+    }
+    for (const std::string &digest : held)
+        ::unlink(claimPath(digest).c_str());
+    flushHits();
     if (segment_ != nullptr) {
         syncStream(segment_);
         std::fclose(segment_);
@@ -148,6 +311,77 @@ std::string
 ResultStore::manifestPath() const
 {
     return dir_ + "/MANIFEST";
+}
+
+std::string
+ResultStore::claimPath(const std::string &digest) const
+{
+    return dir_ + "/claims/" + digest + ".claim";
+}
+
+std::size_t
+ResultStore::readSegment(const std::string &name, bool tolerate_tail)
+{
+    const std::string path = dir_ + "/" + name;
+    std::uint64_t &offset = segmentOffsets_[name];
+    std::size_t &lineno = segmentLines_[name];
+    std::ifstream seg(path, std::ios::binary);
+    if (!seg)
+        return 0;
+    seg.seekg(static_cast<std::streamoff>(offset));
+    if (!seg)
+        return 0;
+    std::string buf((std::istreambuf_iterator<char>(seg)),
+                    std::istreambuf_iterator<char>());
+
+    std::size_t added = 0;
+    std::size_t pos = 0;
+    auto indexLine = [&](const std::string &line) {
+        ++lineno;
+        if (line.empty())
+            return true;
+        std::string error;
+        std::optional<json::Value> v =
+            json::Value::tryParse(line, &error);
+        std::optional<Record> rec;
+        if (v)
+            rec = tryStoreRecordFromJson(*v, &error);
+        if (!rec) {
+            // A torn tail line after a SIGKILL lands here: the
+            // record degrades to one re-executed job.
+            warn("result cache: %s:%zu: skipping corrupt record "
+                 "(%s)", path.c_str(), lineno, error.c_str());
+            ++corrupt_;
+            return false;
+        }
+        auto hit = diskHits_.find(rec->digest);
+        if (hit != diskHits_.end())
+            rec->lastHitUnix = hit->second;
+        if (byDigest_.emplace(rec->digest, std::move(*rec)).second)
+            ++added;
+        return true;
+    };
+
+    for (;;) {
+        std::size_t nl = buf.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        indexLine(buf.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    offset += pos;
+    if (pos < buf.size() && !tolerate_tail) {
+        // Initial load: an unterminated tail is counted as the torn
+        // record it almost certainly is — but the offset stays at
+        // its start, so a later refresh() picks the line up if a
+        // live writer finishes it.
+        if (indexLine(buf.substr(pos))) {
+            offset += buf.size() - pos;
+        } else {
+            --lineno;  // refresh() will renumber the finished line
+        }
+    }
+    return added;
 }
 
 void
@@ -179,8 +413,7 @@ ResultStore::load()
         }
         const std::string name = segments.at(i).asString();
         const std::string path = dir_ + "/" + name;
-        std::ifstream seg(path);
-        if (!seg) {
+        if (!fs::exists(path)) {
             warn("result cache: segment '%s' listed in MANIFEST is "
                  "missing; its records will be re-executed",
                  path.c_str());
@@ -188,67 +421,145 @@ ResultStore::load()
         }
         segments_.push_back(name);
         ++segmentsLoaded_;
-        std::string line;
-        for (std::size_t lineno = 1; std::getline(seg, line); ++lineno) {
-            if (line.empty())
-                continue;
-            std::optional<json::Value> v =
-                json::Value::tryParse(line, &error);
-            std::optional<Record> rec;
-            if (v)
-                rec = tryStoreRecordFromJson(*v, &error);
-            if (!rec) {
-                // A torn tail line after a SIGKILL lands here: the
-                // record degrades to one re-executed job.
-                warn("result cache: %s:%zu: skipping corrupt record "
-                     "(%s)", path.c_str(), lineno, error.c_str());
-                ++corrupt_;
-                continue;
-            }
-            byDigest_.emplace(rec->digest, std::move(*rec));
-        }
+        readSegment(name, /*tolerate_tail=*/false);
     }
 }
 
-bool
-ResultStore::writeManifest(const std::vector<std::string> &segments)
+void
+ResultStore::loadHits()
 {
+    std::ifstream in(dir_ + "/HITS");
+    if (!in)
+        return;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::optional<json::Value> doc = json::Value::tryParse(text);
+    if (!doc || !doc->isObject())
+        return;  // advisory data: a corrupt HITS file just ages early
+    for (const auto &[digest, ts] : doc->members()) {
+        if (!ts.isUint())
+            continue;
+        diskHits_[digest] = ts.asUint();
+        auto it = byDigest_.find(digest);
+        if (it != byDigest_.end())
+            it->second.lastHitUnix =
+                std::max(it->second.lastHitUnix, ts.asUint());
+    }
+}
+
+void
+ResultStore::flushHits()
+{
+    if (!writable())
+        return;
+    std::map<std::string, std::uint64_t> pending;
+    {
+        std::lock_guard<std::mutex> lock(hitsMutex_);
+        pending.swap(pendingHits_);
+    }
+    if (pending.empty())
+        return;
+    // Merge with the on-disk sidecar under the publish lock so two
+    // processes flushing concurrently union their hit sets. Advisory
+    // data: on lock failure the merge degrades to last-writer-wins,
+    // which costs at worst a too-early eviction.
+    bool locked = acquireDirLock(dir_, host_);
+    std::map<std::string, std::uint64_t> merged;
+    {
+        std::ifstream in(dir_ + "/HITS");
+        if (in) {
+            std::string text((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+            std::optional<json::Value> doc =
+                json::Value::tryParse(text);
+            if (doc && doc->isObject())
+                for (const auto &[digest, ts] : doc->members())
+                    if (ts.isUint())
+                        merged[digest] = ts.asUint();
+        }
+    }
+    for (const auto &[digest, ts] : pending) {
+        auto [it, inserted] = merged.emplace(digest, ts);
+        if (!inserted)
+            it->second = std::max(it->second, ts);
+    }
+    json::Value doc = json::Value::object();
+    for (const auto &[digest, ts] : merged)
+        doc.set(digest, json::Value(ts));
+    atomicWrite(dir_, dir_ + "/HITS", doc.dump() + "\n", token_);
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        for (const auto &[digest, ts] : merged)
+            diskHits_[digest] = ts;
+    }
+    if (locked)
+        releaseDirLock(dir_);
+}
+
+bool
+ResultStore::writeManifest(const std::vector<std::string> &toAdd,
+                           const std::vector<std::string> *replaceWith)
+{
+    // Cross-process safety: publish under the directory lock and,
+    // unless replacing outright (compact/clear/prune), merge with
+    // the on-disk segment list so a concurrent writer's freshly
+    // registered segment is never dropped by our rewrite.
+    bool locked = acquireDirLock(dir_, host_);
+    if (!locked && replaceWith == nullptr)
+        warn("result cache: could not lock %s for publish; a "
+             "concurrent writer's segment registration may race",
+             manifestPath().c_str());
+
+    std::vector<std::string> finalSegs;
+    if (replaceWith != nullptr) {
+        finalSegs = *replaceWith;
+    } else {
+        finalSegs = diskManifestSegments(manifestPath());
+        auto addUnique = [&](const std::string &name) {
+            for (const std::string &s : finalSegs)
+                if (s == name)
+                    return;
+            finalSegs.push_back(name);
+        };
+        for (const std::string &s : segments_)
+            addUnique(s);
+        for (const std::string &s : toAdd)
+            addUnique(s);
+    }
+
     json::Value doc = json::Value::object();
     doc.set("schema_version",
             json::Value(static_cast<std::uint64_t>(
                 kResultsSchemaVersion)));
     json::Value segs = json::Value::array();
-    for (const std::string &s : segments)
+    for (const std::string &s : finalSegs)
         segs.push(json::Value(s));
     doc.set("segments", std::move(segs));
 
-    const std::string tmp = manifestPath() + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    std::string text = doc.dump(2);
-    text += '\n';
-    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size()
-        && syncStream(f);
-    ok = (std::fclose(f) == 0) && ok;
     // The atomic publish: readers see either the old or the new
     // manifest, never a torn one.
-    ok = ok && std::rename(tmp.c_str(), manifestPath().c_str()) == 0;
+    bool ok = atomicWrite(dir_, manifestPath(), doc.dump(2) + "\n",
+                          token_);
     if (ok)
-        syncDir(dir_);
-    else
-        std::remove(tmp.c_str());
+        segments_ = std::move(finalSegs);
+    if (locked)
+        releaseDirLock(dir_);
     return ok;
 }
 
 bool
 ResultStore::openSegment()
 {
-    // A name unique across processes (and across pid reuse): probe
-    // with "wx" so two concurrent writers never share a segment.
+    // A name unique across processes and hosts: the random per-
+    // process nonce disambiguates pid reuse across machines sharing
+    // a network cache directory, and the "wx" probe still backstops
+    // the (astronomically unlikely) nonce collision.
     const unsigned pid = static_cast<unsigned>(::getpid());
+    const unsigned nonce =
+        static_cast<unsigned>(token_ & 0xffffffffu);
     for (unsigned k = 0; k < 1000; ++k) {
-        std::string name = strfmt("seg-%u-%u.jsonl", pid, k);
+        std::string name =
+            strfmt("seg-%u-%08x-%u.jsonl", pid, nonce, k);
         std::string path = dir_ + "/" + name;
         std::FILE *f = std::fopen(path.c_str(), "wx");
         if (f == nullptr) {
@@ -262,9 +573,7 @@ ResultStore::openSegment()
         // Register before the first record: the loader tolerates an
         // empty or torn segment, while an unregistered one would
         // silently lose every record it holds.
-        std::vector<std::string> all = segments_;
-        all.push_back(name);
-        if (!writeManifest(all)) {
+        if (!writeManifest({name}, nullptr)) {
             warn("result cache: cannot publish '%s' in %s; new "
                  "results will not be persisted",
                  name.c_str(), manifestPath().c_str());
@@ -272,8 +581,9 @@ ResultStore::openSegment()
             std::remove(path.c_str());
             return false;
         }
-        segments_ = std::move(all);
         segment_ = f;
+        activeSegmentName_ = name;
+        segmentOffsets_[name] = 0;
         return true;
     }
     warn("result cache: exhausted segment names in '%s'", dir_.c_str());
@@ -285,11 +595,19 @@ ResultStore::lookup(const std::string &digest) const
 {
     if (!readable())
         return std::nullopt;
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    auto it = byDigest_.find(digest);
-    if (it == byDigest_.end())
-        return std::nullopt;
-    return it->second;
+    std::optional<Record> rec;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = byDigest_.find(digest);
+        if (it == byDigest_.end())
+            return std::nullopt;
+        rec = it->second;
+    }
+    if (writable()) {
+        std::lock_guard<std::mutex> lock(hitsMutex_);
+        pendingHits_[digest] = nowUnix();
+    }
+    return rec;
 }
 
 void
@@ -308,13 +626,16 @@ ResultStore::put(const Record &rec)
             byDigest_.emplace(rec.digest, rec);
             return;
         }
-        std::string line = storeRecordToJson(rec).dump();
+        Record stamped = rec;
+        if (stamped.createdUnix == 0)
+            stamped.createdUnix = nowUnix();
+        std::string line = storeRecordToJson(stamped).dump();
         line += '\n';
         if (std::fwrite(line.data(), 1, line.size(), segment_)
                 != line.size())
             warn("result cache: short write to segment in '%s': %s",
                  dir_.c_str(), std::strerror(errno));
-        byDigest_.emplace(rec.digest, rec);
+        byDigest_.emplace(stamped.digest, std::move(stamped));
         mySeq = ++writeSeq_;
     }
     // Group commit: the record must be durable before returning, but
@@ -338,6 +659,153 @@ ResultStore::put(const Record &rec)
 }
 
 std::size_t
+ResultStore::refresh()
+{
+    if (!readable())
+        return 0;
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    std::size_t added = 0;
+    // New segments registered by other processes since we loaded.
+    for (const std::string &name :
+         diskManifestSegments(manifestPath())) {
+        if (segmentOffsets_.count(name) != 0)
+            continue;
+        segments_.push_back(name);
+        added += readSegment(name, /*tolerate_tail=*/true);
+    }
+    // New complete lines appended to segments we already track. Our
+    // own active segment is skipped: its records are indexed at
+    // put() time.
+    for (auto &[name, offset] : segmentOffsets_) {
+        (void)offset;
+        if (name == activeSegmentName_)
+            continue;
+        added += readSegment(name, /*tolerate_tail=*/true);
+    }
+    return added;
+}
+
+ResultStore::ClaimOutcome
+ResultStore::tryClaim(const std::string &digest, ClaimInfo *holder)
+{
+    if (!writable())
+        return ClaimOutcome::Unsupported;
+    {
+        std::error_code ec;
+        fs::create_directories(dir_ + "/claims", ec);
+        if (ec)
+            return ClaimOutcome::Unsupported;
+    }
+    const std::string path = claimPath(digest);
+
+    // Compose the claim record once; publish is via link(2) from a
+    // private tmp so an existing claim file always has complete
+    // content — an unparsable claim is a foreign corpse, not a race.
+    json::Value claim = json::Value::object();
+    claim.set("pid", json::Value(
+        static_cast<std::uint64_t>(::getpid())));
+    claim.set("host", json::Value(host_));
+    claim.set("token", json::Value(token_));
+    claim.set("deadline_unix", json::Value(
+        nowUnix() + static_cast<std::uint64_t>(claimSeconds_)));
+    const std::string tmp =
+        strfmt("%s.tmp.%llx", path.c_str(),
+               static_cast<unsigned long long>(token_));
+
+    for (int tries = 0; tries < 10; ++tries) {
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            out << claim.dump() << "\n";
+            if (!out)
+                return ClaimOutcome::Unsupported;
+        }
+        int rc = ::link(tmp.c_str(), path.c_str());
+        ::unlink(tmp.c_str());
+        if (rc == 0) {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            ownClaims_.insert(digest);
+            return ClaimOutcome::Acquired;
+        }
+        if (errno != EEXIST)
+            return ClaimOutcome::Unsupported;
+
+        // Somebody holds it. Ours (re-entrant), live, or stale?
+        ClaimInfo ci;
+        bool parsed = false;
+        {
+            std::ifstream in(path);
+            if (in) {
+                std::string text(
+                    (std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+                std::optional<json::Value> v =
+                    json::Value::tryParse(text);
+                if (v && v->isObject() && v->find("pid") != nullptr
+                    && v->get("pid").isUint()
+                    && v->find("token") != nullptr
+                    && v->get("token").isUint()) {
+                    ci.pid = static_cast<long>(
+                        v->get("pid").asUint());
+                    ci.token = v->get("token").asUint();
+                    const json::Value *h = v->find("host");
+                    ci.host = h != nullptr && h->isString()
+                        ? h->asString() : "";
+                    const json::Value *d = v->find("deadline_unix");
+                    ci.deadlineUnix =
+                        d != nullptr && d->isUint() ? d->asUint() : 0;
+                    parsed = true;
+                }
+            }
+        }
+        if (parsed && ci.token == token_
+            && ci.pid == static_cast<long>(::getpid())) {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            ownClaims_.insert(digest);
+            return ClaimOutcome::Acquired;
+        }
+        bool stale = !parsed;  // claims are link()-published whole
+        if (parsed) {
+            if (ci.deadlineUnix != 0 && nowUnix() > ci.deadlineUnix)
+                stale = true;
+            else if (ci.host == host_ && ci.pid > 0
+                     && ::kill(static_cast<pid_t>(ci.pid), 0) == -1
+                     && errno == ESRCH)
+                stale = true;
+        }
+        if (!stale) {
+            if (holder != nullptr)
+                *holder = ci;
+            return ClaimOutcome::Busy;
+        }
+        // Takeover: a kill -9'd claimant must never wedge the sweep.
+        {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            ++staleClaims_;
+        }
+        ::unlink(path.c_str());
+    }
+    return ClaimOutcome::Busy;
+}
+
+void
+ResultStore::releaseClaim(const std::string &digest)
+{
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        if (ownClaims_.erase(digest) == 0)
+            return;
+    }
+    ::unlink(claimPath(digest).c_str());
+}
+
+std::size_t
+ResultStore::staleClaimsTaken() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return staleClaims_;
+}
+
+std::size_t
 ResultStore::records() const
 {
     std::shared_lock<std::shared_mutex> lock(mutex_);
@@ -351,6 +819,16 @@ ResultStore::segmentCount() const
     return segments_.size();
 }
 
+std::uint64_t
+ResultStore::recordBytes() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::uint64_t bytes = 0;
+    for (const auto &[digest, rec] : byDigest_)
+        bytes += storeRecordToJson(rec).dump().size() + 1;
+    return bytes;
+}
+
 void
 ResultStore::removeSegments(const std::vector<std::string> &names)
 {
@@ -360,7 +838,7 @@ ResultStore::removeSegments(const std::vector<std::string> &names)
 }
 
 std::optional<std::size_t>
-ResultStore::compact()
+ResultStore::rewriteRecords(const std::set<std::string> *keep)
 {
     if (!writable())
         return std::nullopt;
@@ -372,15 +850,18 @@ ResultStore::compact()
         syncStream(segment_);
         std::fclose(segment_);
         segment_ = nullptr;
+        activeSegmentName_.clear();
     }
 
-    // Write the whole index into one fresh segment ("c" namespace so
-    // the probe cannot collide with openSegment's own counter).
+    // Write the kept records into one fresh segment ("c" namespace
+    // so the probe cannot collide with openSegment's own counter).
     const unsigned pid = static_cast<unsigned>(::getpid());
+    const unsigned nonce =
+        static_cast<unsigned>(token_ & 0xffffffffu);
     std::string name;
     std::FILE *f = nullptr;
     for (unsigned k = 0; k < 1000 && f == nullptr; ++k) {
-        name = strfmt("seg-%u-c%u.jsonl", pid, k);
+        name = strfmt("seg-%u-%08x-c%u.jsonl", pid, nonce, k);
         f = std::fopen((dir_ + "/" + name).c_str(), "wx");
         if (f == nullptr && errno != EEXIST)
             break;
@@ -391,11 +872,17 @@ ResultStore::compact()
         return std::nullopt;
     }
     bool ok = true;
+    std::size_t kept = 0;
+    std::uint64_t written = 0;
     for (const auto &[digest, rec] : byDigest_) {
+        if (keep != nullptr && keep->count(digest) == 0)
+            continue;
         std::string line = storeRecordToJson(rec).dump();
         line += '\n';
         ok = ok && std::fwrite(line.data(), 1, line.size(), f)
             == line.size();
+        written += line.size();
+        ++kept;
     }
     ok = ok && syncStream(f);
     if (!ok) {
@@ -411,7 +898,9 @@ ResultStore::compact()
     // set to the single compacted one; a crash before the rename
     // leaves the old set fully intact (the orphaned new segment is
     // ignored on load).
-    if (!writeManifest({name})) {
+    std::vector<std::string> retired = segments_;
+    std::vector<std::string> just{name};
+    if (!writeManifest({}, &just)) {
         warn("result cache: compact: cannot publish '%s' in %s; "
              "keeping the existing segments", name.c_str(),
              manifestPath().c_str());
@@ -419,12 +908,123 @@ ResultStore::compact()
         std::remove((dir_ + "/" + name).c_str());
         return std::nullopt;
     }
-    std::vector<std::string> retired = std::move(segments_);
-    segments_ = {name};
+    if (keep != nullptr)
+        for (auto it = byDigest_.begin(); it != byDigest_.end();)
+            it = keep->count(it->first) == 0 ? byDigest_.erase(it)
+                                             : std::next(it);
     segment_ = f;  // future puts append to the compacted segment
+    activeSegmentName_ = name;
+    segmentOffsets_.clear();
+    segmentLines_.clear();
+    segmentOffsets_[name] = written;
     durableSeq_ = writeSeq_;
     removeSegments(retired);
-    return byDigest_.size();
+    return kept;
+}
+
+std::optional<std::size_t>
+ResultStore::compact()
+{
+    return rewriteRecords(nullptr);
+}
+
+std::optional<ResultStore::PruneStats>
+ResultStore::prune(std::uint64_t max_bytes,
+                   std::uint64_t max_age_seconds,
+                   std::uint64_t now_unix)
+{
+    if (!writable())
+        return std::nullopt;
+    const std::uint64_t now = now_unix != 0 ? now_unix : nowUnix();
+
+    struct Entry
+    {
+        std::string digest;
+        std::uint64_t lastUse;
+        std::uint64_t bytes;
+    };
+    std::vector<Entry> entries;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        std::lock_guard<std::mutex> hits(hitsMutex_);
+        entries.reserve(byDigest_.size());
+        for (const auto &[digest, rec] : byDigest_) {
+            std::uint64_t lastUse =
+                std::max(rec.createdUnix, rec.lastHitUnix);
+            auto p = pendingHits_.find(digest);
+            if (p != pendingHits_.end())
+                lastUse = std::max(lastUse, p->second);
+            entries.push_back(
+                {digest, lastUse,
+                 storeRecordToJson(rec).dump().size() + 1});
+        }
+    }
+
+    PruneStats stats;
+    std::set<std::string> keep;
+    std::uint64_t totalKept = 0;
+    // Age pass first; records with no timestamp at all are treated
+    // as infinitely old (they predate aging support).
+    std::vector<Entry> survivors;
+    for (const Entry &e : entries) {
+        bool tooOld = max_age_seconds != 0
+            && (e.lastUse == 0
+                || now - std::min(e.lastUse, now) > max_age_seconds);
+        if (tooOld) {
+            ++stats.evicted;
+            stats.evictedBytes += e.bytes;
+        } else {
+            survivors.push_back(e);
+            totalKept += e.bytes;
+        }
+    }
+    // Size budget: evict least-recently-used survivors until we fit.
+    std::sort(survivors.begin(), survivors.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.lastUse != b.lastUse
+                      ? a.lastUse < b.lastUse
+                      : a.digest < b.digest;
+              });
+    std::size_t drop = 0;
+    if (max_bytes != 0)
+        while (drop < survivors.size() && totalKept > max_bytes) {
+            totalKept -= survivors[drop].bytes;
+            ++stats.evicted;
+            stats.evictedBytes += survivors[drop].bytes;
+            ++drop;
+        }
+    for (std::size_t i = drop; i < survivors.size(); ++i)
+        keep.insert(survivors[i].digest);
+    stats.kept = keep.size();
+    stats.keptBytes = totalKept;
+
+    if (stats.evicted == 0)
+        return stats;  // nothing to do; leave the segments alone
+    if (!rewriteRecords(&keep))
+        return std::nullopt;
+
+    // Rewrite the HITS sidecar to the survivor set so evicted
+    // digests do not accrete advisory garbage.
+    {
+        std::lock_guard<std::mutex> hits(hitsMutex_);
+        for (auto it = pendingHits_.begin();
+             it != pendingHits_.end();)
+            it = keep.count(it->first) == 0 ? pendingHits_.erase(it)
+                                            : std::next(it);
+    }
+    std::map<std::string, std::uint64_t> surviving;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        for (auto it = diskHits_.begin(); it != diskHits_.end();)
+            it = keep.count(it->first) == 0 ? diskHits_.erase(it)
+                                            : std::next(it);
+        surviving = diskHits_;
+    }
+    json::Value doc = json::Value::object();
+    for (const auto &[digest, ts] : surviving)
+        doc.set(digest, json::Value(ts));
+    atomicWrite(dir_, dir_ + "/HITS", doc.dump() + "\n", token_);
+    return stats;
 }
 
 bool
@@ -437,15 +1037,18 @@ ResultStore::clear()
     if (segment_ != nullptr) {
         std::fclose(segment_);
         segment_ = nullptr;
+        activeSegmentName_.clear();
     }
-    if (!writeManifest(std::vector<std::string>{})) {
+    std::vector<std::string> retired = segments_;
+    std::vector<std::string> none;
+    if (!writeManifest({}, &none)) {
         warn("result cache: clear: cannot publish an empty MANIFEST "
              "in '%s'", dir_.c_str());
         return false;
     }
-    std::vector<std::string> retired = std::move(segments_);
-    segments_.clear();
     byDigest_.clear();
+    segmentOffsets_.clear();
+    segmentLines_.clear();
     durableSeq_ = writeSeq_;
     removeSegments(retired);
     return true;

@@ -3,13 +3,18 @@
 /**
  * @file
  * Persistent, digest-keyed simulation-result cache: the durability
- * layer under sim::Engine that makes long sweeps crash-safe and
- * figure binaries warm-startable across processes.
+ * layer under sim::Engine that makes long sweeps crash-safe, warm-
+ * startable across processes — and, since the distributed-fabric
+ * work, safely shareable by many concurrent processes (and hosts)
+ * pointed at one cache directory.
  *
  * On-disk layout (one directory, default bench/out/cache/):
  *
- *     MANIFEST        {"schema_version": 3, "segments": [...]}
- *     seg-*.jsonl     one JSON record per line, append-only
+ *     MANIFEST            {"schema_version": 3, "segments": [...]}
+ *     MANIFEST.lock       transient publish lock (stale-safe)
+ *     seg-*.jsonl         one JSON record per line, append-only
+ *     HITS                {"<digest>": <last-hit unix time>, ...}
+ *     claims/<digest>.claim   in-flight execution claims
  *
  * Durability contract:
  *
@@ -19,18 +24,48 @@
  *    write their lines under the index lock but share fsync batches
  *    (one fsync covers every line written before it), so durability
  *    cost amortizes across the pool without weakening the contract;
- *  - the MANIFEST is rewritten atomically (tmp file + fsync +
+ *  - the MANIFEST is rewritten atomically (unique tmp file + fsync +
  *    rename) whenever a new segment is registered — a crash mid-
  *    rewrite leaves the previous MANIFEST intact, and stray
- *    *.tmp / unregistered segment files are ignored on load;
+ *    *.tmp / unregistered segment files are ignored on load. Every
+ *    registration re-reads the on-disk MANIFEST under a stale-safe
+ *    lock file and publishes the *union* of segment lists, so two
+ *    processes registering concurrently can never drop each other's
+ *    segments;
+ *  - segment names carry a per-process random nonce
+ *    (seg-<pid>-<nonce>-<k>.jsonl) so two hosts that share a cache
+ *    directory and happen to reuse a pid can never alias each
+ *    other's segment files (the legacy seg-<pid>-<k>.jsonl form is
+ *    still accepted on load — the loader trusts the MANIFEST, not
+ *    the spelling);
  *  - corrupt or truncated records are skipped with a warning on
  *    load (json::Value::tryParse + sim::tryResultFromJson), never a
  *    fatal(): a damaged cache degrades to re-execution, it does not
  *    kill the sweep.
  *
+ * Multi-process coordination (docs/HARNESS.md "Distributed sweeps"):
+ *
+ *  - tryClaim() atomically claims an in-flight digest with an
+ *    O_CREAT|O_EXCL claim record carrying pid/host/token/deadline.
+ *    A process that loses the race polls refresh() until the
+ *    winner's record appears. Claims from dead processes (same-host
+ *    pid probe) or past their deadline are taken over, so a
+ *    kill -9'd claimant never wedges a sweep;
+ *  - refresh() picks up segments and records appended by *other*
+ *    processes since load, reading only complete ('\n'-terminated)
+ *    lines so an in-progress append is simply seen on the next call.
+ *
+ * Cache aging (tools/cache_prune):
+ *
+ *  - lookups mark per-digest last-hit times, merged into the HITS
+ *    sidecar on destruction (advisory data: a lost update costs at
+ *    worst a too-early eviction, never a wrong result);
+ *  - prune() evicts by last-use age and/or a total-size budget and
+ *    republishes the survivor set with one atomic MANIFEST rewrite.
+ *
  * Records are keyed by sim::jobDigest(), which fingerprints every
  * behaviour-relevant field of the job, so a hit is valid across
- * binaries and process lifetimes (cross-binary dedup). Only
+ * binaries, process lifetimes and hosts (cross-binary dedup). Only
  * deterministic simulation outcomes (JobStatus::Ok / Failed) are
  * stored; host-level Error/Timeout outcomes are always re-executed.
  */
@@ -39,6 +74,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 
@@ -69,7 +105,38 @@ class ResultStore
         JobStatus status = JobStatus::Ok;
         int attempts = 1;
         double wallSeconds = 0.0;
+        /** Unix time the record was first persisted (0 for records
+         *  written before aging support; treated as oldest). */
+        std::uint64_t createdUnix = 0;
+        /** Unix time of the most recent warm-start hit known for
+         *  this digest (HITS sidecar; 0 when never hit). In-memory
+         *  metadata, not part of the segment record. */
+        std::uint64_t lastHitUnix = 0;
         SimResult result;
+    };
+
+    /** Outcome of a tryClaim() attempt. */
+    enum class ClaimOutcome
+    {
+        /** We hold the claim (fresh, re-entrant, or taken over from
+         *  a stale holder) — execute the job, put(), then
+         *  releaseClaim(). */
+        Acquired,
+        /** A live other process holds the claim: poll refresh() +
+         *  lookup() for its record instead of duplicating work. */
+        Busy,
+        /** Claims are unavailable (store not writable, or claim I/O
+         *  failed) — just execute; correctness is unaffected. */
+        Unsupported,
+    };
+
+    /** Decoded contents of a claim file. */
+    struct ClaimInfo
+    {
+        long pid = 0;
+        std::string host;
+        std::uint64_t token = 0;
+        std::uint64_t deadlineUnix = 0;
     };
 
     /**
@@ -80,7 +147,9 @@ class ResultStore
      */
     ResultStore(std::string dir, Mode mode);
 
-    /** Seals the current segment (flush + fsync). */
+    /** Seals the current segment (flush + fsync), releases every
+     *  claim this store still holds, and merges pending last-hit
+     *  times into the HITS sidecar. */
     ~ResultStore();
 
     ResultStore(const ResultStore &) = delete;
@@ -92,7 +161,9 @@ class ResultStore
     const std::string &dir() const { return dir_; }
     std::string manifestPath() const;
 
-    /** Cached record for @p digest, or nullopt. Thread-safe. */
+    /** Cached record for @p digest, or nullopt. Thread-safe. Marks
+     *  the digest's last-hit time (flushed to HITS on destruction)
+     *  when the store is writable. */
     std::optional<Record> lookup(const std::string &digest) const;
 
     /**
@@ -104,6 +175,39 @@ class ResultStore
      */
     void put(const Record &rec);
 
+    /**
+     * Pick up records appended by other processes since load (or the
+     * previous refresh): re-reads the MANIFEST for newly registered
+     * segments and reads the newly appended *complete* lines of
+     * known segments. An unterminated tail (a write in progress on
+     * the other side) is left for the next call, not counted as
+     * corrupt. Thread-safe. @return records newly indexed.
+     */
+    std::size_t refresh();
+
+    /**
+     * Atomically claim the in-flight execution of @p digest with an
+     * O_CREAT|O_EXCL record under claims/. Re-entrant for this
+     * store (re-claiming a digest we already hold is Acquired).
+     * Stale claims — holder dead (same-host pid probe) or past the
+     * claim deadline — are taken over. @p holder, when non-null, is
+     * filled with the live holder on Busy.
+     */
+    ClaimOutcome tryClaim(const std::string &digest,
+                          ClaimInfo *holder = nullptr);
+
+    /** Release @p digest's claim if this store holds it (no-op
+     *  otherwise — never unlinks another process's claim). */
+    void releaseClaim(const std::string &digest);
+
+    /** Wall-clock seconds a claim stays valid before any process may
+     *  take it over (default 300; raise above the longest expected
+     *  job). Takes effect on subsequently created claims. */
+    void setClaimDeadline(double seconds) { claimSeconds_ = seconds; }
+
+    /** Stale claims this store detected and took over. */
+    std::size_t staleClaimsTaken() const;
+
     /** Records loaded from disk plus records appended this run. */
     std::size_t records() const;
     /** Records skipped as corrupt/truncated during load. */
@@ -113,18 +217,49 @@ class ResultStore
     /** Segment files currently registered in the MANIFEST. */
     std::size_t segmentCount() const;
 
+    /** Serialized byte size of every indexed record (the line
+     *  lengths a fresh compacted segment would occupy). */
+    std::uint64_t recordBytes() const;
+
     /**
      * Rewrite every record into one fresh segment and retire the
      * rest (ReadWrite only): a long-lived cache accretes one
-     * `seg-<pid>-*.jsonl` per writing process, and loading many
-     * small segments is slower than one big one. The new MANIFEST is
-     * published with a single atomic rewrite — a crash before the
-     * rename leaves the old segment set fully intact — and the old
+     * segment per writing process, and loading many small segments
+     * is slower than one big one. The new MANIFEST is published
+     * with a single atomic rewrite — a crash before the rename
+     * leaves the old segment set fully intact — and the old
      * segment files are unlinked only after the publish succeeds.
+     * Maintenance operation: run it while no other process is
+     * writing the directory (tools/cache_prune).
      * @return number of records compacted, or nullopt on I/O error
      *         (the store is left on its previous segment set).
      */
     std::optional<std::size_t> compact();
+
+    /** Eviction report from prune(). */
+    struct PruneStats
+    {
+        std::size_t kept = 0;
+        std::size_t evicted = 0;
+        std::uint64_t keptBytes = 0;
+        std::uint64_t evictedBytes = 0;
+    };
+
+    /**
+     * Age the cache (ReadWrite only; a maintenance operation like
+     * compact()): evict every record whose last use — last-hit time
+     * when known, else creation time — is more than @p max_age_seconds
+     * old (0 disables the age test; records with no timestamp at all
+     * count as infinitely old), then, oldest-first, until the
+     * serialized size of the survivors fits @p max_bytes (0 disables
+     * the size budget). Survivors are rewritten into one fresh
+     * segment and published atomically; the HITS sidecar is rewritten
+     * to the survivor set. @p now_unix anchors "now" (0 = wall clock;
+     * tests pin it). @return stats, or nullopt on I/O error.
+     */
+    std::optional<PruneStats> prune(std::uint64_t max_bytes,
+                                    std::uint64_t max_age_seconds,
+                                    std::uint64_t now_unix = 0);
 
     /**
      * Drop every record and segment (ReadWrite only): publishes an
@@ -135,14 +270,34 @@ class ResultStore
      */
     bool clear();
 
+    /** Merge pending last-hit times into the HITS sidecar now
+     *  (ReadWrite only; the destructor calls this). */
+    void flushHits();
+
   private:
     void load();
+    void loadHits();
     bool openSegment();
-    bool writeManifest(const std::vector<std::string> &segments);
+    bool writeManifest(const std::vector<std::string> &toAdd,
+                       const std::vector<std::string> *replaceWith);
     void removeSegments(const std::vector<std::string> &names);
+    /** Read one segment from @p offset, indexing complete lines.
+     *  @p tolerate_tail: leave an unterminated tail for later
+     *  (refresh) instead of counting it corrupt (initial load).
+     *  Requires mutex_ held exclusively. */
+    std::size_t readSegment(const std::string &name, bool tolerate_tail);
+    std::optional<std::size_t>
+    rewriteRecords(const std::set<std::string> *keep);
+    std::string claimPath(const std::string &digest) const;
 
     std::string dir_;
     Mode mode_;
+    /** Random per-process identity: segment-name nonce and claim
+     *  ownership token (re-entrancy and same-pid disambiguation
+     *  across hosts). */
+    std::uint64_t token_ = 0;
+    std::string host_;
+    double claimSeconds_ = 300.0;
     /** Guards the index + segment list: shared for lookups (engine
      *  workers probe concurrently on warm sweeps), exclusive for
      *  mutation. */
@@ -154,9 +309,26 @@ class ResultStore
     std::uint64_t durableSeq_ = 0;  ///< lines fsync'd (under syncMutex_)
     std::map<std::string, Record> byDigest_;
     std::vector<std::string> segments_;
+    /** Bytes of each segment already consumed (complete lines),
+     *  keyed by name; refresh() resumes from here. */
+    std::map<std::string, std::uint64_t> segmentOffsets_;
+    /** Lines already consumed per segment (corrupt-line warnings
+     *  keep accurate line numbers across refresh calls). */
+    std::map<std::string, std::size_t> segmentLines_;
+    /** Last-hit times as loaded from the HITS sidecar (under
+     *  mutex_); pendingHits_ holds this run's new hits. */
+    std::map<std::string, std::uint64_t> diskHits_;
     std::FILE *segment_ = nullptr;
+    std::string activeSegmentName_;
     std::size_t corrupt_ = 0;
     std::size_t segmentsLoaded_ = 0;
+    /** Claims currently held by this store (under mutex_). */
+    std::set<std::string> ownClaims_;
+    std::size_t staleClaims_ = 0;
+    /** Last-hit times observed this run, merged into HITS on
+     *  flushHits() (guarded by hitsMutex_, not mutex_). */
+    mutable std::mutex hitsMutex_;
+    mutable std::map<std::string, std::uint64_t> pendingHits_;
 };
 
 /** One cache record as a compact JSONL line (without newline). */

@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "common/log.h"
 #include "isa/builder.h"
@@ -566,6 +569,123 @@ TEST(SimulatorHardening, ConstructorRejectsInvalidConfig)
         workloads::Variant::Baseline, smallParams());
     EXPECT_THROW(Simulator(cfg, p), FatalError);
     EXPECT_THROW(runProgram(cfg, p), FatalError);
+}
+
+TEST(EngineFabric, TwoEnginesRacingOneDigestExecuteExactlyOnce)
+{
+    // Two processes' worth of engines (separate ResultStore
+    // instances — tryClaim is re-entrant only within one store)
+    // race on the same digest. The claim protocol must let exactly
+    // one simulate; the other adopts the winner's record.
+    std::string dir = tempCacheDir();
+    ResultStore storeA(dir, ResultStore::Mode::ReadWrite);
+    ResultStore storeB(dir, ResultStore::Mode::ReadWrite);
+
+    EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.claimDeadlineSeconds = 60.0;
+    cfg.store = &storeA;
+    Engine engineA(cfg);
+    cfg.store = &storeB;
+    Engine engineB(cfg);
+
+    std::atomic<int> executions{0};
+    auto slowExecute = [&](const SimJob &job, int) {
+        executions.fetch_add(1);
+        // Long enough that the loser is certainly still waiting on
+        // the claim when the winner finishes.
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        return runProgram(job.config, job.program);
+    };
+    engineA.setExecuteOverrideForTest(slowExecute);
+    engineB.setExecuteOverrideForTest(slowExecute);
+
+    SimJob job = makeJob("mcf", workloads::Variant::Baseline);
+    std::vector<JobResult> ra, rb;
+    std::thread ta([&] { ra = engineA.run({job}); });
+    // Give A a head start so it owns the claim before B looks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::thread tb([&] { rb = engineB.run({job}); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(executions.load(), 1);
+    ASSERT_EQ(ra.size(), 1u);
+    ASSERT_EQ(rb.size(), 1u);
+    EXPECT_EQ(ra[0].status, JobStatus::Ok);
+    EXPECT_EQ(ra[0].result, rb[0].result);
+    // One engine executed, the other adopted via the claim wait.
+    EXPECT_EQ(engineA.executed() + engineB.executed(), 1u);
+    EXPECT_EQ(engineA.cacheHits() + engineB.cacheHits(), 1u);
+    EXPECT_EQ(engineA.claimWaits() + engineB.claimWaits(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(EngineFabric, ClaimsOffDuplicatesTheRace)
+{
+    // Control experiment for the test above: with claims disabled
+    // both engines simulate. A barrier inside the override *proves*
+    // overlap — with claims on, this test would deadlock instead of
+    // pass, so it also pins that --claims=off really bypasses them.
+    std::string dir = tempCacheDir();
+    ResultStore storeA(dir, ResultStore::Mode::ReadWrite);
+    ResultStore storeB(dir, ResultStore::Mode::ReadWrite);
+
+    EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.claimInFlight = false;
+    cfg.store = &storeA;
+    Engine engineA(cfg);
+    cfg.store = &storeB;
+    Engine engineB(cfg);
+
+    std::atomic<int> arrived{0};
+    auto barrierExecute = [&](const SimJob &job, int) {
+        arrived.fetch_add(1);
+        while (arrived.load() < 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return runProgram(job.config, job.program);
+    };
+    engineA.setExecuteOverrideForTest(barrierExecute);
+    engineB.setExecuteOverrideForTest(barrierExecute);
+
+    SimJob job = makeJob("mcf", workloads::Variant::Baseline);
+    std::vector<JobResult> ra, rb;
+    std::thread ta([&] { ra = engineA.run({job}); });
+    std::thread tb([&] { rb = engineB.run({job}); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(arrived.load(), 2);
+    EXPECT_EQ(engineA.executed() + engineB.executed(), 2u);
+    EXPECT_EQ(ra[0].result, rb[0].result);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(EngineFabric, UnreachableWorkerDegradesToLocalExecution)
+{
+    // Point the engine at a worker nobody runs: after bounded
+    // connection retries the dispatcher gives up and the local pool
+    // completes the whole batch with identical results.
+    EngineConfig cfg;
+    cfg.numThreads = 2;
+    cfg.workers = {"127.0.0.1:1"};  // reserved port: refused fast
+    cfg.workerAttempts = 2;
+    cfg.workerBackoffSeconds = 0.01;
+    Engine engine(cfg);
+
+    std::vector<SimJob> jobs = mixedBatch();
+    std::vector<JobResult> results = engine.run(jobs);
+    std::vector<JobResult> local = Engine(2).run(jobs);
+
+    EXPECT_EQ(engine.workersLost(), 1u);
+    EXPECT_EQ(engine.remoteExecuted(), 0u);
+    ASSERT_EQ(results.size(), local.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].status, JobStatus::Ok) << i;
+        EXPECT_EQ(results[i].result, local[i].result) << i;
+        EXPECT_TRUE(results[i].worker.empty()) << i;
+    }
 }
 
 } // namespace

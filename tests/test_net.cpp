@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Sweep-fabric tests: endpoint parsing, the bit-exact SimJob wire
+ * codec (round-tripped digests, double bit patterns, trigger
+ * bookkeeping), the hello handshake's version gate, and a live
+ * localhost daemon end-to-end — remote execution equals local
+ * execution, the daemon's digest gate refuses drifted jobs, and an
+ * engine pointed at a real worker merges remote results into the
+ * same document a local run produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "sim/engine.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dttsim::net {
+namespace {
+
+sim::SimJob
+sampleJob(const std::string &name = "mcf", std::uint64_t seed = 1)
+{
+    workloads::WorkloadParams p;
+    p.iterations = 2;
+    p.seed = seed;
+    sim::SimJob job;
+    job.workload = name;
+    job.variant = "dtt";
+    job.config.accel = cpu::AccelKind::Dtt;
+    job.program = workloads::findWorkload(name).build(
+        workloads::Variant::Dtt, p);
+    return job;
+}
+
+TEST(Endpoint, ParsesHostPort)
+{
+    std::string err;
+    std::optional<Endpoint> ep = parseEndpoint("worker-3:9000", &err);
+    ASSERT_TRUE(ep) << err;
+    EXPECT_EQ(ep->host, "worker-3");
+    EXPECT_EQ(ep->port, 9000);
+    EXPECT_EQ(ep->spec(), "worker-3:9000");
+
+    EXPECT_FALSE(parseEndpoint("nocolon", &err));
+    EXPECT_FALSE(parseEndpoint(":9000", &err));
+    EXPECT_FALSE(parseEndpoint("host:", &err));
+    EXPECT_FALSE(parseEndpoint("host:abc", &err));
+    EXPECT_FALSE(parseEndpoint("host:0", &err));
+    EXPECT_FALSE(parseEndpoint("host:70000", &err));
+}
+
+TEST(Endpoint, ParsesCommaSeparatedList)
+{
+    std::string err;
+    std::optional<std::vector<Endpoint>> eps =
+        parseEndpointList("a:1,b:2,,c:3", &err);
+    ASSERT_TRUE(eps) << err;
+    ASSERT_EQ(eps->size(), 3u);
+    EXPECT_EQ((*eps)[1].spec(), "b:2");
+
+    EXPECT_FALSE(parseEndpointList("", &err));
+    EXPECT_FALSE(parseEndpointList("a:1,bad", &err));
+}
+
+TEST(Protocol, SimJobCodecPreservesTheDigest)
+{
+    // The codec contract: every field jobDigest hashes round-trips,
+    // so the daemon recomputes the identical digest. Exercise the
+    // paths that are easy to get wrong — double bit patterns, the
+    // trigger bookkeeping, a co-runner entry, non-default config.
+    sim::SimJob job = sampleJob();
+    job.config.fault.seed = 42;
+    job.config.fault.rate = 1e-7;  // bit-exact double travel
+    job.config.fault.siteMask = 5;
+    job.config.core.robSize += 16;
+    job.config.dtt.threadQueueSize = 7;
+    job.coRunnerEntries.push_back(0);
+
+    json::Value v = simJobToJson(job);
+    std::string err;
+    std::optional<sim::SimJob> back = trySimJobFromJson(v, &err);
+    ASSERT_TRUE(back) << err;
+    EXPECT_EQ(sim::jobDigest(*back), sim::jobDigest(job));
+    EXPECT_EQ(back->workload, job.workload);
+    EXPECT_EQ(back->variant, job.variant);
+    EXPECT_EQ(back->config.fault.rate, job.config.fault.rate);
+    EXPECT_EQ(back->program.numTriggers(), job.program.numTriggers());
+}
+
+TEST(Protocol, HelloRejectsVersionDrift)
+{
+    std::string err;
+    json::Value hello = helloMessage("dttsim");
+    EXPECT_TRUE(checkHello(hello, "hello", &err)) << err;
+    EXPECT_FALSE(checkHello(hello, "hello-ok", &err));
+
+    hello.set("proto", json::Value(std::uint64_t(999)));
+    EXPECT_FALSE(checkHello(hello, "hello", &err));
+    EXPECT_NE(err.find("version"), std::string::npos);
+}
+
+TEST(Protocol, JobMessageRoundTrips)
+{
+    sim::SimJob job = sampleJob();
+    RetryPolicy policy{3, 0.25, true, 12.5};
+    json::Value msg = jobMessage(7, job, sim::jobDigest(job), policy);
+
+    std::string err;
+    std::optional<JobRequest> req = tryJobRequestFromJson(msg, &err);
+    ASSERT_TRUE(req) << err;
+    EXPECT_EQ(req->id, 7u);
+    EXPECT_EQ(req->digest, sim::jobDigest(job));
+    EXPECT_EQ(sim::jobDigest(req->job), sim::jobDigest(job));
+    EXPECT_EQ(req->policy.maxAttempts, 3);
+    EXPECT_TRUE(req->policy.retryTimeouts);
+    EXPECT_DOUBLE_EQ(req->policy.jobDeadlineSeconds, 12.5);
+}
+
+/** A localhost daemon serving for the lifetime of the fixture. */
+struct LiveServer
+{
+    LiveServer()
+    {
+        ServerConfig cfg;
+        cfg.port = 0;
+        cfg.jobs = 2;
+        server = std::make_unique<WorkerServer>(cfg);
+        std::string err;
+        ok = server->start(&err);
+        EXPECT_TRUE(ok) << err;
+        if (ok)
+            thread = std::thread([this] { server->serveForever(); });
+    }
+
+    ~LiveServer()
+    {
+        server->stop();
+        if (thread.joinable())
+            thread.join();
+    }
+
+    std::string spec() const
+    {
+        return "127.0.0.1:" + std::to_string(server->port());
+    }
+
+    std::unique_ptr<WorkerServer> server;
+    std::thread thread;
+    bool ok = false;
+};
+
+TEST(WorkerDaemon, ExecutesJobsRemotelyWithLocalEquality)
+{
+    LiveServer live;
+    ASSERT_TRUE(live.ok);
+
+    std::string err;
+    std::optional<Endpoint> ep = parseEndpoint(live.spec(), &err);
+    ASSERT_TRUE(ep) << err;
+    std::unique_ptr<WorkerClient> client =
+        WorkerClient::connect(*ep, 5.0, &err);
+    ASSERT_TRUE(client) << err;
+    EXPECT_EQ(client->peerName(), "dttworkerd");
+
+    sim::SimJob job = sampleJob();
+    const std::string digest = sim::jobDigest(job);
+    ASSERT_TRUE(client->sendJob(1, job, digest, RetryPolicy{}));
+    WireResult wr;
+    ASSERT_TRUE(client->recvResult(&wr, 60.0, &err)) << err;
+    EXPECT_TRUE(wr.ok) << wr.message;
+    EXPECT_EQ(wr.id, 1u);
+    EXPECT_EQ(wr.digest, digest);
+    EXPECT_EQ(wr.status, sim::JobStatus::Ok);
+    EXPECT_EQ(wr.attempts, 1);
+
+    // The fabric's reason to exist: the remote execution is
+    // indistinguishable from a local one.
+    sim::SimResult local = sim::runProgram(job.config, job.program);
+    EXPECT_EQ(wr.result, local);
+    EXPECT_EQ(live.server->jobsExecuted(), 1u);
+}
+
+TEST(WorkerDaemon, RefusesJobsWithDriftedDigests)
+{
+    LiveServer live;
+    ASSERT_TRUE(live.ok);
+
+    std::string err;
+    std::optional<Endpoint> ep = parseEndpoint(live.spec(), &err);
+    std::unique_ptr<WorkerClient> client =
+        WorkerClient::connect(*ep, 5.0, &err);
+    ASSERT_TRUE(client) << err;
+
+    sim::SimJob job = sampleJob();
+    ASSERT_TRUE(client->sendJob(2, job, "0000000000000bad",
+                                RetryPolicy{}));
+    WireResult wr;
+    ASSERT_TRUE(client->recvResult(&wr, 60.0, &err)) << err;
+    EXPECT_FALSE(wr.ok);
+    EXPECT_EQ(wr.id, 2u);
+    EXPECT_NE(wr.message.find("digest mismatch"), std::string::npos);
+    EXPECT_EQ(live.server->jobsExecuted(), 0u);
+}
+
+TEST(WorkerDaemon, EngineMergesRemoteResultsIdentically)
+{
+    LiveServer live;
+    ASSERT_TRUE(live.ok);
+
+    std::vector<sim::SimJob> jobs;
+    for (const char *name : {"mcf", "art"}) {
+        sim::SimJob baseline = sampleJob(name);
+        baseline.variant = "baseline";
+        baseline.config.accel = cpu::AccelKind::None;
+        jobs.push_back(baseline);
+        jobs.push_back(sampleJob(name));
+    }
+
+    sim::EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.workers = {live.spec()};
+    cfg.workerBackoffSeconds = 0.01;
+    sim::Engine engine(cfg);
+    std::vector<sim::JobResult> fabric = engine.run(jobs);
+    std::vector<sim::JobResult> local = sim::Engine(2).run(jobs);
+
+    EXPECT_EQ(engine.workersLost(), 0u);
+    ASSERT_EQ(fabric.size(), local.size());
+    for (std::size_t i = 0; i < fabric.size(); ++i) {
+        EXPECT_EQ(fabric[i].status, local[i].status) << i;
+        EXPECT_EQ(fabric[i].result, local[i].result) << i;
+        EXPECT_EQ(fabric[i].digest, local[i].digest) << i;
+    }
+    // The provenance label only survives on remotely executed jobs,
+    // and only until the harness strips it (no --provenance).
+    std::uint64_t labelled = 0;
+    for (const sim::JobResult &jr : fabric)
+        if (!jr.worker.empty()) {
+            EXPECT_EQ(jr.worker, live.spec());
+            ++labelled;
+        }
+    EXPECT_EQ(labelled > 0,  engine.remoteExecuted() > 0);
+}
+
+} // namespace
+} // namespace dttsim::net

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <unistd.h>
 
 #include "sim/resultstore.h"
 #include "workloads/workload.h"
@@ -355,6 +356,237 @@ TEST(ResultStoreJson, RecordCodecRoundTripsAndRejectsCorruption)
     badAttempts.set("attempts", json::Value(std::uint64_t(0)));
     EXPECT_FALSE(tryStoreRecordFromJson(badAttempts, &error));
     EXPECT_NE(error.find("attempts"), std::string::npos);
+}
+
+TEST(ResultStoreClaims, AcquireIsReentrantAndReleasable)
+{
+    TempDir tmp;
+    ResultStore a(tmp.path, ResultStore::Mode::ReadWrite);
+    ResultStore b(tmp.path, ResultStore::Mode::ReadWrite);
+    const std::string digest = "00000000000000aa";
+
+    EXPECT_EQ(a.tryClaim(digest), ResultStore::ClaimOutcome::Acquired);
+    // Re-entrant: the same store re-claiming its own digest wins.
+    EXPECT_EQ(a.tryClaim(digest), ResultStore::ClaimOutcome::Acquired);
+
+    // A second store sees a live holder, with its identity.
+    ResultStore::ClaimInfo holder;
+    EXPECT_EQ(b.tryClaim(digest, &holder),
+              ResultStore::ClaimOutcome::Busy);
+    EXPECT_EQ(holder.pid, static_cast<long>(getpid()));
+    EXPECT_GT(holder.deadlineUnix, 0u);
+
+    // Release only unlinks our own claim; then the other store wins.
+    b.releaseClaim(digest);  // not b's claim: must be a no-op
+    EXPECT_EQ(b.tryClaim(digest), ResultStore::ClaimOutcome::Busy);
+    a.releaseClaim(digest);
+    EXPECT_EQ(b.tryClaim(digest), ResultStore::ClaimOutcome::Acquired);
+    EXPECT_EQ(a.staleClaimsTaken(), 0u);
+    EXPECT_EQ(b.staleClaimsTaken(), 0u);
+}
+
+TEST(ResultStoreClaims, ReadOnlyStoreCannotClaim)
+{
+    TempDir tmp;
+    {
+        ResultStore rw(tmp.path, ResultStore::Mode::ReadWrite);
+        rw.put(sampleRecord("00000000000000aa", 1));
+    }
+    ResultStore ro(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(ro.tryClaim("00000000000000bb"),
+              ResultStore::ClaimOutcome::Unsupported);
+}
+
+TEST(ResultStoreClaims, StaleDeadPidClaimIsTakenOver)
+{
+    TempDir tmp;
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    const std::string digest = "00000000000000cc";
+
+    // Forge a claim from a kill -9'd process on this host: a pid
+    // far above any live one, with a deadline well in the future so
+    // only the pid probe can unwedge it.
+    fs::create_directories(tmp.path + "/claims");
+    std::ofstream out(tmp.path + "/claims/" + digest + ".claim");
+    out << "{\"pid\": 999999999, \"host\": \"" << []() {
+        char h[256] = "";
+        gethostname(h, sizeof h - 1);
+        return std::string(h);
+    }() << "\", \"token\": 1234, \"deadline_unix\": "
+        << "18446744073709551615}\n";
+    out.close();
+
+    EXPECT_EQ(store.tryClaim(digest),
+              ResultStore::ClaimOutcome::Acquired);
+    EXPECT_EQ(store.staleClaimsTaken(), 1u);
+}
+
+TEST(ResultStoreClaims, ExpiredDeadlineClaimIsTakenOver)
+{
+    TempDir tmp;
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    const std::string digest = "00000000000000dd";
+
+    // A foreign host's claim (pid probe can't apply) whose deadline
+    // has long passed.
+    fs::create_directories(tmp.path + "/claims");
+    std::ofstream out(tmp.path + "/claims/" + digest + ".claim");
+    out << "{\"pid\": 1, \"host\": \"some-other-host\", "
+           "\"token\": 99, \"deadline_unix\": 10}\n";
+    out.close();
+
+    EXPECT_EQ(store.tryClaim(digest),
+              ResultStore::ClaimOutcome::Acquired);
+    EXPECT_EQ(store.staleClaimsTaken(), 1u);
+}
+
+TEST(ResultStoreClaims, UnparsableClaimIsACorpseNotAHolder)
+{
+    TempDir tmp;
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    const std::string digest = "00000000000000ee";
+
+    // Claims are published with link(2) from fully written tmp
+    // files, so a garbage claim can only be a corpse from a foreign
+    // writer — taken over, never waited on.
+    fs::create_directories(tmp.path + "/claims");
+    std::ofstream out(tmp.path + "/claims/" + digest + ".claim");
+    out << "{\"pi";
+    out.close();
+
+    EXPECT_EQ(store.tryClaim(digest),
+              ResultStore::ClaimOutcome::Acquired);
+    EXPECT_EQ(store.staleClaimsTaken(), 1u);
+}
+
+TEST(ResultStoreClaims, DestructorReleasesHeldClaims)
+{
+    TempDir tmp;
+    const std::string digest = "00000000000000ff";
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        EXPECT_EQ(store.tryClaim(digest),
+                  ResultStore::ClaimOutcome::Acquired);
+    }
+    EXPECT_FALSE(
+        fs::exists(tmp.path + "/claims/" + digest + ".claim"));
+}
+
+TEST(ResultStoreFabric, RefreshSeesOtherProcessesRecords)
+{
+    TempDir tmp;
+    ResultStore writer(tmp.path, ResultStore::Mode::ReadWrite);
+    ResultStore reader(tmp.path, ResultStore::Mode::ReadWrite);
+
+    ResultStore::Record rec = sampleRecord("00000000000000aa", 1);
+    writer.put(rec);
+    EXPECT_FALSE(reader.lookup(rec.digest));
+
+    reader.refresh();
+    std::optional<ResultStore::Record> got = reader.lookup(rec.digest);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->result, rec.result);
+
+    // Appends to an already-known segment are also picked up.
+    ResultStore::Record rec2 = sampleRecord("00000000000000bb", 2);
+    writer.put(rec2);
+    reader.refresh();
+    EXPECT_TRUE(reader.lookup(rec2.digest));
+}
+
+TEST(ResultStoreFabric, ConcurrentWritersGetDistinctSegments)
+{
+    TempDir tmp;
+    {
+        // Same pid, same directory, two live writers: the per-store
+        // nonce keeps their segment names from colliding, so neither
+        // clobbers the other's records.
+        ResultStore a(tmp.path, ResultStore::Mode::ReadWrite);
+        ResultStore b(tmp.path, ResultStore::Mode::ReadWrite);
+        a.put(sampleRecord("00000000000000aa", 1));
+        b.put(sampleRecord("00000000000000bb", 2));
+    }
+    ResultStore reload(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(reload.records(), 2u);
+    EXPECT_EQ(reload.segmentsLoaded(), 2u);
+    EXPECT_TRUE(reload.lookup("00000000000000aa"));
+    EXPECT_TRUE(reload.lookup("00000000000000bb"));
+}
+
+TEST(ResultStorePrune, EvictsByAgeThenBySizeBudget)
+{
+    TempDir tmp;
+    ResultStore::Record old1 = sampleRecord("00000000000000aa", 1);
+    ResultStore::Record old2 = sampleRecord("00000000000000bb", 2);
+    ResultStore::Record young = sampleRecord("00000000000000cc", 3);
+    old1.createdUnix = 1000;
+    old2.createdUnix = 2000;
+    young.createdUnix = 9000;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(old1);
+        store.put(old2);
+        store.put(young);
+    }
+
+    // Age pass: with now pinned at 10000 and max age 5000, both old
+    // records (last used at 1000/2000) go; the young one stays.
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        std::optional<ResultStore::PruneStats> stats =
+            store.prune(0, 5000, 10000);
+        ASSERT_TRUE(stats);
+        EXPECT_EQ(stats->evicted, 2u);
+        EXPECT_EQ(stats->kept, 1u);
+        EXPECT_GT(stats->evictedBytes, 0u);
+        EXPECT_TRUE(store.lookup(young.digest));
+        EXPECT_FALSE(store.lookup(old1.digest));
+    }
+    ResultStore reload(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(reload.records(), 1u);
+    EXPECT_TRUE(reload.lookup(young.digest));
+}
+
+TEST(ResultStorePrune, SizeBudgetKeepsMostRecentlyUsed)
+{
+    TempDir tmp;
+    ResultStore::Record a = sampleRecord("00000000000000aa", 1);
+    ResultStore::Record b = sampleRecord("00000000000000bb", 2);
+    ResultStore::Record c = sampleRecord("00000000000000cc", 3);
+    a.createdUnix = 1000;
+    b.createdUnix = 2000;
+    c.createdUnix = 3000;
+
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    store.put(a);
+    store.put(b);
+    store.put(c);
+    const std::uint64_t oneRecord = store.recordBytes() / 3;
+
+    // Budget for ~one record: the least-recently-used two go.
+    std::optional<ResultStore::PruneStats> stats =
+        store.prune(oneRecord + 8, 0, 10000);
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->evicted, 2u);
+    EXPECT_EQ(stats->kept, 1u);
+    EXPECT_FALSE(store.lookup(a.digest));
+    EXPECT_FALSE(store.lookup(b.digest));
+    EXPECT_TRUE(store.lookup(c.digest));
+}
+
+TEST(ResultStorePrune, NoOpWhenEverythingFits)
+{
+    TempDir tmp;
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    store.put(sampleRecord("00000000000000aa", 1));
+    std::size_t segsBefore = store.segmentCount();
+    std::optional<ResultStore::PruneStats> stats =
+        store.prune(0, 0, 0);
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->evicted, 0u);
+    EXPECT_EQ(stats->kept, 1u);
+    // No eviction → no rewrite: the segment set is untouched.
+    EXPECT_EQ(store.segmentCount(), segsBefore);
 }
 
 } // namespace

@@ -1,19 +1,26 @@
 /**
  * @file
  * Result-cache maintenance: compact a ResultStore directory's many
- * per-process `seg-*.jsonl` segments into one, or drop the cache
- * entirely. A long-lived cache accretes one segment per writing
- * process (each figure binary, each resume), and loading hundreds of
- * small files is measurably slower than one compacted segment; the
- * record set itself is unchanged.
+ * per-process `seg-*.jsonl` segments into one, age out cold records,
+ * or drop the cache entirely. A long-lived cache accretes one
+ * segment per writing process (each figure binary, each resume, each
+ * fabric worker), and loading hundreds of small files is measurably
+ * slower than one compacted segment.
  *
  *     cache_prune [--dir=PATH] [--clear] [--dry-run]
+ *                 [--max-bytes=N] [--max-age=SECONDS] [--now=UNIX]
  *
  * Default mode compacts: every record reachable from the MANIFEST is
  * rewritten into a single fresh segment, the MANIFEST is republished
  * with one atomic rename, and the retired segment files are unlinked.
  * A crash at any point leaves a loadable store (the old MANIFEST and
  * segments stay intact until the publish succeeds).
+ *
+ * --max-age evicts records whose last use (creation or last cache
+ * hit, whichever is newer) is older than SECONDS; --max-bytes then
+ * evicts least-recently-used records until the survivors' serialized
+ * size fits the budget. Either implies a compaction of the survivor
+ * set. --now pins the reference clock for reproducible tests.
  *
  * --clear empties the store instead (atomic empty-MANIFEST publish,
  * then unlink). --dry-run reports what would happen and touches
@@ -23,6 +30,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -37,14 +45,31 @@ constexpr const char *kDefaultCacheDir = "bench/out/cache";
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--dir=PATH] [--clear] [--dry-run]\n"
-                 "  --dir=PATH  cache directory (default %s)\n"
-                 "  --clear     drop every record instead of "
-                 "compacting\n"
-                 "  --dry-run   report, but modify nothing\n",
-                 argv0, kDefaultCacheDir);
+    std::fprintf(
+        stderr,
+        "usage: %s [--dir=PATH] [--clear] [--dry-run]\n"
+        "          [--max-bytes=N] [--max-age=SECONDS] [--now=UNIX]\n"
+        "  --dir=PATH     cache directory (default %s)\n"
+        "  --clear        drop every record instead of compacting\n"
+        "  --dry-run      report, but modify nothing\n"
+        "  --max-bytes=N  evict least-recently-used records until the\n"
+        "                 survivors fit N serialized bytes\n"
+        "  --max-age=S    evict records not used in the last S "
+        "seconds\n"
+        "  --now=UNIX     reference clock for --max-age (default: "
+        "wall clock)\n",
+        argv0, kDefaultCacheDir);
     return 2;
+}
+
+bool
+parseU64Flag(const char *arg, const char *name, std::uint64_t *out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return false;
+    *out = std::strtoull(arg + n, nullptr, 10);
+    return true;
 }
 
 } // namespace
@@ -55,6 +80,9 @@ main(int argc, char **argv)
     std::string dir = kDefaultCacheDir;
     bool clear = false;
     bool dryRun = false;
+    std::uint64_t maxBytes = 0;
+    std::uint64_t maxAge = 0;
+    std::uint64_t now = 0;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--dir=", 6) == 0) {
@@ -63,25 +91,44 @@ main(int argc, char **argv)
             clear = true;
         } else if (std::strcmp(arg, "--dry-run") == 0) {
             dryRun = true;
+        } else if (parseU64Flag(arg, "--max-bytes=", &maxBytes)
+                   || parseU64Flag(arg, "--max-age=", &maxAge)
+                   || parseU64Flag(arg, "--now=", &now)) {
+            continue;
         } else {
             std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
                          arg);
             return usage(argv[0]);
         }
     }
+    const bool aging = maxBytes != 0 || maxAge != 0;
+    if (clear && aging) {
+        std::fprintf(stderr,
+                     "%s: --clear conflicts with --max-bytes/"
+                     "--max-age\n", argv[0]);
+        return usage(argv[0]);
+    }
 
     sim::ResultStore store(dir, sim::ResultStore::Mode::ReadWrite);
-    std::printf("%s: %zu records in %zu segment(s)",
-                dir.c_str(), store.records(), store.segmentCount());
+    std::printf("%s: %zu records (%llu bytes) in %zu segment(s)",
+                dir.c_str(), store.records(),
+                static_cast<unsigned long long>(store.recordBytes()),
+                store.segmentCount());
     if (store.corruptRecords() > 0)
         std::printf(" (%zu corrupt records skipped)",
                     store.corruptRecords());
     std::printf("\n");
 
     if (dryRun) {
-        std::printf("dry run: would %s\n",
-                    clear ? "clear the store"
-                          : "compact into one segment");
+        if (clear)
+            std::printf("dry run: would clear the store\n");
+        else if (aging)
+            std::printf("dry run: would evict by%s%s, then compact "
+                        "the survivors\n",
+                        maxAge ? " age" : "",
+                        maxBytes ? " size budget" : "");
+        else
+            std::printf("dry run: would compact into one segment\n");
         return 0;
     }
 
@@ -91,6 +138,24 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("cleared: 0 records, 0 segments\n");
+        return 0;
+    }
+
+    if (aging) {
+        std::optional<sim::ResultStore::PruneStats> stats =
+            store.prune(maxBytes, maxAge, now);
+        if (!stats) {
+            std::fprintf(stderr, "%s: prune failed\n", dir.c_str());
+            return 1;
+        }
+        std::printf("pruned: evicted %zu record(s) (%llu bytes), "
+                    "kept %zu (%llu bytes)\n",
+                    stats->evicted,
+                    static_cast<unsigned long long>(
+                        stats->evictedBytes),
+                    stats->kept,
+                    static_cast<unsigned long long>(
+                        stats->keptBytes));
         return 0;
     }
 

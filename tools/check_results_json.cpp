@@ -45,6 +45,14 @@ complain(const std::string &file, const std::string &what)
     ++errorCount;
 }
 
+/** First sighting of a config digest, for conflict reporting. */
+struct DigestSeen
+{
+    std::size_t index;
+    std::string status;
+    std::string result;
+};
+
 bool
 isHexDigest(const std::string &s)
 {
@@ -59,7 +67,7 @@ isHexDigest(const std::string &s)
 void
 checkRecord(const std::string &file, std::size_t idx,
             std::uint64_t version, const json::Value &rec,
-            std::map<std::string, std::string> &byDigest)
+            std::map<std::string, DigestSeen> &byDigest)
 {
     const std::string where = "record " + std::to_string(idx);
     if (!rec.isObject()) {
@@ -82,6 +90,20 @@ checkRecord(const std::string &file, std::size_t idx,
     } else if (accel != nullptr) {
         complain(file, where + ": 'accel' is a schema v3 field; this "
                  "document declares v" + std::to_string(version));
+    }
+
+    // Optional v3 provenance (harness --provenance): which fabric
+    // worker executed the job. Must be a non-empty string when
+    // present, and v2 documents predate the field entirely.
+    const json::Value *worker = rec.find("worker");
+    if (worker != nullptr) {
+        if (version < 3)
+            complain(file, where + ": 'worker' is a schema v3 field; "
+                     "this document declares v"
+                     + std::to_string(version));
+        else if (!worker->isString() || worker->asString().empty())
+            complain(file, where + ": 'worker' must be a non-empty "
+                     "string naming the executing worker");
     }
 
     const std::string digest = rec.get("config_digest").asString();
@@ -150,11 +172,29 @@ checkRecord(const std::string &file, std::size_t idx,
                  "number");
 
     // The dedup invariant: one digest, one result (and one status).
-    std::string canon = statusName + "|" + sim::resultToJson(r).dump();
-    auto [it, inserted] = byDigest.emplace(digest, canon);
-    if (!inserted && it->second != canon)
-        complain(file, where + ": records with digest " + digest
-                 + " disagree on the simulation result or status");
+    // A violation means two executions of the "same" job diverged —
+    // a merged distributed sweep would silently pick one of them, so
+    // name both records and which half disagrees.
+    std::string canonStatus = statusName;
+    std::string canonResult = sim::resultToJson(r).dump();
+    auto [it, inserted] = byDigest.emplace(
+        digest, DigestSeen{idx, canonStatus, canonResult});
+    if (!inserted) {
+        const DigestSeen &first = it->second;
+        if (first.status != canonStatus)
+            complain(file, where + ": digest " + digest
+                     + " already appeared at record "
+                     + std::to_string(first.index)
+                     + " with status '" + first.status
+                     + "', but this record says '" + canonStatus
+                     + "' — conflicting payloads for one digest");
+        else if (first.result != canonResult)
+            complain(file, where + ": digest " + digest
+                     + " already appeared at record "
+                     + std::to_string(first.index)
+                     + " with a different simulation result — "
+                     "conflicting payloads for one digest");
+    }
 }
 
 void
@@ -193,7 +233,7 @@ checkFile(const std::string &file)
         complain(file, "'records' is not an array");
         return;
     }
-    std::map<std::string, std::string> byDigest;
+    std::map<std::string, DigestSeen> byDigest;
     for (std::size_t i = 0; i < records.size(); ++i)
         checkRecord(file, i, version, records.at(i), byDigest);
 }

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * dttworkerd — the sweep-fabric worker daemon. Listens on a TCP
+ * port, handshakes the line-delimited JSON protocol, and executes
+ * incoming simulation jobs through the supervised sim::Engine,
+ * streaming result records back as they finish. A harness pointed at
+ * one or more daemons with --workers host:port[,host:port...] farms
+ * unique jobs out to them and degrades to local execution when a
+ * daemon dies mid-sweep.
+ *
+ *     dttworkerd [--port=N] [--bind=ADDR] [--jobs=N] [--queue=N]
+ *                [--cache=DIR] [--name=STR]
+ *
+ * --port=0 (the default) binds an ephemeral port; the daemon always
+ * prints "dttworkerd: listening on PORT" to stdout (flushed) so a
+ * launcher script can read the port back. --cache attaches a local
+ * ResultStore so repeated digests warm-start on the daemon side too.
+ *
+ * SIGINT/SIGTERM stop the accept loop, drain in-flight connections,
+ * and exit 0. Exit codes: 0 clean shutdown, 1 bind failure, 2 usage.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "sim/resultstore.h"
+
+using namespace dttsim;
+
+namespace {
+
+net::WorkerServer *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    // stop() only flips an atomic and closes the listen socket —
+    // both async-signal-tolerable here; the accept loop returns and
+    // main() joins the connection threads.
+    if (gServer != nullptr)
+        gServer->stop();
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--port=N] [--bind=ADDR] [--jobs=N] [--queue=N]\n"
+        "          [--cache=DIR] [--name=STR]\n"
+        "  --port=N    listen port; 0 picks an ephemeral port "
+        "(default 0)\n"
+        "  --bind=A    bind address (default 127.0.0.1)\n"
+        "  --jobs=N    concurrent executions per connection "
+        "(default 1)\n"
+        "  --queue=N   decoded-job backpressure bound (default 32)\n"
+        "  --cache=DIR attach a daemon-side result cache\n"
+        "  --name=STR  self-reported name in the handshake\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseIntFlag(const char *arg, const char *name, int *out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return false;
+    *out = std::atoi(arg + n);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    net::ServerConfig config;
+    std::string cacheDir;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (parseIntFlag(arg, "--port=", &config.port)
+            || parseIntFlag(arg, "--jobs=", &config.jobs)
+            || parseIntFlag(arg, "--queue=", &config.maxQueue)) {
+            continue;
+        } else if (std::strncmp(arg, "--bind=", 7) == 0) {
+            config.bindHost = arg + 7;
+        } else if (std::strncmp(arg, "--cache=", 8) == 0) {
+            cacheDir = arg + 8;
+        } else if (std::strncmp(arg, "--name=", 7) == 0) {
+            config.name = arg + 7;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        }
+    }
+    if (config.port < 0 || config.port > 65535) {
+        std::fprintf(stderr, "%s: --port out of range (0..65535)\n",
+                     argv[0]);
+        return usage(argv[0]);
+    }
+
+    std::unique_ptr<sim::ResultStore> store;
+    if (!cacheDir.empty()) {
+        store = std::make_unique<sim::ResultStore>(
+            cacheDir, sim::ResultStore::Mode::ReadWrite);
+        if (!store->writable())
+            std::fprintf(stderr,
+                         "dttworkerd: cache '%s' not writable; "
+                         "running without daemon-side cache\n",
+                         cacheDir.c_str());
+        else
+            config.store = store.get();
+    }
+
+    net::WorkerServer server(config);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "dttworkerd: %s\n", error.c_str());
+        return 1;
+    }
+    gServer = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    // Launchers (scripts/fabric_smoke.sh, tests) parse this line to
+    // learn the ephemeral port — keep the format stable.
+    std::printf("dttworkerd: listening on %d\n", server.port());
+    std::fflush(stdout);
+
+    server.serveForever();
+    server.stop();
+    std::fprintf(stderr, "dttworkerd: %llu job(s) executed; bye\n",
+                 static_cast<unsigned long long>(
+                     server.jobsExecuted()));
+    return 0;
+}
