@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "net/client.h"
+#include "sim/fabricfault.h"
 
 namespace dttsim::bench {
 
@@ -49,6 +50,18 @@ engineFlags()
         {"worker-deadline", "SECONDS",
          "give up on a silent worker after this long per request "
          "(default 600)"},
+        {"worker-attempts", "N",
+         "connection attempts per worker before declaring it down "
+         "(default 3; each failed attempt counts against the "
+         "quarantine circuit breaker)"},
+        {"worker-straggler", "SECONDS",
+         "hedge a remote job unanswered for this long by also "
+         "re-queuing it locally; the first result wins and the "
+         "duplicate is suppressed (default: off)"},
+        {"fabric-faults", "SEED:SPEC",
+         "arm deterministic fabric fault injection (chaos testing "
+         "only; e.g. 7:connect-refused=0.5,corrupt-frame=0.1 — "
+         "docs/ROBUSTNESS.md)"},
         {"claims", "MODE",
          "on (default) lets concurrent processes sharing --cache-dir "
          "claim in-flight digests so each simulates once; off "
@@ -213,6 +226,33 @@ makeEngineConfig(const Options &opts, sim::ResultStore *store)
         static_cast<int>(opts.getInt("worker-window", 4));
     cfg.workerRequestSeconds =
         opts.getDouble("worker-deadline", 600.0);
+    cfg.workerAttempts =
+        static_cast<int>(opts.getInt("worker-attempts", 3));
+    if (cfg.workerAttempts < 1) {
+        std::fprintf(stderr, "error: --worker-attempts must be >= 1 "
+                     "(see --help)\n");
+        std::exit(2);
+    }
+    cfg.stragglerSeconds = opts.getDouble("worker-straggler", 0.0);
+    if (cfg.stragglerSeconds < 0) {
+        std::fprintf(stderr, "error: --worker-straggler must be >= 0 "
+                     "(see --help)\n");
+        std::exit(2);
+    }
+    if (opts.has("fabric-faults")) {
+        std::string err;
+        std::optional<fabric::FaultConfig> fc =
+            fabric::parseFaultSpec(opts.get("fabric-faults"), &err);
+        if (!fc) {
+            std::fprintf(stderr, "error: --fabric-faults: %s "
+                         "(see --help)\n", err.c_str());
+            std::exit(2);
+        }
+        fabric::installFaultPlan(*fc);
+        std::fprintf(stderr,
+                     "fabric fault injection armed: %s\n",
+                     fabric::formatFaultSpec(*fc).c_str());
+    }
     if (opts.has("claims")) {
         const std::string mode = opts.get("claims");
         if (mode != "on" && mode != "off") {
@@ -619,18 +659,26 @@ Harness::finish()
     }
     if (engine_.remoteExecuted() > 0 || engine_.workersLost() > 0
         || engine_.claimWaits() > 0
+        || engine_.workersQuarantined() > 0
+        || engine_.hedgedJobs() > 0
         || (store_ != nullptr && store_->staleClaimsTaken() > 0)) {
         std::fprintf(
             stderr,
             "%s: fabric: %llu executed remotely, %llu worker(s) "
             "lost, %llu claim wait(s), %llu stale claim(s) taken "
-            "over\n",
+            "over, %llu worker(s) quarantined, %llu job(s) hedged "
+            "(%llu duplicate(s) suppressed)\n",
             spec_.binary.c_str(),
             static_cast<unsigned long long>(engine_.remoteExecuted()),
             static_cast<unsigned long long>(engine_.workersLost()),
             static_cast<unsigned long long>(engine_.claimWaits()),
             static_cast<unsigned long long>(
-                store_ != nullptr ? store_->staleClaimsTaken() : 0));
+                store_ != nullptr ? store_->staleClaimsTaken() : 0),
+            static_cast<unsigned long long>(
+                engine_.workersQuarantined()),
+            static_cast<unsigned long long>(engine_.hedgedJobs()),
+            static_cast<unsigned long long>(
+                engine_.duplicatesSuppressed()));
     }
 
     if (invalidJobs_) {

@@ -1,5 +1,7 @@
 #include "net/client.h"
 
+#include "sim/fabricfault.h"
+
 namespace dttsim::net {
 
 std::optional<Endpoint>
@@ -65,6 +67,16 @@ std::unique_ptr<WorkerClient>
 WorkerClient::connect(const Endpoint &endpoint, double timeout_seconds,
                       std::string *error)
 {
+    // Fabric chaos: the worker is unreachable this attempt. Drawn
+    // before the real connect so the decision stream is independent
+    // of actual network state.
+    if (fabric::FaultPlan *fp = fabric::faultPlan();
+        fp != nullptr
+        && fp->inject(fabric::FaultSite::ConnectRefused)) {
+        if (error != nullptr)
+            *error = "connect refused (injected fabric fault)";
+        return nullptr;
+    }
     std::optional<TcpStream> stream = TcpStream::connect(
         endpoint.host, endpoint.port, timeout_seconds, error);
     if (!stream)

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/log.h"
 #include "cpu/accelerator.h"
 #include "isa/opcodes.h"
 
@@ -695,6 +696,12 @@ resultMessage(std::uint64_t id, const std::string &digest,
         v.set("error", std::move(e));
     }
     v.set("result", sim::resultToJson(jr.result));
+    // End-to-end payload integrity: the daemon stamps the checksum
+    // over the canonical payload and the client recomputes it after
+    // decoding, so a bit flipped anywhere on the wire (or by a buggy
+    // intermediary) is caught before the record reaches a cache.
+    v.set("crc", Value(sim::recordCrc(digest, jr.status, jr.attempts,
+                                      jr.result)));
     return v;
 }
 
@@ -765,6 +772,22 @@ tryWireResultFromJson(const json::Value &v, std::string *error)
     if (!r)
         return std::nullopt;
     wr.result = *r;
+    // The checksum is mandatory on result replies (both ends run the
+    // same protocol version) and must match a recompute over the
+    // decoded payload; a mismatch means the frame was corrupted in
+    // flight, and the caller treats it like any other protocol loss
+    // (job re-executes elsewhere).
+    const Value *crc = v.find("crc");
+    if (crc == nullptr || !crc->isUint())
+        return bad("'crc' missing or not an unsigned integer");
+    const std::uint64_t expect = sim::recordCrc(
+        wr.digest, wr.status, wr.attempts, wr.result);
+    if (crc->asUint() != expect)
+        return bad(strfmt("result crc mismatch (wire %016llx, "
+                          "recomputed %016llx): frame corrupted",
+                          static_cast<unsigned long long>(
+                              crc->asUint()),
+                          static_cast<unsigned long long>(expect)));
     return wr;
 }
 

@@ -15,8 +15,14 @@
  *     server -> client   {"type":"result","id":N,"digest":...,
  *                         "status":...,"attempts":N,
  *                         "wall_seconds":...,["error":{...},]
- *                         "result":{...}}
+ *                         "result":{...},"crc":N}
  *     server -> client   {"type":"error","id":N,"message":...}
+ *
+ * "crc" is sim::recordCrc over the canonical payload (digest,
+ * status, attempts, result); the daemon stamps it and the client
+ * recomputes it after decoding — a mismatch is treated as a
+ * corrupted frame and the session is abandoned (the job re-executes
+ * elsewhere), never trusted into a cache.
  *
  * Jobs are pipelined: the client may have several "job" messages in
  * flight (its backpressure window); the server replies in completion

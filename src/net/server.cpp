@@ -1,22 +1,16 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <thread>
 
 #include "common/log.h"
+#include "sim/fabricfault.h"
 #include "sim/resultstore.h"
 
 namespace dttsim::net {
-
-namespace {
-
-/** The exact string TcpStream::readLine reports on deadline expiry —
- *  the reader loop uses it to tell "idle poll tick" from "peer went
- *  away". */
-constexpr const char *kTimeoutError = "read timed out";
-
-} // namespace
 
 WorkerServer::WorkerServer(ServerConfig config)
     : config_(std::move(config))
@@ -159,6 +153,15 @@ WorkerServer::serveConnection(TcpStream stream)
             std::vector<sim::JobResult> results =
                 engine.run({req.job});
             jobsExecuted_.fetch_add(1, std::memory_order_relaxed);
+            // Fabric chaos: a straggler — the result is ready but
+            // the reply sits on the wire past the client's hedge
+            // threshold.
+            if (fabric::FaultPlan *fp = fabric::faultPlan();
+                fp != nullptr
+                && fp->inject(fabric::FaultSite::ReplyDelay))
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        fp->delaySeconds()));
             if (!writeReply(resultMessage(req.id, digest,
                                           results.at(0))))
                 return;  // client gone; drain and exit
@@ -173,7 +176,7 @@ WorkerServer::serveConnection(TcpStream stream)
     for (;;) {
         err.clear();
         if (!stream.readLine(&line, 0.5, &err)) {
-            if (err == kTimeoutError && running_)
+            if (err == kReadTimedOut && running_)
                 continue;  // idle tick; keep the session open
             break;         // EOF, error, or shutdown
         }
@@ -198,12 +201,31 @@ WorkerServer::serveConnection(TcpStream stream)
             if (!running_)
                 break;
             queue.push_back(std::move(*req));
+            jobsReceived_.fetch_add(1, std::memory_order_relaxed);
         }
         cvEmpty.notify_one();
     }
 
+    // Bounded drain: give the executors until the deadline to finish
+    // already-decoded jobs and stream their results, then abandon
+    // whatever is still queued. Jobs an executor has started always
+    // run to completion (it only checks the queue between jobs).
     {
-        std::lock_guard<std::mutex> lock(m);
+        std::unique_lock<std::mutex> lock(m);
+        const double ds = std::max(0.0, config_.drainDeadlineSeconds);
+        auto deadline = std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(ds));
+        if (!cvFull.wait_until(lock, deadline,
+                               [&] { return queue.empty(); })) {
+            jobsAbandoned_.fetch_add(queue.size(),
+                                     std::memory_order_relaxed);
+            warn("dttworkerd: drain deadline (%gs) expired; "
+                 "abandoning %zu queued job(s)",
+                 ds, queue.size());
+            queue.clear();
+        }
         done = true;
     }
     cvEmpty.notify_all();

@@ -53,6 +53,11 @@ struct ServerConfig
     int maxQueue = 32;
     /** Self-reported name in the hello-ok handshake. */
     std::string name = "dttworkerd";
+    /** On shutdown/disconnect, seconds the connection waits for
+     *  already-decoded jobs to finish and stream their results
+     *  before abandoning the rest (0 abandons every queued job
+     *  immediately; in-progress executions always complete). */
+    double drainDeadlineSeconds = 10.0;
     /** Optional daemon-side result cache (warm starts across
      *  sessions); not owned, may be null. */
     sim::ResultStore *store = nullptr;
@@ -84,6 +89,15 @@ class WorkerServer
     /** Jobs executed since start (all connections). */
     std::uint64_t jobsExecuted() const { return jobsExecuted_; }
 
+    /** Jobs decoded off the wire and queued for execution (tests
+     *  poll this to know a burst has actually landed daemon-side
+     *  before shutting down — a sleep would race the reader). */
+    std::uint64_t jobsReceived() const { return jobsReceived_; }
+
+    /** Decoded-but-unstarted jobs dropped because a connection's
+     *  drain deadline expired. */
+    std::uint64_t jobsAbandoned() const { return jobsAbandoned_; }
+
   private:
     void serveConnection(TcpStream stream);
 
@@ -91,6 +105,8 @@ class WorkerServer
     std::optional<TcpListener> listener_;
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> jobsExecuted_{0};
+    std::atomic<std::uint64_t> jobsReceived_{0};
+    std::atomic<std::uint64_t> jobsAbandoned_{0};
     std::mutex threadsMutex_;
     std::vector<std::thread> threads_;
 };

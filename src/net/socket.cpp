@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "sim/fabricfault.h"
+
 namespace dttsim::net {
 
 namespace {
@@ -181,6 +183,15 @@ TcpStream::readLine(std::string *line, double timeout_seconds,
         setError(error, "stream closed");
         return false;
     }
+    // Fabric chaos: the peer "vanishes" mid-frame. Closing our end
+    // drops any half-read buffer, exactly like a cut network.
+    if (fabric::FaultPlan *fp = fabric::faultPlan();
+        fp != nullptr && fp->inject(fabric::FaultSite::MidFrameEof)) {
+        close();
+        setError(error,
+                 "connection closed by peer (injected fabric fault)");
+        return false;
+    }
     auto deadline = std::chrono::steady_clock::now()
         + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double>(timeout_seconds));
@@ -189,12 +200,18 @@ TcpStream::readLine(std::string *line, double timeout_seconds,
         if (nl != std::string::npos) {
             line->assign(buf_, 0, nl);
             buf_.erase(0, nl + 1);
+            // Fabric chaos: one frame arrives with a flipped byte —
+            // the protocol layer must reject it, not trust it.
+            if (fabric::FaultPlan *fp = fabric::faultPlan();
+                fp != nullptr
+                && fp->inject(fabric::FaultSite::CorruptFrame))
+                fp->corruptLine(line);
             return true;
         }
         pollfd pf{fd_, POLLIN, 0};
         int rc = ::poll(&pf, 1, remainingMs(deadline));
         if (rc == 0) {
-            setError(error, "read timed out");
+            setError(error, kReadTimedOut);
             return false;
         }
         if (rc < 0) {
@@ -227,9 +244,9 @@ TcpListener::~TcpListener()
 }
 
 TcpListener::TcpListener(TcpListener &&other) noexcept
-    : fd_(other.fd_), port_(other.port_)
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+      port_(other.port_)
 {
-    other.fd_ = -1;
     other.port_ = 0;
 }
 
@@ -238,9 +255,9 @@ TcpListener::operator=(TcpListener &&other) noexcept
 {
     if (this != &other) {
         close();
-        fd_ = other.fd_;
+        fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+                  std::memory_order_release);
         port_ = other.port_;
-        other.fd_ = -1;
         other.port_ = 0;
     }
     return *this;
@@ -249,10 +266,11 @@ TcpListener::operator=(TcpListener &&other) noexcept
 void
 TcpListener::close()
 {
-    if (fd_ >= 0) {
-        ::close(fd_);
-        fd_ = -1;
-    }
+    // exchange() so a concurrent close (stop path vs destructor)
+    // closes the descriptor exactly once.
+    int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0)
+        ::close(fd);
 }
 
 std::optional<TcpListener>
@@ -306,13 +324,17 @@ TcpListener::bind(const std::string &host, int port,
 std::optional<TcpStream>
 TcpListener::accept(double timeout_seconds)
 {
-    if (fd_ < 0)
+    // Snapshot the descriptor once: stop() may close() concurrently,
+    // after which poll/accept on the stale fd fail and we return
+    // nullopt — the serve loop then notices it is shutting down.
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0)
         return std::nullopt;
     auto deadline = std::chrono::steady_clock::now()
         + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double>(timeout_seconds));
     for (;;) {
-        pollfd pf{fd_, POLLIN, 0};
+        pollfd pf{fd, POLLIN, 0};
         int rc = ::poll(&pf, 1, remainingMs(deadline));
         if (rc == 0)
             return std::nullopt;
@@ -321,7 +343,9 @@ TcpListener::accept(double timeout_seconds)
                 continue;
             return std::nullopt;
         }
-        int conn = ::accept(fd_, nullptr, nullptr);
+        if (pf.revents & (POLLNVAL | POLLERR | POLLHUP))
+            return std::nullopt;
+        int conn = ::accept(fd, nullptr, nullptr);
         if (conn < 0) {
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;

@@ -14,10 +14,16 @@
  * routine event the dispatcher degrades around, not a crash.
  */
 
+#include <atomic>
 #include <optional>
 #include <string>
 
 namespace dttsim::net {
+
+/** readLine's timeout error string. Callers (the dispatcher's sliced
+ *  receive loop, the server's reader) distinguish "no data yet" from
+ *  a real transport failure by comparing against this exact text. */
+inline constexpr const char *kReadTimedOut = "read timed out";
 
 /** One connected TCP byte stream with buffered line reads. */
 class TcpStream
@@ -86,7 +92,7 @@ class TcpListener
                                            int port,
                                            std::string *error);
 
-    bool open() const { return fd_ >= 0; }
+    bool open() const { return fd_.load(std::memory_order_acquire) >= 0; }
     /** The bound port (the kernel's pick when bind() got 0). */
     int port() const { return port_; }
 
@@ -97,7 +103,9 @@ class TcpListener
     void close();
 
   private:
-    int fd_ = -1;
+    // Atomic because stop paths close() the listener from another
+    // thread while the serve loop is blocked inside accept().
+    std::atomic<int> fd_{-1};
     int port_ = 0;
 };
 

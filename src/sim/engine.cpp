@@ -204,6 +204,28 @@ jobDigest(const SimJob &job)
     return buf;
 }
 
+std::uint64_t
+recordCrc(const std::string &digest, JobStatus status, int attempts,
+          const SimResult &result)
+{
+    // Canonical payload: every field that determines what a record
+    // *means*, in a fixed NUL-separated text form. The result half
+    // goes through the compact JSON codec so the checksum covers
+    // exactly what travels and is stored.
+    Fnv1a h;
+    h.bytes(digest.data(), digest.size());
+    h.pod('\0');
+    const char *status_name = jobStatusName(status);
+    h.bytes(status_name, std::string::traits_type::length(status_name));
+    h.pod('\0');
+    const std::string attempts_text = std::to_string(attempts);
+    h.bytes(attempts_text.data(), attempts_text.size());
+    h.pod('\0');
+    const std::string payload = resultToJson(result).dump();
+    h.bytes(payload.data(), payload.size());
+    return h.value();
+}
+
 double
 retryDelaySeconds(double base_seconds, int attempt,
                   std::uint64_t seed)
@@ -252,6 +274,49 @@ Engine::Engine(const EngineConfig &config) : config_(config)
         fatal("Engine: jobDeadlineSeconds must be >= 0 (got %g); 0 "
               "disables the per-job deadline",
               config_.jobDeadlineSeconds);
+    if (config_.stragglerSeconds < 0)
+        fatal("Engine: stragglerSeconds must be >= 0 (got %g); 0 "
+              "disables hedged dispatch", config_.stragglerSeconds);
+    if (config_.quarantineAfter < 1)
+        fatal("Engine: quarantineAfter must be >= 1 (got %d)",
+              config_.quarantineAfter);
+}
+
+void
+Engine::workerFailed(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    WorkerHealth &h = health_[spec];
+    ++h.consecutiveFailures;
+    if (!h.quarantined
+        && h.consecutiveFailures >= config_.quarantineAfter) {
+        h.quarantined = true;
+        ++workersQuarantined_;
+        warn("engine: worker %s quarantined after %d consecutive "
+             "failure(s); will re-probe next batch",
+             spec.c_str(), h.consecutiveFailures);
+    }
+}
+
+void
+Engine::workerHealthy(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    WorkerHealth &h = health_[spec];
+    h.consecutiveFailures = 0;
+    if (h.quarantined) {
+        h.quarantined = false;
+        inform("engine: worker %s passed probation; quarantine "
+               "lifted", spec.c_str());
+    }
+}
+
+bool
+Engine::workerQuarantined(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    auto it = health_.find(spec);
+    return it != health_.end() && it->second.quarantined;
 }
 
 void
@@ -353,6 +418,16 @@ Engine::run(const std::vector<SimJob> &jobs)
     std::atomic<std::uint64_t> remote{0};
     std::atomic<std::uint64_t> lostWorkers{0};
     std::atomic<std::uint64_t> claimWaited{0};
+    std::atomic<std::uint64_t> hedged{0};
+    std::atomic<std::uint64_t> dupSuppressed{0};
+
+    // First-wins commit gate. With hedged dispatch one unique job
+    // can finish twice (the remote original and its local hedge);
+    // whoever flips the flag first owns executedResults[idx] and the
+    // finishOne() bookkeeping, the loser is suppressed. Identical
+    // digest => identical payload, so which copy wins cannot change
+    // the merged output.
+    std::vector<std::atomic<bool>> resolved(unique.size());
 
     std::mutex qm;
     std::condition_variable qcv;
@@ -552,24 +627,50 @@ Engine::run(const std::vector<SimJob> &jobs)
                        bool claimed) {
         if (store != nullptr && store->writable()
             && (jr.status == JobStatus::Ok
-                || jr.status == JobStatus::Failed))
-            store->put({digests[idx], jr.status, jr.attempts,
-                        jr.wallSeconds, 0, 0, jr.result});
+                || jr.status == JobStatus::Failed)) {
+            ResultStore::Record rec;
+            rec.digest = digests[idx];
+            rec.status = jr.status;
+            rec.attempts = jr.attempts;
+            rec.wallSeconds = jr.wallSeconds;
+            rec.result = jr.result;
+            store->put(rec);
+        }
         if (claimed)
             store->releaseClaim(digests[idx]);
+    };
+
+    // Commit one finished unique job exactly once (see the resolved
+    // gate above). Cached adoptions never hold a claim, so only a
+    // fresh execution persists.
+    auto commit = [&](std::size_t u, const JobResult &jr,
+                      bool claimed) {
+        std::size_t idx = unique[u];
+        if (resolved[u].exchange(true)) {
+            dupSuppressed.fetch_add(1, std::memory_order_relaxed);
+            if (claimed)
+                store->releaseClaim(digests[idx]);
+            return;
+        }
+        executedResults[idx] = jr;
+        if (!jr.cached)
+            persist(idx, jr, claimed);
+        finishOne();
     };
 
     auto localWorker = [&]() {
         std::size_t u;
         while (popBlocking(&u)) {
+            // A hedged duplicate whose twin already committed: the
+            // winner did the finishOne(), nothing left to do.
+            if (resolved[u].load(std::memory_order_acquire))
+                continue;
             std::size_t idx = unique[u];
-            JobResult &jr = executedResults[idx];
+            JobResult jr;
             bool claimed = false;
-            if (!resolveToCached(idx, jr, &claimed)) {
+            if (!resolveToCached(idx, jr, &claimed))
                 executeLocal(idx, jr);
-                persist(idx, jr, claimed);
-            }
-            finishOne();
+            commit(u, jr, claimed);
         }
     };
 
@@ -592,12 +693,18 @@ Engine::run(const std::vector<SimJob> &jobs)
         Fnv1a seedHash;
         seedHash.bytes(spec.data(), spec.size());
         const std::uint64_t seed = seedHash.value();
-        const int maxConnect = std::max(1, config_.workerAttempts);
+        // Circuit breaker: a quarantined endpoint gets exactly one
+        // probation connect (the hello handshake is the probe)
+        // instead of the full retry budget.
+        const bool probation = workerQuarantined(spec);
+        const int maxConnect =
+            probation ? 1 : std::max(1, config_.workerAttempts);
         std::unique_ptr<net::WorkerClient> client;
         for (int attempt = 1; attempt <= maxConnect; ++attempt) {
             client = net::WorkerClient::connect(*ep, 10.0, &err);
             if (client)
                 break;
+            workerFailed(spec);
             if (attempt < maxConnect)
                 std::this_thread::sleep_for(
                     std::chrono::duration<double>(retryDelaySeconds(
@@ -605,12 +712,19 @@ Engine::run(const std::vector<SimJob> &jobs)
                         seed)));
         }
         if (!client) {
+            if (probation) {
+                warn("engine: quarantined worker %s failed its "
+                     "probation probe (%s); skipping it this batch",
+                     spec.c_str(), err.c_str());
+                return;
+            }
             warn("engine: worker %s unreachable after %d attempt(s) "
                  "(%s); continuing without it",
                  spec.c_str(), maxConnect, err.c_str());
             lostWorkers.fetch_add(1, std::memory_order_relaxed);
             return;
         }
+        workerHealthy(spec);
 
         const net::RetryPolicy policy{
             config_.maxAttempts, config_.retryBackoffSeconds,
@@ -621,36 +735,57 @@ Engine::run(const std::vector<SimJob> &jobs)
         {
             std::size_t u;
             bool claimed;
+            std::chrono::steady_clock::time_point sentAt;
+            /** Re-queued for local execution after exceeding the
+             *  straggler threshold; its claim now belongs to the
+             *  local twin and it must not be requeued again. */
+            bool hedged = false;
         };
         std::map<std::uint64_t, InFlight> inflight;
         std::uint64_t nextId = 1;
         bool lost = false;
         std::string why;
+        // Loss detection under the sliced receive below: the worker
+        // is lost when it has been *silent* (no reply accepted, no
+        // job sent) past workerRequestSeconds, not merely when one
+        // recv slice expires.
+        auto lastActivity = std::chrono::steady_clock::now();
 
-        auto abandon = [&](std::uint64_t id, bool executeHere) {
+        auto abandon = [&](std::uint64_t id) {
             // The daemon rejected this job (codec drift, decode
             // failure): release its claim and put it back for the
-            // local pool.
+            // local pool — unless a hedge twin already owns it.
             auto it = inflight.find(id);
             if (it == inflight.end())
                 return;
-            if (it->second.claimed)
-                store->releaseClaim(digests[unique[it->second.u]]);
-            if (executeHere)
+            if (!it->second.hedged) {
+                if (it->second.claimed)
+                    store->releaseClaim(
+                        digests[unique[it->second.u]]);
                 requeue({it->second.u});
+            }
             inflight.erase(it);
         };
 
         while (!lost) {
+            {
+                // Everything resolved (possibly by hedge twins of
+                // our own stragglers): the session is done.
+                std::lock_guard<std::mutex> lock(qm);
+                if (unresolved == 0)
+                    break;
+            }
             while (inflight.size() < window) {
                 std::size_t u;
                 if (!tryPop(&u))
                     break;
+                if (resolved[u].load(std::memory_order_acquire))
+                    continue;
                 std::size_t idx = unique[u];
-                JobResult &jr = executedResults[idx];
+                JobResult jr;
                 bool claimed = false;
                 if (resolveToCached(idx, jr, &claimed)) {
-                    finishOne();
+                    commit(u, jr, claimed);
                     continue;
                 }
                 std::uint64_t id = nextId++;
@@ -663,7 +798,9 @@ Engine::run(const std::vector<SimJob> &jobs)
                     why = "send failed";
                     break;
                 }
-                inflight.emplace(id, InFlight{u, claimed});
+                lastActivity = std::chrono::steady_clock::now();
+                inflight.emplace(id, InFlight{u, claimed,
+                                              lastActivity, false});
             }
             if (lost)
                 break;
@@ -676,13 +813,66 @@ Engine::run(const std::vector<SimJob> &jobs)
                                  std::chrono::milliseconds(50));
                 continue;
             }
+            // Sliced receive: wake periodically to tell a genuinely
+            // dead worker (silent past workerRequestSeconds) from a
+            // straggler (reply overdue past stragglerSeconds, which
+            // hedges the job locally instead of abandoning the
+            // session).
+            const double slice = config_.stragglerSeconds > 0.0
+                ? std::clamp(config_.stragglerSeconds / 4.0, 0.01,
+                             0.25)
+                : std::min(0.25, config_.workerRequestSeconds);
             net::WireResult wr;
-            if (!client->recvResult(&wr, config_.workerRequestSeconds,
-                                    &err)) {
-                lost = true;
-                why = err;
-                break;
+            bool got = false;
+            while (!got) {
+                err.clear();
+                if (client->recvResult(&wr, slice, &err)) {
+                    got = true;
+                    break;
+                }
+                if (err != net::kReadTimedOut) {
+                    lost = true;
+                    why = err;
+                    break;
+                }
+                auto now = std::chrono::steady_clock::now();
+                if (std::chrono::duration<double>(now - lastActivity)
+                        .count() > config_.workerRequestSeconds) {
+                    lost = true;
+                    why = net::kReadTimedOut;
+                    break;
+                }
+                {
+                    std::lock_guard<std::mutex> lock(qm);
+                    if (unresolved == 0)
+                        break;  // hedge twins finished everything
+                }
+                if (config_.stragglerSeconds <= 0.0)
+                    continue;
+                for (auto &[id, item] : inflight) {
+                    if (item.hedged
+                        || resolved[item.u].load(
+                               std::memory_order_acquire))
+                        continue;
+                    if (std::chrono::duration<double>(
+                            now - item.sentAt).count()
+                        < config_.stragglerSeconds)
+                        continue;
+                    item.hedged = true;
+                    hedged.fetch_add(1, std::memory_order_relaxed);
+                    warn("engine: worker %s straggling on job %s "
+                         "(> %gs); hedging it locally",
+                         spec.c_str(),
+                         digests[unique[item.u]].c_str(),
+                         config_.stragglerSeconds);
+                    requeue({item.u});
+                }
             }
+            if (lost)
+                break;
+            if (!got)
+                break;  // unresolved hit 0 mid-wait
+            lastActivity = std::chrono::steady_clock::now();
             auto it = inflight.find(wr.id);
             if (it == inflight.end()) {
                 lost = true;
@@ -696,10 +886,11 @@ Engine::run(const std::vector<SimJob> &jobs)
                      spec.c_str(), digests[idx].c_str(),
                      wr.ok ? "digest mismatch"
                            : wr.message.c_str());
-                abandon(wr.id, true);
+                abandon(wr.id);
                 continue;
             }
-            JobResult &jr = executedResults[idx];
+            workerHealthy(spec);
+            JobResult jr;
             jr.status = wr.status;
             jr.attempts = wr.attempts;
             jr.wallSeconds = wr.wallSeconds;
@@ -712,22 +903,29 @@ Engine::run(const std::vector<SimJob> &jobs)
                 retried.fetch_add(
                     static_cast<std::uint64_t>(wr.attempts - 1),
                     std::memory_order_relaxed);
-            persist(idx, jr, it->second.claimed);
+            std::size_t u = it->second.u;
+            bool claimed = it->second.claimed;
             inflight.erase(it);
-            finishOne();
+            commit(u, jr, claimed);
         }
         if (lost) {
+            workerFailed(spec);
             lostWorkers.fetch_add(1, std::memory_order_relaxed);
-            warn("engine: worker %s lost mid-sweep (%s); "
-                 "re-dispatching %zu in-flight job(s)",
-                 spec.c_str(), why.c_str(), inflight.size());
             std::vector<std::size_t> back;
             back.reserve(inflight.size());
             for (const auto &[id, item] : inflight) {
+                // A hedged job's local twin is already queued (or
+                // running) and owns the claim; requeuing it again
+                // would only duplicate work.
+                if (item.hedged)
+                    continue;
                 if (item.claimed)
                     store->releaseClaim(digests[unique[item.u]]);
                 back.push_back(item.u);
             }
+            warn("engine: worker %s lost mid-sweep (%s); "
+                 "re-dispatching %zu in-flight job(s)",
+                 spec.c_str(), why.c_str(), back.size());
             requeue(back);
         }
     };
@@ -756,6 +954,8 @@ Engine::run(const std::vector<SimJob> &jobs)
     remoteExecuted_ += remote.load();
     workersLost_ += lostWorkers.load();
     claimWaits_ += claimWaited.load();
+    hedgedJobs_ += hedged.load();
+    duplicatesSuppressed_ += dupSuppressed.load();
 
     // Expand to submission order; duplicates copy the representative
     // but keep their own labels.
@@ -881,7 +1081,7 @@ resultFromJson(const json::Value &v)
 json::Value
 jobResultToJson(const JobResult &jr)
 {
-    // Schema v3. Deliberately free of wall-clock measurements: the
+    // Schema v4. Deliberately free of wall-clock measurements: the
     // emitted document is a pure function of the submitted jobs, so
     // a resumed sweep's merged output is byte-identical to an
     // uninterrupted run's (timings live in the result cache and the
@@ -909,6 +1109,11 @@ jobResultToJson(const JobResult &jr)
         v.set("error", std::move(e));
     }
     v.set("result", resultToJson(jr.result));
+    // Schema v4: end-to-end record integrity. Recomputable from the
+    // other fields, so validators catch a silently flipped bit in
+    // any of them.
+    v.set("crc", json::Value(recordCrc(jr.digest, jr.status,
+                                       jr.attempts, jr.result)));
     return v;
 }
 

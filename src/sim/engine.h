@@ -32,6 +32,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,12 +48,15 @@ class ResultStore;
 
 /** Version of the JSON record schema emitted for JobResults.
  *  v3 added the per-record "accel" field (cpu::accelKindName of the
- *  job's SimConfig::accel); tools/check_results_json still accepts
- *  archived v2 documents, where the field is absent. Within v3 the
- *  "worker" provenance field is *optional* (emitted only under the
- *  harness's --provenance flag, since provenance varies run to run
- *  and would break distributed-vs-local byte-identity). */
-inline constexpr int kResultsSchemaVersion = 3;
+ *  job's SimConfig::accel); v4 added the per-record "crc" integrity
+ *  checksum (recordCrc over the canonical payload, verified by
+ *  tools/check_results_json and on every cache load).
+ *  check_results_json still accepts archived v2/v3 documents, where
+ *  the newer fields are absent. Within v3+ the "worker" provenance
+ *  field is *optional* (emitted only under the harness's
+ *  --provenance flag, since provenance varies run to run and would
+ *  break distributed-vs-local byte-identity). */
+inline constexpr int kResultsSchemaVersion = 4;
 
 /** One experiment: a machine configuration plus a program to run. */
 struct SimJob
@@ -156,6 +161,21 @@ struct JobResult
 std::string jobDigest(const SimJob &job);
 
 /**
+ * FNV-1a integrity checksum over a result record's canonical payload:
+ * digest, status name, attempts, and the compact resultToJson text,
+ * NUL-separated. One definition serves every layer that carries a
+ * record — ResultStore segments stamp it on append and verify it on
+ * load and warm hit, dttworkerd stamps it into wire replies and the
+ * client re-verifies, the --json emitter writes it as the schema-v4
+ * "crc" field, and check_results_json / cache_fsck recompute it —
+ * so a silently flipped bit anywhere in a record's payload is caught
+ * at the next hop instead of poisoning derived figures. A stored
+ * crc of 0 means "legacy record, no checksum" (schema v3 and older).
+ */
+std::uint64_t recordCrc(const std::string &digest, JobStatus status,
+                        int attempts, const SimResult &result);
+
+/**
  * Backoff before retry number @p attempt (1-based attempt that just
  * failed): `base * 2^(attempt-1)`, stretched by a deterministic
  * jitter in [1.0, 1.5) derived from (@p seed, @p attempt). Pure
@@ -226,6 +246,19 @@ struct EngineConfig
     /** Per-reply deadline: a worker silent for this long mid-job is
      *  treated as lost (keep above jobDeadlineSeconds). */
     double workerRequestSeconds = 600.0;
+    /** Hedged dispatch: a remote job unanswered for this long is
+     *  *also* re-queued for local execution (the original stays in
+     *  flight; the first Ok result wins and the duplicate is
+     *  suppressed). 0 disables hedging. Keep well above a typical
+     *  job's wall time — hedging trades duplicate work for tail
+     *  latency, so it should fire only on genuine stragglers. */
+    double stragglerSeconds = 0.0;
+    /** Worker health circuit breaker: consecutive failures (failed
+     *  connect attempts, losses mid-sweep) before an endpoint is
+     *  quarantined. A quarantined endpoint gets exactly one
+     *  probation connect attempt per run(); a successful hello
+     *  handshake clears the quarantine. */
+    int quarantineAfter = 3;
 };
 
 /** Supervised thread-pool experiment scheduler. */
@@ -267,6 +300,20 @@ class Engine
     /** Jobs that waited on (or adopted the result of) another
      *  process's in-flight claim instead of duplicating work. */
     std::uint64_t claimWaits() const { return claimWaits_; }
+    /** Endpoints quarantined by the health circuit breaker. */
+    std::uint64_t workersQuarantined() const
+    {
+        return workersQuarantined_;
+    }
+    /** Jobs re-queued locally because a worker exceeded the
+     *  straggler threshold (EngineConfig::stragglerSeconds). */
+    std::uint64_t hedgedJobs() const { return hedgedJobs_; }
+    /** Late results discarded because the other copy of a hedged
+     *  job committed first. */
+    std::uint64_t duplicatesSuppressed() const
+    {
+        return duplicatesSuppressed_;
+    }
 
     /**
      * Test seam: replace the Simulator invocation so tests can
@@ -284,6 +331,24 @@ class Engine
                                 bool *cancelled)> fn);
 
   private:
+    /** Per-endpoint consecutive-failure state, persistent across
+     *  run() calls (the circuit breaker's memory). */
+    struct WorkerHealth
+    {
+        int consecutiveFailures = 0;
+        bool quarantined = false;
+    };
+
+    /** One failure event (failed connect attempt, loss mid-sweep);
+     *  quarantines the endpoint at quarantineAfter in a row. */
+    void workerFailed(const std::string &spec);
+    /** A successful hello handshake or reply: resets the failure
+     *  streak and lifts any quarantine. */
+    void workerHealthy(const std::string &spec);
+    /** True when @p spec is quarantined (the dispatcher then probes
+     *  once instead of running a full session). */
+    bool workerQuarantined(const std::string &spec);
+
     EngineConfig config_;
     std::uint64_t submitted_ = 0;
     std::uint64_t executed_ = 0;
@@ -292,6 +357,11 @@ class Engine
     std::uint64_t remoteExecuted_ = 0;
     std::uint64_t workersLost_ = 0;
     std::uint64_t claimWaits_ = 0;
+    std::uint64_t workersQuarantined_ = 0;
+    std::uint64_t hedgedJobs_ = 0;
+    std::uint64_t duplicatesSuppressed_ = 0;
+    std::mutex healthMutex_;
+    std::map<std::string, WorkerHealth> health_;
     std::function<SimResult(const SimJob &, int attempt,
                             bool *cancelled)>
         executeOverride_;

@@ -1,0 +1,277 @@
+#include "sim/fabricfault.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/log.h"
+
+namespace dttsim::fabric {
+
+namespace {
+
+/** splitmix64 finalizer — the same per-decision hash sim::FaultPlan
+ *  uses. Counter-based, not a sequential stream, so one site's
+ *  decisions never depend on another site's draw count. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from a hash value. */
+double
+toUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+siteHash(std::uint64_t seed, std::size_t site, std::uint64_t idx)
+{
+    // Decorrelate the site streams by folding the site id into the
+    // seed with a large odd constant (same idiom as faultplan.cpp).
+    return mix(seed
+               ^ (static_cast<std::uint64_t>(site) + 1)
+                   * 0xd1342543de82ef95ull
+               ^ idx * 0x2545f4914f6cdd1dull);
+}
+
+/** The installed plan. Replaced plans are parked in a retired list
+ *  instead of freed: a hook thread may hold the old pointer across
+ *  the swap, and plans are tiny. */
+std::atomic<FaultPlan *> gPlan{nullptr};
+std::mutex gRetiredMutex;
+std::vector<std::unique_ptr<FaultPlan>> &
+retiredPlans()
+{
+    static std::vector<std::unique_ptr<FaultPlan>> plans;
+    return plans;
+}
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::ConnectRefused: return "connect-refused";
+      case FaultSite::ReplyDelay: return "reply-delay";
+      case FaultSite::MidFrameEof: return "mid-frame-eof";
+      case FaultSite::CorruptFrame: return "corrupt-frame";
+      case FaultSite::ForgeClaim: return "forge-claim";
+      case FaultSite::TornAppend: return "torn-append";
+      case FaultSite::NumSites: break;
+    }
+    return "?";
+}
+
+std::optional<FaultSite>
+faultSiteFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        auto s = static_cast<FaultSite>(i);
+        if (name == faultSiteName(s))
+            return s;
+    }
+    return std::nullopt;
+}
+
+std::optional<FaultConfig>
+parseFaultSpec(const std::string &spec, std::string *error)
+{
+    auto fail = [error](const std::string &what) {
+        if (error != nullptr)
+            *error = what;
+        return std::nullopt;
+    };
+
+    std::size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        return fail("expected SEED:SPEC (no ':' found)");
+
+    FaultConfig config;
+    {
+        const std::string seedText = spec.substr(0, colon);
+        char *end = nullptr;
+        config.seed = std::strtoull(seedText.c_str(), &end, 0);
+        if (seedText.empty() || end == nullptr || *end != '\0')
+            return fail("bad seed '" + seedText + "'");
+    }
+
+    auto parseRate = [&fail](const std::string &text, double *out)
+        -> bool {
+        char *end = nullptr;
+        *out = std::strtod(text.c_str(), &end);
+        if (text.empty() || end == nullptr || *end != '\0') {
+            fail("bad rate '" + text + "'");
+            return false;
+        }
+        return true;
+    };
+
+    std::string body = spec.substr(colon + 1);
+    if (body.empty())
+        return fail("empty fault spec after the seed");
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        const std::string entry = body.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            return fail("empty entry in fault spec");
+
+        std::size_t eq = entry.find('=');
+        if (eq == std::string::npos) {
+            // Bare rate: arm every site.
+            double rate = 0.0;
+            if (!parseRate(entry, &rate))
+                return std::nullopt;
+            if (rate < 0.0 || rate > 1.0)
+                return fail("rate must be in [0, 1] (got " + entry
+                            + ")");
+            for (double &r : config.rates)
+                r = rate;
+            continue;
+        }
+        const std::string key = entry.substr(0, eq);
+        const std::string value = entry.substr(eq + 1);
+        if (key == "delay") {
+            char *end = nullptr;
+            config.delaySeconds = std::strtod(value.c_str(), &end);
+            if (value.empty() || end == nullptr || *end != '\0'
+                || config.delaySeconds < 0.0)
+                return fail("bad delay '" + value + "'");
+            continue;
+        }
+        std::optional<FaultSite> site = faultSiteFromName(key);
+        if (!site)
+            return fail("unknown fault site '" + key
+                        + "' (valid: connect-refused, reply-delay, "
+                          "mid-frame-eof, corrupt-frame, "
+                          "forge-claim, torn-append, delay)");
+        double rate = 0.0;
+        if (!parseRate(value, &rate))
+            return std::nullopt;
+        if (rate < 0.0 || rate > 1.0)
+            return fail("rate must be in [0, 1] (got " + value + ")");
+        config.rates[static_cast<std::size_t>(*site)] = rate;
+    }
+    return config;
+}
+
+std::string
+formatFaultSpec(const FaultConfig &config)
+{
+    std::string out = strfmt("%llu:",
+                             static_cast<unsigned long long>(
+                                 config.seed));
+    bool first = true;
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        if (config.rates[i] <= 0.0)
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += strfmt("%s=%g",
+                      faultSiteName(static_cast<FaultSite>(i)),
+                      config.rates[i]);
+    }
+    if (first)
+        out += "off";
+    if (config.rates[static_cast<std::size_t>(
+            FaultSite::ReplyDelay)] > 0.0)
+        out += strfmt(",delay=%g", config.delaySeconds);
+    return out;
+}
+
+FaultPlan::FaultPlan(const FaultConfig &config) : config_(config)
+{
+    for (double r : config_.rates)
+        if (r < 0.0 || r > 1.0)
+            fatal("fabric fault rate must be in [0, 1] (got %g)", r);
+}
+
+bool
+FaultPlan::inject(FaultSite s)
+{
+    if (!armed(s))
+        return false;
+    auto si = static_cast<std::size_t>(s);
+    std::uint64_t idx =
+        counters_[si].fetch_add(1, std::memory_order_relaxed);
+    if (toUnit(siteHash(config_.seed, si, idx)) >= config_.rates[si])
+        return false;
+    injected_[si].fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+FaultPlan::corruptLine(std::string *line)
+{
+    if (line == nullptr || line->empty())
+        return;
+    // Its own stream, keyed off NumSites so it never collides with a
+    // site's decision stream.
+    std::uint64_t idx =
+        corruptCounter_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t h = siteHash(config_.seed, kNumFaultSites + 1, idx);
+    std::size_t pos = static_cast<std::size_t>(h % line->size());
+    // XOR with a sub-0x80 mask keeps the byte printable enough to
+    // stay a single line (never produces '\n' from JSON text) while
+    // guaranteeing a change.
+    char mask = static_cast<char>(1 + ((h >> 32) % 0x1f));
+    (*line)[pos] = static_cast<char>((*line)[pos] ^ mask);
+}
+
+std::uint64_t
+FaultPlan::injected(FaultSite s) const
+{
+    return injected_[static_cast<std::size_t>(s)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+FaultPlan::injectedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : injected_)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+installFaultPlan(const FaultConfig &config)
+{
+    if (!config.enabled()) {
+        clearFaultPlan();
+        return;
+    }
+    auto plan = std::make_unique<FaultPlan>(config);
+    FaultPlan *raw = plan.get();
+    {
+        std::lock_guard<std::mutex> lock(gRetiredMutex);
+        retiredPlans().push_back(std::move(plan));
+    }
+    gPlan.store(raw, std::memory_order_release);
+}
+
+void
+clearFaultPlan()
+{
+    gPlan.store(nullptr, std::memory_order_release);
+}
+
+FaultPlan *
+faultPlan()
+{
+    return gPlan.load(std::memory_order_acquire);
+}
+
+} // namespace dttsim::fabric

@@ -1,0 +1,163 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic fault-injection plan for the *host* fabric — the
+ * twin of sim::FaultPlan one layer up. Where faultplan.h perturbs
+ * the simulated DTT machine, this plan perturbs the machinery that
+ * carries sweeps across processes and hosts: worker TCP sessions,
+ * the line-delimited JSON protocol, claim files, and cache segment
+ * appends. The contract under attack is the fabric's design rule
+ * (docs/ROBUSTNESS.md): every fault may cost *time*, never *bytes* —
+ * a sweep run under any armed plan must still exit 0 with merged
+ * --json output byte-identical to a fault-free local run.
+ *
+ * Reproducibility contract: like sim::FaultPlan, every decision is a
+ * pure function of {seed, site, per-site opportunity counter} via a
+ * counter-indexed splitmix64 hash — independent of wall clock and of
+ * what other sites decided. Unlike the in-sim plan, opportunity
+ * *indices* are claimed by concurrent threads (dispatchers, server
+ * executors), so which call lands on which index can vary with
+ * scheduling; the per-site decision *stream* is identical for a
+ * given {seed, rate}, making runs statistically replayable rather
+ * than event-for-event replayable. The recovery assertions never
+ * depend on which call was hit, only on the merged output.
+ *
+ * A plan is installed process-globally (installFaultPlan) because
+ * the hook sites live deep in net::TcpStream / ResultStore where no
+ * config travels; production builds never install one, so every hook
+ * is a single relaxed atomic load on the fast path.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dttsim::fabric {
+
+/** Where a fabric fault can strike. All sites are "transparent" in
+ *  the faultplan.h sense: the fabric must recover from every one of
+ *  them with unchanged merged output (there is no lossy class — a
+ *  lost record merely re-executes). */
+enum class FaultSite : std::uint8_t {
+    ConnectRefused, ///< WorkerClient::connect fails as if refused
+    ReplyDelay,     ///< server delays a result reply (straggler)
+    MidFrameEof,    ///< TcpStream::readLine sees the peer vanish
+    CorruptFrame,   ///< one protocol line gets a byte flipped
+    ForgeClaim,     ///< a forged far-future claim appears first
+    TornAppend,     ///< a segment append stops mid-line
+    NumSites,
+};
+
+inline constexpr std::size_t kNumFaultSites =
+    static_cast<std::size_t>(FaultSite::NumSites);
+
+/** Stable kebab-case site name (spec syntax and messages). */
+const char *faultSiteName(FaultSite s);
+
+/** Inverse of faultSiteName. */
+std::optional<FaultSite> faultSiteFromName(const std::string &name);
+
+/** What to inject; parsed from --fabric-faults=SEED:SPEC. */
+struct FaultConfig
+{
+    /** Plan seed; same seed + rates draws the same decision streams. */
+    std::uint64_t seed = 0;
+
+    /** Per-site per-opportunity injection probability, 0..1. */
+    double rates[kNumFaultSites] = {};
+
+    /** Seconds a ReplyDelay injection sleeps before replying. */
+    double delaySeconds = 2.0;
+
+    bool
+    enabled() const
+    {
+        for (double r : rates)
+            if (r > 0.0)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Parse "SEED:SPEC" where SPEC is a comma list of `site=rate`
+ * entries (site from faultSiteName), a bare `rate` arming every
+ * site, and/or `delay=SECONDS` setting the straggler sleep:
+ *
+ *     7:connect-refused=0.5
+ *     7:0.25                          (all six sites at 0.25)
+ *     13:reply-delay=0.5,delay=1.5
+ *
+ * Returns nullopt + @p error on malformed specs or rates outside
+ * [0, 1].
+ */
+std::optional<FaultConfig> parseFaultSpec(const std::string &spec,
+                                          std::string *error);
+
+/** Canonical "SEED:site=rate,..." spelling of @p config, for banners
+ *  and round-trip tests. */
+std::string formatFaultSpec(const FaultConfig &config);
+
+/**
+ * The live plan. Hooks ask inject(site) at each opportunity; the
+ * decision is drawn from the site's stream at the next index
+ * (atomically claimed, so concurrent hooks never share a draw).
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultConfig &config);
+
+    const FaultConfig &config() const { return config_; }
+
+    /** Site has a nonzero rate (cheap pre-check). */
+    bool
+    armed(FaultSite s) const
+    {
+        return config_.rates[static_cast<std::size_t>(s)] > 0.0;
+    }
+
+    /** One opportunity at @p s: claims the site's next index and
+     *  draws its decision. Unarmed sites return false without
+     *  consuming an index. */
+    bool inject(FaultSite s);
+
+    /** Deterministically flip one byte of @p line (position and
+     *  mask from the CorruptFrame decision stream). No-op on an
+     *  empty line. */
+    void corruptLine(std::string *line);
+
+    /** Seconds a ReplyDelay injection sleeps. */
+    double delaySeconds() const { return config_.delaySeconds; }
+
+    /** Faults applied so far at @p s. */
+    std::uint64_t injected(FaultSite s) const;
+
+    /** Total faults applied across all sites. */
+    std::uint64_t injectedTotal() const;
+
+  private:
+    FaultConfig config_;
+    std::atomic<std::uint64_t> counters_[kNumFaultSites] = {};
+    std::atomic<std::uint64_t> injected_[kNumFaultSites] = {};
+    std::atomic<std::uint64_t> corruptCounter_{0};
+};
+
+/**
+ * Install @p config as the process-global plan (replacing any
+ * previous one; replaced plans are retired, not freed, so a racing
+ * hook never dereferences a dead plan). Disabled configs behave like
+ * clearFaultPlan().
+ */
+void installFaultPlan(const FaultConfig &config);
+
+/** Disarm the global plan (tests call this in teardown). */
+void clearFaultPlan();
+
+/** The installed plan, or nullptr when injection is off — the one
+ *  call every hook site makes. */
+FaultPlan *faultPlan();
+
+} // namespace dttsim::fabric

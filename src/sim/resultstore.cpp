@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "sim/fabricfault.h"
 
 namespace dttsim::sim {
 
@@ -209,6 +210,10 @@ storeRecordToJson(const ResultStore::Record &rec)
     if (rec.createdUnix != 0)
         v.set("created_unix", json::Value(rec.createdUnix));
     v.set("result", resultToJson(rec.result));
+    // Always stamped fresh from the payload (never copied from
+    // rec.crc), so rewriting a legacy record upgrades it to v4.
+    v.set("crc", json::Value(recordCrc(rec.digest, rec.status,
+                                       rec.attempts, rec.result)));
     return v;
 }
 
@@ -269,6 +274,27 @@ tryStoreRecordFromJson(const json::Value &v, std::string *error)
         return std::nullopt;
     }
     rec.result = *r;
+
+    // Integrity gate (schema v4; absent on legacy records, which are
+    // trusted as-is): a stored checksum that does not match the
+    // payload means the line rotted after it was written — a damaged
+    // record re-executes, it is never served.
+    const json::Value *crc = v.find("crc");
+    if (crc != nullptr) {
+        if (!crc->isUint())
+            return fail("'crc' is not an unsigned integer");
+        rec.crc = crc->asUint();
+        const std::uint64_t computed = recordCrc(
+            rec.digest, rec.status, rec.attempts, rec.result);
+        if (rec.crc != computed) {
+            if (error != nullptr)
+                *error = strfmt(
+                    "crc mismatch (stored %016llx, computed %016llx)",
+                    static_cast<unsigned long long>(rec.crc),
+                    static_cast<unsigned long long>(computed));
+            return std::nullopt;
+        }
+    }
     return rec;
 }
 
@@ -603,6 +629,16 @@ ResultStore::lookup(const std::string &digest) const
             return std::nullopt;
         rec = it->second;
     }
+    // End-to-end integrity: re-verify the checksum on every warm hit
+    // so a record that rotted *after* load (bad RAM, a stray write)
+    // degrades to a re-executed job, never a wrong result.
+    if (rec->crc != 0
+        && recordCrc(rec->digest, rec->status, rec->attempts,
+                     rec->result) != rec->crc) {
+        warn("result cache: record %s failed its in-memory crc "
+             "check; treating as a miss", digest.c_str());
+        return std::nullopt;
+    }
     if (writable()) {
         std::lock_guard<std::mutex> lock(hitsMutex_);
         pendingHits_[digest] = nowUnix();
@@ -629,8 +665,26 @@ ResultStore::put(const Record &rec)
         Record stamped = rec;
         if (stamped.createdUnix == 0)
             stamped.createdUnix = nowUnix();
+        stamped.crc = recordCrc(stamped.digest, stamped.status,
+                                stamped.attempts, stamped.result);
         std::string line = storeRecordToJson(stamped).dump();
         line += '\n';
+        // Fabric chaos: a torn append — the writer "dies" mid-line,
+        // leaving an unterminated half record at the segment tail
+        // (what a real SIGKILL between fwrite and fsync leaves
+        // behind). The segment is sealed so later appends cannot
+        // continue the torn line, and the record is not indexed: a
+        // real crash would have lost it too.
+        if (fabric::FaultPlan *fp = fabric::faultPlan();
+            fp != nullptr
+            && fp->inject(fabric::FaultSite::TornAppend)) {
+            std::fwrite(line.data(), 1, line.size() / 2, segment_);
+            std::fflush(segment_);
+            std::fclose(segment_);
+            segment_ = nullptr;
+            activeSegmentName_.clear();
+            return;
+        }
         if (std::fwrite(line.data(), 1, line.size(), segment_)
                 != line.size())
             warn("result cache: short write to segment in '%s': %s",
@@ -697,6 +751,34 @@ ResultStore::tryClaim(const std::string &digest, ClaimInfo *holder)
             return ClaimOutcome::Unsupported;
     }
     const std::string path = claimPath(digest);
+
+    // Fabric chaos: a forged claim — a corpse left by a buggy or
+    // hostile peer, with a dead pid hiding behind an absurd
+    // far-future lease. The same-host dead-pid probe (not the lease
+    // deadline) must still take it over, or one bad claim file
+    // wedges the digest for a century. Published via link(2) like a
+    // real claim; losing the publish race to a live claimant is fine.
+    if (fabric::FaultPlan *fp = fabric::faultPlan();
+        fp != nullptr && fp->inject(fabric::FaultSite::ForgeClaim)) {
+        json::Value forged = json::Value::object();
+        forged.set("pid", json::Value(
+            static_cast<std::uint64_t>(999999999)));
+        forged.set("host", json::Value(host_));
+        forged.set("token", json::Value(
+            static_cast<std::uint64_t>(0xdead)));
+        forged.set("deadline_unix", json::Value(
+            static_cast<std::uint64_t>(
+                nowUnix() + 3155760000u)));  // ~100 years out
+        const std::string ftmp =
+            strfmt("%s.forge.%llx", path.c_str(),
+                   static_cast<unsigned long long>(token_));
+        {
+            std::ofstream out(ftmp, std::ios::trunc);
+            out << forged.dump() << "\n";
+        }
+        ::link(ftmp.c_str(), path.c_str());
+        ::unlink(ftmp.c_str());
+    }
 
     // Compose the claim record once; publish is via link(2) from a
     // private tmp so an existing claim file always has complete
@@ -1052,6 +1134,141 @@ ResultStore::clear()
     durableSeq_ = writeSeq_;
     removeSegments(retired);
     return true;
+}
+
+std::optional<ResultStore::FsckReport>
+ResultStore::fsck(const std::string &dir, bool dry_run,
+                  std::string *error)
+{
+    auto fail = [&](const std::string &why)
+        -> std::optional<FsckReport> {
+        if (error != nullptr)
+            *error = why;
+        return std::nullopt;
+    };
+    const std::string host = hostName();
+    const std::uint64_t unique = makeToken();
+    const std::string manifest = dir + "/MANIFEST";
+
+    // Same mutual exclusion as every other publish: fsck rewrites
+    // segments and the MANIFEST, so it must not race a live writer's
+    // registration (and a live writer must not append to a segment
+    // mid-rewrite — fsck is documented as an idle-directory scrub).
+    const bool locked = dry_run || acquireDirLock(dir, host);
+    if (!locked)
+        return fail("could not acquire " + dir
+                    + "/MANIFEST.lock (live writer?)");
+
+    FsckReport report;
+    std::vector<std::string> surviving;
+    bool ok = true;
+    for (const std::string &name : diskManifestSegments(manifest)) {
+        const std::string path = dir + "/" + name;
+        std::ifstream seg(path, std::ios::binary);
+        if (!seg) {
+            ++report.missingSegments;
+            warn("cache fsck: segment '%s' listed in MANIFEST is "
+                 "missing; dropping it from the manifest",
+                 path.c_str());
+            continue;
+        }
+        surviving.push_back(name);
+        ++report.segmentsScanned;
+        std::string buf((std::istreambuf_iterator<char>(seg)),
+                        std::istreambuf_iterator<char>());
+
+        std::vector<std::string> good, bad;
+        std::size_t lineno = 0;
+        auto check = [&](const std::string &line, bool torn) {
+            ++lineno;
+            if (line.empty() && !torn)
+                return;  // blank separators carry no record
+            std::string why = "unterminated tail (torn append)";
+            std::optional<Record> rec;
+            if (!torn) {
+                std::optional<json::Value> v =
+                    json::Value::tryParse(line, &why);
+                if (v)
+                    rec = tryStoreRecordFromJson(*v, &why);
+            }
+            if (rec) {
+                ++report.recordsKept;
+                good.push_back(line);
+                return;
+            }
+            ++report.badRecords;
+            if (why.find("crc mismatch") != std::string::npos)
+                ++report.crcMismatches;
+            warn("cache fsck: %s:%zu: %s%s", path.c_str(), lineno,
+                 why.c_str(),
+                 dry_run ? "" : "; quarantining the line");
+            bad.push_back(line);
+        };
+        std::size_t pos = 0;
+        for (;;) {
+            std::size_t nl = buf.find('\n', pos);
+            if (nl == std::string::npos)
+                break;
+            check(buf.substr(pos, nl - pos), /*torn=*/false);
+            pos = nl + 1;
+        }
+        if (pos < buf.size())
+            check(buf.substr(pos), /*torn=*/true);
+
+        if (bad.empty() || dry_run)
+            continue;
+
+        // Quarantine first (append verbatim, for forensics), then
+        // swap the cleaned segment in atomically — a crash between
+        // the two at worst leaves a duplicate of the bad line in
+        // quarantine, never a lost good record.
+        std::error_code ec;
+        fs::create_directories(dir + "/quarantine", ec);
+        std::ofstream q(dir + "/quarantine/" + name,
+                        std::ios::app | std::ios::binary);
+        for (const std::string &line : bad)
+            q << line << '\n';
+        q.flush();
+        if (!q) {
+            ok = false;
+            warn("cache fsck: cannot write %s/quarantine/%s: %s; "
+                 "leaving '%s' untouched",
+                 dir.c_str(), name.c_str(), std::strerror(errno),
+                 name.c_str());
+            continue;
+        }
+        std::string cleaned;
+        for (const std::string &line : good) {
+            cleaned += line;
+            cleaned += '\n';
+        }
+        if (!atomicWrite(dir, path, cleaned, unique)) {
+            ok = false;
+            warn("cache fsck: cannot rewrite '%s': %s", path.c_str(),
+                 std::strerror(errno));
+            continue;
+        }
+        ++report.segmentsRewritten;
+    }
+
+    if (!dry_run && report.missingSegments != 0) {
+        json::Value doc = json::Value::object();
+        doc.set("schema_version",
+                json::Value(static_cast<std::uint64_t>(
+                    kResultsSchemaVersion)));
+        json::Value segs = json::Value::array();
+        for (const std::string &s : surviving)
+            segs.push(json::Value(s));
+        doc.set("segments", std::move(segs));
+        if (!atomicWrite(dir, manifest, doc.dump(2) + "\n", unique))
+            ok = false;
+    }
+    if (!dry_run)
+        releaseDirLock(dir);
+    if (!ok)
+        return fail("fsck could not repair '" + dir
+                    + "' (see warnings)");
+    return report;
 }
 
 } // namespace dttsim::sim

@@ -10,7 +10,7 @@
  *
  * On-disk layout (one directory, default bench/out/cache/):
  *
- *     MANIFEST            {"schema_version": 3, "segments": [...]}
+ *     MANIFEST            {"schema_version": 4, "segments": [...]}
  *     MANIFEST.lock       transient publish lock (stale-safe)
  *     seg-*.jsonl         one JSON record per line, append-only
  *     HITS                {"<digest>": <last-hit unix time>, ...}
@@ -41,7 +41,14 @@
  *  - corrupt or truncated records are skipped with a warning on
  *    load (json::Value::tryParse + sim::tryResultFromJson), never a
  *    fatal(): a damaged cache degrades to re-execution, it does not
- *    kill the sweep.
+ *    kill the sweep;
+ *  - every record carries a checksum ("crc", sim::recordCrc over
+ *    digest/status/attempts/result — schema v4; v3 records without
+ *    one are accepted read-only). It is verified when a record is
+ *    decoded from disk AND re-verified on every warm lookup, so
+ *    silent bit-rot in a shared cache directory — or in this
+ *    process's memory — surfaces as a re-executed job, never as a
+ *    wrong result. fsck() scrubs a whole directory offline.
  *
  * Multi-process coordination (docs/HARNESS.md "Distributed sweeps"):
  *
@@ -112,6 +119,9 @@ class ResultStore
          *  this digest (HITS sidecar; 0 when never hit). In-memory
          *  metadata, not part of the segment record. */
         std::uint64_t lastHitUnix = 0;
+        /** sim::recordCrc over digest/status/attempts/result; 0 for
+         *  legacy (pre-v4) records, which are trusted as-is. */
+        std::uint64_t crc = 0;
         SimResult result;
     };
 
@@ -273,6 +283,43 @@ class ResultStore
     /** Merge pending last-hit times into the HITS sidecar now
      *  (ReadWrite only; the destructor calls this). */
     void flushHits();
+
+    /** Scrub report from fsck(). */
+    struct FsckReport
+    {
+        std::size_t segmentsScanned = 0;
+        /** Records that parsed, decoded, and passed the crc check. */
+        std::size_t recordsKept = 0;
+        /** Torn tails + undecodable lines + crc mismatches. */
+        std::size_t badRecords = 0;
+        /** Subset of badRecords: well-formed records whose stored
+         *  checksum does not match the payload (silent bit-rot). */
+        std::size_t crcMismatches = 0;
+        /** MANIFEST entries whose segment file is gone. */
+        std::size_t missingSegments = 0;
+        std::size_t segmentsRewritten = 0;
+        bool clean() const
+        {
+            return badRecords == 0 && missingSegments == 0;
+        }
+    };
+
+    /**
+     * Offline integrity scrub of the cache directory at @p dir
+     * (tools/cache_fsck): every line of every MANIFEST-registered
+     * segment is parsed, decoded, and crc-checked. Unless @p dry_run,
+     * bad lines are moved to quarantine/<segment> (appended verbatim,
+     * for forensics), each damaged segment is rewritten atomically
+     * with only its good lines, and the MANIFEST is republished
+     * without missing segments. Runs under the directory publish
+     * lock; a maintenance operation like compact() — run it while no
+     * process is writing the directory. @return the report, or
+     * nullopt + @p error when the directory cannot be locked or a
+     * rewrite fails.
+     */
+    static std::optional<FsckReport> fsck(const std::string &dir,
+                                          bool dry_run,
+                                          std::string *error = nullptr);
 
   private:
     void load();

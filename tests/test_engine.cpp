@@ -457,6 +457,32 @@ TEST(EngineResilience, HostErrorsAreNeverCached)
     std::filesystem::remove_all(dir);
 }
 
+TEST(EngineResilience, UnreachableWorkerIsQuarantinedRunCompletes)
+{
+    // Nothing listens on port 1: every connect is refused. With a
+    // one-strike breaker the endpoint must be quarantined (probed
+    // once, not hammered) and the sweep must complete locally with
+    // results identical to a plain local run.
+    EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.workers = {"127.0.0.1:1"};
+    cfg.workerAttempts = 1;
+    cfg.quarantineAfter = 1;
+    cfg.workerBackoffSeconds = 0.01;
+    Engine engine(cfg);
+    std::vector<SimJob> jobs = mixedBatch();
+    std::vector<JobResult> results = engine.run(jobs);
+    std::vector<JobResult> local = Engine(2).run(jobs);
+
+    ASSERT_EQ(results.size(), local.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].status, local[i].status) << i;
+        EXPECT_EQ(results[i].result, local[i].result) << i;
+    }
+    EXPECT_EQ(engine.workersQuarantined(), 1u);
+    EXPECT_EQ(engine.remoteExecuted(), 0u);
+}
+
 TEST(EngineJson, SimResultRoundTripsExactly)
 {
     SimJob job = makeJob("mcf", workloads::Variant::Dtt);

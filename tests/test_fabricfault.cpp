@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fabric fault-plan tests: the spec parser (sites, bare rates, the
+ * straggler delay, malformed input), the canonical round-trip
+ * spelling, determinism of the per-site decision streams (same
+ * {seed, rate} → identical stream, different seeds → different
+ * streams), the corruptLine contract (deterministic, never injects a
+ * newline), and the process-global install/clear lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fabricfault.h"
+
+namespace dttsim::fabric {
+namespace {
+
+/** clearFaultPlan() on scope exit: the plan is process-global. */
+struct PlanGuard
+{
+    ~PlanGuard() { clearFaultPlan(); }
+};
+
+TEST(FaultSpec, SiteNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        FaultSite s = static_cast<FaultSite>(i);
+        std::optional<FaultSite> back =
+            faultSiteFromName(faultSiteName(s));
+        ASSERT_TRUE(back) << faultSiteName(s);
+        EXPECT_EQ(*back, s);
+    }
+    EXPECT_FALSE(faultSiteFromName("meteor-strike"));
+}
+
+TEST(FaultSpec, ParsesSitesBareRatesAndDelay)
+{
+    std::string err;
+    std::optional<FaultConfig> c =
+        parseFaultSpec("7:connect-refused=0.5,corrupt-frame=0.25",
+                       &err);
+    ASSERT_TRUE(c) << err;
+    EXPECT_EQ(c->seed, 7u);
+    EXPECT_DOUBLE_EQ(
+        c->rates[static_cast<std::size_t>(FaultSite::ConnectRefused)],
+        0.5);
+    EXPECT_DOUBLE_EQ(
+        c->rates[static_cast<std::size_t>(FaultSite::CorruptFrame)],
+        0.25);
+    EXPECT_DOUBLE_EQ(
+        c->rates[static_cast<std::size_t>(FaultSite::TornAppend)],
+        0.0);
+    EXPECT_TRUE(c->enabled());
+
+    // A bare rate arms every site.
+    c = parseFaultSpec("13:0.125", &err);
+    ASSERT_TRUE(c) << err;
+    for (double r : c->rates)
+        EXPECT_DOUBLE_EQ(r, 0.125);
+
+    // delay= sets the straggler sleep without arming a site.
+    c = parseFaultSpec("3:reply-delay=0.5,delay=1.5", &err);
+    ASSERT_TRUE(c) << err;
+    EXPECT_DOUBLE_EQ(c->delaySeconds, 1.5);
+    EXPECT_DOUBLE_EQ(
+        c->rates[static_cast<std::size_t>(FaultSite::ReplyDelay)],
+        0.5);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs)
+{
+    std::string err;
+    EXPECT_FALSE(parseFaultSpec("", &err));
+    EXPECT_FALSE(parseFaultSpec("no-seed", &err));
+    EXPECT_FALSE(parseFaultSpec("7:", &err));
+    EXPECT_FALSE(parseFaultSpec("7:meteor-strike=0.5", &err));
+    EXPECT_NE(err.find("meteor-strike"), std::string::npos);
+    EXPECT_FALSE(parseFaultSpec("7:connect-refused=1.5", &err));
+    EXPECT_FALSE(parseFaultSpec("7:connect-refused=-0.5", &err));
+}
+
+TEST(FaultSpec, FormatRoundTrips)
+{
+    std::string err;
+    std::optional<FaultConfig> c =
+        parseFaultSpec("42:reply-delay=0.5,torn-append=0.25,delay=2.5",
+                       &err);
+    ASSERT_TRUE(c) << err;
+    std::string spelled = formatFaultSpec(*c);
+    std::optional<FaultConfig> back = parseFaultSpec(spelled, &err);
+    ASSERT_TRUE(back) << spelled << ": " << err;
+    EXPECT_EQ(back->seed, c->seed);
+    for (std::size_t i = 0; i < kNumFaultSites; ++i)
+        EXPECT_DOUBLE_EQ(back->rates[i], c->rates[i]) << i;
+    EXPECT_DOUBLE_EQ(back->delaySeconds, c->delaySeconds);
+}
+
+/** The first @p n decisions of @p site under @p config. */
+std::vector<bool>
+decisionStream(const FaultConfig &config, FaultSite site,
+               std::size_t n)
+{
+    FaultPlan plan(config);
+    std::vector<bool> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(plan.inject(site));
+    return out;
+}
+
+TEST(FaultPlan, DecisionStreamsAreDeterministic)
+{
+    FaultConfig c;
+    c.seed = 99;
+    c.rates[static_cast<std::size_t>(FaultSite::MidFrameEof)] = 0.3;
+    std::vector<bool> a =
+        decisionStream(c, FaultSite::MidFrameEof, 256);
+    std::vector<bool> b =
+        decisionStream(c, FaultSite::MidFrameEof, 256);
+    EXPECT_EQ(a, b);
+
+    // The stream actually mixes decisions at rate 0.3.
+    std::size_t fired = 0;
+    for (bool x : a)
+        fired += x ? 1 : 0;
+    EXPECT_GT(fired, 0u);
+    EXPECT_LT(fired, a.size());
+
+    // A different seed draws a different stream.
+    FaultConfig c2 = c;
+    c2.seed = 100;
+    EXPECT_NE(decisionStream(c2, FaultSite::MidFrameEof, 256), a);
+}
+
+TEST(FaultPlan, SitesDrawIndependentStreams)
+{
+    FaultConfig c;
+    c.seed = 7;
+    for (std::size_t i = 0; i < kNumFaultSites; ++i)
+        c.rates[i] = 0.5;
+    std::vector<bool> eof =
+        decisionStream(c, FaultSite::MidFrameEof, 256);
+    std::vector<bool> torn =
+        decisionStream(c, FaultSite::TornAppend, 256);
+    EXPECT_NE(eof, torn);  // decorrelated by site index
+}
+
+TEST(FaultPlan, UnarmedSitesNeverFireAndCountersTrack)
+{
+    FaultConfig c;
+    c.seed = 5;
+    c.rates[static_cast<std::size_t>(FaultSite::ConnectRefused)] = 1.0;
+    FaultPlan plan(c);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_TRUE(plan.inject(FaultSite::ConnectRefused));
+        EXPECT_FALSE(plan.inject(FaultSite::TornAppend));
+    }
+    EXPECT_EQ(plan.injected(FaultSite::ConnectRefused), 16u);
+    EXPECT_EQ(plan.injected(FaultSite::TornAppend), 0u);
+    EXPECT_EQ(plan.injectedTotal(), 16u);
+}
+
+TEST(FaultPlan, CorruptLineIsDeterministicAndNewlineSafe)
+{
+    FaultConfig c;
+    c.seed = 11;
+    c.rates[static_cast<std::size_t>(FaultSite::CorruptFrame)] = 1.0;
+    const std::string original =
+        "{\"type\":\"result\",\"id\":1,\"cycles\":123456}";
+
+    FaultPlan a(c), b(c);
+    std::string la = original, lb = original;
+    a.corruptLine(&la);
+    b.corruptLine(&lb);
+    EXPECT_EQ(la, lb);        // same stream index → same flip
+    EXPECT_NE(la, original);  // and it really flipped a byte
+    EXPECT_EQ(la.size(), original.size());
+    EXPECT_EQ(la.find('\n'), std::string::npos);
+
+    // The next draw hits a (generally) different position: the
+    // corruption stream advances per injected frame.
+    std::string lc = original;
+    a.corruptLine(&lc);
+    EXPECT_NE(lc, original);
+
+    // Empty lines are left alone.
+    std::string empty;
+    a.corruptLine(&empty);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultPlanGlobal, InstallClearLifecycle)
+{
+    PlanGuard guard;
+    EXPECT_EQ(faultPlan(), nullptr);
+
+    FaultConfig c;
+    c.seed = 1;
+    c.rates[static_cast<std::size_t>(FaultSite::ConnectRefused)] = 1.0;
+    installFaultPlan(c);
+    ASSERT_NE(faultPlan(), nullptr);
+    EXPECT_TRUE(faultPlan()->armed(FaultSite::ConnectRefused));
+
+    // Installing a disabled config is a clear.
+    installFaultPlan(FaultConfig{});
+    EXPECT_EQ(faultPlan(), nullptr);
+
+    installFaultPlan(c);
+    ASSERT_NE(faultPlan(), nullptr);
+    clearFaultPlan();
+    EXPECT_EQ(faultPlan(), nullptr);
+}
+
+} // namespace
+} // namespace dttsim::fabric

@@ -6,17 +6,22 @@
  * localhost daemon end-to-end — remote execution equals local
  * execution, the daemon's digest gate refuses drifted jobs, and an
  * engine pointed at a real worker merges remote results into the
- * same document a local run produces.
+ * same document a local run produces. Plus the robustness layer:
+ * the wire checksum on result replies, the daemon's bounded drain
+ * (completes decoded jobs, abandons the queue past the deadline),
+ * and hedged dispatch against an injected straggler.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
 #include "sim/engine.h"
+#include "sim/fabricfault.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -24,10 +29,11 @@ namespace dttsim::net {
 namespace {
 
 sim::SimJob
-sampleJob(const std::string &name = "mcf", std::uint64_t seed = 1)
+sampleJob(const std::string &name = "mcf", std::uint64_t seed = 1,
+          int iterations = 2)
 {
     workloads::WorkloadParams p;
-    p.iterations = 2;
+    p.iterations = iterations;
     p.seed = seed;
     sim::SimJob job;
     job.workload = name;
@@ -37,6 +43,12 @@ sampleJob(const std::string &name = "mcf", std::uint64_t seed = 1)
         workloads::Variant::Dtt, p);
     return job;
 }
+
+/** clearFaultPlan() on scope exit: the plan is process-global. */
+struct PlanGuard
+{
+    ~PlanGuard() { fabric::clearFaultPlan(); }
+};
 
 TEST(Endpoint, ParsesHostPort)
 {
@@ -246,6 +258,189 @@ TEST(WorkerDaemon, EngineMergesRemoteResultsIdentically)
             ++labelled;
         }
     EXPECT_EQ(labelled > 0,  engine.remoteExecuted() > 0);
+}
+
+TEST(Protocol, ResultReplyCrcRejectsTampering)
+{
+    sim::SimJob job = sampleJob();
+    sim::JobResult jr;
+    jr.digest = sim::jobDigest(job);
+    jr.status = sim::JobStatus::Ok;
+    jr.attempts = 1;
+    jr.result = sim::runProgram(job.config, job.program);
+    json::Value msg = resultMessage(5, jr.digest, jr);
+
+    // Untampered replies round-trip.
+    std::string err;
+    std::optional<WireResult> wr = tryWireResultFromJson(msg, &err);
+    ASSERT_TRUE(wr) << err;
+    EXPECT_TRUE(wr->ok);
+    EXPECT_EQ(wr->result, jr.result);
+
+    // One flipped payload digit: still valid JSON, still a decodable
+    // reply, but the checksum no longer covers it.
+    std::string line = msg.dump();
+    std::size_t pos = line.find("\"cycles\":");
+    ASSERT_NE(pos, std::string::npos);
+    char &d = line[pos + 9];
+    ASSERT_TRUE(d >= '0' && d <= '9');
+    d = d == '9' ? '0' : static_cast<char>(d + 1);
+    std::optional<json::Value> rotted = json::Value::tryParse(line);
+    ASSERT_TRUE(rotted);
+    EXPECT_FALSE(tryWireResultFromJson(*rotted, &err));
+    EXPECT_NE(err.find("crc mismatch"), std::string::npos);
+}
+
+// Poll until the daemon has decoded and queued @p n jobs off the
+// wire. A fixed sleep here would race the connection reader — under
+// sanitizer slowdowns the burst can still be in the TCP buffer when
+// the sleep expires.
+static bool
+waitForReceived(const WorkerServer &server, std::uint64_t n)
+{
+    for (int i = 0; i < 6000; ++i) {
+        if (server.jobsReceived() >= n)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return server.jobsReceived() >= n;
+}
+
+TEST(WorkerDaemon, DrainCompletesDecodedJobsBeforeExit)
+{
+    ServerConfig cfg;
+    cfg.port = 0;
+    cfg.jobs = 1;  // serial executor: a real queue forms
+    WorkerServer server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    std::thread serving([&] { server.serveForever(); });
+
+    std::optional<Endpoint> ep =
+        parseEndpoint("127.0.0.1:" + std::to_string(server.port()),
+                      &err);
+    ASSERT_TRUE(ep) << err;
+    std::unique_ptr<WorkerClient> client =
+        WorkerClient::connect(*ep, 5.0, &err);
+    ASSERT_TRUE(client) << err;
+
+    std::vector<std::string> digests;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        sim::SimJob job = sampleJob("mcf", id);
+        digests.push_back(sim::jobDigest(job));
+        ASSERT_TRUE(client->sendJob(id, job, digests.back(),
+                                    RetryPolicy{}));
+    }
+    // Wait until the whole burst is queued daemon-side, then shut
+    // down mid-queue: the default drain deadline must let every
+    // decoded job finish and stream its result before the
+    // connection closes. (Assertions wait until both threads are
+    // joined — a fatal failure past a joinable thread terminates.)
+    const bool landed = waitForReceived(server, 3);
+    std::thread stopper([&] { server.stop(); });
+
+    std::vector<WireResult> got;
+    if (landed) {
+        for (std::uint64_t id = 1; id <= 3; ++id) {
+            WireResult wr;
+            if (!client->recvResult(&wr, 60.0, &err))
+                break;
+            got.push_back(wr);
+        }
+    }
+    stopper.join();
+    serving.join();
+    ASSERT_TRUE(landed) << "daemon never queued the 3-job burst";
+    ASSERT_EQ(got.size(), 3u) << err;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        const WireResult &wr = got[id - 1];
+        EXPECT_TRUE(wr.ok) << wr.message;
+        EXPECT_EQ(wr.id, id);
+        EXPECT_EQ(wr.digest, digests[id - 1]);
+    }
+    EXPECT_EQ(server.jobsExecuted(), 3u);
+    EXPECT_EQ(server.jobsAbandoned(), 0u);
+}
+
+TEST(WorkerDaemon, DrainDeadlineZeroAbandonsQueuedJobs)
+{
+    ServerConfig cfg;
+    cfg.port = 0;
+    cfg.jobs = 1;
+    cfg.drainDeadlineSeconds = 0.0;
+    WorkerServer server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    std::thread serving([&] { server.serveForever(); });
+
+    std::optional<Endpoint> ep =
+        parseEndpoint("127.0.0.1:" + std::to_string(server.port()),
+                      &err);
+    std::unique_ptr<WorkerClient> client =
+        WorkerClient::connect(*ep, 5.0, &err);
+    ASSERT_TRUE(client) << err;
+
+    // One long job to pin the serial executor, four short ones to
+    // pile up behind it.
+    sim::SimJob slow = sampleJob("mcf", 1, /*iterations=*/120);
+    ASSERT_TRUE(client->sendJob(1, slow, sim::jobDigest(slow),
+                                RetryPolicy{}));
+    for (std::uint64_t id = 2; id <= 5; ++id) {
+        sim::SimJob job = sampleJob("mcf", id);
+        ASSERT_TRUE(client->sendJob(id, job, sim::jobDigest(job),
+                                    RetryPolicy{}));
+    }
+    // Stop once all five jobs are queued and the long one is mid-
+    // execution: the in-progress job always completes, but a zero
+    // deadline abandons the queue.
+    const bool landed = waitForReceived(server, 5);
+    server.stop();
+    serving.join();
+
+    ASSERT_TRUE(landed) << "daemon never queued the 5-job burst";
+    EXPECT_EQ(server.jobsExecuted(), 1u);
+    EXPECT_EQ(server.jobsAbandoned(), 4u);
+}
+
+TEST(WorkerDaemon, StragglersAreHedgedFirstResultWins)
+{
+    // Every reply from the in-process "worker" sleeps 1s; with a
+    // 0.1s straggler threshold the engine must hedge a local twin,
+    // commit whichever copy lands first, and still produce results
+    // identical to a plain local run.
+    PlanGuard guard;
+    fabric::FaultConfig fc;
+    fc.seed = 21;
+    fc.rates[static_cast<std::size_t>(
+        fabric::FaultSite::ReplyDelay)] = 1.0;
+    fc.delaySeconds = 1.0;
+    fabric::installFaultPlan(fc);
+
+    LiveServer live;
+    ASSERT_TRUE(live.ok);
+
+    std::vector<sim::SimJob> jobs;
+    for (std::uint64_t seed : {1u, 2u})
+        jobs.push_back(sampleJob("mcf", seed));
+
+    sim::EngineConfig cfg;
+    cfg.numThreads = 1;
+    cfg.workers = {live.spec()};
+    cfg.workerBackoffSeconds = 0.01;
+    cfg.stragglerSeconds = 0.1;
+    sim::Engine engine(cfg);
+    std::vector<sim::JobResult> fabric = engine.run(jobs);
+
+    fabric::clearFaultPlan();
+    std::vector<sim::JobResult> local = sim::Engine(2).run(jobs);
+    ASSERT_EQ(fabric.size(), local.size());
+    for (std::size_t i = 0; i < fabric.size(); ++i) {
+        EXPECT_EQ(fabric[i].status, local[i].status) << i;
+        EXPECT_EQ(fabric[i].result, local[i].result) << i;
+    }
+    EXPECT_GE(engine.hedgedJobs(), 1u);
+    // duplicatesSuppressed() is timing-dependent (the late remote
+    // copy may land after the run ends), so no assertion on it.
 }
 
 } // namespace

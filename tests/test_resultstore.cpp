@@ -3,8 +3,10 @@
  * Persistent result-cache tests: round-trip across reopen, the
  * corrupt-record skip path (garbage lines, torn tails), the
  * crash-simulation cases for the atomic MANIFEST rewrite (stray
- * *.tmp files, unregistered segments), mode enforcement, and the
- * record JSON codec.
+ * *.tmp files, unregistered segments), mode enforcement, the record
+ * JSON codec, the end-to-end crc integrity layer (stamp on put,
+ * verify on load, re-verify on warm hits, fsck scrub + quarantine),
+ * and the fabric chaos hooks (torn appends, forged claims).
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +18,7 @@
 #include <string>
 #include <unistd.h>
 
+#include "sim/fabricfault.h"
 #include "sim/resultstore.h"
 #include "workloads/workload.h"
 
@@ -71,6 +74,31 @@ appendLine(const std::string &file, const std::string &line)
     std::ofstream out(file, std::ios::app);
     out << line << "\n";
 }
+
+/** Whole file as a string. */
+std::string
+slurp(const std::string &file)
+{
+    std::ifstream in(file, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Path of the first *.jsonl segment in @p dir ("" when none). */
+std::string
+firstSegment(const std::string &dir)
+{
+    for (const fs::directory_entry &e : fs::directory_iterator(dir))
+        if (e.path().extension() == ".jsonl")
+            return e.path().string();
+    return "";
+}
+
+/** clearFaultPlan() on scope exit: the plan is process-global. */
+struct PlanGuard
+{
+    ~PlanGuard() { fabric::clearFaultPlan(); }
+};
 
 TEST(ResultStore, ModeNamesRoundTrip)
 {
@@ -572,6 +600,239 @@ TEST(ResultStorePrune, SizeBudgetKeepsMostRecentlyUsed)
     EXPECT_FALSE(store.lookup(a.digest));
     EXPECT_FALSE(store.lookup(b.digest));
     EXPECT_TRUE(store.lookup(c.digest));
+}
+
+/** Bump one digit of the record's "cycles" value in @p line: valid
+ *  JSON, decodable record, wrong checksum — silent bit-rot. */
+void
+bumpCyclesDigit(std::string *line)
+{
+    std::size_t pos = line->find("\"cycles\":");
+    ASSERT_NE(pos, std::string::npos) << *line;
+    char &d = (*line)[pos + 9];
+    ASSERT_TRUE(d >= '0' && d <= '9') << *line;
+    d = d == '9' ? '0' : static_cast<char>(d + 1);
+}
+
+TEST(ResultStoreCrc, CodecStampsAndVerifiesTheChecksum)
+{
+    ResultStore::Record rec = sampleRecord("00000000000000aa", 1);
+    json::Value v = storeRecordToJson(rec);
+    const json::Value *crc = v.find("crc");
+    ASSERT_NE(crc, nullptr);
+    EXPECT_TRUE(crc->isUint());
+    EXPECT_EQ(crc->asUint(),
+              recordCrc(rec.digest, rec.status, rec.attempts,
+                        rec.result));
+
+    std::string error;
+    std::optional<ResultStore::Record> back =
+        tryStoreRecordFromJson(v, &error);
+    ASSERT_TRUE(back) << error;
+    EXPECT_EQ(back->crc, crc->asUint());
+
+    // Bit-rot in the payload: still valid JSON, still a decodable
+    // record, but the checksum no longer matches.
+    std::string line = v.dump();
+    bumpCyclesDigit(&line);
+    std::optional<json::Value> rotted = json::Value::tryParse(line);
+    ASSERT_TRUE(rotted);
+    EXPECT_FALSE(tryStoreRecordFromJson(*rotted, &error));
+    EXPECT_NE(error.find("crc mismatch"), std::string::npos);
+
+    // Legacy (pre-v4) records carry no checksum and are trusted.
+    const json::Value stamped = storeRecordToJson(rec);
+    json::Value v3 = json::Value::object();
+    for (const auto &[k, val] : stamped.members())
+        if (k != "crc")
+            v3.set(k, val);
+    back = tryStoreRecordFromJson(v3, &error);
+    ASSERT_TRUE(back) << error;
+    EXPECT_EQ(back->crc, 0u);
+}
+
+TEST(ResultStoreCrc, BitRotOnDiskIsSkippedOnLoad)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+    }
+    const std::string segment = firstSegment(tmp.path);
+    ASSERT_FALSE(segment.empty());
+    std::string text = slurp(segment);
+    bumpCyclesDigit(&text);
+    std::ofstream(segment, std::ios::binary | std::ios::trunc)
+        << text;
+
+    // The rotted record is indistinguishable from a healthy one to
+    // the JSON layer; only the checksum catches it.
+    ResultStore store(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(store.records(), 0u);
+    EXPECT_EQ(store.corruptRecords(), 1u);
+    EXPECT_FALSE(store.lookup("00000000000000aa"));
+}
+
+TEST(ResultStoreCrc, FsckQuarantinesBitRotAndSecondPassIsClean)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+        store.put(sampleRecord("00000000000000bb", 2));
+    }
+    const std::string segment = firstSegment(tmp.path);
+    ASSERT_FALSE(segment.empty());
+    // Rot the first record's payload, leave the second intact.
+    std::string text = slurp(segment);
+    bumpCyclesDigit(&text);
+    std::ofstream(segment, std::ios::binary | std::ios::trunc)
+        << text;
+
+    std::string error;
+    std::optional<ResultStore::FsckReport> rep =
+        ResultStore::fsck(tmp.path, /*dry_run=*/false, &error);
+    ASSERT_TRUE(rep) << error;
+    EXPECT_FALSE(rep->clean());
+    EXPECT_EQ(rep->badRecords, 1u);
+    EXPECT_EQ(rep->crcMismatches, 1u);
+    EXPECT_EQ(rep->recordsKept, 1u);
+    EXPECT_EQ(rep->segmentsRewritten, 1u);
+
+    // The bad line went to quarantine, verbatim.
+    const std::string qfile = tmp.path + "/quarantine/"
+        + fs::path(segment).filename().string();
+    ASSERT_TRUE(fs::exists(qfile));
+    EXPECT_NE(slurp(qfile).find("00000000000000aa"),
+              std::string::npos);
+
+    // Second pass: nothing left to find.
+    rep = ResultStore::fsck(tmp.path, false, &error);
+    ASSERT_TRUE(rep) << error;
+    EXPECT_TRUE(rep->clean());
+    EXPECT_EQ(rep->recordsKept, 1u);
+
+    // And the scrubbed store loads with no warnings at all.
+    ResultStore reload(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(reload.records(), 1u);
+    EXPECT_EQ(reload.corruptRecords(), 0u);
+    EXPECT_TRUE(reload.lookup("00000000000000bb"));
+}
+
+TEST(ResultStoreCrc, FsckDryRunReportsButTouchesNothing)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+    }
+    const std::string segment = firstSegment(tmp.path);
+    std::string text = slurp(segment);
+    bumpCyclesDigit(&text);
+    std::ofstream(segment, std::ios::binary | std::ios::trunc)
+        << text;
+
+    std::string error;
+    std::optional<ResultStore::FsckReport> rep =
+        ResultStore::fsck(tmp.path, /*dry_run=*/true, &error);
+    ASSERT_TRUE(rep) << error;
+    EXPECT_EQ(rep->badRecords, 1u);
+    EXPECT_EQ(rep->segmentsRewritten, 0u);
+    EXPECT_FALSE(fs::exists(tmp.path + "/quarantine"));
+    EXPECT_EQ(slurp(segment), text);
+}
+
+TEST(ResultStoreFault, TornAppendSealsTheSegmentAndFsckRepairs)
+{
+    TempDir tmp;
+    PlanGuard guard;
+    fabric::FaultConfig c;
+    c.seed = 3;
+    c.rates[static_cast<std::size_t>(
+        fabric::FaultSite::TornAppend)] = 1.0;
+    fabric::installFaultPlan(c);
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+        // The append tore mid-line: the record was neither indexed
+        // nor made durable — exactly what a SIGKILL there costs.
+        EXPECT_EQ(store.records(), 0u);
+
+        // With the plan disarmed the retry lands in a fresh segment
+        // (the torn one was sealed).
+        fabric::clearFaultPlan();
+        store.put(sampleRecord("00000000000000aa", 1));
+        EXPECT_EQ(store.records(), 1u);
+    }
+    {
+        // The torn tail costs one corrupt-record warning per load...
+        ResultStore reload(tmp.path, ResultStore::Mode::ReadOnly);
+        EXPECT_EQ(reload.records(), 1u);
+        EXPECT_EQ(reload.corruptRecords(), 1u);
+        EXPECT_TRUE(reload.lookup("00000000000000aa"));
+    }
+    // ...until fsck quarantines it.
+    std::string error;
+    std::optional<ResultStore::FsckReport> rep =
+        ResultStore::fsck(tmp.path, false, &error);
+    ASSERT_TRUE(rep) << error;
+    EXPECT_EQ(rep->badRecords, 1u);
+    EXPECT_EQ(rep->crcMismatches, 0u);  // torn, not rotted
+    EXPECT_EQ(rep->segmentsRewritten, 1u);
+
+    rep = ResultStore::fsck(tmp.path, false, &error);
+    ASSERT_TRUE(rep) << error;
+    EXPECT_TRUE(rep->clean());
+    ResultStore scrubbed(tmp.path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(scrubbed.records(), 1u);
+    EXPECT_EQ(scrubbed.corruptRecords(), 0u);
+}
+
+TEST(ResultStoreFault, ForgedFarFutureClaimIsTakenOver)
+{
+    TempDir tmp;
+    PlanGuard guard;
+    fabric::FaultConfig c;
+    c.seed = 9;
+    c.rates[static_cast<std::size_t>(
+        fabric::FaultSite::ForgeClaim)] = 1.0;
+    fabric::installFaultPlan(c);
+
+    // The injected corpse carries a dead pid behind a ~100-year
+    // lease; the same-host pid probe must take it over anyway.
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    EXPECT_EQ(store.tryClaim("00000000000000aa"),
+              ResultStore::ClaimOutcome::Acquired);
+    EXPECT_EQ(store.staleClaimsTaken(), 1u);
+}
+
+TEST(ResultStoreHits, TornHitsSidecarDegradesAndRecovers)
+{
+    TempDir tmp;
+    {
+        ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+        store.put(sampleRecord("00000000000000aa", 1));
+        store.lookup("00000000000000aa");  // marks a last-hit time
+    }
+    ASSERT_TRUE(fs::exists(tmp.path + "/HITS"));
+
+    // Tear the sidecar mid-write. Advisory data: the store must load
+    // every record regardless, and the next flush must leave a
+    // well-formed file again.
+    std::ofstream(tmp.path + "/HITS", std::ios::trunc)
+        << "{\"00000000000000aa\": 12";
+    ResultStore store(tmp.path, ResultStore::Mode::ReadWrite);
+    EXPECT_EQ(store.records(), 1u);
+    ASSERT_TRUE(store.lookup("00000000000000aa"));
+    store.flushHits();
+
+    std::optional<json::Value> doc =
+        json::Value::tryParse(slurp(tmp.path + "/HITS"));
+    ASSERT_TRUE(doc);
+    ASSERT_TRUE(doc->isObject());
+    const json::Value *ts = doc->find("00000000000000aa");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_TRUE(ts->isUint());
 }
 
 TEST(ResultStorePrune, NoOpWhenEverythingFits)

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Result-cache integrity scrub: walk every MANIFEST-registered
+ * segment of a ResultStore directory, parse + decode + crc-check
+ * every line, quarantine the damaged ones, and republish a clean
+ * MANIFEST. The repair counterpart to the load-time skip path: a
+ * sweep degrades around a corrupt record, cache_fsck removes it so
+ * the directory stops warning forever.
+ *
+ *     cache_fsck [--dir=PATH] [--dry-run]
+ *
+ * Findings (any of):
+ *
+ *  - torn append: an unterminated tail line (a writer died between
+ *    fwrite and fsync);
+ *  - undecodable record: unparsable JSON or a missing/mistyped field;
+ *  - crc mismatch: a well-formed record whose stored checksum does
+ *    not match its payload (silent bit-rot — schema v4 records only;
+ *    legacy records without a "crc" are accepted as-is);
+ *  - missing segment: a MANIFEST entry whose file is gone.
+ *
+ * Repairs (skipped under --dry-run): each bad line is appended
+ * verbatim to quarantine/<segment> for forensics, the segment is
+ * rewritten atomically with only its good lines, and the MANIFEST is
+ * republished without missing segments. Runs under the directory
+ * publish lock — run it while no process is writing the directory
+ * (like cache_prune).
+ *
+ * Exit codes: 0 clean, 1 findings (repaired unless --dry-run) or
+ * repair failure, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/resultstore.h"
+
+using namespace dttsim;
+
+namespace {
+
+constexpr const char *kDefaultCacheDir = "bench/out/cache";
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--dir=PATH] [--dry-run]\n"
+        "  --dir=PATH  cache directory (default %s)\n"
+        "  --dry-run   report findings, but quarantine and rewrite\n"
+        "              nothing\n",
+        argv0, kDefaultCacheDir);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = kDefaultCacheDir;
+    bool dryRun = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--dir=", 6) == 0) {
+            dir = arg + 6;
+        } else if (std::strcmp(arg, "--dry-run") == 0) {
+            dryRun = true;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        }
+    }
+
+    std::string error;
+    std::optional<sim::ResultStore::FsckReport> report =
+        sim::ResultStore::fsck(dir, dryRun, &error);
+    if (!report) {
+        std::fprintf(stderr, "%s: fsck failed: %s\n", dir.c_str(),
+                     error.c_str());
+        return 1;
+    }
+
+    std::printf("%s: scanned %zu segment(s), %zu good record(s)\n",
+                dir.c_str(), report->segmentsScanned,
+                report->recordsKept);
+    if (report->clean()) {
+        std::printf("clean: no findings\n");
+        return 0;
+    }
+    std::printf("%s %zu bad record(s) (%zu crc mismatch(es)), "
+                "%zu missing segment(s)",
+                dryRun ? "found" : "quarantined", report->badRecords,
+                report->crcMismatches, report->missingSegments);
+    if (!dryRun)
+        std::printf("; rewrote %zu segment(s)",
+                    report->segmentsRewritten);
+    std::printf("\n");
+    return 1;
+}

@@ -1,10 +1,13 @@
 /**
  * @file
  * Validator for the bench harness's --json structured-results files
- * (schema v3, documented in docs/HARNESS.md; archived v2 documents —
- * which predate the per-record "accel" field — are still accepted).
- * Checks the document shape, field types, digest format, per-record
- * accelerator name (v3), per-job status/attempts consistency
+ * (schema v4, documented in docs/HARNESS.md; archived v2/v3
+ * documents — which predate the per-record "accel" and "crc" fields
+ * respectively — are still accepted). Checks the document shape,
+ * field types, digest format, per-record accelerator name (v3+),
+ * per-record integrity checksum (v4: "crc" must be present and match
+ * sim::recordCrc recomputed over the decoded payload), per-job
+ * status/attempts consistency
  * (unknown status names are rejected; attempts >= 1; a status=ok
  * record must be a clean halt) and cross-record consistency
  * (identical digests must carry identical results and status — the
@@ -171,6 +174,36 @@ checkRecord(const std::string &file, std::size_t idx,
         complain(file, where + ": ipc is not a finite non-negative "
                  "number");
 
+    // Schema v4: every record carries an end-to-end checksum that
+    // must match a recompute over the decoded payload — the same
+    // recordCrc the engine stamped, so any corruption between emit
+    // and validation surfaces here.
+    const json::Value *crc = rec.find("crc");
+    if (version >= 4) {
+        if (crc == nullptr || !crc->isUint()) {
+            complain(file, where + ": 'crc' missing or not an "
+                     "unsigned integer (required in schema v4)");
+        } else if (status && attempts.isUint()) {
+            const std::uint64_t computed = sim::recordCrc(
+                digest, *status,
+                static_cast<int>(attempts.asUint()), r);
+            if (crc->asUint() != computed)
+                complain(file, where + ": crc mismatch (stored "
+                         + strfmt("%016llx",
+                                  static_cast<unsigned long long>(
+                                      crc->asUint()))
+                         + ", computed "
+                         + strfmt("%016llx",
+                                  static_cast<unsigned long long>(
+                                      computed))
+                         + ") — the record was corrupted after it "
+                         "was stamped");
+        }
+    } else if (crc != nullptr) {
+        complain(file, where + ": 'crc' is a schema v4 field; this "
+                 "document declares v" + std::to_string(version));
+    }
+
     // The dedup invariant: one digest, one result (and one status).
     // A violation means two executions of the "same" job diverged —
     // a merged distributed sweep would silently pick one of them, so
@@ -214,13 +247,13 @@ checkFile(const std::string &file)
         return;
     }
     std::uint64_t version = doc.get("schema_version").asUint();
-    if (version != 2
+    if (version != 2 && version != 3
         && version != static_cast<std::uint64_t>(
                sim::kResultsSchemaVersion)) {
         complain(file, "schema_version " + std::to_string(version)
                  + " is neither the current version "
                  + std::to_string(sim::kResultsSchemaVersion)
-                 + " nor the archived version 2");
+                 + " nor an archived version (2, 3)");
         return;
     }
     if (doc.get("binary").asString().empty())

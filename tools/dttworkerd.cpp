@@ -10,6 +10,7 @@
  *
  *     dttworkerd [--port=N] [--bind=ADDR] [--jobs=N] [--queue=N]
  *                [--cache=DIR] [--name=STR]
+ *                [--drain-deadline=SECONDS] [--fabric-faults=SPEC]
  *
  * --port=0 (the default) binds an ephemeral port; the daemon always
  * prints "dttworkerd: listening on PORT" to stdout (flushed) so a
@@ -17,7 +18,17 @@
  * ResultStore so repeated digests warm-start on the daemon side too.
  *
  * SIGINT/SIGTERM stop the accept loop, drain in-flight connections,
- * and exit 0. Exit codes: 0 clean shutdown, 1 bind failure, 2 usage.
+ * and exit 0. The drain is bounded: decoded-but-unstarted jobs get
+ * --drain-deadline seconds (default 10) to finish streaming before
+ * they are abandoned (the client re-executes them); jobs already
+ * executing always run to completion.
+ *
+ * --fabric-faults arms the deterministic chaos plan
+ * (sim/fabricfault.h) inside this daemon — reply-delay stragglers,
+ * torn cache appends, and the rest of the injection matrix — for
+ * the chaos-smoke suite. Never use it on a production cache.
+ *
+ * Exit codes: 0 clean shutdown, 1 bind failure, 2 usage.
  */
 
 #include <atomic>
@@ -30,6 +41,7 @@
 #include <thread>
 
 #include "net/server.h"
+#include "sim/fabricfault.h"
 #include "sim/resultstore.h"
 
 using namespace dttsim;
@@ -55,6 +67,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--port=N] [--bind=ADDR] [--jobs=N] [--queue=N]\n"
         "          [--cache=DIR] [--name=STR]\n"
+        "          [--drain-deadline=SECONDS] [--fabric-faults=SPEC]\n"
         "  --port=N    listen port; 0 picks an ephemeral port "
         "(default 0)\n"
         "  --bind=A    bind address (default 127.0.0.1)\n"
@@ -62,7 +75,12 @@ usage(const char *argv0)
         "(default 1)\n"
         "  --queue=N   decoded-job backpressure bound (default 32)\n"
         "  --cache=DIR attach a daemon-side result cache\n"
-        "  --name=STR  self-reported name in the handshake\n",
+        "  --name=STR  self-reported name in the handshake\n"
+        "  --drain-deadline=S  seconds to finish decoded jobs on\n"
+        "              shutdown before abandoning them (default 10;\n"
+        "              0 abandons the queue immediately)\n"
+        "  --fabric-faults=SEED:site=rate,...  arm deterministic\n"
+        "              fault injection (chaos testing only)\n",
         argv0);
     return 2;
 }
@@ -77,6 +95,16 @@ parseIntFlag(const char *arg, const char *name, int *out)
     return true;
 }
 
+bool
+parseDoubleFlag(const char *arg, const char *name, double *out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return false;
+    *out = std::atof(arg + n);
+    return true;
+}
+
 } // namespace
 
 int
@@ -84,11 +112,14 @@ main(int argc, char **argv)
 {
     net::ServerConfig config;
     std::string cacheDir;
+    std::string faultSpec;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (parseIntFlag(arg, "--port=", &config.port)
             || parseIntFlag(arg, "--jobs=", &config.jobs)
-            || parseIntFlag(arg, "--queue=", &config.maxQueue)) {
+            || parseIntFlag(arg, "--queue=", &config.maxQueue)
+            || parseDoubleFlag(arg, "--drain-deadline=",
+                               &config.drainDeadlineSeconds)) {
             continue;
         } else if (std::strncmp(arg, "--bind=", 7) == 0) {
             config.bindHost = arg + 7;
@@ -96,6 +127,8 @@ main(int argc, char **argv)
             cacheDir = arg + 8;
         } else if (std::strncmp(arg, "--name=", 7) == 0) {
             config.name = arg + 7;
+        } else if (std::strncmp(arg, "--fabric-faults=", 16) == 0) {
+            faultSpec = arg + 16;
         } else {
             std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
                          arg);
@@ -106,6 +139,25 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s: --port out of range (0..65535)\n",
                      argv[0]);
         return usage(argv[0]);
+    }
+    if (config.drainDeadlineSeconds < 0) {
+        std::fprintf(stderr, "%s: --drain-deadline must be >= 0\n",
+                     argv[0]);
+        return usage(argv[0]);
+    }
+    if (!faultSpec.empty()) {
+        std::string ferr;
+        std::optional<fabric::FaultConfig> fc =
+            fabric::parseFaultSpec(faultSpec, &ferr);
+        if (!fc) {
+            std::fprintf(stderr, "%s: --fabric-faults: %s\n", argv[0],
+                         ferr.c_str());
+            return usage(argv[0]);
+        }
+        fabric::installFaultPlan(*fc);
+        std::fprintf(stderr,
+                     "dttworkerd: fabric fault injection armed: %s\n",
+                     fabric::formatFaultSpec(*fc).c_str());
     }
 
     std::unique_ptr<sim::ResultStore> store;
